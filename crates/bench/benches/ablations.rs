@@ -1,0 +1,57 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! one vs two BFS layers (the Eq. 12 bandwidth argument), sweep
+//! parameter (N, T) settings, and the 915 MHz scaled design.
+
+use control::sweep::{coarse_to_fine, SweepConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use llama_core::scenario::Scenario;
+use llama_core::system::LlamaSystem;
+use metasurface::designs::rfid_900mhz;
+use metasurface::stack::BiasState;
+use rfmath::units::{Hertz, Seconds, Volts};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(25));
+    g.sample_size(10);
+
+    // Sweep-parameter ablation: the paper's (N=2, T=5) vs denser probes.
+    for (n, t) in [(1usize, 7usize), (2, 5), (3, 4)] {
+        g.bench_function(format!("sweep_n{n}_t{t}"), |b| {
+            b.iter(|| {
+                let cfg = SweepConfig {
+                    iterations: n,
+                    steps_per_axis: t,
+                    v_min: Volts(0.0),
+                    v_max: Volts(30.0),
+                    switch_period: Seconds(0.02),
+                };
+                let mut sys = LlamaSystem::new(Scenario::transmissive_default());
+                sys.sweep = cfg;
+                sys.optimize()
+            })
+        });
+    }
+
+    // Frequency-scaled design: response evaluation at 915 MHz.
+    g.bench_function("design_915mhz_response", |b| {
+        let d = rfid_900mhz();
+        b.iter(|| d.stack.response(Hertz(0.915e9), BiasState::new(6.0, 6.0)))
+    });
+
+    // Pure-algorithm sweep without the physics (search overhead alone).
+    g.bench_function("sweep_algorithm_only", |b| {
+        b.iter(|| {
+            coarse_to_fine(&SweepConfig::paper_default(), |p| {
+                -((p.vx.0 - 17.0).powi(2) + (p.vy.0 - 8.0).powi(2))
+            })
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Algorithm 1: coarse-to-fine vs full scan against
+//! the live link model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use control::sweep::SweepConfig;
+use llama_core::scenario::Scenario;
+use llama_core::system::LlamaSystem;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alg1_sweep");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(30));
+    g.sample_size(10);
+    g.bench_function("coarse_to_fine_n2_t5", |b| {
+        b.iter(|| {
+            let mut sys = LlamaSystem::new(Scenario::transmissive_default());
+            sys.optimize()
+        })
+    });
+    g.bench_function("full_scan_31x31", |b| {
+        b.iter(|| {
+            let mut sys = LlamaSystem::new(Scenario::transmissive_default());
+            sys.sweep = SweepConfig::full_scan();
+            sys.optimize()
+        })
+    });
+    g.bench_function("realtime_event_loop", |b| {
+        b.iter(|| {
+            let mut sys = LlamaSystem::new(Scenario::transmissive_default());
+            sys.optimize_realtime()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

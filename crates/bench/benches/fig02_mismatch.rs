@@ -1,0 +1,19 @@
+//! Criterion bench for Figure 2: RSSI-distribution generation for the
+//! Wi-Fi and BLE mismatch studies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use llama_core::experiments::{fig2a, fig2b};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig02_mismatch");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(10));
+    g.sample_size(20);
+    g.bench_function("fig2a_wifi", |b| b.iter(|| fig2a(2021, 500)));
+    g.bench_function("fig2b_ble", |b| b.iter(|| fig2b(2021, 500)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

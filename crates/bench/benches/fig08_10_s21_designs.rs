@@ -1,0 +1,20 @@
+//! Criterion bench for Figures 8-10: the three design-efficiency sweeps
+//! (our "HFSS solve" of the layer cascade).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use llama_core::experiments::{fig10, fig8, fig9};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_10_s21_designs");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(15));
+    g.sample_size(20);
+    g.bench_function("fig8_rogers_reference", |b| b.iter(|| fig8(41)));
+    g.bench_function("fig9_fr4_naive", |b| b.iter(|| fig9(41)));
+    g.bench_function("fig10_fr4_optimized", |b| b.iter(|| fig10(41)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for Figure 11: the bias-family efficiency sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use llama_core::experiments::fig11;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_bias_efficiency");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(15));
+    g.sample_size(15);
+    g.bench_function("fig11_family", |b| b.iter(|| fig11(41)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

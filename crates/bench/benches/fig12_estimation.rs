@@ -1,0 +1,18 @@
+//! Criterion bench for Figure 12: the full turntable estimation
+//! procedure (three orientation scans plus a 49-point bias sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use llama_core::experiments::fig12;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_estimation");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(20));
+    g.sample_size(10);
+    g.bench_function("fig12_procedure", |b| b.iter(|| fig12(2021)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

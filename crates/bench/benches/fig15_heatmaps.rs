@@ -1,0 +1,26 @@
+//! Criterion bench for Figure 15: a full (Vx, Vy) power heatmap at one
+//! paper distance (the per-panel cost of the 7-distance study).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use llama_core::scenario::Scenario;
+use llama_core::system::LlamaSystem;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_heatmaps");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(20));
+    g.sample_size(10);
+    g.bench_function("heatmap_13x13_at_36cm", |b| {
+        b.iter(|| {
+            let mut sys = LlamaSystem::new(
+                Scenario::transmissive_default().with_distance_cm(36.0),
+            );
+            sys.power_heatmap(13)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Figure 17: one optimize-vs-baseline point of the
+//! frequency study (the full band sweep is 11 of these).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llama_core::scenario::Scenario;
+use llama_core::system::LlamaSystem;
+use rfmath::units::Hertz;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig17_frequency");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(10));
+    g.sample_size(10);
+    g.bench_function("optimize_at_2_48ghz", |b| {
+        b.iter(|| {
+            let mut sys = LlamaSystem::new(
+                Scenario::transmissive_default()
+                    .with_frequency(Hertz::from_ghz(2.48))
+                    .with_seed(2021),
+            );
+            sys.optimize()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

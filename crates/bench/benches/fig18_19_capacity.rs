@@ -1,0 +1,39 @@
+//! Criterion bench for Figures 18/19: one capacity point (optimize at a
+//! single transmit power) per environment; the studies run ten of these.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llama_core::scenario::Scenario;
+use llama_core::system::LlamaSystem;
+use propagation::antenna::Antenna;
+use propagation::environment::Environment;
+use rfmath::units::Watts;
+use std::time::Duration;
+
+fn point(antenna: Antenna, environment: Environment) -> f64 {
+    let mut sys = LlamaSystem::new(
+        Scenario::transmissive_default()
+            .with_distance_cm(1000.0)
+            .with_antennas(antenna)
+            .with_environment(environment)
+            .with_tx_power(Watts::from_mw(5.0))
+            .with_seed(2021),
+    );
+    sys.optimize().best_power_dbm.0
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig18_19_capacity");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(10));
+    g.sample_size(10);
+    g.bench_function("fig18b_point_directional_anechoic", |b| {
+        b.iter(|| point(Antenna::directional_panel(), Environment::anechoic()))
+    });
+    g.bench_function("fig19a_point_omni_laboratory", |b| {
+        b.iter(|| point(Antenna::omni_6dbi(), Environment::laboratory(2021)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for Figure 20: the IoT link distribution experiment
+//! (optimize + 2x RSSI batches).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use llama_core::experiments::fig20;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig20_iot");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(20));
+    g.sample_size(10);
+    g.bench_function("fig20_distributions", |b| b.iter(|| fig20(2021, 500)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

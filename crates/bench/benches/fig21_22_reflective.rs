@@ -1,0 +1,32 @@
+//! Criterion bench for Figures 21/22: one reflective heatmap panel and
+//! one reflective optimize-vs-baseline point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llama_core::scenario::Scenario;
+use llama_core::system::LlamaSystem;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig21_22_reflective");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(12));
+    g.sample_size(10);
+    g.bench_function("fig21_heatmap_13x13_at_36cm", |b| {
+        b.iter(|| {
+            let mut sys =
+                LlamaSystem::new(Scenario::reflective_default().with_distance_cm(36.0));
+            sys.power_heatmap(13)
+        })
+    });
+    g.bench_function("fig22_optimize_at_36cm", |b| {
+        b.iter(|| {
+            let mut sys =
+                LlamaSystem::new(Scenario::reflective_default().with_distance_cm(36.0));
+            sys.optimize()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

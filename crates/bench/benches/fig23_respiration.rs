@@ -1,0 +1,29 @@
+//! Criterion bench for Figure 23: one 60 s sensing run (with surface).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use devices::human::HumanTarget;
+use llama_core::scenario::Scenario;
+use llama_core::sensing::{run_sensing, SensingConfig};
+use metasurface::response::Metasurface;
+use rfmath::units::{Meters, Watts};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig23_respiration");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(20));
+    g.sample_size(10);
+    let scenario = Scenario::reflective_default()
+        .with_distance_cm(200.0)
+        .with_tx_power(Watts::from_mw(5.0))
+        .with_seed(2021);
+    let human = HumanTarget::resting_adult(Meters(4.2));
+    let surface = Metasurface::llama();
+    g.bench_function("sensing_60s_with_surface", |b| {
+        b.iter(|| run_sensing(&scenario, &human, Some(&surface), &SensingConfig::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for Table 1: extracting the 7x7 rotation grid from
+//! the circuit model and comparing it to the paper's table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use llama_core::experiments::table1;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_rotation");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(10));
+    g.sample_size(15);
+    g.bench_function("table1_grid_and_comparison", |b| b.iter(table1));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! `expts` — regenerate the paper's tables and figures from the command
+//! line.
+//!
+//! ```text
+//! expts            # list experiments
+//! expts all        # run everything (slow; fig15/21 sweep full grids)
+//! expts fig16 alg1 # run a selection
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: expts <id>... | all");
+        eprintln!("experiments: {}", llama_bench::ALL_IDS.join(", "));
+        return ExitCode::SUCCESS;
+    }
+    let ids: Vec<&str> = if args.len() == 1 && args[0] == "all" {
+        llama_bench::ALL_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failed = false;
+    for id in ids {
+        match llama_bench::run(id) {
+            Ok(report) => {
+                println!("{report}");
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,383 @@
+//! The centralized controller (paper §3.1/§3.3).
+//!
+//! Consumes receiver power reports, drives the PSU through Algorithm 1,
+//! and converges on the bias state that maximizes link power. Modelled
+//! as an explicit state machine so the end-to-end system can step it on
+//! a simulation clock, inject lost reports, and audit its timing against
+//! the supply's 50 Hz switching budget.
+
+use rfmath::units::{Seconds, Volts};
+
+use crate::psu::PowerSupply;
+use crate::sweep::{Probe, SweepConfig};
+
+/// Controller lifecycle states.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Phase {
+    /// Waiting to be told to optimize.
+    Idle,
+    /// Mid-sweep: probing combination `next` of the current plan.
+    Sweeping {
+        /// Index of the next probe in the plan.
+        next: usize,
+        /// Refinement iteration (0-based).
+        iteration: usize,
+    },
+    /// Sweep finished; the best state is applied and held.
+    Converged,
+}
+
+/// A power report from the receiver.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerReport {
+    /// Receiver timestamp.
+    pub at: Seconds,
+    /// Measured power, dBm.
+    pub power_dbm: f64,
+}
+
+/// Events the controller emits for logging/diagnosis.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A sweep started with this many planned probes.
+    SweepStarted(usize),
+    /// A probe's bias state was applied.
+    Applied(Probe),
+    /// A probe was scored from a report.
+    Scored(Probe, f64),
+    /// A refinement window was selected.
+    Refined {
+        /// Iteration that just finished.
+        iteration: usize,
+        /// Winning probe of the iteration.
+        winner: Probe,
+    },
+    /// The controller converged on its final state.
+    Converged(Probe, f64),
+    /// A probe timed out waiting for a report and was retried.
+    ReportTimeout(Probe),
+}
+
+/// The centralized controller.
+#[derive(Clone, Debug)]
+pub struct Controller {
+    /// Sweep strategy parameters.
+    pub config: SweepConfig,
+    /// How long to wait for a report before retrying a probe.
+    pub report_timeout: Seconds,
+    phase: Phase,
+    plan: Vec<Probe>,
+    scores: Vec<Option<f64>>,
+    window: ((Volts, Volts), (Volts, Volts)),
+    best: Option<(Probe, f64)>,
+    applied_at: Option<Seconds>,
+    events: Vec<Event>,
+}
+
+impl Controller {
+    /// Creates a controller with the paper's sweep defaults.
+    pub fn new(config: SweepConfig) -> Self {
+        let window = (
+            (config.v_min, config.v_max),
+            (config.v_min, config.v_max),
+        );
+        Self {
+            config,
+            report_timeout: Seconds(0.1),
+            phase: Phase::Idle,
+            plan: Vec::new(),
+            scores: Vec::new(),
+            window,
+            best: None,
+            applied_at: None,
+            events: Vec::new(),
+        }
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> &Phase {
+        &self.phase
+    }
+
+    /// The best (probe, power) found so far.
+    pub fn best(&self) -> Option<(Probe, f64)> {
+        self.best
+    }
+
+    /// Emitted event log.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Begins an optimization: plans the first iteration's grid.
+    pub fn start(&mut self) {
+        self.window = (
+            (self.config.v_min, self.config.v_max),
+            (self.config.v_min, self.config.v_max),
+        );
+        self.best = None;
+        self.plan_iteration(0);
+        self.events.push(Event::SweepStarted(
+            self.plan.len() * self.config.iterations,
+        ));
+        self.phase = Phase::Sweeping {
+            next: 0,
+            iteration: 0,
+        };
+    }
+
+    fn plan_iteration(&mut self, _iteration: usize) {
+        let t = self.config.steps_per_axis;
+        let ((lx, hx), (ly, hy)) = self.window;
+        let grid = |lo: Volts, hi: Volts, i: usize| {
+            Volts(lo.0 + (hi.0 - lo.0) * i as f64 / (t - 1) as f64)
+        };
+        self.plan.clear();
+        self.scores.clear();
+        for ix in 0..t {
+            for iy in 0..t {
+                self.plan.push(Probe {
+                    vx: grid(lx, hx, ix),
+                    vy: grid(ly, hy, iy),
+                });
+            }
+        }
+        self.scores.resize(self.plan.len(), None);
+    }
+
+    /// Advances the controller at simulation time `now` with an optional
+    /// receiver report. Applies bias states to the PSU as the switching
+    /// budget allows. Call repeatedly from the simulation loop.
+    pub fn step(
+        &mut self,
+        psu: &mut PowerSupply,
+        now: Seconds,
+        report: Option<PowerReport>,
+    ) {
+        let Phase::Sweeping { next, iteration } = self.phase.clone() else {
+            return;
+        };
+
+        // Score the pending probe from a report, if one arrived after the
+        // bias was applied (plus settling).
+        if let (Some(applied_at), Some(rep)) = (self.applied_at, report) {
+            if rep.at.0 >= applied_at.0 + psu.settling.0 && next > 0 {
+                let probe_idx = next - 1;
+                if self.scores[probe_idx].is_none() {
+                    self.scores[probe_idx] = Some(rep.power_dbm);
+                    self.events
+                        .push(Event::Scored(self.plan[probe_idx], rep.power_dbm));
+                    if self
+                        .best
+                        .map(|(_, b)| rep.power_dbm > b)
+                        .unwrap_or(true)
+                    {
+                        self.best = Some((self.plan[probe_idx], rep.power_dbm));
+                    }
+                }
+            }
+        }
+
+        // Retry a probe whose report never came.
+        if let Some(applied_at) = self.applied_at {
+            if next > 0
+                && self.scores[next - 1].is_none()
+                && now.0 - applied_at.0 > self.report_timeout.0
+            {
+                self.events.push(Event::ReportTimeout(self.plan[next - 1]));
+                // Re-apply the same probe (by rewinding `next`).
+                self.phase = Phase::Sweeping {
+                    next: next - 1,
+                    iteration,
+                };
+                self.applied_at = None;
+                return;
+            }
+        }
+
+        // Move on only when the previous probe has been scored.
+        if next > 0 && self.scores[next - 1].is_none() {
+            return;
+        }
+
+        if next < self.plan.len() {
+            // Apply the next probe when the PSU allows.
+            if now.0 >= psu.next_switch_time().0 {
+                let probe = self.plan[next];
+                if psu.set_bias(probe.vx, probe.vy, now).is_ok() {
+                    self.applied_at = Some(now);
+                    self.events.push(Event::Applied(probe));
+                    self.phase = Phase::Sweeping {
+                        next: next + 1,
+                        iteration,
+                    };
+                }
+            }
+            return;
+        }
+
+        // Iteration complete: refine or converge.
+        let (winner_idx, _) = self
+            .scores
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|v| (i, v)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("every probe scored");
+        let winner = self.plan[winner_idx];
+        self.events.push(Event::Refined {
+            iteration,
+            winner,
+        });
+
+        if iteration + 1 < self.config.iterations {
+            let t = self.config.steps_per_axis;
+            let ((lx, hx), (ly, hy)) = self.window;
+            let step_x = (hx.0 - lx.0) / (t - 1) as f64;
+            let step_y = (hy.0 - ly.0) / (t - 1) as f64;
+            self.window = (
+                (
+                    Volts((winner.vx.0 - step_x).max(self.config.v_min.0)),
+                    Volts((winner.vx.0 + step_x).min(self.config.v_max.0)),
+                ),
+                (
+                    Volts((winner.vy.0 - step_y).max(self.config.v_min.0)),
+                    Volts((winner.vy.0 + step_y).min(self.config.v_max.0)),
+                ),
+            );
+            self.plan_iteration(iteration + 1);
+            self.applied_at = None;
+            self.phase = Phase::Sweeping {
+                next: 0,
+                iteration: iteration + 1,
+            };
+        } else {
+            let (best_probe, best_power) = self.best.expect("sweep scored probes");
+            // Hold the winner: apply it as the final state.
+            if now.0 >= psu.next_switch_time().0
+                && psu.set_bias(best_probe.vx, best_probe.vy, now).is_ok()
+            {
+                self.events.push(Event::Converged(best_probe, best_power));
+                self.phase = Phase::Converged;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives the controller against a synthetic power function until it
+    /// converges; reports arrive `report_delay` after each application,
+    /// and every `lose_every`-th report is dropped.
+    fn run(
+        power: impl Fn(Probe) -> f64,
+        lose_every: Option<usize>,
+    ) -> (Controller, PowerSupply, f64) {
+        let mut ctl = Controller::new(SweepConfig::paper_default());
+        let mut psu = PowerSupply::tektronix_2230g();
+        psu.execute("OUTP ON", Seconds(0.0));
+        ctl.start();
+        let mut now = 0.0;
+        let mut pending: Option<(f64, PowerReport)> = None;
+        let mut report_counter = 0usize;
+        for _ in 0..100_000 {
+            if ctl.phase() == &Phase::Converged {
+                break;
+            }
+            let deliver = pending
+                .filter(|(due, _)| *due <= now)
+                .map(|(_, r)| r);
+            if deliver.is_some() {
+                pending = None;
+            }
+            let before_applied = ctl.applied_at;
+            ctl.step(&mut psu, Seconds(now), deliver);
+            // A new application generates a report after 8 ms.
+            if ctl.applied_at != before_applied {
+                if let Some(Event::Applied(p)) = ctl.events().last() {
+                    report_counter += 1;
+                    let lost = lose_every.map(|k| report_counter % k == 0).unwrap_or(false);
+                    if !lost {
+                        pending = Some((
+                            now + 0.008,
+                            PowerReport {
+                                at: Seconds(now + 0.008),
+                                power_dbm: power(*p),
+                            },
+                        ));
+                    }
+                }
+            }
+            now += 0.002;
+        }
+        (ctl, psu, now)
+    }
+
+    fn bump(p: Probe) -> f64 {
+        let dx = p.vx.0 - 18.0;
+        let dy = p.vy.0 - 9.0;
+        -30.0 - 0.05 * (dx * dx + dy * dy)
+    }
+
+    #[test]
+    fn converges_to_the_peak() {
+        let (ctl, _, _) = run(bump, None);
+        assert_eq!(ctl.phase(), &Phase::Converged);
+        let (best, _) = ctl.best().unwrap();
+        assert!((best.vx.0 - 18.0).abs() < 2.0, "vx = {:?}", best.vx);
+        assert!((best.vy.0 - 9.0).abs() < 2.0, "vy = {:?}", best.vy);
+    }
+
+    #[test]
+    fn convergence_time_is_near_paper_budget() {
+        // 50 probes at ≥20 ms each plus report latency: a couple of
+        // seconds, in the same regime as the paper's ~1 s estimate (they
+        // ignore report latency).
+        let (_, psu, elapsed) = run(bump, None);
+        assert!(elapsed < 5.0, "took {elapsed:.2} s");
+        assert!(psu.switch_count >= 50, "switches = {}", psu.switch_count);
+    }
+
+    #[test]
+    fn psu_rate_limit_respected() {
+        let (_, psu, elapsed) = run(bump, None);
+        // 51 switches at ≥ 20 ms spacing cannot finish faster than 1 s.
+        assert!(elapsed >= psu.switch_count as f64 * 0.02 * 0.9);
+    }
+
+    #[test]
+    fn recovers_from_lost_reports() {
+        let (ctl, _, _) = run(bump, Some(7));
+        assert_eq!(ctl.phase(), &Phase::Converged);
+        assert!(
+            ctl.events()
+                .iter()
+                .any(|e| matches!(e, Event::ReportTimeout(_))),
+            "timeouts should have been logged"
+        );
+        let (best, _) = ctl.best().unwrap();
+        assert!((best.vx.0 - 18.0).abs() < 2.5);
+    }
+
+    #[test]
+    fn event_log_tells_the_story() {
+        let (ctl, _, _) = run(bump, None);
+        let events = ctl.events();
+        assert!(matches!(events[0], Event::SweepStarted(50)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Refined { iteration: 0, .. })));
+        assert!(matches!(events.last(), Some(Event::Converged(..))));
+    }
+
+    #[test]
+    fn idle_controller_ignores_steps() {
+        let mut ctl = Controller::new(SweepConfig::paper_default());
+        let mut psu = PowerSupply::tektronix_2230g();
+        ctl.step(&mut psu, Seconds(1.0), None);
+        assert_eq!(ctl.phase(), &Phase::Idle);
+        assert!(ctl.events().is_empty());
+    }
+}

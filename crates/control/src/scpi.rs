@@ -1,0 +1,197 @@
+//! Minimal SCPI command parser for the programmable power supply.
+//!
+//! The paper drives its Tektronix 2230G over USB with a Python/VISA
+//! script. Our PSU model speaks the same small command dialect so the
+//! control plane exercises a realistic wire protocol (and so protocol
+//! parsing — a networking concern — is tested code, not hand-waving):
+//!
+//! ```text
+//! APPL CH1,12.5        set channel 1 to 12.5 V
+//! APPL? CH2            query channel 2 setting
+//! OUTP ON              enable outputs
+//! OUTP OFF             disable outputs
+//! MEAS:CURR? CH1       query channel current
+//! *IDN?                identify
+//! ```
+
+use std::fmt;
+
+/// A parsed SCPI command for the two-channel supply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `APPL CHn,<volts>` — set a channel voltage.
+    Apply {
+        /// Channel number (1-based).
+        channel: u8,
+        /// Voltage setpoint.
+        volts: f64,
+    },
+    /// `APPL? CHn` — query a channel setpoint.
+    QueryApply {
+        /// Channel number (1-based).
+        channel: u8,
+    },
+    /// `OUTP ON` / `OUTP OFF` — master output enable.
+    Output {
+        /// Desired output state.
+        on: bool,
+    },
+    /// `MEAS:CURR? CHn` — measure channel current.
+    MeasureCurrent {
+        /// Channel number (1-based).
+        channel: u8,
+    },
+    /// `*IDN?` — identification query.
+    Identify,
+}
+
+/// Parse failure, carrying a human-readable reason.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SCPI parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_channel(tok: &str) -> Result<u8, ParseError> {
+    let t = tok.trim().to_ascii_uppercase();
+    let digits = t
+        .strip_prefix("CH")
+        .ok_or_else(|| ParseError(format!("expected CHn, got {tok:?}")))?;
+    let n: u8 = digits
+        .parse()
+        .map_err(|_| ParseError(format!("bad channel number {digits:?}")))?;
+    if n == 0 || n > 3 {
+        return Err(ParseError(format!("channel {n} out of range 1–3")));
+    }
+    Ok(n)
+}
+
+/// Parses one SCPI line.
+pub fn parse(line: &str) -> Result<Command, ParseError> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Err(ParseError("empty command".into()));
+    }
+    let upper = line.to_ascii_uppercase();
+    if upper == "*IDN?" {
+        return Ok(Command::Identify);
+    }
+    if let Some(rest) = upper.strip_prefix("OUTP") {
+        let arg = rest.trim();
+        return match arg {
+            "ON" | "1" => Ok(Command::Output { on: true }),
+            "OFF" | "0" => Ok(Command::Output { on: false }),
+            _ => Err(ParseError(format!("bad OUTP argument {arg:?}"))),
+        };
+    }
+    if let Some(rest) = upper.strip_prefix("MEAS:CURR?") {
+        return Ok(Command::MeasureCurrent {
+            channel: parse_channel(rest)?,
+        });
+    }
+    if let Some(rest) = upper.strip_prefix("APPL?") {
+        return Ok(Command::QueryApply {
+            channel: parse_channel(rest)?,
+        });
+    }
+    if let Some(rest) = upper.strip_prefix("APPL") {
+        let mut parts = rest.trim().splitn(2, ',');
+        let ch = parts
+            .next()
+            .ok_or_else(|| ParseError("APPL needs CHn,<volts>".into()))?;
+        let volts_tok = parts
+            .next()
+            .ok_or_else(|| ParseError("APPL needs a voltage".into()))?;
+        let volts: f64 = volts_tok
+            .trim()
+            .parse()
+            .map_err(|_| ParseError(format!("bad voltage {volts_tok:?}")))?;
+        if !volts.is_finite() {
+            return Err(ParseError("voltage must be finite".into()));
+        }
+        return Ok(Command::Apply {
+            channel: parse_channel(ch)?,
+            volts,
+        });
+    }
+    Err(ParseError(format!("unknown command {line:?}")))
+}
+
+/// Formats a command back to wire form (round-trip support for logs).
+pub fn format_command(cmd: &Command) -> String {
+    match cmd {
+        Command::Apply { channel, volts } => format!("APPL CH{channel},{volts}"),
+        Command::QueryApply { channel } => format!("APPL? CH{channel}"),
+        Command::Output { on } => format!("OUTP {}", if *on { "ON" } else { "OFF" }),
+        Command::MeasureCurrent { channel } => format!("MEAS:CURR? CH{channel}"),
+        Command::Identify => "*IDN?".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_apply() {
+        assert_eq!(
+            parse("APPL CH1,12.5").unwrap(),
+            Command::Apply {
+                channel: 1,
+                volts: 12.5
+            }
+        );
+        assert_eq!(
+            parse("appl ch2, 0.0").unwrap(),
+            Command::Apply {
+                channel: 2,
+                volts: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn parses_queries_and_output() {
+        assert_eq!(parse("APPL? CH2").unwrap(), Command::QueryApply { channel: 2 });
+        assert_eq!(parse("OUTP ON").unwrap(), Command::Output { on: true });
+        assert_eq!(parse("outp off").unwrap(), Command::Output { on: false });
+        assert_eq!(
+            parse("MEAS:CURR? CH1").unwrap(),
+            Command::MeasureCurrent { channel: 1 }
+        );
+        assert_eq!(parse("*IDN?").unwrap(), Command::Identify);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("APPL CH9,5").is_err());
+        assert!(parse("APPL CH1").is_err());
+        assert!(parse("APPL CH1,abc").is_err());
+        assert!(parse("VOLT 5").is_err());
+        assert!(parse("OUTP MAYBE").is_err());
+        assert!(parse("APPL CH1,NaN").is_err());
+    }
+
+    #[test]
+    fn round_trips_through_format() {
+        for cmd in [
+            Command::Apply {
+                channel: 1,
+                volts: 7.25,
+            },
+            Command::QueryApply { channel: 2 },
+            Command::Output { on: true },
+            Command::MeasureCurrent { channel: 2 },
+            Command::Identify,
+        ] {
+            let wire = format_command(&cmd);
+            assert_eq!(parse(&wire).unwrap(), cmd, "wire = {wire}");
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Biasing-voltage sweep strategies — the paper's Algorithm 1.
+//!
+//! A full 1 V-step scan of the (Vx, Vy) plane takes ~30 s at the
+//! supply's 50 Hz switching budget, too slow for real-time use. The
+//! paper's answer is a coarse-to-fine search: `N` iterations, each
+//! sweeping `T` values per axis inside the window selected by the
+//! previous iteration. The time cost per iteration is `0.02·T²` seconds
+//! (both axes swept jointly), so the whole search costs `0.02·N·T²` —
+//! with the paper's `N = 2, T = 5` that is one second instead of thirty.
+
+use rfmath::units::{Seconds, Volts};
+
+/// Parameters of Algorithm 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepConfig {
+    /// Number of refinement iterations (paper: 2).
+    pub iterations: usize,
+    /// Voltage points per axis per iteration (paper: 5).
+    pub steps_per_axis: usize,
+    /// Overall voltage range swept in the first iteration.
+    pub v_min: Volts,
+    /// Upper end of the first-iteration range.
+    pub v_max: Volts,
+    /// Time budget per voltage switch (the supply's period).
+    pub switch_period: Seconds,
+}
+
+impl SweepConfig {
+    /// The paper's configuration: N = 2, T = 5 over 0–30 V at 50 Hz.
+    pub fn paper_default() -> Self {
+        Self {
+            iterations: 2,
+            steps_per_axis: 5,
+            v_min: Volts(0.0),
+            v_max: Volts(30.0),
+            switch_period: Seconds(0.02),
+        }
+    }
+
+    /// An exhaustive 1 V-step full scan (the slow baseline).
+    pub fn full_scan() -> Self {
+        Self {
+            iterations: 1,
+            steps_per_axis: 31,
+            v_min: Volts(0.0),
+            v_max: Volts(30.0),
+            switch_period: Seconds(0.02),
+        }
+    }
+
+    /// Predicted sweep duration: `period · N · T²`.
+    pub fn predicted_duration(&self) -> Seconds {
+        Seconds(
+            self.switch_period.0
+                * self.iterations as f64
+                * (self.steps_per_axis * self.steps_per_axis) as f64,
+        )
+    }
+}
+
+/// One probe the sweep asks the system to make: set this bias, then
+/// report the received power.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Probe {
+    /// X-rail voltage to apply.
+    pub vx: Volts,
+    /// Y-rail voltage to apply.
+    pub vy: Volts,
+}
+
+/// Outcome of a completed sweep.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// The winning bias combination.
+    pub best: Probe,
+    /// Power observed at the winner (caller's units, higher = better).
+    pub best_metric: f64,
+    /// Total probes spent.
+    pub probes: usize,
+    /// Wall-clock cost at the configured switching period.
+    pub duration: Seconds,
+    /// Every probe and its metric, in visit order (for heat-mapping).
+    pub history: Vec<(Probe, f64)>,
+}
+
+/// Runs Algorithm 1 against a metric callback (higher is better).
+///
+/// The callback receives each probe and returns the measured metric —
+/// in the real system that is the receiver's reported signal power under
+/// the labeled voltage state (§3.3's synchronization makes the labeling
+/// sound).
+pub fn coarse_to_fine(
+    config: &SweepConfig,
+    mut measure: impl FnMut(Probe) -> f64,
+) -> SweepOutcome {
+    assert!(config.iterations >= 1, "need at least one iteration");
+    assert!(config.steps_per_axis >= 2, "need at least two steps per axis");
+    let mut lo_x = config.v_min;
+    let mut hi_x = config.v_max;
+    let mut lo_y = config.v_min;
+    let mut hi_y = config.v_max;
+    let mut best = Probe {
+        vx: config.v_min,
+        vy: config.v_min,
+    };
+    let mut best_metric = f64::NEG_INFINITY;
+    let mut probes = 0usize;
+    let mut history = Vec::new();
+
+    for _iter in 0..config.iterations {
+        let t = config.steps_per_axis;
+        let grid = |lo: Volts, hi: Volts, i: usize| {
+            Volts(lo.0 + (hi.0 - lo.0) * i as f64 / (t - 1) as f64)
+        };
+        let mut iter_best = best;
+        let mut iter_metric = f64::NEG_INFINITY;
+        for ix in 0..t {
+            for iy in 0..t {
+                let probe = Probe {
+                    vx: grid(lo_x, hi_x, ix),
+                    vy: grid(lo_y, hi_y, iy),
+                };
+                let m = measure(probe);
+                probes += 1;
+                history.push((probe, m));
+                if m > iter_metric {
+                    iter_metric = m;
+                    iter_best = probe;
+                }
+            }
+        }
+        if iter_metric > best_metric {
+            best_metric = iter_metric;
+            best = iter_best;
+        }
+        // Narrow the window to one coarse step around the winner
+        // (the paper returns [v − Vs, v] per axis; we center for
+        // symmetry, clamped to the configured range).
+        let step_x = (hi_x.0 - lo_x.0) / (t - 1) as f64;
+        let step_y = (hi_y.0 - lo_y.0) / (t - 1) as f64;
+        lo_x = Volts((best.vx.0 - step_x).max(config.v_min.0));
+        hi_x = Volts((best.vx.0 + step_x).min(config.v_max.0));
+        lo_y = Volts((best.vy.0 - step_y).max(config.v_min.0));
+        hi_y = Volts((best.vy.0 + step_y).min(config.v_max.0));
+    }
+
+    SweepOutcome {
+        best,
+        best_metric,
+        probes,
+        duration: Seconds(config.switch_period.0 * probes as f64),
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A smooth unimodal surface peaking at (vx0, vy0).
+    fn bump(vx0: f64, vy0: f64) -> impl FnMut(Probe) -> f64 {
+        move |p: Probe| {
+            let dx = p.vx.0 - vx0;
+            let dy = p.vy.0 - vy0;
+            -(dx * dx + dy * dy)
+        }
+    }
+
+    #[test]
+    fn paper_config_costs_one_second() {
+        let cfg = SweepConfig::paper_default();
+        // 0.02 × 2 × 25 = 1.0 s — the paper's speed-up over ~30 s.
+        assert!((cfg.predicted_duration().0 - 1.0).abs() < 1e-12);
+        let full = SweepConfig::full_scan();
+        assert!(full.predicted_duration().0 > 19.0);
+    }
+
+    #[test]
+    fn finds_interior_peak() {
+        let outcome = coarse_to_fine(&SweepConfig::paper_default(), bump(17.3, 8.2));
+        assert!((outcome.best.vx.0 - 17.3).abs() < 2.0, "vx = {:?}", outcome.best.vx);
+        assert!((outcome.best.vy.0 - 8.2).abs() < 2.0, "vy = {:?}", outcome.best.vy);
+        assert_eq!(outcome.probes, 50);
+    }
+
+    #[test]
+    fn refinement_beats_single_pass() {
+        let single = coarse_to_fine(
+            &SweepConfig {
+                iterations: 1,
+                ..SweepConfig::paper_default()
+            },
+            bump(17.3, 8.2),
+        );
+        let double = coarse_to_fine(&SweepConfig::paper_default(), bump(17.3, 8.2));
+        let err = |o: &SweepOutcome| {
+            ((o.best.vx.0 - 17.3).powi(2) + (o.best.vy.0 - 8.2).powi(2)).sqrt()
+        };
+        assert!(err(&double) <= err(&single) + 1e-9);
+    }
+
+    #[test]
+    fn finds_edge_peak() {
+        let outcome = coarse_to_fine(&SweepConfig::paper_default(), bump(30.0, 0.0));
+        assert!((outcome.best.vx.0 - 30.0).abs() < 2.0);
+        assert!(outcome.best.vy.0 < 2.0);
+    }
+
+    #[test]
+    fn full_scan_is_exhaustive() {
+        let outcome = coarse_to_fine(&SweepConfig::full_scan(), bump(11.0, 23.0));
+        assert_eq!(outcome.probes, 31 * 31);
+        assert!((outcome.best.vx.0 - 11.0).abs() < 0.51);
+        assert!((outcome.best.vy.0 - 23.0).abs() < 0.51);
+    }
+
+    #[test]
+    fn history_records_every_probe() {
+        let outcome = coarse_to_fine(&SweepConfig::paper_default(), bump(5.0, 5.0));
+        assert_eq!(outcome.history.len(), outcome.probes);
+        // The recorded best matches the history maximum.
+        let hist_best = outcome
+            .history
+            .iter()
+            .map(|(_, m)| *m)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(hist_best, outcome.best_metric);
+    }
+
+    #[test]
+    fn duration_scales_with_probes() {
+        let outcome = coarse_to_fine(&SweepConfig::paper_default(), bump(5.0, 5.0));
+        assert!((outcome.duration.0 - 0.02 * outcome.probes as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_metric_still_lands_near_peak() {
+        // Deterministic pseudo-noise on top of the bump: the sweep should
+        // still land in the right neighbourhood.
+        let mut k = 0u64;
+        let outcome = coarse_to_fine(&SweepConfig::paper_default(), |p| {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = ((k >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 3.0;
+            let dx = p.vx.0 - 20.0;
+            let dy = p.vy.0 - 12.0;
+            -(dx * dx + dy * dy) * 0.5 + noise
+        });
+        assert!((outcome.best.vx.0 - 20.0).abs() < 5.0);
+        assert!((outcome.best.vy.0 - 12.0).abs() < 5.0);
+    }
+}

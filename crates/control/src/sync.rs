@@ -1,0 +1,240 @@
+//! Sample–voltage synchronization (paper §3.3, Eq. 13).
+//!
+//! During a sweep, the receiver streams power samples while the supply
+//! steps the bias; the controller must attribute each sample to the
+//! voltage state it was captured under. Instead of a dedicated sync
+//! device, LLAMA exploits that both the receiver's sampling rate and the
+//! supply's switching cadence are constant: a sample at time `t` maps to
+//! the voltage state index `(t − td)/Ts`, where `Ts` is the switching
+//! period and `td` the start-time offset between the two clocks. The
+//! offset is estimated by correlating the observed power steps against
+//! the commanded switching grid.
+
+use rfmath::units::{Seconds, Volts};
+
+/// The commanded bias schedule: voltage states applied at a constant
+/// cadence from a start time.
+#[derive(Clone, Debug)]
+pub struct BiasSchedule {
+    /// Time the first state was applied (supply clock).
+    pub start: Seconds,
+    /// Switching period `Ts`.
+    pub period: Seconds,
+    /// The applied (Vx, Vy) states, in order.
+    pub states: Vec<(Volts, Volts)>,
+}
+
+impl BiasSchedule {
+    /// Builds a schedule from equal X/Y steps (Eq. 13's `VD` increments).
+    pub fn linear(
+        start: Seconds,
+        period: Seconds,
+        v0: (Volts, Volts),
+        dv: (Volts, Volts),
+        count: usize,
+    ) -> Self {
+        let states = (0..count)
+            .map(|k| {
+                (
+                    Volts(v0.0 .0 + dv.0 .0 * k as f64),
+                    Volts(v0.1 .0 + dv.1 .0 * k as f64),
+                )
+            })
+            .collect();
+        Self {
+            start,
+            period,
+            states,
+        }
+    }
+
+    /// Eq. 13: the voltage state in force at receiver time `t`, given
+    /// the known receiver→supply clock offset `td` (positive when the
+    /// receiver started later). `None` before the schedule begins or
+    /// after it ends.
+    pub fn state_at(&self, t: Seconds, td: Seconds) -> Option<(Volts, Volts)> {
+        let supply_time = t.0 - td.0;
+        let k = (supply_time - self.start.0) / self.period.0;
+        if k < 0.0 {
+            return None;
+        }
+        let idx = k.floor() as usize;
+        self.states.get(idx).copied()
+    }
+
+    /// Index of the state in force at receiver time `t`.
+    pub fn index_at(&self, t: Seconds, td: Seconds) -> Option<usize> {
+        let supply_time = t.0 - td.0;
+        let k = (supply_time - self.start.0) / self.period.0;
+        if k < 0.0 {
+            return None;
+        }
+        let idx = k.floor() as usize;
+        (idx < self.states.len()).then_some(idx)
+    }
+
+    /// Total schedule duration.
+    pub fn duration(&self) -> Seconds {
+        Seconds(self.states.len() as f64 * self.period.0)
+    }
+}
+
+/// Labels a stream of timestamped power samples with state indices.
+///
+/// Returns, per schedule state, the samples attributed to it (skipping a
+/// guard interval of `guard` after each switch to let the rail settle —
+/// mislabeling across edges is the classic failure the guard prevents).
+pub fn label_samples(
+    schedule: &BiasSchedule,
+    samples: &[(Seconds, f64)],
+    td: Seconds,
+    guard: Seconds,
+) -> Vec<Vec<f64>> {
+    let mut out = vec![Vec::new(); schedule.states.len()];
+    for &(t, p) in samples {
+        if let Some(idx) = schedule.index_at(t, td) {
+            // Position within the state's dwell window.
+            let supply_time = t.0 - td.0;
+            let into = supply_time - schedule.start.0 - idx as f64 * schedule.period.0;
+            if into >= guard.0 {
+                out[idx].push(p);
+            }
+        }
+    }
+    out
+}
+
+/// Estimates the clock offset `td` by maximizing step alignment: slides
+/// a candidate offset over `[0, period)` and scores how well power
+/// transitions in the samples line up with the commanded switch times.
+///
+/// `samples` must be uniformly spaced in time. Returns the offset in
+/// `[0, period)` — sub-period alignment is all Eq. 13 needs, since the
+/// state *index* ambiguity is fixed by the schedule start marker.
+pub fn estimate_offset(
+    schedule: &BiasSchedule,
+    samples: &[(Seconds, f64)],
+    candidates: usize,
+) -> Seconds {
+    assert!(candidates >= 2, "need candidate resolution");
+    let period = schedule.period.0;
+    let mut best = (0.0, f64::NEG_INFINITY);
+    for c in 0..candidates {
+        let td = period * c as f64 / candidates as f64;
+        // Score: variance *between* state buckets minus variance *within*
+        // buckets — a correct offset groups samples cleanly.
+        let buckets = label_samples(schedule, samples, Seconds(td), Seconds(0.0));
+        let mut means = Vec::new();
+        let mut within = 0.0;
+        let mut n_within = 0usize;
+        for b in &buckets {
+            if b.is_empty() {
+                continue;
+            }
+            let m = rfmath::stats::mean(b);
+            means.push(m);
+            within += b.iter().map(|x| (x - m) * (x - m)).sum::<f64>();
+            n_within += b.len();
+        }
+        if means.len() < 2 || n_within == 0 {
+            continue;
+        }
+        let between = rfmath::stats::variance(&means);
+        let score = between - within / n_within as f64;
+        if score > best.1 {
+            best = (td, score);
+        }
+    }
+    Seconds(best.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule() -> BiasSchedule {
+        BiasSchedule::linear(
+            Seconds(0.0),
+            Seconds(0.02),
+            (Volts(0.0), Volts(0.0)),
+            (Volts(1.0), Volts(2.0)),
+            10,
+        )
+    }
+
+    #[test]
+    fn eq13_labels_states() {
+        let s = schedule();
+        // Sample mid-way through state 3 with zero offset.
+        let (vx, vy) = s.state_at(Seconds(0.07), Seconds(0.0)).unwrap();
+        assert_eq!(vx, Volts(3.0));
+        assert_eq!(vy, Volts(6.0));
+    }
+
+    #[test]
+    fn offset_shifts_attribution() {
+        let s = schedule();
+        // With td = 20 ms the same wall-clock sample maps one state back.
+        let (vx, _) = s.state_at(Seconds(0.07), Seconds(0.02)).unwrap();
+        assert_eq!(vx, Volts(2.0));
+    }
+
+    #[test]
+    fn out_of_range_times_are_none() {
+        let s = schedule();
+        assert!(s.state_at(Seconds(-0.01), Seconds(0.0)).is_none());
+        assert!(s.state_at(Seconds(0.21), Seconds(0.0)).is_none());
+        assert_eq!(s.duration().0, 0.2);
+    }
+
+    /// Builds a synthetic sample stream: per-state power plateaus with a
+    /// known receiver clock offset.
+    fn synth_samples(td: f64, rate_hz: f64) -> Vec<(Seconds, f64)> {
+        let s = schedule();
+        let n = (s.duration().0 * rate_hz) as usize;
+        (0..n)
+            .map(|i| {
+                let t_rx = i as f64 / rate_hz + td;
+                // True state from the supply's perspective.
+                let idx = ((t_rx - td) / 0.02).floor() as usize;
+                let power = (idx % 10) as f64 * 3.0 + 10.0;
+                (Seconds(t_rx), power)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn labeling_with_correct_offset_gives_clean_buckets() {
+        let s = schedule();
+        let samples = synth_samples(0.013, 1000.0);
+        let buckets = label_samples(&s, &samples, Seconds(0.013), Seconds(0.002));
+        for (idx, b) in buckets.iter().enumerate() {
+            assert!(!b.is_empty(), "state {idx} got no samples");
+            let expected = (idx % 10) as f64 * 3.0 + 10.0;
+            for &p in b {
+                assert_eq!(p, expected, "state {idx} contaminated");
+            }
+        }
+    }
+
+    #[test]
+    fn estimated_offset_recovers_truth_mod_period() {
+        let s = schedule();
+        for true_td in [0.0, 0.004, 0.013, 0.019] {
+            let samples = synth_samples(true_td, 2000.0);
+            let est = estimate_offset(&s, &samples, 40).0;
+            let err = (est - true_td).abs().min(0.02 - (est - true_td).abs());
+            assert!(err < 0.002, "td = {true_td}: estimated {est}");
+        }
+    }
+
+    #[test]
+    fn guard_interval_drops_edge_samples() {
+        let s = schedule();
+        let samples = synth_samples(0.0, 1000.0);
+        let no_guard = label_samples(&s, &samples, Seconds(0.0), Seconds(0.0));
+        let guarded = label_samples(&s, &samples, Seconds(0.0), Seconds(0.005));
+        let count = |v: &Vec<Vec<f64>>| v.iter().map(Vec::len).sum::<usize>();
+        assert!(count(&guarded) < count(&no_guard));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the control plane: sweep envelopes, Eq. 13
+//! labeling consistency, SCPI round-trips under arbitrary inputs, and
+//! PSU rate-limit invariants.
+
+use control::psu::{PowerSupply, Reply};
+use control::scpi;
+use control::sweep::{coarse_to_fine, SweepConfig};
+use control::sync::BiasSchedule;
+use proptest::prelude::*;
+use rfmath::units::{Seconds, Volts};
+
+proptest! {
+    /// The sweep's probe count and duration match the 0.02·N·T² law for
+    /// any (N, T) configuration.
+    #[test]
+    fn sweep_cost_law(n in 1usize..4, t in 2usize..9) {
+        let cfg = SweepConfig {
+            iterations: n,
+            steps_per_axis: t,
+            v_min: Volts(0.0),
+            v_max: Volts(30.0),
+            switch_period: Seconds(0.02),
+        };
+        let outcome = coarse_to_fine(&cfg, |p| -(p.vx.0 + p.vy.0));
+        prop_assert_eq!(outcome.probes, n * t * t);
+        prop_assert!((outcome.duration.0 - 0.02 * (n * t * t) as f64).abs() < 1e-12);
+    }
+
+    /// Probes never leave the configured voltage window.
+    #[test]
+    fn probes_stay_in_window(
+        lo in 0.0f64..10.0,
+        span in 5.0f64..20.0,
+        peak_x in 0.0f64..30.0,
+        peak_y in 0.0f64..30.0,
+    ) {
+        let cfg = SweepConfig {
+            iterations: 2,
+            steps_per_axis: 5,
+            v_min: Volts(lo),
+            v_max: Volts(lo + span),
+            switch_period: Seconds(0.02),
+        };
+        let outcome = coarse_to_fine(&cfg, |p| {
+            -((p.vx.0 - peak_x).powi(2) + (p.vy.0 - peak_y).powi(2))
+        });
+        for (probe, _) in &outcome.history {
+            prop_assert!(probe.vx.0 >= lo - 1e-9 && probe.vx.0 <= lo + span + 1e-9);
+            prop_assert!(probe.vy.0 >= lo - 1e-9 && probe.vy.0 <= lo + span + 1e-9);
+        }
+    }
+
+    /// Eq. 13 labeling is self-consistent: the state reported for any
+    /// in-schedule time equals the state list entry at the reported
+    /// index, for any offset.
+    #[test]
+    fn eq13_index_state_agree(
+        td_ms in 0.0f64..20.0,
+        t_ms in 0.0f64..400.0,
+        count in 2usize..30,
+    ) {
+        let s = BiasSchedule::linear(
+            Seconds(0.0),
+            Seconds(0.02),
+            (Volts(1.0), Volts(2.0)),
+            (Volts(0.5), Volts(0.25)),
+            count,
+        );
+        let t = Seconds(t_ms / 1e3 + td_ms / 1e3);
+        let td = Seconds(td_ms / 1e3);
+        match (s.index_at(t, td), s.state_at(t, td)) {
+            (Some(idx), Some(state)) => {
+                prop_assert_eq!(state, s.states[idx]);
+            }
+            (None, None) => {}
+            // state_at may return a state while index_at bounds-checks:
+            // both must agree on in-range times.
+            (a, b) => prop_assert!(
+                a.is_none() == b.is_none() || t.0 - td.0 >= s.duration().0,
+                "index {a:?} vs state {b:?}"
+            ),
+        }
+    }
+
+    /// SCPI APPL commands round-trip for arbitrary channel/voltage.
+    #[test]
+    fn scpi_apply_round_trip(ch in 1u8..=3, v in 0.0f64..99.0) {
+        let wire = format!("APPL CH{ch},{v}");
+        let cmd = scpi::parse(&wire).expect("parse");
+        let back = scpi::format_command(&cmd);
+        prop_assert_eq!(scpi::parse(&back).unwrap(), cmd);
+    }
+
+    /// The SCPI parser never panics on arbitrary ASCII lines.
+    #[test]
+    fn scpi_never_panics(line in "[ -~]{0,40}") {
+        let _ = scpi::parse(&line);
+    }
+
+    /// The PSU accepts switches exactly at its period and rejects any
+    /// faster cadence, regardless of the requested voltages.
+    #[test]
+    fn psu_rate_limit_invariant(
+        dt_ms in 0.1f64..60.0,
+        v1 in 0.0f64..30.0,
+        v2 in 0.0f64..30.0,
+    ) {
+        let mut psu = PowerSupply::tektronix_2230g();
+        psu.execute("OUTP ON", Seconds(0.0));
+        assert_eq!(psu.execute(&format!("APPL CH1,{v1}"), Seconds(1.0)), Reply::Ack);
+        let second = psu.execute(&format!("APPL CH1,{v2}"), Seconds(1.0 + dt_ms / 1e3));
+        if dt_ms >= 20.0 {
+            prop_assert_eq!(second, Reply::Ack);
+        } else {
+            prop_assert!(matches!(second, Reply::Error(_)), "accepted at {dt_ms} ms");
+        }
+    }
+}

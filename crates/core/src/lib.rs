@@ -1,0 +1,46 @@
+//! # llama_core — the assembled LLAMA system
+//!
+//! Ties the substrates together into the end-to-end system of the
+//! paper's Figure 5 and hosts the typed experiment runners behind every
+//! table and figure of the evaluation:
+//!
+//! * [`scenario`] — fully specified experimental setups with builders
+//!   for the paper's transmissive, reflective, Wi-Fi-IoT and BLE
+//!   configurations;
+//! * [`system`] — [`system::LlamaSystem`]: surface + PSU + controller +
+//!   receiver on a simulation clock, with a fast optimization path and a
+//!   fully event-stepped real-time loop (packetized reports, fault
+//!   injection, 50 Hz switching budget);
+//! * [`sensing`] — the §5.2.2 respiration pipeline;
+//! * [`experiments`] — one runner per figure/table (see DESIGN.md's
+//!   experiment index);
+//! * [`multilink`] — the §7 outlook: several receivers sharing one
+//!   surface, with max-min fairness and favor/suppress (polarization
+//!   access control) policies;
+//! * [`render`] — ASCII tables, histograms, heatmaps and sparklines for
+//!   terminal output.
+//!
+//! ```
+//! use llama_core::scenario::Scenario;
+//! use llama_core::system::LlamaSystem;
+//!
+//! let mut system = LlamaSystem::new(
+//!     Scenario::transmissive_default().with_distance_cm(36.0).with_seed(7),
+//! );
+//! let outcome = system.optimize();
+//! assert!(outcome.improvement.0 > 5.0, "the surface earns ≥5 dB here");
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod experiments;
+pub mod multilink;
+pub mod render;
+pub mod scenario;
+pub mod sensing;
+pub mod system;
+
+pub use scenario::{EndpointKind, Scenario};
+pub use sensing::{run_sensing, SensingConfig, SensingResult};
+pub use system::{LlamaSystem, OptimizeOutcome};

@@ -1,0 +1,154 @@
+//! Terminal rendering of experiment results: ASCII tables, series and
+//! heatmaps for the `expts` binary and the examples.
+
+use rfmath::stats::Histogram;
+
+/// Renders a labelled data series as an aligned two-column table.
+pub fn series_table(title: &str, x_label: &str, columns: &[(&str, &[f64])], xs: &[f64]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title}\n"));
+    out.push_str(&format!("{x_label:>10}"));
+    for (name, _) in columns {
+        out.push_str(&format!("  {name:>18}"));
+    }
+    out.push('\n');
+    for (i, &x) in xs.iter().enumerate() {
+        out.push_str(&format!("{x:>10.3}"));
+        for (_, ys) in columns {
+            let v = ys.get(i).copied().unwrap_or(f64::NAN);
+            out.push_str(&format!("  {v:>18.2}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a histogram as a horizontal ASCII bar chart (PDF in %).
+pub fn histogram_chart(title: &str, hist: &Histogram, max_width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} (n = {})\n", hist.total()));
+    let pdf = hist.pdf_percent();
+    let centers = hist.centers();
+    let peak = pdf.iter().cloned().fold(0.0, f64::max).max(1e-9);
+    for (c, p) in centers.iter().zip(&pdf) {
+        if *p <= 0.0 {
+            continue;
+        }
+        let width = ((p / peak) * max_width as f64).round() as usize;
+        out.push_str(&format!(
+            "{c:>8.1}  {:<w$}  {p:>5.1}%\n",
+            "#".repeat(width.max(1)),
+            w = max_width
+        ));
+    }
+    out
+}
+
+/// Renders a row-major grid as an ASCII heatmap using a shade ramp.
+/// `volts` labels both axes (columns = Vx, rows = Vy).
+pub fn heatmap(title: &str, volts: &[f64], values: &[f64]) -> String {
+    const RAMP: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let n = volts.len();
+    assert_eq!(values.len(), n * n, "grid must be square over the axis");
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-9);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== {title}  [{lo:.1} .. {hi:.1} dBm]\n      Vx → "
+    ));
+    for &v in volts {
+        out.push_str(&format!("{v:>4.0}"));
+    }
+    out.push('\n');
+    for (iy, &vy) in volts.iter().enumerate() {
+        out.push_str(&format!("Vy {vy:>5.0} | "));
+        for ix in 0..n {
+            let v = values[iy * n + ix];
+            let t = ((v - lo) / span * (RAMP.len() - 1) as f64).round() as usize;
+            let ch = RAMP[t.min(RAMP.len() - 1)];
+            out.push_str(&format!("{ch}{ch}{ch} "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a sparkline of a time series (e.g. the respiration trace).
+pub fn sparkline(title: &str, values: &[f64]) -> String {
+    const TICKS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return format!("== {title}\n(empty)\n");
+    }
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-9);
+    let mut out = format!("== {title}  [{lo:.1} .. {hi:.1}]\n");
+    for v in values {
+        let t = ((v - lo) / span * (TICKS.len() - 1) as f64).round() as usize;
+        out.push(TICKS[t.min(TICKS.len() - 1)]);
+    }
+    out.push('\n');
+    out
+}
+
+/// Formats a named scalar result line.
+pub fn metric(name: &str, value: f64, unit: &str) -> String {
+    format!("{name:<44} {value:>10.2} {unit}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_table_aligns_columns() {
+        let xs = [1.0, 2.0];
+        let a = [10.0, 20.0];
+        let b = [30.0, 40.0];
+        let t = series_table("test", "x", &[("a", &a), ("b", &b)], &xs);
+        assert!(t.contains("== test"));
+        assert!(t.lines().count() == 4);
+        assert!(t.contains("10.00"));
+        assert!(t.contains("40.00"));
+    }
+
+    #[test]
+    fn histogram_chart_scales_bars() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..9 {
+            h.add(5.0);
+        }
+        h.add(1.0);
+        let chart = histogram_chart("pdf", &h, 20);
+        assert!(chart.contains('#'));
+        // The dominant bin gets the full width.
+        assert!(chart.contains(&"#".repeat(20)));
+    }
+
+    #[test]
+    fn heatmap_spans_ramp() {
+        let volts = [0.0, 15.0, 30.0];
+        let values = [
+            -60.0, -55.0, -50.0, //
+            -45.0, -40.0, -35.0, //
+            -30.0, -25.0, -20.0,
+        ];
+        let h = heatmap("grid", &volts, &values);
+        assert!(h.contains('@'), "hottest cell uses the densest glyph");
+        assert!(h.contains("Vy"));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn heatmap_validates_shape() {
+        let _ = heatmap("bad", &[0.0, 1.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sparkline_handles_empty_and_flat() {
+        assert!(sparkline("s", &[]).contains("empty"));
+        let flat = sparkline("s", &[1.0, 1.0, 1.0]);
+        assert!(flat.lines().count() == 2);
+    }
+}

@@ -1,0 +1,264 @@
+//! Scenario builder: fully specified experimental setups.
+//!
+//! A [`Scenario`] bundles everything a LLAMA experiment needs — endpoint
+//! antennas and orientations, carrier, transmit power, deployment
+//! geometry, environment, surface design, and the deterministic seed —
+//! with builder methods mirroring the knobs the paper's evaluation turns
+//! (distance, frequency, power, antenna type, environment, mode).
+
+use metasurface::designs::{self, Design};
+use propagation::antenna::{Antenna, OrientedAntenna};
+use propagation::environment::Environment;
+use propagation::link::Link;
+use propagation::rays::Deployment;
+use rfmath::units::{Degrees, Hertz, Watts};
+
+/// Which endpoint hardware the scenario emulates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EndpointKind {
+    /// USRP N210 pair with selectable antennas (controlled experiments).
+    Usrp,
+    /// Wi-Fi AP → ESP8266 station (the low-cost IoT link).
+    WifiIot,
+    /// BLE wearable → Raspberry Pi central.
+    BleWearable,
+}
+
+/// A fully specified experiment setup.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Endpoint class.
+    pub endpoints: EndpointKind,
+    /// Transmit antenna + mount.
+    pub tx: OrientedAntenna,
+    /// Receive antenna + mount.
+    pub rx: OrientedAntenna,
+    /// Carrier frequency.
+    pub frequency: Hertz,
+    /// Transmit power.
+    pub tx_power: Watts,
+    /// Placement of endpoints and surface.
+    pub deployment: Deployment,
+    /// Propagation environment.
+    pub environment: Environment,
+    /// Surface design deployed (when the experiment uses one).
+    pub design: Design,
+    /// Root seed for all stochastic elements.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The paper's §4 controlled transmissive setup: USRP endpoints with
+    /// directional panels, orthogonal (fully mismatched) mounts, absorber
+    /// environment, surface midway, 36 cm separation.
+    pub fn transmissive_default() -> Self {
+        Self {
+            endpoints: EndpointKind::Usrp,
+            tx: OrientedAntenna::new(Antenna::directional_panel(), Degrees(90.0)),
+            rx: OrientedAntenna::new(Antenna::directional_panel(), Degrees(0.0)),
+            frequency: Hertz::from_ghz(2.44),
+            tx_power: Watts::from_mw(50.0),
+            deployment: Deployment::transmissive_cm(36.0),
+            environment: Environment::anechoic(),
+            design: designs::fr4_optimized(),
+            seed: 1,
+        }
+    }
+
+    /// The §5.2 reflective setup: endpoints 70 cm apart on the same side,
+    /// surface facing them.
+    pub fn reflective_default() -> Self {
+        Self {
+            deployment: Deployment::reflective_cm(36.0),
+            ..Self::transmissive_default()
+        }
+    }
+
+    /// The Figure 20 low-cost IoT setup: AP dipole to ESP8266 PCB
+    /// antenna through the surface in a laboratory environment.
+    pub fn wifi_iot_default() -> Self {
+        Self {
+            endpoints: EndpointKind::WifiIot,
+            tx: OrientedAntenna::new(Antenna::ap_dipole(), Degrees(90.0)),
+            rx: OrientedAntenna::new(Antenna::esp8266_pcb(), Degrees(0.0)),
+            frequency: Hertz::from_ghz(2.442),
+            tx_power: Watts::from_mw(100.0),
+            deployment: Deployment::Transmissive {
+                tx_rx: rfmath::units::Meters(3.0),
+                surface_fraction: 0.5,
+            },
+            // A lived-in room, but at IoT ranges most clutter sits
+            // outside the first Fresnel zone: light multipath.
+            environment: Environment::Laboratory {
+                seed: 1,
+                scatterers: 6,
+                relative_power: 0.12,
+            },
+            design: designs::fr4_optimized(),
+            seed: 1,
+        }
+    }
+
+    /// The Figure 2(b) BLE setup: wearable to Raspberry Pi.
+    pub fn ble_default() -> Self {
+        Self {
+            endpoints: EndpointKind::BleWearable,
+            tx: OrientedAntenna::new(Antenna::wearable_chip(), Degrees(90.0)),
+            rx: OrientedAntenna::new(Antenna::rpi_onboard(), Degrees(0.0)),
+            frequency: Hertz(2.426e9),
+            tx_power: Watts::from_mw(1.0),
+            deployment: Deployment::Transmissive {
+                tx_rx: rfmath::units::Meters(4.0),
+                surface_fraction: 0.5,
+            },
+            environment: Environment::Laboratory {
+                seed: 2,
+                scatterers: 6,
+                relative_power: 0.12,
+            },
+            design: designs::fr4_optimized(),
+            seed: 2,
+        }
+    }
+
+    /// Sets the Tx–Rx distance in centimetres (transmissive) or the
+    /// Tx–surface distance (reflective).
+    pub fn with_distance_cm(mut self, cm: f64) -> Self {
+        self.deployment = match self.deployment {
+            Deployment::Transmissive {
+                surface_fraction, ..
+            } => Deployment::Transmissive {
+                tx_rx: rfmath::units::Meters::from_cm(cm),
+                surface_fraction,
+            },
+            Deployment::Reflective { tx_rx, .. } => Deployment::Reflective {
+                tx_rx,
+                surface_distance: rfmath::units::Meters::from_cm(cm),
+            },
+            Deployment::Free { .. } => Deployment::Free {
+                tx_rx: rfmath::units::Meters::from_cm(cm),
+            },
+        };
+        self
+    }
+
+    /// Sets the carrier frequency.
+    pub fn with_frequency(mut self, f: Hertz) -> Self {
+        self.frequency = f;
+        self
+    }
+
+    /// Sets the transmit power.
+    pub fn with_tx_power(mut self, p: Watts) -> Self {
+        self.tx_power = p;
+        self
+    }
+
+    /// Sets the relative antenna mismatch: Tx stays put, Rx is rotated
+    /// `deg` away from co-alignment.
+    pub fn with_mismatch_deg(mut self, deg: f64) -> Self {
+        self.rx = OrientedAntenna::new(
+            self.rx.antenna.clone(),
+            Degrees(self.tx.orientation.0 - deg),
+        );
+        self
+    }
+
+    /// Swaps both endpoints onto the given antenna type.
+    pub fn with_antennas(mut self, antenna: Antenna) -> Self {
+        self.tx = OrientedAntenna::new(antenna.clone(), self.tx.orientation);
+        self.rx = OrientedAntenna::new(antenna, self.rx.orientation);
+        self
+    }
+
+    /// Sets the propagation environment.
+    pub fn with_environment(mut self, env: Environment) -> Self {
+        self.environment = env;
+        self
+    }
+
+    /// Sets the surface design.
+    pub fn with_design(mut self, design: Design) -> Self {
+        self.design = design;
+        self
+    }
+
+    /// Sets the deterministic root seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the propagation-layer link for this scenario.
+    pub fn link(&self) -> Link {
+        Link {
+            tx: self.tx.clone(),
+            rx: self.rx.clone(),
+            frequency: self.frequency,
+            tx_power: self.tx_power,
+            deployment: self.deployment,
+            environment: self.environment.clone(),
+            extra_paths: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fully_mismatched() {
+        let s = Scenario::transmissive_default();
+        assert_eq!(s.link().mismatch_deg(), 90.0);
+    }
+
+    #[test]
+    fn with_mismatch_sets_relative_angle() {
+        let s = Scenario::transmissive_default().with_mismatch_deg(30.0);
+        assert!((s.link().mismatch_deg() - 30.0).abs() < 1e-9);
+        let matched = Scenario::transmissive_default().with_mismatch_deg(0.0);
+        assert!(matched.link().mismatch_deg() < 1e-9);
+    }
+
+    #[test]
+    fn with_distance_adjusts_deployment() {
+        let s = Scenario::transmissive_default().with_distance_cm(60.0);
+        assert!((s.deployment.tx_rx_distance().cm() - 60.0).abs() < 1e-9);
+        let r = Scenario::reflective_default().with_distance_cm(48.0);
+        match r.deployment {
+            Deployment::Reflective {
+                surface_distance, ..
+            } => assert!((surface_distance.cm() - 48.0).abs() < 1e-9),
+            other => panic!("unexpected deployment {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builders_chain() {
+        let s = Scenario::transmissive_default()
+            .with_distance_cm(42.0)
+            .with_frequency(Hertz::from_ghz(2.48))
+            .with_tx_power(Watts::from_mw(2.0))
+            .with_seed(99);
+        assert_eq!(s.seed, 99);
+        assert!((s.frequency.ghz() - 2.48).abs() < 1e-12);
+        assert!((s.tx_power.mw() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoint_presets_differ() {
+        assert_eq!(Scenario::wifi_iot_default().endpoints, EndpointKind::WifiIot);
+        assert_eq!(Scenario::ble_default().endpoints, EndpointKind::BleWearable);
+        assert!(Scenario::ble_default().tx_power.mw() <= 1.0);
+    }
+
+    #[test]
+    fn with_antennas_swaps_both_ends() {
+        let s = Scenario::transmissive_default().with_antennas(Antenna::omni_6dbi());
+        assert_eq!(s.tx.antenna.name, "Highfine 6 dBi omni");
+        assert_eq!(s.rx.antenna.name, "Highfine 6 dBi omni");
+        // Orientations preserved.
+        assert_eq!(s.tx.orientation, Degrees(90.0));
+    }
+}

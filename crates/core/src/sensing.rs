@@ -1,0 +1,262 @@
+//! Respiration sensing (paper §5.2.2, Figure 23).
+//!
+//! The case study: a subject sits between the transceiver pair and the
+//! metasurface; at 5 mW transmit power the breathing modulation of the
+//! received signal is buried until the surface's reflective gain lifts
+//! it out of the noise. The pipeline here collects an RSS time series,
+//! detrends it, scans the respiration band (0.1–0.5 Hz) with a Goertzel
+//! bank, and reports the detected rate and its band SNR.
+
+use devices::human::HumanTarget;
+use metasurface::response::Metasurface;
+use propagation::friis::field_transfer;
+use propagation::link::Link;
+use propagation::rays::Path;
+use propagation::signal::{real_series_tone_power, remove_dc, rssi_reading};
+use rfmath::jones::JonesMatrix;
+use rfmath::rng::SeedSplitter;
+use rfmath::units::{Dbm, Meters, Seconds};
+
+use crate::scenario::Scenario;
+
+/// Amplitude penalty on the direct Tx→chest→Rx bounce: in the paper's
+/// layout the subject sits between the pair and the surface, *off* the
+/// receive antenna's main beam, so their direct echo arrives through
+/// side lobes. The surface-assisted bounce stays in-beam.
+pub const HUMAN_DIRECT_SIDELOBE: f64 = 0.05;
+
+/// Configuration of a sensing run.
+#[derive(Clone, Debug)]
+pub struct SensingConfig {
+    /// RSS sampling rate (10 Hz is ample for breathing).
+    pub sample_rate_hz: f64,
+    /// Capture duration.
+    pub duration: Seconds,
+    /// Effective receiver noise floor for single-shot RSS readings, dBm
+    /// (thermal + implementation + ambient interference). Readings near
+    /// this floor fluctuate by several dB — the mechanism that hides
+    /// breathing at 5 mW without the surface.
+    pub effective_noise_floor_dbm: f64,
+}
+
+impl Default for SensingConfig {
+    fn default() -> Self {
+        Self {
+            sample_rate_hz: 10.0,
+            duration: Seconds(60.0),
+            effective_noise_floor_dbm: -72.0,
+        }
+    }
+}
+
+/// Output of a sensing run.
+#[derive(Clone, Debug)]
+pub struct SensingResult {
+    /// The RSS trace `(t, dBm)` — Figure 23's y-axis.
+    pub trace: Vec<(Seconds, Dbm)>,
+    /// Detected breathing rate, breaths per minute.
+    pub detected_bpm: Option<f64>,
+    /// Respiration-band SNR (band peak over off-band median), dB.
+    pub band_snr_db: f64,
+    /// Mean RSS level, dBm.
+    pub mean_dbm: f64,
+}
+
+/// Builds the human-scatter paths for a scenario: the direct
+/// Tx→chest→Rx bounce and, when a surface is present, the
+/// surface-assisted Tx→surface→chest→Rx bounce that carries the
+/// surface's reflective gain.
+pub fn human_paths(
+    scenario: &Scenario,
+    human: &HumanTarget,
+    surface: Option<&Metasurface>,
+) -> Vec<Path> {
+    let f = scenario.frequency;
+    let refl_amp = human.reflection_amplitude();
+    let mut paths = vec![Path {
+        transfer: field_transfer(f, human.path_length) * (refl_amp * HUMAN_DIRECT_SIDELOBE),
+        jones: JonesMatrix::identity(),
+        length: human.path_length,
+        modulation: Some(human.modulation()),
+        label: "human-direct",
+    }];
+    if let Some(surface) = surface {
+        // The surface-assisted bounce stays inside both antennas' main
+        // beams: Tx → surface → chest → Rx, carrying the panel's
+        // reflection Jones response.
+        let assisted_len = Meters(human.path_length.0 * 1.3);
+        let refl = surface.reflection(f);
+        paths.push(Path {
+            transfer: field_transfer(f, assisted_len) * refl_amp,
+            jones: JonesMatrix::mirror_x() * refl,
+            length: assisted_len,
+            modulation: Some(human.modulation()),
+            label: "human-via-surface",
+        });
+    }
+    paths
+}
+
+/// Runs the sensing experiment for a scenario + subject, with or without
+/// the surface (the Figure 23 comparison).
+pub fn run_sensing(
+    scenario: &Scenario,
+    human: &HumanTarget,
+    surface: Option<&Metasurface>,
+    config: &SensingConfig,
+) -> SensingResult {
+    let mut link: Link = scenario.link();
+    link.extra_paths = human_paths(scenario, human, surface);
+
+    let mut rng = SeedSplitter::new(scenario.seed).stream("rss-noise");
+    let noise_w = Dbm(config.effective_noise_floor_dbm).to_watts();
+    let n = (config.sample_rate_hz * config.duration.0).ceil() as usize;
+    let trace: Vec<(Seconds, Dbm)> = (0..n)
+        .map(|i| {
+            let t = Seconds(i as f64 / config.sample_rate_hz);
+            let amp = link.received_amplitude_at(surface, t);
+            (t, rssi_reading(amp, noise_w, &mut rng))
+        })
+        .collect();
+
+    let series: Vec<f64> = trace.iter().map(|(_, p)| p.0).collect();
+    let (detected_bpm, band_snr_db) = detect_breathing(&series, config.sample_rate_hz);
+    SensingResult {
+        mean_dbm: rfmath::stats::mean(&series),
+        trace,
+        detected_bpm,
+        band_snr_db,
+    }
+}
+
+/// Scans the respiration band and returns `(rate_bpm, band_snr_db)`.
+///
+/// Detection declares success when the strongest in-band line exceeds
+/// the off-band median by 12 dB — noise lines alone reach ~9 dB over a
+/// 60 s capture, so the margin rejects them.
+pub fn detect_breathing(series_db: &[f64], rate_hz: f64) -> (Option<f64>, f64) {
+    if series_db.len() < 32 {
+        return (None, 0.0);
+    }
+    let detrended = remove_dc(series_db);
+    // Goertzel bank: 0.08–0.55 Hz in 0.005 Hz steps (4.8–33 bpm).
+    let mut best = (0.0f64, f64::NEG_INFINITY);
+    let mut band_powers = Vec::new();
+    let mut f = 0.08;
+    while f <= 0.55 {
+        let p = real_series_tone_power(&detrended, f / rate_hz);
+        band_powers.push(p);
+        if p > best.1 {
+            best = (f, p);
+        }
+        f += 0.005;
+    }
+    // Off-band reference: 0.8–1.5 Hz (above breathing, below cardiac
+    // harmonics in RSS units).
+    let mut off = Vec::new();
+    let mut fo = 0.8;
+    while fo <= 1.5 {
+        off.push(real_series_tone_power(&detrended, fo / rate_hz));
+        fo += 0.01;
+    }
+    let off_ref = rfmath::stats::median(&off).max(1e-30);
+    let snr_db = 10.0 * (best.1 / off_ref).log10();
+    let detected = (snr_db > 12.0).then_some(best.0 * 60.0);
+    (detected, snr_db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use rfmath::units::Watts;
+
+    fn sensing_scenario() -> Scenario {
+        // The paper's §5.2.2 numbers: 5 mW, reflective layout, subject
+        // ~2 m away via the surface.
+        Scenario::reflective_default()
+            .with_distance_cm(200.0)
+            .with_tx_power(Watts::from_mw(5.0))
+            .with_seed(17)
+    }
+
+    fn subject() -> HumanTarget {
+        HumanTarget::resting_adult(Meters(4.2))
+    }
+
+    #[test]
+    fn synthetic_breathing_is_detected() {
+        // Direct pipeline check: a clean 15 bpm oscillation in dB-space.
+        let rate = 10.0;
+        let series: Vec<f64> = (0..600)
+            .map(|k| {
+                -50.0 + 1.5 * (std::f64::consts::TAU * 0.25 * k as f64 / rate).sin()
+            })
+            .collect();
+        let (bpm, snr) = detect_breathing(&series, rate);
+        assert!(snr > 12.0, "band SNR = {snr:.1} dB");
+        let bpm = bpm.expect("detection");
+        assert!((bpm - 15.0).abs() < 1.0, "detected {bpm:.1} bpm");
+    }
+
+    #[test]
+    fn flat_series_is_not_detected() {
+        let series = vec![-50.0; 600];
+        let (bpm, _) = detect_breathing(&series, 10.0);
+        assert!(bpm.is_none());
+    }
+
+    #[test]
+    fn surface_enables_detection_at_low_power() {
+        // The Figure 23 outcome: at 5 mW the subject is invisible without
+        // the surface and detectable with it.
+        let scenario = sensing_scenario();
+        let human = subject();
+        let config = SensingConfig::default();
+
+        let without = run_sensing(&scenario, &human, None, &config);
+        let surface = Metasurface::llama();
+        let with = run_sensing(&scenario, &human, Some(&surface), &config);
+
+        assert!(
+            with.band_snr_db > without.band_snr_db + 3.0,
+            "surface should lift the respiration band: {:.1} vs {:.1} dB",
+            with.band_snr_db,
+            without.band_snr_db
+        );
+        if let Some(bpm) = with.detected_bpm {
+            assert!((bpm - 15.0).abs() < 2.0, "detected {bpm:.1} bpm");
+        } else {
+            panic!("surface-assisted run should detect breathing");
+        }
+    }
+
+    #[test]
+    fn trace_has_requested_shape() {
+        let scenario = sensing_scenario();
+        let result = run_sensing(
+            &scenario,
+            &subject(),
+            None,
+            &SensingConfig {
+                sample_rate_hz: 5.0,
+                duration: Seconds(20.0),
+                effective_noise_floor_dbm: -80.0,
+            },
+        );
+        assert_eq!(result.trace.len(), 100);
+        assert!(result.mean_dbm.is_finite());
+    }
+
+    #[test]
+    fn human_paths_gain_surface_assistance() {
+        let scenario = sensing_scenario();
+        let human = subject();
+        let bare = human_paths(&scenario, &human, None);
+        let surface = Metasurface::llama();
+        let assisted = human_paths(&scenario, &human, Some(&surface));
+        assert_eq!(bare.len(), 1);
+        assert_eq!(assisted.len(), 2);
+        assert!(assisted.iter().all(|p| p.modulation.is_some()));
+    }
+}

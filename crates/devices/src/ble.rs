@@ -1,0 +1,149 @@
+//! Bluetooth Low Energy endpoints: a MetaMotionR-class wearable sensor
+//! advertising to a Raspberry Pi 3 central — the link of Figure 2(b).
+//!
+//! BLE adds two behaviours Wi-Fi lacks: advertising channel hopping
+//! (37/38/39 sit at different frequencies, so fading differs per
+//! channel) and very low transmit power (0 dBm class), which is what
+//! makes the wearable link so fragile under polarization mismatch.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rfmath::rng::SeedSplitter;
+use rfmath::units::{Dbm, Hertz};
+
+use propagation::noise::NoiseModel;
+
+/// BLE advertising channels and their center frequencies.
+pub const ADVERTISING_CHANNELS: [(u8, f64); 3] =
+    [(37, 2.402e9), (38, 2.426e9), (39, 2.480e9)];
+
+/// A BLE advertiser (the wearable).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BleAdvertiser {
+    /// Transmit power, dBm (MetaMotionR advertises at 0 dBm).
+    pub tx_power_dbm: Dbm,
+    /// Advertising interval, seconds.
+    pub adv_interval_s: f64,
+}
+
+impl BleAdvertiser {
+    /// A MetaMotionR-class wearable.
+    pub fn metamotion_r() -> Self {
+        Self {
+            tx_power_dbm: Dbm(0.0),
+            adv_interval_s: 0.1,
+        }
+    }
+
+    /// The advertising channel used at event `n` (round-robin).
+    pub fn channel_at(&self, n: u64) -> (u8, Hertz) {
+        let (ch, f) = ADVERTISING_CHANNELS[(n % 3) as usize];
+        (ch, Hertz(f))
+    }
+}
+
+/// A BLE central's RSSI chain (the Raspberry Pi).
+#[derive(Debug)]
+pub struct BleCentral {
+    /// Readings clamp here (BlueZ reports −110 min).
+    pub rssi_floor: Dbm,
+    /// Reading jitter standard deviation, dB (BLE RSSI is coarse).
+    pub jitter_db: f64,
+    /// Receiver noise model (2 MHz channel).
+    pub noise: NoiseModel,
+    rng: StdRng,
+}
+
+impl BleCentral {
+    /// A Raspberry Pi 3 with its on-board radio.
+    pub fn raspberry_pi3(seed: &SeedSplitter) -> Self {
+        Self {
+            rssi_floor: Dbm(-110.0),
+            jitter_db: 2.0,
+            noise: NoiseModel::ble_2mhz(),
+            rng: seed.stream("rpi-ble-rssi"),
+        }
+    }
+
+    /// One RSSI reading of an advertisement received at `true_power`.
+    pub fn read_rssi(&mut self, true_power: Dbm) -> Dbm {
+        let jitter = rfmath::rng::gaussian(&mut self.rng, self.jitter_db);
+        Dbm((true_power.0 + jitter).round().max(self.rssi_floor.0))
+    }
+
+    /// Batch of readings for distribution experiments.
+    pub fn read_rssi_batch(&mut self, true_power: Dbm, count: usize) -> Vec<f64> {
+        (0..count).map(|_| self.read_rssi(true_power).0).collect()
+    }
+
+    /// Probability an advertisement is decoded at the given power: BLE's
+    /// sensitivity cliff sits near −95 dBm for 1M PHY.
+    pub fn decode_probability(&self, rx: Dbm) -> f64 {
+        1.0 / (1.0 + (-(rx.0 + 95.0) / 2.0).exp())
+    }
+
+    /// Expected advertisements decoded out of `sent` at a fixed power.
+    pub fn expected_decoded(&mut self, rx: Dbm, sent: usize) -> usize {
+        let p = self.decode_probability(rx);
+        (0..sent).filter(|_| self.rng.gen::<f64>() < p).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channels_cycle_round_robin() {
+        let adv = BleAdvertiser::metamotion_r();
+        assert_eq!(adv.channel_at(0).0, 37);
+        assert_eq!(adv.channel_at(1).0, 38);
+        assert_eq!(adv.channel_at(2).0, 39);
+        assert_eq!(adv.channel_at(3).0, 37);
+    }
+
+    #[test]
+    fn channel_frequencies_span_the_band() {
+        let lo = Hertz(ADVERTISING_CHANNELS[0].1);
+        let hi = Hertz(ADVERTISING_CHANNELS[2].1);
+        assert!(hi.0 - lo.0 > 70e6, "channels span most of the ISM band");
+    }
+
+    #[test]
+    fn rssi_centers_on_truth() {
+        let mut c = BleCentral::raspberry_pi3(&SeedSplitter::new(31));
+        let batch = c.read_rssi_batch(Dbm(-65.0), 3000);
+        let mean = rfmath::stats::mean(&batch);
+        assert!((mean + 65.0).abs() < 0.3, "mean = {mean}");
+        // BLE jitter is visibly coarser than Wi-Fi's.
+        assert!(rfmath::stats::std_dev(&batch) > 1.5);
+    }
+
+    #[test]
+    fn decode_cliff_sits_near_sensitivity() {
+        let c = BleCentral::raspberry_pi3(&SeedSplitter::new(32));
+        assert!(c.decode_probability(Dbm(-110.0)) < 0.01);
+        assert!(c.decode_probability(Dbm(-80.0)) > 0.99);
+        let edge = c.decode_probability(Dbm(-95.0));
+        assert!((edge - 0.5).abs() < 0.05, "50% point at sensitivity: {edge}");
+    }
+
+    #[test]
+    fn mismatch_penalty_kills_delivery_at_range() {
+        // A 0 dBm advertiser whose link sits at −88 dBm matched drops to
+        // −100 dBm mismatched: delivery collapses — the Figure 2(b)
+        // story in packet terms.
+        let mut c = BleCentral::raspberry_pi3(&SeedSplitter::new(33));
+        let matched = c.expected_decoded(Dbm(-88.0), 1000);
+        let mismatched = c.expected_decoded(Dbm(-100.0), 1000);
+        assert!(matched > 900, "matched link healthy: {matched}/1000");
+        assert!(mismatched < 150, "mismatched link broken: {mismatched}/1000");
+    }
+
+    #[test]
+    fn advertiser_defaults_match_hardware() {
+        let adv = BleAdvertiser::metamotion_r();
+        assert_eq!(adv.tx_power_dbm, Dbm(0.0));
+        assert!(adv.adv_interval_s > 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # devices — the endpoints and fixtures of the LLAMA testbed
+//!
+//! Simulation counterparts of every piece of hardware on the paper's
+//! bench:
+//!
+//! * [`usrp`] — the USRP N210 + UBX-40 tone transceiver and its
+//!   Goertzel power-measurement chain (§4);
+//! * [`wifi`] — the Netgear N300 AP and ESP8266 Arduino station with
+//!   quantized RSSI and 802.11g rate adaptation (Figures 2a, 20);
+//! * [`ble`] — the MetaMotionR wearable and Raspberry Pi 3 central with
+//!   advertising channels and a decode cliff (Figure 2b);
+//! * [`turntable`] — the remote-controlled rotation fixture behind the
+//!   §3.4 estimation procedure (Figure 12);
+//! * [`human`] — the breathing subject of the §5.2.2 sensing study
+//!   (Figure 23);
+//! * [`report`] — the binary RSSI-report protocol between receiver and
+//!   controller, with CRC validation and a lossy-transport fault
+//!   injector.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod ble;
+pub mod human;
+pub mod report;
+pub mod turntable;
+pub mod usrp;
+pub mod wifi;
+
+pub use ble::{BleAdvertiser, BleCentral};
+pub use human::HumanTarget;
+pub use report::{LossyTransport, ReportPacket};
+pub use turntable::Turntable;
+pub use usrp::{UsrpConfig, UsrpReceiver};
+pub use wifi::{AccessPoint, WifiStation};

@@ -1,0 +1,129 @@
+//! Remote-controlled turntable (paper Figure 12 caption: "the antenna
+//! that needs to be rotated is fixed to a turntable and rotated via
+//! remote control").
+//!
+//! The §3.4 rotation-estimation procedure needs fine, repeatable antenna
+//! roll control; the model tracks commanded vs actual position with a
+//! finite slew rate and step quantization.
+
+use rfmath::units::{Degrees, Seconds};
+
+/// A motorized antenna rotation fixture.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Turntable {
+    /// Current actual position.
+    position: Degrees,
+    /// Commanded target position.
+    target: Degrees,
+    /// Slew rate, degrees per second.
+    pub slew_deg_per_s: f64,
+    /// Smallest commandable step.
+    pub step_resolution: Degrees,
+    /// Simulation time of the last update.
+    last_update: Seconds,
+}
+
+impl Turntable {
+    /// A hobby-grade pan fixture: 30°/s slew, 0.5° steps.
+    pub fn new() -> Self {
+        Self {
+            position: Degrees(0.0),
+            target: Degrees(0.0),
+            slew_deg_per_s: 30.0,
+            step_resolution: Degrees(0.5),
+            last_update: Seconds(0.0),
+        }
+    }
+
+    /// Commands a new absolute position (quantized to the resolution).
+    pub fn command(&mut self, target: Degrees) {
+        let steps = (target.0 / self.step_resolution.0).round();
+        self.target = Degrees(steps * self.step_resolution.0);
+    }
+
+    /// Advances the mechanism to simulation time `now`.
+    pub fn update(&mut self, now: Seconds) {
+        let dt = (now.0 - self.last_update.0).max(0.0);
+        self.last_update = now;
+        let max_travel = self.slew_deg_per_s * dt;
+        let delta = self.target.0 - self.position.0;
+        if delta.abs() <= max_travel {
+            self.position = self.target;
+        } else {
+            self.position = Degrees(self.position.0 + max_travel * delta.signum());
+        }
+    }
+
+    /// Actual mechanical position now.
+    pub fn position(&self) -> Degrees {
+        self.position
+    }
+
+    /// True when the mechanism has reached its commanded target.
+    pub fn settled(&self) -> bool {
+        (self.position.0 - self.target.0).abs() < 1e-9
+    }
+
+    /// Time needed to travel to `target` from the current position.
+    pub fn travel_time(&self, target: Degrees) -> Seconds {
+        Seconds((target.0 - self.position.0).abs() / self.slew_deg_per_s)
+    }
+}
+
+impl Default for Turntable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_quantizes_to_resolution() {
+        let mut t = Turntable::new();
+        t.command(Degrees(10.26));
+        t.update(Seconds(100.0));
+        assert_eq!(t.position().0, 10.5);
+    }
+
+    #[test]
+    fn slew_limits_progress() {
+        let mut t = Turntable::new();
+        t.command(Degrees(90.0));
+        t.update(Seconds(1.0)); // 30°/s × 1 s
+        assert!((t.position().0 - 30.0).abs() < 1e-9);
+        assert!(!t.settled());
+        t.update(Seconds(3.0));
+        assert!(t.settled());
+        assert_eq!(t.position().0, 90.0);
+    }
+
+    #[test]
+    fn travel_time_is_distance_over_rate() {
+        let t = Turntable::new();
+        assert!((t.travel_time(Degrees(90.0)).0 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reverse_travel_works() {
+        let mut t = Turntable::new();
+        t.command(Degrees(20.0));
+        t.update(Seconds(10.0));
+        t.command(Degrees(-20.0));
+        t.update(Seconds(20.0));
+        assert_eq!(t.position().0, -20.0);
+    }
+
+    #[test]
+    fn out_of_order_updates_are_safe() {
+        let mut t = Turntable::new();
+        t.command(Degrees(10.0));
+        t.update(Seconds(5.0));
+        // A stale timestamp must not move the mechanism backwards.
+        let pos = t.position();
+        t.update(Seconds(1.0));
+        assert_eq!(t.position(), pos);
+    }
+}

@@ -1,0 +1,214 @@
+//! Wi-Fi endpoint models: a Netgear N300-class 802.11g AP and an
+//! ESP8266-based Arduino station — the low-cost IoT link of Figures 2(a)
+//! and 20.
+//!
+//! The figures are RSSI *distributions*: quantized dB readings jittered
+//! by fading and the chip's coarse measurement. The model layers RSSI
+//! quantization, reading jitter and saturation on top of a true received
+//! power, and maps SNR to 802.11g data rates for throughput estimates.
+
+use rand::rngs::StdRng;
+use rfmath::rng::SeedSplitter;
+use rfmath::units::{Db, Dbm};
+
+use propagation::noise::NoiseModel;
+
+/// 802.11g data rates and their minimum SNR requirements (dB) — standard
+/// receiver sensitivity ladder.
+pub const RATE_LADDER: [(f64, f64); 8] = [
+    (6.0, 6.0),
+    (9.0, 7.8),
+    (12.0, 9.0),
+    (18.0, 10.8),
+    (24.0, 17.0),
+    (36.0, 18.8),
+    (48.0, 24.0),
+    (54.0, 24.6),
+];
+
+/// An ESP8266-class Wi-Fi station's RSSI measurement chain.
+#[derive(Debug)]
+pub struct WifiStation {
+    /// RSSI readings are clamped to this floor (chip reports −100 min).
+    pub rssi_floor: Dbm,
+    /// RSSI readings saturate at this ceiling (≈ −10 dBm).
+    pub rssi_ceiling: Dbm,
+    /// Standard deviation of per-reading jitter, dB.
+    pub jitter_db: f64,
+    /// Receiver noise model (20 MHz channel).
+    pub noise: NoiseModel,
+    rng: StdRng,
+}
+
+impl WifiStation {
+    /// An ESP8266 station with its characteristically coarse RSSI.
+    pub fn esp8266(seed: &SeedSplitter) -> Self {
+        Self {
+            rssi_floor: Dbm(-100.0),
+            rssi_ceiling: Dbm(-10.0),
+            jitter_db: 1.2,
+            noise: NoiseModel::wifi_20mhz(),
+            rng: seed.stream("esp8266-rssi"),
+        }
+    }
+
+    /// One RSSI reading for a true received power: jittered, rounded to
+    /// 1 dB, clamped to the chip's reporting range.
+    pub fn read_rssi(&mut self, true_power: Dbm) -> Dbm {
+        let jitter = rfmath::rng::gaussian(&mut self.rng, self.jitter_db);
+        let raw = true_power.0 + jitter;
+        Dbm(raw.round().clamp(self.rssi_floor.0, self.rssi_ceiling.0))
+    }
+
+    /// A batch of RSSI readings (for distribution experiments).
+    pub fn read_rssi_batch(&mut self, true_power: Dbm, count: usize) -> Vec<f64> {
+        (0..count).map(|_| self.read_rssi(true_power).0).collect()
+    }
+
+    /// Highest 802.11g rate sustainable at the given received power,
+    /// Mbit/s; `None` when even the base rate's SNR is unmet.
+    pub fn achievable_rate_mbps(&self, rx: Dbm) -> Option<f64> {
+        let snr = self.noise.snr_db(rx).0;
+        RATE_LADDER
+            .iter()
+            .rev()
+            .find(|(_, min_snr)| snr >= *min_snr)
+            .map(|(rate, _)| *rate)
+    }
+
+    /// Frame success probability at the given power: a smooth logistic
+    /// around the base-rate threshold (captures the fragile-link regime
+    /// the paper's IoT experiments live in).
+    pub fn frame_success_probability(&self, rx: Dbm) -> f64 {
+        let snr = self.noise.snr_db(rx).0;
+        1.0 / (1.0 + (-(snr - 6.0) / 1.5).exp())
+    }
+}
+
+/// A Netgear N300-class AP: fixed transmit power, beacon cadence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AccessPoint {
+    /// Transmit power at the antenna port, dBm (100 mW regulatory cap).
+    pub tx_power_dbm: Dbm,
+    /// Beacon interval, seconds.
+    pub beacon_interval_s: f64,
+}
+
+impl AccessPoint {
+    /// A stock N300 configuration.
+    pub fn netgear_n300() -> Self {
+        Self {
+            tx_power_dbm: Dbm(20.0),
+            beacon_interval_s: 0.1024,
+        }
+    }
+
+    /// Effective throughput of a link to a station given the received
+    /// power at the station: rate × frame success.
+    pub fn downlink_throughput_mbps(&self, station: &WifiStation, rx: Dbm) -> f64 {
+        match station.achievable_rate_mbps(rx) {
+            Some(rate) => rate * station.frame_success_probability(rx),
+            None => 0.0,
+        }
+    }
+}
+
+/// Link margin between a received power and the SNR needed for a target
+/// rate; negative when the rate is unreachable.
+pub fn rate_margin_db(noise: &NoiseModel, rx: Dbm, rate_mbps: f64) -> Db {
+    let needed = RATE_LADDER
+        .iter()
+        .find(|(r, _)| *r >= rate_mbps)
+        .map(|(_, snr)| *snr)
+        .unwrap_or(f64::INFINITY);
+    Db(noise.snr_db(rx).0 - needed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn station() -> WifiStation {
+        WifiStation::esp8266(&SeedSplitter::new(21))
+    }
+
+    #[test]
+    fn rssi_is_quantized_and_clamped() {
+        let mut s = station();
+        for _ in 0..100 {
+            let r = s.read_rssi(Dbm(-42.3)).0;
+            assert_eq!(r, r.round(), "RSSI must be integer dB");
+            assert!((-100.0..=-10.0).contains(&r));
+        }
+        // Saturation at the ceiling.
+        assert_eq!(s.read_rssi(Dbm(5.0)).0, -10.0);
+        assert_eq!(s.read_rssi(Dbm(-150.0)).0, -100.0);
+    }
+
+    #[test]
+    fn rssi_distribution_centers_on_truth() {
+        let mut s = station();
+        let batch = s.read_rssi_batch(Dbm(-45.0), 3000);
+        let mean = rfmath::stats::mean(&batch);
+        assert!((mean + 45.0).abs() < 0.2, "mean = {mean}");
+        let sd = rfmath::stats::std_dev(&batch);
+        assert!(sd > 0.8 && sd < 2.0, "sd = {sd}");
+    }
+
+    #[test]
+    fn rate_ladder_is_monotone() {
+        let mut prev_rate = 0.0;
+        let mut prev_snr = 0.0;
+        for (rate, snr) in RATE_LADDER {
+            assert!(rate > prev_rate && snr > prev_snr);
+            prev_rate = rate;
+            prev_snr = snr;
+        }
+    }
+
+    #[test]
+    fn stronger_signal_buys_higher_rate() {
+        let s = station();
+        let weak = s.achievable_rate_mbps(Dbm(-90.0));
+        let strong = s.achievable_rate_mbps(Dbm(-40.0));
+        assert_eq!(strong, Some(54.0));
+        assert!(weak.unwrap_or(0.0) < 54.0);
+    }
+
+    #[test]
+    fn ten_db_gain_moves_multiple_rate_steps() {
+        // The system-level meaning of the paper's +10 dB: several MCS
+        // steps of headroom for a marginal link.
+        let s = station();
+        let before = s.achievable_rate_mbps(Dbm(-86.0)).unwrap_or(0.0);
+        let after = s.achievable_rate_mbps(Dbm(-76.0)).unwrap_or(0.0);
+        assert!(after >= before + 10.0, "{before} → {after} Mbps");
+    }
+
+    #[test]
+    fn frame_success_is_sigmoid() {
+        let s = station();
+        assert!(s.frame_success_probability(Dbm(-100.0)) < 0.1);
+        assert!(s.frame_success_probability(Dbm(-50.0)) > 0.99);
+        // The logistic midpoint sits at SNR = 6 dB, i.e. −88 dBm over a
+        // −94 dBm floor.
+        let mid = s.frame_success_probability(Dbm(-88.0));
+        assert!(mid > 0.3 && mid < 0.7, "transition region: {mid}");
+    }
+
+    #[test]
+    fn throughput_combines_rate_and_success() {
+        let ap = AccessPoint::netgear_n300();
+        let s = station();
+        assert_eq!(ap.downlink_throughput_mbps(&s, Dbm(-120.0)), 0.0);
+        let good = ap.downlink_throughput_mbps(&s, Dbm(-40.0));
+        assert!((good - 54.0).abs() < 1.0, "strong link ≈ full rate: {good}");
+    }
+
+    #[test]
+    fn margin_is_signed() {
+        let noise = NoiseModel::wifi_20mhz();
+        assert!(rate_margin_db(&noise, Dbm(-50.0), 54.0).0 > 0.0);
+        assert!(rate_margin_db(&noise, Dbm(-92.0), 54.0).0 < 0.0);
+    }
+}

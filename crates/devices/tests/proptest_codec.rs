@@ -1,0 +1,76 @@
+//! Property-based tests for the RSSI report codec: arbitrary reports
+//! round-trip, every single-bit corruption is detected, and truncations
+//! never panic.
+
+use bytes::BytesMut;
+use devices::report::{crc16, DecodeError, ReportPacket, PACKET_LEN};
+use proptest::prelude::*;
+use rfmath::units::{Dbm, Seconds};
+
+proptest! {
+    /// Any representable report survives encode→decode intact.
+    #[test]
+    fn round_trip(
+        seq in any::<u32>(),
+        t_us in 0u64..(1u64 << 52),
+        centi_db in -32768i32..=32767,
+    ) {
+        let power = Dbm(centi_db as f64 / 100.0);
+        let p = ReportPacket {
+            seq,
+            t_micros: t_us,
+            power,
+        };
+        let decoded = ReportPacket::decode(p.encode()).expect("decode");
+        prop_assert_eq!(decoded.seq, seq);
+        prop_assert_eq!(decoded.t_micros, t_us);
+        prop_assert!((decoded.power.0 - power.0).abs() < 1e-9);
+    }
+
+    /// Every single-bit flip anywhere in the packet is rejected.
+    #[test]
+    fn single_bit_flips_detected(
+        seq in any::<u32>(),
+        t_us in 0u64..(1u64 << 40),
+        centi_db in -20000i32..0,
+        byte_idx in 0usize..PACKET_LEN,
+        bit in 0u8..8,
+    ) {
+        let p = ReportPacket {
+            seq,
+            t_micros: t_us,
+            power: Dbm(centi_db as f64 / 100.0),
+        };
+        let mut data = BytesMut::from(&p.encode()[..]);
+        data[byte_idx] ^= 1 << bit;
+        let result = ReportPacket::decode(data.freeze());
+        prop_assert!(result.is_err(), "flip at byte {byte_idx} bit {bit} undetected");
+    }
+
+    /// Truncated packets return `Truncated`, never panic.
+    #[test]
+    fn truncation_is_graceful(len in 0usize..PACKET_LEN) {
+        let p = ReportPacket::new(1, Seconds(1.0), Dbm(-50.0));
+        let data = p.encode().slice(0..len);
+        prop_assert_eq!(ReportPacket::decode(data), Err(DecodeError::Truncated));
+    }
+
+    /// Random byte soup never panics the decoder.
+    #[test]
+    fn garbage_never_panics(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = ReportPacket::decode(bytes::Bytes::from(data));
+    }
+
+    /// CRC16 distinguishes any two payloads differing in one byte.
+    #[test]
+    fn crc_sensitivity(
+        payload in prop::collection::vec(any::<u8>(), 1..32),
+        idx in 0usize..31,
+        delta in 1u8..=255,
+    ) {
+        prop_assume!(idx < payload.len());
+        let mut other = payload.clone();
+        other[idx] = other[idx].wrapping_add(delta);
+        prop_assert_ne!(crc16(&payload), crc16(&other));
+    }
+}

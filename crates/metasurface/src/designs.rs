@@ -1,0 +1,403 @@
+//! The three metasurface designs compared in the paper's §3.2.
+//!
+//! * [`rogers_reference`] — the high-performance reference: the 10 GHz
+//!   rotator architecture of Wu et al. scaled to 2.4 GHz and built on
+//!   Rogers 5880. Many resonant sheets, thick boards — fine on a
+//!   `tanδ = 0.0009` laminate (Figure 8).
+//! * [`fr4_naive`] — the same structure with FR4 dropped in. Dielectric
+//!   ESR in every resonant sheet plus slab loss wrecks the efficiency
+//!   (Figure 9).
+//! * [`fr4_optimized`] — LLAMA's design: fewer phase-shifting layers
+//!   (two, per the Eq. 12 bandwidth argument), thin 0.8 mm boards, and
+//!   reduced sheet Q. Comparable efficiency to the Rogers reference at a
+//!   fraction of the cost (Figure 10).
+//!
+//! ## Calibration note
+//!
+//! Sheet L/C values are *derived* from the Figure 6(b) geometry through
+//! the grid formulas where possible and then trimmed (values documented
+//! inline) so the passband centers on the 2.4–2.5 GHz ISM band — the
+//! same role HFSS optimization plays in the paper's workflow. The
+//! FR4-vs-Rogers efficiency contrast is **not** painted on: both designs
+//! share the same topology and differ only in the material constants.
+
+use microwave::substrate::{Material, Slab};
+use microwave::varactor::Varactor;
+use rfmath::units::{Farads, Henries, Meters, Ohms, Radians};
+use std::f64::consts::FRAC_PI_4;
+
+use crate::sheet::{AnisotropicSheet, SheetBranch};
+use crate::stack::{Panel, SurfaceStack};
+
+/// A named, fully specified surface design.
+#[derive(Clone, Debug)]
+pub struct Design {
+    /// Display name used by benches and EXPERIMENTS.md.
+    pub name: &'static str,
+    /// The physical stack.
+    pub stack: SurfaceStack,
+    /// Substrate the boards are built on.
+    pub material: Material,
+}
+
+/// Sheet style: how a target susceptance is realized geometrically.
+///
+/// The same net susceptance `B` at band center can come from a sparse
+/// pattern operating far from resonance (little stored energy — low Q)
+/// or from a dense pattern operating near its resonance (large
+/// circulating energy — high Q). Dielectric ESR loss scales with the
+/// *raw* stored energy, so high-Q patterns are dramatically more
+/// sensitive to the substrate loss tangent. The reference 10 GHz design
+/// uses dense, near-resonant patterns ("complex structures"); LLAMA's
+/// optimization replaces them with sparse ones (§3.2: "simplify the
+/// structure of tunable phase shifter layers").
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum SheetStyle {
+    /// Dense near-resonant patterns (the scaled reference architecture).
+    HighQ,
+    /// Sparse far-from-resonance patterns (LLAMA's optimized layout).
+    LowQ,
+}
+
+/// Frequency the sheet susceptances are synthesized at.
+const F0: f64 = 2.44e9;
+
+/// Synthesizes a fixed tank realizing net susceptance `b_net` (siemens,
+/// positive = capacitive) at `F0` with the given raw capacitive loading
+/// `c_raw` (which sets stored energy and thus ESR sensitivity).
+fn tank_for_susceptance(b_net: f64, c_raw_pf: f64, r_copper: f64) -> SheetBranch {
+    let w0 = std::f64::consts::TAU * F0;
+    let c = Farads::from_pf(c_raw_pf);
+    let b_c = w0 * c.0;
+    // B_net = B_C − B_L  ⇒  B_L = B_C − B_net  ⇒  L = 1/(ω·B_L).
+    let b_l = b_c - b_net;
+    assert!(b_l > 0.0, "raw capacitance too small for target susceptance");
+    SheetBranch::Fixed {
+        l: Henries(1.0 / (w0 * b_l)),
+        c,
+        r: Ohms(r_copper),
+    }
+}
+
+/// Meander-line QWP sheet: inductive along X, capacitive along Y.
+///
+/// Susceptances are sized for ±22.5° of differential phase per board at
+/// band center (`|B|·η0/2 = tan 22.5°` ⇒ |B| ≈ 2.2 mS at 2.44 GHz), so
+/// two boards give the 90° quarter-wave retardation.
+fn qwp_sheet(material: &Material, thickness_mm: f64, style: SheetStyle, r_copper: f64) -> AnisotropicSheet {
+    // tan(22.5°)·2/η0 = 2.197 mS
+    let b = 2.0 * (22.5_f64).to_radians().tan() / microwave::substrate::ETA0;
+    let c_raw = match style {
+        SheetStyle::HighQ => 1.6, // dense patches: ωC ≈ 25 mS of raw loading
+        SheetStyle::LowQ => 0.30, // sparse pattern: ωC ≈ 4.6 mS
+    };
+    AnisotropicSheet {
+        x: tank_for_susceptance(-b, c_raw, r_copper),
+        y: tank_for_susceptance(b, c_raw, r_copper),
+        slab: Slab::from_mm(material.clone(), thickness_mm),
+    }
+}
+
+/// Tunable BFS sheet. The X and Y patterns differ slightly (Fig. 6b shows
+/// 10.8 mm vs 10.4 mm branch geometry), which staggers the two axes'
+/// phase curves and gives the paper's Table 1 its asymmetric,
+/// non-zero-diagonal structure.
+fn bfs_sheet(material: &Material, thickness_mm: f64, style: SheetStyle, r_copper: f64) -> AnisotropicSheet {
+    let (lx, ly, cc_x, cc_y) = match style {
+        // Dense coupling: most of the diode swing reaches the tank, at
+        // the price of large circulating energy.
+        SheetStyle::HighQ => (5.2, 5.0, 2.4, 2.5),
+        // Sparse coupling: the levered C_eff keeps the tank near
+        // resonance (transparent) across the band.
+        SheetStyle::LowQ => (7.3, 6.9, 1.0, 1.05),
+    };
+    AnisotropicSheet {
+        x: SheetBranch::Tuned {
+            l: Henries::from_nh(lx),
+            c_couple: Farads::from_pf(cc_x),
+            varactor: Varactor::smv1233(),
+            r: Ohms(r_copper),
+        },
+        y: SheetBranch::Tuned {
+            l: Henries::from_nh(ly),
+            c_couple: Farads::from_pf(cc_y),
+            varactor: Varactor::smv1233(),
+            r: Ohms(r_copper),
+        },
+        slab: Slab::from_mm(material.clone(), thickness_mm),
+    }
+}
+
+/// LLAMA's optimized low-cost design (Figure 10): two QWP boards per
+/// side, two thin BFS layers, 0.8 mm FR4, Figure 6(a) board spacing.
+pub fn fr4_optimized() -> Design {
+    build(
+        "FR4 optimized (LLAMA)",
+        Material::FR4,
+        0.8, // thin boards
+        2,   // BFS layers
+        SheetStyle::LowQ,
+        0.6, // sparse narrow traces: higher copper resistance
+        Spacing {
+            qwp_pair: Meters::from_mm(15.0),
+            qwp_bfs: Meters::from_mm(30.0),
+            bfs_bfs: Meters::from_mm(30.0),
+        },
+    )
+}
+
+/// The Rogers 5880 reference design (Figure 8): the scaled 10 GHz
+/// architecture — four dense BFS layers on thick low-loss boards.
+pub fn rogers_reference() -> Design {
+    build(
+        "Rogers 5880 reference",
+        Material::ROGERS_5880,
+        3.2, // thick boards, as in the original millimeter-scale design
+        4,   // four phase-shifting layers for phase margin
+        SheetStyle::HighQ,
+        0.12, // dense wide traces: low copper resistance
+        Spacing {
+            qwp_pair: Meters::from_mm(15.0),
+            qwp_bfs: Meters::from_mm(30.0),
+            bfs_bfs: Meters::from_mm(30.0),
+        },
+    )
+}
+
+/// The naive FR4 substitution (Figure 9): identical structure to
+/// [`rogers_reference`] with the material swapped — the paper's "what
+/// goes wrong" case.
+pub fn fr4_naive() -> Design {
+    build(
+        "FR4 naive substitution",
+        Material::FR4,
+        3.2,
+        4,
+        SheetStyle::HighQ,
+        0.12,
+        Spacing {
+            qwp_pair: Meters::from_mm(15.0),
+            qwp_bfs: Meters::from_mm(30.0),
+            bfs_bfs: Meters::from_mm(30.0),
+        },
+    )
+}
+
+/// Electrical board spacings used by the circuit model.
+///
+/// **Substitution note (documented per DESIGN.md):** the fabricated
+/// prototype realizes inter-layer matching with printed structures inside
+/// a 5 mm stack; a pure transmission-line cascade needs explicit spacer
+/// sections to play the same impedance-inverter role. We therefore use
+/// near-quarter-wave effective spacings between resonant sheets. These
+/// are *electrical* lengths of the equivalent circuit, not mechanical
+/// drawings of the PCB stack.
+#[derive(Clone, Copy, Debug)]
+struct Spacing {
+    /// Between the two boards of each QWP.
+    qwp_pair: Meters,
+    /// Between the inner QWP board and the first BFS layer.
+    qwp_bfs: Meters,
+    /// Between consecutive BFS layers.
+    bfs_bfs: Meters,
+}
+
+/// The 900 MHz RFID-band scaling the paper reports trying (§3.2: "We
+/// have also simulated the polarization rotator structure in the 900 MHz
+/// band used for RFID and found comparable performance after additional
+/// scaling").
+///
+/// Scaling a resonant sheet from `f0` to `f0/k` multiplies every L and C
+/// by `k` (impedance-preserving frequency scaling) and stretches the
+/// spacer sections by the same factor. The varactor keeps its physical
+/// C–V law, so the BFS coupling capacitance absorbs the scale.
+pub fn rfid_900mhz() -> Design {
+    let scale = F0 / 0.915e9; // ≈ 2.67× to move 2.44 GHz down to 915 MHz
+    let base = fr4_optimized();
+    let mut panels = base.stack.panels.clone();
+    for panel in &mut panels {
+        for branch in [&mut panel.sheet.x, &mut panel.sheet.y] {
+            match branch {
+                crate::sheet::SheetBranch::Fixed { l, c, .. } => {
+                    l.0 *= scale;
+                    c.0 *= scale;
+                }
+                crate::sheet::SheetBranch::Tuned { l, c_couple, .. } => {
+                    l.0 *= scale;
+                    c_couple.0 *= scale;
+                }
+                crate::sheet::SheetBranch::Transparent => {}
+            }
+        }
+    }
+    let gaps = base
+        .stack
+        .gaps
+        .iter()
+        .map(|g| Meters(g.0 * scale))
+        .collect();
+    Design {
+        name: "FR4 optimized, 915 MHz scaling",
+        stack: SurfaceStack::new(panels, gaps),
+        material: Material::FR4,
+    }
+}
+
+/// Common stack builder: QWP(+45°) ×2 | BFS ×n | QWP(−45°) ×2.
+fn build(
+    name: &'static str,
+    material: Material,
+    board_mm: f64,
+    bfs_layers: usize,
+    style: SheetStyle,
+    r_copper: f64,
+    sp: Spacing,
+) -> Design {
+    let mut panels = Vec::new();
+    let mut gaps = Vec::new();
+
+    // Input-side QWP at +45°.
+    panels.push(Panel {
+        sheet: qwp_sheet(&material, board_mm, style, r_copper),
+        rotation: Radians(FRAC_PI_4),
+    });
+    gaps.push(sp.qwp_pair);
+    panels.push(Panel {
+        sheet: qwp_sheet(&material, board_mm, style, r_copper),
+        rotation: Radians(FRAC_PI_4),
+    });
+    gaps.push(sp.qwp_bfs);
+
+    // Axis-aligned tunable BFS layers.
+    for i in 0..bfs_layers {
+        if i > 0 {
+            gaps.push(sp.bfs_bfs);
+        }
+        panels.push(Panel {
+            sheet: bfs_sheet(&material, board_mm, style, r_copper),
+            rotation: Radians(0.0),
+        });
+    }
+
+    // Output-side QWP at −45°.
+    gaps.push(sp.qwp_bfs);
+    panels.push(Panel {
+        sheet: qwp_sheet(&material, board_mm, style, r_copper),
+        rotation: Radians(-FRAC_PI_4),
+    });
+    gaps.push(sp.qwp_pair);
+    panels.push(Panel {
+        sheet: qwp_sheet(&material, board_mm, style, r_copper),
+        rotation: Radians(-FRAC_PI_4),
+    });
+
+    Design {
+        name,
+        stack: SurfaceStack::new(panels, gaps),
+        material,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::BiasState;
+    use rfmath::units::Hertz;
+
+    const F: Hertz = Hertz(2.44e9);
+    const MID_BIAS: BiasState = BiasState {
+        vx: rfmath::units::Volts(6.0),
+        vy: rfmath::units::Volts(6.0),
+    };
+
+    #[test]
+    fn optimized_design_has_six_boards() {
+        let d = fr4_optimized();
+        assert_eq!(d.stack.board_count(), 6);
+    }
+
+    #[test]
+    fn reference_designs_have_eight_boards() {
+        assert_eq!(rogers_reference().stack.board_count(), 8);
+        assert_eq!(fr4_naive().stack.board_count(), 8);
+    }
+
+    #[test]
+    fn all_designs_produce_responses() {
+        for d in [fr4_optimized(), rogers_reference(), fr4_naive()] {
+            let r = d.stack.response(F, MID_BIAS);
+            assert!(r.is_some(), "{} produced no response", d.name);
+            let r = r.unwrap();
+            assert!(r.is_passive(1e-9), "{} is active", d.name);
+        }
+    }
+
+    #[test]
+    fn naive_fr4_is_much_lossier_than_rogers() {
+        // The Figure 8-vs-9 contrast: same structure, material swapped.
+        let rogers = rogers_reference().stack.response(F, MID_BIAS).unwrap();
+        let naive = fr4_naive().stack.response(F, MID_BIAS).unwrap();
+        let gap = rogers.efficiency_x_db().0 - naive.efficiency_x_db().0;
+        assert!(gap > 3.0, "expected ≥3 dB contrast, got {gap:.1} dB");
+    }
+
+    #[test]
+    fn rfid_scaling_moves_the_passband() {
+        // The scaled design passes at 915 MHz and no longer at 2.44 GHz.
+        let d = rfid_900mhz();
+        let at_915 = d
+            .stack
+            .response(Hertz(0.915e9), MID_BIAS)
+            .unwrap()
+            .efficiency_x_db()
+            .0;
+        let at_244 = d
+            .stack
+            .response(F, MID_BIAS)
+            .unwrap()
+            .efficiency_x_db()
+            .0;
+        assert!(
+            at_915 > at_244 + 3.0,
+            "915 MHz {at_915:.1} dB vs 2.44 GHz {at_244:.1} dB"
+        );
+        assert!(at_915 > -8.0, "scaled band usable: {at_915:.1} dB");
+    }
+
+    #[test]
+    fn rfid_scaling_still_rotates() {
+        let d = rfid_900mhz();
+        let probe = rfmath::jones::JonesVector::horizontal();
+        let mut angles = Vec::new();
+        for (vx, vy) in [(2.0, 15.0), (15.0, 2.0)] {
+            let r = d
+                .stack
+                .response(Hertz(0.915e9), BiasState::new(vx, vy))
+                .unwrap();
+            angles.push(
+                r.transmission_jones()
+                    .apply(probe)
+                    .orientation()
+                    .to_degrees()
+                    .0,
+            );
+        }
+        assert!(
+            (angles[0] - angles[1]).abs() > 20.0,
+            "bias must steer rotation at 915 MHz: {angles:?}"
+        );
+    }
+
+    #[test]
+    fn optimized_fr4_recovers_efficiency() {
+        // The Figure 10 claim: optimized FR4 ≈ Rogers reference.
+        let opt = fr4_optimized().stack.response(F, MID_BIAS).unwrap();
+        let naive = fr4_naive().stack.response(F, MID_BIAS).unwrap();
+        assert!(
+            opt.efficiency_x_db().0 > naive.efficiency_x_db().0 + 3.0,
+            "optimized {} dB vs naive {} dB",
+            opt.efficiency_x_db().0,
+            naive.efficiency_x_db().0
+        );
+    }
+}

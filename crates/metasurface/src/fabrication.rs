@@ -1,0 +1,148 @@
+//! Fabrication cost model (paper §4).
+//!
+//! The paper's scale argument: the prototype costs ≈$900 total — ≈$540 of
+//! PCB plus 720 varactors at ≈$0.50 — i.e. ≈$5 per functional unit,
+//! falling toward $2/unit at volumes above 3000 units per PCB run. The
+//! same structure on Rogers 5880 would be dominated by laminate cost,
+//! which is the quantitative backbone of the low-cost design choice.
+
+use crate::designs::Design;
+use crate::geometry::PanelGeometry;
+use microwave::varactor::Varactor;
+
+/// Bill-of-materials estimate for one fabricated panel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BillOfMaterials {
+    /// PCB (laminate + patterning) cost, USD.
+    pub pcb_usd: f64,
+    /// Varactor diode cost, USD.
+    pub varactors_usd: f64,
+    /// Assembly overhead (placement, connectors, bias wiring), USD.
+    pub assembly_usd: f64,
+}
+
+impl BillOfMaterials {
+    /// Total panel cost, USD.
+    pub fn total_usd(&self) -> f64 {
+        self.pcb_usd + self.varactors_usd + self.assembly_usd
+    }
+
+    /// Cost per functional unit, USD.
+    pub fn per_unit_usd(&self, geometry: &PanelGeometry) -> f64 {
+        self.total_usd() / geometry.units as f64
+    }
+}
+
+/// Volume discount multiplier for PCB runs: economies of scale bring the
+/// board cost down roughly 60% at ≥3000 units per run (the paper's $5 →
+/// $2 per-unit trajectory).
+pub fn volume_discount(units_per_run: usize) -> f64 {
+    match units_per_run {
+        0..=199 => 1.0,
+        200..=999 => 0.8,
+        1000..=2999 => 0.6,
+        _ => 0.4,
+    }
+}
+
+/// Estimates the BOM for fabricating `geometry` with the given `design`
+/// at a production volume of `units_per_run` functional units.
+pub fn estimate_bom(
+    design: &Design,
+    geometry: &PanelGeometry,
+    units_per_run: usize,
+) -> BillOfMaterials {
+    // Laminate cost: every board in the stack covers the panel area.
+    let area = geometry.area_m2();
+    let per_board_usd: f64 = design
+        .stack
+        .panels
+        .iter()
+        .map(|p| p.sheet.slab.cost_usd_per_m2() * area)
+        .sum();
+    // Patterning/drill/mask roughly doubles bare laminate for small runs.
+    let pcb = per_board_usd * 2.0 * volume_discount(units_per_run);
+
+    let varactors =
+        geometry.total_varactors() as f64 * Varactor::smv1233().unit_cost_usd;
+
+    // Assembly: per-diode placement plus fixed panel overhead.
+    let assembly = geometry.total_varactors() as f64 * 0.05 + 40.0;
+
+    BillOfMaterials {
+        pcb_usd: pcb,
+        varactors_usd: varactors,
+        assembly_usd: assembly,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::{fr4_optimized, rogers_reference};
+
+    #[test]
+    fn prototype_cost_matches_paper_order() {
+        // Paper: ≈$900 total, ≈$5/unit at prototype volume.
+        let bom = estimate_bom(
+            &fr4_optimized(),
+            &PanelGeometry::llama_prototype(),
+            180,
+        );
+        let total = bom.total_usd();
+        assert!(
+            (400.0..1500.0).contains(&total),
+            "total = ${total:.0}, expected same order as the paper's $900"
+        );
+        let per_unit = bom.per_unit_usd(&PanelGeometry::llama_prototype());
+        assert!(
+            (2.0..10.0).contains(&per_unit),
+            "per unit = ${per_unit:.2}"
+        );
+    }
+
+    #[test]
+    fn varactors_match_paper_line_item() {
+        // 720 diodes at $0.50 = $360.
+        let bom = estimate_bom(
+            &fr4_optimized(),
+            &PanelGeometry::llama_prototype(),
+            180,
+        );
+        assert!((bom.varactors_usd - 360.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn rogers_panel_is_far_more_expensive() {
+        let geometry = PanelGeometry::llama_prototype();
+        let fr4 = estimate_bom(&fr4_optimized(), &geometry, 180);
+        let rogers = estimate_bom(&rogers_reference(), &geometry, 180);
+        assert!(
+            rogers.pcb_usd > 10.0 * fr4.pcb_usd,
+            "Rogers ${:.0} vs FR4 ${:.0}",
+            rogers.pcb_usd,
+            fr4.pcb_usd
+        );
+    }
+
+    #[test]
+    fn volume_brings_unit_cost_down() {
+        let geometry = PanelGeometry::llama_prototype();
+        let proto = estimate_bom(&fr4_optimized(), &geometry, 180);
+        let volume = estimate_bom(&fr4_optimized(), &geometry, 5000);
+        assert!(volume.total_usd() < proto.total_usd());
+        // The paper's trajectory: toward ~$2/unit at ≥3000 units.
+        let per_unit = volume.per_unit_usd(&geometry);
+        assert!(per_unit < 6.0, "volume per-unit = ${per_unit:.2}");
+    }
+
+    #[test]
+    fn discount_tiers_are_monotone() {
+        let mut prev = f64::INFINITY;
+        for n in [10, 300, 1500, 4000] {
+            let d = volume_discount(n);
+            assert!(d <= prev);
+            prev = d;
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Physical geometry of the LLAMA metasurface (paper Figure 6 and §4).
+//!
+//! The fabricated prototype is a 480 × 480 × 5 mm panel of 180 patterned
+//! units; each unit carries the quarter-wave-plate (QWP) patterns on the
+//! outer boards and the varactor-loaded birefringent-structure (BFS)
+//! pattern on the inner board. The dimensions below are taken directly
+//! from Figure 6(b) and are used by the unit-cell electrical model to
+//! derive sheet inductances/capacitances via the grid formulas in
+//! [`microwave::microstrip`].
+
+use rfmath::units::Meters;
+
+/// Unit-cell period of the QWP pattern boards (Fig. 6b: 32 mm square).
+pub const QWP_UNIT_PERIOD: Meters = Meters(0.032);
+
+/// Unit-cell period of the BFS pattern board (Fig. 6b: 40 mm square).
+pub const BFS_UNIT_PERIOD: Meters = Meters(0.040);
+
+/// QWP outer-pattern element dimensions (Fig. 6b, mm): a 12.4 × 5.6 mm
+/// patch with a 7.2 mm coupling section.
+pub const QWP_OUTER_PATCH: (f64, f64) = (12.4, 5.6);
+
+/// QWP inner-pattern element dimensions (Fig. 6b, mm): 12.4 × 10.8 mm
+/// with a 7.2 mm coupling section and 10.4 mm inner spacing.
+pub const QWP_INNER_PATCH: (f64, f64) = (12.4, 10.8);
+
+/// QWP outer pattern total element height (Fig. 6b: 20.8 mm).
+pub const QWP_OUTER_HEIGHT_MM: f64 = 20.8;
+
+/// BFS pattern strip length (Fig. 6b: 23.2 mm).
+pub const BFS_STRIP_LENGTH_MM: f64 = 23.2;
+
+/// BFS pattern strip width (Fig. 6b: 4 mm with 0.8/0.4 mm features).
+pub const BFS_STRIP_WIDTH_MM: f64 = 4.0;
+
+/// BFS fine feature width (Fig. 6b: 0.4 mm gaps).
+pub const BFS_GAP_MM: f64 = 0.4;
+
+/// Air gap between the QWP outer and QWP inner boards (Fig. 6a: 6 mm).
+pub const GAP_QWP_OUTER_INNER: Meters = Meters(0.006);
+
+/// Air gap between the QWP inner board and the BFS board (Fig. 6a: 11 mm).
+pub const GAP_QWP_BFS: Meters = Meters(0.011);
+
+/// Air gap between the BFS board and the mirror-side QWP (Fig. 6a: 7 mm).
+pub const GAP_BFS_QWP: Meters = Meters(0.007);
+
+/// Thickness of each patterned board in the optimized design (thin FR4).
+pub const BOARD_THICKNESS: Meters = Meters(0.0008);
+
+/// Full-panel description: lattice of unit cells plus per-unit parts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PanelGeometry {
+    /// Panel edge length (square panels).
+    pub side: Meters,
+    /// Panel total thickness (boards + spacing).
+    pub thickness: Meters,
+    /// Number of functional units on the panel.
+    pub units: usize,
+    /// Varactor diodes per unit (X and Y branches of the BFS pattern).
+    pub varactors_per_unit: usize,
+}
+
+impl PanelGeometry {
+    /// The fabricated LLAMA prototype: 480 × 480 × 5 mm, 180 units,
+    /// 720 varactors total (4 per unit).
+    pub fn llama_prototype() -> Self {
+        Self {
+            side: Meters(0.48),
+            thickness: Meters(0.005),
+            units: 180,
+            varactors_per_unit: 4,
+        }
+    }
+
+    /// Total varactor count on the panel.
+    pub fn total_varactors(&self) -> usize {
+        self.units * self.varactors_per_unit
+    }
+
+    /// Panel area in m².
+    pub fn area_m2(&self) -> f64 {
+        self.side.0 * self.side.0
+    }
+
+    /// Approximate physical aperture gain over isotropic at wavelength
+    /// `lambda` (used to sanity-check reflective link budgets):
+    /// `G = 4πA/λ²`.
+    pub fn aperture_gain_linear(&self, lambda: Meters) -> f64 {
+        4.0 * std::f64::consts::PI * self.area_m2() / (lambda.0 * lambda.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_matches_paper_counts() {
+        let p = PanelGeometry::llama_prototype();
+        assert_eq!(p.units, 180);
+        assert_eq!(p.total_varactors(), 720);
+        assert!((p.area_m2() - 0.2304).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_lattice_fits_panel() {
+        // 180 units of 32 mm pitch fit in a 480 mm square:
+        // 15 × 12 = 180 exactly.
+        let p = PanelGeometry::llama_prototype();
+        let cols = (p.side.0 / QWP_UNIT_PERIOD.0).round() as usize;
+        assert_eq!(cols, 15);
+        assert_eq!(cols * 12, p.units);
+    }
+
+    #[test]
+    fn aperture_gain_is_large_at_2_4ghz() {
+        let p = PanelGeometry::llama_prototype();
+        let lambda = Meters(0.123);
+        let g = p.aperture_gain_linear(lambda);
+        // A 0.23 m² aperture at 12.3 cm wavelength: ≈ 191 (≈ 22.8 dB).
+        assert!(g > 100.0 && g < 400.0, "G = {g}");
+    }
+
+    #[test]
+    fn bfs_period_exceeds_qwp_period() {
+        assert!(BFS_UNIT_PERIOD.0 > QWP_UNIT_PERIOD.0);
+    }
+
+    #[test]
+    fn stack_gaps_match_figure_6a() {
+        assert_eq!(GAP_QWP_OUTER_INNER.mm(), 6.0);
+        assert_eq!(GAP_QWP_BFS.mm(), 11.0);
+        assert_eq!(GAP_BFS_QWP.mm(), 7.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! The surface as the propagation layer sees it: a [`Metasurface`]
+//! bundles a design with an operating state and answers "what happens to
+//! a wave that crosses / reflects off you?"
+//!
+//! Transmissive mode returns the S21 Jones block (rotation + insertion
+//! loss + residual ellipticity, all from the circuit model). Reflective
+//! mode returns the S11 Jones block — which is where the paper's §5.2
+//! observation that "the rotation will be cancelled after the signal is
+//! reflected" emerges naturally: the reflected wave re-traverses the
+//! front layers in mirrored order, undoing most of the rotation, so the
+//! reflective voltage dependence is much flatter than the transmissive
+//! one (Figure 21 vs Figure 15).
+
+use rfmath::jones::{JonesMatrix, JonesVector};
+use rfmath::units::{Db, Degrees, Hertz, Volts};
+
+use crate::designs::Design;
+use crate::stack::BiasState;
+
+/// A deployed surface: design + current bias state.
+#[derive(Clone, Debug)]
+pub struct Metasurface {
+    /// The electrical design.
+    pub design: Design,
+    /// Current DC bias state (set by the control plane).
+    pub bias: BiasState,
+    /// Supply ceiling (the paper sweeps 0–30 V).
+    pub v_max: Volts,
+}
+
+impl Metasurface {
+    /// Deploys a design at a neutral bias.
+    pub fn new(design: Design) -> Self {
+        Self {
+            design,
+            bias: BiasState::new(6.0, 6.0),
+            v_max: Volts(30.0),
+        }
+    }
+
+    /// The paper's prototype surface (optimized FR4 design).
+    pub fn llama() -> Self {
+        Self::new(crate::designs::fr4_optimized())
+    }
+
+    /// Sets the bias state, clamped to the supply range.
+    pub fn set_bias(&mut self, bias: BiasState) {
+        self.bias = bias.clamped(self.v_max);
+    }
+
+    /// Transmissive Jones matrix at frequency `f` under the current bias.
+    ///
+    /// Falls back to an opaque (zero) transform if the cascade is
+    /// numerically singular, which does not occur for physical designs.
+    pub fn transmission(&self, f: Hertz) -> JonesMatrix {
+        self.design
+            .stack
+            .response(f, self.bias)
+            .map(|r| r.transmission_jones())
+            .unwrap_or(JonesMatrix(rfmath::Mat2::ZERO))
+    }
+
+    /// Reflective (front-face) Jones matrix at `f` under the current bias.
+    pub fn reflection(&self, f: Hertz) -> JonesMatrix {
+        self.design
+            .stack
+            .response(f, self.bias)
+            .map(|r| r.reflection_jones())
+            .unwrap_or(JonesMatrix(rfmath::Mat2::ZERO))
+    }
+
+    /// Transmission efficiency (Eq. 11) for an X-polarized wave, dB.
+    pub fn efficiency_x_db(&self, f: Hertz) -> Db {
+        self.design
+            .stack
+            .response(f, self.bias)
+            .map(|r| r.efficiency_x_db())
+            .unwrap_or(Db(f64::NEG_INFINITY))
+    }
+
+    /// Transmission efficiency (Eq. 11) for a Y-polarized wave, dB.
+    pub fn efficiency_y_db(&self, f: Hertz) -> Db {
+        self.design
+            .stack
+            .response(f, self.bias)
+            .map(|r| r.efficiency_y_db())
+            .unwrap_or(Db(f64::NEG_INFINITY))
+    }
+
+    /// Orientation change imparted on a linear probe state in
+    /// transmission — the operational "rotation angle" of §3.4.
+    pub fn measured_rotation(&self, f: Hertz, probe: JonesVector) -> Degrees {
+        let out = self.transmission(f).apply(probe);
+        let d = out.orientation().to_degrees().0 - probe.orientation().to_degrees().0;
+        // Orientation is defined mod 180°; wrap to (-90°, 90°].
+        let mut d = (d + 90.0).rem_euclid(180.0) - 90.0;
+        if d == -90.0 {
+            d = 90.0;
+        }
+        Degrees(d)
+    }
+
+    /// Reflective rotation: orientation change of the reflected wave
+    /// (expressed in the incident wave's frame).
+    pub fn measured_reflection_rotation(&self, f: Hertz, probe: JonesVector) -> Degrees {
+        let out = self.reflection(f).apply(probe);
+        let d = out.orientation().to_degrees().0 - probe.orientation().to_degrees().0;
+        let mut d = (d + 90.0).rem_euclid(180.0) - 90.0;
+        if d == -90.0 {
+            d = 90.0;
+        }
+        Degrees(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::fr4_optimized;
+
+    const F: Hertz = Hertz(2.44e9);
+
+    #[test]
+    fn default_bias_is_mid_range() {
+        let m = Metasurface::llama();
+        assert_eq!(m.bias, BiasState::new(6.0, 6.0));
+    }
+
+    #[test]
+    fn set_bias_clamps_to_supply() {
+        let mut m = Metasurface::llama();
+        m.set_bias(BiasState::new(99.0, -5.0));
+        assert_eq!(m.bias.vx, Volts(30.0));
+        assert_eq!(m.bias.vy, Volts(0.0));
+    }
+
+    #[test]
+    fn transmission_rotation_sweeps_with_bias() {
+        let mut m = Metasurface::llama();
+        let probe = JonesVector::horizontal();
+        m.set_bias(BiasState::new(2.0, 15.0));
+        let a = m.measured_rotation(F, probe).0;
+        m.set_bias(BiasState::new(15.0, 2.0));
+        let b = m.measured_rotation(F, probe).0;
+        assert!(
+            (a - b).abs() > 30.0,
+            "rotation must sweep tens of degrees: {a}° vs {b}°"
+        );
+    }
+
+    #[test]
+    fn reflection_rotation_is_flatter_than_transmission() {
+        // The §5.2 cancellation: reflective rotation varies far less with
+        // bias than transmissive rotation.
+        let mut m = Metasurface::llama();
+        let probe = JonesVector::linear_deg(0.0);
+        let mut t_angles = Vec::new();
+        let mut r_angles = Vec::new();
+        for (vx, vy) in [(2.0, 2.0), (2.0, 15.0), (15.0, 2.0), (8.0, 8.0)] {
+            m.set_bias(BiasState::new(vx, vy));
+            t_angles.push(m.measured_rotation(F, probe).0);
+            r_angles.push(m.measured_reflection_rotation(F, probe).0);
+        }
+        let spread = |v: &[f64]| {
+            v.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - v.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        assert!(
+            spread(&r_angles) < spread(&t_angles),
+            "reflective spread {:.1}° should be below transmissive {:.1}°",
+            spread(&r_angles),
+            spread(&t_angles)
+        );
+    }
+
+    #[test]
+    fn efficiency_accessors_are_finite_in_band() {
+        let m = Metasurface::new(fr4_optimized());
+        assert!(m.efficiency_x_db(F).0.is_finite());
+        assert!(m.efficiency_y_db(F).0.is_finite());
+        assert!(m.efficiency_x_db(F).0 > -10.0);
+    }
+
+    #[test]
+    fn reflection_exists_but_does_not_exceed_unity() {
+        let m = Metasurface::llama();
+        let refl = m.reflection(F);
+        let g = refl.transmittance(JonesVector::horizontal());
+        assert!(g <= 1.0 + 1e-9, "|S11|² = {g}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Anisotropic patterned sheets — the electrical model of one board.
+//!
+//! Each metasurface board carries a copper pattern that presents a
+//! different shunt admittance to X- and Y-polarized fields (the "metallic
+//! patterns act as admittance components" of the paper's Fig. 6 caption).
+//! Per axis the pattern is a parallel LC tank: sheet inductance from the
+//! printed strips, sheet capacitance from the gaps — optionally tuned by
+//! a varactor in series with a coupling capacitance (the BFS pattern).
+//!
+//! **Dielectric ESR.** The pattern's gap capacitances fringe through the
+//! substrate, so their quality factor is limited by the substrate loss
+//! tangent: `ESR = tanδ·|X_C|`. This is the mechanism that ruins the
+//! naive FR4 design (Figure 9): every resonant sheet multiplies the
+//! material loss by its stored-energy factor, so a structure that is fine
+//! on Rogers 5880 (`tanδ = 0.0009`) collapses on FR4 (`tanδ = 0.02`).
+//! The optimized design recovers efficiency by using fewer, thinner,
+//! lower-Q sheets — exactly the paper's §3.2 prescription.
+
+use microwave::lumped::{capacitor, inductor};
+use microwave::substrate::Slab;
+use microwave::twoport::Abcd;
+use microwave::varactor::Varactor;
+use rfmath::complex::Complex;
+use rfmath::units::{Farads, Henries, Hertz, Ohms, Volts};
+
+/// One polarization axis of a patterned sheet.
+#[derive(Clone, Debug)]
+pub enum SheetBranch {
+    /// Fixed pattern: parallel tank with printed L and C.
+    Fixed {
+        /// Sheet inductance.
+        l: Henries,
+        /// Sheet capacitance.
+        c: Farads,
+        /// Copper (pattern) loss resistance per leg.
+        r: Ohms,
+    },
+    /// Varactor-tuned pattern: the tank capacitance is the diode in
+    /// series with a fixed coupling capacitance.
+    Tuned {
+        /// Sheet inductance.
+        l: Henries,
+        /// Coupling (gap) capacitance in series with the diode.
+        c_couple: Farads,
+        /// The tuning diode.
+        varactor: Varactor,
+        /// Copper (pattern) loss resistance per leg.
+        r: Ohms,
+    },
+    /// No pattern on this axis: the board is transparent apart from its
+    /// dielectric slab.
+    Transparent,
+}
+
+impl SheetBranch {
+    /// Shunt admittance of this branch at frequency `f` and bias `v`
+    /// (bias ignored for fixed/transparent branches).
+    ///
+    /// `loss_tangent` is the substrate's tan δ; it adds a dielectric ESR
+    /// of `tanδ·|X_C|` to every capacitive element, coupling material
+    /// quality to resonator loss.
+    pub fn admittance(&self, f: Hertz, bias: Volts, loss_tangent: f64) -> Complex {
+        match self {
+            SheetBranch::Fixed { l, c, r } => {
+                let xc = capacitor(*c, f);
+                let esr = loss_tangent * xc.abs();
+                let z_l = Complex::real(r.0) + inductor(*l, f);
+                let z_c = Complex::real(r.0 + esr) + xc;
+                z_l.inv() + z_c.inv()
+            }
+            SheetBranch::Tuned {
+                l,
+                c_couple,
+                varactor,
+                r,
+            } => {
+                let cd = varactor.capacitance(bias);
+                let c_eff = Farads(cd.0 * c_couple.0 / (cd.0 + c_couple.0));
+                let xc = capacitor(c_eff, f);
+                // The coupling gap fringes through the substrate; the
+                // diode junction has its own (small) loss in rs.
+                let esr = loss_tangent * xc.abs();
+                let z_l = Complex::real(r.0) + inductor(*l, f);
+                let z_c = Complex::real(r.0 + varactor.rs.0 + esr) + xc;
+                z_l.inv() + z_c.inv()
+            }
+            SheetBranch::Transparent => Complex::ZERO,
+        }
+    }
+
+    /// True when this branch responds to bias changes.
+    pub fn is_tuned(&self) -> bool {
+        matches!(self, SheetBranch::Tuned { .. })
+    }
+}
+
+/// A patterned board: per-axis branches printed on a dielectric slab.
+#[derive(Clone, Debug)]
+pub struct AnisotropicSheet {
+    /// X-axis pattern.
+    pub x: SheetBranch,
+    /// Y-axis pattern.
+    pub y: SheetBranch,
+    /// The board the pattern is printed on.
+    pub slab: Slab,
+}
+
+impl AnisotropicSheet {
+    /// Per-axis ABCD of the board at `f`: half the slab, the shunt
+    /// pattern admittance (with this slab's dielectric ESR), the other
+    /// half.
+    pub fn abcd_axis(&self, f: Hertz, branch: &SheetBranch, bias: Volts) -> Abcd {
+        let half = Slab::new(
+            self.slab.material.clone(),
+            rfmath::units::Meters(self.slab.thickness.0 / 2.0),
+        );
+        let y = branch.admittance(f, bias, self.slab.material.loss_tangent);
+        Abcd::slab(&half, f)
+            .then(Abcd::shunt(y))
+            .then(Abcd::slab(&half, f))
+    }
+
+    /// X-axis ABCD at `f` with bias `vx`.
+    pub fn abcd_x(&self, f: Hertz, vx: Volts) -> Abcd {
+        self.abcd_axis(f, &self.x, vx)
+    }
+
+    /// Y-axis ABCD at `f` with bias `vy`.
+    pub fn abcd_y(&self, f: Hertz, vy: Volts) -> Abcd {
+        self.abcd_axis(f, &self.y, vy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microwave::lumped::inductance_for_resonance;
+    use microwave::substrate::{Material, ETA0};
+
+    const F: Hertz = Hertz(2.44e9);
+
+    fn fixed_tank(c_pf: f64) -> SheetBranch {
+        let c = Farads::from_pf(c_pf);
+        SheetBranch::Fixed {
+            l: inductance_for_resonance(c, F),
+            c,
+            r: Ohms(0.1),
+        }
+    }
+
+    #[test]
+    fn transparent_branch_has_zero_admittance() {
+        let y = SheetBranch::Transparent.admittance(F, Volts(5.0), 0.02);
+        assert_eq!(y, Complex::ZERO);
+    }
+
+    #[test]
+    fn fixed_tank_is_nearly_open_at_resonance() {
+        // Parallel resonance ⇒ small shunt admittance ⇒ transparent.
+        let y = fixed_tank(0.4).admittance(F, Volts(0.0), 0.0009);
+        assert!(y.abs() < 1e-3, "|Y| = {}", y.abs());
+    }
+
+    #[test]
+    fn dielectric_esr_adds_conductance() {
+        // The same tank on FR4 has markedly more real (lossy) admittance
+        // near resonance than on Rogers.
+        let y_rogers = fixed_tank(0.4).admittance(F, Volts(0.0), 0.0009);
+        let y_fr4 = fixed_tank(0.4).admittance(F, Volts(0.0), 0.02);
+        assert!(
+            y_fr4.re > 2.5 * y_rogers.re,
+            "FR4 {} vs Rogers {}",
+            y_fr4.re,
+            y_rogers.re
+        );
+    }
+
+    #[test]
+    fn tuned_branch_moves_with_bias() {
+        let b = SheetBranch::Tuned {
+            l: Henries::from_nh(7.3),
+            c_couple: Farads::from_pf(1.0),
+            varactor: Varactor::smv1233(),
+            r: Ohms(0.5),
+        };
+        let y_lo = b.admittance(F, Volts(2.0), 0.02);
+        let y_hi = b.admittance(F, Volts(15.0), 0.02);
+        assert!((y_lo - y_hi).abs() > 1e-4, "bias must move the admittance");
+        assert!(b.is_tuned());
+        assert!(!fixed_tank(0.4).is_tuned());
+    }
+
+    #[test]
+    fn anisotropic_sheet_differentiates_axes() {
+        // Same inductance, different capacitance: the two axes resonate
+        // at different frequencies and so differ in phase at F.
+        let l = inductance_for_resonance(Farads::from_pf(0.38), F);
+        let sheet = AnisotropicSheet {
+            x: SheetBranch::Fixed { l, c: Farads::from_pf(0.32), r: Ohms(0.5) },
+            y: SheetBranch::Fixed { l, c: Farads::from_pf(0.44), r: Ohms(0.5) },
+            slab: Slab::from_mm(Material::FR4, 0.8),
+        };
+        let sx = sheet.abcd_x(F, Volts(0.0)).to_s(ETA0);
+        let sy = sheet.abcd_y(F, Volts(0.0)).to_s(ETA0);
+        let dphi = (sx.transmission_phase() - sy.transmission_phase()).abs();
+        assert!(dphi > 0.05, "axes must differ in phase, got {dphi} rad");
+    }
+
+    #[test]
+    fn sheet_networks_are_passive() {
+        let sheet = AnisotropicSheet {
+            x: SheetBranch::Tuned {
+                l: Henries::from_nh(7.3),
+                c_couple: Farads::from_pf(1.0),
+                varactor: Varactor::smv1233(),
+                r: Ohms(0.5),
+            },
+            y: fixed_tank(0.4),
+            slab: Slab::from_mm(Material::FR4, 0.8),
+        };
+        for v in [0.0, 5.0, 15.0, 30.0] {
+            assert!(sheet.abcd_x(F, Volts(v)).to_s(ETA0).is_passive(1e-9));
+            assert!(sheet.abcd_y(F, Volts(v)).to_s(ETA0).is_passive(1e-9));
+        }
+    }
+
+    #[test]
+    fn inductive_and_capacitive_meander_branches() {
+        // A meander-line QWP sheet: inductive on X (negative susceptance),
+        // capacitive on Y (positive susceptance).
+        let lx = SheetBranch::Fixed {
+            l: Henries::from_nh(29.7),
+            c: Farads::from_pf(0.001), // resonance far above band
+            r: Ohms(0.3),
+        };
+        let cy = SheetBranch::Fixed {
+            l: Henries::from_nh(3000.0), // resonance far below band
+            c: Farads::from_pf(0.143),
+            r: Ohms(0.3),
+        };
+        let yx = lx.admittance(F, Volts(0.0), 0.0009);
+        let yy = cy.admittance(F, Volts(0.0), 0.0009);
+        assert!(yx.im < 0.0, "inductive sheet susceptance is negative");
+        assert!(yy.im > 0.0, "capacitive sheet susceptance is positive");
+    }
+}

@@ -1,0 +1,96 @@
+//! Data published in the paper, embedded for calibration and comparison.
+//!
+//! Table 1 of the paper reports HFSS-simulated polarization rotation
+//! degrees θr over a 7×7 grid of (Vx, Vy) bias combinations. The
+//! benchmark harness compares our circuit-model rotation grid against it
+//! by range and rank structure, and the controller can optionally run
+//! from this grid directly (table-driven calibration) to decouple control
+//! experiments from the physics model.
+
+use rfmath::interp::Grid2D;
+
+/// Bias grid values (volts) used by the paper's Table 1, both axes.
+pub const TABLE1_VOLTAGES: [f64; 7] = [2.0, 3.0, 4.0, 5.0, 6.0, 10.0, 15.0];
+
+/// Paper Table 1: simulated rotation degrees θr(Vy-row, Vx-column).
+///
+/// Row index follows `TABLE1_VOLTAGES` for Vy, column index for Vx —
+/// e.g. `TABLE1_ROTATION_DEG[0][2]` is θr at Vy = 2 V, Vx = 4 V = 36.8°.
+pub const TABLE1_ROTATION_DEG: [[f64; 7]; 7] = [
+    [11.6, 26.1, 36.8, 41.0, 44.3, 48.3, 48.7],
+    [6.5, 12.4, 26.6, 32.2, 35.2, 38.6, 39.2],
+    [23.0, 4.9, 10.9, 17.3, 20.8, 25.0, 25.6],
+    [27.0, 9.3, 7.4, 14.0, 18.0, 22.6, 23.2],
+    [41.8, 25.0, 7.9, 2.1, 4.2, 10.2, 10.7],
+    [45.8, 30.0, 13.7, 7.9, 2.8, 5.1, 5.6],
+    [48.2, 33.1, 18.2, 12.9, 7.3, 1.9, 2.0],
+];
+
+/// The paper's reported extremes of Table 1.
+pub const TABLE1_MIN_DEG: f64 = 1.9;
+/// Maximum rotation the paper's Table 1 reports.
+pub const TABLE1_MAX_DEG: f64 = 48.7;
+
+/// Returns Table 1 as an interpolating grid (x-axis = Vx, y-axis = Vy).
+pub fn table1_grid() -> Grid2D {
+    let mut zs = Vec::with_capacity(49);
+    for row in &TABLE1_ROTATION_DEG {
+        zs.extend_from_slice(row);
+    }
+    Grid2D::new(
+        TABLE1_VOLTAGES.to_vec(),
+        TABLE1_VOLTAGES.to_vec(),
+        zs,
+    )
+}
+
+/// Flattens the paper grid row-major (Vy outer, Vx inner) — the layout
+/// used for rank-correlation comparisons against simulated grids.
+pub fn table1_flat() -> Vec<f64> {
+    TABLE1_ROTATION_DEG.iter().flatten().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_match_paper_text() {
+        let flat = table1_flat();
+        let min = flat.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = flat.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(min, TABLE1_MIN_DEG);
+        assert_eq!(max, TABLE1_MAX_DEG);
+    }
+
+    #[test]
+    fn grid_lookup_matches_cells() {
+        let g = table1_grid();
+        // θr(Vx=4, Vy=2) = 36.8 (row 0, col 2).
+        assert_eq!(g.eval(4.0, 2.0), 36.8);
+        // θr(Vx=2, Vy=15) = 48.2 (row 6, col 0).
+        assert_eq!(g.eval(2.0, 15.0), 48.2);
+    }
+
+    #[test]
+    fn table_is_asymmetric() {
+        // θr(Vx=3, Vy=2) = 26.1 but θr(Vx=2, Vy=3) = 6.5: the X and Y
+        // branches of the BFS differ, so the grid is not symmetric.
+        assert_ne!(TABLE1_ROTATION_DEG[0][1], TABLE1_ROTATION_DEG[1][0]);
+    }
+
+    #[test]
+    fn diagonal_is_nonzero() {
+        // Equal biases still rotate (static X/Y asymmetry).
+        for i in 0..7 {
+            assert!(TABLE1_ROTATION_DEG[i][i] > 1.0);
+        }
+    }
+
+    #[test]
+    fn interpolation_between_cells_is_bounded() {
+        let g = table1_grid();
+        let v = g.eval(3.5, 2.0);
+        assert!((26.1..=36.8).contains(&v));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests on the assembled surface: passivity and
+//! reciprocity across the whole (bias, frequency) plane for all three
+//! designs, bias-map continuity, and panel-economics monotonicity.
+
+use metasurface::bias::RotationMap;
+use metasurface::designs::{fr4_naive, fr4_optimized, rfid_900mhz, rogers_reference};
+use metasurface::fabrication::{estimate_bom, volume_discount};
+use metasurface::geometry::PanelGeometry;
+use metasurface::stack::BiasState;
+use proptest::prelude::*;
+use rfmath::units::Hertz;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every design is passive and reciprocal at every bias and in-band
+    /// frequency — the master physical invariant of the layer cascade.
+    #[test]
+    fn all_designs_passive_reciprocal(
+        which in 0usize..4,
+        vx in 0.0f64..30.0,
+        vy in 0.0f64..30.0,
+        f_ghz in 2.1f64..2.8,
+    ) {
+        let design = match which {
+            0 => fr4_optimized(),
+            1 => rogers_reference(),
+            2 => fr4_naive(),
+            _ => rfid_900mhz(),
+        };
+        // The 915 MHz design is probed in its own band.
+        let f = if which == 3 {
+            Hertz(f_ghz / 2.667 * 1e9)
+        } else {
+            Hertz::from_ghz(f_ghz)
+        };
+        let r = design
+            .stack
+            .response(f, BiasState::new(vx, vy))
+            .expect("cascade exists");
+        prop_assert!(r.is_passive(1e-9), "{} active at ({vx:.1},{vy:.1}) {f:?}", design.name);
+        prop_assert!(r.is_reciprocal(1e-8), "{} non-reciprocal", design.name);
+    }
+
+    /// Transmission + reflection + dissipation accounting: output power
+    /// never exceeds input on either polarization axis.
+    #[test]
+    fn energy_accounting(vx in 0.0f64..30.0, vy in 0.0f64..30.0) {
+        let design = fr4_optimized();
+        let r = design
+            .stack
+            .response(Hertz::from_ghz(2.44), BiasState::new(vx, vy))
+            .unwrap();
+        let out_x = r.efficiency_x()
+            + r.s11.a.norm_sqr()
+            + r.s11.c.norm_sqr();
+        let out_y = r.efficiency_y()
+            + r.s11.b.norm_sqr()
+            + r.s11.d.norm_sqr();
+        prop_assert!(out_x <= 1.0 + 1e-9, "x-axis budget {out_x}");
+        prop_assert!(out_y <= 1.0 + 1e-9, "y-axis budget {out_y}");
+    }
+
+    /// The bias→rotation map is continuous: neighbouring interpolated
+    /// points never jump by more than a few degrees.
+    #[test]
+    fn rotation_map_is_continuous(v in 2.0f64..14.5) {
+        let map = RotationMap::from_design(
+            &fr4_optimized(),
+            Hertz::from_ghz(2.44),
+            &[2.0, 4.0, 6.0, 10.0, 15.0],
+        );
+        let a = map.rotation_deg(BiasState::new(v, 6.0)).0;
+        let b = map.rotation_deg(BiasState::new(v + 0.4, 6.0)).0;
+        prop_assert!((a - b).abs() < 8.0, "jump {a:.1} → {b:.1} at {v:.2} V");
+    }
+
+    /// Volume discounts are monotone non-increasing in run size, and the
+    /// BOM respects them.
+    #[test]
+    fn economics_monotone(n1 in 1usize..5000, n2 in 1usize..5000) {
+        let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        prop_assert!(volume_discount(hi) <= volume_discount(lo));
+        let geometry = PanelGeometry::llama_prototype();
+        let b_lo = estimate_bom(&fr4_optimized(), &geometry, lo);
+        let b_hi = estimate_bom(&fr4_optimized(), &geometry, hi);
+        prop_assert!(b_hi.total_usd() <= b_lo.total_usd() + 1e-9);
+    }
+}

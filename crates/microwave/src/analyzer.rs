@@ -1,0 +1,207 @@
+//! Frequency-sweep "network analyzer".
+//!
+//! The simulation counterpart of sweeping a VNA (or an HFSS frequency
+//! solve) across a band: evaluates a device-under-test callback over a
+//! frequency grid and extracts the figures the paper reports — efficiency
+//! curves, −3 dB passbands, in-band worst cases.
+
+use rfmath::units::{Db, Hertz};
+
+/// A sampled frequency-response trace (frequency, value-in-dB pairs).
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Sample frequencies.
+    pub freqs: Vec<Hertz>,
+    /// Values in dB at each frequency.
+    pub values_db: Vec<f64>,
+}
+
+impl Trace {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// True when the trace has no points.
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// Minimum value in dB over the whole trace.
+    pub fn min_db(&self) -> f64 {
+        self.values_db.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum value in dB over the whole trace.
+    pub fn max_db(&self) -> f64 {
+        self.values_db
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Worst (minimum) value within `[lo, hi]`; `None` when no samples
+    /// fall inside the interval.
+    pub fn min_db_in_band(&self, lo: Hertz, hi: Hertz) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .freqs
+            .iter()
+            .zip(&self.values_db)
+            .filter(|(f, _)| f.0 >= lo.0 && f.0 <= hi.0)
+            .map(|(_, &v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.into_iter().fold(f64::INFINITY, f64::min))
+        }
+    }
+
+    /// The contiguous band around the global maximum where the trace
+    /// stays above `threshold_db` relative to that maximum (e.g. −3 dB
+    /// bandwidth). Returns `(f_lo, f_hi)`.
+    pub fn passband(&self, threshold_db: Db) -> Option<(Hertz, Hertz)> {
+        if self.is_empty() {
+            return None;
+        }
+        let (peak_idx, peak) = self
+            .values_db
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))?;
+        let cutoff = peak + threshold_db.0; // threshold_db is negative
+        let mut lo = peak_idx;
+        while lo > 0 && self.values_db[lo - 1] >= cutoff {
+            lo -= 1;
+        }
+        let mut hi = peak_idx;
+        while hi + 1 < self.values_db.len() && self.values_db[hi + 1] >= cutoff {
+            hi += 1;
+        }
+        Some((self.freqs[lo], self.freqs[hi]))
+    }
+
+    /// Width of the `threshold_db` passband.
+    pub fn bandwidth(&self, threshold_db: Db) -> Option<Hertz> {
+        self.passband(threshold_db).map(|(lo, hi)| Hertz(hi.0 - lo.0))
+    }
+
+    /// Frequency of the trace maximum.
+    pub fn peak_frequency(&self) -> Option<Hertz> {
+        let (idx, _) = self
+            .values_db
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))?;
+        Some(self.freqs[idx])
+    }
+}
+
+/// Builds a uniform frequency grid of `n ≥ 2` points spanning `[lo, hi]`.
+pub fn frequency_grid(lo: Hertz, hi: Hertz, n: usize) -> Vec<Hertz> {
+    assert!(n >= 2, "need at least two grid points");
+    assert!(lo.0 < hi.0, "lo must be below hi");
+    (0..n)
+        .map(|i| Hertz(lo.0 + (hi.0 - lo.0) * i as f64 / (n - 1) as f64))
+        .collect()
+}
+
+/// Sweeps a device-under-test callback over a frequency grid, collecting
+/// a dB trace. The callback returns the (linear) power quantity to trace;
+/// it is converted with `10·log10`.
+pub fn sweep(freqs: &[Hertz], mut dut: impl FnMut(Hertz) -> f64) -> Trace {
+    let mut t = Trace::default();
+    for &f in freqs {
+        t.freqs.push(f);
+        t.values_db.push(Db::from_linear(dut(f)).0);
+    }
+    t
+}
+
+/// Sweeps a callback that already returns dB values.
+pub fn sweep_db(freqs: &[Hertz], mut dut: impl FnMut(Hertz) -> f64) -> Trace {
+    let mut t = Trace::default();
+    for &f in freqs {
+        t.freqs.push(f);
+        t.values_db.push(dut(f));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lorentzian_trace() -> Trace {
+        // A synthetic resonance centered at 2.45 GHz.
+        let freqs = frequency_grid(Hertz::from_ghz(2.0), Hertz::from_ghz(2.9), 181);
+        sweep(&freqs, |f| {
+            let x = (f.ghz() - 2.45) / 0.08;
+            1.0 / (1.0 + x * x)
+        })
+    }
+
+    #[test]
+    fn grid_is_inclusive_and_uniform() {
+        let g = frequency_grid(Hertz::from_ghz(2.0), Hertz::from_ghz(3.0), 11);
+        assert_eq!(g.len(), 11);
+        assert!((g[0].ghz() - 2.0).abs() < 1e-12);
+        assert!((g[10].ghz() - 3.0).abs() < 1e-12);
+        assert!((g[5].ghz() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_found_at_resonance() {
+        let t = lorentzian_trace();
+        let peak = t.peak_frequency().unwrap();
+        assert!((peak.ghz() - 2.45).abs() < 0.01, "peak = {} GHz", peak.ghz());
+        assert!(t.max_db().abs() < 0.01);
+    }
+
+    #[test]
+    fn three_db_bandwidth_of_lorentzian() {
+        // For 1/(1+x²) with x = (f−f0)/w, the −3 dB points are at x = ±1.
+        let t = lorentzian_trace();
+        let bw = t.bandwidth(Db(-3.0103)).unwrap();
+        assert!(
+            (bw.0 / 1e9 - 0.16).abs() < 0.02,
+            "bandwidth = {} GHz",
+            bw.0 / 1e9
+        );
+    }
+
+    #[test]
+    fn in_band_minimum() {
+        let t = lorentzian_trace();
+        let worst = t
+            .min_db_in_band(Hertz::from_ghz(2.4), Hertz::from_ghz(2.5))
+            .unwrap();
+        // Band edges are 50 MHz from center → x=0.625 → ≈ −1.4 dB.
+        assert!(worst < -1.0 && worst > -2.0, "worst = {worst}");
+        assert!(t
+            .min_db_in_band(Hertz::from_ghz(5.0), Hertz::from_ghz(6.0))
+            .is_none());
+    }
+
+    #[test]
+    fn sweep_db_passthrough() {
+        let freqs = frequency_grid(Hertz(1.0), Hertz(2.0), 3);
+        let t = sweep_db(&freqs, |f| -f.0);
+        assert_eq!(t.values_db, vec![-1.0, -1.5, -2.0]);
+        assert_eq!(t.min_db(), -2.0);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert!(t.passband(Db(-3.0)).is_none());
+        assert!(t.peak_frequency().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn grid_rejects_single_point() {
+        let _ = frequency_grid(Hertz(1.0), Hertz(2.0), 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! # microwave — network-theory substrate for the LLAMA simulator
+//!
+//! The paper designs its metasurface with HFSS, but *reasons* about it in
+//! circuit terms: S-parameters and transmission efficiency (Eq. 9–11),
+//! phase-shifter bandwidth (Eq. 12), substrate loss tangents, and
+//! varactor capacitance ranges. This crate implements that circuit-level
+//! toolbox from scratch:
+//!
+//! * [`twoport`] — ABCD chain matrices and S-parameters, conversions and
+//!   cascading (the scattering formalism of Eq. 9–10);
+//! * [`polarized`] — dual-polarization four-port blocks with exact
+//!   multiple-reflection cascading and frame rotation; implements the
+//!   Eq. (11) transmission-efficiency measure;
+//! * [`substrate`] — lossy dielectric materials (FR4, Rogers 5880) and
+//!   slabs;
+//! * [`lumped`] — R/L/C elements and resonators;
+//! * [`varactor`] — the SMV1233 junction-capacitance model;
+//! * [`phase_shifter`] — varactor-loaded line stages and the Eq. (12)
+//!   bandwidth law;
+//! * [`microstrip`] — quasi-static geometry→L/C synthesis formulas;
+//! * [`analyzer`] — frequency sweeps, passband and bandwidth extraction.
+//!
+//! ## Example: why FR4 needs a thin, simple stack
+//!
+//! ```
+//! use microwave::substrate::{Material, Slab, ETA0};
+//! use microwave::twoport::Abcd;
+//! use rfmath::units::Hertz;
+//!
+//! let f = Hertz::from_ghz(2.44);
+//! // A thick FR4 slab dissipates measurably more than a thin one.
+//! let thick = Abcd::slab(&Slab::from_mm(Material::FR4, 4.0), f).to_s(ETA0);
+//! let thin = Abcd::slab(&Slab::from_mm(Material::FR4, 0.8), f).to_s(ETA0);
+//! assert!(thick.dissipated_fraction() > thin.dissipated_fraction());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod analyzer;
+pub mod lumped;
+pub mod microstrip;
+pub mod phase_shifter;
+pub mod polarized;
+pub mod substrate;
+pub mod twoport;
+pub mod varactor;
+
+pub use analyzer::{frequency_grid, sweep, sweep_db, Trace};
+pub use phase_shifter::{line_bandwidth, LoadedStage, PhaseShifter};
+pub use polarized::PolarizedS;
+pub use substrate::{Material, Slab, ETA0};
+pub use twoport::{Abcd, SParams};
+pub use varactor::Varactor;

@@ -1,0 +1,192 @@
+//! Lumped circuit elements: impedances of R, L, C and the resonator
+//! combinations the metasurface unit cells reduce to.
+//!
+//! The metallic patterns plated on each metasurface board act as
+//! admittance components (the paper's Figure 6 caption): patch edges are
+//! capacitive, strips and vias are inductive, and the varactor-loaded
+//! pattern behaves as a tunable series-LC shunt across free space.
+
+use rfmath::complex::Complex;
+use rfmath::units::{Farads, Henries, Hertz, Ohms};
+
+/// Impedance of an ideal resistor, Ω.
+pub fn resistor(r: Ohms) -> Complex {
+    Complex::real(r.0)
+}
+
+/// Impedance of an ideal inductor at `f`: `jωL`.
+pub fn inductor(l: Henries, f: Hertz) -> Complex {
+    Complex::imag(f.angular() * l.0)
+}
+
+/// Impedance of an ideal capacitor at `f`: `1/(jωC)`.
+pub fn capacitor(c: Farads, f: Hertz) -> Complex {
+    // 1/(jωC) = −j/(ωC)
+    Complex::imag(-1.0 / (f.angular() * c.0))
+}
+
+/// A series R-L-C branch (the equivalent circuit of a varactor-loaded
+/// strip: junction capacitance in series with lead inductance and loss
+/// resistance).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesRlc {
+    /// Series resistance.
+    pub r: Ohms,
+    /// Series inductance.
+    pub l: Henries,
+    /// Series capacitance.
+    pub c: Farads,
+}
+
+impl SeriesRlc {
+    /// Creates a series RLC branch.
+    pub fn new(r: Ohms, l: Henries, c: Farads) -> Self {
+        Self { r, l, c }
+    }
+
+    /// Branch impedance at `f`.
+    pub fn impedance(&self, f: Hertz) -> Complex {
+        resistor(self.r) + inductor(self.l, f) + capacitor(self.c, f)
+    }
+
+    /// Branch admittance at `f`.
+    pub fn admittance(&self, f: Hertz) -> Complex {
+        self.impedance(f).inv()
+    }
+
+    /// Series resonant frequency `1/(2π√LC)`.
+    pub fn resonant_frequency(&self) -> Hertz {
+        Hertz(1.0 / (std::f64::consts::TAU * (self.l.0 * self.c.0).sqrt()))
+    }
+
+    /// Unloaded quality factor at resonance, `Q = (1/R)·√(L/C)`.
+    /// Infinite for `R = 0`.
+    pub fn q_factor(&self) -> f64 {
+        if self.r.0 <= 0.0 {
+            f64::INFINITY
+        } else {
+            (self.l.0 / self.c.0).sqrt() / self.r.0
+        }
+    }
+}
+
+/// A parallel L‖C tank with optional series loss in the inductive leg —
+/// the equivalent circuit of a patch-over-ground resonator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParallelLc {
+    /// Tank inductance.
+    pub l: Henries,
+    /// Tank capacitance.
+    pub c: Farads,
+    /// Loss resistance in series with the inductor.
+    pub r: Ohms,
+}
+
+impl ParallelLc {
+    /// Creates a parallel tank.
+    pub fn new(l: Henries, c: Farads, r: Ohms) -> Self {
+        Self { l, c, r }
+    }
+
+    /// Tank admittance at `f`.
+    pub fn admittance(&self, f: Hertz) -> Complex {
+        let y_l = (resistor(self.r) + inductor(self.l, f)).inv();
+        let y_c = capacitor(self.c, f).inv();
+        y_l + y_c
+    }
+
+    /// Tank impedance at `f`.
+    pub fn impedance(&self, f: Hertz) -> Complex {
+        self.admittance(f).inv()
+    }
+
+    /// Parallel resonant frequency (loss-free approximation).
+    pub fn resonant_frequency(&self) -> Hertz {
+        Hertz(1.0 / (std::f64::consts::TAU * (self.l.0 * self.c.0).sqrt()))
+    }
+}
+
+/// Synthesizes the inductance that resonates with `c` at `f0`.
+pub fn inductance_for_resonance(c: Farads, f0: Hertz) -> Henries {
+    let w0 = f0.angular();
+    Henries(1.0 / (w0 * w0 * c.0))
+}
+
+/// Synthesizes the capacitance that resonates with `l` at `f0`.
+pub fn capacitance_for_resonance(l: Henries, f0: Hertz) -> Farads {
+    let w0 = f0.angular();
+    Farads(1.0 / (w0 * w0 * l.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: Hertz = Hertz(2.44e9);
+
+    #[test]
+    fn inductor_reactance_is_positive_imaginary() {
+        let z = inductor(Henries::from_nh(3.0), F);
+        assert!(z.re.abs() < 1e-12);
+        assert!(z.im > 0.0);
+        assert!((z.im - F.angular() * 3.0e-9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitor_reactance_is_negative_imaginary() {
+        let z = capacitor(Farads::from_pf(1.0), F);
+        assert!(z.re.abs() < 1e-12);
+        assert!(z.im < 0.0);
+    }
+
+    #[test]
+    fn series_lc_resonates_where_expected() {
+        let c = Farads::from_pf(1.5);
+        let l = inductance_for_resonance(c, F);
+        let rlc = SeriesRlc::new(Ohms(0.0), l, c);
+        assert!((rlc.resonant_frequency().0 - F.0).abs() / F.0 < 1e-12);
+        // At resonance the reactance vanishes.
+        let z = rlc.impedance(F);
+        assert!(z.im.abs() < 1e-6, "z = {z:?}");
+    }
+
+    #[test]
+    fn series_resonator_reactance_sign_flips_across_resonance() {
+        let c = Farads::from_pf(1.5);
+        let l = inductance_for_resonance(c, F);
+        let rlc = SeriesRlc::new(Ohms(0.5), l, c);
+        let below = rlc.impedance(Hertz(2.0e9));
+        let above = rlc.impedance(Hertz(3.0e9));
+        assert!(below.im < 0.0, "capacitive below resonance");
+        assert!(above.im > 0.0, "inductive above resonance");
+    }
+
+    #[test]
+    fn q_factor_scales_inversely_with_loss() {
+        let c = Farads::from_pf(1.0);
+        let l = inductance_for_resonance(c, F);
+        let q1 = SeriesRlc::new(Ohms(1.0), l, c).q_factor();
+        let q2 = SeriesRlc::new(Ohms(2.0), l, c).q_factor();
+        assert!((q1 / q2 - 2.0).abs() < 1e-12);
+        assert!(SeriesRlc::new(Ohms(0.0), l, c).q_factor().is_infinite());
+    }
+
+    #[test]
+    fn parallel_tank_blocks_at_resonance() {
+        let c = Farads::from_pf(1.0);
+        let l = inductance_for_resonance(c, F);
+        let tank = ParallelLc::new(l, c, Ohms(0.0));
+        // Lossless parallel tank: |Z| → very large at resonance.
+        let z_res = tank.impedance(F).abs();
+        let z_off = tank.impedance(Hertz(2.0e9)).abs();
+        assert!(z_res > 100.0 * z_off, "Zres={z_res} Zoff={z_off}");
+    }
+
+    #[test]
+    fn resonance_synthesis_round_trip() {
+        let l = Henries::from_nh(2.7);
+        let c = capacitance_for_resonance(l, F);
+        let back = inductance_for_resonance(c, F);
+        assert!((back.0 - l.0).abs() / l.0 < 1e-12);
+    }
+}

@@ -1,0 +1,150 @@
+//! Microstrip and periodic-pattern approximations.
+//!
+//! Closed-form synthesis formulas connecting the copper geometry of
+//! Figure 6(b) — strip widths, patch sizes, gaps and the unit-cell
+//! period — to the equivalent sheet inductances and capacitances used by
+//! the layer circuit models. These are the standard quasi-static
+//! approximations (Hammerstad–Jensen for microstrip lines; grid-sheet
+//! formulas for periodic strip/patch arrays), which is exactly the level
+//! of fidelity the equivalent-circuit design method needs.
+
+use rfmath::units::{Farads, Henries, Hertz, Meters};
+
+use crate::substrate::Material;
+
+/// Vacuum permittivity, F/m.
+pub const EPS0: f64 = 8.854_187_8128e-12;
+
+/// Vacuum permeability, H/m.
+pub const MU0: f64 = 1.256_637_062_12e-6;
+
+/// Quasi-static effective permittivity of a microstrip line of width `w`
+/// on substrate height `h` (Hammerstad–Jensen).
+pub fn microstrip_eps_eff(material: &Material, w: Meters, h: Meters) -> f64 {
+    let er = material.epsilon_r;
+    let u = w.0 / h.0;
+    let a = 1.0
+        + (1.0 / 49.0) * ((u.powi(4) + (u / 52.0).powi(2)) / (u.powi(4) + 0.432)).ln()
+        + (1.0 / 18.7) * (1.0 + (u / 18.1).powi(3)).ln();
+    let b = 0.564 * ((er - 0.9) / (er + 3.0)).powf(0.053);
+    (er + 1.0) / 2.0 + (er - 1.0) / 2.0 * (1.0 + 10.0 / u).powf(-a * b)
+}
+
+/// Characteristic impedance of a microstrip line (Hammerstad–Jensen),
+/// ohms.
+pub fn microstrip_z0(material: &Material, w: Meters, h: Meters) -> f64 {
+    let u = w.0 / h.0;
+    let eps_eff = microstrip_eps_eff(material, w, h);
+    let fu = 6.0 + (2.0 * std::f64::consts::PI - 6.0) * (-((30.666 / u).powf(0.7528))).exp();
+    let z01 = 60.0 * ((fu / u) + (1.0 + (2.0 / u).powi(2)).sqrt()).ln();
+    z01 / eps_eff.sqrt()
+}
+
+/// Equivalent sheet inductance of a periodic grid of metal strips of
+/// width `w` with period `p`, for the field component parallel to the
+/// strips (standard inductive-grid formula).
+///
+/// `L = (µ0·p / 2π)·ln(1 / sin(πw / 2p))`
+pub fn strip_grid_inductance(period: Meters, strip_width: Meters) -> Henries {
+    let arg = (std::f64::consts::PI * strip_width.0 / (2.0 * period.0)).sin();
+    Henries(MU0 * period.0 / std::f64::consts::TAU * (1.0 / arg).ln())
+}
+
+/// Equivalent sheet capacitance of a periodic array of patches separated
+/// by gaps of width `g` with period `p`, for the field component across
+/// the gaps (capacitive-grid formula with substrate loading).
+///
+/// `C = (2·ε0·εeff·p / π)·ln(1 / sin(πg / 2p))`
+pub fn patch_grid_capacitance(period: Meters, gap: Meters, eps_eff: f64) -> Farads {
+    let arg = (std::f64::consts::PI * gap.0 / (2.0 * period.0)).sin();
+    Farads(2.0 * EPS0 * eps_eff * period.0 / std::f64::consts::PI * (1.0 / arg).ln())
+}
+
+/// Effective permittivity seen by a grid printed on one face of a
+/// substrate with air on the other side: the standard half-space average
+/// `(εr + 1)/2`.
+pub fn grid_eps_eff(material: &Material) -> f64 {
+    (material.epsilon_r + 1.0) / 2.0
+}
+
+/// Resonant frequency of a patch of length `l` on the given substrate
+/// (half-wave patch resonance).
+pub fn patch_resonance(material: &Material, l: Meters) -> Hertz {
+    let eps_eff = grid_eps_eff(material);
+    Hertz(rfmath::units::SPEED_OF_LIGHT / (2.0 * l.0 * eps_eff.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_ohm_microstrip_on_fr4() {
+        // A classic reference point: ~1.9 mm wide on 1 mm FR4 ≈ 50 Ω.
+        let z = microstrip_z0(
+            &Material::FR4,
+            Meters::from_mm(1.9),
+            Meters::from_mm(1.0),
+        );
+        assert!((z - 50.0).abs() < 5.0, "Z0 = {z}");
+    }
+
+    #[test]
+    fn eps_eff_is_between_one_and_er() {
+        for w_mm in [0.2, 1.0, 3.0, 10.0] {
+            let e = microstrip_eps_eff(
+                &Material::FR4,
+                Meters::from_mm(w_mm),
+                Meters::from_mm(1.0),
+            );
+            assert!(e > 1.0 && e < Material::FR4.epsilon_r, "εeff = {e}");
+        }
+    }
+
+    #[test]
+    fn wider_lines_have_lower_impedance() {
+        let h = Meters::from_mm(1.0);
+        let z_narrow = microstrip_z0(&Material::FR4, Meters::from_mm(0.4), h);
+        let z_wide = microstrip_z0(&Material::FR4, Meters::from_mm(4.0), h);
+        assert!(z_narrow > z_wide);
+    }
+
+    #[test]
+    fn strip_inductance_grows_with_thinner_strips() {
+        let p = Meters::from_mm(32.0);
+        let thin = strip_grid_inductance(p, Meters::from_mm(0.4));
+        let wide = strip_grid_inductance(p, Meters::from_mm(4.0));
+        assert!(thin.0 > wide.0);
+        // Order of magnitude: nanohenries for mm-scale grids.
+        assert!(thin.nh() > 1.0 && thin.nh() < 100.0, "L = {} nH", thin.nh());
+    }
+
+    #[test]
+    fn patch_capacitance_grows_with_smaller_gaps() {
+        let p = Meters::from_mm(32.0);
+        let eps = grid_eps_eff(&Material::FR4);
+        let tight = patch_grid_capacitance(p, Meters::from_mm(0.4), eps);
+        let loose = patch_grid_capacitance(p, Meters::from_mm(4.0), eps);
+        assert!(tight.0 > loose.0);
+        // Order of magnitude: fractions of a pF for mm-scale grids.
+        assert!(tight.pf() > 0.05 && tight.pf() < 10.0, "C = {} pF", tight.pf());
+    }
+
+    #[test]
+    fn substrate_loading_increases_capacitance() {
+        let p = Meters::from_mm(32.0);
+        let g = Meters::from_mm(0.8);
+        let air = patch_grid_capacitance(p, g, 1.0);
+        let fr4 = patch_grid_capacitance(p, g, grid_eps_eff(&Material::FR4));
+        assert!(fr4.0 > air.0 * 2.0);
+    }
+
+    #[test]
+    fn patch_resonance_near_expected_band() {
+        // A 23.2 mm BFS pattern element (Fig. 6b) on FR4 resonates in the
+        // low GHz — the right neighbourhood for a 2.4 GHz design that is
+        // then pulled on frequency by the varactor loading.
+        let f = patch_resonance(&Material::FR4, Meters::from_mm(23.2));
+        assert!(f.ghz() > 2.0 && f.ghz() < 6.0, "f = {} GHz", f.ghz());
+    }
+}

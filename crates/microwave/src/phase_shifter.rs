@@ -1,0 +1,363 @@
+//! Varactor-loaded tunable phase shifter.
+//!
+//! The birefringent structure's per-axis behaviour is a coupled-resonator
+//! *band-pass* surface: each phase-shifting layer is a printed sheet that
+//! behaves as a **parallel** LC tank shunted across the wave path — at
+//! tank resonance the sheet draws no current and is transparent; pulling
+//! the resonance with the varactor bias changes the residual sheet
+//! susceptance and therefore the transmission phase. Two such layers
+//! separated by an air gap (which acts as an impedance inverter, exactly
+//! like a coupled-resonator filter) form the paper's two-layer phase
+//! shifter; this is the `δ` knob of Eq. (7)/(8).
+//!
+//! The module also implements the paper's Eq. (12) bandwidth law for a
+//! phase shifter whose transmission-line section is `λ/m` long, which
+//! motivates the two-layer design choice (§3.2): bandwidth grows roughly
+//! linearly with line length.
+
+use rfmath::complex::Complex;
+use rfmath::units::{Farads, Henries, Hertz, Meters, Ohms, Radians, Volts};
+
+use crate::lumped::{capacitor, inductor};
+use crate::substrate::{Slab, ETA0};
+use crate::twoport::{Abcd, SParams};
+use crate::varactor::Varactor;
+
+/// One tunable phase-shifting layer: a printed sheet modelled as a
+/// parallel LC tank (sheet inductance ‖ varactor-tuned capacitance)
+/// shunted across the wave path, printed on a substrate slab.
+#[derive(Clone, Debug)]
+pub struct LoadedStage {
+    /// Sheet (pattern) inductance of the tank's inductive leg.
+    pub tank_inductance: Henries,
+    /// Fixed coupling capacitance in series with the varactor. This is
+    /// the gap capacitance between the printed pattern and the diode
+    /// pads; it levers the diode's 0.84–2.41 pF down to sheet scale.
+    pub coupling_capacitance: Farads,
+    /// The tuning diode.
+    pub varactor: Varactor,
+    /// Resistive loss of the printed pattern (per leg).
+    pub pattern_resistance: Ohms,
+    /// The board the pattern is printed on.
+    pub slab: Slab,
+}
+
+impl LoadedStage {
+    /// Effective tank capacitance at `bias`: the varactor in series with
+    /// the fixed coupling capacitance.
+    pub fn effective_capacitance(&self, bias: Volts) -> Farads {
+        let cd = self.varactor.capacitance(bias);
+        let cc = self.coupling_capacitance;
+        Farads(cd.0 * cc.0 / (cd.0 + cc.0))
+    }
+
+    /// Tank (sheet) admittance at frequency `f` and bias `v`.
+    ///
+    /// Inductive leg: `R + jωL`; capacitive leg: `R + Rs + 1/(jωC_eff)`.
+    pub fn sheet_admittance(&self, f: Hertz, bias: Volts) -> Complex {
+        let z_l = Complex::real(self.pattern_resistance.0) + inductor(self.tank_inductance, f);
+        let z_c = Complex::real(self.pattern_resistance.0 + self.varactor.rs.0)
+            + capacitor(self.effective_capacitance(bias), f);
+        z_l.inv() + z_c.inv()
+    }
+
+    /// The bias at which the sheet resonates (is transparent) at `f`,
+    /// found by scanning the working bias range; `None` if resonance
+    /// never crosses inside the range.
+    pub fn resonant_bias(&self, f: Hertz) -> Option<Volts> {
+        let b_of = |v: f64| self.sheet_admittance(f, Volts(v)).im;
+        let (mut lo, mut hi) = (0.0, self.varactor.v_max.0);
+        let (blo, bhi) = (b_of(lo), b_of(hi));
+        if blo.signum() == bhi.signum() {
+            return None;
+        }
+        for _ in 0..100 {
+            let mid = 0.5 * (lo + hi);
+            if b_of(mid).signum() == blo.signum() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(Volts(0.5 * (lo + hi)))
+    }
+
+    /// ABCD of the stage at frequency `f` and bias `v`: half the slab,
+    /// the shunt sheet, then the other half of the slab.
+    pub fn abcd(&self, f: Hertz, bias: Volts) -> Abcd {
+        let half = Slab::new(
+            self.slab.material.clone(),
+            Meters(self.slab.thickness.0 / 2.0),
+        );
+        let y = self.sheet_admittance(f, bias);
+        Abcd::slab(&half, f)
+            .then(Abcd::shunt(y))
+            .then(Abcd::slab(&half, f))
+    }
+}
+
+/// A multi-layer loaded phase shifter with air gaps between layers.
+#[derive(Clone, Debug)]
+pub struct PhaseShifter {
+    /// The phase-shifting layers, in traversal order.
+    pub stages: Vec<LoadedStage>,
+    /// Air spacing between consecutive layers (≈ λ/4 acts as an
+    /// impedance inverter, flattening the passband).
+    pub spacing: Meters,
+}
+
+impl PhaseShifter {
+    /// ABCD of the full shifter at `f` with every layer at bias `v`.
+    pub fn abcd(&self, f: Hertz, bias: Volts) -> Abcd {
+        let mut sections = Vec::with_capacity(self.stages.len() * 2);
+        for (i, stage) in self.stages.iter().enumerate() {
+            if i > 0 {
+                sections.push(Abcd::air_gap(self.spacing, f));
+            }
+            sections.push(stage.abcd(f, bias));
+        }
+        Abcd::chain(&sections)
+    }
+
+    /// S-parameters referenced to free space.
+    pub fn s_params(&self, f: Hertz, bias: Volts) -> SParams {
+        self.abcd(f, bias).to_s(ETA0)
+    }
+
+    /// Transmission phase `∠S21` at `f` and bias `v`, radians.
+    pub fn transmission_phase(&self, f: Hertz, bias: Volts) -> Radians {
+        Radians(self.s_params(f, bias).transmission_phase())
+    }
+
+    /// Transmission efficiency `|S21|²` in dB.
+    pub fn efficiency_db(&self, f: Hertz, bias: Volts) -> f64 {
+        self.s_params(f, bias).transmission_efficiency_db().0
+    }
+
+    /// Differential phase between two bias settings at `f` — the raw
+    /// material for the rotator's `δ`.
+    pub fn phase_swing(&self, f: Hertz, bias_lo: Volts, bias_hi: Volts) -> Radians {
+        let lo = self.transmission_phase(f, bias_lo).0;
+        let hi = self.transmission_phase(f, bias_hi).0;
+        Radians(wrap_phase(hi - lo))
+    }
+}
+
+/// Wraps a phase difference into `(-π, π]`.
+pub fn wrap_phase(p: f64) -> f64 {
+    let tau = std::f64::consts::TAU;
+    let mut r = p.rem_euclid(tau);
+    if r > std::f64::consts::PI {
+        r -= tau;
+    }
+    r
+}
+
+/// Eq. (12): bandwidth of a transmission-line phase shifter whose line
+/// section is `λ/m` long.
+///
+/// `Δf = f0·(2 − (m/π)·arccos[ Γm/√(1−Γm²) · 2√(Z0·ZL)/|ZL−Z0| ])`
+///
+/// `gamma_max` is the maximum tolerable reflection coefficient magnitude,
+/// `z0`/`zl` the input and load impedances. Returns the absolute
+/// bandwidth around `f0`, clamped to `[0, 2·f0]`.
+///
+/// The design consequence the paper draws from this law (§3.2): the
+/// bandwidth grows approximately linearly with the *length* of the line
+/// (smaller `m`), which is why LLAMA uses **two** phase-shifting layers —
+/// doubling the effective line length widens the band beyond the 100 MHz
+/// ISM requirement (the paper reports 150 MHz at better than −5 dB).
+///
+/// When the matching term saturates (|arg| ≥ 1 or `ZL == Z0`), the line
+/// imposes no band limit and the full `2·f0` span is returned.
+pub fn line_bandwidth(f0: Hertz, m: f64, gamma_max: f64, z0: Ohms, zl: Ohms) -> Hertz {
+    assert!(m > 0.0, "line fraction m must be positive");
+    assert!((0.0..1.0).contains(&gamma_max), "Γ must be in [0, 1)");
+    let dz = (zl.0 - z0.0).abs();
+    if dz < 1e-12 {
+        return Hertz(2.0 * f0.0);
+    }
+    let arg = gamma_max / (1.0 - gamma_max * gamma_max).sqrt() * 2.0 * (z0.0 * zl.0).sqrt() / dz;
+    if arg >= 1.0 {
+        return Hertz(2.0 * f0.0);
+    }
+    Hertz((f0.0 * (2.0 - m / std::f64::consts::PI * arg.acos())).clamp(0.0, 2.0 * f0.0))
+}
+
+/// Complex reflection coefficient of a load `zl` against reference `z0`.
+pub fn reflection_coefficient(zl: Complex, z0: f64) -> Complex {
+    (zl - z0) / (zl + z0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::substrate::Material;
+
+    /// A representative tunable layer: tank resonance sits inside the
+    /// working band near mid-bias, so the sheet is nearly transparent and
+    /// the bias pulls the transmission phase through the passband.
+    fn test_stage() -> LoadedStage {
+        LoadedStage {
+            tank_inductance: Henries::from_nh(7.3),
+            coupling_capacitance: Farads::from_pf(1.0),
+            varactor: Varactor::smv1233(),
+            pattern_resistance: Ohms(0.6),
+            slab: Slab::from_mm(Material::FR4, 0.8),
+        }
+    }
+
+    fn test_shifter(n: usize) -> PhaseShifter {
+        PhaseShifter {
+            stages: (0..n).map(|_| test_stage()).collect(),
+            spacing: Meters::from_mm(30.0),
+        }
+    }
+
+    const F: Hertz = Hertz(2.44e9);
+
+    #[test]
+    fn sheet_is_nearly_transparent_at_resonance() {
+        let stage = test_stage();
+        let v0 = stage.resonant_bias(F).expect("resonance inside range");
+        let ps = PhaseShifter {
+            stages: vec![stage],
+            spacing: Meters::from_mm(30.0),
+        };
+        let eff = ps.efficiency_db(F, v0);
+        assert!(eff > -1.5, "resonant sheet should pass, got {eff} dB");
+    }
+
+    #[test]
+    fn phase_moves_with_bias() {
+        let ps = test_shifter(2);
+        let swing = ps.phase_swing(F, Volts(2.0), Volts(15.0));
+        assert!(
+            swing.0.abs() > 0.5,
+            "bias must move the phase substantially, got {} rad",
+            swing.0
+        );
+    }
+
+    #[test]
+    fn efficiency_stays_usable_across_bias() {
+        // The working premise of Figure 11: biasing changes phase while
+        // transmission remains serviceable.
+        let ps = test_shifter(2);
+        for v in [2.0, 3.0, 4.0, 5.0, 6.0, 10.0, 15.0] {
+            let eff = ps.efficiency_db(F, Volts(v));
+            assert!(eff > -10.0, "efficiency collapsed to {eff} dB at {v} V");
+        }
+    }
+
+    #[test]
+    fn phase_is_monotone_in_bias_over_working_range() {
+        let ps = test_shifter(2);
+        let mut prev = ps.transmission_phase(F, Volts(2.0)).0;
+        let mut direction = 0.0;
+        for i in 1..=26 {
+            let v = Volts(2.0 + 13.0 * i as f64 / 26.0);
+            let cur = ps.transmission_phase(F, v).0;
+            let step = wrap_phase(cur - prev);
+            if step.abs() > 1e-6 {
+                if direction == 0.0 {
+                    direction = step.signum();
+                } else {
+                    assert_eq!(
+                        step.signum(),
+                        direction,
+                        "phase reversed direction at {v:?}"
+                    );
+                }
+            }
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn network_stays_passive_and_reciprocal() {
+        let ps = test_shifter(2);
+        for v in [0.0, 2.0, 8.0, 15.0, 30.0] {
+            for f_ghz in [2.0, 2.44, 2.8] {
+                let s = ps.s_params(Hertz::from_ghz(f_ghz), Volts(v));
+                assert!(s.is_passive(1e-9), "active at {v} V, {f_ghz} GHz");
+                assert!(s.is_reciprocal(1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn more_stages_more_phase_swing() {
+        let one = test_shifter(1)
+            .phase_swing(F, Volts(2.0), Volts(15.0))
+            .0
+            .abs();
+        let two = test_shifter(2)
+            .phase_swing(F, Volts(2.0), Volts(15.0))
+            .0
+            .abs();
+        assert!(two > one * 1.2, "one stage {one}, two stages {two}");
+    }
+
+    #[test]
+    fn effective_capacitance_is_levered_down() {
+        let stage = test_stage();
+        let c_eff = stage.effective_capacitance(Volts(2.0));
+        let c_diode = stage.varactor.capacitance(Volts(2.0));
+        assert!(c_eff.0 < c_diode.0);
+        assert!(c_eff.0 < stage.coupling_capacitance.0);
+    }
+
+    #[test]
+    fn effective_capacitance_monotone_decreasing_in_bias() {
+        let stage = test_stage();
+        let mut prev = f64::INFINITY;
+        for i in 0..=15 {
+            let c = stage.effective_capacitance(Volts(i as f64)).0;
+            assert!(c < prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn eq12_bandwidth_grows_with_line_length() {
+        // The paper's rationale for the two-layer design: bandwidth grows
+        // roughly linearly with line length (λ/m with smaller m).
+        let f0 = Hertz::from_ghz(2.45);
+        let bw_quarter = line_bandwidth(f0, 4.0, 0.2, Ohms(377.0), Ohms(200.0));
+        let bw_eighth = line_bandwidth(f0, 8.0, 0.2, Ohms(377.0), Ohms(200.0));
+        assert!(bw_quarter.0 > bw_eighth.0, "longer line, wider band");
+        assert!(bw_quarter.0 > 0.0 && bw_quarter.0 < 2.0 * f0.0);
+    }
+
+    #[test]
+    fn eq12_matched_load_has_no_band_limit() {
+        let f0 = Hertz::from_ghz(2.45);
+        let bw = line_bandwidth(f0, 4.0, 0.2, Ohms(377.0), Ohms(377.0));
+        assert_eq!(bw.0, 2.0 * f0.0);
+    }
+
+    #[test]
+    fn eq12_tighter_match_requirement_narrows_band() {
+        let f0 = Hertz::from_ghz(2.45);
+        let loose = line_bandwidth(f0, 4.0, 0.3, Ohms(377.0), Ohms(150.0));
+        let tight = line_bandwidth(f0, 4.0, 0.05, Ohms(377.0), Ohms(150.0));
+        assert!(tight.0 < loose.0);
+    }
+
+    #[test]
+    fn reflection_coefficient_limits() {
+        assert!(reflection_coefficient(Complex::real(377.0), 377.0).abs() < 1e-12);
+        let short = reflection_coefficient(Complex::ZERO, 377.0);
+        assert!((short + Complex::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_phase_range() {
+        for p in [-10.0, -3.2, 0.0, 3.2, 10.0] {
+            let w = wrap_phase(p);
+            assert!(w > -std::f64::consts::PI - 1e-12 && w <= std::f64::consts::PI + 1e-12);
+        }
+        assert!((wrap_phase(std::f64::consts::TAU + 0.1) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,214 @@
+//! Dielectric substrate models.
+//!
+//! The paper's central materials trade-off is between Rogers 5880
+//! (`tanδ = 0.0009`, expensive) and FR4 (`tanδ = 0.02`, cheap): the loss
+//! tangent drives dielectric attenuation and therefore the transmission
+//! efficiency of the cascaded rotator (Figures 8–10). A substrate here is
+//! a lossy dielectric slab characterized by relative permittivity,
+//! loss tangent, thickness, and a cost figure used by the fabrication
+//! model.
+
+use rfmath::complex::Complex;
+use rfmath::units::{Hertz, Meters};
+
+/// Impedance of free space, ohms.
+pub const ETA0: f64 = 376.730_313_668;
+
+/// A dielectric laminate material with loss.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Material {
+    /// Human-readable name (e.g. `"FR4"`).
+    pub name: &'static str,
+    /// Relative permittivity εr (real part).
+    pub epsilon_r: f64,
+    /// Dielectric loss tangent tan δ.
+    pub loss_tangent: f64,
+    /// Indicative board cost in USD per square meter per mm of thickness
+    /// (used by the fabrication cost model; order-of-magnitude figures).
+    pub cost_usd_per_m2_mm: f64,
+}
+
+impl Material {
+    /// FR4 glass epoxy — the paper's low-cost substrate choice
+    /// (εr ≈ 4.4, tan δ = 0.02, ~$5/m²/mm at volume).
+    pub const FR4: Material = Material {
+        name: "FR4",
+        epsilon_r: 4.4,
+        loss_tangent: 0.02,
+        cost_usd_per_m2_mm: 5.0,
+    };
+
+    /// Rogers RT/duroid 5880 — the high-performance reference substrate
+    /// used by the 10 GHz rotator design the paper starts from
+    /// (εr = 2.2, tan δ = 0.0009, ~$180/m²/mm).
+    pub const ROGERS_5880: Material = Material {
+        name: "Rogers 5880",
+        epsilon_r: 2.2,
+        loss_tangent: 0.0009,
+        cost_usd_per_m2_mm: 180.0,
+    };
+
+    /// Air (vacuum approximation) — spacing layers between boards.
+    pub const AIR: Material = Material {
+        name: "air",
+        epsilon_r: 1.0,
+        loss_tangent: 0.0,
+        cost_usd_per_m2_mm: 0.0,
+    };
+
+    /// Complex relative permittivity `εr·(1 − j·tanδ)`.
+    ///
+    /// The negative imaginary part encodes dielectric loss under the
+    /// `exp(+jωt)` convention.
+    pub fn complex_permittivity(&self) -> Complex {
+        Complex::new(self.epsilon_r, -self.epsilon_r * self.loss_tangent)
+    }
+
+    /// Complex refractive index `n = √εrc` (µr = 1 for these laminates).
+    pub fn refractive_index(&self) -> Complex {
+        self.complex_permittivity().sqrt()
+    }
+
+    /// Intrinsic wave impedance of the medium `η = η0/√εrc`, ohms.
+    pub fn wave_impedance(&self) -> Complex {
+        Complex::real(ETA0) / self.refractive_index()
+    }
+
+    /// Complex propagation constant `γ = j·k0·n` in 1/m at frequency `f`.
+    ///
+    /// `Re(γ) = α` is the attenuation constant (Np/m), `Im(γ) = β` the
+    /// phase constant (rad/m). For passive materials `α ≥ 0`.
+    pub fn gamma(&self, f: Hertz) -> Complex {
+        Complex::J * f.wavenumber() * self.refractive_index()
+    }
+
+    /// Dielectric attenuation in dB per meter at frequency `f`.
+    pub fn attenuation_db_per_m(&self, f: Hertz) -> f64 {
+        // dB = 20·log10(e)·α
+        8.685_889_638 * self.gamma(f).re
+    }
+
+    /// Wavelength inside the material at `f`.
+    pub fn guided_wavelength(&self, f: Hertz) -> Meters {
+        Meters(f.wavelength().0 / self.refractive_index().re)
+    }
+}
+
+/// A physical slab: a material at a given thickness.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Slab {
+    /// Laminate material.
+    pub material: Material,
+    /// Slab thickness.
+    pub thickness: Meters,
+}
+
+impl Slab {
+    /// Creates a slab.
+    pub fn new(material: Material, thickness: Meters) -> Self {
+        Self {
+            material,
+            thickness,
+        }
+    }
+
+    /// Convenience: slab thickness in millimeters.
+    pub fn from_mm(material: Material, mm: f64) -> Self {
+        Self::new(material, Meters::from_mm(mm))
+    }
+
+    /// One-way dielectric loss through the slab at `f`, in dB (≥ 0).
+    pub fn insertion_loss_db(&self, f: Hertz) -> f64 {
+        self.material.attenuation_db_per_m(f) * self.thickness.0
+    }
+
+    /// Electrical length in radians at `f` (phase thickness).
+    pub fn electrical_length(&self, f: Hertz) -> f64 {
+        self.material.gamma(f).im * self.thickness.0
+    }
+
+    /// Board cost of this slab per square meter, USD.
+    pub fn cost_usd_per_m2(&self) -> f64 {
+        self.material.cost_usd_per_m2_mm * self.thickness.mm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fr4_is_much_lossier_than_rogers() {
+        let f = Hertz::from_ghz(2.44);
+        let fr4 = Material::FR4.attenuation_db_per_m(f);
+        let rogers = Material::ROGERS_5880.attenuation_db_per_m(f);
+        assert!(
+            fr4 / rogers > 15.0,
+            "FR4 {fr4} dB/m vs Rogers {rogers} dB/m"
+        );
+    }
+
+    #[test]
+    fn air_is_lossless() {
+        let f = Hertz::from_ghz(2.44);
+        assert!(Material::AIR.attenuation_db_per_m(f).abs() < 1e-12);
+        assert!((Material::AIR.wave_impedance().re - ETA0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn complex_permittivity_sign_is_passive() {
+        // Negative imaginary part ⇒ attenuation, never gain.
+        for m in [Material::FR4, Material::ROGERS_5880] {
+            assert!(m.complex_permittivity().im < 0.0);
+            assert!(m.gamma(Hertz::from_ghz(2.4)).re > 0.0);
+        }
+    }
+
+    #[test]
+    fn refractive_index_of_fr4() {
+        let n = Material::FR4.refractive_index();
+        assert!((n.re - 4.4_f64.sqrt()).abs() < 0.01, "n = {n:?}");
+    }
+
+    #[test]
+    fn wave_impedance_decreases_with_permittivity() {
+        let eta_fr4 = Material::FR4.wave_impedance().abs();
+        let eta_rogers = Material::ROGERS_5880.wave_impedance().abs();
+        assert!(eta_fr4 < eta_rogers);
+        assert!((eta_fr4 - ETA0 / 4.4_f64.sqrt()).abs() < 1.0);
+    }
+
+    #[test]
+    fn phase_constant_matches_wavelength() {
+        let f = Hertz::from_ghz(2.44);
+        let g = Material::FR4.gamma(f);
+        let lambda_g = Material::FR4.guided_wavelength(f);
+        assert!((g.im * lambda_g.0 - std::f64::consts::TAU).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slab_loss_scales_with_thickness() {
+        let f = Hertz::from_ghz(2.44);
+        let thin = Slab::from_mm(Material::FR4, 0.4);
+        let thick = Slab::from_mm(Material::FR4, 4.0);
+        let ratio = thick.insertion_loss_db(f) / thin.insertion_loss_db(f);
+        assert!((ratio - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slab_cost() {
+        let s = Slab::from_mm(Material::ROGERS_5880, 1.0);
+        assert!((s.cost_usd_per_m2() - 180.0).abs() < 1e-9);
+        let cheap = Slab::from_mm(Material::FR4, 1.0);
+        assert!(cheap.cost_usd_per_m2() < s.cost_usd_per_m2() / 30.0);
+    }
+
+    #[test]
+    fn electrical_length_quarter_wave() {
+        // A λg/4 slab has 90° electrical length.
+        let f = Hertz::from_ghz(2.44);
+        let lg4 = Material::FR4.guided_wavelength(f).0 / 4.0;
+        let s = Slab::new(Material::FR4, Meters(lg4));
+        assert!((s.electrical_length(f) - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+    }
+}

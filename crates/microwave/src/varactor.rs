@@ -1,0 +1,171 @@
+//! Varactor diode model.
+//!
+//! The LLAMA prototype loads its birefringent-structure patterns with 720
+//! SMV1233 varactor diodes; reverse bias from 2 V to 15 V realizes
+//! junction capacitances from 2.41 pF down to 0.84 pF (paper §3.2). We
+//! model the standard abrupt-junction capacitance law
+//!
+//! ```text
+//! C(V) = Cj0 / (1 + V/Vj)^M + Cp
+//! ```
+//!
+//! with parameters fitted so the paper's endpoints are reproduced, plus
+//! the series loss resistance that sets the diode's contribution to
+//! insertion loss.
+
+use rfmath::interp::Curve1D;
+use rfmath::units::{Farads, Ohms, Volts};
+
+/// Junction-law varactor with parasitics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Varactor {
+    /// Part name for diagnostics.
+    pub name: &'static str,
+    /// Zero-bias junction capacitance.
+    pub cj0: Farads,
+    /// Junction potential (≈0.7–0.8 V for silicon hyperabrupt parts).
+    pub vj: Volts,
+    /// Grading exponent.
+    pub m: f64,
+    /// Package/parasitic parallel capacitance.
+    pub cp: Farads,
+    /// Series resistance (loss).
+    pub rs: Ohms,
+    /// Maximum reverse working voltage.
+    pub v_max: Volts,
+    /// Unit cost in USD (the paper quotes ≈$0.50 for the SMV1233).
+    pub unit_cost_usd: f64,
+}
+
+impl Varactor {
+    /// The Skyworks SMV1233 model used by the LLAMA prototype.
+    ///
+    /// Parameters are fitted so that `C(2 V) = 2.41 pF` and
+    /// `C(15 V) = 0.84 pF`, the capacitance range the paper states it
+    /// used to approximate the diode in simulation.
+    pub fn smv1233() -> Self {
+        // With Vj = 0.8 V and requiring the two endpoint capacitances:
+        //   M = ln(2.41/0.84) / ln((1+15/0.8)/(1+2/0.8)) ≈ 0.6093
+        //   Cj0 = 2.41 pF · (1 + 2/0.8)^M ≈ 5.17 pF
+        Self {
+            name: "SMV1233",
+            cj0: Farads::from_pf(5.17),
+            vj: Volts(0.8),
+            m: 0.6093,
+            cp: Farads::from_pf(0.0),
+            rs: Ohms(1.2),
+            v_max: Volts(15.0),
+            unit_cost_usd: 0.50,
+        }
+    }
+
+    /// Junction capacitance at reverse bias `v` (clamped to `[0, v_max]`).
+    pub fn capacitance(&self, v: Volts) -> Farads {
+        let v = v.clamp(Volts(0.0), self.v_max);
+        let c = self.cj0.0 / (1.0 + v.0 / self.vj.0).powf(self.m) + self.cp.0;
+        Farads(c)
+    }
+
+    /// Inverse lookup: the reverse bias that produces capacitance `c`.
+    ///
+    /// Returns `None` when `c` is outside the achievable range.
+    pub fn bias_for_capacitance(&self, c: Farads) -> Option<Volts> {
+        let c_min = self.capacitance(self.v_max);
+        let c_max = self.capacitance(Volts(0.0));
+        if c.0 < c_min.0 - 1e-18 || c.0 > c_max.0 + 1e-18 {
+            return None;
+        }
+        // Invert the junction law analytically.
+        let cj = (c.0 - self.cp.0).max(1e-18);
+        let ratio = self.cj0.0 / cj;
+        let v = self.vj.0 * (ratio.powf(1.0 / self.m) - 1.0);
+        Some(Volts(v.clamp(0.0, self.v_max.0)))
+    }
+
+    /// Sampled C–V curve over `[0, v_max]` with `n` points (for plotting
+    /// and for table-driven controllers).
+    pub fn cv_curve(&self, n: usize) -> Curve1D {
+        let n = n.max(2);
+        let xs: Vec<f64> = (0..n)
+            .map(|i| self.v_max.0 * i as f64 / (n - 1) as f64)
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&v| self.capacitance(Volts(v)).pf())
+            .collect();
+        Curve1D::new(xs, ys)
+    }
+
+    /// Capacitance tuning ratio `C_max / C_min` over the working range.
+    pub fn tuning_ratio(&self) -> f64 {
+        self.capacitance(Volts(0.0)).0 / self.capacitance(self.v_max).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smv1233_matches_paper_endpoints() {
+        let d = Varactor::smv1233();
+        let c2 = d.capacitance(Volts(2.0)).pf();
+        let c15 = d.capacitance(Volts(15.0)).pf();
+        assert!((c2 - 2.41).abs() < 0.02, "C(2V) = {c2} pF");
+        assert!((c15 - 0.84).abs() < 0.02, "C(15V) = {c15} pF");
+    }
+
+    #[test]
+    fn capacitance_is_monotone_decreasing() {
+        let d = Varactor::smv1233();
+        let mut prev = f64::INFINITY;
+        for i in 0..=30 {
+            let v = Volts(15.0 * i as f64 / 30.0);
+            let c = d.capacitance(v).pf();
+            assert!(c < prev, "C must fall with reverse bias");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn bias_clamps_outside_working_range() {
+        let d = Varactor::smv1233();
+        assert_eq!(d.capacitance(Volts(-5.0)), d.capacitance(Volts(0.0)));
+        assert_eq!(d.capacitance(Volts(99.0)), d.capacitance(Volts(15.0)));
+    }
+
+    #[test]
+    fn inverse_lookup_round_trips() {
+        let d = Varactor::smv1233();
+        for &v in &[0.0, 2.0, 5.0, 9.0, 15.0] {
+            let c = d.capacitance(Volts(v));
+            let back = d.bias_for_capacitance(c).unwrap();
+            assert!((back.0 - v).abs() < 1e-6, "v={v} back={back:?}");
+        }
+    }
+
+    #[test]
+    fn inverse_lookup_rejects_unreachable() {
+        let d = Varactor::smv1233();
+        assert!(d.bias_for_capacitance(Farads::from_pf(10.0)).is_none());
+        assert!(d.bias_for_capacitance(Farads::from_pf(0.1)).is_none());
+    }
+
+    #[test]
+    fn cv_curve_interpolates_model() {
+        let d = Varactor::smv1233();
+        let curve = d.cv_curve(64);
+        for &v in &[1.0, 4.5, 12.0] {
+            let exact = d.capacitance(Volts(v)).pf();
+            let interp = curve.eval(v);
+            assert!((exact - interp).abs() / exact < 0.01, "v={v}");
+        }
+    }
+
+    #[test]
+    fn tuning_ratio_is_realistic() {
+        // Hyperabrupt parts give ~3–7× tuning over full bias.
+        let r = Varactor::smv1233().tuning_ratio();
+        assert!(r > 2.0 && r < 10.0, "tuning ratio {r}");
+    }
+}

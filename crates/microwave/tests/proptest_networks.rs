@@ -1,0 +1,135 @@
+//! Property-based tests for the network-theory substrate: round-trip
+//! conversions, reciprocity and passivity of random passive cascades,
+//! and polarized-cascade consistency with scalar theory.
+
+use microwave::polarized::PolarizedS;
+use microwave::substrate::{Material, Slab, ETA0};
+use microwave::twoport::Abcd;
+use microwave::varactor::Varactor;
+use proptest::prelude::*;
+use rfmath::c64;
+use rfmath::units::{Farads, Hertz, Meters, Volts};
+
+/// Strategy: a random passive series/shunt/slab section.
+fn passive_section() -> impl Strategy<Value = Abcd> {
+    let f = Hertz(2.44e9);
+    prop_oneof![
+        // Series impedance with non-negative resistance.
+        (0.0f64..200.0, -300.0f64..300.0)
+            .prop_map(|(r, x)| Abcd::series(c64(r, x))),
+        // Shunt admittance with non-negative conductance.
+        (0.0f64..0.05, -0.05f64..0.05).prop_map(|(g, b)| Abcd::shunt(c64(g, b))),
+        // A lossy FR4 slab of random thickness.
+        (0.2f64..4.0).prop_map(move |mm| {
+            Abcd::slab(&Slab::from_mm(Material::FR4, mm), f)
+        }),
+        // An air gap.
+        (1.0f64..40.0).prop_map(move |mm| Abcd::air_gap(Meters::from_mm(mm), f)),
+    ]
+}
+
+proptest! {
+    /// ABCD→S→ABCD round-trips for random passive sections.
+    #[test]
+    fn abcd_s_round_trip(sections in prop::collection::vec(passive_section(), 1..5)) {
+        let net = Abcd::chain(&sections);
+        let back = net.to_s(ETA0).to_abcd();
+        let scale = net.0.frobenius_norm().max(1.0);
+        prop_assert!(net.0.max_abs_diff(back.0) < 1e-7 * scale);
+    }
+
+    /// Chains of passive reciprocal sections stay passive and reciprocal.
+    #[test]
+    fn cascades_stay_passive_reciprocal(
+        sections in prop::collection::vec(passive_section(), 1..6),
+    ) {
+        let s = Abcd::chain(&sections).to_s(ETA0);
+        prop_assert!(s.is_reciprocal(1e-7), "S12 != S21");
+        prop_assert!(s.is_passive(1e-7), "dissipated {}", s.dissipated_fraction());
+    }
+
+    /// Cascading is associative at the S-parameter level (via ABCD).
+    #[test]
+    fn cascade_associative(
+        a in passive_section(),
+        b in passive_section(),
+        c in passive_section(),
+    ) {
+        let left = a.then(b).then(c);
+        let right = a.then(b.then(c));
+        prop_assert!(left.0.max_abs_diff(right.0) < 1e-9 * left.0.frobenius_norm().max(1.0));
+    }
+
+    /// The polarized cascade of axis-identical stages agrees with scalar
+    /// ABCD theory on both axes.
+    #[test]
+    fn polarized_cascade_matches_scalar(
+        sections in prop::collection::vec(passive_section(), 1..4),
+    ) {
+        let scalar = Abcd::chain(&sections).to_s(ETA0);
+        let stages: Vec<PolarizedS> = sections
+            .iter()
+            .map(|sec| {
+                let s = sec.to_s(ETA0);
+                PolarizedS::from_axes(s, s)
+            })
+            .collect();
+        let cascaded = PolarizedS::chain(&stages).expect("cascade exists");
+        prop_assert!((cascaded.s21.a - scalar.s21).abs() < 1e-7);
+        prop_assert!((cascaded.s21.d - scalar.s21).abs() < 1e-7);
+        prop_assert!((cascaded.s11.a - scalar.s11).abs() < 1e-7);
+        // No cross-polarization from axis-identical stages.
+        prop_assert!(cascaded.s21.b.abs() < 1e-9);
+        prop_assert!(cascaded.s21.c.abs() < 1e-9);
+    }
+
+    /// Frame rotation preserves passivity and total transmitted power
+    /// for axis-symmetric stages.
+    #[test]
+    fn rotation_preserves_power(
+        sec in passive_section(),
+        theta in -1.5f64..1.5,
+    ) {
+        let s = sec.to_s(ETA0);
+        let p = PolarizedS::from_axes(s, s);
+        let r = p.rotated(rfmath::units::Radians(theta));
+        prop_assert!((r.efficiency_x() - p.efficiency_x()).abs() < 1e-9);
+        prop_assert!(r.is_passive(1e-9));
+    }
+
+    /// Varactor capacitance is monotone decreasing and its inverse
+    /// round-trips over the working range.
+    #[test]
+    fn varactor_monotone_and_invertible(v in 0.0f64..15.0, dv in 0.01f64..5.0) {
+        let d = Varactor::smv1233();
+        let c1 = d.capacitance(Volts(v));
+        let c2 = d.capacitance(Volts((v + dv).min(15.0)));
+        prop_assert!(c2.0 <= c1.0 + 1e-18);
+        let back = d.bias_for_capacitance(c1).expect("in range");
+        prop_assert!((back.0 - v).abs() < 1e-6);
+    }
+
+    /// Input impedance of a lossless line terminated in its own Zc is Zc
+    /// at any length (matched-line invariance).
+    #[test]
+    fn matched_line_invariance(len in 0.001f64..0.5, z0 in 20.0f64..400.0) {
+        let f = Hertz(2.44e9);
+        let beta = f.wavenumber();
+        let line = Abcd::line(c64(z0, 0.0), c64(0.0, beta * len));
+        let zin = line.input_impedance(c64(z0, 0.0));
+        prop_assert!((zin - c64(z0, 0.0)).abs() < 1e-6 * z0);
+    }
+
+    /// A varactor-free check of capacitance bounds: C stays within the
+    /// zero-bias and max-bias endpoints.
+    #[test]
+    fn varactor_bounds(v in -10.0f64..40.0) {
+        let d = Varactor::smv1233();
+        let c = d.capacitance(Volts(v));
+        let c_max = d.capacitance(Volts(0.0));
+        let c_min = d.capacitance(Volts(15.0));
+        prop_assert!(c.0 <= c_max.0 + 1e-18);
+        prop_assert!(c.0 >= c_min.0 - 1e-18);
+        let _ = Farads(c.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Antenna models.
+//!
+//! Every endpoint in the paper carries a linearly polarized antenna whose
+//! *orientation* is the crux of the problem: rotating a dipole rotates
+//! its polarization plane, and a 90° relative rotation between endpoints
+//! costs 10–15 dB (Figure 2). Antennas here have a gain, a polarization
+//! state derived from their roll orientation, and a finite cross-pol
+//! discrimination (XPD) — real antennas leak a little energy into the
+//! orthogonal polarization, which is what keeps a "fully mismatched" link
+//! measurable rather than infinitely attenuated.
+
+use rfmath::c64;
+use rfmath::jones::JonesVector;
+use rfmath::matrix::Vec2;
+use rfmath::units::{Db, Degrees};
+
+/// Radiation pattern class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Pattern {
+    /// Omni-directional in azimuth (dipole-like).
+    Omni,
+    /// Directional with the given half-power beamwidth.
+    Directional {
+        /// −3 dB beamwidth in degrees.
+        beamwidth_deg: f64,
+    },
+}
+
+/// An antenna model: gain, pattern, and polarization quality.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Antenna {
+    /// Display name.
+    pub name: &'static str,
+    /// Boresight gain over isotropic, dBi.
+    pub gain_dbi: f64,
+    /// Cross-polarization discrimination: how far below the co-polarized
+    /// component the orthogonal leakage sits, dB (larger = purer).
+    pub xpd_db: f64,
+    /// Radiation pattern.
+    pub pattern: Pattern,
+}
+
+impl Antenna {
+    /// The Alfa APA-M25 directional panel used in the paper's controlled
+    /// experiments (≈10 dBi).
+    pub fn directional_panel() -> Self {
+        Self {
+            name: "APA-M25 directional panel",
+            gain_dbi: 10.0,
+            xpd_db: 22.0,
+            pattern: Pattern::Directional {
+                beamwidth_deg: 60.0,
+            },
+        }
+    }
+
+    /// The Highfine 6 dBi indoor omni used in the omni experiments.
+    pub fn omni_6dbi() -> Self {
+        Self {
+            name: "Highfine 6 dBi omni",
+            gain_dbi: 6.0,
+            xpd_db: 18.0,
+            pattern: Pattern::Omni,
+        }
+    }
+
+    /// A Wi-Fi AP's external dipole (Netgear N300 class).
+    pub fn ap_dipole() -> Self {
+        Self {
+            name: "AP dipole",
+            gain_dbi: 3.0,
+            xpd_db: 18.0,
+            pattern: Pattern::Omni,
+        }
+    }
+
+    /// The ESP8266 module's PCB trace antenna: low gain, poor
+    /// polarization purity.
+    pub fn esp8266_pcb() -> Self {
+        Self {
+            name: "ESP8266 PCB antenna",
+            gain_dbi: 1.5,
+            xpd_db: 15.0,
+            pattern: Pattern::Omni,
+        }
+    }
+
+    /// A BLE wearable's chip antenna (MetaMotionR class).
+    pub fn wearable_chip() -> Self {
+        Self {
+            name: "wearable chip antenna",
+            gain_dbi: 0.0,
+            xpd_db: 14.0,
+            pattern: Pattern::Omni,
+        }
+    }
+
+    /// Raspberry Pi 3 on-board antenna.
+    pub fn rpi_onboard() -> Self {
+        Self {
+            name: "RPi3 on-board antenna",
+            gain_dbi: 1.0,
+            xpd_db: 15.0,
+            pattern: Pattern::Omni,
+        }
+    }
+
+    /// Boresight gain as a linear power ratio.
+    pub fn gain_linear(&self) -> f64 {
+        Db(self.gain_dbi).to_linear()
+    }
+
+    /// Gain toward a direction `off_boresight_deg` away from boresight,
+    /// linear. Omni antennas are flat; directional ones follow a
+    /// Gaussian-beam roll-off with a −20 dB floor (side lobes).
+    pub fn gain_toward(&self, off_boresight_deg: f64) -> f64 {
+        match self.pattern {
+            Pattern::Omni => self.gain_linear(),
+            Pattern::Directional { beamwidth_deg } => {
+                // Gaussian main lobe: −3 dB at ±beamwidth/2.
+                let x = off_boresight_deg / (beamwidth_deg / 2.0);
+                let rolloff_db = -3.0 * x * x;
+                let floor_db = self.gain_dbi - 20.0;
+                Db((self.gain_dbi + rolloff_db).max(floor_db)).to_linear()
+            }
+        }
+    }
+}
+
+/// An antenna mounted at a roll orientation (rotation of the element
+/// about its boresight axis, which rotates the polarization plane).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrientedAntenna {
+    /// The antenna hardware.
+    pub antenna: Antenna,
+    /// Roll orientation: 0° = horizontal (X) polarization.
+    pub orientation: Degrees,
+}
+
+impl OrientedAntenna {
+    /// Mounts an antenna at the given roll orientation.
+    pub fn new(antenna: Antenna, orientation: Degrees) -> Self {
+        Self {
+            antenna,
+            orientation,
+        }
+    }
+
+    /// Horizontal mounting shorthand.
+    pub fn horizontal(antenna: Antenna) -> Self {
+        Self::new(antenna, Degrees(0.0))
+    }
+
+    /// Vertical mounting shorthand.
+    pub fn vertical(antenna: Antenna) -> Self {
+        Self::new(antenna, Degrees(90.0))
+    }
+
+    /// Effective polarization state: the ideal linear state at the mount
+    /// orientation plus orthogonal leakage at the antenna's XPD level
+    /// (in quadrature, the typical leakage character), renormalized.
+    pub fn polarization(&self) -> JonesVector {
+        let theta = self.orientation.to_radians().0;
+        let (s, c) = theta.sin_cos();
+        let leak = Db(-self.antenna.xpd_db).to_amplitude();
+        // Co-polarized (c, s) plus j·leak·(−s, c).
+        let v = Vec2::new(
+            c64(c, -leak * s),
+            c64(s, leak * c),
+        );
+        JonesVector(v)
+            .normalized()
+            .expect("polarization state is non-zero")
+    }
+
+    /// Rotates the mount by `delta` degrees (turntable actuation).
+    pub fn rotated_by(&self, delta: Degrees) -> Self {
+        Self {
+            antenna: self.antenna.clone(),
+            orientation: Degrees(self.orientation.0 + delta.0),
+        }
+    }
+
+    /// Relative polarization misalignment with another mount, `[0°, 90°]`.
+    pub fn misalignment_with(&self, other: &OrientedAntenna) -> Degrees {
+        let d = (self.orientation.0 - other.orientation.0).rem_euclid(180.0);
+        Degrees(d.min(180.0 - d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarization_follows_orientation() {
+        let a = OrientedAntenna::new(Antenna::directional_panel(), Degrees(30.0));
+        let ori = a.polarization().orientation().to_degrees().0;
+        assert!((ori - 30.0).abs() < 1.0, "orientation = {ori}");
+    }
+
+    #[test]
+    fn orthogonal_mounts_leak_at_xpd_level() {
+        let h = OrientedAntenna::horizontal(Antenna::directional_panel());
+        let v = OrientedAntenna::vertical(Antenna::directional_panel());
+        let plf = h.polarization().polarization_loss_factor(v.polarization());
+        let plf_db = 10.0 * plf.log10();
+        // Two antennas at 22 dB XPD leak ≈ 2× (−22 dB) power ≈ −19 dB.
+        assert!(
+            (-26.0..=-14.0).contains(&plf_db),
+            "cross-pol floor = {plf_db:.1} dB"
+        );
+    }
+
+    #[test]
+    fn matched_mounts_couple_fully() {
+        let a = OrientedAntenna::new(Antenna::omni_6dbi(), Degrees(25.0));
+        let b = OrientedAntenna::new(Antenna::omni_6dbi(), Degrees(25.0));
+        let plf = a.polarization().polarization_loss_factor(b.polarization());
+        assert!(plf > 0.99, "PLF = {plf}");
+    }
+
+    #[test]
+    fn cheap_antennas_have_worse_purity() {
+        let esp = OrientedAntenna::horizontal(Antenna::esp8266_pcb());
+        let panel = OrientedAntenna::horizontal(Antenna::directional_panel());
+        let esp_v = esp
+            .polarization()
+            .polarization_loss_factor(OrientedAntenna::vertical(Antenna::esp8266_pcb()).polarization());
+        let panel_v = panel
+            .polarization()
+            .polarization_loss_factor(OrientedAntenna::vertical(Antenna::directional_panel()).polarization());
+        assert!(
+            esp_v > panel_v,
+            "cheap antenna leaks more: {esp_v} vs {panel_v}"
+        );
+    }
+
+    #[test]
+    fn misalignment_wraps_mod_180() {
+        let a = OrientedAntenna::new(Antenna::omni_6dbi(), Degrees(10.0));
+        let b = OrientedAntenna::new(Antenna::omni_6dbi(), Degrees(190.0));
+        assert!(a.misalignment_with(&b).0 < 1e-9);
+        let c = OrientedAntenna::new(Antenna::omni_6dbi(), Degrees(100.0));
+        assert!((a.misalignment_with(&c).0 - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotated_by_accumulates() {
+        let a = OrientedAntenna::horizontal(Antenna::omni_6dbi());
+        let b = a.rotated_by(Degrees(45.0)).rotated_by(Degrees(45.0));
+        assert!((b.orientation.0 - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn directional_gain_rolls_off() {
+        let d = Antenna::directional_panel();
+        let g0 = d.gain_toward(0.0);
+        let g30 = d.gain_toward(30.0);
+        let g90 = d.gain_toward(90.0);
+        assert!((10.0 * g0.log10() - 10.0).abs() < 1e-9);
+        // −3 dB at half the beamwidth.
+        assert!((10.0 * (g30 / g0).log10() + 3.0).abs() < 0.1);
+        // Far out: clamped at the −20 dB floor.
+        assert!((10.0 * g90.log10() - (-10.0)).abs() < 0.5);
+    }
+
+    #[test]
+    fn omni_gain_is_flat() {
+        let o = Antenna::omni_6dbi();
+        assert_eq!(o.gain_toward(0.0), o.gain_toward(77.0));
+    }
+}

@@ -1,0 +1,178 @@
+//! Propagation environments: anechoic vs laboratory multipath.
+//!
+//! The paper runs its controlled experiments inside absorber material
+//! ("to avoid background multipath effects") and then deliberately
+//! repeats the capacity study in a rich laboratory (Figure 19) where
+//! omni endpoints lose the surface's benefit below ≈2 mW transmit power.
+//! We model the difference as a set of deterministic, seeded scatter
+//! paths: each scatterer contributes a Rayleigh-amplitude, randomly
+//! polarized arrival, independent of the engineered paths.
+
+use rand::Rng;
+use rfmath::complex::Complex;
+use rfmath::jones::JonesMatrix;
+use rfmath::matrix::Mat2;
+use rfmath::rng::SeedSplitter;
+use rfmath::units::{Hertz, Meters, Radians};
+
+use crate::rays::Path;
+
+/// Environment classes from the paper's evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Environment {
+    /// Absorber-lined test volume: only engineered paths survive.
+    Anechoic,
+    /// Indoor laboratory: engineered paths plus seeded scatterers.
+    Laboratory {
+        /// Deterministic seed for the scatter realization.
+        seed: u64,
+        /// Number of discrete scatter paths.
+        scatterers: usize,
+        /// Total scattered power relative to a free-space path of the
+        /// same endpoint separation (linear; e.g. 0.5 = −3 dB).
+        relative_power: f64,
+    },
+}
+
+impl Environment {
+    /// The paper's absorber-covered test area.
+    pub fn anechoic() -> Self {
+        Environment::Anechoic
+    }
+
+    /// A representative busy laboratory (the Figure 19 environment).
+    pub fn laboratory(seed: u64) -> Self {
+        Environment::Laboratory {
+            seed,
+            scatterers: 8,
+            relative_power: 0.3,
+        }
+    }
+
+    /// Scatter paths for a link of endpoint separation `tx_rx` at
+    /// frequency `f`. Deterministic in the seed.
+    pub fn scatter_paths(&self, tx_rx: Meters, f: Hertz) -> Vec<Path> {
+        match self {
+            Environment::Anechoic => Vec::new(),
+            Environment::Laboratory {
+                seed,
+                scatterers,
+                relative_power,
+            } => {
+                let splitter = SeedSplitter::new(*seed);
+                let mut rng = splitter.stream("scatterers");
+                let direct_amp = crate::friis::field_transfer(f, tx_rx).abs();
+                let per_path_power =
+                    relative_power * direct_amp * direct_amp / (*scatterers as f64).max(1.0);
+                (0..*scatterers)
+                    .map(|_| {
+                        // Rayleigh amplitude: complex Gaussian tap.
+                        let tap = rfmath::rng::complex_gaussian(&mut rng, per_path_power);
+                        // Excess path length: 0.5–4 m of wander.
+                        let excess: f64 = rng.gen_range(0.5..4.0);
+                        let length = Meters(tx_rx.0 + excess);
+                        // Indoor bounces mostly preserve polarization
+                        // orientation (channel XPD of 6-12 dB): a modest
+                        // random rotation plus weak depolarizing mixing.
+                        let rot: f64 = rng.gen_range(-0.45..0.45);
+                        let mix: f64 = rng.gen_range(0.0..0.3);
+                        let jones = JonesMatrix(
+                            Mat2::rotation(rot)
+                                * Mat2::new(
+                                    Complex::ONE,
+                                    Complex::imag(mix),
+                                    Complex::imag(mix),
+                                    Complex::ONE,
+                                )
+                                .scale(Complex::real(1.0 / (1.0 + mix * mix).sqrt())),
+                        );
+                        Path {
+                            transfer: tap * Complex::cis(-f.wavenumber() * excess),
+                            jones,
+                            length,
+                            modulation: None,
+                            label: "scatter",
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// True when this environment contributes multipath.
+    pub fn has_multipath(&self) -> bool {
+        !matches!(self, Environment::Anechoic)
+    }
+}
+
+/// A rotation applied by the environment to express scatterer Jones
+/// matrices in a rotated frame (used when composing with a surface path).
+pub fn frame_rotation(theta: Radians) -> JonesMatrix {
+    JonesMatrix::rotation(theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: Hertz = Hertz(2.44e9);
+
+    #[test]
+    fn anechoic_is_clean() {
+        let env = Environment::anechoic();
+        assert!(env.scatter_paths(Meters(0.5), F).is_empty());
+        assert!(!env.has_multipath());
+    }
+
+    #[test]
+    fn laboratory_is_deterministic_in_seed() {
+        let a = Environment::laboratory(7).scatter_paths(Meters(0.5), F);
+        let b = Environment::laboratory(7).scatter_paths(Meters(0.5), F);
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.iter().zip(&b) {
+            assert!((pa.transfer - pb.transfer).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Environment::laboratory(7).scatter_paths(Meters(0.5), F);
+        let b = Environment::laboratory(8).scatter_paths(Meters(0.5), F);
+        assert!((a[0].transfer - b[0].transfer).abs() > 1e-12);
+    }
+
+    #[test]
+    fn scattered_power_is_near_requested_fraction() {
+        // Average over many seeds: total scatter power ≈ relative_power ×
+        // direct-path power.
+        let direct = crate::friis::field_transfer(F, Meters(0.5)).norm_sqr();
+        let mut total = 0.0;
+        let n = 300;
+        for seed in 0..n {
+            let env = Environment::laboratory(seed);
+            total += env
+                .scatter_paths(Meters(0.5), F)
+                .iter()
+                .map(|p| p.transfer.norm_sqr())
+                .sum::<f64>();
+        }
+        let mean = total / n as f64;
+        let ratio = mean / direct;
+        assert!(
+            (ratio - 0.3).abs() < 0.08,
+            "scatter/direct power ratio = {ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn scatter_jones_is_not_amplifying() {
+        for seed in 0..20 {
+            for p in Environment::laboratory(seed).scatter_paths(Meters(0.5), F) {
+                let g = p
+                    .jones
+                    .transmittance(rfmath::jones::JonesVector::linear_deg(30.0));
+                assert!(g <= 1.6, "scatter path gain {g}");
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Free-space propagation: the Friis transmission equation and its
+//! corollaries.
+//!
+//! The paper uses Friis twice: to convert received-power gains into range
+//! extension ("+15 dB extends the potential transmission distance by up
+//! to 5.6×", §5.1.1) and as the backbone of every link-budget number in
+//! the evaluation.
+
+use rfmath::complex::Complex;
+use rfmath::units::{Db, Hertz, Meters};
+
+/// Free-space path loss (power ratio ≤ 1) over distance `d` at
+/// frequency `f`: `(λ / 4πd)²`.
+pub fn path_gain_linear(f: Hertz, d: Meters) -> f64 {
+    let lambda = f.wavelength().0;
+    let x = lambda / (4.0 * std::f64::consts::PI * d.0);
+    x * x
+}
+
+/// Free-space path loss in (positive) dB.
+pub fn path_loss_db(f: Hertz, d: Meters) -> Db {
+    Db(-10.0 * path_gain_linear(f, d).log10())
+}
+
+/// Complex field transfer over a free-space path: amplitude `λ/(4πd)`
+/// with propagation phase `e^{−jkd}`.
+pub fn field_transfer(f: Hertz, d: Meters) -> Complex {
+    let lambda = f.wavelength().0;
+    let amp = lambda / (4.0 * std::f64::consts::PI * d.0);
+    Complex::from_polar(amp, -f.wavenumber() * d.0)
+}
+
+/// Range-extension factor implied by a link-budget gain: free-space
+/// power falls as `1/d²`, so `+G dB` of margin extends range by
+/// `10^(G/20)`.
+pub fn range_extension(gain: Db) -> f64 {
+    10f64.powf(gain.0 / 20.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_loss_at_reference_points() {
+        // 2.44 GHz at 1 m ≈ 40.2 dB.
+        let pl = path_loss_db(Hertz::from_ghz(2.44), Meters(1.0));
+        assert!((pl.0 - 40.2).abs() < 0.3, "PL = {pl}");
+    }
+
+    #[test]
+    fn inverse_square_law() {
+        let f = Hertz::from_ghz(2.44);
+        let g1 = path_gain_linear(f, Meters(1.0));
+        let g2 = path_gain_linear(f, Meters(2.0));
+        assert!((g1 / g2 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doubling_distance_costs_6db() {
+        let f = Hertz::from_ghz(2.44);
+        let d1 = path_loss_db(f, Meters(0.24));
+        let d2 = path_loss_db(f, Meters(0.48));
+        assert!((d2.0 - d1.0 - 6.0206).abs() < 1e-3);
+    }
+
+    #[test]
+    fn field_transfer_magnitude_squared_is_path_gain() {
+        let f = Hertz::from_ghz(2.44);
+        let d = Meters(0.36);
+        let t = field_transfer(f, d);
+        assert!((t.norm_sqr() - path_gain_linear(f, d)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn field_phase_advances_with_distance() {
+        let f = Hertz::from_ghz(2.44);
+        let quarter = f.wavelength().0 / 4.0;
+        let t1 = field_transfer(f, Meters(0.30));
+        let t2 = field_transfer(f, Meters(0.30 + quarter));
+        let dphi = (t1.arg() - t2.arg()).rem_euclid(std::f64::consts::TAU);
+        assert!(
+            (dphi - std::f64::consts::FRAC_PI_2).abs() < 1e-9,
+            "Δφ = {dphi}"
+        );
+    }
+
+    #[test]
+    fn paper_range_extension_claim() {
+        // +15 dB → 5.6× range (the §5.1.1 number).
+        let x = range_extension(Db(15.0));
+        assert!((x - 5.623).abs() < 0.01, "extension = {x}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Receiver noise: thermal floor, noise figure, and SNR.
+
+use rfmath::units::{thermal_noise_dbm, Db, Dbm, Hertz, Watts};
+
+/// A receiver's noise description.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseModel {
+    /// Receiver noise figure, dB.
+    pub noise_figure_db: f64,
+    /// Noise-equivalent bandwidth.
+    pub bandwidth: Hertz,
+}
+
+impl NoiseModel {
+    /// A USRP N210 + UBX-40 class front end over a 1 MHz sample band.
+    pub fn usrp_1mhz() -> Self {
+        Self {
+            noise_figure_db: 6.0,
+            bandwidth: Hertz::from_mhz(1.0),
+        }
+    }
+
+    /// A Wi-Fi receiver over a 20 MHz channel.
+    pub fn wifi_20mhz() -> Self {
+        Self {
+            noise_figure_db: 7.0,
+            bandwidth: Hertz::from_mhz(20.0),
+        }
+    }
+
+    /// A BLE receiver over a 2 MHz channel.
+    pub fn ble_2mhz() -> Self {
+        Self {
+            noise_figure_db: 9.0,
+            bandwidth: Hertz::from_mhz(2.0),
+        }
+    }
+
+    /// Total noise power referred to the antenna port, dBm:
+    /// `kTB + NF`.
+    pub fn noise_floor_dbm(&self) -> Dbm {
+        thermal_noise_dbm(self.bandwidth).gain(Db(self.noise_figure_db))
+    }
+
+    /// Noise power in watts.
+    pub fn noise_watts(&self) -> Watts {
+        self.noise_floor_dbm().to_watts()
+    }
+
+    /// SNR for a given received signal power, dB.
+    pub fn snr_db(&self, signal: Dbm) -> Db {
+        signal.minus(self.noise_floor_dbm())
+    }
+
+    /// Linear SNR for a given received power.
+    pub fn snr_linear(&self, signal: Dbm) -> f64 {
+        self.snr_db(signal).to_linear().max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usrp_noise_floor() {
+        // kTB(1 MHz) ≈ −114 dBm; +6 dB NF ≈ −108 dBm.
+        let n = NoiseModel::usrp_1mhz().noise_floor_dbm();
+        assert!((n.0 + 108.0).abs() < 0.3, "floor = {n}");
+    }
+
+    #[test]
+    fn wider_band_raises_floor() {
+        let narrow = NoiseModel::usrp_1mhz().noise_floor_dbm();
+        let wide = NoiseModel::wifi_20mhz().noise_floor_dbm();
+        assert!(wide.0 > narrow.0 + 10.0);
+    }
+
+    #[test]
+    fn snr_is_signal_minus_floor() {
+        let n = NoiseModel::usrp_1mhz();
+        let snr = n.snr_db(Dbm(-78.0));
+        assert!((snr.0 - (n.noise_floor_dbm().0.abs() - 78.0)).abs() < 1e-9);
+        assert!(n.snr_linear(Dbm(-200.0)) < 1e-6);
+    }
+}

@@ -1,0 +1,327 @@
+//! Deployment geometry and propagation paths.
+//!
+//! Mirrors the paper's two experimental setups (Figure 14):
+//!
+//! * **Transmissive** — the surface sits between the endpoints; the
+//!   dominant path crosses it and picks up the surface's transmission
+//!   Jones matrix. A weak antenna↔surface multi-bounce term makes the
+//!   optimal bias *distance-dependent*, which is why the paper steps
+//!   Tx–Rx spacing in half-wavelength increments (Figure 15).
+//! * **Reflective** — both endpoints face the surface from the same
+//!   side; the dominant engineered path reflects specularly off the
+//!   surface front (image theory over the full fold length), while a
+//!   weak direct endpoint-to-endpoint path persists.
+//!
+//! Each path carries a complex scalar transfer (Friis amplitude + phase)
+//! and a Jones matrix describing what it does to polarization. The link
+//! layer sums path field contributions coherently.
+
+use metasurface::response::Metasurface;
+use rfmath::complex::Complex;
+use rfmath::jones::JonesMatrix;
+use rfmath::units::{Hertz, Meters};
+
+use crate::friis::field_transfer;
+
+/// Physical placement of endpoints and surface.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Deployment {
+    /// Endpoints facing each other with the surface between them
+    /// (Figure 14, left). `surface_fraction` places the surface along
+    /// the line (0 = at the transmitter, 1 = at the receiver).
+    Transmissive {
+        /// Total Tx–Rx separation.
+        tx_rx: Meters,
+        /// Fractional surface position along the link line.
+        surface_fraction: f64,
+    },
+    /// Endpoints side by side facing the surface (Figure 14, right).
+    Reflective {
+        /// Lateral Tx–Rx separation (the paper uses 70 cm).
+        tx_rx: Meters,
+        /// Perpendicular distance from the endpoints' line to the
+        /// surface.
+        surface_distance: Meters,
+    },
+    /// No surface deployed (baseline measurements).
+    Free {
+        /// Tx–Rx separation.
+        tx_rx: Meters,
+    },
+}
+
+impl Deployment {
+    /// The paper's default transmissive setup with the surface midway.
+    pub fn transmissive_cm(tx_rx_cm: f64) -> Self {
+        Deployment::Transmissive {
+            tx_rx: Meters::from_cm(tx_rx_cm),
+            surface_fraction: 0.5,
+        }
+    }
+
+    /// The paper's reflective setup: 70 cm endpoint separation.
+    pub fn reflective_cm(surface_distance_cm: f64) -> Self {
+        Deployment::Reflective {
+            tx_rx: Meters::from_cm(70.0),
+            surface_distance: Meters::from_cm(surface_distance_cm),
+        }
+    }
+
+    /// Baseline (no surface) at the same endpoint spacing.
+    pub fn without_surface(self) -> Self {
+        match self {
+            Deployment::Transmissive { tx_rx, .. } => Deployment::Free { tx_rx },
+            Deployment::Reflective { tx_rx, .. } => Deployment::Free { tx_rx },
+            free => free,
+        }
+    }
+
+    /// Endpoint separation along the direct line.
+    pub fn tx_rx_distance(&self) -> Meters {
+        match *self {
+            Deployment::Transmissive { tx_rx, .. } => tx_rx,
+            Deployment::Reflective { tx_rx, .. } => tx_rx,
+            Deployment::Free { tx_rx } => tx_rx,
+        }
+    }
+}
+
+/// One propagation path: a complex scalar transfer and a polarization
+/// transform, plus an optional sinusoidal length modulation (breathing
+/// targets).
+#[derive(Clone, Debug)]
+pub struct Path {
+    /// Scalar field transfer (Friis amplitude, propagation phase, and
+    /// any reflection losses).
+    pub transfer: Complex,
+    /// Polarization transform along the path.
+    pub jones: JonesMatrix,
+    /// Geometric length (for diagnostics).
+    pub length: Meters,
+    /// Optional sinusoidal path-length modulation: `(amplitude_m, rate_hz,
+    /// phase_rad)`. The link layer turns this into a time-varying phase.
+    pub modulation: Option<(f64, f64, f64)>,
+    /// Debug label.
+    pub label: &'static str,
+}
+
+impl Path {
+    /// Transfer evaluated at time `t`, including length modulation.
+    pub fn transfer_at(&self, f: Hertz, t: f64) -> Complex {
+        match self.modulation {
+            None => self.transfer,
+            Some((amp_m, rate_hz, phase)) => {
+                let dl = amp_m * (std::f64::consts::TAU * rate_hz * t + phase).sin();
+                // Extra path length → extra propagation phase and a tiny
+                // amplitude change (negligible; phase dominates).
+                self.transfer * Complex::cis(-f.wavenumber() * dl)
+            }
+        }
+    }
+}
+
+/// Fraction of the antenna-facing wave re-scattered back toward the
+/// surface by the antenna fixture (sets the strength of the
+/// surface↔antenna standing-wave term). Empirically small.
+pub const ANTENNA_RESCATTER: f64 = 0.35;
+
+/// Enumerates the engineered (deterministic) paths for a deployment.
+///
+/// Environment scattering (multipath) is added separately by
+/// [`crate::environment`].
+pub fn engineered_paths(
+    deployment: Deployment,
+    surface: Option<&Metasurface>,
+    f: Hertz,
+) -> Vec<Path> {
+    match (deployment, surface) {
+        (Deployment::Free { tx_rx }, _) | (Deployment::Transmissive { tx_rx, .. }, None) => {
+            vec![Path {
+                transfer: field_transfer(f, tx_rx),
+                jones: JonesMatrix::identity(),
+                length: tx_rx,
+                modulation: None,
+                label: "direct",
+            }]
+        }
+        (
+            Deployment::Transmissive {
+                tx_rx,
+                surface_fraction,
+            },
+            Some(surface),
+        ) => {
+            let d1 = Meters(tx_rx.0 * surface_fraction.clamp(0.05, 0.95));
+            let trans = surface.transmission(f);
+            let refl = surface.reflection(f);
+            // Main through-surface path.
+            let main = Path {
+                transfer: field_transfer(f, tx_rx),
+                jones: trans,
+                length: tx_rx,
+                modulation: None,
+                label: "through-surface",
+            };
+            // One surface→antenna→surface bounce: the wave reflected from
+            // the surface front travels back 2·d1 (picking up the
+            // antenna's re-scatter) and crosses again. This is the term
+            // that drags the optimum bias with distance.
+            let bounce_scalar = field_transfer(f, Meters(tx_rx.0 + 2.0 * d1.0))
+                * ANTENNA_RESCATTER;
+            let bounce = Path {
+                transfer: bounce_scalar,
+                jones: trans * refl,
+                length: Meters(tx_rx.0 + 2.0 * d1.0),
+                modulation: None,
+                label: "antenna-surface bounce",
+            };
+            vec![main, bounce]
+        }
+        (Deployment::Reflective { tx_rx, .. }, None) => {
+            vec![Path {
+                transfer: field_transfer(f, tx_rx),
+                jones: JonesMatrix::identity(),
+                length: tx_rx,
+                modulation: None,
+                label: "direct",
+            }]
+        }
+        (
+            Deployment::Reflective {
+                tx_rx,
+                surface_distance,
+            },
+            Some(surface),
+        ) => {
+            // Direct endpoint-to-endpoint path (no surface interaction).
+            let direct = Path {
+                transfer: field_transfer(f, tx_rx),
+                jones: JonesMatrix::identity(),
+                length: tx_rx,
+                modulation: None,
+                label: "direct",
+            };
+            // Specular fold: Tx → surface → Rx. Image theory: total fold
+            // length 2·√(d² + (sep/2)²); the reflection applies the
+            // surface's S11 Jones block expressed in the incident frame
+            // (mirror conjugation: the reflected wave's frame flips
+            // handedness, which is the §5.2 rotation-cancellation
+            // mechanism as seen by the receiver).
+            let half = tx_rx.0 / 2.0;
+            let fold = 2.0 * (surface_distance.0 * surface_distance.0 + half * half).sqrt();
+            let mirror = JonesMatrix::mirror_x();
+            let refl_in_rx_frame = mirror * surface.reflection(f) ;
+            let reflected = Path {
+                transfer: field_transfer(f, Meters(fold)),
+                jones: refl_in_rx_frame,
+                length: Meters(fold),
+                modulation: None,
+                label: "surface-reflection",
+            };
+            vec![direct, reflected]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metasurface::stack::BiasState;
+
+    const F: Hertz = Hertz(2.44e9);
+
+    #[test]
+    fn free_deployment_has_single_identity_path() {
+        let paths = engineered_paths(Deployment::Free { tx_rx: Meters(0.36) }, None, F);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].label, "direct");
+        assert!((paths[0].jones.0.max_abs_diff(rfmath::Mat2::IDENTITY)) < 1e-12);
+    }
+
+    #[test]
+    fn transmissive_paths_include_bounce() {
+        let surface = Metasurface::llama();
+        let paths = engineered_paths(Deployment::transmissive_cm(36.0), Some(&surface), F);
+        assert_eq!(paths.len(), 2);
+        // The bounce is substantially weaker than the main path.
+        assert!(paths[1].transfer.abs() < paths[0].transfer.abs());
+    }
+
+    #[test]
+    fn bounce_length_tracks_surface_position() {
+        let surface = Metasurface::llama();
+        let near = engineered_paths(
+            Deployment::Transmissive {
+                tx_rx: Meters(0.6),
+                surface_fraction: 0.2,
+            },
+            Some(&surface),
+            F,
+        );
+        let far = engineered_paths(
+            Deployment::Transmissive {
+                tx_rx: Meters(0.6),
+                surface_fraction: 0.8,
+            },
+            Some(&surface),
+            F,
+        );
+        assert!(near[1].length.0 < far[1].length.0);
+    }
+
+    #[test]
+    fn reflective_fold_length_is_geometric() {
+        let surface = Metasurface::llama();
+        let paths = engineered_paths(Deployment::reflective_cm(30.0), Some(&surface), F);
+        let expected = 2.0 * (0.30f64 * 0.30 + 0.35 * 0.35).sqrt();
+        assert!((paths[1].length.0 - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn without_surface_strips_surface() {
+        let d = Deployment::reflective_cm(30.0).without_surface();
+        assert_eq!(d, Deployment::Free { tx_rx: Meters(0.70) });
+    }
+
+    #[test]
+    fn reflective_bias_changes_reflection_less_than_transmission() {
+        // §5.2: voltage dependence is much flatter reflectively.
+        // What matters is the power a *mismatched receiver* collects:
+        // project the path output onto the orthogonal receive state.
+        let probe = rfmath::jones::JonesVector::vertical();
+        let rx = rfmath::jones::JonesVector::horizontal();
+        let spread = |dep: Deployment, idx: usize| {
+            let mut surface = Metasurface::llama();
+            let mut powers = Vec::new();
+            for (vx, vy) in [(2.0, 2.0), (2.0, 15.0), (15.0, 2.0)] {
+                surface.set_bias(BiasState::new(vx, vy));
+                let paths = engineered_paths(dep, Some(&surface), F);
+                let out = paths[idx].jones.apply(probe);
+                let coupled = rx.0.dot(out.0).norm_sqr();
+                powers.push(coupled * paths[idx].transfer.norm_sqr());
+            }
+            let hi = powers.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let lo = powers.iter().cloned().fold(f64::INFINITY, f64::min);
+            hi / lo.max(1e-30)
+        };
+        let trans_spread = spread(Deployment::transmissive_cm(36.0), 0);
+        let refl_spread = spread(Deployment::reflective_cm(36.0), 1);
+        assert!(
+            trans_spread > refl_spread,
+            "transmissive spread {trans_spread:.2}× vs reflective {refl_spread:.2}×"
+        );
+    }
+
+    #[test]
+    fn modulated_path_phase_oscillates() {
+        let mut p = engineered_paths(Deployment::Free { tx_rx: Meters(2.0) }, None, F)
+            .pop()
+            .unwrap();
+        p.modulation = Some((0.005, 0.25, 0.0));
+        let t0 = p.transfer_at(F, 0.0);
+        let t1 = p.transfer_at(F, 1.0); // quarter period: max displacement
+        assert!((t0 - t1).abs() > 1e-6, "breathing must modulate the phase");
+        // Magnitude is untouched.
+        assert!((t0.abs() - t1.abs()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,324 @@
+//! Interpolation utilities: 1-D linear interpolation over sampled curves
+//! and bilinear interpolation over rectangular grids.
+//!
+//! Used for varactor C–V curves, calibration tables (bias → rotation) and
+//! heatmap post-processing. All lookups clamp to the table edges rather
+//! than extrapolating, which is the safe behaviour for physical device
+//! curves (capacitance does not keep shrinking past the datasheet range).
+
+/// A 1-D curve `y(x)` sampled at strictly increasing `x` knots, evaluated
+/// by linear interpolation with edge clamping.
+#[derive(Clone, Debug)]
+pub struct Curve1D {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl Curve1D {
+    /// Builds a curve from knot vectors.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ, fewer than 2 knots are given, or the
+    /// `xs` are not strictly increasing/finite.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Self {
+        assert_eq!(xs.len(), ys.len(), "knot vectors must have equal length");
+        assert!(xs.len() >= 2, "need at least two knots");
+        for w in xs.windows(2) {
+            assert!(
+                w[0].is_finite() && w[1].is_finite() && w[0] < w[1],
+                "xs must be strictly increasing and finite"
+            );
+        }
+        Self { xs, ys }
+    }
+
+    /// Builds a curve from `(x, y)` pairs.
+    pub fn from_points(points: &[(f64, f64)]) -> Self {
+        let (xs, ys) = points.iter().copied().unzip();
+        Self::new(xs, ys)
+    }
+
+    /// Domain `[min_x, max_x]`.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().expect("non-empty"))
+    }
+
+    /// Number of knots.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Always false (construction requires ≥ 2 knots); provided for API
+    /// completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Evaluates the curve at `x` with edge clamping.
+    pub fn eval(&self, x: f64) -> f64 {
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= *self.xs.last().expect("non-empty") {
+            return *self.ys.last().expect("non-empty");
+        }
+        // Binary search for the bracketing segment.
+        let i = match self.xs.binary_search_by(|v| v.total_cmp(&x)) {
+            Ok(i) => return self.ys[i],
+            Err(i) => i - 1,
+        };
+        let t = (x - self.xs[i]) / (self.xs[i + 1] - self.xs[i]);
+        self.ys[i] + t * (self.ys[i + 1] - self.ys[i])
+    }
+
+    /// Inverts a *monotone* curve: finds `x` with `y(x) = y` by bisection
+    /// over the knot span. Returns `None` when `y` is outside the curve's
+    /// range or the curve is not monotone over its domain.
+    pub fn invert(&self, y: f64) -> Option<f64> {
+        let n = self.ys.len();
+        let increasing = self.ys[n - 1] >= self.ys[0];
+        // Verify monotonicity.
+        for w in self.ys.windows(2) {
+            if increasing && w[1] < w[0] - 1e-12 {
+                return None;
+            }
+            if !increasing && w[1] > w[0] + 1e-12 {
+                return None;
+            }
+        }
+        let (lo_y, hi_y) = if increasing {
+            (self.ys[0], self.ys[n - 1])
+        } else {
+            (self.ys[n - 1], self.ys[0])
+        };
+        if y < lo_y - 1e-12 || y > hi_y + 1e-12 {
+            return None;
+        }
+        let (mut a, mut b) = self.domain();
+        for _ in 0..200 {
+            let mid = 0.5 * (a + b);
+            let fm = self.eval(mid);
+            let below = if increasing { fm < y } else { fm > y };
+            if below {
+                a = mid;
+            } else {
+                b = mid;
+            }
+        }
+        Some(0.5 * (a + b))
+    }
+
+    /// The knot `x` values.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The knot `y` values.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+}
+
+/// A rectangular grid `z(x, y)` with bilinear interpolation and edge
+/// clamping. Rows index `y`, columns index `x`.
+#[derive(Clone, Debug)]
+pub struct Grid2D {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Row-major: `z[iy][ix]` flattened as `z[iy * xs.len() + ix]`.
+    zs: Vec<f64>,
+}
+
+impl Grid2D {
+    /// Builds a grid from axes and a row-major value table.
+    ///
+    /// # Panics
+    /// Panics if axes are not strictly increasing, have fewer than 2
+    /// points, or `zs.len() != xs.len() * ys.len()`.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>, zs: Vec<f64>) -> Self {
+        assert!(xs.len() >= 2 && ys.len() >= 2, "need at least a 2×2 grid");
+        for w in xs.windows(2) {
+            assert!(w[0] < w[1], "xs must be strictly increasing");
+        }
+        for w in ys.windows(2) {
+            assert!(w[0] < w[1], "ys must be strictly increasing");
+        }
+        assert_eq!(zs.len(), xs.len() * ys.len(), "value table size mismatch");
+        Self { xs, ys, zs }
+    }
+
+    /// Axis accessor.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Axis accessor.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Direct (un-interpolated) access to `z[iy][ix]`.
+    pub fn at(&self, ix: usize, iy: usize) -> f64 {
+        self.zs[iy * self.xs.len() + ix]
+    }
+
+    fn bracket(axis: &[f64], v: f64) -> (usize, f64) {
+        if v <= axis[0] {
+            return (0, 0.0);
+        }
+        if v >= axis[axis.len() - 1] {
+            return (axis.len() - 2, 1.0);
+        }
+        let i = match axis.binary_search_by(|a| a.total_cmp(&v)) {
+            Ok(i) => return (i.min(axis.len() - 2), if i == axis.len() - 1 { 1.0 } else { 0.0 }),
+            Err(i) => i - 1,
+        };
+        let t = (v - axis[i]) / (axis[i + 1] - axis[i]);
+        (i, t)
+    }
+
+    /// Bilinear interpolation at `(x, y)` with edge clamping.
+    pub fn eval(&self, x: f64, y: f64) -> f64 {
+        let (ix, tx) = Self::bracket(&self.xs, x);
+        let (iy, ty) = Self::bracket(&self.ys, y);
+        let z00 = self.at(ix, iy);
+        let z10 = self.at(ix + 1, iy);
+        let z01 = self.at(ix, iy + 1);
+        let z11 = self.at(ix + 1, iy + 1);
+        let z0 = z00 + tx * (z10 - z00);
+        let z1 = z01 + tx * (z11 - z01);
+        z0 + ty * (z1 - z0)
+    }
+
+    /// Grid-point argmax: returns `(x, y, z)` of the largest sample.
+    pub fn argmax(&self) -> (f64, f64, f64) {
+        let mut best = (0usize, 0usize, f64::NEG_INFINITY);
+        for iy in 0..self.ys.len() {
+            for ix in 0..self.xs.len() {
+                let z = self.at(ix, iy);
+                if z > best.2 {
+                    best = (ix, iy, z);
+                }
+            }
+        }
+        (self.xs[best.0], self.ys[best.1], best.2)
+    }
+
+    /// Grid-point argmin: returns `(x, y, z)` of the smallest sample.
+    pub fn argmin(&self) -> (f64, f64, f64) {
+        let mut best = (0usize, 0usize, f64::INFINITY);
+        for iy in 0..self.ys.len() {
+            for ix in 0..self.xs.len() {
+                let z = self.at(ix, iy);
+                if z < best.2 {
+                    best = (ix, iy, z);
+                }
+            }
+        }
+        (self.xs[best.0], self.ys[best.1], best.2)
+    }
+
+    /// Value range `(min, max)` over all samples.
+    pub fn range(&self) -> (f64, f64) {
+        self.zs
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &z| {
+                (lo.min(z), hi.max(z))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_curve_is_exact_on_lines() {
+        let c = Curve1D::new(vec![0.0, 1.0, 2.0], vec![1.0, 3.0, 5.0]);
+        assert!((c.eval(0.5) - 2.0).abs() < 1e-12);
+        assert!((c.eval(1.5) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_clamps_at_edges() {
+        let c = Curve1D::new(vec![0.0, 1.0], vec![10.0, 20.0]);
+        assert_eq!(c.eval(-5.0), 10.0);
+        assert_eq!(c.eval(99.0), 20.0);
+    }
+
+    #[test]
+    fn curve_hits_knots_exactly() {
+        let c = Curve1D::from_points(&[(2.0, 2.41), (15.0, 0.84)]);
+        assert_eq!(c.eval(2.0), 2.41);
+        assert_eq!(c.eval(15.0), 0.84);
+    }
+
+    #[test]
+    fn invert_monotone_decreasing() {
+        let c = Curve1D::from_points(&[(2.0, 2.41), (6.0, 1.5), (15.0, 0.84)]);
+        let x = c.invert(1.5).unwrap();
+        assert!((x - 6.0).abs() < 1e-6);
+        let x2 = c.invert(2.0).unwrap();
+        assert!((c.eval(x2) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invert_rejects_out_of_range() {
+        let c = Curve1D::from_points(&[(0.0, 0.0), (1.0, 1.0)]);
+        assert!(c.invert(2.0).is_none());
+        assert!(c.invert(-0.5).is_none());
+    }
+
+    #[test]
+    fn invert_rejects_non_monotone() {
+        let c = Curve1D::from_points(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        assert!(c.invert(0.5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn curve_rejects_unsorted() {
+        let _ = Curve1D::new(vec![1.0, 0.0], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn bilinear_exact_on_planes() {
+        // z = 2x + 3y + 1 is reproduced exactly by bilinear interpolation.
+        let xs = vec![0.0, 1.0, 2.0];
+        let ys = vec![0.0, 2.0];
+        let mut zs = Vec::new();
+        for &y in &ys {
+            for &x in &xs {
+                zs.push(2.0 * x + 3.0 * y + 1.0);
+            }
+        }
+        let g = Grid2D::new(xs, ys, zs);
+        assert!((g.eval(0.5, 1.0) - (1.0 + 3.0 + 1.0)).abs() < 1e-12);
+        assert!((g.eval(1.7, 0.3) - (3.4 + 0.9 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_clamps_at_edges() {
+        let g = Grid2D::new(
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 2.0, 3.0, 4.0],
+        );
+        assert_eq!(g.eval(-1.0, -1.0), 1.0);
+        assert_eq!(g.eval(5.0, 5.0), 4.0);
+    }
+
+    #[test]
+    fn grid_argmax_argmin() {
+        let g = Grid2D::new(
+            vec![0.0, 1.0, 2.0],
+            vec![0.0, 1.0],
+            vec![0.0, 5.0, 1.0, -2.0, 3.0, 4.0],
+        );
+        let (x, y, z) = g.argmax();
+        assert_eq!((x, y, z), (1.0, 0.0, 5.0));
+        let (x, y, z) = g.argmin();
+        assert_eq!((x, y, z), (0.0, 1.0, -2.0));
+        assert_eq!(g.range(), (-2.0, 5.0));
+    }
+}

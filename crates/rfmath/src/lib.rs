@@ -1,0 +1,50 @@
+//! # rfmath — mathematical substrate for the LLAMA metasurface simulator
+//!
+//! Self-contained complex arithmetic, 2×2 complex linear algebra, Jones
+//! calculus (the polarization algebra of the paper's §2), Stokes
+//! parameters, strongly-typed RF units, interpolation grids, descriptive
+//! statistics and deterministic RNG streams.
+//!
+//! Everything downstream — the microwave network models, the metasurface,
+//! the propagation environment and the control plane — is expressed in
+//! terms of these types.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rfmath::jones::{JonesMatrix, JonesVector};
+//! use rfmath::units::Radians;
+//! use std::f64::consts::PI;
+//!
+//! // A vertically polarized transmitter facing a horizontally polarized
+//! // receiver couples no power…
+//! let tx = JonesVector::vertical();
+//! let rx = JonesVector::horizontal();
+//! assert!(tx.polarization_loss_factor(rx) < 1e-12);
+//!
+//! // …until a δ = π polarization rotator (Eq. 8 of the paper) turns the
+//! // wave by 90° in flight.
+//! let rotator = JonesMatrix::rotator(Radians(0.0), Radians(0.0), Radians(PI));
+//! let rotated = rotator.apply(tx);
+//! assert!((rotated.polarization_loss_factor(rx) - 1.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod complex;
+pub mod interp;
+pub mod jones;
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+pub mod stokes;
+pub mod units;
+
+pub use complex::{c64, Complex};
+pub use jones::{JonesMatrix, JonesVector};
+pub use matrix::{Mat2, Vec2};
+pub use stokes::Stokes;
+pub use units::{
+    Db, Dbm, Degrees, Farads, Henries, Hertz, Meters, Ohms, Radians, Seconds, Volts, Watts,
+};

@@ -1,0 +1,493 @@
+//! 2×2 complex matrices.
+//!
+//! The workhorse linear algebra of the simulator: Jones matrices
+//! (polarization transforms), ABCD chain matrices and S-parameter blocks
+//! are all 2×2 complex. [`Mat2`] stores rows `[[a, b], [c, d]]`.
+
+use crate::complex::{c64, Complex};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 2×2 complex matrix `[[a, b], [c, d]]` (row major).
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Mat2 {
+    /// Row 0, column 0.
+    pub a: Complex,
+    /// Row 0, column 1.
+    pub b: Complex,
+    /// Row 1, column 0.
+    pub c: Complex,
+    /// Row 1, column 1.
+    pub d: Complex,
+}
+
+/// A 2-element complex column vector.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// First component (X axis by Jones convention).
+    pub x: Complex,
+    /// Second component (Y axis by Jones convention).
+    pub y: Complex,
+}
+
+impl Mat2 {
+    /// Identity matrix.
+    pub const IDENTITY: Mat2 = Mat2 {
+        a: Complex::ONE,
+        b: Complex::ZERO,
+        c: Complex::ZERO,
+        d: Complex::ONE,
+    };
+
+    /// Zero matrix.
+    pub const ZERO: Mat2 = Mat2 {
+        a: Complex::ZERO,
+        b: Complex::ZERO,
+        c: Complex::ZERO,
+        d: Complex::ZERO,
+    };
+
+    /// Builds a matrix from row-major entries.
+    #[inline]
+    pub const fn new(a: Complex, b: Complex, c: Complex, d: Complex) -> Self {
+        Self { a, b, c, d }
+    }
+
+    /// Builds a matrix from real row-major entries.
+    #[inline]
+    pub fn from_real(a: f64, b: f64, c: f64, d: f64) -> Self {
+        Self::new(c64(a, 0.0), c64(b, 0.0), c64(c, 0.0), c64(d, 0.0))
+    }
+
+    /// Diagonal matrix `diag(p, q)`.
+    #[inline]
+    pub const fn diag(p: Complex, q: Complex) -> Self {
+        Self {
+            a: p,
+            b: Complex::ZERO,
+            c: Complex::ZERO,
+            d: q,
+        }
+    }
+
+    /// Real rotation matrix `R(θ) = [[cosθ, −sinθ], [sinθ, cosθ]]`
+    /// (counterclockwise by `theta` radians) — Eq. (4) of the paper.
+    pub fn rotation(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self::from_real(c, -s, s, c)
+    }
+
+    /// Determinant `ad − bc`.
+    #[inline]
+    pub fn det(self) -> Complex {
+        self.a * self.d - self.b * self.c
+    }
+
+    /// Trace `a + d`.
+    #[inline]
+    pub fn trace(self) -> Complex {
+        self.a + self.d
+    }
+
+    /// Matrix inverse. Returns `None` when the determinant magnitude is
+    /// below `1e-300` (numerically singular).
+    pub fn inverse(self) -> Option<Self> {
+        let det = self.det();
+        if det.abs() < 1e-300 {
+            return None;
+        }
+        let inv = det.inv();
+        Some(Self {
+            a: self.d * inv,
+            b: -self.b * inv,
+            c: -self.c * inv,
+            d: self.a * inv,
+        })
+    }
+
+    /// Transpose.
+    #[inline]
+    pub fn transpose(self) -> Self {
+        Self {
+            a: self.a,
+            b: self.c,
+            c: self.b,
+            d: self.d,
+        }
+    }
+
+    /// Conjugate (Hermitian) transpose `M†`.
+    #[inline]
+    pub fn dagger(self) -> Self {
+        Self {
+            a: self.a.conj(),
+            b: self.c.conj(),
+            c: self.b.conj(),
+            d: self.d.conj(),
+        }
+    }
+
+    /// Element-wise complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            a: self.a.conj(),
+            b: self.b.conj(),
+            c: self.c.conj(),
+            d: self.d.conj(),
+        }
+    }
+
+    /// Scales every entry by a complex factor.
+    #[inline]
+    pub fn scale(self, k: Complex) -> Self {
+        Self {
+            a: self.a * k,
+            b: self.b * k,
+            c: self.c * k,
+            d: self.d * k,
+        }
+    }
+
+    /// Frobenius norm `√Σ|mᵢⱼ|²`.
+    pub fn frobenius_norm(self) -> f64 {
+        (self.a.norm_sqr() + self.b.norm_sqr() + self.c.norm_sqr() + self.d.norm_sqr()).sqrt()
+    }
+
+    /// Maximum entry-wise absolute difference to `other`.
+    pub fn max_abs_diff(self, other: Self) -> f64 {
+        [
+            (self.a - other.a).abs(),
+            (self.b - other.b).abs(),
+            (self.c - other.c).abs(),
+            (self.d - other.d).abs(),
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
+    }
+
+    /// True when `M†M ≈ I` within tolerance `tol` (energy-preserving
+    /// polarization transform).
+    pub fn is_unitary(self, tol: f64) -> bool {
+        (self.dagger() * self).max_abs_diff(Mat2::IDENTITY) <= tol
+    }
+
+    /// True when every entry is finite.
+    pub fn is_finite(self) -> bool {
+        self.a.is_finite() && self.b.is_finite() && self.c.is_finite() && self.d.is_finite()
+    }
+
+    /// True when equal to `other` up to a global (unit-magnitude) complex
+    /// phase, within tolerance — physical equivalence for Jones matrices,
+    /// which are only defined up to common phase.
+    pub fn approx_eq_up_to_phase(self, other: Self, tol: f64) -> bool {
+        // Find the largest-magnitude entry of `other` to estimate the phase.
+        let pairs = [
+            (self.a, other.a),
+            (self.b, other.b),
+            (self.c, other.c),
+            (self.d, other.d),
+        ];
+        let (s, o) = pairs
+            .into_iter()
+            .max_by(|(_, o1), (_, o2)| o1.abs().total_cmp(&o2.abs()))
+            .expect("non-empty");
+        if o.abs() < tol {
+            // `other` is (near) zero; compare directly.
+            return self.max_abs_diff(other) <= tol;
+        }
+        let phase = s / o;
+        if (phase.abs() - 1.0).abs() > tol.max(1e-9) {
+            return false;
+        }
+        self.max_abs_diff(other.scale(phase)) <= tol
+    }
+}
+
+impl Vec2 {
+    /// Zero vector.
+    pub const ZERO: Vec2 = Vec2 {
+        x: Complex::ZERO,
+        y: Complex::ZERO,
+    };
+
+    /// Builds a vector from complex components.
+    #[inline]
+    pub const fn new(x: Complex, y: Complex) -> Self {
+        Self { x, y }
+    }
+
+    /// Builds a vector from real components.
+    #[inline]
+    pub fn from_real(x: f64, y: f64) -> Self {
+        Self::new(c64(x, 0.0), c64(y, 0.0))
+    }
+
+    /// Hermitian inner product `⟨self, other⟩ = x̄·x' + ȳ·y'`.
+    #[inline]
+    pub fn dot(self, other: Self) -> Complex {
+        self.x.conj() * other.x + self.y.conj() * other.y
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        (self.x.norm_sqr() + self.y.norm_sqr()).sqrt()
+    }
+
+    /// Squared norm (total field intensity).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.x.norm_sqr() + self.y.norm_sqr()
+    }
+
+    /// Returns the unit vector in the same direction, or `None` for a
+    /// (near-)zero vector.
+    pub fn normalized(self) -> Option<Self> {
+        let n = self.norm();
+        if n < 1e-300 {
+            None
+        } else {
+            Some(Self {
+                x: self.x / n,
+                y: self.y / n,
+            })
+        }
+    }
+
+    /// Scales by a complex factor.
+    #[inline]
+    pub fn scale(self, k: Complex) -> Self {
+        Self {
+            x: self.x * k,
+            y: self.y * k,
+        }
+    }
+
+    /// Maximum component-wise absolute difference to `other`.
+    pub fn max_abs_diff(self, other: Self) -> f64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// True when every component is finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Mul for Mat2 {
+    type Output = Mat2;
+    #[inline]
+    fn mul(self, r: Mat2) -> Mat2 {
+        Mat2 {
+            a: self.a * r.a + self.b * r.c,
+            b: self.a * r.b + self.b * r.d,
+            c: self.c * r.a + self.d * r.c,
+            d: self.c * r.b + self.d * r.d,
+        }
+    }
+}
+
+impl Mul<Vec2> for Mat2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, v: Vec2) -> Vec2 {
+        Vec2 {
+            x: self.a * v.x + self.b * v.y,
+            y: self.c * v.x + self.d * v.y,
+        }
+    }
+}
+
+impl Add for Mat2 {
+    type Output = Mat2;
+    #[inline]
+    fn add(self, r: Mat2) -> Mat2 {
+        Mat2 {
+            a: self.a + r.a,
+            b: self.b + r.b,
+            c: self.c + r.c,
+            d: self.d + r.d,
+        }
+    }
+}
+
+impl Sub for Mat2 {
+    type Output = Mat2;
+    #[inline]
+    fn sub(self, r: Mat2) -> Mat2 {
+        Mat2 {
+            a: self.a - r.a,
+            b: self.b - r.b,
+            c: self.c - r.c,
+            d: self.d - r.d,
+        }
+    }
+}
+
+impl Neg for Mat2 {
+    type Output = Mat2;
+    #[inline]
+    fn neg(self) -> Mat2 {
+        Mat2 {
+            a: -self.a,
+            b: -self.b,
+            c: -self.c,
+            d: -self.d,
+        }
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, r: Vec2) -> Vec2 {
+        Vec2 {
+            x: self.x + r.x,
+            y: self.y + r.y,
+        }
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, r: Vec2) -> Vec2 {
+        Vec2 {
+            x: self.x - r.x,
+            y: self.y - r.y,
+        }
+    }
+}
+
+impl fmt::Debug for Mat2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[[{:?}, {:?}], [{:?}, {:?}]]",
+            self.a, self.b, self.c, self.d
+        )
+    }
+}
+
+impl fmt::Debug for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?}, {:?}]", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn identity_is_neutral() {
+        let m = Mat2::new(c64(1.0, 2.0), c64(-0.5, 0.1), c64(0.0, 1.0), c64(2.0, 0.0));
+        assert!((Mat2::IDENTITY * m).max_abs_diff(m) < TOL);
+        assert!((m * Mat2::IDENTITY).max_abs_diff(m) < TOL);
+    }
+
+    #[test]
+    fn rotation_composes_additively() {
+        let r1 = Mat2::rotation(0.3);
+        let r2 = Mat2::rotation(0.5);
+        assert!((r1 * r2).max_abs_diff(Mat2::rotation(0.8)) < TOL);
+    }
+
+    #[test]
+    fn rotation_inverse_is_transpose() {
+        let r = Mat2::rotation(1.1);
+        assert!((r * r.transpose()).max_abs_diff(Mat2::IDENTITY) < TOL);
+        let inv = r.inverse().unwrap();
+        assert!(inv.max_abs_diff(r.transpose()) < TOL);
+    }
+
+    #[test]
+    fn rotation_is_unitary() {
+        for k in 0..8 {
+            assert!(Mat2::rotation(k as f64 * PI / 4.0).is_unitary(TOL));
+        }
+    }
+
+    #[test]
+    fn rotation_quarter_turn_maps_x_to_y() {
+        let v = Vec2::from_real(1.0, 0.0);
+        let w = Mat2::rotation(FRAC_PI_2) * v;
+        assert!(w.max_abs_diff(Vec2::from_real(0.0, 1.0)) < TOL);
+    }
+
+    #[test]
+    fn det_of_product_is_product_of_dets() {
+        let m = Mat2::new(c64(1.0, 1.0), c64(0.0, 2.0), c64(3.0, 0.0), c64(1.0, -1.0));
+        let n = Mat2::new(c64(0.5, 0.0), c64(1.0, 0.0), c64(0.0, 1.0), c64(2.0, 2.0));
+        assert!(((m * n).det() - m.det() * n.det()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let m = Mat2::new(c64(1.0, 1.0), c64(0.0, 2.0), c64(3.0, 0.0), c64(1.0, -1.0));
+        let inv = m.inverse().unwrap();
+        assert!((m * inv).max_abs_diff(Mat2::IDENTITY) < 1e-10);
+        assert!((inv * m).max_abs_diff(Mat2::IDENTITY) < 1e-10);
+    }
+
+    #[test]
+    fn singular_has_no_inverse() {
+        let m = Mat2::from_real(1.0, 2.0, 2.0, 4.0);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn dagger_reverses_products() {
+        let m = Mat2::new(c64(1.0, 1.0), c64(0.0, 2.0), c64(3.0, 0.0), c64(1.0, -1.0));
+        let n = Mat2::rotation(0.4);
+        assert!((m * n).dagger().max_abs_diff(n.dagger() * m.dagger()) < 1e-10);
+    }
+
+    #[test]
+    fn vector_norm_and_dot() {
+        let v = Vec2::new(c64(3.0, 0.0), c64(0.0, 4.0));
+        assert!((v.norm() - 5.0).abs() < TOL);
+        assert!((v.dot(v).re - 25.0).abs() < TOL);
+        assert!(v.dot(v).im.abs() < TOL);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vec2::from_real(3.0, 4.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < TOL);
+        assert!(Vec2::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn unitary_preserves_norm() {
+        let u = Mat2::rotation(FRAC_PI_4);
+        let v = Vec2::new(c64(1.0, 0.5), c64(-0.2, 0.9));
+        assert!(((u * v).norm() - v.norm()).abs() < TOL);
+    }
+
+    #[test]
+    fn phase_equivalence() {
+        let m = Mat2::rotation(0.7);
+        let phased = m.scale(Complex::cis(1.234));
+        assert!(m.approx_eq_up_to_phase(phased, 1e-9));
+        assert!(!m.approx_eq_up_to_phase(Mat2::rotation(0.9), 1e-9));
+    }
+
+    #[test]
+    fn diag_multiplication() {
+        let d = Mat2::diag(c64(2.0, 0.0), c64(0.0, 1.0));
+        let v = Vec2::from_real(1.0, 1.0);
+        let w = d * v;
+        assert_eq!(w.x, c64(2.0, 0.0));
+        assert_eq!(w.y, c64(0.0, 1.0));
+    }
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        assert!((Mat2::IDENTITY.frobenius_norm() - 2.0_f64.sqrt()).abs() < TOL);
+    }
+}

@@ -1,0 +1,369 @@
+//! Descriptive statistics and histogram/PDF utilities.
+//!
+//! The paper's Figures 2 and 20 are empirical PDFs of received signal
+//! strength; Figure 12 fits a linear power-vs-angle slope. This module
+//! provides the summary statistics, histogramming and least-squares
+//! fitting used by those experiments and by the test-suite.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance; 0 for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum; +∞ for an empty slice.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum; −∞ for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Linear-interpolated percentile (`p ∈ [0, 100]`); NaN for empty input.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let t = rank - lo as f64;
+        sorted[lo] + t * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// An equal-width histogram over `[lo, hi)` with `bins` buckets, plus
+/// underflow/overflow counters. Normalizes to an empirical PDF in percent
+/// (the unit of the paper's Figure 2/20 y-axis).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "lo must be below hi");
+        assert!(bins > 0, "need at least one bin");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Adds every sample from a slice.
+    pub fn add_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Bin count.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bin centers.
+    pub fn centers(&self) -> Vec<f64> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (0..self.counts.len())
+            .map(|i| self.lo + (i as f64 + 0.5) * w)
+            .collect()
+    }
+
+    /// Raw counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of samples outside `[lo, hi)`.
+    pub fn outliers(&self) -> u64 {
+        self.underflow + self.overflow
+    }
+
+    /// Total samples added (including outliers).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Empirical PDF in percent per bin (sums to ≤ 100, the remainder
+    /// being outliers) — matches the paper's PDF(%) axes.
+    pub fn pdf_percent(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| 100.0 * c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// The bin center with the highest count (mode of the PDF).
+    pub fn mode(&self) -> f64 {
+        let centers = self.centers();
+        let (idx, _) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .expect("bins is non-zero");
+        centers[idx]
+    }
+}
+
+/// Ordinary least-squares fit `y ≈ slope·x + intercept`.
+///
+/// Returns `(slope, intercept, r²)`. Degenerate inputs (fewer than two
+/// points or zero x-variance) return a flat fit with `r² = 0`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "input lengths must match");
+    let n = xs.len();
+    if n < 2 {
+        return (0.0, ys.first().copied().unwrap_or(0.0), 0.0);
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 {
+        return (0.0, my, 0.0);
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy <= 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    (slope, intercept, r2)
+}
+
+/// Pearson correlation coefficient; 0 for degenerate input.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let (slope, _, r2) = linear_fit(xs, ys);
+    r2.sqrt().copysign(slope)
+}
+
+/// Spearman rank correlation — used to compare our simulated Table 1
+/// rotation grid against the paper's (shape agreement, not absolute
+/// equality).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        // Average ranks over ties.
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            out[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Simple moving average with window `w` (centered output has the same
+/// length as the input; edges use the available partial window). Used to
+/// smooth sensing traces before rate extraction.
+pub fn moving_average(xs: &[f64], w: usize) -> Vec<f64> {
+    if w <= 1 || xs.is_empty() {
+        return xs.to_vec();
+    }
+    let half = w / 2;
+    (0..xs.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(xs.len());
+            mean(&xs[lo..hi])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(min(&[]), f64::INFINITY);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(median(&xs), 3.0);
+        assert!((percentile(&xs, 25.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_pdf_sums_to_100() {
+        let mut h = Histogram::new(-50.0, -20.0, 30);
+        for i in 0..1000 {
+            h.add(-50.0 + 30.0 * (i as f64 / 1000.0));
+        }
+        let sum: f64 = h.pdf_percent().iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert_eq!(h.outliers(), 0);
+    }
+
+    #[test]
+    fn histogram_outliers_counted() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.add(-1.0);
+        h.add(2.0);
+        h.add(0.5);
+        assert_eq!(h.outliers(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn histogram_mode() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add_all(&[1.1, 5.5, 5.6, 5.4, 9.0]);
+        assert!((h.mode() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 7.0).collect();
+        let (m, b, r2) = linear_fit(&xs, &ys);
+        assert!((m - 3.0).abs() < 1e-12);
+        assert!((b + 7.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_degenerate() {
+        let (m, b, r2) = linear_fit(&[1.0], &[5.0]);
+        assert_eq!((m, b, r2), (0.0, 5.0, 0.0));
+        let (m, _, r2) = linear_fit(&[2.0, 2.0], &[1.0, 3.0]);
+        assert_eq!(m, 0.0);
+        assert_eq!(r2, 0.0);
+    }
+
+    #[test]
+    fn pearson_signs() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [1.0, 2.0, 2.9, 4.2];
+        let down = [4.0, 3.1, 2.0, 0.9];
+        assert!(pearson(&xs, &up) > 0.99);
+        assert!(pearson(&xs, &down) < -0.99);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // A monotone nonlinear relation has perfect rank correlation.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let xs = [0.0, 10.0, 0.0, 10.0, 0.0, 10.0];
+        let sm = moving_average(&xs, 3);
+        assert_eq!(sm.len(), xs.len());
+        // Interior points become ~ the local mean.
+        for v in &sm[1..5] {
+            assert!((*v - 20.0 / 3.0).abs() < 3.4);
+        }
+        // Window of 1 is identity.
+        assert_eq!(moving_average(&xs, 1), xs.to_vec());
+    }
+}

@@ -1,0 +1,201 @@
+//! Stokes parameters and the Poincaré-sphere view of polarization.
+//!
+//! Jones vectors describe fully polarized fields; Stokes parameters
+//! additionally describe *partially* polarized fields (e.g. after rich
+//! multipath mixes orientations). The controller never needs Stokes
+//! algebra, but the propagation substrate uses it to reason about
+//! depolarization in the laboratory environment, and the test-suite uses
+//! the Jones↔Stokes mapping as an independent cross-check of the Jones
+//! implementation.
+
+use crate::jones::JonesVector;
+use crate::units::Radians;
+
+/// Stokes parameters `(S0, S1, S2, S3)` of a (possibly partially
+/// polarized) wave. `S0` is total intensity; `S1` H/V balance; `S2`
+/// ±45° balance; `S3` circular balance.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Stokes {
+    /// Total intensity.
+    pub s0: f64,
+    /// Linear horizontal (+) vs vertical (−) power balance.
+    pub s1: f64,
+    /// Linear +45° (+) vs −45° (−) power balance.
+    pub s2: f64,
+    /// Right (−) vs left (+) circular balance (convention follows our
+    /// `exp(+jωt)` phasor sign).
+    pub s3: f64,
+}
+
+impl Stokes {
+    /// Unpolarized wave of intensity `s0`.
+    pub fn unpolarized(s0: f64) -> Self {
+        Self {
+            s0,
+            s1: 0.0,
+            s2: 0.0,
+            s3: 0.0,
+        }
+    }
+
+    /// Stokes parameters of a fully polarized Jones state.
+    pub fn from_jones(j: JonesVector) -> Self {
+        let (ex, ey) = j.components();
+        Self {
+            s0: ex.norm_sqr() + ey.norm_sqr(),
+            s1: ex.norm_sqr() - ey.norm_sqr(),
+            s2: 2.0 * (ex * ey.conj()).re,
+            s3: 2.0 * (ex.conj() * ey).im,
+        }
+    }
+
+    /// Degree of polarization `√(S1²+S2²+S3²)/S0 ∈ [0, 1]`.
+    pub fn degree_of_polarization(self) -> f64 {
+        if self.s0 <= 0.0 {
+            return 0.0;
+        }
+        ((self.s1 * self.s1 + self.s2 * self.s2 + self.s3 * self.s3).sqrt() / self.s0)
+            .clamp(0.0, 1.0)
+    }
+
+    /// Orientation ψ of the polarization ellipse, `(-π/2, π/2]`.
+    pub fn orientation(self) -> Radians {
+        let mut psi = 0.5 * self.s2.atan2(self.s1);
+        if psi <= -std::f64::consts::FRAC_PI_2 {
+            psi += std::f64::consts::PI;
+        } else if psi > std::f64::consts::FRAC_PI_2 {
+            psi -= std::f64::consts::PI;
+        }
+        Radians(psi)
+    }
+
+    /// Ellipticity angle χ, `[-π/4, π/4]`.
+    pub fn ellipticity(self) -> Radians {
+        let p = (self.s1 * self.s1 + self.s2 * self.s2 + self.s3 * self.s3).sqrt();
+        if p <= 0.0 {
+            return Radians(0.0);
+        }
+        Radians(0.5 * (self.s3 / p).clamp(-1.0, 1.0).asin())
+    }
+
+    /// Incoherent superposition (adds component-wise): models summing
+    /// mutually incoherent multipath arrivals.
+    pub fn add_incoherent(self, other: Stokes) -> Stokes {
+        Stokes {
+            s0: self.s0 + other.s0,
+            s1: self.s1 + other.s1,
+            s2: self.s2 + other.s2,
+            s3: self.s3 + other.s3,
+        }
+    }
+
+    /// Splits into fully polarized + unpolarized parts, returning
+    /// `(polarized, unpolarized)` with `polarized + unpolarized == self`.
+    pub fn decompose(self) -> (Stokes, Stokes) {
+        let p = self.degree_of_polarization();
+        let pol = Stokes {
+            s0: self.s0 * p,
+            s1: self.s1,
+            s2: self.s2,
+            s3: self.s3,
+        };
+        let unpol = Stokes::unpolarized(self.s0 * (1.0 - p));
+        (pol, unpol)
+    }
+
+    /// Received power fraction through a polarizing receive antenna whose
+    /// co-polarized Jones state is `rx` (projective measurement on the
+    /// Poincaré sphere). The unpolarized component couples at 1/2.
+    pub fn received_fraction(self, rx: JonesVector) -> f64 {
+        if self.s0 <= 0.0 {
+            return 0.0;
+        }
+        let rx_stokes = Stokes::from_jones(rx.normalized().unwrap_or(rx));
+        // ½·(1 + ŝ·r̂·p) combining polarized and unpolarized parts:
+        let p = self.degree_of_polarization();
+        let smag = (self.s1 * self.s1 + self.s2 * self.s2 + self.s3 * self.s3).sqrt();
+        let dot = if smag > 0.0 {
+            (self.s1 * rx_stokes.s1 + self.s2 * rx_stokes.s2 + self.s3 * rx_stokes.s3) / smag
+        } else {
+            0.0
+        };
+        0.5 * (1.0 + p * dot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jones::JonesVector;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn jones_round_trip_orientation() {
+        for deg in [0.0, 20.0, 45.0, 75.0] {
+            let j = JonesVector::linear_deg(deg);
+            let s = Stokes::from_jones(j);
+            assert!(
+                (s.orientation().to_degrees().0 - deg).abs() < 1e-9,
+                "deg={deg}"
+            );
+            assert!((s.degree_of_polarization() - 1.0).abs() < TOL);
+            assert!(s.ellipticity().0.abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn circular_states_sit_at_poles() {
+        let l = Stokes::from_jones(JonesVector::circular_left());
+        let r = Stokes::from_jones(JonesVector::circular_right());
+        assert!((l.s3 - 1.0).abs() < TOL);
+        assert!((r.s3 + 1.0).abs() < TOL);
+        assert!(l.s1.abs() < TOL && l.s2.abs() < TOL);
+    }
+
+    #[test]
+    fn incoherent_sum_of_orthogonal_depolarizes() {
+        let h = Stokes::from_jones(JonesVector::horizontal());
+        let v = Stokes::from_jones(JonesVector::vertical());
+        let sum = h.add_incoherent(v);
+        assert!(sum.degree_of_polarization() < TOL);
+        assert!((sum.s0 - 2.0).abs() < TOL);
+    }
+
+    #[test]
+    fn decompose_reconstructs() {
+        let mixed = Stokes {
+            s0: 2.0,
+            s1: 0.8,
+            s2: 0.3,
+            s3: -0.1,
+        };
+        let (pol, unpol) = mixed.decompose();
+        assert!((pol.s0 + unpol.s0 - mixed.s0).abs() < TOL);
+        assert!((pol.degree_of_polarization() - 1.0).abs() < 1e-9);
+        assert!(unpol.degree_of_polarization() < TOL);
+    }
+
+    #[test]
+    fn received_fraction_matches_plf_for_pure_states() {
+        // For fully polarized input, the Stokes projective measurement must
+        // agree with the Jones PLF — a strong cross-check of both modules.
+        let rx = JonesVector::linear_deg(25.0);
+        for deg in [0.0, 10.0, 55.0, 90.0, 115.0] {
+            let tx = JonesVector::linear_deg(deg);
+            let via_jones = tx.polarization_loss_factor(rx);
+            let via_stokes = Stokes::from_jones(tx).received_fraction(rx);
+            assert!(
+                (via_jones - via_stokes).abs() < 1e-9,
+                "deg={deg}: {via_jones} vs {via_stokes}"
+            );
+        }
+    }
+
+    #[test]
+    fn unpolarized_couples_at_half() {
+        let u = Stokes::unpolarized(1.0);
+        assert!((u.received_fraction(JonesVector::horizontal()) - 0.5).abs() < TOL);
+        assert!((u.received_fraction(JonesVector::circular_left()) - 0.5).abs() < TOL);
+    }
+}

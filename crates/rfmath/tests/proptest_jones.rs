@@ -1,0 +1,183 @@
+//! Property-based tests for the Jones-calculus core.
+//!
+//! These pin the algebraic identities the rest of the system leans on:
+//! unitarity of lossless elements, the Eq. (8) rotator equivalence for all
+//! bias-induced phase differences, PLF bounds, and Jones↔Stokes agreement.
+
+use proptest::prelude::*;
+use rfmath::jones::{JonesMatrix, JonesVector};
+use rfmath::matrix::Mat2;
+use rfmath::stokes::Stokes;
+use rfmath::units::Radians;
+
+fn angle() -> impl Strategy<Value = f64> {
+    -std::f64::consts::PI..std::f64::consts::PI
+}
+
+fn small_amp() -> impl Strategy<Value = f64> {
+    0.01f64..10.0
+}
+
+proptest! {
+    #[test]
+    fn rotations_are_unitary(theta in angle()) {
+        let r = JonesMatrix::rotation(Radians(theta));
+        prop_assert!(r.0.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn wave_plates_are_unitary(alpha in angle(), theta in angle()) {
+        let m = JonesMatrix::wave_plate(Radians(alpha)).rotated(Radians(theta));
+        prop_assert!(m.0.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn birefringent_structures_are_unitary(beta in angle(), delta in angle()) {
+        let b = JonesMatrix::birefringent(Radians(beta), Radians(delta));
+        prop_assert!(b.0.is_unitary(1e-9));
+    }
+
+    /// Eq. (8): the QWP–BFS–QWP sandwich is a rotation by δ/2 for *every*
+    /// δ and arbitrary common phases.
+    #[test]
+    fn rotator_always_rotates_by_half_delta(
+        alpha in angle(),
+        beta in angle(),
+        delta in -3.0f64..3.0,
+    ) {
+        let p = JonesMatrix::rotator(Radians(alpha), Radians(beta), Radians(delta));
+        let got = p.rotation_angle(1e-7);
+        prop_assert!(got.is_some(), "rotator not recognized as rotation, δ={delta}");
+        let got = got.unwrap().0;
+        prop_assert!((got - delta / 2.0).abs() < 1e-7,
+            "δ={delta}: expected {} got {got}", delta / 2.0);
+    }
+
+    /// The rotator matrix itself equals R(δ/2) up to global phase.
+    #[test]
+    fn rotator_matches_rotation_matrix(delta in -3.0f64..3.0) {
+        let p = JonesMatrix::rotator(Radians(0.1), Radians(0.2), Radians(delta));
+        let r = Mat2::rotation(delta / 2.0);
+        prop_assert!(p.0.approx_eq_up_to_phase(r, 1e-8));
+    }
+
+    /// PLF is always in [0, 1] and symmetric for unit states.
+    #[test]
+    fn plf_bounds_and_symmetry(a in angle(), b in angle()) {
+        let u = JonesVector::linear(Radians(a));
+        let v = JonesVector::linear(Radians(b));
+        let p1 = u.polarization_loss_factor(v);
+        let p2 = v.polarization_loss_factor(u);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p1));
+        prop_assert!((p1 - p2).abs() < 1e-10);
+    }
+
+    /// Malus' law: linear-linear PLF equals cos² of the orientation gap.
+    #[test]
+    fn plf_is_cos_squared(a in angle(), b in angle()) {
+        let u = JonesVector::linear(Radians(a));
+        let v = JonesVector::linear(Radians(b));
+        let expected = (a - b).cos().powi(2);
+        prop_assert!((u.polarization_loss_factor(v) - expected).abs() < 1e-9);
+    }
+
+    /// A unitary transform never changes total intensity.
+    #[test]
+    fn unitary_preserves_intensity(
+        theta in angle(), delta in angle(),
+        ax in small_amp(), ay in small_amp(), ph in angle(),
+    ) {
+        let v = JonesVector(rfmath::Vec2::new(
+            rfmath::c64(ax, 0.0),
+            rfmath::Complex::from_polar(ay, ph),
+        ));
+        let m = JonesMatrix::rotator(Radians(0.0), Radians(0.0), Radians(delta))
+            * JonesMatrix::rotation(Radians(theta));
+        let out = m.apply(v);
+        prop_assert!((out.intensity() - v.intensity()).abs() < 1e-9 * v.intensity().max(1.0));
+    }
+
+    /// Rotating a linear state rotates its orientation (mod π).
+    #[test]
+    fn rotation_moves_orientation(a in -1.4f64..1.4, theta in -0.7f64..0.7) {
+        let v = JonesVector::linear(Radians(a));
+        let out = JonesMatrix::rotation(Radians(theta)).apply(v);
+        let got = out.orientation().0;
+        let expected = a + theta;
+        // Compare modulo π (orientation is a line, not a vector).
+        let diff = (got - expected).rem_euclid(std::f64::consts::PI);
+        let diff = diff.min(std::f64::consts::PI - diff);
+        prop_assert!(diff < 1e-9, "a={a} θ={theta} got={got}");
+    }
+
+    /// Jones→Stokes preserves intensity and full polarization.
+    #[test]
+    fn stokes_consistency(ax in small_amp(), ay in small_amp(), ph in angle()) {
+        let v = JonesVector(rfmath::Vec2::new(
+            rfmath::c64(ax, 0.0),
+            rfmath::Complex::from_polar(ay, ph),
+        ));
+        let s = Stokes::from_jones(v);
+        prop_assert!((s.s0 - v.intensity()).abs() < 1e-9 * v.intensity());
+        prop_assert!((s.degree_of_polarization() - 1.0).abs() < 1e-9);
+        // Orientation agrees between the two representations.
+        prop_assert!((s.orientation().0 - v.orientation().0).abs() < 1e-9);
+    }
+
+    /// Stokes projective measurement agrees with Jones PLF on pure states.
+    #[test]
+    fn stokes_measurement_matches_plf(a in angle(), b in angle()) {
+        let tx = JonesVector::linear(Radians(a));
+        let rx = JonesVector::linear(Radians(b));
+        let plf = tx.polarization_loss_factor(rx);
+        let frac = Stokes::from_jones(tx).received_fraction(rx);
+        prop_assert!((plf - frac).abs() < 1e-9);
+    }
+
+    /// Cascading is associative (Eq. 2 chains arbitrarily).
+    #[test]
+    fn cascade_associativity(d1 in angle(), d2 in angle(), t in angle()) {
+        let m1 = JonesMatrix::birefringent(Radians(0.0), Radians(d1));
+        let m2 = JonesMatrix::rotation(Radians(t));
+        let m3 = JonesMatrix::birefringent(Radians(0.0), Radians(d2));
+        let left = (m1 * m2) * m3;
+        let right = m1 * (m2 * m3);
+        prop_assert!(left.0.max_abs_diff(right.0) < 1e-10);
+    }
+}
+
+proptest! {
+    /// Mat2 inverse round-trips whenever the determinant is well
+    /// conditioned.
+    #[test]
+    fn mat2_inverse_round_trip(
+        ar in -3.0f64..3.0, ai in -3.0f64..3.0,
+        br in -3.0f64..3.0, bi in -3.0f64..3.0,
+        cr in -3.0f64..3.0, ci in -3.0f64..3.0,
+        dr in -3.0f64..3.0, di in -3.0f64..3.0,
+    ) {
+        let m = Mat2::new(
+            rfmath::c64(ar, ai), rfmath::c64(br, bi),
+            rfmath::c64(cr, ci), rfmath::c64(dr, di),
+        );
+        prop_assume!(m.det().abs() > 1e-3);
+        let inv = m.inverse().unwrap();
+        prop_assert!((m * inv).max_abs_diff(Mat2::IDENTITY) < 1e-7);
+    }
+
+    /// Complex square root squares back.
+    #[test]
+    fn complex_sqrt_round_trip(re in -100.0f64..100.0, im in -100.0f64..100.0) {
+        let z = rfmath::c64(re, im);
+        let s = z.sqrt();
+        prop_assert!((s * s - z).abs() < 1e-9 * z.abs().max(1.0));
+        prop_assert!(s.re >= -1e-12);
+    }
+
+    /// dBm↔mW round trip.
+    #[test]
+    fn dbm_round_trip(mw in 1e-6f64..1e6) {
+        let dbm = rfmath::Watts::from_mw(mw).to_dbm();
+        prop_assert!((dbm.to_mw() - mw).abs() / mw < 1e-10);
+    }
+}

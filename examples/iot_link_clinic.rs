@@ -1,0 +1,68 @@
+//! IoT link clinic: what the surface does for a real low-cost device.
+//!
+//! Walks the Figure 20 scenario: a Wi-Fi AP talking to an ESP8266-based
+//! Arduino across a living room, with the station's antenna orientation
+//! drifting (a wearable on a moving arm, a sensor knocked sideways).
+//! For each orientation we show the ESP8266's quantized RSSI, the
+//! 802.11g rate it can sustain, and what the surface recovers.
+//!
+//! ```sh
+//! cargo run --release --example iot_link_clinic
+//! ```
+
+use llama::core::scenario::Scenario;
+use llama::core::system::LlamaSystem;
+use llama::devices::wifi::{AccessPoint, WifiStation};
+use llama::rfmath::rng::SeedSplitter;
+use llama::rfmath::stats;
+
+fn main() {
+    println!("IoT link clinic — ESP8266 station vs antenna orientation");
+    println!();
+    println!(
+        "{:>10} | {:>12} {:>10} {:>10} | {:>12} {:>10} {:>10}",
+        "mismatch", "RSSI w/o", "rate", "tput", "RSSI with", "rate", "tput"
+    );
+    println!(
+        "{:>10} | {:>12} {:>10} {:>10} | {:>12} {:>10} {:>10}",
+        "(deg)", "(dBm)", "(Mbps)", "(Mbps)", "(dBm)", "(Mbps)", "(Mbps)"
+    );
+    println!("{}", "-".repeat(88));
+
+    let ap = AccessPoint::netgear_n300();
+
+    for mismatch in [0.0, 30.0, 60.0, 75.0, 90.0] {
+        let scenario = Scenario::wifi_iot_default()
+            .with_mismatch_deg(mismatch)
+            .with_seed(11);
+        let mut station = WifiStation::esp8266(&SeedSplitter::new(11));
+
+        // Without the surface: the raw (fading + quantization) RSSI.
+        let p_without = scenario.link().received_dbm(None);
+        let rssi_without = stats::mean(&station.read_rssi_batch(p_without, 200));
+        let rate_without = station
+            .achievable_rate_mbps(p_without)
+            .unwrap_or(0.0);
+        let tput_without = ap.downlink_throughput_mbps(&station, p_without);
+
+        // With the surface, after the controller converges.
+        let mut system = LlamaSystem::new(scenario);
+        let outcome = system.optimize();
+        let p_with = outcome.best_power_dbm;
+        let rssi_with = stats::mean(&station.read_rssi_batch(p_with, 200));
+        let rate_with = station.achievable_rate_mbps(p_with).unwrap_or(0.0);
+        let tput_with = ap.downlink_throughput_mbps(&station, p_with);
+
+        println!(
+            "{mismatch:>10.0} | {rssi_without:>12.1} {rate_without:>10.0} {tput_without:>10.1} \
+             | {rssi_with:>12.1} {rate_with:>10.0} {tput_with:>10.1}"
+        );
+    }
+
+    println!();
+    println!("Reading the table:");
+    println!("  * aligned mounts (0°) need no help — the surface neither adds nor costs much;");
+    println!("  * past ~60° of drift the bare link sheds MCS steps; at 90° it is fragile;");
+    println!("  * the surface's polarization rotation recovers the RSSI and the rate ladder,");
+    println!("    which is exactly the Figure 20 distribution shift in throughput terms.");
+}

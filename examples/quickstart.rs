@@ -1,0 +1,66 @@
+//! Quickstart: rescue a polarization-mismatched IoT link.
+//!
+//! Reproduces the paper's headline demo end to end: a transmitter and
+//! receiver with orthogonally oriented antennas (the worst-case mismatch
+//! of Figure 1), a LLAMA metasurface between them, and the controller
+//! sweeping the two bias voltages until the link recovers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use llama::core::scenario::Scenario;
+use llama::core::system::LlamaSystem;
+use llama::metasurface::stack::BiasState;
+
+fn main() {
+    // The paper's §4 controlled setup: USRP endpoints with directional
+    // panels 36 cm apart, fully mismatched (90°), absorber environment,
+    // surface midway.
+    let scenario = Scenario::transmissive_default()
+        .with_distance_cm(36.0)
+        .with_seed(7);
+
+    println!("LLAMA quickstart — transmissive link optimization");
+    println!("  carrier      : {:.3} GHz", scenario.frequency.ghz());
+    println!("  tx power     : {:.1} mW", scenario.tx_power.mw());
+    println!("  mismatch     : {:.0}°", scenario.link().mismatch_deg());
+    println!();
+
+    let mut system = LlamaSystem::new(scenario);
+
+    // Step 1: baseline without the surface (averaged measurement).
+    let baseline = system.baseline_power_dbm();
+    println!("baseline (no surface)        : {baseline:.1}");
+
+    // Step 2: a couple of manual bias states, to see the knob work.
+    for (vx, vy) in [(2.0, 2.0), (15.0, 2.0), (2.0, 15.0)] {
+        let p = system.true_power_dbm(BiasState::new(vx, vy));
+        println!("bias ({vx:>4.1} V, {vy:>4.1} V)       : {p:.1}");
+    }
+
+    // Step 3: let Algorithm 1 find the optimum.
+    let outcome = system.optimize();
+    println!();
+    println!("Algorithm 1 converged:");
+    println!(
+        "  best bias    : Vx = {:.1} V, Vy = {:.1} V",
+        outcome.best_bias.vx.0, outcome.best_bias.vy.0
+    );
+    println!("  best power   : {:.1}", outcome.best_power_dbm);
+    println!("  improvement  : {:.1} dB over baseline", outcome.improvement.0);
+    println!(
+        "  search cost  : {} probes, {:.2} s at the PSU's 50 Hz budget",
+        outcome.probes, outcome.elapsed.0
+    );
+
+    // The paper reports up to 15 dB of transmissive improvement; anything
+    // above ~8 dB means the rotator is doing its job in this geometry.
+    assert!(
+        outcome.improvement.0 > 5.0,
+        "expected a substantial improvement, got {:.1} dB",
+        outcome.improvement.0
+    );
+    println!();
+    println!("ok: the surface rescued the mismatched link.");
+}

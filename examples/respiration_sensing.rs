@@ -1,0 +1,72 @@
+//! Respiration sensing through the metasurface (paper §5.2.2).
+//!
+//! A subject breathes between a low-power transceiver pair and the
+//! LLAMA panel. At 5 mW the chest's millimetre-scale path modulation is
+//! buried in RSS measurement noise — until the surface's reflective
+//! path lifts the illumination. The example prints both traces and the
+//! detector's verdict.
+//!
+//! ```sh
+//! cargo run --release --example respiration_sensing
+//! ```
+
+use llama::core::render::sparkline;
+use llama::core::scenario::Scenario;
+use llama::core::sensing::{run_sensing, SensingConfig};
+use llama::devices::human::HumanTarget;
+use llama::metasurface::response::Metasurface;
+use llama::rfmath::units::{Meters, Watts};
+
+fn main() {
+    let scenario = Scenario::reflective_default()
+        .with_distance_cm(200.0) // surface 2 m from the pair, as in §5.2.2
+        .with_tx_power(Watts::from_mw(5.0))
+        .with_seed(17);
+    let subject = HumanTarget::resting_adult(Meters(4.2));
+    let config = SensingConfig::default();
+
+    println!("Respiration sensing at {:.0} mW", scenario.tx_power.mw());
+    println!(
+        "subject: {:.0} breaths/min, chest travel {:.0} mm p-p",
+        subject.breaths_per_minute,
+        subject.chest_displacement.mm()
+    );
+    println!();
+
+    let without = run_sensing(&scenario, &subject, None, &config);
+    let surface = Metasurface::llama();
+    let with = run_sensing(&scenario, &subject, Some(&surface), &config);
+
+    let series_with: Vec<f64> = with.trace.iter().map(|(_, p)| p.0).take(240).collect();
+    let series_without: Vec<f64> =
+        without.trace.iter().map(|(_, p)| p.0).take(240).collect();
+
+    print!("{}", sparkline("RSS with surface (first 24 s)", &series_with));
+    print!(
+        "{}",
+        sparkline("RSS without surface (first 24 s)", &series_without)
+    );
+    println!();
+    println!(
+        "with surface    : mean {:.1} dBm, respiration band SNR {:.1} dB, detected {:?} bpm",
+        with.mean_dbm,
+        with.band_snr_db,
+        with.detected_bpm.map(|b| (b * 10.0).round() / 10.0)
+    );
+    println!(
+        "without surface : mean {:.1} dBm, respiration band SNR {:.1} dB, detected {:?}",
+        without.mean_dbm, without.band_snr_db, without.detected_bpm
+    );
+    println!();
+
+    match (with.detected_bpm, without.detected_bpm) {
+        (Some(bpm), None) => println!(
+            "ok: breathing ({bpm:.1} bpm) is only detectable with the surface — the Figure 23 result."
+        ),
+        (Some(bpm), Some(_)) => println!(
+            "note: detected {bpm:.1} bpm in both runs; the surface still raised the band SNR by {:.1} dB.",
+            with.band_snr_db - without.band_snr_db
+        ),
+        _ => println!("note: detection failed; try a different seed or longer capture."),
+    }
+}

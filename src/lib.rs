@@ -1,0 +1,47 @@
+//! # LLAMA — Low-power Lattice of Actuated Metasurface Antennas
+//!
+//! A full-system Rust reproduction of *"Pushing the Physical Limits of IoT
+//! Devices with Programmable Metasurfaces"* (NSDI 2021): a programmable
+//! 2.4 GHz polarization-rotating metasurface, the microwave physics it is
+//! built on, the propagation environment around it, the control plane
+//! that tunes it in real time, and the IoT endpoints it serves — all as
+//! deterministic, testable simulation substrates.
+//!
+//! This crate is a facade: it re-exports the workspace crates so that a
+//! downstream user can depend on `llama` alone.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`rfmath`] | `llama-rfmath` | Complex math, Jones calculus, units, stats |
+//! | [`microwave`] | `llama-microwave` | S-parameters, transmission lines, substrates, varactors |
+//! | [`metasurface`] | `llama-metasurface` | The LLAMA surface: designs, bias→rotation, response |
+//! | [`propagation`] | `llama-propagation` | Antennas, links, multipath environments, capacity |
+//! | [`control`] | `llama-control` | PSU, Algorithm 1 sweeps, synchronization, estimation |
+//! | [`devices`] | `llama-devices` | USRP / Wi-Fi / BLE endpoints, turntable, human target |
+//! | [`core`] | `llama-core` | End-to-end scenarios, system loop, sensing, experiments |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use llama::core::scenario::Scenario;
+//! use llama::core::system::LlamaSystem;
+//!
+//! // The paper's through-surface setup: orthogonal (mismatched) antennas
+//! // 36 cm apart with the metasurface in between.
+//! let scenario = Scenario::transmissive_default()
+//!     .with_distance_cm(36.0)
+//!     .with_seed(7);
+//! let mut system = LlamaSystem::new(scenario);
+//!
+//! let baseline = system.baseline_power_dbm();
+//! let outcome = system.optimize();
+//! assert!(outcome.best_power_dbm.0 > baseline.0, "surface should help");
+//! ```
+
+pub use control;
+pub use devices;
+pub use llama_core as core;
+pub use metasurface;
+pub use microwave;
+pub use propagation;
+pub use rfmath;

@@ -1,0 +1,98 @@
+//! Integration tests for the control plane under adverse conditions:
+//! lossy report channels, synchronization offsets, and the real-time
+//! event loop's timing discipline.
+
+use llama::control::sync::{estimate_offset, label_samples, BiasSchedule};
+use llama::core::scenario::Scenario;
+use llama::core::system::LlamaSystem;
+use llama::metasurface::stack::BiasState;
+use llama::rfmath::units::{Seconds, Volts};
+
+#[test]
+fn realtime_loop_matches_fast_path_quality() {
+    let scenario = Scenario::transmissive_default().with_seed(301);
+    let mut fast = LlamaSystem::new(scenario.clone());
+    let f = fast.optimize();
+    let mut realtime = LlamaSystem::new(scenario);
+    let r = realtime.optimize_realtime();
+    assert!(
+        (f.best_power_dbm.0 - r.best_power_dbm.0).abs() < 3.0,
+        "fast {:.1} vs realtime {:.1} dBm",
+        f.best_power_dbm.0,
+        r.best_power_dbm.0
+    );
+}
+
+#[test]
+fn realtime_loop_respects_the_switching_budget() {
+    let mut system = LlamaSystem::new(Scenario::transmissive_default().with_seed(302));
+    let outcome = system.optimize_realtime();
+    // ≥ 51 switches at 20 ms each can't be faster than ~1 s of sim time.
+    assert!(
+        outcome.elapsed.0 >= 0.02 * outcome.probes as f64 * 0.9,
+        "elapsed {:.2} s for {} switches",
+        outcome.elapsed.0,
+        outcome.probes
+    );
+}
+
+#[test]
+fn heavy_report_loss_degrades_gracefully() {
+    let mut clean = LlamaSystem::new(Scenario::transmissive_default().with_seed(303));
+    let clean_out = clean.optimize_realtime();
+    let mut lossy = LlamaSystem::new(Scenario::transmissive_default().with_seed(303))
+        .with_report_faults(0.4, 0.1);
+    let lossy_out = lossy.optimize_realtime();
+    // Still converges…
+    assert!(lossy_out.improvement.0 > 3.0);
+    // …but pays in wall-clock (timeouts and retries).
+    assert!(
+        lossy_out.elapsed.0 > clean_out.elapsed.0,
+        "lossy {:.2}s should exceed clean {:.2}s",
+        lossy_out.elapsed.0,
+        clean_out.elapsed.0
+    );
+}
+
+#[test]
+fn synchronization_labels_survive_clock_offset() {
+    // An Eq. 13 end-to-end check on a realistic schedule: 50 states at
+    // 20 ms, receiver clock offset 13 ms, 1 kHz power sampling.
+    let schedule = BiasSchedule::linear(
+        Seconds(0.0),
+        Seconds(0.02),
+        (Volts(0.0), Volts(0.0)),
+        (Volts(0.6), Volts(0.6)),
+        50,
+    );
+    let true_td = 0.013;
+    let samples: Vec<(Seconds, f64)> = (0..1000)
+        .map(|i| {
+            let t_rx = i as f64 / 1000.0 + true_td;
+            let idx = ((t_rx - true_td) / 0.02).floor() as usize;
+            (Seconds(t_rx), (idx % 50) as f64)
+        })
+        .collect();
+    let est = estimate_offset(&schedule, &samples, 40);
+    let err = (est.0 - true_td)
+        .abs()
+        .min(0.02 - (est.0 - true_td).abs());
+    assert!(err < 0.002, "offset error {err:.4} s");
+
+    let buckets = label_samples(&schedule, &samples, est, Seconds(0.002));
+    let clean = buckets
+        .iter()
+        .enumerate()
+        .filter(|(idx, b)| b.iter().all(|&v| v as usize == idx % 50))
+        .count();
+    assert!(clean >= 48, "only {clean}/50 buckets cleanly labeled");
+}
+
+#[test]
+fn controller_convergence_point_is_on_the_grid() {
+    let mut system = LlamaSystem::new(Scenario::transmissive_default().with_seed(304));
+    let outcome = system.optimize_realtime();
+    let b: BiasState = outcome.best_bias;
+    assert!((0.0..=30.0).contains(&b.vx.0));
+    assert!((0.0..=30.0).contains(&b.vy.0));
+}

@@ -1,0 +1,128 @@
+//! Cross-crate integration tests: the full system assembled through the
+//! `llama` facade, exercising physics → devices → control together.
+
+use llama::core::scenario::Scenario;
+use llama::core::system::LlamaSystem;
+use llama::metasurface::stack::BiasState;
+use llama::propagation::rays::Deployment;
+use llama::rfmath::units::{Hertz, Watts};
+
+#[test]
+fn transmissive_optimization_recovers_the_link() {
+    // The headline Figure 16 behaviour across three distances.
+    for cm in [24.0, 36.0, 48.0] {
+        let mut system = LlamaSystem::new(
+            Scenario::transmissive_default()
+                .with_distance_cm(cm)
+                .with_seed(101),
+        );
+        let outcome = system.optimize();
+        assert!(
+            outcome.improvement.0 > 6.0,
+            "{cm} cm: improvement = {:.1} dB",
+            outcome.improvement.0
+        );
+        // The converged bias must actually be applied to the surface.
+        assert_eq!(system.surface.bias, outcome.best_bias);
+    }
+}
+
+#[test]
+fn reflective_optimization_beats_the_bare_link() {
+    let mut system = LlamaSystem::new(
+        Scenario::reflective_default()
+            .with_distance_cm(36.0)
+            .with_seed(102),
+    );
+    let outcome = system.optimize();
+    assert!(
+        outcome.improvement.0 > 3.0,
+        "reflective improvement = {:.1} dB",
+        outcome.improvement.0
+    );
+}
+
+#[test]
+fn improvement_holds_across_the_ism_band() {
+    // Figure 17's claim, spot-checked at the band edges and center.
+    for ghz in [2.40, 2.44, 2.50] {
+        let mut system = LlamaSystem::new(
+            Scenario::transmissive_default()
+                .with_frequency(Hertz::from_ghz(ghz))
+                .with_seed(103),
+        );
+        let outcome = system.optimize();
+        assert!(
+            outcome.improvement.0 > 5.0,
+            "{ghz} GHz: improvement = {:.1} dB",
+            outcome.improvement.0
+        );
+    }
+}
+
+#[test]
+fn matched_links_do_not_need_the_surface() {
+    // Sanity: when the mounts are aligned, the best the surface can do
+    // is roughly break even (its insertion loss caps the upside).
+    let mut system = LlamaSystem::new(
+        Scenario::transmissive_default()
+            .with_mismatch_deg(0.0)
+            .with_seed(104),
+    );
+    let outcome = system.optimize();
+    assert!(
+        outcome.improvement.0 < 3.0,
+        "aligned link should not gain much, got {:.1} dB",
+        outcome.improvement.0
+    );
+}
+
+#[test]
+fn bias_actually_steers_received_power() {
+    let mut system = LlamaSystem::new(Scenario::transmissive_default().with_seed(105));
+    let p1 = system.true_power_dbm(BiasState::new(2.0, 2.0)).0;
+    let p2 = system.true_power_dbm(BiasState::new(2.0, 15.0)).0;
+    let p3 = system.true_power_dbm(BiasState::new(15.0, 2.0)).0;
+    let spread = [p1, p2, p3]
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        - [p1, p2, p3].iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(spread > 5.0, "bias steering spread = {spread:.1} dB");
+}
+
+#[test]
+fn low_power_links_still_converge() {
+    // 2 mW — the Figure 19 crossover region. The optimizer must still
+    // find a state near the grid optimum even with measurement noise.
+    let mut system = LlamaSystem::new(
+        Scenario::transmissive_default()
+            .with_tx_power(Watts::from_mw(2.0))
+            .with_seed(106),
+    );
+    let outcome = system.optimize();
+    assert!(outcome.best_power_dbm.0.is_finite());
+    assert!(outcome.improvement.0 > 0.0);
+}
+
+#[test]
+fn deployment_helpers_strip_the_surface() {
+    let s = Scenario::reflective_default();
+    let stripped = s.deployment.without_surface();
+    match stripped {
+        Deployment::Free { tx_rx } => assert!((tx_rx.cm() - 70.0).abs() < 1e-9),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let mut system = LlamaSystem::new(
+            Scenario::transmissive_default().with_seed(2024),
+        );
+        let o = system.optimize();
+        (o.best_bias, o.best_power_dbm.0, o.baseline_dbm.0)
+    };
+    assert_eq!(run(), run());
+}

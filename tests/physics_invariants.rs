@@ -1,0 +1,101 @@
+//! Property-based integration tests on cross-crate physical invariants:
+//! passivity and reciprocity of the full surface, monotone link budgets,
+//! and controller convergence on arbitrary unimodal power landscapes.
+
+use llama::control::sweep::{coarse_to_fine, SweepConfig};
+use llama::metasurface::designs::fr4_optimized;
+use llama::metasurface::response::Metasurface;
+use llama::metasurface::stack::BiasState;
+use llama::propagation::friis::path_gain_linear;
+use llama::rfmath::jones::JonesVector;
+use llama::rfmath::units::{Hertz, Meters};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The full layered surface is passive and reciprocal for every bias
+    /// state and in-band frequency: no cascade of slabs and sheets may
+    /// ever amplify.
+    #[test]
+    fn surface_is_passive_and_reciprocal(
+        vx in 0.0f64..30.0,
+        vy in 0.0f64..30.0,
+        f_ghz in 2.2f64..2.7,
+    ) {
+        let design = fr4_optimized();
+        let r = design
+            .stack
+            .response(Hertz::from_ghz(f_ghz), BiasState::new(vx, vy))
+            .expect("physical stacks always cascade");
+        prop_assert!(r.is_passive(1e-9), "active at ({vx:.1}, {vy:.1}) V, {f_ghz:.2} GHz");
+        prop_assert!(r.is_reciprocal(1e-8));
+    }
+
+    /// Transmission through the surface never exceeds unity for any
+    /// incident linear polarization.
+    #[test]
+    fn transmittance_bounded(
+        vx in 0.0f64..30.0,
+        vy in 0.0f64..30.0,
+        angle_deg in 0.0f64..180.0,
+    ) {
+        let mut surface = Metasurface::llama();
+        surface.set_bias(BiasState::new(vx, vy));
+        let t = surface
+            .transmission(Hertz::from_ghz(2.44))
+            .transmittance(JonesVector::linear_deg(angle_deg));
+        prop_assert!(t <= 1.0 + 1e-9, "transmittance {t} > 1");
+        prop_assert!(t >= 0.0);
+    }
+
+    /// Free-space path gain is monotone decreasing in distance and obeys
+    /// the inverse-square law between any two distances.
+    #[test]
+    fn friis_inverse_square(d1 in 0.1f64..10.0, k in 1.1f64..8.0) {
+        let f = Hertz::from_ghz(2.44);
+        let g1 = path_gain_linear(f, Meters(d1));
+        let g2 = path_gain_linear(f, Meters(d1 * k));
+        prop_assert!(g2 < g1);
+        prop_assert!((g1 / g2 - k * k).abs() < 1e-6 * k * k);
+    }
+
+    /// Algorithm 1 lands within one fine-grid step of the peak of any
+    /// smooth unimodal power landscape over the bias plane.
+    #[test]
+    fn sweep_converges_on_unimodal_landscapes(
+        px in 1.0f64..29.0,
+        py in 1.0f64..29.0,
+        width in 4.0f64..20.0,
+    ) {
+        let outcome = coarse_to_fine(&SweepConfig::paper_default(), |p| {
+            let dx = (p.vx.0 - px) / width;
+            let dy = (p.vy.0 - py) / width;
+            (-(dx * dx + dy * dy)).exp()
+        });
+        // First iteration's grid step is 7.5 V; the refinement halves the
+        // neighbourhood, so 4 V of slack is the guaranteed envelope.
+        prop_assert!((outcome.best.vx.0 - px).abs() < 4.0,
+            "vx {:.1} vs peak {px:.1}", outcome.best.vx.0);
+        prop_assert!((outcome.best.vy.0 - py).abs() < 4.0,
+            "vy {:.1} vs peak {py:.1}", outcome.best.vy.0);
+    }
+
+    /// The rotation the surface imparts on a linear probe is bounded by
+    /// ±90° and varies smoothly with bias (no grid-cell jumps).
+    #[test]
+    fn rotation_is_bounded_and_smooth(vx in 2.0f64..28.0, vy in 2.0f64..28.0) {
+        let f = Hertz::from_ghz(2.44);
+        let probe = JonesVector::horizontal();
+        let mut surface = Metasurface::llama();
+        surface.set_bias(BiasState::new(vx, vy));
+        let r1 = surface.measured_rotation(f, probe).0;
+        surface.set_bias(BiasState::new(vx + 0.25, vy));
+        let r2 = surface.measured_rotation(f, probe).0;
+        prop_assert!(r1.abs() <= 90.0 && r2.abs() <= 90.0);
+        // 0.25 V of bias never jumps the orientation by more than a few
+        // degrees (smooth varactor curve ⇒ smooth rotation).
+        let delta = (r1 - r2).abs().min(180.0 - (r1 - r2).abs());
+        prop_assert!(delta < 6.0, "Δrotation {delta:.1}° across 0.25 V");
+    }
+}
