@@ -4,12 +4,12 @@
 
 use control::sweep::{coarse_to_fine, SweepConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use llama_core::scenario::Scenario;
 use llama_core::system::LlamaSystem;
 use metasurface::designs::rfid_900mhz;
 use metasurface::stack::BiasState;
 use rfmath::units::{Hertz, Seconds, Volts};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");

@@ -1,11 +1,11 @@
 //! Criterion bench for Algorithm 1: coarse-to-fine vs full scan against
 //! the live link model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use control::sweep::SweepConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
 use llama_core::scenario::Scenario;
 use llama_core::system::LlamaSystem;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("alg1_sweep");

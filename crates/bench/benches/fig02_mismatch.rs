@@ -2,8 +2,8 @@
 //! Wi-Fi and BLE mismatch studies.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use llama_core::experiments::{fig2a, fig2b};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig02_mismatch");

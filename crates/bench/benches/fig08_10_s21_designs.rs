@@ -2,8 +2,8 @@
 //! (our "HFSS solve" of the layer cascade).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use llama_core::experiments::{fig10, fig8, fig9};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig08_10_s21_designs");

@@ -1,8 +1,8 @@
 //! Criterion bench for Figure 11: the bias-family efficiency sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use llama_core::experiments::fig11;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig11_bias_efficiency");

@@ -2,8 +2,8 @@
 //! procedure (three orientation scans plus a 49-point bias sweep).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use llama_core::experiments::fig12;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig12_estimation");

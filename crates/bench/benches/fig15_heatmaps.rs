@@ -2,9 +2,9 @@
 //! paper distance (the per-panel cost of the 7-distance study).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use llama_core::scenario::Scenario;
 use llama_core::system::LlamaSystem;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig15_heatmaps");
@@ -13,9 +13,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("heatmap_13x13_at_36cm", |b| {
         b.iter(|| {
-            let mut sys = LlamaSystem::new(
-                Scenario::transmissive_default().with_distance_cm(36.0),
-            );
+            let mut sys = LlamaSystem::new(Scenario::transmissive_default().with_distance_cm(36.0));
             sys.power_heatmap(13)
         })
     });

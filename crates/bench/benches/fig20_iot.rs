@@ -1,9 +1,10 @@
 //! Criterion bench for Figure 20: the IoT link distribution experiment
-//! (optimize + 2x RSSI batches).
+//! (one Algorithm-1 optimization plus paired RSSI batches per channel
+//! realization — 16 realizations per call).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use llama_core::experiments::fig20;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig20_iot");

@@ -13,15 +13,13 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("fig21_heatmap_13x13_at_36cm", |b| {
         b.iter(|| {
-            let mut sys =
-                LlamaSystem::new(Scenario::reflective_default().with_distance_cm(36.0));
+            let mut sys = LlamaSystem::new(Scenario::reflective_default().with_distance_cm(36.0));
             sys.power_heatmap(13)
         })
     });
     g.bench_function("fig22_optimize_at_36cm", |b| {
         b.iter(|| {
-            let mut sys =
-                LlamaSystem::new(Scenario::reflective_default().with_distance_cm(36.0));
+            let mut sys = LlamaSystem::new(Scenario::reflective_default().with_distance_cm(36.0));
             sys.optimize()
         })
     });

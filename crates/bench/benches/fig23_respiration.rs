@@ -1,12 +1,12 @@
 //! Criterion bench for Figure 23: one 60 s sensing run (with surface).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use devices::human::HumanTarget;
 use llama_core::scenario::Scenario;
 use llama_core::sensing::{run_sensing, SensingConfig};
 use metasurface::response::Metasurface;
 use rfmath::units::{Meters, Watts};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig23_respiration");

@@ -2,8 +2,8 @@
 //! the circuit model and comparing it to the paper's table.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use llama_core::experiments::table1;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_rotation");

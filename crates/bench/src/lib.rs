@@ -181,7 +181,11 @@ pub fn print_table1() -> String {
         hi.0,
         "° (paper: 48.7°)",
     ));
-    out.push_str(&render::metric("range overlap vs paper", t.range_overlap, ""));
+    out.push_str(&render::metric(
+        "range overlap vs paper",
+        t.range_overlap,
+        "",
+    ));
     out.push_str(&render::metric(
         "Spearman rho vs paper grid",
         t.spearman_rho,
@@ -438,7 +442,9 @@ pub fn print_fig23() -> String {
     out.push_str(&format!(
         "true rate {:.1} bpm; detected with surface: {:?} bpm; without: {:?}\n",
         f.true_bpm,
-        f.with_surface.detected_bpm.map(|b| (b * 10.0).round() / 10.0),
+        f.with_surface
+            .detected_bpm
+            .map(|b| (b * 10.0).round() / 10.0),
         f.without_surface.detected_bpm,
     ));
     out

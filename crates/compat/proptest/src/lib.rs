@@ -1,0 +1,640 @@
+//! Offline drop-in shim for the subset of the [`proptest`] crate API
+//! this workspace uses.
+//!
+//! The build environment cannot reach a cargo registry, so the
+//! property-based test suites compile against this minimal local
+//! implementation: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`/`boxed`, range and tuple strategies, [`any`],
+//! [`collection::vec`], [`prop_oneof!`], and the
+//! [`prop_assert!`]/[`prop_assume!`] result plumbing.
+//!
+//! Unlike the real proptest there is no shrinking: sampling is plain
+//! uniform draws from a deterministic per-test RNG (seeded from the
+//! test name), so failures reproduce exactly on re-run.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! // The `proptest!` macro wraps this plumbing in `#[test]` functions;
+//! // the runner itself samples a strategy until the config's case count
+//! // is met, treating `Err(Reject)` as a filtered input.
+//! let doubled = (0.0f64..100.0).prop_map(|x| x * 2.0);
+//! proptest::run_proptest(
+//!     &ProptestConfig::with_cases(64),
+//!     "doubling_stays_in_range",
+//!     |rng| {
+//!         let x = Strategy::sample(&doubled, rng);
+//!         prop_assert!((0.0..200.0).contains(&x), "x = {x}");
+//!         Ok(())
+//!     },
+//! );
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng, StandardSample};
+
+/// The RNG handed to strategies by the [`proptest!`] runner.
+pub type TestRng = StdRng;
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case hit a failed `prop_assert!`.
+    Fail(String),
+    /// The case was vetoed by `prop_assume!` and should not count.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Creates a rejection (filtered input).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration; `ProptestConfig::with_cases(n)` mirrors the
+/// real crate.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy so differently-typed strategies can be
+    /// mixed (e.g. by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// String strategies from a small regex subset (the real crate accepts
+/// any regex; this shim covers literals, `.`, character classes with
+/// ranges, and the `{m}`/`{m,n}`/`*`/`+`/`?` quantifiers — enough for
+/// the patterns used in this workspace, e.g. `"[ -~]{0,40}"`).
+mod pattern {
+    use super::TestRng;
+    use rand::Rng;
+
+    pub(super) struct Piece {
+        /// Inclusive character ranges to draw from.
+        ranges: Vec<(char, char)>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Unbounded quantifiers (`*`, `+`, `{m,}`) are capped here; tests
+    /// that need longer strings should use an explicit `{m,n}`.
+    const UNBOUNDED_CAP: usize = 16;
+
+    pub(super) fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let ranges = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    let mut class: Vec<char> = Vec::new();
+                    for d in chars.by_ref() {
+                        if d == ']' {
+                            break;
+                        }
+                        class.push(d);
+                    }
+                    let mut i = 0;
+                    while i < class.len() {
+                        if i + 2 < class.len() && class[i + 1] == '-' {
+                            ranges.push((class[i], class[i + 2]));
+                            i += 3;
+                        } else if i + 2 == class.len() && class[i + 1] == '-' {
+                            // Trailing '-' after a range start: literal.
+                            ranges.push((class[i], class[i]));
+                            ranges.push(('-', '-'));
+                            i += 2;
+                        } else {
+                            ranges.push((class[i], class[i]));
+                            i += 1;
+                        }
+                    }
+                    ranges
+                }
+                '.' => vec![(' ', '~')],
+                '\\' => {
+                    let d = chars.next().expect("dangling escape in pattern");
+                    match d {
+                        'd' => vec![('0', '9')],
+                        'w' => vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                        's' => vec![(' ', ' '), ('\t', '\t')],
+                        other => vec![(other, other)],
+                    }
+                }
+                other => vec![(other, other)],
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for d in chars.by_ref() {
+                        if d == '}' {
+                            break;
+                        }
+                        spec.push(d);
+                    }
+                    match spec.split_once(',') {
+                        Some((m, "")) => {
+                            let m = m.parse().expect("bad {m,} in pattern");
+                            (m, m + UNBOUNDED_CAP)
+                        }
+                        Some((m, n)) => (
+                            m.parse().expect("bad {m,n} in pattern"),
+                            n.parse().expect("bad {m,n} in pattern"),
+                        ),
+                        None => {
+                            let n = spec.parse().expect("bad {n} in pattern");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, UNBOUNDED_CAP)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, UNBOUNDED_CAP)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { ranges, min, max });
+        }
+        pieces
+    }
+
+    pub(super) fn sample(pieces: &[Piece], rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in pieces {
+            let n = rng.gen_range(piece.min..=piece.max);
+            let total: u32 = piece
+                .ranges
+                .iter()
+                .map(|&(a, b)| b as u32 - a as u32 + 1)
+                .sum();
+            for _ in 0..n {
+                let mut pick = rng.gen_range(0..total);
+                for &(a, b) in &piece.ranges {
+                    let span = b as u32 - a as u32 + 1;
+                    if pick < span {
+                        out.push(char::from_u32(a as u32 + pick).expect("valid char"));
+                        break;
+                    }
+                    pick -= span;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        pattern::sample(&pattern::parse(self), rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+)),+ $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Types with a canonical whole-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: StandardSample> Arbitrary for T {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// Strategy over the full domain of `T` (uniform for integers and
+/// `[0, 1)` for floats, matching the shimmed `rand` semantics).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy choosing uniformly among type-erased alternatives; built by
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].sample(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.start + 1 == self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test seed so failures
+/// reproduce deterministically.
+fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property: repeatedly samples inputs and runs the case
+/// until `cfg.cases` successes, panicking on the first failure.
+/// Used by the expansion of [`proptest!`]; not part of the public API
+/// of the real crate.
+pub fn run_proptest(
+    cfg: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::seed_from_u64(seed_for(name) ^ 0x4C4C_414D_4121_2121);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    while passed < cfg.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < cfg.max_global_rejects,
+                    "{name}: too many prop_assume! rejections ({rejected}) \
+                     after {passed} passing cases"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {passed} failed: {msg}");
+            }
+        }
+    }
+}
+
+/// Defines property-based tests: each `fn name(arg in strategy, ..)`
+/// becomes a `#[test]` that samples inputs and checks the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!({$cfg} $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!({$crate::ProptestConfig::default()} $($rest)*);
+    };
+}
+
+/// Internal recursion for [`proptest!`]; do not use directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ({$cfg:expr}) => {};
+    ({$cfg:expr}
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_proptest(&config, stringify!($name), |rng| {
+                $(let $arg = $crate::Strategy::sample(&($strategy), rng);)+
+                let case = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                case()
+            });
+        }
+        $crate::__proptest_impl!({$cfg} $($rest)*);
+    };
+}
+
+/// Non-fatal assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({l:?} vs {r:?})",
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {l:?})",
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+}
+
+/// Discards the current case when `cond` is false (filtered input).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Strategy choosing among alternatives (uniformly; the real crate's
+/// weighted `w => strategy` arms are not supported by this shim).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Any,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3.0f64..9.0, n in 1usize..5) {
+            prop_assert!((3.0..9.0).contains(&x));
+            prop_assert!((1..5).contains(&n), "n = {n}");
+        }
+
+        #[test]
+        fn assume_filters(v in 0u32..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert!(v % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+
+        #[test]
+        fn config_is_honored(_x in 0u8..=255) {
+            // Counting happens in the runner; the body just passes.
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn regex_subset_strategy(line in "[ -~]{0,40}", word in "AB[0-9]\\d{2,4}x?") {
+            prop_assert!(line.len() <= 40);
+            prop_assert!(line.chars().all(|c| (' '..='~').contains(&c)));
+            prop_assert!(word.starts_with('A') && word.as_bytes()[1] == b'B');
+            let digits = &word[2..].trim_end_matches('x');
+            prop_assert!((3..=5).contains(&digits.len()), "digits: {digits:?}");
+            prop_assert!(digits.bytes().all(|b| b.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn oneof_map_vec_and_any_compose() {
+        let strat = prop::collection::vec(
+            prop_oneof![(0.0f64..1.0).prop_map(|x| x * 2.0), Just(5.0f64),],
+            2..6,
+        );
+        let mut rng = crate::TestRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let v = crate::Strategy::sample(&strat, &mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| (0.0..2.0).contains(&x) || x == 5.0));
+        }
+        let w: u32 = crate::Strategy::sample(&any::<u32>(), &mut rng);
+        let _ = w;
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failures_panic_with_message() {
+        crate::run_proptest(&ProptestConfig::with_cases(10), "always_fails", |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

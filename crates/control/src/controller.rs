@@ -77,10 +77,7 @@ pub struct Controller {
 impl Controller {
     /// Creates a controller with the paper's sweep defaults.
     pub fn new(config: SweepConfig) -> Self {
-        let window = (
-            (config.v_min, config.v_max),
-            (config.v_min, config.v_max),
-        );
+        let window = ((config.v_min, config.v_max), (config.v_min, config.v_max));
         Self {
             config,
             report_timeout: Seconds(0.1),
@@ -148,12 +145,7 @@ impl Controller {
     /// Advances the controller at simulation time `now` with an optional
     /// receiver report. Applies bias states to the PSU as the switching
     /// budget allows. Call repeatedly from the simulation loop.
-    pub fn step(
-        &mut self,
-        psu: &mut PowerSupply,
-        now: Seconds,
-        report: Option<PowerReport>,
-    ) {
+    pub fn step(&mut self, psu: &mut PowerSupply, now: Seconds, report: Option<PowerReport>) {
         let Phase::Sweeping { next, iteration } = self.phase.clone() else {
             return;
         };
@@ -167,11 +159,7 @@ impl Controller {
                     self.scores[probe_idx] = Some(rep.power_dbm);
                     self.events
                         .push(Event::Scored(self.plan[probe_idx], rep.power_dbm));
-                    if self
-                        .best
-                        .map(|(_, b)| rep.power_dbm > b)
-                        .unwrap_or(true)
-                    {
+                    if self.best.map(|(_, b)| rep.power_dbm > b).unwrap_or(true) {
                         self.best = Some((self.plan[probe_idx], rep.power_dbm));
                     }
                 }
@@ -225,10 +213,7 @@ impl Controller {
             .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("every probe scored");
         let winner = self.plan[winner_idx];
-        self.events.push(Event::Refined {
-            iteration,
-            winner,
-        });
+        self.events.push(Event::Refined { iteration, winner });
 
         if iteration + 1 < self.config.iterations {
             let t = self.config.steps_per_axis;
@@ -286,9 +271,7 @@ mod tests {
             if ctl.phase() == &Phase::Converged {
                 break;
             }
-            let deliver = pending
-                .filter(|(due, _)| *due <= now)
-                .map(|(_, r)| r);
+            let deliver = pending.filter(|(due, _)| *due <= now).map(|(_, r)| r);
             if deliver.is_some() {
                 pending = None;
             }

@@ -195,12 +195,7 @@ mod tests {
             bias: (6.0, 6.0),
             tx_orientation: 90.0,
         };
-        let est = estimate_rotation(
-            &mut rig,
-            (Volts(6.0), Volts(6.0)),
-            &grid(),
-            1.0,
-        );
+        let est = estimate_rotation(&mut rig, (Volts(6.0), Volts(6.0)), &grid(), 1.0);
         // Synthetic law spans 5°…45°; estimates must land close to the
         // *relative* span (procedure measures angles relative to θ0,
         // which itself sits 5° rotated).
@@ -227,12 +222,7 @@ mod tests {
             bias: (6.0, 6.0),
             tx_orientation: 90.0,
         };
-        let est = estimate_rotation(
-            &mut rig,
-            (Volts(6.0), Volts(6.0)),
-            &grid(),
-            1.0,
-        );
+        let est = estimate_rotation(&mut rig, (Volts(6.0), Volts(6.0)), &grid(), 1.0);
         rig.set_rx_orientation(est.theta0);
         rig.set_bias(est.v_max.0, est.v_max.1);
         let p_max = rig.measure_power();

@@ -103,9 +103,7 @@ impl PowerSupply {
             Err(e) => return Reply::Error(e.to_string()),
         };
         match cmd {
-            Command::Identify => {
-                Reply::Text("TEKTRONIX,2230G-30-1,SIM,FV:1.0".to_string())
-            }
+            Command::Identify => Reply::Text("TEKTRONIX,2230G-30-1,SIM,FV:1.0".to_string()),
             Command::Output { on } => {
                 self.output_on = on;
                 Reply::Ack
@@ -176,10 +174,7 @@ mod tests {
         let mut psu = PowerSupply::tektronix_2230g();
         assert_eq!(psu.execute("OUTP ON", Seconds(0.0)), Reply::Ack);
         assert_eq!(psu.execute("APPL CH1,12.5", Seconds(0.1)), Reply::Ack);
-        assert_eq!(
-            psu.execute("APPL? CH1", Seconds(0.2)),
-            Reply::Number(12.5)
-        );
+        assert_eq!(psu.execute("APPL? CH1", Seconds(0.2)), Reply::Number(12.5));
     }
 
     #[test]
@@ -239,7 +234,9 @@ mod tests {
         let mut psu = PowerSupply::tektronix_2230g();
         psu.execute("OUTP ON", Seconds(0.0));
         assert!(psu.set_bias(Volts(5.0), Volts(7.0), Seconds(0.1)).is_ok());
-        assert!(psu.set_bias(Volts(6.0), Volts(7.0), Seconds(0.105)).is_err());
+        assert!(psu
+            .set_bias(Volts(6.0), Volts(7.0), Seconds(0.105))
+            .is_err());
         assert!((psu.next_switch_time().0 - 0.12).abs() < 1e-12);
     }
 

@@ -157,7 +157,10 @@ mod tests {
 
     #[test]
     fn parses_queries_and_output() {
-        assert_eq!(parse("APPL? CH2").unwrap(), Command::QueryApply { channel: 2 });
+        assert_eq!(
+            parse("APPL? CH2").unwrap(),
+            Command::QueryApply { channel: 2 }
+        );
         assert_eq!(parse("OUTP ON").unwrap(), Command::Output { on: true });
         assert_eq!(parse("outp off").unwrap(), Command::Output { on: false });
         assert_eq!(

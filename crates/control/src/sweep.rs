@@ -89,12 +89,12 @@ pub struct SweepOutcome {
 /// in the real system that is the receiver's reported signal power under
 /// the labeled voltage state (§3.3's synchronization makes the labeling
 /// sound).
-pub fn coarse_to_fine(
-    config: &SweepConfig,
-    mut measure: impl FnMut(Probe) -> f64,
-) -> SweepOutcome {
+pub fn coarse_to_fine(config: &SweepConfig, mut measure: impl FnMut(Probe) -> f64) -> SweepOutcome {
     assert!(config.iterations >= 1, "need at least one iteration");
-    assert!(config.steps_per_axis >= 2, "need at least two steps per axis");
+    assert!(
+        config.steps_per_axis >= 2,
+        "need at least two steps per axis"
+    );
     let mut lo_x = config.v_min;
     let mut hi_x = config.v_max;
     let mut lo_y = config.v_min;
@@ -178,8 +178,16 @@ mod tests {
     #[test]
     fn finds_interior_peak() {
         let outcome = coarse_to_fine(&SweepConfig::paper_default(), bump(17.3, 8.2));
-        assert!((outcome.best.vx.0 - 17.3).abs() < 2.0, "vx = {:?}", outcome.best.vx);
-        assert!((outcome.best.vy.0 - 8.2).abs() < 2.0, "vy = {:?}", outcome.best.vy);
+        assert!(
+            (outcome.best.vx.0 - 17.3).abs() < 2.0,
+            "vx = {:?}",
+            outcome.best.vx
+        );
+        assert!(
+            (outcome.best.vy.0 - 8.2).abs() < 2.0,
+            "vy = {:?}",
+            outcome.best.vy
+        );
         assert_eq!(outcome.probes, 50);
     }
 
@@ -193,9 +201,8 @@ mod tests {
             bump(17.3, 8.2),
         );
         let double = coarse_to_fine(&SweepConfig::paper_default(), bump(17.3, 8.2));
-        let err = |o: &SweepOutcome| {
-            ((o.best.vx.0 - 17.3).powi(2) + (o.best.vy.0 - 8.2).powi(2)).sqrt()
-        };
+        let err =
+            |o: &SweepOutcome| ((o.best.vx.0 - 17.3).powi(2) + (o.best.vy.0 - 8.2).powi(2)).sqrt();
         assert!(err(&double) <= err(&single) + 1e-9);
     }
 
@@ -239,7 +246,9 @@ mod tests {
         // still land in the right neighbourhood.
         let mut k = 0u64;
         let outcome = coarse_to_fine(&SweepConfig::paper_default(), |p| {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let noise = ((k >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 3.0;
             let dx = p.vx.0 - 20.0;
             let dy = p.vy.0 - 12.0;

@@ -23,7 +23,7 @@ use propagation::environment::Environment;
 use propagation::noise::NoiseModel;
 use rfmath::rng::SeedSplitter;
 use rfmath::stats::Histogram;
-use rfmath::units::{Hertz, Meters, Seconds, Volts, Watts};
+use rfmath::units::{Dbm, Hertz, Meters, Seconds, Volts, Watts};
 
 use crate::scenario::Scenario;
 use crate::sensing::{run_sensing, SensingConfig, SensingResult};
@@ -44,21 +44,65 @@ pub struct DistributionPair {
     pub mode_gap_db: f64,
 }
 
+/// Number of paired channel realizations behind each Figure 2 / 20
+/// histogram: the paper's captures span minutes in a live room, so the
+/// multipath re-randomizes many times within one distribution.
+const DISTRIBUTION_REALIZATIONS: usize = 16;
+
+/// Shared sampling loop of the distribution figures (2a, 2b, 20).
+///
+/// Both conditions see the *same* room at each instant (the paper swaps
+/// the mount or surface, not the lab), so `powers` receives one room
+/// seed per realization and returns the paired true powers; `reader`
+/// turns a true power into quantized RSSI samples. The requested
+/// `samples` are distributed exactly across the realizations.
+fn paired_distribution(
+    split: &SeedSplitter,
+    room_label: &str,
+    samples: usize,
+    hist_a: &mut Histogram,
+    hist_b: &mut Histogram,
+    mut powers: impl FnMut(u64) -> (Dbm, Dbm),
+    mut reader: impl FnMut(Dbm, usize) -> Vec<f64>,
+) {
+    if samples == 0 {
+        return;
+    }
+    let realizations = DISTRIBUTION_REALIZATIONS.min(samples);
+    for i in 0..realizations {
+        let per = samples / realizations + usize::from(i < samples % realizations);
+        let (p_a, p_b) = powers(split.derive(room_label, i as u64));
+        hist_a.add_all(&reader(p_a, per));
+        hist_b.add_all(&reader(p_b, per));
+    }
+}
+
 /// Figure 2(a): Wi-Fi RSSI distributions, matched vs mismatched mounts.
 pub fn fig2a(seed: u64, samples: usize) -> DistributionPair {
-    let matched = Scenario::wifi_iot_default()
-        .with_mismatch_deg(0.0)
-        .with_seed(seed);
-    let mismatched = Scenario::wifi_iot_default()
-        .with_mismatch_deg(90.0)
-        .with_seed(seed);
-    let mut station = WifiStation::esp8266(&SeedSplitter::new(seed));
-    let p_match = matched.link().received_dbm(None);
-    let p_mis = mismatched.link().received_dbm(None);
+    let split = SeedSplitter::new(seed);
+    let mut station = WifiStation::esp8266(&split);
     let mut hist_a = Histogram::new(-80.0, -20.0, 60);
     let mut hist_b = Histogram::new(-80.0, -20.0, 60);
-    hist_a.add_all(&station.read_rssi_batch(p_match, samples));
-    hist_b.add_all(&station.read_rssi_batch(p_mis, samples));
+    paired_distribution(
+        &split,
+        "fig2a-room",
+        samples,
+        &mut hist_a,
+        &mut hist_b,
+        |room| {
+            let matched = Scenario::wifi_iot_default()
+                .with_mismatch_deg(0.0)
+                .with_seed(room);
+            let mismatched = Scenario::wifi_iot_default()
+                .with_mismatch_deg(90.0)
+                .with_seed(room);
+            (
+                matched.link().received_dbm(None),
+                mismatched.link().received_dbm(None),
+            )
+        },
+        |p, n| station.read_rssi_batch(p, n),
+    );
     DistributionPair {
         label_a: "match",
         label_b: "mismatch",
@@ -70,17 +114,30 @@ pub fn fig2a(seed: u64, samples: usize) -> DistributionPair {
 
 /// Figure 2(b): BLE RSSI distributions, matched vs mismatched mounts.
 pub fn fig2b(seed: u64, samples: usize) -> DistributionPair {
-    let matched = Scenario::ble_default().with_mismatch_deg(0.0).with_seed(seed);
-    let mismatched = Scenario::ble_default()
-        .with_mismatch_deg(90.0)
-        .with_seed(seed);
-    let mut central = BleCentral::raspberry_pi3(&SeedSplitter::new(seed));
-    let p_match = matched.link().received_dbm(None);
-    let p_mis = mismatched.link().received_dbm(None);
+    let split = SeedSplitter::new(seed);
+    let mut central = BleCentral::raspberry_pi3(&split);
     let mut hist_a = Histogram::new(-100.0, -40.0, 60);
     let mut hist_b = Histogram::new(-100.0, -40.0, 60);
-    hist_a.add_all(&central.read_rssi_batch(p_match, samples));
-    hist_b.add_all(&central.read_rssi_batch(p_mis, samples));
+    paired_distribution(
+        &split,
+        "fig2b-room",
+        samples,
+        &mut hist_a,
+        &mut hist_b,
+        |room| {
+            let matched = Scenario::ble_default()
+                .with_mismatch_deg(0.0)
+                .with_seed(room);
+            let mismatched = Scenario::ble_default()
+                .with_mismatch_deg(90.0)
+                .with_seed(room);
+            (
+                matched.link().received_dbm(None),
+                mismatched.link().received_dbm(None),
+            )
+        },
+        |p, n| central.read_rssi_batch(p, n),
+    );
     DistributionPair {
         label_a: "match",
         label_b: "mismatch",
@@ -210,11 +267,8 @@ pub struct Table1 {
 
 /// Runs the Table 1 comparison.
 pub fn table1() -> Table1 {
-    let simulated = RotationMap::from_design(
-        &fr4_optimized(),
-        Hertz::from_ghz(2.44),
-        &TABLE1_VOLTAGES,
-    );
+    let simulated =
+        RotationMap::from_design(&fr4_optimized(), Hertz::from_ghz(2.44), &TABLE1_VOLTAGES);
     let (range_overlap, spearman_rho) = compare_to_paper(&simulated);
     Table1 {
         simulated,
@@ -258,11 +312,7 @@ pub struct HeatmapAtDistance {
 }
 
 /// Figures 15(a–g) / 21(a–h): power heatmaps across distance.
-pub fn heatmaps(
-    base: &Scenario,
-    distances_cm: &[f64],
-    steps: usize,
-) -> Vec<HeatmapAtDistance> {
+pub fn heatmaps(base: &Scenario, distances_cm: &[f64], steps: usize) -> Vec<HeatmapAtDistance> {
     distances_cm
         .iter()
         .map(|&cm| {
@@ -292,8 +342,7 @@ pub fn heatmaps(
 pub const FIG15_DISTANCES_CM: [f64; 7] = [24.0, 30.0, 36.0, 42.0, 48.0, 54.0, 60.0];
 
 /// The paper's Figure 21 distances: 24–66 cm.
-pub const FIG21_DISTANCES_CM: [f64; 8] =
-    [24.0, 30.0, 36.0, 42.0, 48.0, 54.0, 60.0, 66.0];
+pub const FIG21_DISTANCES_CM: [f64; 8] = [24.0, 30.0, 36.0, 42.0, 48.0, 54.0, 60.0, 66.0];
 
 /// Figure 15: transmissive heatmaps plus the 15(h) min/max rotation
 /// extraction per distance.
@@ -429,11 +478,7 @@ pub struct CapacityStudy {
 /// the controller chain's *effective* noise floor, so the low-power end
 /// of the sweep genuinely starves: sweep measurements wander and the
 /// converged state loses its edge (the Figure 19 low-power regime).
-pub fn capacity_study(
-    antenna: Antenna,
-    environment: Environment,
-    seed: u64,
-) -> CapacityStudy {
+pub fn capacity_study(antenna: Antenna, environment: Environment, seed: u64) -> CapacityStudy {
     let tx_mw = vec![0.002, 0.01, 0.05, 0.2, 1.0, 5.0, 20.0, 100.0, 500.0, 1000.0];
     let mut noise = NoiseModel::usrp_1mhz();
     let mut with = Vec::new();
@@ -452,8 +497,7 @@ pub fn capacity_study(
         let mut sys = LlamaSystem::new(scenario);
         // Capacity referenced to the same effective floor the RSSI
         // chain sees.
-        noise.noise_figure_db = -85.0
-            - rfmath::units::thermal_noise_dbm(noise.bandwidth).0;
+        noise.noise_figure_db = -85.0 - rfmath::units::thermal_noise_dbm(noise.bandwidth).0;
         let out = sys.optimize();
         with.push(capacity_bits(out.best_power_dbm, &noise));
         without.push(capacity_bits(out.baseline_dbm, &noise));
@@ -499,18 +543,31 @@ pub fn fig19_directional(seed: u64) -> CapacityStudy {
 /// Figure 20: ESP8266 RSSI distributions with/without the surface in the
 /// mismatched configuration.
 pub fn fig20(seed: u64, samples: usize) -> DistributionPair {
-    let scenario = Scenario::wifi_iot_default()
-        .with_mismatch_deg(90.0)
-        .with_seed(seed);
-    let mut sys = LlamaSystem::new(scenario.clone());
-    let out = sys.optimize();
-    let p_with = out.best_power_dbm;
-    let p_without = scenario.link().received_dbm(None);
-    let mut station = WifiStation::esp8266(&SeedSplitter::new(seed));
+    let split = SeedSplitter::new(seed);
+    let mut station = WifiStation::esp8266(&split);
     let mut hist_a = Histogram::new(-80.0, -20.0, 60);
     let mut hist_b = Histogram::new(-80.0, -20.0, 60);
-    hist_a.add_all(&station.read_rssi_batch(p_with, samples));
-    hist_b.add_all(&station.read_rssi_batch(p_without, samples));
+    // The controller re-optimizes the bias for each channel realization
+    // (Algorithm 1 reconverges in ~1 s, well within the channel's
+    // coherence time).
+    paired_distribution(
+        &split,
+        "fig20-room",
+        samples,
+        &mut hist_a,
+        &mut hist_b,
+        |room| {
+            let scenario = Scenario::wifi_iot_default()
+                .with_mismatch_deg(90.0)
+                .with_seed(room);
+            let mut sys = LlamaSystem::new(scenario.clone());
+            (
+                sys.optimize().best_power_dbm,
+                scenario.link().received_dbm(None),
+            )
+        },
+        |p, n| station.read_rssi_batch(p, n),
+    );
     DistributionPair {
         label_a: "with surface",
         label_b: "without surface",
@@ -655,6 +712,18 @@ mod tests {
             "Wi-Fi match/mismatch mode gap = {:.1} dB",
             d.mode_gap_db
         );
+    }
+
+    #[test]
+    fn distribution_sample_counts_are_exact() {
+        // The requested sample count distributes exactly across the
+        // paired channel realizations — no truncation, and zero stays
+        // zero (regression test for the realization-splitting math).
+        for samples in [0usize, 1, 15, 16, 500, 800] {
+            let d = fig2a(5, samples);
+            assert_eq!(d.hist_a.total(), samples as u64, "hist_a for n = {samples}");
+            assert_eq!(d.hist_b.total(), samples as u64, "hist_b for n = {samples}");
+        }
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub struct GroupPowers {
 impl GroupPowers {
     /// The weakest link's power.
     pub fn min_dbm(&self) -> f64 {
-        self.powers_dbm.iter().copied().fold(f64::INFINITY, f64::min)
+        self.powers_dbm
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Power gap between a favored receiver and the best of the rest
@@ -72,10 +75,7 @@ pub fn group_powers(
         .map(|r| {
             let mut scenario = base.clone();
             scenario.rx = r.rx.clone();
-            scenario
-                .link()
-                .received_dbm(Some(surface))
-                .0
+            scenario.link().received_dbm(Some(surface)).0
         })
         .collect();
     GroupPowers {

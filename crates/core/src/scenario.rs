@@ -190,14 +190,32 @@ impl Scenario {
     }
 
     /// Builds the propagation-layer link for this scenario.
+    ///
+    /// The scenario's root seed drives *all* stochastic elements, so a
+    /// seeded multipath environment is re-derived from it here: the
+    /// preset's environment seed acts as a sub-stream index under the
+    /// root, making `with_seed` change the channel realization while
+    /// keeping distinct presets (Wi-Fi vs BLE rooms) decorrelated.
     pub fn link(&self) -> Link {
+        let environment = match self.environment {
+            Environment::Laboratory {
+                seed,
+                scatterers,
+                relative_power,
+            } => Environment::Laboratory {
+                seed: rfmath::rng::SeedSplitter::new(self.seed).derive("environment", seed),
+                scatterers,
+                relative_power,
+            },
+            ref other => other.clone(),
+        };
         Link {
             tx: self.tx.clone(),
             rx: self.rx.clone(),
             frequency: self.frequency,
             tx_power: self.tx_power,
             deployment: self.deployment,
-            environment: self.environment.clone(),
+            environment,
             extra_paths: Vec::new(),
         }
     }
@@ -235,6 +253,46 @@ mod tests {
     }
 
     #[test]
+    fn root_seed_drives_the_channel_realization() {
+        // `seed` is documented as the root of *all* stochastic elements:
+        // re-seeding a scenario with a laboratory environment must change
+        // the multipath realization (and with it the received power),
+        // while equal seeds must reproduce it exactly.
+        let p1 = Scenario::wifi_iot_default()
+            .with_seed(1)
+            .link()
+            .received_dbm(None);
+        let p2 = Scenario::wifi_iot_default()
+            .with_seed(2)
+            .link()
+            .received_dbm(None);
+        let p1_again = Scenario::wifi_iot_default()
+            .with_seed(1)
+            .link()
+            .received_dbm(None);
+        assert!(
+            (p1.0 - p1_again.0).abs() < 1e-12,
+            "same seed must reproduce"
+        );
+        assert!(
+            (p1.0 - p2.0).abs() > 1e-6,
+            "different seeds must re-draw the room: {:.3} vs {:.3} dBm",
+            p1.0,
+            p2.0
+        );
+        // Anechoic scenarios have no stochastic channel to re-draw.
+        let a1 = Scenario::transmissive_default()
+            .with_seed(1)
+            .link()
+            .received_dbm(None);
+        let a2 = Scenario::transmissive_default()
+            .with_seed(2)
+            .link()
+            .received_dbm(None);
+        assert!((a1.0 - a2.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn builders_chain() {
         let s = Scenario::transmissive_default()
             .with_distance_cm(42.0)
@@ -248,7 +306,10 @@ mod tests {
 
     #[test]
     fn endpoint_presets_differ() {
-        assert_eq!(Scenario::wifi_iot_default().endpoints, EndpointKind::WifiIot);
+        assert_eq!(
+            Scenario::wifi_iot_default().endpoints,
+            EndpointKind::WifiIot
+        );
         assert_eq!(Scenario::ble_default().endpoints, EndpointKind::BleWearable);
         assert!(Scenario::ble_default().tx_power.mw() <= 1.0);
     }

@@ -189,9 +189,7 @@ mod tests {
         // Direct pipeline check: a clean 15 bpm oscillation in dB-space.
         let rate = 10.0;
         let series: Vec<f64> = (0..600)
-            .map(|k| {
-                -50.0 + 1.5 * (std::f64::consts::TAU * 0.25 * k as f64 / rate).sin()
-            })
+            .map(|k| -50.0 + 1.5 * (std::f64::consts::TAU * 0.25 * k as f64 / rate).sin())
             .collect();
         let (bpm, snr) = detect_breathing(&series, rate);
         assert!(snr > 12.0, "band SNR = {snr:.1} dB");

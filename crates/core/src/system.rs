@@ -130,10 +130,7 @@ impl LlamaSystem {
         let rng = &mut self.rssi_rng;
         let floor_w = Dbm(self.rssi_floor_dbm).to_watts();
         let outcome = coarse_to_fine(&self.sweep, |p: Probe| {
-            surface.set_bias(BiasState {
-                vx: p.vx,
-                vy: p.vy,
-            });
+            surface.set_bias(BiasState { vx: p.vx, vy: p.vy });
             let amp = scenario
                 .link()
                 .received_amplitude_at(Some(surface), Seconds(0.0));
@@ -175,9 +172,7 @@ impl LlamaSystem {
                 break;
             }
             // Deliver a due report (if it survives the transport).
-            let deliver = pending
-                .filter(|(due, _)| *due <= now)
-                .map(|(_, rep)| rep);
+            let deliver = pending.filter(|(due, _)| *due <= now).map(|(_, rep)| rep);
             if deliver.is_some() {
                 pending = None;
             }
@@ -187,9 +182,7 @@ impl LlamaSystem {
 
             // When a probe was applied, schedule its measurement report.
             if controller.events().len() > before {
-                if let Some(control::controller::Event::Applied(p)) =
-                    controller.events().last()
-                {
+                if let Some(control::controller::Event::Applied(p)) = controller.events().last() {
                     last_applied = Some((*p, now));
                 }
             }
@@ -274,8 +267,7 @@ pub struct SystemRig<'a> {
 impl control::estimator::RotationRig for SystemRig<'_> {
     fn set_rx_orientation(&mut self, orientation: rfmath::units::Degrees) {
         let antenna = self.system.scenario.rx.antenna.clone();
-        self.system.scenario.rx =
-            propagation::antenna::OrientedAntenna::new(antenna, orientation);
+        self.system.scenario.rx = propagation::antenna::OrientedAntenna::new(antenna, orientation);
     }
 
     fn set_bias(&mut self, vx: Volts, vy: Volts) {
@@ -299,9 +291,7 @@ mod tests {
 
     #[test]
     fn optimize_beats_baseline_substantially() {
-        let mut sys = LlamaSystem::new(
-            Scenario::transmissive_default().with_distance_cm(36.0),
-        );
+        let mut sys = LlamaSystem::new(Scenario::transmissive_default().with_distance_cm(36.0));
         let out = sys.optimize();
         assert!(
             out.improvement.0 > 8.0,
@@ -330,8 +320,8 @@ mod tests {
 
     #[test]
     fn realtime_loop_survives_lossy_reports() {
-        let mut sys = LlamaSystem::new(Scenario::transmissive_default())
-            .with_report_faults(0.2, 0.1);
+        let mut sys =
+            LlamaSystem::new(Scenario::transmissive_default()).with_report_faults(0.2, 0.1);
         let out = sys.optimize_realtime();
         assert!(
             out.improvement.0 > 5.0,
@@ -355,8 +345,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = || {
-            let mut sys =
-                LlamaSystem::new(Scenario::transmissive_default().with_seed(42));
+            let mut sys = LlamaSystem::new(Scenario::transmissive_default().with_seed(42));
             sys.optimize().best_power_dbm.0
         };
         assert_eq!(run(), run());

@@ -14,8 +14,7 @@ use rfmath::units::{Dbm, Hertz};
 use propagation::noise::NoiseModel;
 
 /// BLE advertising channels and their center frequencies.
-pub const ADVERTISING_CHANNELS: [(u8, f64); 3] =
-    [(37, 2.402e9), (38, 2.426e9), (39, 2.480e9)];
+pub const ADVERTISING_CHANNELS: [(u8, f64); 3] = [(37, 2.402e9), (38, 2.426e9), (39, 2.480e9)];
 
 /// A BLE advertiser (the wearable).
 #[derive(Clone, Debug, PartialEq)]
@@ -125,7 +124,10 @@ mod tests {
         assert!(c.decode_probability(Dbm(-110.0)) < 0.01);
         assert!(c.decode_probability(Dbm(-80.0)) > 0.99);
         let edge = c.decode_probability(Dbm(-95.0));
-        assert!((edge - 0.5).abs() < 0.05, "50% point at sensitivity: {edge}");
+        assert!(
+            (edge - 0.5).abs() < 0.05,
+            "50% point at sensitivity: {edge}"
+        );
     }
 
     #[test]
@@ -137,7 +139,10 @@ mod tests {
         let matched = c.expected_decoded(Dbm(-88.0), 1000);
         let mismatched = c.expected_decoded(Dbm(-100.0), 1000);
         assert!(matched > 900, "matched link healthy: {matched}/1000");
-        assert!(mismatched < 150, "mismatched link broken: {mismatched}/1000");
+        assert!(
+            mismatched < 150,
+            "mismatched link broken: {mismatched}/1000"
+        );
     }
 
     #[test]

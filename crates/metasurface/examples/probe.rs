@@ -1,3 +1,6 @@
+//! Probe the three §3.2 designs: per-frequency efficiency and rotation
+//! under a fixed bias, printed as a quick design-comparison table.
+
 use metasurface::designs::{fr4_naive, fr4_optimized, rogers_reference};
 use metasurface::stack::BiasState;
 use rfmath::jones::JonesVector;
@@ -9,20 +12,40 @@ fn main() {
         println!("== {}", d.name);
         for f_ghz in [2.0f64, 2.2, 2.4, 2.44, 2.5, 2.6, 2.8] {
             match d.stack.response(Hertz::from_ghz(f_ghz), bias) {
-                Some(r) => println!("  {f_ghz:.2} GHz: effX={:6.2} dB effY={:6.2} dB",
-                        r.efficiency_x_db().0, r.efficiency_y_db().0),
+                Some(r) => println!(
+                    "  {f_ghz:.2} GHz: effX={:6.2} dB effY={:6.2} dB",
+                    r.efficiency_x_db().0,
+                    r.efficiency_y_db().0
+                ),
                 None => println!("  {f_ghz:.2} GHz: OPAQUE"),
             }
         }
     }
     let d = fr4_optimized();
     println!("== bias sweep (2.44 GHz, optimized): x-pol in -> orientation/ellipticity out");
-    for (vx, vy) in [(2.0,2.0),(2.0,6.0),(2.0,15.0),(6.0,2.0),(6.0,6.0),(6.0,15.0),(15.0,2.0),(15.0,6.0),(15.0,15.0),(30.0,2.0),(2.0,30.0)] {
-        let r = d.stack.response(Hertz::from_ghz(2.44), BiasState::new(vx, vy)).unwrap();
+    for (vx, vy) in [
+        (2.0, 2.0),
+        (2.0, 6.0),
+        (2.0, 15.0),
+        (6.0, 2.0),
+        (6.0, 6.0),
+        (6.0, 15.0),
+        (15.0, 2.0),
+        (15.0, 6.0),
+        (15.0, 15.0),
+        (30.0, 2.0),
+        (2.0, 30.0),
+    ] {
+        let r = d
+            .stack
+            .response(Hertz::from_ghz(2.44), BiasState::new(vx, vy))
+            .unwrap();
         let out = r.transmission_jones().apply(JonesVector::horizontal());
         let ori = out.orientation().to_degrees().0;
         let ell = out.ellipticity().to_degrees().0;
-        println!("  Vx={vx:4} Vy={vy:4}: effX={:6.2} dB  orient={ori:7.2}°  ellip={ell:6.2}°",
-            r.efficiency_x_db().0);
+        println!(
+            "  Vx={vx:4} Vy={vy:4}: effX={:6.2} dB  orient={ori:7.2}°  ellip={ell:6.2}°",
+            r.efficiency_x_db().0
+        );
     }
 }

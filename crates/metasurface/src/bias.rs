@@ -108,10 +108,7 @@ impl RotationMap {
             for ix in 0..self.grid.xs().len() {
                 let m = self.grid.at(ix, iy).abs();
                 if m > best.1 {
-                    best = (
-                        BiasState::new(self.grid.xs()[ix], self.grid.ys()[iy]),
-                        m,
-                    );
+                    best = (BiasState::new(self.grid.xs()[ix], self.grid.ys()[iy]), m);
                 }
             }
         }
@@ -185,11 +182,7 @@ mod tests {
 
     #[test]
     fn design_map_covers_tens_of_degrees() {
-        let m = RotationMap::from_design(
-            &fr4_optimized(),
-            F,
-            &tables::TABLE1_VOLTAGES,
-        );
+        let m = RotationMap::from_design(&fr4_optimized(), F, &tables::TABLE1_VOLTAGES);
         let (_, hi) = m.magnitude_range();
         assert!(
             hi.0 > 30.0,
@@ -216,11 +209,7 @@ mod tests {
 
     #[test]
     fn comparison_against_paper_has_overlap() {
-        let m = RotationMap::from_design(
-            &fr4_optimized(),
-            F,
-            &tables::TABLE1_VOLTAGES,
-        );
+        let m = RotationMap::from_design(&fr4_optimized(), F, &tables::TABLE1_VOLTAGES);
         let (overlap, rho) = compare_to_paper(&m);
         assert!(overlap > 0.5, "magnitude ranges should overlap: {overlap}");
         assert!(rho.is_finite());

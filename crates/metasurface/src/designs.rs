@@ -71,7 +71,10 @@ fn tank_for_susceptance(b_net: f64, c_raw_pf: f64, r_copper: f64) -> SheetBranch
     let b_c = w0 * c.0;
     // B_net = B_C − B_L  ⇒  B_L = B_C − B_net  ⇒  L = 1/(ω·B_L).
     let b_l = b_c - b_net;
-    assert!(b_l > 0.0, "raw capacitance too small for target susceptance");
+    assert!(
+        b_l > 0.0,
+        "raw capacitance too small for target susceptance"
+    );
     SheetBranch::Fixed {
         l: Henries(1.0 / (w0 * b_l)),
         c,
@@ -84,7 +87,12 @@ fn tank_for_susceptance(b_net: f64, c_raw_pf: f64, r_copper: f64) -> SheetBranch
 /// Susceptances are sized for ±22.5° of differential phase per board at
 /// band center (`|B|·η0/2 = tan 22.5°` ⇒ |B| ≈ 2.2 mS at 2.44 GHz), so
 /// two boards give the 90° quarter-wave retardation.
-fn qwp_sheet(material: &Material, thickness_mm: f64, style: SheetStyle, r_copper: f64) -> AnisotropicSheet {
+fn qwp_sheet(
+    material: &Material,
+    thickness_mm: f64,
+    style: SheetStyle,
+    r_copper: f64,
+) -> AnisotropicSheet {
     // tan(22.5°)·2/η0 = 2.197 mS
     let b = 2.0 * (22.5_f64).to_radians().tan() / microwave::substrate::ETA0;
     let c_raw = match style {
@@ -102,7 +110,12 @@ fn qwp_sheet(material: &Material, thickness_mm: f64, style: SheetStyle, r_copper
 /// 10.8 mm vs 10.4 mm branch geometry), which staggers the two axes'
 /// phase curves and gives the paper's Table 1 its asymmetric,
 /// non-zero-diagonal structure.
-fn bfs_sheet(material: &Material, thickness_mm: f64, style: SheetStyle, r_copper: f64) -> AnisotropicSheet {
+fn bfs_sheet(
+    material: &Material,
+    thickness_mm: f64,
+    style: SheetStyle,
+    r_copper: f64,
+) -> AnisotropicSheet {
     let (lx, ly, cc_x, cc_y) = match style {
         // Dense coupling: most of the diode swing reaches the tank, at
         // the price of large circulating energy.
@@ -351,12 +364,7 @@ mod tests {
             .unwrap()
             .efficiency_x_db()
             .0;
-        let at_244 = d
-            .stack
-            .response(F, MID_BIAS)
-            .unwrap()
-            .efficiency_x_db()
-            .0;
+        let at_244 = d.stack.response(F, MID_BIAS).unwrap().efficiency_x_db().0;
         assert!(
             at_915 > at_244 + 3.0,
             "915 MHz {at_915:.1} dB vs 2.44 GHz {at_244:.1} dB"

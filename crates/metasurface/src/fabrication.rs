@@ -63,8 +63,7 @@ pub fn estimate_bom(
     // Patterning/drill/mask roughly doubles bare laminate for small runs.
     let pcb = per_board_usd * 2.0 * volume_discount(units_per_run);
 
-    let varactors =
-        geometry.total_varactors() as f64 * Varactor::smv1233().unit_cost_usd;
+    let varactors = geometry.total_varactors() as f64 * Varactor::smv1233().unit_cost_usd;
 
     // Assembly: per-diode placement plus fixed panel overhead.
     let assembly = geometry.total_varactors() as f64 * 0.05 + 40.0;
@@ -84,31 +83,20 @@ mod tests {
     #[test]
     fn prototype_cost_matches_paper_order() {
         // Paper: ≈$900 total, ≈$5/unit at prototype volume.
-        let bom = estimate_bom(
-            &fr4_optimized(),
-            &PanelGeometry::llama_prototype(),
-            180,
-        );
+        let bom = estimate_bom(&fr4_optimized(), &PanelGeometry::llama_prototype(), 180);
         let total = bom.total_usd();
         assert!(
             (400.0..1500.0).contains(&total),
             "total = ${total:.0}, expected same order as the paper's $900"
         );
         let per_unit = bom.per_unit_usd(&PanelGeometry::llama_prototype());
-        assert!(
-            (2.0..10.0).contains(&per_unit),
-            "per unit = ${per_unit:.2}"
-        );
+        assert!((2.0..10.0).contains(&per_unit), "per unit = ${per_unit:.2}");
     }
 
     #[test]
     fn varactors_match_paper_line_item() {
         // 720 diodes at $0.50 = $360.
-        let bom = estimate_bom(
-            &fr4_optimized(),
-            &PanelGeometry::llama_prototype(),
-            180,
-        );
+        let bom = estimate_bom(&fr4_optimized(), &PanelGeometry::llama_prototype(), 180);
         assert!((bom.varactors_usd - 360.0).abs() < 1.0);
     }
 

@@ -124,7 +124,8 @@ mod tests {
 
     #[test]
     fn bfs_period_exceeds_qwp_period() {
-        assert!(BFS_UNIT_PERIOD.0 > QWP_UNIT_PERIOD.0);
+        let (bfs, qwp) = (BFS_UNIT_PERIOD.0, QWP_UNIT_PERIOD.0);
+        assert!(bfs > qwp, "BFS {bfs} m vs QWP {qwp} m");
     }
 
     #[test]

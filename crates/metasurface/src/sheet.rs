@@ -196,8 +196,16 @@ mod tests {
         // at different frequencies and so differ in phase at F.
         let l = inductance_for_resonance(Farads::from_pf(0.38), F);
         let sheet = AnisotropicSheet {
-            x: SheetBranch::Fixed { l, c: Farads::from_pf(0.32), r: Ohms(0.5) },
-            y: SheetBranch::Fixed { l, c: Farads::from_pf(0.44), r: Ohms(0.5) },
+            x: SheetBranch::Fixed {
+                l,
+                c: Farads::from_pf(0.32),
+                r: Ohms(0.5),
+            },
+            y: SheetBranch::Fixed {
+                l,
+                c: Farads::from_pf(0.44),
+                r: Ohms(0.5),
+            },
             slab: Slab::from_mm(Material::FR4, 0.8),
         };
         let sx = sheet.abcd_x(F, Volts(0.0)).to_s(ETA0);

@@ -100,11 +100,7 @@ impl SurfaceStack {
 
     /// Total stack thickness (boards + gaps).
     pub fn total_thickness(&self) -> Meters {
-        let boards: f64 = self
-            .panels
-            .iter()
-            .map(|p| p.sheet.slab.thickness.0)
-            .sum();
+        let boards: f64 = self.panels.iter().map(|p| p.sheet.slab.thickness.0).sum();
         let gaps: f64 = self.gaps.iter().map(|g| g.0).sum();
         Meters(boards + gaps)
     }

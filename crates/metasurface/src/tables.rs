@@ -37,11 +37,7 @@ pub fn table1_grid() -> Grid2D {
     for row in &TABLE1_ROTATION_DEG {
         zs.extend_from_slice(row);
     }
-    Grid2D::new(
-        TABLE1_VOLTAGES.to_vec(),
-        TABLE1_VOLTAGES.to_vec(),
-        zs,
-    )
+    Grid2D::new(TABLE1_VOLTAGES.to_vec(), TABLE1_VOLTAGES.to_vec(), zs)
 }
 
 /// Flattens the paper grid row-major (Vy outer, Vx inner) — the layout
@@ -82,8 +78,8 @@ mod tests {
     #[test]
     fn diagonal_is_nonzero() {
         // Equal biases still rotate (static X/Y asymmetry).
-        for i in 0..7 {
-            assert!(TABLE1_ROTATION_DEG[i][i] > 1.0);
+        for (i, row) in TABLE1_ROTATION_DEG.iter().enumerate() {
+            assert!(row[i] > 1.0);
         }
     }
 

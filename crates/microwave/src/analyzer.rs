@@ -83,7 +83,8 @@ impl Trace {
 
     /// Width of the `threshold_db` passband.
     pub fn bandwidth(&self, threshold_db: Db) -> Option<Hertz> {
-        self.passband(threshold_db).map(|(lo, hi)| Hertz(hi.0 - lo.0))
+        self.passband(threshold_db)
+            .map(|(lo, hi)| Hertz(hi.0 - lo.0))
     }
 
     /// Frequency of the trace maximum.
@@ -154,7 +155,11 @@ mod tests {
     fn peak_found_at_resonance() {
         let t = lorentzian_trace();
         let peak = t.peak_frequency().unwrap();
-        assert!((peak.ghz() - 2.45).abs() < 0.01, "peak = {} GHz", peak.ghz());
+        assert!(
+            (peak.ghz() - 2.45).abs() < 0.01,
+            "peak = {} GHz",
+            peak.ghz()
+        );
         assert!(t.max_db().abs() < 0.01);
     }
 

@@ -13,7 +13,7 @@ use rfmath::units::{Farads, Henries, Hertz, Meters};
 use crate::substrate::Material;
 
 /// Vacuum permittivity, F/m.
-pub const EPS0: f64 = 8.854_187_8128e-12;
+pub const EPS0: f64 = 8.854_187_812_8e-12;
 
 /// Vacuum permeability, H/m.
 pub const MU0: f64 = 1.256_637_062_12e-6;
@@ -81,22 +81,14 @@ mod tests {
     #[test]
     fn fifty_ohm_microstrip_on_fr4() {
         // A classic reference point: ~1.9 mm wide on 1 mm FR4 ≈ 50 Ω.
-        let z = microstrip_z0(
-            &Material::FR4,
-            Meters::from_mm(1.9),
-            Meters::from_mm(1.0),
-        );
+        let z = microstrip_z0(&Material::FR4, Meters::from_mm(1.9), Meters::from_mm(1.0));
         assert!((z - 50.0).abs() < 5.0, "Z0 = {z}");
     }
 
     #[test]
     fn eps_eff_is_between_one_and_er() {
         for w_mm in [0.2, 1.0, 3.0, 10.0] {
-            let e = microstrip_eps_eff(
-                &Material::FR4,
-                Meters::from_mm(w_mm),
-                Meters::from_mm(1.0),
-            );
+            let e = microstrip_eps_eff(&Material::FR4, Meters::from_mm(w_mm), Meters::from_mm(1.0));
             assert!(e > 1.0 && e < Material::FR4.epsilon_r, "εeff = {e}");
         }
     }
@@ -127,7 +119,11 @@ mod tests {
         let loose = patch_grid_capacitance(p, Meters::from_mm(4.0), eps);
         assert!(tight.0 > loose.0);
         // Order of magnitude: fractions of a pF for mm-scale grids.
-        assert!(tight.pf() > 0.05 && tight.pf() < 10.0, "C = {} pF", tight.pf());
+        assert!(
+            tight.pf() > 0.05 && tight.pf() < 10.0,
+            "C = {} pF",
+            tight.pf()
+        );
     }
 
     #[test]

@@ -166,10 +166,7 @@ impl PolarizedS {
     /// power (reflected + transmitted) does not exceed incident power.
     /// Checked on the polarization basis vectors of both ports.
     pub fn is_passive(self, tol: f64) -> bool {
-        let checks = [
-            (self.s11, self.s21),
-            (self.s22, self.s12),
-        ];
+        let checks = [(self.s11, self.s21), (self.s22, self.s12)];
         for (refl, trans) in checks {
             for basis in [Vec2::from_real(1.0, 0.0), Vec2::from_real(0.0, 1.0)] {
                 let out = (refl * basis).norm_sqr() + (trans * basis).norm_sqr();
@@ -286,14 +283,10 @@ mod tests {
         let za = c64(30.0, 40.0);
         let zb = c64(10.0, -60.0);
         let scalar = Abcd::series(za).then(Abcd::series(zb)).to_s(ETA0);
-        let layer_a = PolarizedS::from_axes(
-            Abcd::series(za).to_s(ETA0),
-            Abcd::identity().to_s(ETA0),
-        );
-        let layer_b = PolarizedS::from_axes(
-            Abcd::series(zb).to_s(ETA0),
-            Abcd::identity().to_s(ETA0),
-        );
+        let layer_a =
+            PolarizedS::from_axes(Abcd::series(za).to_s(ETA0), Abcd::identity().to_s(ETA0));
+        let layer_b =
+            PolarizedS::from_axes(Abcd::series(zb).to_s(ETA0), Abcd::identity().to_s(ETA0));
         let cascaded = layer_a.cascade(layer_b).unwrap();
         assert!((cascaded.s21.a - scalar.s21).abs() < 1e-10);
         assert!((cascaded.s11.a - scalar.s11).abs() < 1e-10);

@@ -69,10 +69,7 @@ impl Abcd {
 
     /// An air gap of the given length (board spacing in the stack).
     pub fn air_gap(length: Meters, f: Hertz) -> Self {
-        Self::slab(
-            &Slab::new(crate::substrate::Material::AIR, length),
-            f,
-        )
+        Self::slab(&Slab::new(crate::substrate::Material::AIR, length), f)
     }
 
     /// Ideal transformer with turns ratio `n` (used in matching studies).

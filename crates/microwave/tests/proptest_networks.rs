@@ -15,14 +15,11 @@ fn passive_section() -> impl Strategy<Value = Abcd> {
     let f = Hertz(2.44e9);
     prop_oneof![
         // Series impedance with non-negative resistance.
-        (0.0f64..200.0, -300.0f64..300.0)
-            .prop_map(|(r, x)| Abcd::series(c64(r, x))),
+        (0.0f64..200.0, -300.0f64..300.0).prop_map(|(r, x)| Abcd::series(c64(r, x))),
         // Shunt admittance with non-negative conductance.
         (0.0f64..0.05, -0.05f64..0.05).prop_map(|(g, b)| Abcd::shunt(c64(g, b))),
         // A lossy FR4 slab of random thickness.
-        (0.2f64..4.0).prop_map(move |mm| {
-            Abcd::slab(&Slab::from_mm(Material::FR4, mm), f)
-        }),
+        (0.2f64..4.0).prop_map(move |mm| { Abcd::slab(&Slab::from_mm(Material::FR4, mm), f) }),
         // An air gap.
         (1.0f64..40.0).prop_map(move |mm| Abcd::air_gap(Meters::from_mm(mm), f)),
     ]

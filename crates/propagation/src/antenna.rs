@@ -164,10 +164,7 @@ impl OrientedAntenna {
         let (s, c) = theta.sin_cos();
         let leak = Db(-self.antenna.xpd_db).to_amplitude();
         // Co-polarized (c, s) plus j·leak·(−s, c).
-        let v = Vec2::new(
-            c64(c, -leak * s),
-            c64(s, leak * c),
-        );
+        let v = Vec2::new(c64(c, -leak * s), c64(s, leak * c));
         JonesVector(v)
             .normalized()
             .expect("polarization state is non-zero")
@@ -224,12 +221,12 @@ mod tests {
     fn cheap_antennas_have_worse_purity() {
         let esp = OrientedAntenna::horizontal(Antenna::esp8266_pcb());
         let panel = OrientedAntenna::horizontal(Antenna::directional_panel());
-        let esp_v = esp
-            .polarization()
-            .polarization_loss_factor(OrientedAntenna::vertical(Antenna::esp8266_pcb()).polarization());
-        let panel_v = panel
-            .polarization()
-            .polarization_loss_factor(OrientedAntenna::vertical(Antenna::directional_panel()).polarization());
+        let esp_v = esp.polarization().polarization_loss_factor(
+            OrientedAntenna::vertical(Antenna::esp8266_pcb()).polarization(),
+        );
+        let panel_v = panel.polarization().polarization_loss_factor(
+            OrientedAntenna::vertical(Antenna::directional_panel()).polarization(),
+        );
         assert!(
             esp_v > panel_v,
             "cheap antenna leaks more: {esp_v} vs {panel_v}"

@@ -60,10 +60,9 @@ impl Link {
         let rx_state = self.rx.polarization();
         // Boresight illumination for the engineered geometry; directional
         // antennas apply their pattern to off-axis scatter.
-        let amp_scale = (self.tx_power.0
-            * self.tx.antenna.gain_linear()
-            * self.rx.antenna.gain_linear())
-        .sqrt();
+        let amp_scale =
+            (self.tx_power.0 * self.tx.antenna.gain_linear() * self.rx.antenna.gain_linear())
+                .sqrt();
         // A deployed transmissive panel shadows near-axis scatter: rays
         // that would graze the link axis must now cross the panel and
         // take its through-loss. This is the energy the surface *costs*
@@ -152,10 +151,7 @@ mod tests {
     fn base_link(mismatch_deg: f64) -> Link {
         Link {
             tx: OrientedAntenna::new(Antenna::directional_panel(), Degrees(90.0)),
-            rx: OrientedAntenna::new(
-                Antenna::directional_panel(),
-                Degrees(90.0 - mismatch_deg),
-            ),
+            rx: OrientedAntenna::new(Antenna::directional_panel(), Degrees(90.0 - mismatch_deg)),
             frequency: Hertz::from_ghz(2.44),
             tx_power: Watts::from_mw(50.0),
             deployment: Deployment::transmissive_cm(36.0),
@@ -218,7 +214,10 @@ mod tests {
         let p1 = link.received_dbm(Some(&surface)).0;
         surface.set_bias(BiasState::new(15.0, 2.0));
         let p2 = link.received_dbm(Some(&surface)).0;
-        assert!((p1 - p2).abs() > 3.0, "bias must matter: {p1:.1} vs {p2:.1}");
+        assert!(
+            (p1 - p2).abs() > 3.0,
+            "bias must matter: {p1:.1} vs {p2:.1}"
+        );
     }
 
     #[test]

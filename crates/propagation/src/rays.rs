@@ -166,8 +166,7 @@ pub fn engineered_paths(
             // the surface front travels back 2·d1 (picking up the
             // antenna's re-scatter) and crosses again. This is the term
             // that drags the optimum bias with distance.
-            let bounce_scalar = field_transfer(f, Meters(tx_rx.0 + 2.0 * d1.0))
-                * ANTENNA_RESCATTER;
+            let bounce_scalar = field_transfer(f, Meters(tx_rx.0 + 2.0 * d1.0)) * ANTENNA_RESCATTER;
             let bounce = Path {
                 transfer: bounce_scalar,
                 jones: trans * refl,
@@ -210,7 +209,7 @@ pub fn engineered_paths(
             let half = tx_rx.0 / 2.0;
             let fold = 2.0 * (surface_distance.0 * surface_distance.0 + half * half).sqrt();
             let mirror = JonesMatrix::mirror_x();
-            let refl_in_rx_frame = mirror * surface.reflection(f) ;
+            let refl_in_rx_frame = mirror * surface.reflection(f);
             let reflected = Path {
                 transfer: field_transfer(f, Meters(fold)),
                 jones: refl_in_rx_frame,
@@ -232,7 +231,13 @@ mod tests {
 
     #[test]
     fn free_deployment_has_single_identity_path() {
-        let paths = engineered_paths(Deployment::Free { tx_rx: Meters(0.36) }, None, F);
+        let paths = engineered_paths(
+            Deployment::Free {
+                tx_rx: Meters(0.36),
+            },
+            None,
+            F,
+        );
         assert_eq!(paths.len(), 1);
         assert_eq!(paths[0].label, "direct");
         assert!((paths[0].jones.0.max_abs_diff(rfmath::Mat2::IDENTITY)) < 1e-12);
@@ -280,7 +285,12 @@ mod tests {
     #[test]
     fn without_surface_strips_surface() {
         let d = Deployment::reflective_cm(30.0).without_surface();
-        assert_eq!(d, Deployment::Free { tx_rx: Meters(0.70) });
+        assert_eq!(
+            d,
+            Deployment::Free {
+                tx_rx: Meters(0.70)
+            }
+        );
     }
 
     #[test]

@@ -143,8 +143,7 @@ pub fn average_power_dbm(captures: &[Capture]) -> Dbm {
     if captures.is_empty() {
         return Dbm(f64::NEG_INFINITY);
     }
-    let mean_w =
-        captures.iter().map(|c| c.mean_power().0).sum::<f64>() / captures.len() as f64;
+    let mean_w = captures.iter().map(|c| c.mean_power().0).sum::<f64>() / captures.len() as f64;
     Watts(mean_w).to_dbm()
 }
 
@@ -178,7 +177,13 @@ mod tests {
     #[test]
     fn tone_power_matches_amplitude() {
         // A tone of amplitude a has power a² (complex baseband).
-        let cap = tone(Hertz::from_mhz(1.0), Hertz::from_khz(500.0), 1e-3, 0.0, 4096);
+        let cap = tone(
+            Hertz::from_mhz(1.0),
+            Hertz::from_khz(500.0),
+            1e-3,
+            0.0,
+            4096,
+        );
         let p = cap.mean_power().0;
         assert!((p - 1e-6).abs() / 1e-6 < 1e-12, "P = {p}");
         // Goertzel at the tone bin recovers the same power.
@@ -189,7 +194,13 @@ mod tests {
     #[test]
     fn goertzel_rejects_off_bin_noise() {
         let mut rng = SeedSplitter::new(1).stream("awgn");
-        let mut cap = tone(Hertz::from_mhz(1.0), Hertz::from_khz(500.0), 1e-3, 0.3, 8192);
+        let mut cap = tone(
+            Hertz::from_mhz(1.0),
+            Hertz::from_khz(500.0),
+            1e-3,
+            0.3,
+            8192,
+        );
         add_awgn(&mut cap, Watts(1e-6), &mut rng);
         // Mean power includes all the noise…
         assert!(cap.mean_power().0 > 1.5e-6);
@@ -213,7 +224,10 @@ mod tests {
         };
         let short = measure(256, &mut rng);
         let long = measure(8192, &mut rng);
-        assert!(long < short, "longer captures estimate better: {long} vs {short}");
+        assert!(
+            long < short,
+            "longer captures estimate better: {long} vs {short}"
+        );
     }
 
     #[test]
@@ -230,7 +244,10 @@ mod tests {
         );
         let est = cap.tone_power_dbm(Hertz::from_khz(500.0)).0;
         let expected = Watts(amp.norm_sqr()).to_dbm().0;
-        assert!((est - expected).abs() < 0.2, "{est:.2} vs {expected:.2} dBm");
+        assert!(
+            (est - expected).abs() < 0.2,
+            "{est:.2} vs {expected:.2} dBm"
+        );
     }
 
     #[test]

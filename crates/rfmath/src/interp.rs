@@ -170,7 +170,12 @@ impl Grid2D {
             return (axis.len() - 2, 1.0);
         }
         let i = match axis.binary_search_by(|a| a.total_cmp(&v)) {
-            Ok(i) => return (i.min(axis.len() - 2), if i == axis.len() - 1 { 1.0 } else { 0.0 }),
+            Ok(i) => {
+                return (
+                    i.min(axis.len() - 2),
+                    if i == axis.len() - 1 { 1.0 } else { 0.0 },
+                )
+            }
             Err(i) => i - 1,
         };
         let t = (v - axis[i]) / (axis[i + 1] - axis[i]);
@@ -299,11 +304,7 @@ mod tests {
 
     #[test]
     fn grid_clamps_at_edges() {
-        let g = Grid2D::new(
-            vec![0.0, 1.0],
-            vec![0.0, 1.0],
-            vec![1.0, 2.0, 3.0, 4.0],
-        );
+        let g = Grid2D::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![1.0, 2.0, 3.0, 4.0]);
         assert_eq!(g.eval(-1.0, -1.0), 1.0);
         assert_eq!(g.eval(5.0, 5.0), 4.0);
     }

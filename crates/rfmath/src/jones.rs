@@ -158,9 +158,7 @@ impl JonesMatrix {
     /// Axis-aligned wave plate with common phase `alpha` and a quarter-wave
     /// (90°) retardation on Y, Eq. (3): `M = e^{jα}·diag(1, e^{jπ/2})`.
     pub fn wave_plate(alpha: Radians) -> Self {
-        Self(
-            Mat2::diag(Complex::ONE, Complex::cis(FRAC_PI_2)).scale(Complex::cis(alpha.0)),
-        )
+        Self(Mat2::diag(Complex::ONE, Complex::cis(FRAC_PI_2)).scale(Complex::cis(alpha.0)))
     }
 
     /// General retarder `diag(1, e^{jδ})` with common phase `beta` —
@@ -260,7 +258,11 @@ impl JonesMatrix {
         let n = m.scale(phase);
         // A rotation must be real within tolerance…
         let imag_norm =
-            n.a.im.abs().max(n.b.im.abs()).max(n.c.im.abs()).max(n.d.im.abs());
+            n.a.im
+                .abs()
+                .max(n.b.im.abs())
+                .max(n.c.im.abs())
+                .max(n.d.im.abs());
         if imag_norm > tol {
             return None;
         }

@@ -193,7 +193,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r2 = if syy <= 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy <= 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     (slope, intercept, r2)
 }
 

@@ -21,7 +21,13 @@ fn main() {
     // script would open one.
     let mut psu = PowerSupply::tektronix_2230g();
     println!("SCPI session:");
-    for cmd in ["*IDN?", "OUTP ON", "APPL CH1,12.0", "APPL? CH1", "MEAS:CURR? CH1"] {
+    for cmd in [
+        "*IDN?",
+        "OUTP ON",
+        "APPL CH1,12.0",
+        "APPL? CH1",
+        "MEAS:CURR? CH1",
+    ] {
         let reply = psu.execute(cmd, Seconds(0.1 * 1.0));
         let rendered = match reply {
             Reply::Ack => "OK".to_string(),
@@ -80,10 +86,16 @@ fn describe(event: &Event) -> String {
             winner.vx.0, winner.vy.0
         ),
         Event::Converged(p, m) => {
-            format!("converged at Vx={:.1} Vy={:.1} ({m:.1} dBm)", p.vx.0, p.vy.0)
+            format!(
+                "converged at Vx={:.1} Vy={:.1} ({m:.1} dBm)",
+                p.vx.0, p.vy.0
+            )
         }
         Event::ReportTimeout(p) => {
-            format!("report timeout at Vx={:.1} Vy={:.1}; retrying", p.vx.0, p.vy.0)
+            format!(
+                "report timeout at Vx={:.1} Vy={:.1}; retrying",
+                p.vx.0, p.vy.0
+            )
         }
     }
 }

@@ -40,9 +40,7 @@ fn main() {
         // Without the surface: the raw (fading + quantization) RSSI.
         let p_without = scenario.link().received_dbm(None);
         let rssi_without = stats::mean(&station.read_rssi_batch(p_without, 200));
-        let rate_without = station
-            .achievable_rate_mbps(p_without)
-            .unwrap_or(0.0);
+        let rate_without = station.achievable_rate_mbps(p_without).unwrap_or(0.0);
         let tput_without = ap.downlink_throughput_mbps(&station, p_without);
 
         // With the surface, after the controller converges.

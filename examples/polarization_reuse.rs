@@ -12,9 +12,7 @@
 //! cargo run --release --example polarization_reuse
 //! ```
 
-use llama::core::multilink::{
-    baseline_dbm, optimize_favor, optimize_max_min, SharedReceiver,
-};
+use llama::core::multilink::{baseline_dbm, optimize_favor, optimize_max_min, SharedReceiver};
 use llama::core::scenario::Scenario;
 use llama::propagation::antenna::{Antenna, OrientedAntenna};
 use llama::rfmath::units::Degrees;

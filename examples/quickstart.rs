@@ -48,7 +48,10 @@ fn main() {
         outcome.best_bias.vx.0, outcome.best_bias.vy.0
     );
     println!("  best power   : {:.1}", outcome.best_power_dbm);
-    println!("  improvement  : {:.1} dB over baseline", outcome.improvement.0);
+    println!(
+        "  improvement  : {:.1} dB over baseline",
+        outcome.improvement.0
+    );
     println!(
         "  search cost  : {} probes, {:.2} s at the PSU's 50 Hz budget",
         outcome.probes, outcome.elapsed.0

@@ -38,10 +38,12 @@ fn main() {
     let with = run_sensing(&scenario, &subject, Some(&surface), &config);
 
     let series_with: Vec<f64> = with.trace.iter().map(|(_, p)| p.0).take(240).collect();
-    let series_without: Vec<f64> =
-        without.trace.iter().map(|(_, p)| p.0).take(240).collect();
+    let series_without: Vec<f64> = without.trace.iter().map(|(_, p)| p.0).take(240).collect();
 
-    print!("{}", sparkline("RSS with surface (first 24 s)", &series_with));
+    print!(
+        "{}",
+        sparkline("RSS with surface (first 24 s)", &series_with)
+    );
     print!(
         "{}",
         sparkline("RSS without surface (first 24 s)", &series_without)

@@ -37,9 +37,7 @@ fn main() {
         for f_mhz in (2400..=2500).step_by(10) {
             let f = Hertz::from_mhz(f_mhz as f64);
             if let Some(r) = design.stack.response(f, BiasState::new(6.0, 6.0)) {
-                worst = worst
-                    .min(r.efficiency_x_db().0)
-                    .min(r.efficiency_y_db().0);
+                worst = worst.min(r.efficiency_x_db().0).min(r.efficiency_y_db().0);
             }
         }
 

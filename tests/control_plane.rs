@@ -74,9 +74,7 @@ fn synchronization_labels_survive_clock_offset() {
         })
         .collect();
     let est = estimate_offset(&schedule, &samples, 40);
-    let err = (est.0 - true_td)
-        .abs()
-        .min(0.02 - (est.0 - true_td).abs());
+    let err = (est.0 - true_td).abs().min(0.02 - (est.0 - true_td).abs());
     assert!(err < 0.002, "offset error {err:.4} s");
 
     let buckets = label_samples(&schedule, &samples, est, Seconds(0.002));

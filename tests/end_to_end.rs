@@ -118,9 +118,7 @@ fn deployment_helpers_strip_the_surface() {
 #[test]
 fn whole_pipeline_is_deterministic() {
     let run = || {
-        let mut system = LlamaSystem::new(
-            Scenario::transmissive_default().with_seed(2024),
-        );
+        let mut system = LlamaSystem::new(Scenario::transmissive_default().with_seed(2024));
         let o = system.optimize();
         (o.best_bias, o.best_power_dbm.0, o.baseline_dbm.0)
     };
