@@ -1,0 +1,71 @@
+//! Micro-benches for the batched surface-response engine: single-point
+//! evaluation and the 31×31 heatmap grid, naive cascade vs
+//! `StackEvaluator` (the PR-2 acceptance numbers).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use metasurface::designs::fr4_optimized;
+use metasurface::evaluator::StackEvaluator;
+use metasurface::stack::BiasState;
+use rfmath::units::Hertz;
+use std::time::Duration;
+
+const F: Hertz = Hertz(2.44e9);
+
+fn volts_31() -> Vec<f64> {
+    (0..31).map(|i| i as f64).collect()
+}
+
+fn stack_response_single(c: &mut Criterion) {
+    let design = fr4_optimized();
+    let mut g = c.benchmark_group("stack_response_single");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(2000);
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            design
+                .stack
+                .response(F, black_box(BiasState::new(7.0, 13.0)))
+        })
+    });
+    let evaluator = StackEvaluator::new(&design.stack, F);
+    g.bench_function("batched", |b| {
+        b.iter(|| evaluator.response(black_box(BiasState::new(7.0, 13.0))))
+    });
+    g.finish();
+}
+
+fn heatmap_31x31_naive_vs_batched(c: &mut Criterion) {
+    let design = fr4_optimized();
+    let volts = volts_31();
+    let mut g = c.benchmark_group("heatmap_31x31_naive_vs_batched");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(10));
+    g.sample_size(10);
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(volts.len() * volts.len());
+            for &vy in &volts {
+                for &vx in &volts {
+                    out.push(design.stack.response(F, BiasState::new(vx, vy)));
+                }
+            }
+            out
+        })
+    });
+    g.bench_function("batched", |b| {
+        b.iter(|| {
+            // One-shot cost included: the plan is compiled inside the
+            // timed region, exactly what a cold heatmap call pays.
+            StackEvaluator::new(&design.stack, F).eval_grid(&volts, &volts)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    stack_response_single,
+    heatmap_31x31_naive_vs_batched
+);
+criterion_main!(benches);

@@ -1,11 +1,19 @@
 //! `expts` — regenerate the paper's tables and figures from the command
-//! line.
+//! line, and time the batched surface-response engine.
 //!
 //! ```text
-//! expts            # list experiments
-//! expts all        # run everything (slow; fig15/21 sweep full grids)
-//! expts fig16 alg1 # run a selection
+//! expts                               # list experiments
+//! expts all                           # run everything (slow; fig15/21 sweep full grids)
+//! expts fig16 alg1                    # run a selection
+//! expts --bench-json [path] [--quick] # time the engine, write a JSON summary
 //! ```
+//!
+//! `--bench-json` writes a timing summary (default
+//! `target/bench-report.json`, untracked; the committed reference is
+//! `BENCH_PR2.json`) comparing naive and batched evaluation and exits
+//! non-zero when the batched engine falls below the regression floor —
+//! the CI perf smoke. `--quick` trims the sample budget for fast smoke
+//! runs.
 
 use std::env;
 use std::process::ExitCode;
@@ -13,10 +21,55 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: expts <id>... | all");
+        eprintln!("usage: expts <id>... | all | --bench-json [path] [--quick]");
         eprintln!("experiments: {}", llama_bench::ALL_IDS.join(", "));
         return ExitCode::SUCCESS;
     }
+
+    if args.iter().any(|a| a == "--bench-json") {
+        let quick = args.iter().any(|a| a == "--quick");
+        // Bench mode accepts only its own flags plus one optional output
+        // path (any position); anything else is a usage error rather
+        // than a silently dropped experiment id.
+        let extras: Vec<&String> = args
+            .iter()
+            .filter(|a| *a != "--bench-json" && *a != "--quick")
+            .collect();
+        let looks_like_id = |a: &str| llama_bench::ALL_IDS.contains(&a) || a == "all";
+        if extras.len() > 1
+            || extras.iter().any(|a| a.starts_with("--"))
+            || extras.iter().any(|a| looks_like_id(a))
+        {
+            eprintln!(
+                "error: --bench-json takes at most one output path (experiment ids \
+                 cannot be combined with bench mode); got: {}",
+                extras
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            return ExitCode::FAILURE;
+        }
+        let path = extras
+            .first()
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "target/bench-report.json".to_string());
+        let report = llama_bench::perf::run(quick);
+        print!("{}", report.summary());
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+        return if report.passes() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("error: batched engine below the speedup floor — perf regression");
+            ExitCode::FAILURE
+        };
+    }
+
     let ids: Vec<&str> = if args.len() == 1 && args[0] == "all" {
         llama_bench::ALL_IDS.to_vec()
     } else {

@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod perf;
+
 use llama_core::experiments as ex;
 use llama_core::render;
 

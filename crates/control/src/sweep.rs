@@ -105,7 +105,10 @@ pub fn coarse_to_fine(config: &SweepConfig, mut measure: impl FnMut(Probe) -> f6
     };
     let mut best_metric = f64::NEG_INFINITY;
     let mut probes = 0usize;
-    let mut history = Vec::new();
+    // Every iteration records exactly T² probes; reserve the whole run
+    // up front so the history never reallocates mid-sweep.
+    let mut history =
+        Vec::with_capacity(config.iterations * config.steps_per_axis * config.steps_per_axis);
 
     for _iter in 0..config.iterations {
         let t = config.steps_per_axis;

@@ -13,10 +13,11 @@ use devices::human::HumanTarget;
 use devices::wifi::WifiStation;
 use metasurface::bias::{compare_to_paper, RotationMap};
 use metasurface::designs::{fr4_naive, fr4_optimized, rogers_reference, Design};
+use metasurface::evaluator::StackEvaluator;
 use metasurface::response::Metasurface;
 use metasurface::stack::BiasState;
 use metasurface::tables::TABLE1_VOLTAGES;
-use microwave::analyzer::{frequency_grid, sweep_db, Trace};
+use microwave::analyzer::{frequency_grid, Trace};
 use propagation::antenna::Antenna;
 use propagation::capacity::capacity_bits;
 use propagation::environment::Environment;
@@ -162,23 +163,27 @@ pub struct EfficiencyCurves {
 }
 
 /// Runs the design-efficiency sweep behind Figures 8–10.
+///
+/// One cascade per frequency feeds both polarization traces (the old
+/// path evaluated the full stack twice per point).
 pub fn design_efficiency(design: &Design, points: usize) -> EfficiencyCurves {
     let freqs = frequency_grid(Hertz::from_ghz(2.0), Hertz::from_ghz(2.8), points);
     let bias = BiasState::new(6.0, 6.0);
-    let x_trace = sweep_db(&freqs, |f| {
-        design
-            .stack
-            .response(f, bias)
-            .map(|r| r.efficiency_x_db().0)
-            .unwrap_or(f64::NEG_INFINITY)
-    });
-    let y_trace = sweep_db(&freqs, |f| {
-        design
-            .stack
-            .response(f, bias)
-            .map(|r| r.efficiency_y_db().0)
-            .unwrap_or(f64::NEG_INFINITY)
-    });
+    let mut x_trace = Trace::default();
+    let mut y_trace = Trace::default();
+    for &f in &freqs {
+        let r = design.stack.response(f, bias);
+        x_trace.freqs.push(f);
+        y_trace.freqs.push(f);
+        x_trace.values_db.push(
+            r.map(|r| r.efficiency_x_db().0)
+                .unwrap_or(f64::NEG_INFINITY),
+        );
+        y_trace.values_db.push(
+            r.map(|r| r.efficiency_y_db().0)
+                .unwrap_or(f64::NEG_INFINITY),
+        );
+    }
     let band = (Hertz::from_ghz(2.4), Hertz::from_ghz(2.5));
     let worst = x_trace
         .min_db_in_band(band.0, band.1)
@@ -224,25 +229,32 @@ pub struct BiasEfficiencyFamily {
 }
 
 /// Runs the Figure 11 family sweep.
+///
+/// The family shares `Vx = 6 V`, so at each frequency the batched
+/// evaluator computes the static stages and the X branch once and only
+/// re-solves the Y branch per `Vy` — a `1×7` grid column instead of
+/// seven independent cascade rebuilds.
 pub fn fig11(points: usize) -> BiasEfficiencyFamily {
     let design = fr4_optimized();
     let freqs = frequency_grid(Hertz::from_ghz(2.0), Hertz::from_ghz(2.8), points);
     let vy_values = vec![2.0, 3.0, 4.0, 5.0, 6.0, 10.0, 15.0];
-    let mut traces = Vec::new();
+    let mut traces = vec![Trace::default(); vy_values.len()];
+    for &f in &freqs {
+        let evaluator = StackEvaluator::new(&design.stack, f);
+        let column = evaluator.eval_grid(&[6.0], &vy_values);
+        for (trace, r) in traces.iter_mut().zip(&column) {
+            trace.freqs.push(f);
+            trace.values_db.push(
+                r.map(|r| r.efficiency_x_db().0)
+                    .unwrap_or(f64::NEG_INFINITY),
+            );
+        }
+    }
     let mut worst = f64::INFINITY;
-    for &vy in &vy_values {
-        let bias = BiasState::new(6.0, vy);
-        let t = sweep_db(&freqs, |f| {
-            design
-                .stack
-                .response(f, bias)
-                .map(|r| r.efficiency_x_db().0)
-                .unwrap_or(f64::NEG_INFINITY)
-        });
+    for t in &traces {
         if let Some(w) = t.min_db_in_band(Hertz::from_ghz(2.4), Hertz::from_ghz(2.5)) {
             worst = worst.min(w);
         }
-        traces.push(t);
     }
     BiasEfficiencyFamily {
         vy_values,
@@ -278,6 +290,17 @@ pub fn table1() -> Table1 {
     }
 }
 
+/// The Table 1 (Vx, Vy) probe grid used by the §3.4 estimation studies.
+fn table1_bias_grid() -> Vec<(Volts, Volts)> {
+    let mut grid = Vec::with_capacity(TABLE1_VOLTAGES.len() * TABLE1_VOLTAGES.len());
+    for &vx in &TABLE1_VOLTAGES {
+        for &vy in &TABLE1_VOLTAGES {
+            grid.push((Volts(vx), Volts(vy)));
+        }
+    }
+    grid
+}
+
 /// Figure 12: the §3.4 estimation procedure on a live system.
 pub fn fig12(seed: u64) -> RotationEstimate {
     let scenario = Scenario::transmissive_default()
@@ -287,13 +310,7 @@ pub fn fig12(seed: u64) -> RotationEstimate {
     let mut rig = SystemRig {
         system: &mut system,
     };
-    let mut grid = Vec::new();
-    for &vx in &TABLE1_VOLTAGES {
-        for &vy in &TABLE1_VOLTAGES {
-            grid.push((Volts(vx), Volts(vy)));
-        }
-    }
-    estimate_rotation(&mut rig, (Volts(6.0), Volts(6.0)), &grid, 1.0)
+    estimate_rotation(&mut rig, (Volts(6.0), Volts(6.0)), &table1_bias_grid(), 1.0)
 }
 
 /// One distance point of the Figure 15 study.
@@ -369,13 +386,8 @@ pub fn fig15(seed: u64, steps: usize) -> Fig15 {
             let mut rig = SystemRig {
                 system: &mut system,
             };
-            let mut grid = Vec::new();
-            for &vx in &TABLE1_VOLTAGES {
-                for &vy in &TABLE1_VOLTAGES {
-                    grid.push((Volts(vx), Volts(vy)));
-                }
-            }
-            let est = estimate_rotation(&mut rig, (Volts(6.0), Volts(6.0)), &grid, 1.0);
+            let est =
+                estimate_rotation(&mut rig, (Volts(6.0), Volts(6.0)), &table1_bias_grid(), 1.0);
             (est.min_rotation.0, est.max_rotation.0)
         })
         .collect();

@@ -8,7 +8,7 @@
 //! bank, and reports the detected rate and its band SNR.
 
 use devices::human::HumanTarget;
-use metasurface::response::Metasurface;
+use metasurface::response::{Metasurface, SurfaceResponse};
 use propagation::friis::field_transfer;
 use propagation::link::Link;
 use propagation::rays::Path;
@@ -69,7 +69,7 @@ pub struct SensingResult {
 pub fn human_paths(
     scenario: &Scenario,
     human: &HumanTarget,
-    surface: Option<&Metasurface>,
+    surface: Option<&SurfaceResponse>,
 ) -> Vec<Path> {
     let f = scenario.frequency;
     let refl_amp = human.reflection_amplitude();
@@ -85,7 +85,7 @@ pub fn human_paths(
         // beams: Tx → surface → chest → Rx, carrying the panel's
         // reflection Jones response.
         let assisted_len = Meters(human.path_length.0 * 1.3);
-        let refl = surface.reflection(f);
+        let refl = surface.reflection();
         paths.push(Path {
             transfer: field_transfer(f, assisted_len) * refl_amp,
             jones: JonesMatrix::mirror_x() * refl,
@@ -105,8 +105,11 @@ pub fn run_sensing(
     surface: Option<&Metasurface>,
     config: &SensingConfig,
 ) -> SensingResult {
+    // One cascade evaluation serves the human-path construction and
+    // every sample of the RSS trace (the bias is fixed for the run).
+    let response = surface.map(|s| s.response(scenario.frequency));
     let mut link: Link = scenario.link();
-    link.extra_paths = human_paths(scenario, human, surface);
+    link.extra_paths = human_paths(scenario, human, response.as_ref());
 
     let mut rng = SeedSplitter::new(scenario.seed).stream("rss-noise");
     let noise_w = Dbm(config.effective_noise_floor_dbm).to_watts();
@@ -114,7 +117,7 @@ pub fn run_sensing(
     let trace: Vec<(Seconds, Dbm)> = (0..n)
         .map(|i| {
             let t = Seconds(i as f64 / config.sample_rate_hz);
-            let amp = link.received_amplitude_at(surface, t);
+            let amp = link.received_amplitude_with(response.as_ref(), t);
             (t, rssi_reading(amp, noise_w, &mut rng))
         })
         .collect();
@@ -252,7 +255,11 @@ mod tests {
         let human = subject();
         let bare = human_paths(&scenario, &human, None);
         let surface = Metasurface::llama();
-        let assisted = human_paths(&scenario, &human, Some(&surface));
+        let assisted = human_paths(
+            &scenario,
+            &human,
+            Some(&surface.response(scenario.frequency)),
+        );
         assert_eq!(bare.len(), 1);
         assert_eq!(assisted.len(), 2);
         assert!(assisted.iter().all(|p| p.modulation.is_some()));

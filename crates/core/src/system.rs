@@ -12,7 +12,8 @@ use control::psu::PowerSupply;
 use control::sweep::{coarse_to_fine, Probe, SweepConfig};
 use devices::report::{LossyTransport, ReportPacket};
 use devices::usrp::{UsrpConfig, UsrpReceiver};
-use metasurface::response::Metasurface;
+use metasurface::evaluator::StackEvaluator;
+use metasurface::response::{Metasurface, SurfaceResponse};
 use metasurface::stack::BiasState;
 use propagation::signal::rssi_reading;
 use rand::rngs::StdRng;
@@ -125,15 +126,20 @@ impl LlamaSystem {
         // controller consumes RSSI-style single-shot readings: near the
         // effective noise floor these wander by several dB and can
         // mislead the sweep, exactly as on real hardware.
+        //
+        // The link is bias-independent, so it is built once; each probe
+        // then costs a single (evaluator-cached) cascade instead of
+        // rebuilding the link and evaluating the surface four times.
         let scenario = self.scenario.clone();
+        let link = scenario.link();
+        let f = scenario.frequency;
         let surface = &mut self.surface;
         let rng = &mut self.rssi_rng;
         let floor_w = Dbm(self.rssi_floor_dbm).to_watts();
         let outcome = coarse_to_fine(&self.sweep, |p: Probe| {
             surface.set_bias(BiasState { vx: p.vx, vy: p.vy });
-            let amp = scenario
-                .link()
-                .received_amplitude_at(Some(surface), Seconds(0.0));
+            let response = surface.response(f);
+            let amp = link.received_amplitude_with(Some(&response), Seconds(0.0));
             rssi_reading(amp, floor_w, rng).0
         });
         let best_bias = BiasState {
@@ -241,17 +247,29 @@ impl LlamaSystem {
     /// Full-resolution power heatmap over the (Vx, Vy) plane: the raw
     /// material of Figures 15 and 21. Returns `(voltages, row-major
     /// powers)` with rows indexed by Vy.
+    ///
+    /// Runs on the batched engine: one [`StackEvaluator`] grid pass
+    /// (`O(steps)` per-axis branch solves, parallel rows) feeds a single
+    /// prebuilt link, instead of `steps²` full cascade-and-link rebuilds.
     pub fn power_heatmap(&mut self, steps: usize) -> (Vec<f64>, Vec<f64>) {
         let steps = steps.max(2);
         let volts: Vec<f64> = (0..steps)
             .map(|i| 30.0 * i as f64 / (steps - 1) as f64)
             .collect();
-        let mut grid = Vec::with_capacity(steps * steps);
-        for &vy in &volts {
-            for &vx in &volts {
-                grid.push(self.true_power_dbm(BiasState::new(vx, vy)).0);
-            }
-        }
+        // Evaluate at the supply-clamped voltages (what `set_bias` would
+        // deliver) while labeling the axis with the nominal sweep values.
+        let applied: Vec<f64> = volts
+            .iter()
+            .map(|v| v.clamp(0.0, self.surface.v_max.0))
+            .collect();
+        let f = self.scenario.frequency;
+        let link = self.scenario.link();
+        let evaluator = StackEvaluator::new(&self.surface.design().stack, f);
+        let grid = evaluator
+            .eval_grid(&applied, &applied)
+            .into_iter()
+            .map(|r| link.received_dbm_with(Some(&SurfaceResponse::new(f, r))).0)
+            .collect();
         (volts, grid)
     }
 }
@@ -340,6 +358,24 @@ mod tests {
         let hi = rfmath::stats::max(&grid);
         let lo = rfmath::stats::min(&grid);
         assert!(hi - lo > 5.0, "bias must shape the power: {lo:.1}..{hi:.1}");
+    }
+
+    #[test]
+    fn heatmap_respects_supply_ceiling() {
+        // A lowered v_max must clamp the evaluated bias exactly like
+        // set_bias does on the per-point path.
+        let mut sys = LlamaSystem::new(Scenario::transmissive_default());
+        sys.surface.v_max = rfmath::units::Volts(15.0);
+        let (volts, grid) = sys.power_heatmap(7);
+        let top = volts.len() - 1;
+        assert_eq!(volts[top], 30.0, "axis keeps the nominal sweep labels");
+        let expected = sys.true_power_dbm(BiasState::new(30.0, 30.0)).0;
+        assert!(
+            (grid[top * volts.len() + top] - expected).abs() < 1e-9,
+            "clamped corner: {} vs {}",
+            grid[top * volts.len() + top],
+            expected
+        );
     }
 
     #[test]

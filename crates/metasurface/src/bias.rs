@@ -15,6 +15,7 @@ use rfmath::jones::JonesVector;
 use rfmath::units::{Degrees, Hertz, Radians};
 
 use crate::designs::Design;
+use crate::evaluator::StackEvaluator;
 use crate::stack::BiasState;
 use crate::tables;
 
@@ -39,20 +40,20 @@ impl RotationMap {
     pub fn from_design(design: &Design, f: Hertz, voltages: &[f64]) -> Self {
         assert!(voltages.len() >= 2, "need at least a 2×2 bias grid");
         let probe = JonesVector::horizontal();
-        let mut zs = Vec::with_capacity(voltages.len() * voltages.len());
-        for &vy in voltages {
-            for &vx in voltages {
-                let rot = design
-                    .stack
-                    .response(f, BiasState::new(vx, vy))
-                    .map(|r| {
-                        let out = r.transmission_jones().apply(probe);
-                        out.orientation().to_degrees().0
-                    })
-                    .unwrap_or(0.0);
-                zs.push(rot);
-            }
-        }
+        // Batched grid evaluation: per-axis branch solves are shared
+        // across the whole (Vx, Vy) plane instead of recomputed per cell.
+        let evaluator = StackEvaluator::new(&design.stack, f);
+        let zs = evaluator
+            .eval_grid(voltages, voltages)
+            .into_iter()
+            .map(|r| {
+                r.map(|r| {
+                    let out = r.transmission_jones().apply(probe);
+                    out.orientation().to_degrees().0
+                })
+                .unwrap_or(0.0)
+            })
+            .collect();
         Self {
             grid: Grid2D::new(voltages.to_vec(), voltages.to_vec(), zs),
             signed: true,

@@ -342,6 +342,15 @@ mod tests {
             assert!(r.is_some(), "{} produced no response", d.name);
             let r = r.unwrap();
             assert!(r.is_passive(1e-9), "{} is active", d.name);
+            // The compiled evaluator agrees with the naive cascade.
+            let fast = crate::evaluator::StackEvaluator::new(&d.stack, F)
+                .response(MID_BIAS)
+                .expect("evaluator response exists");
+            assert!(
+                fast.s21.max_abs_diff(r.s21) < 1e-12,
+                "{} batched/naive disagree",
+                d.name
+            );
         }
     }
 
@@ -376,12 +385,12 @@ mod tests {
     fn rfid_scaling_still_rotates() {
         let d = rfid_900mhz();
         let probe = rfmath::jones::JonesVector::horizontal();
+        // One compiled plan serves both bias probes (the static QWP and
+        // gap stages are shared), replacing two full cascade rebuilds.
+        let evaluator = crate::evaluator::StackEvaluator::new(&d.stack, Hertz(0.915e9));
         let mut angles = Vec::new();
         for (vx, vy) in [(2.0, 15.0), (15.0, 2.0)] {
-            let r = d
-                .stack
-                .response(Hertz(0.915e9), BiasState::new(vx, vy))
-                .unwrap();
+            let r = evaluator.response(BiasState::new(vx, vy)).unwrap();
             angles.push(
                 r.transmission_jones()
                     .apply(probe)

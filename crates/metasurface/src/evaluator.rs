@@ -1,0 +1,508 @@
+//! Batched surface-response engine: separable caching over the
+//! `(frequency, bias)` plane.
+//!
+//! [`SurfaceStack::response`] rebuilds every stage of the cascade —
+//! air gaps, fixed quarter-wave boards, tuned birefringent boards — for
+//! each `(f, bias)` probe, even though most of that work is separable:
+//!
+//! * air gaps and fixed panels depend only on `f`;
+//! * a tuned panel's X branch depends only on `(f, vx)` and its Y branch
+//!   only on `(f, vy)`.
+//!
+//! [`StackEvaluator`] exploits that structure. Construction (per
+//! frequency) converts every bias-independent stage to wave-transfer
+//! form once and pre-multiplies maximal static runs, so a probe at a new
+//! bias only evaluates the tuned branches (memoized per voltage) and a
+//! handful of block multiplies. A `T×T` bias heatmap therefore costs
+//! `O(T)` per-axis ABCD evaluations instead of `O(T²)` full cascade
+//! rebuilds, and [`StackEvaluator::eval_grid`] additionally fans
+//! independent grid rows out across threads (`std::thread::scope` — no
+//! external dependencies).
+//!
+//! The engine is *exactly* equivalent to the naive path: stages are
+//! built by the same code, and both sides fold transfers left-to-right,
+//! so batched and per-point results agree to well below `1e-12`
+//! (`tests/proptest_evaluator.rs` is the contract).
+
+use std::cell::RefCell;
+
+use microwave::polarized::{PolarizedS, WaveTransfer};
+use microwave::substrate::ETA0;
+use microwave::twoport::{Abcd, SParams};
+use rfmath::units::{Hertz, Radians, Volts};
+
+use crate::sheet::AnisotropicSheet;
+use crate::stack::{BiasState, SurfaceStack};
+
+/// Upper bound on memoized per-axis voltage entries; beyond this the
+/// evaluator computes without caching (protects pathological callers
+/// that probe millions of distinct voltages at one frequency).
+const MEMO_CAP: usize = 4096;
+
+/// One step of the compiled cascade plan, in traversal order. Both
+/// variants are indices into side tables so the plan stays compact
+/// (`statics` for pre-multiplied bias-independent runs, `tuned` for
+/// bias-dependent panels).
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    /// A pre-multiplied run of bias-independent stages (gaps, fixed
+    /// panels), indexed into [`StackEvaluator::statics`].
+    Static(usize),
+    /// A bias-dependent panel, indexed into [`StackEvaluator::tuned`].
+    Tuned(usize),
+}
+
+/// A bias-dependent panel with per-axis voltage memos.
+#[derive(Clone, Debug)]
+struct TunedPanel {
+    sheet: AnisotropicSheet,
+    rotation: Radians,
+    x_memo: RefCell<Vec<(u64, SParams)>>,
+    y_memo: RefCell<Vec<(u64, SParams)>>,
+}
+
+impl TunedPanel {
+    /// X-branch S-parameters at `v`, memoized by voltage bit pattern.
+    fn x_s(&self, f: Hertz, v: f64) -> SParams {
+        axis_s(&self.x_memo, v, || {
+            self.sheet.abcd_x(f, Volts(v)).to_s(ETA0)
+        })
+    }
+
+    /// Y-branch S-parameters at `v`, memoized by voltage bit pattern.
+    fn y_s(&self, f: Hertz, v: f64) -> SParams {
+        axis_s(&self.y_memo, v, || {
+            self.sheet.abcd_y(f, Volts(v)).to_s(ETA0)
+        })
+    }
+}
+
+/// Memo lookup/insert shared by both axes.
+fn axis_s(
+    memo: &RefCell<Vec<(u64, SParams)>>,
+    v: f64,
+    compute: impl FnOnce() -> SParams,
+) -> SParams {
+    let bits = v.to_bits();
+    if let Some(&(_, s)) = memo.borrow().iter().find(|(b, _)| *b == bits) {
+        return s;
+    }
+    let s = compute();
+    let mut memo = memo.borrow_mut();
+    if memo.len() < MEMO_CAP {
+        memo.push((bits, s));
+    }
+    s
+}
+
+/// Assembles a tuned panel's stage transfer from cached per-axis
+/// S-parameters. Axis-aligned panels (the BFS layers) skip the rotation
+/// conjugation entirely — `R(0) = I` exactly, so the result is
+/// bit-identical and eight 2×2 multiplies cheaper per grid cell.
+fn tuned_transfer(sx: SParams, sy: SParams, rotation: Radians) -> Option<WaveTransfer> {
+    let stage = PolarizedS::from_axes(sx, sy);
+    if rotation.0 == 0.0 {
+        stage.wave_transfer()
+    } else {
+        stage.rotated(rotation).wave_transfer()
+    }
+}
+
+/// A one-stage stack, mirrored bit-for-bit: [`PolarizedS::chain`]
+/// returns a lone stage unchanged — even one with a singular
+/// transmission block (a perfect mirror is a valid network) — so the
+/// evaluator must not round-trip it through the wave-transfer domain.
+#[derive(Clone, Debug)]
+enum Lone {
+    /// Bias-independent lone stage, precomputed (boxed to keep the
+    /// cold enum small next to the dataless `Tuned` variant).
+    Static(Box<PolarizedS>),
+    /// Bias-dependent lone panel, assembled per probe from `tuned[0]`.
+    Tuned,
+}
+
+/// The compiled, frequency-specific evaluation plan of a
+/// [`SurfaceStack`].
+///
+/// Build one per operating frequency and probe it with as many bias
+/// states as needed; see the module docs for the cost model.
+#[derive(Clone, Debug)]
+pub struct StackEvaluator {
+    f: Hertz,
+    steps: Vec<Step>,
+    statics: Vec<WaveTransfer>,
+    tuned: Vec<TunedPanel>,
+    /// Single-stage stacks bypass the transfer-domain plan entirely.
+    lone: Option<Lone>,
+    /// True when a bias-independent stage was numerically opaque
+    /// (singular transmission): every response is `None`.
+    opaque: bool,
+}
+
+impl StackEvaluator {
+    /// Compiles `stack` for evaluation at frequency `f`: converts every
+    /// bias-independent stage to wave-transfer form and pre-multiplies
+    /// maximal static runs.
+    pub fn new(stack: &SurfaceStack, f: Hertz) -> Self {
+        let mut steps = Vec::new();
+        let mut statics = Vec::new();
+        let mut tuned = Vec::new();
+        let mut pending: Option<WaveTransfer> = None;
+        let mut opaque = false;
+
+        // One-panel stacks: the cascade *is* the stage, bit for bit.
+        if let [panel] = stack.panels.as_slice() {
+            let lone = if panel.sheet.x.is_tuned() || panel.sheet.y.is_tuned() {
+                tuned.push(TunedPanel {
+                    sheet: panel.sheet.clone(),
+                    rotation: panel.rotation,
+                    x_memo: RefCell::new(Vec::new()),
+                    y_memo: RefCell::new(Vec::new()),
+                });
+                Lone::Tuned
+            } else {
+                let sx = panel.sheet.abcd_x(f, Volts(0.0)).to_s(ETA0);
+                let sy = panel.sheet.abcd_y(f, Volts(0.0)).to_s(ETA0);
+                Lone::Static(Box::new(
+                    PolarizedS::from_axes(sx, sy).rotated(panel.rotation),
+                ))
+            };
+            return Self {
+                f,
+                steps,
+                statics,
+                tuned,
+                lone: Some(lone),
+                opaque: false,
+            };
+        }
+
+        let push_static = |pending: &mut Option<WaveTransfer>,
+                           opaque: &mut bool,
+                           stage: PolarizedS| match stage.wave_transfer()
+        {
+            Some(t) => match pending {
+                Some(acc) => acc.push(&t),
+                None => *pending = Some(t),
+            },
+            None => *opaque = true,
+        };
+
+        for (i, panel) in stack.panels.iter().enumerate() {
+            if i > 0 {
+                let gap = Abcd::air_gap(stack.gaps[i - 1], f).to_s(ETA0);
+                push_static(&mut pending, &mut opaque, PolarizedS::from_axes(gap, gap));
+            }
+            if panel.sheet.x.is_tuned() || panel.sheet.y.is_tuned() {
+                if let Some(t) = pending.take() {
+                    steps.push(Step::Static(statics.len()));
+                    statics.push(t);
+                }
+                steps.push(Step::Tuned(tuned.len()));
+                tuned.push(TunedPanel {
+                    sheet: panel.sheet.clone(),
+                    rotation: panel.rotation,
+                    x_memo: RefCell::new(Vec::new()),
+                    y_memo: RefCell::new(Vec::new()),
+                });
+            } else {
+                // Fixed and transparent branches ignore bias, so the
+                // whole stage is static at this frequency.
+                let sx = panel.sheet.abcd_x(f, Volts(0.0)).to_s(ETA0);
+                let sy = panel.sheet.abcd_y(f, Volts(0.0)).to_s(ETA0);
+                push_static(
+                    &mut pending,
+                    &mut opaque,
+                    PolarizedS::from_axes(sx, sy).rotated(panel.rotation),
+                );
+            }
+        }
+        if let Some(t) = pending.take() {
+            steps.push(Step::Static(statics.len()));
+            statics.push(t);
+        }
+
+        Self {
+            f,
+            steps,
+            statics,
+            tuned,
+            lone: None,
+            opaque,
+        }
+    }
+
+    /// The frequency this plan was compiled for.
+    pub fn frequency(&self) -> Hertz {
+        self.f
+    }
+
+    /// Assembles a one-panel stack's stage exactly as
+    /// [`SurfaceStack::response`] does (including the rotation call, so
+    /// the result is bit-identical to the naive path).
+    fn lone_stage(&self, lone: &Lone, vx: f64, vy: f64) -> PolarizedS {
+        match lone {
+            Lone::Static(stage) => **stage,
+            Lone::Tuned => {
+                let panel = &self.tuned[0];
+                PolarizedS::from_axes(panel.x_s(self.f, vx), panel.y_s(self.f, vy))
+                    .rotated(panel.rotation)
+            }
+        }
+    }
+
+    /// Number of bias-dependent panels in the plan.
+    pub fn tuned_panel_count(&self) -> usize {
+        self.tuned.len()
+    }
+
+    /// Evaluates the full polarized response at one bias state.
+    ///
+    /// Equivalent to `stack.response(f, bias)` but reuses the compiled
+    /// static stages and per-voltage branch memos; zero heap allocation
+    /// per call once the memos are warm.
+    pub fn response(&self, bias: BiasState) -> Option<PolarizedS> {
+        if let Some(lone) = &self.lone {
+            return Some(self.lone_stage(lone, bias.vx.0, bias.vy.0));
+        }
+        if self.opaque {
+            return None;
+        }
+        let mut acc: Option<WaveTransfer> = None;
+        for step in &self.steps {
+            let t = match step {
+                Step::Static(k) => self.statics[*k],
+                Step::Tuned(k) => {
+                    let panel = &self.tuned[*k];
+                    tuned_transfer(
+                        panel.x_s(self.f, bias.vx.0),
+                        panel.y_s(self.f, bias.vy.0),
+                        panel.rotation,
+                    )?
+                }
+            };
+            match acc.as_mut() {
+                Some(acc) => acc.push(&t),
+                None => acc = Some(t),
+            }
+        }
+        acc?.to_s()
+    }
+
+    /// Evaluates the response over a bias grid, row-major with rows
+    /// indexed by `vys` (cell `[iy·len(vxs) + ix]` holds the response at
+    /// `(vxs[ix], vys[iy])`) — the layout of the Figure 15/21 heatmaps
+    /// and Table 1.
+    ///
+    /// Each tuned panel's branches are evaluated once per distinct axis
+    /// voltage (`O(T)` instead of `O(T²)` ABCD solves), then independent
+    /// rows are evaluated in parallel with `std::thread::scope` when the
+    /// grid is large enough to amortize thread spawn.
+    pub fn eval_grid(&self, vxs: &[f64], vys: &[f64]) -> Vec<Option<PolarizedS>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.eval_grid_threaded(vxs, vys, threads)
+    }
+
+    /// [`StackEvaluator::eval_grid`] with an explicit worker count
+    /// (clamped to the row count; ≤ 1 evaluates sequentially). Exposed
+    /// so the threaded path stays testable on single-core hosts.
+    pub fn eval_grid_threaded(
+        &self,
+        vxs: &[f64],
+        vys: &[f64],
+        threads: usize,
+    ) -> Vec<Option<PolarizedS>> {
+        let nx = vxs.len();
+        let ny = vys.len();
+        let mut out: Vec<Option<PolarizedS>> = vec![None; nx * ny];
+        if self.opaque || nx == 0 || ny == 0 {
+            return out;
+        }
+        if let Some(lone) = &self.lone {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = Some(self.lone_stage(lone, vxs[i % nx], vys[i / nx]));
+            }
+            return out;
+        }
+
+        // O(T) separable precompute: per-axis branch S-parameters.
+        let x_tables: Vec<Vec<SParams>> = self
+            .tuned
+            .iter()
+            .map(|p| vxs.iter().map(|&v| p.x_s(self.f, v)).collect())
+            .collect();
+        let y_tables: Vec<Vec<SParams>> = self
+            .tuned
+            .iter()
+            .map(|p| vys.iter().map(|&v| p.y_s(self.f, v)).collect())
+            .collect();
+        let rotations: Vec<Radians> = self.tuned.iter().map(|p| p.rotation).collect();
+        let steps = &self.steps;
+        let statics = &self.statics;
+
+        let cell = |ix: usize, iy: usize| -> Option<PolarizedS> {
+            let mut acc: Option<WaveTransfer> = None;
+            for step in steps {
+                let t = match step {
+                    Step::Static(k) => statics[*k],
+                    Step::Tuned(k) => {
+                        tuned_transfer(x_tables[*k][ix], y_tables[*k][iy], rotations[*k])?
+                    }
+                };
+                match acc.as_mut() {
+                    Some(acc) => acc.push(&t),
+                    None => acc = Some(t),
+                }
+            }
+            acc?.to_s()
+        };
+
+        let threads = threads.min(ny);
+        if threads <= 1 || nx * ny < 256 {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = cell(i % nx, i / nx);
+            }
+        } else {
+            let rows_per = ny.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (chunk_idx, chunk) in out.chunks_mut(rows_per * nx).enumerate() {
+                    let cell = &cell;
+                    scope.spawn(move || {
+                        let base = chunk_idx * rows_per * nx;
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            let i = base + j;
+                            *slot = cell(i % nx, i / nx);
+                        }
+                    });
+                }
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::{fr4_naive, fr4_optimized, rogers_reference};
+
+    const F: Hertz = Hertz(2.44e9);
+
+    fn max_diff(a: PolarizedS, b: PolarizedS) -> f64 {
+        a.s11
+            .max_abs_diff(b.s11)
+            .max(a.s12.max_abs_diff(b.s12))
+            .max(a.s21.max_abs_diff(b.s21))
+            .max(a.s22.max_abs_diff(b.s22))
+    }
+
+    #[test]
+    fn single_point_matches_naive_response() {
+        for design in [fr4_optimized(), rogers_reference(), fr4_naive()] {
+            let ev = StackEvaluator::new(&design.stack, F);
+            for (vx, vy) in [(0.0, 0.0), (2.0, 15.0), (15.0, 2.0), (30.0, 30.0)] {
+                let bias = BiasState::new(vx, vy);
+                let naive = design.stack.response(F, bias).unwrap();
+                let fast = ev.response(bias).unwrap();
+                assert!(
+                    max_diff(naive, fast) < 1e-12,
+                    "{} at ({vx},{vy}): diff {}",
+                    design.name,
+                    max_diff(naive, fast)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_matches_naive_per_point() {
+        let design = fr4_optimized();
+        let ev = StackEvaluator::new(&design.stack, F);
+        let vxs = [0.0, 4.0, 11.0, 30.0];
+        let vys = [2.0, 6.0, 15.0];
+        let grid = ev.eval_grid(&vxs, &vys);
+        assert_eq!(grid.len(), vxs.len() * vys.len());
+        for (iy, &vy) in vys.iter().enumerate() {
+            for (ix, &vx) in vxs.iter().enumerate() {
+                let naive = design.stack.response(F, BiasState::new(vx, vy)).unwrap();
+                let fast = grid[iy * vxs.len() + ix].unwrap();
+                assert!(max_diff(naive, fast) < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn large_grid_takes_threaded_path_and_matches() {
+        // 31×31 exceeds the sequential cutoff; force four workers so the
+        // std::thread::scope row fan-out runs even on single-core hosts,
+        // and check it agrees with the auto-threaded and naive paths.
+        let design = fr4_optimized();
+        let ev = StackEvaluator::new(&design.stack, F);
+        let volts: Vec<f64> = (0..31).map(|i| i as f64).collect();
+        let grid = ev.eval_grid_threaded(&volts, &volts, 4);
+        let auto = ev.eval_grid(&volts, &volts);
+        for (i, (cell, auto_cell)) in grid.iter().zip(&auto).enumerate() {
+            let (ix, iy) = (i % 31, i / 31);
+            let naive = design
+                .stack
+                .response(F, BiasState::new(volts[ix], volts[iy]))
+                .unwrap();
+            assert!(max_diff(naive, cell.unwrap()) < 1e-12, "cell {i}");
+            assert!(
+                max_diff(cell.unwrap(), auto_cell.unwrap()) == 0.0,
+                "cell {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn uneven_row_chunks_cover_every_cell() {
+        // 3 workers over 20 rows (chunks of 7, 7, 6) — exercises the
+        // remainder chunk of the fan-out.
+        let design = fr4_optimized();
+        let ev = StackEvaluator::new(&design.stack, F);
+        let vxs: Vec<f64> = (0..20).map(|i| 1.5 * i as f64).collect();
+        let vys = vxs.clone();
+        let threaded = ev.eval_grid_threaded(&vxs, &vys, 3);
+        let sequential = ev.eval_grid_threaded(&vxs, &vys, 1);
+        assert_eq!(threaded.len(), 400);
+        for (a, b) in threaded.iter().zip(&sequential) {
+            assert!(max_diff(a.unwrap(), b.unwrap()) == 0.0);
+        }
+    }
+
+    #[test]
+    fn plan_compresses_static_runs() {
+        // fr4_optimized: QWP+·gap·QWP+·gap | BFS | gap | BFS | gap·QWP−·gap·QWP−
+        // ⇒ 2 tuned panels and 3 compressed static segments.
+        let ev = StackEvaluator::new(&fr4_optimized().stack, F);
+        assert_eq!(ev.tuned_panel_count(), 2);
+        assert_eq!(ev.steps.len(), 5);
+    }
+
+    #[test]
+    fn one_panel_stack_is_bit_identical_to_naive() {
+        // `PolarizedS::chain` returns a lone stage unchanged, so the
+        // evaluator must not round-trip it through the transfer domain
+        // — exercised for both fixed (QWP) and tuned (BFS) panels.
+        let bias = BiasState::new(3.0, 21.0);
+        for panel in fr4_optimized().stack.panels {
+            let stack = SurfaceStack::new(vec![panel], vec![]);
+            let ev = StackEvaluator::new(&stack, F);
+            let naive = stack.response(F, bias).unwrap();
+            assert_eq!(max_diff(naive, ev.response(bias).unwrap()), 0.0);
+            let grid = ev.eval_grid(&[3.0], &[21.0]);
+            assert_eq!(max_diff(naive, grid[0].unwrap()), 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_stack_yields_none() {
+        let stack = SurfaceStack::new(vec![], vec![]);
+        let ev = StackEvaluator::new(&stack, F);
+        assert!(ev.response(BiasState::new(0.0, 0.0)).is_none());
+        assert!(ev.eval_grid(&[1.0], &[1.0])[0].is_none());
+    }
+}

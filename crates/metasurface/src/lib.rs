@@ -10,6 +10,9 @@
 //!   dielectric-ESR loss (the FR4-vs-Rogers mechanism);
 //! * [`stack`] — multi-board cascades with exact multiple-reflection
 //!   accounting, producing the full dual-polarization response;
+//! * [`evaluator`] — the batched surface-response engine: per-frequency
+//!   compiled cascade plans with separable per-axis caching and
+//!   parallel bias-grid evaluation;
 //! * [`designs`] — the three §3.2 designs: the Rogers 5880 reference,
 //!   the naive FR4 substitution, and LLAMA's optimized FR4 stack
 //!   (Figures 8, 9, 10);
@@ -46,6 +49,7 @@
 
 pub mod bias;
 pub mod designs;
+pub mod evaluator;
 pub mod fabrication;
 pub mod geometry;
 pub mod power;
@@ -56,5 +60,6 @@ pub mod tables;
 
 pub use bias::RotationMap;
 pub use designs::{fr4_naive, fr4_optimized, rogers_reference, Design};
-pub use response::Metasurface;
+pub use evaluator::StackEvaluator;
+pub use response::{Metasurface, SurfaceResponse};
 pub use stack::{BiasState, SurfaceStack};

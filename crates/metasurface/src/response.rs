@@ -11,21 +11,102 @@
 //! reflective voltage dependence is much flatter than the transmissive
 //! one (Figure 21 vs Figure 15).
 
+use std::cell::RefCell;
+
+use microwave::polarized::PolarizedS;
 use rfmath::jones::{JonesMatrix, JonesVector};
 use rfmath::units::{Db, Degrees, Hertz, Volts};
 
 use crate::designs::Design;
+use crate::evaluator::StackEvaluator;
 use crate::stack::BiasState;
+
+/// One full surface evaluation at a `(frequency, bias)` point: the
+/// transmissive and reflective Jones matrices and both transmission
+/// efficiencies, all derived from a single cascade.
+///
+/// Call sites that previously ran [`Metasurface::transmission`],
+/// [`Metasurface::reflection`] and the efficiency accessors separately
+/// paid one full cascade *each*; [`Metasurface::response`] bundles the
+/// four observables behind one evaluation. An opaque (numerically
+/// singular) cascade yields zero Jones transforms and `−∞ dB`
+/// efficiencies, matching the individual accessors' fallbacks.
+#[derive(Clone, Copy, Debug)]
+pub struct SurfaceResponse {
+    f: Hertz,
+    polarized: Option<PolarizedS>,
+}
+
+impl SurfaceResponse {
+    /// Wraps a raw cascade result evaluated at `f` (`None` = opaque
+    /// surface). Carrying the frequency lets consumers assert that a
+    /// precomputed response is not mixed with a link at a different
+    /// carrier.
+    pub fn new(f: Hertz, polarized: Option<PolarizedS>) -> Self {
+        Self { f, polarized }
+    }
+
+    /// The frequency this response was evaluated at.
+    pub fn frequency(&self) -> Hertz {
+        self.f
+    }
+
+    /// The underlying polarized scattering description, when the cascade
+    /// exists.
+    pub fn polarized(&self) -> Option<PolarizedS> {
+        self.polarized
+    }
+
+    /// True when the cascade was numerically singular (never the case
+    /// for physical designs).
+    pub fn is_opaque(&self) -> bool {
+        self.polarized.is_none()
+    }
+
+    /// Transmissive Jones matrix (zero transform when opaque).
+    pub fn transmission(&self) -> JonesMatrix {
+        self.polarized
+            .map(|r| r.transmission_jones())
+            .unwrap_or(JonesMatrix(rfmath::Mat2::ZERO))
+    }
+
+    /// Reflective (front-face) Jones matrix (zero transform when opaque).
+    pub fn reflection(&self) -> JonesMatrix {
+        self.polarized
+            .map(|r| r.reflection_jones())
+            .unwrap_or(JonesMatrix(rfmath::Mat2::ZERO))
+    }
+
+    /// Transmission efficiency (Eq. 11) for an X-polarized wave, dB.
+    pub fn efficiency_x_db(&self) -> Db {
+        self.polarized
+            .map(|r| r.efficiency_x_db())
+            .unwrap_or(Db(f64::NEG_INFINITY))
+    }
+
+    /// Transmission efficiency (Eq. 11) for a Y-polarized wave, dB.
+    pub fn efficiency_y_db(&self) -> Db {
+        self.polarized
+            .map(|r| r.efficiency_y_db())
+            .unwrap_or(Db(f64::NEG_INFINITY))
+    }
+}
 
 /// A deployed surface: design + current bias state.
 #[derive(Clone, Debug)]
 pub struct Metasurface {
-    /// The electrical design.
-    pub design: Design,
+    /// The electrical design. Private so the cached per-frequency
+    /// evaluation plan can never go stale: read through
+    /// [`Metasurface::design`], replace through
+    /// [`Metasurface::set_design`] (which drops the cache).
+    design: Design,
     /// Current DC bias state (set by the control plane).
     pub bias: BiasState,
     /// Supply ceiling (the paper sweeps 0–30 V).
     pub v_max: Volts,
+    /// Cached per-frequency evaluation plan (bias-independent stages of
+    /// the cascade, compiled lazily on first probe at a frequency).
+    evaluator: RefCell<Option<StackEvaluator>>,
 }
 
 impl Metasurface {
@@ -35,6 +116,7 @@ impl Metasurface {
             design,
             bias: BiasState::new(6.0, 6.0),
             v_max: Volts(30.0),
+            evaluator: RefCell::new(None),
         }
     }
 
@@ -43,48 +125,68 @@ impl Metasurface {
         Self::new(crate::designs::fr4_optimized())
     }
 
+    /// The deployed electrical design.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Replaces the design and invalidates the cached evaluation plan.
+    pub fn set_design(&mut self, design: Design) {
+        self.design = design;
+        *self.evaluator.borrow_mut() = None;
+    }
+
     /// Sets the bias state, clamped to the supply range.
     pub fn set_bias(&mut self, bias: BiasState) {
         self.bias = bias.clamped(self.v_max);
+    }
+
+    /// Full surface response at frequency `f` under the current bias:
+    /// one cascade evaluation yielding transmission, reflection and both
+    /// efficiencies.
+    ///
+    /// The bias-independent stages of the cascade are compiled once per
+    /// frequency (via [`StackEvaluator`]) and reused across bias changes,
+    /// so sweep loops that call this per probe pay only the tuned-branch
+    /// work.
+    pub fn response(&self, f: Hertz) -> SurfaceResponse {
+        {
+            let cached = self.evaluator.borrow();
+            if let Some(ev) = cached.as_ref() {
+                if ev.frequency().0.to_bits() == f.0.to_bits() {
+                    return SurfaceResponse::new(f, ev.response(self.bias));
+                }
+            }
+        }
+        let ev = StackEvaluator::new(&self.design.stack, f);
+        let response = SurfaceResponse::new(f, ev.response(self.bias));
+        *self.evaluator.borrow_mut() = Some(ev);
+        response
     }
 
     /// Transmissive Jones matrix at frequency `f` under the current bias.
     ///
     /// Falls back to an opaque (zero) transform if the cascade is
     /// numerically singular, which does not occur for physical designs.
+    /// Prefer [`Metasurface::response`] when more than one observable is
+    /// needed at the same `(f, bias)` point.
     pub fn transmission(&self, f: Hertz) -> JonesMatrix {
-        self.design
-            .stack
-            .response(f, self.bias)
-            .map(|r| r.transmission_jones())
-            .unwrap_or(JonesMatrix(rfmath::Mat2::ZERO))
+        self.response(f).transmission()
     }
 
     /// Reflective (front-face) Jones matrix at `f` under the current bias.
     pub fn reflection(&self, f: Hertz) -> JonesMatrix {
-        self.design
-            .stack
-            .response(f, self.bias)
-            .map(|r| r.reflection_jones())
-            .unwrap_or(JonesMatrix(rfmath::Mat2::ZERO))
+        self.response(f).reflection()
     }
 
     /// Transmission efficiency (Eq. 11) for an X-polarized wave, dB.
     pub fn efficiency_x_db(&self, f: Hertz) -> Db {
-        self.design
-            .stack
-            .response(f, self.bias)
-            .map(|r| r.efficiency_x_db())
-            .unwrap_or(Db(f64::NEG_INFINITY))
+        self.response(f).efficiency_x_db()
     }
 
     /// Transmission efficiency (Eq. 11) for a Y-polarized wave, dB.
     pub fn efficiency_y_db(&self, f: Hertz) -> Db {
-        self.design
-            .stack
-            .response(f, self.bias)
-            .map(|r| r.efficiency_y_db())
-            .unwrap_or(Db(f64::NEG_INFINITY))
+        self.response(f).efficiency_y_db()
     }
 
     /// Orientation change imparted on a linear probe state in
@@ -171,6 +273,52 @@ mod tests {
             spread(&r_angles),
             spread(&t_angles)
         );
+    }
+
+    #[test]
+    fn response_bundle_matches_individual_accessors() {
+        let mut m = Metasurface::llama();
+        m.set_bias(BiasState::new(4.0, 13.0));
+        let r = m.response(F);
+        assert!(!r.is_opaque());
+        assert!(r.transmission().0.max_abs_diff(m.transmission(F).0) < 1e-12);
+        assert!(r.reflection().0.max_abs_diff(m.reflection(F).0) < 1e-12);
+        assert!((r.efficiency_x_db().0 - m.efficiency_x_db(F).0).abs() < 1e-12);
+        assert!((r.efficiency_y_db().0 - m.efficiency_y_db(F).0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_plan_survives_bias_and_frequency_changes() {
+        let mut m = Metasurface::llama();
+        let naive = |m: &Metasurface, f: Hertz| m.design().stack.response(f, m.bias).unwrap();
+        // Warm the cache at F, then change bias: still matches naive.
+        let _ = m.response(F);
+        m.set_bias(BiasState::new(15.0, 2.0));
+        let r = m.response(F).polarized().unwrap();
+        assert!(r.s21.max_abs_diff(naive(&m, F).s21) < 1e-12);
+        // Switch frequency: the plan recompiles and stays correct.
+        let f2 = Hertz::from_ghz(2.5);
+        let r2 = m.response(f2).polarized().unwrap();
+        assert!(r2.s21.max_abs_diff(naive(&m, f2).s21) < 1e-12);
+    }
+
+    #[test]
+    fn set_design_invalidates_cached_plan() {
+        let mut m = Metasurface::llama();
+        let llama_eff = m.response(F).efficiency_x_db().0;
+        m.set_design(crate::designs::fr4_naive());
+        let naive_eff = m.response(F).efficiency_x_db().0;
+        let expected = crate::designs::fr4_naive()
+            .stack
+            .response(F, m.bias)
+            .unwrap()
+            .efficiency_x_db()
+            .0;
+        assert!(
+            (naive_eff - expected).abs() < 1e-12,
+            "stale plan: got {naive_eff}, expected {expected}"
+        );
+        assert!((llama_eff - naive_eff).abs() > 1.0, "designs must differ");
     }
 
     #[test]

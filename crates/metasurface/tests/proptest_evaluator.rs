@@ -1,0 +1,193 @@
+//! The batched-engine equivalence contract: `StackEvaluator` (cached,
+//! separable, grid-parallel) must match naive per-point
+//! `SurfaceStack::response` to 1e-12 across random designs, frequencies
+//! and bias grids. Every consumer of the engine — heatmaps, rotation
+//! maps, the optimizer's probe loop — leans on this property.
+
+use metasurface::designs::{fr4_naive, fr4_optimized, rfid_900mhz, rogers_reference};
+use metasurface::evaluator::StackEvaluator;
+use metasurface::sheet::{AnisotropicSheet, SheetBranch};
+use metasurface::stack::{BiasState, Panel, SurfaceStack};
+use microwave::polarized::PolarizedS;
+use microwave::substrate::{Material, Slab};
+use microwave::varactor::Varactor;
+use proptest::prelude::*;
+use rfmath::units::{Farads, Henries, Hertz, Meters, Ohms, Radians};
+
+/// Largest |Δ| across all four scattering blocks.
+fn max_diff(a: PolarizedS, b: PolarizedS) -> f64 {
+    a.s11
+        .max_abs_diff(b.s11)
+        .max(a.s12.max_abs_diff(b.s12))
+        .max(a.s21.max_abs_diff(b.s21))
+        .max(a.s22.max_abs_diff(b.s22))
+}
+
+/// One polarization branch: fixed tank, varactor-tuned tank, or bare
+/// dielectric.
+fn branch() -> BoxedStrategy<SheetBranch> {
+    prop_oneof![
+        (0.5f64..40.0, 0.05f64..2.0, 0.05f64..1.0).prop_map(|(l_nh, c_pf, r)| {
+            SheetBranch::Fixed {
+                l: Henries::from_nh(l_nh),
+                c: Farads::from_pf(c_pf),
+                r: Ohms(r),
+            }
+        }),
+        (2.0f64..12.0, 0.3f64..3.0, 0.05f64..1.0).prop_map(|(l_nh, cc_pf, r)| {
+            SheetBranch::Tuned {
+                l: Henries::from_nh(l_nh),
+                c_couple: Farads::from_pf(cc_pf),
+                varactor: Varactor::smv1233(),
+                r: Ohms(r),
+            }
+        }),
+        Just(SheetBranch::Transparent),
+    ]
+    .boxed()
+}
+
+/// A randomly patterned board at a random mounting rotation.
+fn panel() -> BoxedStrategy<Panel> {
+    (branch(), branch(), 0.4f64..3.2, -1.6f64..1.6, 0usize..2)
+        .prop_map(|(x, y, thickness_mm, rotation, material)| {
+            let material = if material == 0 {
+                Material::FR4
+            } else {
+                Material::ROGERS_5880
+            };
+            Panel {
+                sheet: AnisotropicSheet {
+                    x,
+                    y,
+                    slab: Slab::from_mm(material, thickness_mm),
+                },
+                rotation: Radians(rotation),
+            }
+        })
+        .boxed()
+}
+
+/// A random stack: 1–4 panels with random air gaps between them.
+fn stack() -> BoxedStrategy<SurfaceStack> {
+    (
+        prop::collection::vec(panel(), 1..5),
+        prop::collection::vec(0.004f64..0.04, 4..5),
+    )
+        .prop_map(|(panels, gaps)| {
+            let gaps = gaps[..panels.len() - 1]
+                .iter()
+                .map(|&g| Meters(g))
+                .collect();
+            SurfaceStack::new(panels, gaps)
+        })
+        .boxed()
+}
+
+/// A random bias-grid axis (2–4 voltages in the supply range).
+fn axis() -> BoxedStrategy<Vec<f64>> {
+    prop::collection::vec(0.0f64..30.0, 2..5).boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random stacks: the compiled plan's grid evaluation equals naive
+    /// per-point cascades cell for cell.
+    #[test]
+    fn random_stacks_grid_matches_naive(
+        stack in stack(),
+        f_ghz in 1.8f64..3.0,
+        vxs in axis(),
+        vys in axis(),
+    ) {
+        let f = Hertz::from_ghz(f_ghz);
+        let evaluator = StackEvaluator::new(&stack, f);
+        let grid = evaluator.eval_grid(&vxs, &vys);
+        prop_assert_eq!(grid.len(), vxs.len() * vys.len());
+        for (iy, &vy) in vys.iter().enumerate() {
+            for (ix, &vx) in vxs.iter().enumerate() {
+                let naive = stack.response(f, BiasState::new(vx, vy));
+                let fast = grid[iy * vxs.len() + ix];
+                match (naive, fast) {
+                    (Some(naive), Some(fast)) => prop_assert!(
+                        max_diff(naive, fast) < 1e-12,
+                        "cell ({vx:.2},{vy:.2}) diff {}",
+                        max_diff(naive, fast)
+                    ),
+                    (None, None) => {}
+                    _ => prop_assert!(false, "Some/None mismatch at ({vx:.2},{vy:.2})"),
+                }
+            }
+        }
+    }
+
+    /// Random stacks: single-point evaluation (the optimizer's probe
+    /// path, with warm voltage memos) equals the naive cascade.
+    #[test]
+    fn random_stacks_single_point_matches_naive(
+        stack in stack(),
+        f_ghz in 1.8f64..3.0,
+        vx in 0.0f64..30.0,
+        vy in 0.0f64..30.0,
+    ) {
+        let f = Hertz::from_ghz(f_ghz);
+        let evaluator = StackEvaluator::new(&stack, f);
+        let bias = BiasState::new(vx, vy);
+        for _ in 0..2 {
+            // Second pass hits the voltage memos.
+            match (stack.response(f, bias), evaluator.response(bias)) {
+                (Some(naive), Some(fast)) => prop_assert!(
+                    max_diff(naive, fast) < 1e-12,
+                    "diff {}",
+                    max_diff(naive, fast)
+                ),
+                (None, None) => {}
+                _ => prop_assert!(false, "Some/None mismatch"),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The catalog designs (the stacks every published figure uses)
+    /// agree between the engines across frequency and bias grids.
+    #[test]
+    fn catalog_designs_grid_matches_naive(
+        which in 0usize..4,
+        f_ghz in 2.2f64..2.7,
+        vxs in axis(),
+        vys in axis(),
+    ) {
+        let design = match which {
+            0 => fr4_optimized(),
+            1 => rogers_reference(),
+            2 => fr4_naive(),
+            _ => rfid_900mhz(),
+        };
+        let f = if which == 3 {
+            Hertz(f_ghz / 2.667 * 1e9)
+        } else {
+            Hertz::from_ghz(f_ghz)
+        };
+        let evaluator = StackEvaluator::new(&design.stack, f);
+        let grid = evaluator.eval_grid(&vxs, &vys);
+        for (iy, &vy) in vys.iter().enumerate() {
+            for (ix, &vx) in vxs.iter().enumerate() {
+                let naive = design
+                    .stack
+                    .response(f, BiasState::new(vx, vy))
+                    .expect("catalog cascade exists");
+                let fast = grid[iy * vxs.len() + ix].expect("batched cascade exists");
+                prop_assert!(
+                    max_diff(naive, fast) < 1e-12,
+                    "{} at ({vx:.2},{vy:.2}): diff {}",
+                    design.name,
+                    max_diff(naive, fast)
+                );
+            }
+        }
+    }
+}

@@ -101,9 +101,42 @@ impl PolarizedS {
 
     /// Cascades a chain of stages in traversal order.
     pub fn chain(stages: &[PolarizedS]) -> Option<PolarizedS> {
-        let mut iter = stages.iter();
-        let first = *iter.next()?;
-        iter.try_fold(first, |acc, s| acc.cascade(*s))
+        // A one-stage chain is the stage itself, bit for bit — including
+        // perfectly blocking stages (singular S21), which have no
+        // wave-transfer form but are still valid scattering descriptions.
+        if let [only] = stages {
+            return Some(*only);
+        }
+        let mut scratch = WaveTransfer::identity(stages.first()?.z0);
+        Self::chain_into(&mut scratch, stages)
+    }
+
+    /// Allocation-free chain: cascades `stages` through a caller-owned
+    /// [`WaveTransfer`] accumulator, so per-point inner loops (grid
+    /// sweeps, batched evaluators) do zero heap allocation.
+    ///
+    /// The accumulator is reset from the first stage and left holding the
+    /// full product on return, letting callers inspect or extend the
+    /// partial cascade. Returns `None` for an empty chain or when any
+    /// stage (or the final product) has a singular transmission block.
+    pub fn chain_into(scratch: &mut WaveTransfer, stages: &[PolarizedS]) -> Option<PolarizedS> {
+        let (first, rest) = stages.split_first()?;
+        *scratch = first.wave_transfer()?;
+        for stage in rest {
+            scratch.push(&stage.wave_transfer()?);
+        }
+        scratch.to_s()
+    }
+
+    /// The block wave-transfer form of this stage, precomputable once and
+    /// reusable across many cascades (the basis of the batched surface
+    /// evaluator). Returns `None` when the transmission block is singular
+    /// (a perfectly blocking stage has no transfer representation).
+    pub fn wave_transfer(self) -> Option<WaveTransfer> {
+        Some(WaveTransfer {
+            t: self.to_transfer()?,
+            z0: self.z0,
+        })
     }
 
     fn to_transfer(self) -> Option<BlockT> {
@@ -182,6 +215,63 @@ impl PolarizedS {
     /// within `tol`.
     pub fn is_reciprocal(self, tol: f64) -> bool {
         self.s12.max_abs_diff(self.s21.transpose()) <= tol
+    }
+}
+
+/// A stage (or partial cascade) in block wave-transfer form.
+///
+/// Composition in the T domain is plain block-matrix multiplication, so
+/// a chain costs one S→T conversion per stage plus one T→S conversion at
+/// the end — instead of the three 2×2 inversions per stage that repeated
+/// [`PolarizedS::cascade`] calls pay. Batched evaluators precompute the
+/// transfer of every bias-independent stage once and multiply cached
+/// transfers per grid point with zero heap allocation.
+#[derive(Clone, Copy, Debug)]
+pub struct WaveTransfer {
+    t: BlockT,
+    z0: f64,
+}
+
+impl WaveTransfer {
+    /// The identity transfer (a zero-length through) at reference
+    /// impedance `z0`.
+    pub fn identity(z0: f64) -> Self {
+        Self {
+            t: BlockT {
+                t11: Mat2::IDENTITY,
+                t12: Mat2::ZERO,
+                t21: Mat2::ZERO,
+                t22: Mat2::IDENTITY,
+            },
+            z0,
+        }
+    }
+
+    /// Appends `next` to the cascade in place (`self ← self·next`, wave
+    /// traverses `self` first). No allocation.
+    pub fn push(&mut self, next: &WaveTransfer) {
+        debug_assert!(
+            (self.z0 - next.z0).abs() < 1e-9,
+            "cascaded transfers must share a reference impedance"
+        );
+        self.t = BlockT::multiply(self.t, next.t);
+    }
+
+    /// The cascade `self` followed by `next`, by value.
+    pub fn then(mut self, next: &WaveTransfer) -> Self {
+        self.push(next);
+        self
+    }
+
+    /// Converts the accumulated cascade back to scattering form; `None`
+    /// when the product transmission block is singular.
+    pub fn to_s(&self) -> Option<PolarizedS> {
+        self.t.to_s(self.z0)
+    }
+
+    /// Reference impedance the S-domain endpoints use.
+    pub fn z0(&self) -> f64 {
+        self.z0
     }
 }
 
@@ -377,6 +467,63 @@ mod tests {
     }
 
     #[test]
+    fn chain_into_matches_pairwise_cascade() {
+        // The T-domain accumulator must agree with repeated pairwise
+        // cascading (which round-trips through S between stages).
+        let za = c64(30.0, 40.0);
+        let zb = c64(10.0, -60.0);
+        let zc = c64(-5.0, 22.0);
+        let stage =
+            |z| PolarizedS::from_axes(Abcd::series(z).to_s(ETA0), Abcd::shunt(z.inv()).to_s(ETA0));
+        let stages = [stage(za), stage(zb).rotated(Radians(0.7)), stage(zc)];
+        let pairwise = stages[0]
+            .cascade(stages[1])
+            .unwrap()
+            .cascade(stages[2])
+            .unwrap();
+        let mut scratch = WaveTransfer::identity(ETA0);
+        let chained = PolarizedS::chain_into(&mut scratch, &stages).unwrap();
+        for (a, b) in [
+            (chained.s11, pairwise.s11),
+            (chained.s12, pairwise.s12),
+            (chained.s21, pairwise.s21),
+            (chained.s22, pairwise.s22),
+        ] {
+            assert!(a.max_abs_diff(b) < 1e-12, "diff = {}", a.max_abs_diff(b));
+        }
+        // The scratch accumulator holds the full product afterwards.
+        let from_scratch = scratch.to_s().unwrap();
+        assert!(from_scratch.s21.max_abs_diff(chained.s21) < 1e-15);
+        assert!((scratch.z0() - ETA0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wave_transfer_round_trips() {
+        let s = PolarizedS::from_axes(
+            Abcd::series(c64(12.0, -9.0)).to_s(ETA0),
+            Abcd::shunt(c64(0.001, 0.004)).to_s(ETA0),
+        )
+        .rotated(Radians(-0.4));
+        let back = s.wave_transfer().unwrap().to_s().unwrap();
+        assert!(back.s11.max_abs_diff(s.s11) < 1e-12);
+        assert!(back.s21.max_abs_diff(s.s21) < 1e-12);
+    }
+
+    #[test]
+    fn identity_transfer_is_neutral() {
+        let s = PolarizedS::from_axes(
+            Abcd::series(c64(30.0, 40.0)).to_s(ETA0),
+            Abcd::identity().to_s(ETA0),
+        );
+        let composed = WaveTransfer::identity(ETA0)
+            .then(&s.wave_transfer().unwrap())
+            .to_s()
+            .unwrap();
+        assert!(composed.s21.max_abs_diff(s.s21) < 1e-12);
+        assert!(composed.s11.max_abs_diff(s.s11) < 1e-12);
+    }
+
+    #[test]
     fn singular_stage_returns_none() {
         let blocker = PolarizedS {
             s11: Mat2::IDENTITY,
@@ -386,6 +533,13 @@ mod tests {
             z0: ETA0,
         };
         assert!(blocker.cascade(PolarizedS::ideal_through(ETA0)).is_none());
+        // A multi-stage chain through a blocker has no cascade…
+        assert!(PolarizedS::chain(&[blocker, PolarizedS::ideal_through(ETA0)]).is_none());
+        // …but a single-stage "chain" is the stage itself, reflection
+        // block and all (a perfect mirror is a valid network).
+        let alone = PolarizedS::chain(&[blocker]).unwrap();
+        assert_eq!(alone.s11, Mat2::IDENTITY);
+        assert_eq!(alone.s21, Mat2::ZERO);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! a_rx = √(Ptx·Gtx·Grx) · Σ_paths  t_path · ⟨rx_pol | J_path | tx_pol⟩
 //! ```
 
-use metasurface::response::Metasurface;
+use metasurface::response::{Metasurface, SurfaceResponse};
 use rfmath::complex::Complex;
 use rfmath::units::{Dbm, Hertz, Seconds, Watts};
 
@@ -44,6 +44,13 @@ impl Link {
     /// extras), with the surface's current bias state folded in when
     /// present.
     pub fn paths(&self, surface: Option<&Metasurface>) -> Vec<Path> {
+        let response = surface.map(|s| s.response(self.frequency));
+        self.paths_with(response.as_ref())
+    }
+
+    /// [`Link::paths`] against a precomputed surface response (one
+    /// cascade evaluation shared by every consumer of this probe).
+    pub fn paths_with(&self, surface: Option<&SurfaceResponse>) -> Vec<Path> {
         let mut paths = engineered_paths(self.deployment, surface, self.frequency);
         paths.extend(
             self.environment
@@ -55,7 +62,31 @@ impl Link {
 
     /// Complex receive-port amplitude at time `t` (√W units; |a|² is the
     /// received power in watts).
+    ///
+    /// Evaluates the surface cascade exactly once; grid sweeps that
+    /// already hold a batched [`SurfaceResponse`] should call
+    /// [`Link::received_amplitude_with`] instead.
     pub fn received_amplitude_at(&self, surface: Option<&Metasurface>, t: Seconds) -> Complex {
+        let response = surface.map(|s| s.response(self.frequency));
+        self.received_amplitude_with(response.as_ref(), t)
+    }
+
+    /// [`Link::received_amplitude_at`] against a precomputed surface
+    /// response — the allocation-light inner loop of the heatmap and
+    /// sweep engines.
+    pub fn received_amplitude_with(
+        &self,
+        surface: Option<&SurfaceResponse>,
+        t: Seconds,
+    ) -> Complex {
+        if let Some(surface) = surface {
+            debug_assert!(
+                surface.frequency().0.to_bits() == self.frequency.0.to_bits(),
+                "surface response evaluated at {:?} but the link carrier is {:?}",
+                surface.frequency(),
+                self.frequency
+            );
+        }
         let tx_state = self.tx.polarization();
         let rx_state = self.rx.polarization();
         // Boresight illumination for the engineered geometry; directional
@@ -70,16 +101,14 @@ impl Link {
         // discussion).
         let shadow = match (surface, self.deployment) {
             (Some(surface), Deployment::Transmissive { .. }) => {
-                let eff_db = 0.5
-                    * (surface.efficiency_x_db(self.frequency).0
-                        + surface.efficiency_y_db(self.frequency).0);
+                let eff_db = 0.5 * (surface.efficiency_x_db().0 + surface.efficiency_y_db().0);
                 10f64.powf(eff_db.max(-30.0) / 20.0)
             }
             _ => 1.0,
         };
         let tx_rx = self.deployment.tx_rx_distance().0;
         let mut total = Complex::ZERO;
-        for path in self.paths(surface) {
+        for path in self.paths_with(surface) {
             let pattern_penalty = if path.label == "scatter" {
                 // Scatter arrives off-axis: a directional antenna picks
                 // it up through its average side response (−10 dB per
@@ -117,6 +146,21 @@ impl Link {
         self.received_power(surface).to_dbm()
     }
 
+    /// Received power in watts at `t = 0` against a precomputed surface
+    /// response.
+    pub fn received_power_with(&self, surface: Option<&SurfaceResponse>) -> Watts {
+        Watts(
+            self.received_amplitude_with(surface, Seconds(0.0))
+                .norm_sqr(),
+        )
+    }
+
+    /// Received power in dBm at `t = 0` against a precomputed surface
+    /// response.
+    pub fn received_dbm_with(&self, surface: Option<&SurfaceResponse>) -> Dbm {
+        self.received_power_with(surface).to_dbm()
+    }
+
     /// Received power time-series sampled at `rate_hz` for `duration`
     /// seconds (used by the sensing pipeline).
     pub fn received_dbm_series(
@@ -125,11 +169,17 @@ impl Link {
         rate_hz: f64,
         duration: Seconds,
     ) -> Vec<(Seconds, Dbm)> {
+        // The bias is fixed over the series, so one cascade evaluation
+        // serves every time sample.
+        let response = surface.map(|s| s.response(self.frequency));
         let n = (rate_hz * duration.0).ceil() as usize;
         (0..n)
             .map(|i| {
                 let t = Seconds(i as f64 / rate_hz);
-                let p = Watts(self.received_amplitude_at(surface, t).norm_sqr());
+                let p = Watts(
+                    self.received_amplitude_with(response.as_ref(), t)
+                        .norm_sqr(),
+                );
                 (t, p.to_dbm())
             })
             .collect()

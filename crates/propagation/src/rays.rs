@@ -16,7 +16,7 @@
 //! and a Jones matrix describing what it does to polarization. The link
 //! layer sums path field contributions coherently.
 
-use metasurface::response::Metasurface;
+use metasurface::response::SurfaceResponse;
 use rfmath::complex::Complex;
 use rfmath::jones::JonesMatrix;
 use rfmath::units::{Hertz, Meters};
@@ -127,13 +127,23 @@ pub const ANTENNA_RESCATTER: f64 = 0.35;
 
 /// Enumerates the engineered (deterministic) paths for a deployment.
 ///
-/// Environment scattering (multipath) is added separately by
-/// [`crate::environment`].
+/// Takes the surface's precomputed [`SurfaceResponse`] at the carrier
+/// (one cascade evaluation serves both the transmissive and reflective
+/// Jones blocks), so grid sweeps can evaluate the surface once per bias
+/// state and rebuild paths cheaply. Environment scattering (multipath)
+/// is added separately by [`crate::environment`].
 pub fn engineered_paths(
     deployment: Deployment,
-    surface: Option<&Metasurface>,
+    surface: Option<&SurfaceResponse>,
     f: Hertz,
 ) -> Vec<Path> {
+    if let Some(surface) = surface {
+        debug_assert!(
+            surface.frequency().0.to_bits() == f.0.to_bits(),
+            "surface response evaluated at {:?} but paths requested at {f:?}",
+            surface.frequency()
+        );
+    }
     match (deployment, surface) {
         (Deployment::Free { tx_rx }, _) | (Deployment::Transmissive { tx_rx, .. }, None) => {
             vec![Path {
@@ -152,8 +162,8 @@ pub fn engineered_paths(
             Some(surface),
         ) => {
             let d1 = Meters(tx_rx.0 * surface_fraction.clamp(0.05, 0.95));
-            let trans = surface.transmission(f);
-            let refl = surface.reflection(f);
+            let trans = surface.transmission();
+            let refl = surface.reflection();
             // Main through-surface path.
             let main = Path {
                 transfer: field_transfer(f, tx_rx),
@@ -209,7 +219,7 @@ pub fn engineered_paths(
             let half = tx_rx.0 / 2.0;
             let fold = 2.0 * (surface_distance.0 * surface_distance.0 + half * half).sqrt();
             let mirror = JonesMatrix::mirror_x();
-            let refl_in_rx_frame = mirror * surface.reflection(f);
+            let refl_in_rx_frame = mirror * surface.reflection();
             let reflected = Path {
                 transfer: field_transfer(f, Meters(fold)),
                 jones: refl_in_rx_frame,
@@ -225,6 +235,7 @@ pub fn engineered_paths(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use metasurface::response::Metasurface;
     use metasurface::stack::BiasState;
 
     const F: Hertz = Hertz(2.44e9);
@@ -246,7 +257,11 @@ mod tests {
     #[test]
     fn transmissive_paths_include_bounce() {
         let surface = Metasurface::llama();
-        let paths = engineered_paths(Deployment::transmissive_cm(36.0), Some(&surface), F);
+        let paths = engineered_paths(
+            Deployment::transmissive_cm(36.0),
+            Some(&surface.response(F)),
+            F,
+        );
         assert_eq!(paths.len(), 2);
         // The bounce is substantially weaker than the main path.
         assert!(paths[1].transfer.abs() < paths[0].transfer.abs());
@@ -255,12 +270,13 @@ mod tests {
     #[test]
     fn bounce_length_tracks_surface_position() {
         let surface = Metasurface::llama();
+        let response = surface.response(F);
         let near = engineered_paths(
             Deployment::Transmissive {
                 tx_rx: Meters(0.6),
                 surface_fraction: 0.2,
             },
-            Some(&surface),
+            Some(&response),
             F,
         );
         let far = engineered_paths(
@@ -268,7 +284,7 @@ mod tests {
                 tx_rx: Meters(0.6),
                 surface_fraction: 0.8,
             },
-            Some(&surface),
+            Some(&response),
             F,
         );
         assert!(near[1].length.0 < far[1].length.0);
@@ -277,7 +293,11 @@ mod tests {
     #[test]
     fn reflective_fold_length_is_geometric() {
         let surface = Metasurface::llama();
-        let paths = engineered_paths(Deployment::reflective_cm(30.0), Some(&surface), F);
+        let paths = engineered_paths(
+            Deployment::reflective_cm(30.0),
+            Some(&surface.response(F)),
+            F,
+        );
         let expected = 2.0 * (0.30f64 * 0.30 + 0.35 * 0.35).sqrt();
         assert!((paths[1].length.0 - expected).abs() < 1e-12);
     }
@@ -305,7 +325,7 @@ mod tests {
             let mut powers = Vec::new();
             for (vx, vy) in [(2.0, 2.0), (2.0, 15.0), (15.0, 2.0)] {
                 surface.set_bias(BiasState::new(vx, vy));
-                let paths = engineered_paths(dep, Some(&surface), F);
+                let paths = engineered_paths(dep, Some(&surface.response(F)), F);
                 let out = paths[idx].jones.apply(probe);
                 let coupled = rx.0.dot(out.0).norm_sqr();
                 powers.push(coupled * paths[idx].transfer.norm_sqr());
