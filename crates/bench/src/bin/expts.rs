@@ -6,14 +6,18 @@
 //! expts all                           # run everything (slow; fig15/21 sweep full grids)
 //! expts fig16 alg1                    # run a selection
 //! expts --bench-json [path] [--quick] # time the engine, write a JSON summary
+//! expts --fleet [path] [--quick]      # time the fleet engine, write BENCH_PR3-style JSON
+//! expts --calibrate-fig20 [samples]   # sweep link calibration knobs vs the paper's 10 dB gap
 //! ```
 //!
 //! `--bench-json` writes a timing summary (default
 //! `target/bench-report.json`, untracked; the committed reference is
 //! `BENCH_PR2.json`) comparing naive and batched evaluation and exits
 //! non-zero when the batched engine falls below the regression floor —
-//! the CI perf smoke. `--quick` trims the sample budget for fast smoke
-//! runs.
+//! the CI perf smoke. `--fleet` does the same for the 32-device
+//! fleet-serving engine (shared-plan batch vs naive per-device loop;
+//! committed reference `BENCH_PR3.json`). `--quick` trims the sample
+//! budget for fast smoke runs.
 
 use std::env;
 use std::process::ExitCode;
@@ -21,9 +25,71 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: expts <id>... | all | --bench-json [path] [--quick]");
+        eprintln!(
+            "usage: expts <id>... | all | --bench-json [path] [--quick] \
+             | --fleet [path] [--quick] | --calibrate-fig20 [samples]"
+        );
         eprintln!("experiments: {}", llama_bench::ALL_IDS.join(", "));
         return ExitCode::SUCCESS;
+    }
+
+    if args.iter().any(|a| a == "--calibrate-fig20") {
+        let extras: Vec<&String> = args.iter().filter(|a| *a != "--calibrate-fig20").collect();
+        let samples = match extras.as_slice() {
+            [] => 480,
+            [n] => match n.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!("error: --calibrate-fig20 takes an optional positive sample count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => {
+                eprintln!("error: --calibrate-fig20 takes at most one sample count");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!(
+            "{}",
+            llama_bench::calibrate::report(llama_bench::SEED, samples)
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.iter().any(|a| a == "--fleet") {
+        let quick = args.iter().any(|a| a == "--quick");
+        let extras: Vec<&String> = args
+            .iter()
+            .filter(|a| *a != "--fleet" && *a != "--quick")
+            .collect();
+        if extras.len() > 1 || extras.iter().any(|a| a.starts_with("--")) {
+            eprintln!(
+                "error: --fleet takes at most one output path; got: {}",
+                extras
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            return ExitCode::FAILURE;
+        }
+        let path = extras
+            .first()
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "target/fleet-report.json".to_string());
+        let report = llama_bench::perf::run_fleet(quick);
+        print!("{}", report.summary());
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+        return if report.passes() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("error: fleet engine below the speedup floor — perf regression");
+            ExitCode::FAILURE
+        };
     }
 
     if args.iter().any(|a| a == "--bench-json") {

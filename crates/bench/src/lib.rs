@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod calibrate;
 pub mod perf;
 
 use llama_core::experiments as ex;

@@ -10,6 +10,7 @@
 
 use std::time::Instant;
 
+use llama_core::fleet::{Fleet, FleetEvaluator, Scheduler};
 use llama_core::scenario::Scenario;
 use llama_core::system::LlamaSystem;
 use metasurface::designs::fr4_optimized;
@@ -193,9 +194,172 @@ pub fn run(quick: bool) -> PerfReport {
     }
 }
 
+/// Minimum shared-plan-vs-naive speedup on the 32-device fleet grid
+/// before [`FleetPerfReport::passes`] fails (the PR-3 acceptance bar).
+const FLEET_SPEEDUP_FLOOR: f64 = 3.0;
+
+/// Size of the reference fleet workload (the acceptance gate's mixed
+/// Wi-Fi/BLE population).
+const FLEET_SIZE: usize = 32;
+
+/// Timing summary of the fleet-serving engine (`BENCH_PR3.json`).
+#[derive(Clone, Debug)]
+pub struct FleetPerfReport {
+    /// Whether the run used the reduced quick-mode sample budget.
+    pub quick: bool,
+    /// Individual workload timings.
+    pub samples: Vec<BenchSample>,
+    /// Naive / shared-plan best-of-N time ratio on the 32-device fleet
+    /// probe grid.
+    pub fleet_32_speedup: f64,
+}
+
+impl FleetPerfReport {
+    /// True when the shared-plan engine clears the regression floor.
+    pub fn passes(&self) -> bool {
+        self.fleet_32_speedup >= FLEET_SPEEDUP_FLOOR
+    }
+
+    /// Renders the report as a JSON document (hand-assembled; no
+    /// external dependencies).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"pr\": 3,\n");
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str(&format!("  \"fleet_devices\": {FLEET_SIZE},\n"));
+        out.push_str("  \"benches\": [\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            let comma = if i + 1 < self.samples.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"mean_ms\": {:.6}, \"iters\": {}}}{comma}\n",
+                s.name, s.mean_ms, s.iters
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"fleet_32_speedup\": {:.2},\n",
+            self.fleet_32_speedup
+        ));
+        out.push_str(&format!(
+            "  \"speedup_floor\": {FLEET_SPEEDUP_FLOOR:.1},\n  \"pass\": {}\n}}\n",
+            self.passes()
+        ));
+        out
+    }
+
+    /// One-line console summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::from("== Fleet-serving engine perf summary\n");
+        for s in &self.samples {
+            out.push_str(&format!("{:>38}: {:>10.3} ms/iter\n", s.name, s.mean_ms));
+        }
+        out.push_str(&format!(
+            "{:>38}: {:>10.1} x (floor {FLEET_SPEEDUP_FLOOR:.1}, pass: {})\n",
+            "fleet 32-device speedup",
+            self.fleet_32_speedup,
+            self.passes()
+        ));
+        out
+    }
+}
+
+/// Times the 32-device mixed Wi-Fi/BLE fleet workloads: the shared-plan
+/// batch path (one compiled plan per carrier, one cascade per probe,
+/// precomputed scatter, threaded rows) against the naive per-device loop
+/// (per-device surface, per-probe link rebuild), plus end-to-end
+/// scheduler runs for all three policies.
+pub fn run_fleet(quick: bool) -> FleetPerfReport {
+    let fleet = Fleet::mixed_wifi_ble(FLEET_SIZE, 2021);
+    // The probe load of one Algorithm-1 scheduler run: 2 × 5×5 grids.
+    let biases: Vec<BiasState> = {
+        let mut b = Vec::new();
+        for round in 0..2 {
+            for ix in 0..5 {
+                for iy in 0..5 {
+                    let span = if round == 0 { 30.0 } else { 12.0 };
+                    let base = if round == 0 { 0.0 } else { 9.0 };
+                    b.push(BiasState::new(
+                        base + span * ix as f64 / 4.0,
+                        base + span * iy as f64 / 4.0,
+                    ));
+                }
+            }
+        }
+        b
+    };
+    let (grid_iters, sched_iters) = if quick { (4, 2) } else { (10, 4) };
+    let mut samples = Vec::new();
+
+    let (naive_mean, naive_min) = time_ms(grid_iters, || fleet.naive_powers_matrix(&biases));
+    samples.push(BenchSample {
+        name: "fleet_32_probe_grid_naive",
+        mean_ms: naive_mean,
+        iters: grid_iters,
+    });
+    let (batched_mean, batched_min) = time_ms(grid_iters, || {
+        // Cold cost included: the scheduler compiles the plans once per
+        // run, so the timed region does too.
+        FleetEvaluator::new(&fleet).powers_matrix(&biases)
+    });
+    samples.push(BenchSample {
+        name: "fleet_32_probe_grid_shared_plan",
+        mean_ms: batched_mean,
+        iters: grid_iters,
+    });
+
+    let (max_min_ms, _) = time_ms(sched_iters, || Scheduler::max_min().run(&fleet));
+    samples.push(BenchSample {
+        name: "fleet_32_scheduler_max_min",
+        mean_ms: max_min_ms,
+        iters: sched_iters,
+    });
+    let (favor_ms, _) = time_ms(sched_iters, || Scheduler::favor(0).run(&fleet));
+    samples.push(BenchSample {
+        name: "fleet_32_scheduler_favor",
+        mean_ms: favor_ms,
+        iters: sched_iters,
+    });
+    let (tdm_ms, _) = time_ms(sched_iters, || Scheduler::time_division().run(&fleet));
+    samples.push(BenchSample {
+        name: "fleet_32_scheduler_time_division",
+        mean_ms: tdm_ms,
+        iters: sched_iters,
+    });
+
+    FleetPerfReport {
+        quick,
+        samples,
+        fleet_32_speedup: naive_min / batched_min.max(1e-12),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_report_serializes_and_summarizes() {
+        let report = FleetPerfReport {
+            quick: true,
+            samples: vec![BenchSample {
+                name: "y",
+                mean_ms: 2.5,
+                iters: 2,
+            }],
+            fleet_32_speedup: 4.5,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"pr\": 3"));
+        assert!(json.contains("\"fleet_32_speedup\": 4.50"));
+        assert!(json.contains("\"pass\": true"));
+        assert!(report.passes());
+        assert!(report.summary().contains("fleet 32-device speedup"));
+        let failing = FleetPerfReport {
+            fleet_32_speedup: 2.0,
+            ..report
+        };
+        assert!(!failing.passes());
+    }
 
     #[test]
     fn report_serializes_and_summarizes() {

@@ -36,6 +36,74 @@ pub struct PowerReport {
     pub power_dbm: f64,
 }
 
+/// A power report carrying one reading per fleet device — the
+/// multi-device generalization of [`PowerReport`]. A single-link system
+/// sends one-element reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetReport {
+    /// Receiver-side timestamp.
+    pub at: Seconds,
+    /// Per-device measured powers, dBm, in fleet order.
+    pub powers_dbm: Vec<f64>,
+}
+
+impl From<PowerReport> for FleetReport {
+    fn from(r: PowerReport) -> Self {
+        FleetReport {
+            at: r.at,
+            powers_dbm: vec![r.power_dbm],
+        }
+    }
+}
+
+/// How the controller folds a (possibly multi-device) report into the
+/// scalar metric Algorithm 1 maximizes.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum Objective {
+    /// Classic single link: score = the first (only) reading.
+    #[default]
+    SingleLink,
+    /// Max-min fairness: score = the worst device's power.
+    WorstLink,
+    /// Access control: score = favored device minus the best other.
+    Isolation {
+        /// Index of the favored device in the report vector.
+        favored: usize,
+    },
+}
+
+impl Objective {
+    /// Folds a report's power vector into the sweep metric. Returns
+    /// `None` when the report is unusable — empty, non-finite readings
+    /// from a corrupted packet, or (for `Isolation`, which references a
+    /// specific index) too short to score. The objective alone cannot
+    /// know the fleet size, so `SingleLink`/`WorstLink` score any
+    /// non-empty finite vector; set [`Controller::expected_devices`]
+    /// to reject truncated or padded reports outright. A `None` makes
+    /// the controller treat the report as lost and retry the probe.
+    pub fn score(&self, powers_dbm: &[f64]) -> Option<f64> {
+        if powers_dbm.is_empty() || powers_dbm.iter().any(|p| !p.is_finite()) {
+            return None;
+        }
+        match self {
+            Objective::SingleLink => Some(powers_dbm[0]),
+            Objective::WorstLink => Some(powers_dbm.iter().copied().fold(f64::INFINITY, f64::min)),
+            Objective::Isolation { favored } => {
+                if *favored >= powers_dbm.len() || powers_dbm.len() < 2 {
+                    return None;
+                }
+                let others = powers_dbm
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i != favored)
+                    .map(|(_, &p)| p)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                Some(powers_dbm[*favored] - others)
+            }
+        }
+    }
+}
+
 /// Events the controller emits for logging/diagnosis.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Event {
@@ -56,6 +124,11 @@ pub enum Event {
     Converged(Probe, f64),
     /// A probe timed out waiting for a report and was retried.
     ReportTimeout(Probe),
+    /// A report arrived but was unusable — empty, non-finite readings
+    /// from a corrupt packet, or a vector length that contradicts
+    /// [`Controller::expected_devices`]; the probe stays unscored and
+    /// will time out and retry.
+    ReportRejected(Probe),
 }
 
 /// The centralized controller.
@@ -65,6 +138,16 @@ pub struct Controller {
     pub config: SweepConfig,
     /// How long to wait for a report before retrying a probe.
     pub report_timeout: Seconds,
+    /// How report vectors are folded into the sweep metric (single link
+    /// by default; fleet deployments pick a multi-device objective).
+    pub objective: Objective,
+    /// Expected report arity. When set, a report whose vector length
+    /// differs (a truncated or padded packet) is rejected onto the
+    /// retry path instead of being scored over the wrong device set —
+    /// `WorstLink` over a truncated report would silently ignore the
+    /// missing (possibly worst) devices. `None` accepts any length the
+    /// objective itself can score.
+    pub expected_devices: Option<usize>,
     phase: Phase,
     plan: Vec<Probe>,
     scores: Vec<Option<f64>>,
@@ -81,6 +164,8 @@ impl Controller {
         Self {
             config,
             report_timeout: Seconds(0.1),
+            objective: Objective::SingleLink,
+            expected_devices: None,
             phase: Phase::Idle,
             plan: Vec::new(),
             scores: Vec::new(),
@@ -143,9 +228,19 @@ impl Controller {
     }
 
     /// Advances the controller at simulation time `now` with an optional
-    /// receiver report. Applies bias states to the PSU as the switching
-    /// budget allows. Call repeatedly from the simulation loop.
+    /// single-link receiver report. Applies bias states to the PSU as
+    /// the switching budget allows. Call repeatedly from the simulation
+    /// loop. This is [`Controller::step_fleet`] with a one-element
+    /// report vector.
     pub fn step(&mut self, psu: &mut PowerSupply, now: Seconds, report: Option<PowerReport>) {
+        self.step_fleet(psu, now, report.map(FleetReport::from));
+    }
+
+    /// Advances the controller with an optional multi-device report,
+    /// scored through the configured [`Objective`]. Unusable reports
+    /// (corrupt readings, wrong arity) are rejected and the probe
+    /// retried via the timeout path, exactly like a lost packet.
+    pub fn step_fleet(&mut self, psu: &mut PowerSupply, now: Seconds, report: Option<FleetReport>) {
         let Phase::Sweeping { next, iteration } = self.phase.clone() else {
             return;
         };
@@ -156,11 +251,27 @@ impl Controller {
             if rep.at.0 >= applied_at.0 + psu.settling.0 && next > 0 {
                 let probe_idx = next - 1;
                 if self.scores[probe_idx].is_none() {
-                    self.scores[probe_idx] = Some(rep.power_dbm);
-                    self.events
-                        .push(Event::Scored(self.plan[probe_idx], rep.power_dbm));
-                    if self.best.map(|(_, b)| rep.power_dbm > b).unwrap_or(true) {
-                        self.best = Some((self.plan[probe_idx], rep.power_dbm));
+                    let arity_ok = self
+                        .expected_devices
+                        .map(|n| rep.powers_dbm.len() == n)
+                        .unwrap_or(true);
+                    let score = if arity_ok {
+                        self.objective.score(&rep.powers_dbm)
+                    } else {
+                        None
+                    };
+                    match score {
+                        Some(score) => {
+                            self.scores[probe_idx] = Some(score);
+                            self.events.push(Event::Scored(self.plan[probe_idx], score));
+                            if self.best.map(|(_, b)| score > b).unwrap_or(true) {
+                                self.best = Some((self.plan[probe_idx], score));
+                            }
+                        }
+                        None => {
+                            self.events
+                                .push(Event::ReportRejected(self.plan[probe_idx]));
+                        }
                     }
                 }
             }
@@ -353,6 +464,183 @@ mod tests {
             .iter()
             .any(|e| matches!(e, Event::Refined { iteration: 0, .. })));
         assert!(matches!(events.last(), Some(Event::Converged(..))));
+    }
+
+    /// Event-steps a fleet controller against a synthetic per-device
+    /// power function; `mangle` can corrupt or drop report `k`.
+    fn run_fleet(
+        objective: Objective,
+        power: impl Fn(Probe) -> Vec<f64>,
+        mangle: impl Fn(usize, FleetReport) -> Option<FleetReport>,
+    ) -> Controller {
+        let mut ctl = Controller::new(SweepConfig::paper_default());
+        ctl.objective = objective;
+        let mut psu = PowerSupply::tektronix_2230g();
+        psu.execute("OUTP ON", Seconds(0.0));
+        ctl.start();
+        let mut now = 0.0;
+        let mut pending: Option<(f64, FleetReport)> = None;
+        let mut counter = 0usize;
+        for _ in 0..200_000 {
+            if ctl.phase() == &Phase::Converged {
+                break;
+            }
+            let deliver = pending
+                .clone()
+                .filter(|(due, _)| *due <= now)
+                .map(|(_, r)| r);
+            if deliver.is_some() {
+                pending = None;
+            }
+            let before_applied = ctl.applied_at;
+            ctl.step_fleet(&mut psu, Seconds(now), deliver);
+            if ctl.applied_at != before_applied {
+                if let Some(Event::Applied(p)) = ctl.events().last() {
+                    counter += 1;
+                    let report = FleetReport {
+                        at: Seconds(now + 0.008),
+                        powers_dbm: power(*p),
+                    };
+                    pending = mangle(counter, report).map(|r| (now + 0.008, r));
+                }
+            }
+            now += 0.002;
+        }
+        ctl
+    }
+
+    fn two_bumps(p: Probe) -> Vec<f64> {
+        let d1 = (p.vx.0 - 8.0).powi(2) + (p.vy.0 - 8.0).powi(2);
+        let d2 = (p.vx.0 - 22.0).powi(2) + (p.vy.0 - 22.0).powi(2);
+        vec![-40.0 - 0.05 * d1, -40.0 - 0.05 * d2]
+    }
+
+    #[test]
+    fn worst_link_objective_finds_the_compromise() {
+        let ctl = run_fleet(Objective::WorstLink, two_bumps, |_, r| Some(r));
+        assert_eq!(ctl.phase(), &Phase::Converged);
+        let (best, _) = ctl.best().unwrap();
+        // Max-min of two symmetric bumps sits midway, not on a peak.
+        assert!(
+            (best.vx.0 - 15.0).abs() < 3.0 && (best.vy.0 - 15.0).abs() < 3.0,
+            "best = {best:?}"
+        );
+    }
+
+    #[test]
+    fn corrupt_reports_are_rejected_then_retried() {
+        // Every 5th report arrives with a NaN reading (decoded from a
+        // corrupted packet): the controller must reject it, retry the
+        // probe, and still converge on the true peak.
+        let ctl = run_fleet(
+            Objective::SingleLink,
+            |p| vec![bump(p)],
+            |k, mut r| {
+                if k % 5 == 0 {
+                    r.powers_dbm[0] = f64::NAN;
+                }
+                Some(r)
+            },
+        );
+        assert_eq!(ctl.phase(), &Phase::Converged);
+        assert!(
+            ctl.events()
+                .iter()
+                .any(|e| matches!(e, Event::ReportRejected(_))),
+            "rejections should have been logged"
+        );
+        let (best, score) = ctl.best().unwrap();
+        assert!(score.is_finite(), "corrupt readings must never be scored");
+        assert!((best.vx.0 - 18.0).abs() < 2.5, "best = {best:?}");
+    }
+
+    #[test]
+    fn dropped_fleet_reports_time_out_and_retry() {
+        let ctl = run_fleet(Objective::WorstLink, two_bumps, |k, r| {
+            if k % 6 == 0 {
+                None
+            } else {
+                Some(r)
+            }
+        });
+        assert_eq!(ctl.phase(), &Phase::Converged);
+        assert!(ctl
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::ReportTimeout(_))));
+    }
+
+    #[test]
+    fn empty_and_wrong_arity_reports_are_unusable() {
+        assert_eq!(Objective::SingleLink.score(&[]), None);
+        assert_eq!(Objective::WorstLink.score(&[f64::INFINITY]), None);
+        assert_eq!(
+            Objective::Isolation { favored: 2 }.score(&[-40.0, -50.0]),
+            None
+        );
+        assert_eq!(Objective::Isolation { favored: 0 }.score(&[-40.0]), None);
+        assert_eq!(
+            Objective::Isolation { favored: 0 }.score(&[-40.0, -52.0]),
+            Some(12.0)
+        );
+        assert_eq!(Objective::WorstLink.score(&[-40.0, -52.0]), Some(-52.0));
+        assert_eq!(Objective::SingleLink.score(&[-33.0, -99.0]), Some(-33.0));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected_when_expected_devices_set() {
+        let mut ctl = Controller::new(SweepConfig::paper_default());
+        ctl.objective = Objective::WorstLink;
+        ctl.expected_devices = Some(2);
+        let mut psu = PowerSupply::tektronix_2230g();
+        psu.execute("OUTP ON", Seconds(0.0));
+        ctl.start();
+        let mut now = 0.0;
+        while !matches!(ctl.events().last(), Some(Event::Applied(_))) && now < 1.0 {
+            now += 0.002;
+            ctl.step_fleet(&mut psu, Seconds(now), None);
+        }
+        // A truncated (1-element) report would be happily scored by
+        // WorstLink alone; the expected arity must veto it.
+        let report_at = Seconds(now + 0.05);
+        ctl.step_fleet(
+            &mut psu,
+            report_at,
+            Some(FleetReport {
+                at: report_at,
+                powers_dbm: vec![-40.0],
+            }),
+        );
+        assert!(matches!(
+            ctl.events().last(),
+            Some(Event::ReportRejected(_))
+        ));
+        assert!(ctl.best().is_none());
+        // A full-arity report for the same probe scores normally.
+        let report_at = Seconds(now + 0.06);
+        ctl.step_fleet(
+            &mut psu,
+            report_at,
+            Some(FleetReport {
+                at: report_at,
+                powers_dbm: vec![-40.0, -50.0],
+            }),
+        );
+        // (The same step may already apply the next probe, so scan the
+        // log rather than peeking at the last event.)
+        assert!(ctl
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::Scored(_, s) if *s == -50.0)));
+        assert_eq!(ctl.best().unwrap().1, -50.0);
+    }
+
+    #[test]
+    fn scalar_step_is_the_one_element_fleet_case() {
+        let (scalar_ctl, _, _) = run(bump, None);
+        let fleet_ctl = run_fleet(Objective::SingleLink, |p| vec![bump(p)], |_, r| Some(r));
+        assert_eq!(scalar_ctl.best().unwrap().0, fleet_ctl.best().unwrap().0);
+        assert_eq!(scalar_ctl.best().unwrap().1, fleet_ctl.best().unwrap().1);
     }
 
     #[test]

@@ -83,13 +83,38 @@ pub struct SweepOutcome {
     pub history: Vec<(Probe, f64)>,
 }
 
-/// Runs Algorithm 1 against a metric callback (higher is better).
+/// Outcome of a completed vector-objective sweep: the winning probe,
+/// the scalar score it won on, and the full per-device metric vectors.
+#[derive(Clone, Debug)]
+pub struct MultiSweepOutcome {
+    /// The winning bias combination.
+    pub best: Probe,
+    /// Scalar score of the winner (output of the scoring function).
+    pub best_score: f64,
+    /// Per-device metrics measured at the winner, in measurement order.
+    pub best_metrics: Vec<f64>,
+    /// Total probes spent.
+    pub probes: usize,
+    /// Wall-clock cost at the configured switching period.
+    pub duration: Seconds,
+    /// Every probe and its metric vector, in visit order.
+    pub history: Vec<(Probe, Vec<f64>)>,
+}
+
+/// Runs Algorithm 1 against a *vector* metric: each probe measures one
+/// value per device (or per objective component) and `score` folds the
+/// vector into the scalar the refinement maximizes — `min` for max-min
+/// fairness, a margin for access control, the identity on element 0 for
+/// the classic single-link sweep ([`coarse_to_fine`] is exactly that
+/// N = 1 case).
 ///
-/// The callback receives each probe and returns the measured metric —
-/// in the real system that is the receiver's reported signal power under
-/// the labeled voltage state (§3.3's synchronization makes the labeling
-/// sound).
-pub fn coarse_to_fine(config: &SweepConfig, mut measure: impl FnMut(Probe) -> f64) -> SweepOutcome {
+/// The refinement logic is byte-for-byte Algorithm 1: `N` iterations of
+/// a `T×T` grid, each window centred on the previous winner.
+pub fn coarse_to_fine_multi(
+    config: &SweepConfig,
+    mut measure: impl FnMut(Probe) -> Vec<f64>,
+    score: impl Fn(&[f64]) -> f64,
+) -> MultiSweepOutcome {
     assert!(config.iterations >= 1, "need at least one iteration");
     assert!(
         config.steps_per_axis >= 2,
@@ -103,7 +128,8 @@ pub fn coarse_to_fine(config: &SweepConfig, mut measure: impl FnMut(Probe) -> f6
         vx: config.v_min,
         vy: config.v_min,
     };
-    let mut best_metric = f64::NEG_INFINITY;
+    let mut best_score = f64::NEG_INFINITY;
+    let mut best_metrics: Vec<f64> = Vec::new();
     let mut probes = 0usize;
     // Every iteration records exactly T² probes; reserve the whole run
     // up front so the history never reallocates mid-sweep.
@@ -116,7 +142,8 @@ pub fn coarse_to_fine(config: &SweepConfig, mut measure: impl FnMut(Probe) -> f6
             Volts(lo.0 + (hi.0 - lo.0) * i as f64 / (t - 1) as f64)
         };
         let mut iter_best = best;
-        let mut iter_metric = f64::NEG_INFINITY;
+        let mut iter_score = f64::NEG_INFINITY;
+        let mut iter_metrics: Vec<f64> = Vec::new();
         for ix in 0..t {
             for iy in 0..t {
                 let probe = Probe {
@@ -124,17 +151,20 @@ pub fn coarse_to_fine(config: &SweepConfig, mut measure: impl FnMut(Probe) -> f6
                     vy: grid(lo_y, hi_y, iy),
                 };
                 let m = measure(probe);
+                let s = score(&m);
                 probes += 1;
-                history.push((probe, m));
-                if m > iter_metric {
-                    iter_metric = m;
+                if s > iter_score {
+                    iter_score = s;
                     iter_best = probe;
+                    iter_metrics = m.clone();
                 }
+                history.push((probe, m));
             }
         }
-        if iter_metric > best_metric {
-            best_metric = iter_metric;
+        if iter_score > best_score {
+            best_score = iter_score;
             best = iter_best;
+            best_metrics = iter_metrics;
         }
         // Narrow the window to one coarse step around the winner
         // (the paper returns [v − Vs, v] per axis; we center for
@@ -147,12 +177,35 @@ pub fn coarse_to_fine(config: &SweepConfig, mut measure: impl FnMut(Probe) -> f6
         hi_y = Volts((best.vy.0 + step_y).min(config.v_max.0));
     }
 
-    SweepOutcome {
+    MultiSweepOutcome {
         best,
-        best_metric,
+        best_score,
+        best_metrics,
         probes,
         duration: Seconds(config.switch_period.0 * probes as f64),
         history,
+    }
+}
+
+/// Runs Algorithm 1 against a scalar metric callback (higher is better).
+///
+/// The callback receives each probe and returns the measured metric —
+/// in the real system that is the receiver's reported signal power under
+/// the labeled voltage state (§3.3's synchronization makes the labeling
+/// sound). This is [`coarse_to_fine_multi`] with a one-element metric
+/// vector: the single link is the N = 1 fleet.
+pub fn coarse_to_fine(config: &SweepConfig, mut measure: impl FnMut(Probe) -> f64) -> SweepOutcome {
+    let outcome = coarse_to_fine_multi(config, |p| vec![measure(p)], |m| m[0]);
+    SweepOutcome {
+        best: outcome.best,
+        best_metric: outcome.best_score,
+        probes: outcome.probes,
+        duration: outcome.duration,
+        history: outcome
+            .history
+            .into_iter()
+            .map(|(p, m)| (p, m[0]))
+            .collect(),
     }
 }
 
@@ -241,6 +294,59 @@ mod tests {
     fn duration_scales_with_probes() {
         let outcome = coarse_to_fine(&SweepConfig::paper_default(), bump(5.0, 5.0));
         assert!((outcome.duration.0 - 0.02 * outcome.probes as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_with_identity_score_matches_scalar_sweep() {
+        // The scalar sweep IS the N = 1 vector sweep: same winner, same
+        // score, same visit order.
+        let scalar = coarse_to_fine(&SweepConfig::paper_default(), bump(17.3, 8.2));
+        let multi = coarse_to_fine_multi(
+            &SweepConfig::paper_default(),
+            {
+                let mut b = bump(17.3, 8.2);
+                move |p| vec![b(p)]
+            },
+            |m| m[0],
+        );
+        assert_eq!(scalar.best, multi.best);
+        assert_eq!(scalar.best_metric, multi.best_score);
+        assert_eq!(scalar.probes, multi.probes);
+        assert_eq!(multi.best_metrics.len(), 1);
+        for ((pa, ma), (pb, mb)) in scalar.history.iter().zip(&multi.history) {
+            assert_eq!(pa, pb);
+            assert_eq!(*ma, mb[0]);
+        }
+    }
+
+    #[test]
+    fn max_min_score_finds_the_compromise() {
+        // Two bumps at different spots: maximizing the min lands between
+        // them, not on either peak.
+        let outcome = coarse_to_fine_multi(
+            &SweepConfig::paper_default(),
+            |p: Probe| {
+                let d1 = (p.vx.0 - 10.0).powi(2) + (p.vy.0 - 10.0).powi(2);
+                let d2 = (p.vx.0 - 20.0).powi(2) + (p.vy.0 - 20.0).powi(2);
+                vec![-d1, -d2]
+            },
+            |m| m.iter().copied().fold(f64::INFINITY, f64::min),
+        );
+        assert_eq!(outcome.best_metrics.len(), 2);
+        // The compromise equalizes the two objectives.
+        assert!(
+            (outcome.best_metrics[0] - outcome.best_metrics[1]).abs() < 30.0,
+            "metrics {:?}",
+            outcome.best_metrics
+        );
+        assert!((outcome.best.vx.0 - 15.0).abs() < 3.0, "{:?}", outcome.best);
+        // And the winner's score is the max over the history's mins.
+        let hist_best = outcome
+            .history
+            .iter()
+            .map(|(_, m)| m.iter().copied().fold(f64::INFINITY, f64::min))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(hist_best, outcome.best_score);
     }
 
     #[test]

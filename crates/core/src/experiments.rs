@@ -555,6 +555,18 @@ pub fn fig19_directional(seed: u64) -> CapacityStudy {
 /// Figure 20: ESP8266 RSSI distributions with/without the surface in the
 /// mismatched configuration.
 pub fn fig20(seed: u64, samples: usize) -> DistributionPair {
+    fig20_calibrated(seed, samples, propagation::link::LinkTuning::default())
+}
+
+/// [`fig20`] under explicit link-model calibration knobs — the sweep
+/// surface behind `expts --calibrate-fig20`, which searches the
+/// (insertion-loss, scatter-XPD, shadow) space for the paper's ~10 dB
+/// with/without-surface mode gap.
+pub fn fig20_calibrated(
+    seed: u64,
+    samples: usize,
+    tuning: propagation::link::LinkTuning,
+) -> DistributionPair {
     let split = SeedSplitter::new(seed);
     let mut station = WifiStation::esp8266(&split);
     let mut hist_a = Histogram::new(-80.0, -20.0, 60);
@@ -571,7 +583,8 @@ pub fn fig20(seed: u64, samples: usize) -> DistributionPair {
         |room| {
             let scenario = Scenario::wifi_iot_default()
                 .with_mismatch_deg(90.0)
-                .with_seed(room);
+                .with_seed(room)
+                .with_tuning(tuning);
             let mut sys = LlamaSystem::new(scenario.clone());
             (
                 sys.optimize().best_power_dbm,

@@ -14,9 +14,13 @@
 //! * [`sensing`] — the §5.2.2 respiration pipeline;
 //! * [`experiments`] — one runner per figure/table (see DESIGN.md's
 //!   experiment index);
+//! * [`fleet`] — the fleet-serving engine: heterogeneous device
+//!   populations behind one surface, scheduled under max-min, favor
+//!   (access control) and time-division policies on the shared-plan
+//!   batch evaluation path;
 //! * [`multilink`] — the §7 outlook: several receivers sharing one
 //!   surface, with max-min fairness and favor/suppress (polarization
-//!   access control) policies;
+//!   access control) policies (now thin wrappers over [`fleet`]);
 //! * [`render`] — ASCII tables, histograms, heatmaps and sparklines for
 //!   terminal output.
 //!
@@ -35,12 +39,14 @@
 #![deny(unsafe_code)]
 
 pub mod experiments;
+pub mod fleet;
 pub mod multilink;
 pub mod render;
 pub mod scenario;
 pub mod sensing;
 pub mod system;
 
+pub use fleet::{Fleet, FleetDevice, FleetEvaluator, FleetOutcome, Policy, Scheduler};
 pub use scenario::{EndpointKind, Scenario};
 pub use sensing::{run_sensing, SensingConfig, SensingResult};
 pub use system::{LlamaSystem, OptimizeOutcome};

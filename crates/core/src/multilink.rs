@@ -13,13 +13,26 @@
 //!   (the natural broadcast/coexistence objective);
 //! * [`optimize_favor`] — access control: maximize one receiver while
 //!   suppressing the others (polarization as a crude spatial key).
+//!
+//! Since the fleet engine landed, both are thin fronts over
+//! [`crate::fleet`]'s shared-plan batch path: the bias grid is cascaded
+//! once per probe ([`StackEvaluator::eval_batch`]) and each probe's path
+//! set is built once and projected onto every receiver
+//! ([`Link::received_dbm_for`]), instead of re-evaluating the full stack
+//! per receiver per bias. `batched == naive` is pinned to 1e-12 by the
+//! regression tests below and `tests/proptest_fleet.rs`.
 
-use metasurface::response::Metasurface;
-use metasurface::stack::BiasState;
+use metasurface::evaluator::StackEvaluator;
+use metasurface::response::{Metasurface, SurfaceResponse};
+use metasurface::stack::{BiasState, SUPPLY_CEILING};
 use propagation::antenna::OrientedAntenna;
+use propagation::link::PreparedLink;
 use rfmath::units::Dbm;
 
 use crate::scenario::Scenario;
+
+#[allow(unused_imports)] // rustdoc link target
+use propagation::link::Link;
 
 /// One receiver sharing the surface.
 #[derive(Clone, Debug)]
@@ -62,7 +75,9 @@ impl GroupPowers {
     }
 }
 
-/// Evaluates every receiver's power under a common bias state.
+/// Evaluates every receiver's power under a common bias state: the path
+/// set is built once and projected per receiver (one cascade, one path
+/// build, N polarization projections).
 pub fn group_powers(
     base: &Scenario,
     receivers: &[SharedReceiver],
@@ -70,17 +85,16 @@ pub fn group_powers(
     bias: BiasState,
 ) -> GroupPowers {
     surface.set_bias(bias);
-    let powers = receivers
-        .iter()
-        .map(|r| {
-            let mut scenario = base.clone();
-            scenario.rx = r.rx.clone();
-            scenario.link().received_dbm(Some(surface)).0
-        })
-        .collect();
+    let mounts: Vec<OrientedAntenna> = receivers.iter().map(|r| r.rx.clone()).collect();
+    let link = base.link();
+    let response = surface.response(base.frequency);
     GroupPowers {
         bias,
-        powers_dbm: powers,
+        powers_dbm: link
+            .received_dbm_for(Some(&response), &mounts)
+            .into_iter()
+            .map(|p| p.0)
+            .collect(),
     }
 }
 
@@ -104,6 +118,9 @@ pub fn optimize_favor(
     search(base, receivers, steps, |g| g.isolation_db(favored))
 }
 
+/// The shared grid search: every bias in the `steps × steps` grid is
+/// cascaded once through a compiled plan and projected onto every
+/// receiver against one shared path set per probe.
 fn search(
     base: &Scenario,
     receivers: &[SharedReceiver],
@@ -112,19 +129,38 @@ fn search(
 ) -> GroupPowers {
     assert!(!receivers.is_empty(), "need at least one receiver");
     let steps = steps.max(2);
-    let mut surface = Metasurface::new(base.design.clone());
+    let v_max = SUPPLY_CEILING;
+    let biases: Vec<BiasState> = (0..steps * steps)
+        .map(|k| {
+            BiasState::new(
+                v_max.0 * (k / steps) as f64 / (steps - 1) as f64,
+                v_max.0 * (k % steps) as f64 / (steps - 1) as f64,
+            )
+            .clamped(v_max)
+        })
+        .collect();
+
+    let mounts: Vec<OrientedAntenna> = receivers.iter().map(|r| r.rx.clone()).collect();
+    // The scatter realization is bias-independent: prepare it once
+    // instead of redrawing it for every grid probe.
+    let link = PreparedLink::new(base.link());
+    let evaluator = StackEvaluator::new(&base.design.stack, base.frequency);
+    let responses = evaluator.eval_batch(&biases);
+
     let mut best: Option<(f64, GroupPowers)> = None;
-    for i in 0..steps {
-        for j in 0..steps {
-            let bias = BiasState::new(
-                30.0 * i as f64 / (steps - 1) as f64,
-                30.0 * j as f64 / (steps - 1) as f64,
-            );
-            let g = group_powers(base, receivers, &mut surface, bias);
-            let s = score(&g);
-            if best.as_ref().map(|(b, _)| s > *b).unwrap_or(true) {
-                best = Some((s, g));
-            }
+    for (bias, response) in biases.into_iter().zip(responses) {
+        let response = SurfaceResponse::new(base.frequency, response);
+        let g = GroupPowers {
+            bias,
+            powers_dbm: link
+                .received_dbm_for(Some(&response), &mounts)
+                .into_iter()
+                .map(|p| p.0)
+                .collect(),
+        };
+        let s = score(&g);
+        if best.as_ref().map(|(b, _)| s > *b).unwrap_or(true) {
+            best = Some((s, g));
         }
     }
     best.expect("non-empty grid").1
@@ -155,6 +191,76 @@ mod tests {
                 label: "tilted device",
             },
         ]
+    }
+
+    /// The pre-fleet implementation, verbatim: full stack re-evaluation
+    /// per receiver per bias through a cloned scenario. Kept as the
+    /// regression oracle for the batched path.
+    fn naive_search(
+        base: &Scenario,
+        receivers: &[SharedReceiver],
+        steps: usize,
+        score: impl Fn(&GroupPowers) -> f64,
+    ) -> GroupPowers {
+        let steps = steps.max(2);
+        let mut surface = Metasurface::new(base.design.clone());
+        let mut best: Option<(f64, GroupPowers)> = None;
+        for i in 0..steps {
+            for j in 0..steps {
+                let bias = BiasState::new(
+                    30.0 * i as f64 / (steps - 1) as f64,
+                    30.0 * j as f64 / (steps - 1) as f64,
+                );
+                surface.set_bias(bias);
+                let powers = receivers
+                    .iter()
+                    .map(|r| {
+                        let mut scenario = base.clone();
+                        scenario.rx = r.rx.clone();
+                        scenario.link().received_dbm(Some(&surface)).0
+                    })
+                    .collect();
+                let g = GroupPowers {
+                    bias,
+                    powers_dbm: powers,
+                };
+                let s = score(&g);
+                if best.as_ref().map(|(b, _)| s > *b).unwrap_or(true) {
+                    best = Some((s, g));
+                }
+            }
+        }
+        best.expect("non-empty grid").1
+    }
+
+    #[test]
+    fn batched_search_matches_naive_to_1e12() {
+        // The satellite bugfix contract: routing the multilink policies
+        // through the shared-plan batch API must not move any result by
+        // more than 1e-12 — same winning bias, same per-receiver powers.
+        let base = Scenario::transmissive_default().with_seed(71);
+        let receivers = two_receivers();
+        for steps in [3, 7] {
+            let fast = optimize_max_min(&base, &receivers, steps);
+            let slow = naive_search(&base, &receivers, steps, |g| g.min_dbm());
+            assert_eq!(fast.bias, slow.bias, "steps {steps}: winner moved");
+            for (a, b) in fast.powers_dbm.iter().zip(&slow.powers_dbm) {
+                assert!((a - b).abs() < 1e-12, "steps {steps}: {a} vs {b}");
+            }
+            let fast = optimize_favor(&base, &receivers, 1, steps);
+            let slow = naive_search(&base, &receivers, steps, |g| g.isolation_db(1));
+            assert_eq!(fast.bias, slow.bias);
+            for (a, b) in fast.powers_dbm.iter().zip(&slow.powers_dbm) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+        // Multipath rooms too (scatter paths shared across receivers).
+        let room = Scenario::wifi_iot_default().with_seed(5);
+        let fast = optimize_max_min(&room, &receivers, 4);
+        let slow = naive_search(&room, &receivers, 4, |g| g.min_dbm());
+        for (a, b) in fast.powers_dbm.iter().zip(&slow.powers_dbm) {
+            assert!((a - b).abs() < 1e-12);
+        }
     }
 
     #[test]
@@ -211,6 +317,20 @@ mod tests {
         let g = group_powers(&base, &receivers, &mut surface, BiasState::new(6.0, 6.0));
         assert_eq!(g.powers_dbm.len(), 2);
         assert!(g.powers_dbm.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn group_powers_matches_per_receiver_evaluation() {
+        let base = Scenario::transmissive_default().with_seed(73);
+        let receivers = two_receivers();
+        let mut surface = Metasurface::new(base.design.clone());
+        let g = group_powers(&base, &receivers, &mut surface, BiasState::new(9.0, 21.0));
+        for (r, got) in receivers.iter().zip(&g.powers_dbm) {
+            let mut scenario = base.clone();
+            scenario.rx = r.rx.clone();
+            let want = scenario.link().received_dbm(Some(&surface)).0;
+            assert!((got - want).abs() < 1e-12, "{}: {got} vs {want}", r.label);
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use metasurface::designs::{self, Design};
 use propagation::antenna::{Antenna, OrientedAntenna};
 use propagation::environment::Environment;
-use propagation::link::Link;
+use propagation::link::{Link, LinkTuning};
 use propagation::rays::Deployment;
 use rfmath::units::{Degrees, Hertz, Watts};
 
@@ -45,6 +45,8 @@ pub struct Scenario {
     pub design: Design,
     /// Root seed for all stochastic elements.
     pub seed: u64,
+    /// Link-model calibration knobs (defaults = uncalibrated model).
+    pub tuning: LinkTuning,
 }
 
 impl Scenario {
@@ -62,6 +64,7 @@ impl Scenario {
             environment: Environment::anechoic(),
             design: designs::fr4_optimized(),
             seed: 1,
+            tuning: LinkTuning::default(),
         }
     }
 
@@ -96,6 +99,7 @@ impl Scenario {
             },
             design: designs::fr4_optimized(),
             seed: 1,
+            tuning: LinkTuning::default(),
         }
     }
 
@@ -118,6 +122,7 @@ impl Scenario {
             },
             design: designs::fr4_optimized(),
             seed: 2,
+            tuning: LinkTuning::default(),
         }
     }
 
@@ -189,6 +194,12 @@ impl Scenario {
         self
     }
 
+    /// Sets the link-model calibration knobs (Figure 20 fidelity sweep).
+    pub fn with_tuning(mut self, tuning: LinkTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
     /// Builds the propagation-layer link for this scenario.
     ///
     /// The scenario's root seed drives *all* stochastic elements, so a
@@ -217,6 +228,7 @@ impl Scenario {
             deployment: self.deployment,
             environment,
             extra_paths: Vec::new(),
+            tuning: self.tuning,
         }
     }
 }

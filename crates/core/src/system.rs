@@ -7,9 +7,9 @@
 //! Algorithm 1 against the PSU's 50 Hz switching budget, and the surface
 //! bias converges on the state maximizing link power.
 
-use control::controller::{Controller, Phase, PowerReport};
+use control::controller::{Controller, FleetReport, Phase};
 use control::psu::PowerSupply;
-use control::sweep::{coarse_to_fine, Probe, SweepConfig};
+use control::sweep::{coarse_to_fine_multi, Probe, SweepConfig};
 use devices::report::{LossyTransport, ReportPacket};
 use devices::usrp::{UsrpConfig, UsrpReceiver};
 use metasurface::evaluator::StackEvaluator;
@@ -130,18 +130,26 @@ impl LlamaSystem {
         // The link is bias-independent, so it is built once; each probe
         // then costs a single (evaluator-cached) cascade instead of
         // rebuilding the link and evaluating the surface four times.
+        //
+        // The search runs on the vector-objective Algorithm 1 core the
+        // fleet scheduler uses: a single link is the N = 1 fleet, its
+        // objective the identity on the one reading.
         let scenario = self.scenario.clone();
         let link = scenario.link();
         let f = scenario.frequency;
         let surface = &mut self.surface;
         let rng = &mut self.rssi_rng;
         let floor_w = Dbm(self.rssi_floor_dbm).to_watts();
-        let outcome = coarse_to_fine(&self.sweep, |p: Probe| {
-            surface.set_bias(BiasState { vx: p.vx, vy: p.vy });
-            let response = surface.response(f);
-            let amp = link.received_amplitude_with(Some(&response), Seconds(0.0));
-            rssi_reading(amp, floor_w, rng).0
-        });
+        let outcome = coarse_to_fine_multi(
+            &self.sweep,
+            |p: Probe| {
+                surface.set_bias(BiasState { vx: p.vx, vy: p.vy });
+                let response = surface.response(f);
+                let amp = link.received_amplitude_with(Some(&response), Seconds(0.0));
+                vec![rssi_reading(amp, floor_w, rng).0]
+            },
+            |m| m[0],
+        );
         let best_bias = BiasState {
             vx: outcome.best.vx,
             vy: outcome.best.vy,
@@ -165,26 +173,34 @@ impl LlamaSystem {
     pub fn optimize_realtime(&mut self) -> OptimizeOutcome {
         let baseline = self.baseline_power_dbm();
         let mut controller = Controller::new(self.sweep);
+        // Single link: one reading per report, and say so — truncated
+        // or padded packets get rejected instead of mis-scored.
+        controller.expected_devices = Some(1);
         self.psu.execute("OUTP ON", Seconds(0.0));
         controller.start();
 
         let mut now = 0.0f64;
         let mut seq = 0u32;
-        let mut pending: Option<(f64, PowerReport)> = None;
+        let mut pending: Option<(f64, FleetReport)> = None;
         let mut last_applied: Option<(Probe, f64)> = None;
 
         for _ in 0..1_000_000 {
             if controller.phase() == &Phase::Converged {
                 break;
             }
-            // Deliver a due report (if it survives the transport).
-            let deliver = pending.filter(|(due, _)| *due <= now).map(|(_, rep)| rep);
+            // Deliver a due report (if it survives the transport). The
+            // controller consumes fleet-shaped (vector) reports; this
+            // single-link system sends one-element vectors.
+            let deliver = pending
+                .clone()
+                .filter(|(due, _)| *due <= now)
+                .map(|(_, rep)| rep);
             if deliver.is_some() {
                 pending = None;
             }
 
             let before = controller.events().len();
-            controller.step(&mut self.psu, Seconds(now), deliver);
+            controller.step_fleet(&mut self.psu, Seconds(now), deliver);
 
             // When a probe was applied, schedule its measurement report.
             if controller.events().len() > before {
@@ -212,9 +228,9 @@ impl LlamaSystem {
                         if let Ok(decoded) = ReportPacket::decode(bytes) {
                             pending = Some((
                                 now,
-                                PowerReport {
+                                FleetReport {
                                     at: decoded.timestamp(),
-                                    power_dbm: decoded.power.0,
+                                    powers_dbm: vec![decoded.power.0],
                                 },
                             ));
                         }

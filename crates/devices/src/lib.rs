@@ -15,13 +15,16 @@
 //!   (Figure 23);
 //! * [`report`] — the binary RSSI-report protocol between receiver and
 //!   controller, with CRC validation and a lossy-transport fault
-//!   injector.
+//!   injector;
+//! * [`profile`] — radio-level device profiles (antenna, carrier, noise,
+//!   sensitivity) the fleet engine instantiates populations from.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod ble;
 pub mod human;
+pub mod profile;
 pub mod report;
 pub mod turntable;
 pub mod usrp;
@@ -29,6 +32,7 @@ pub mod wifi;
 
 pub use ble::{BleAdvertiser, BleCentral};
 pub use human::HumanTarget;
+pub use profile::{DeviceProfile, Radio};
 pub use report::{LossyTransport, ReportPacket};
 pub use turntable::Turntable;
 pub use usrp::{UsrpConfig, UsrpReceiver};

@@ -1,0 +1,118 @@
+//! Device profiles for fleet construction: the radio-level identity of
+//! one endpoint class, bundled so the fleet engine can instantiate
+//! heterogeneous populations ("12 ESP8266 stations and 20 BLE
+//! wearables") without re-deriving antennas, carriers, noise models and
+//! sensitivities at every call site.
+//!
+//! A profile is pure description — no RNG state — so it can be cloned
+//! freely across a 32-device fleet; the stateful measurement chains
+//! ([`crate::wifi::WifiStation`], [`crate::ble::BleCentral`]) stay
+//! per-instance.
+
+use propagation::antenna::Antenna;
+use propagation::noise::NoiseModel;
+use rfmath::units::{Hertz, Watts};
+
+/// Radio technology of a fleet endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Radio {
+    /// 802.11g station (Figure 20's ESP8266 class).
+    Wifi,
+    /// BLE peripheral (Figure 2b's wearable class).
+    Ble,
+    /// Lab-grade USRP endpoint (the §4 controlled links).
+    Usrp,
+}
+
+/// The radio-level identity of one endpoint class.
+#[derive(Clone, Debug)]
+pub struct DeviceProfile {
+    /// Display name of the hardware class.
+    pub name: &'static str,
+    /// Radio technology.
+    pub radio: Radio,
+    /// Receive antenna of the device.
+    pub antenna: Antenna,
+    /// Carrier its network operates on.
+    pub carrier: Hertz,
+    /// Transmit power of its uplink peer (AP / phone / USRP).
+    pub tx_power: Watts,
+    /// Receiver noise description (bandwidth + noise figure).
+    pub noise: NoiseModel,
+    /// Sensitivity floor: below this received power the device cannot
+    /// hold its link at all (decode cliff / minimum MCS).
+    pub sensitivity_dbm: f64,
+}
+
+impl DeviceProfile {
+    /// The Figure 20 low-cost Wi-Fi IoT station: ESP8266 PCB antenna on
+    /// an 802.11g 20 MHz channel.
+    pub fn wifi_esp8266() -> Self {
+        Self {
+            name: "ESP8266 Wi-Fi station",
+            radio: Radio::Wifi,
+            antenna: Antenna::esp8266_pcb(),
+            carrier: Hertz::from_ghz(2.442),
+            tx_power: Watts::from_mw(100.0),
+            noise: NoiseModel::wifi_20mhz(),
+            sensitivity_dbm: -88.0,
+        }
+    }
+
+    /// The Figure 2(b) BLE wearable: chip antenna, 1 mW advertising, a
+    /// 2 MHz channel with a sharp decode cliff.
+    pub fn ble_wearable() -> Self {
+        Self {
+            name: "MetaMotionR BLE wearable",
+            radio: Radio::Ble,
+            antenna: Antenna::wearable_chip(),
+            carrier: Hertz(2.426e9),
+            tx_power: Watts::from_mw(1.0),
+            noise: NoiseModel::ble_2mhz(),
+            sensitivity_dbm: -94.0,
+        }
+    }
+
+    /// The §4 controlled USRP endpoint with a directional panel.
+    pub fn usrp_directional() -> Self {
+        Self {
+            name: "USRP N210 (directional panel)",
+            radio: Radio::Usrp,
+            antenna: Antenna::directional_panel(),
+            carrier: Hertz::from_ghz(2.44),
+            tx_power: Watts::from_mw(50.0),
+            noise: NoiseModel::usrp_1mhz(),
+            sensitivity_dbm: -100.0,
+        }
+    }
+
+    /// True when `rx_dbm` clears the device's sensitivity floor.
+    pub fn is_decodable(&self, rx_dbm: f64) -> bool {
+        rx_dbm >= self.sensitivity_dbm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ_where_hardware_differs() {
+        let wifi = DeviceProfile::wifi_esp8266();
+        let ble = DeviceProfile::ble_wearable();
+        assert_ne!(wifi.radio, ble.radio);
+        assert!(wifi.tx_power.0 > ble.tx_power.0, "AP outpowers a wearable");
+        assert!(
+            ble.noise.bandwidth.0 < wifi.noise.bandwidth.0,
+            "BLE channels are narrower"
+        );
+        assert_ne!(wifi.carrier.0, ble.carrier.0);
+    }
+
+    #[test]
+    fn sensitivity_gates_decodability() {
+        let ble = DeviceProfile::ble_wearable();
+        assert!(ble.is_decodable(-90.0));
+        assert!(!ble.is_decodable(-95.0));
+    }
+}

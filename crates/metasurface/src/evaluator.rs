@@ -289,6 +289,90 @@ impl StackEvaluator {
         acc?.to_s()
     }
 
+    /// Evaluates the response at an arbitrary list of bias states with
+    /// one shared plan — the fleet-serving probe path: a scheduler
+    /// sweeping N devices probes each shared bias exactly once here and
+    /// fans the per-device link projections out from the result, instead
+    /// of recompiling a plan (or re-running the cascade) per device.
+    ///
+    /// Per-axis branch solves are deduplicated across the batch (each
+    /// distinct voltage is solved once per tuned panel), then the chain
+    /// multiplies fan out across threads when the batch is large enough
+    /// to amortize spawn. Results are positionally equivalent to calling
+    /// [`StackEvaluator::response`] per element.
+    pub fn eval_batch(&self, biases: &[BiasState]) -> Vec<Option<PolarizedS>> {
+        let mut out: Vec<Option<PolarizedS>> = vec![None; biases.len()];
+        if biases.is_empty() || self.opaque {
+            return out;
+        }
+        if let Some(lone) = &self.lone {
+            for (slot, b) in out.iter_mut().zip(biases) {
+                *slot = Some(self.lone_stage(lone, b.vx.0, b.vy.0));
+            }
+            return out;
+        }
+
+        // Dedupe per-axis voltages by bit pattern so every distinct
+        // value costs one ABCD solve per tuned panel, batch-wide.
+        let mut vxs: Vec<f64> = Vec::new();
+        let mut vys: Vec<f64> = Vec::new();
+        let index_of = |table: &mut Vec<f64>, v: f64| -> usize {
+            match table.iter().position(|&u| u.to_bits() == v.to_bits()) {
+                Some(i) => i,
+                None => {
+                    table.push(v);
+                    table.len() - 1
+                }
+            }
+        };
+        let cells: Vec<(usize, usize)> = biases
+            .iter()
+            .map(|b| (index_of(&mut vxs, b.vx.0), index_of(&mut vys, b.vy.0)))
+            .collect();
+
+        let x_tables: Vec<Vec<SParams>> = self
+            .tuned
+            .iter()
+            .map(|p| vxs.iter().map(|&v| p.x_s(self.f, v)).collect())
+            .collect();
+        let y_tables: Vec<Vec<SParams>> = self
+            .tuned
+            .iter()
+            .map(|p| vys.iter().map(|&v| p.y_s(self.f, v)).collect())
+            .collect();
+        let rotations: Vec<Radians> = self.tuned.iter().map(|p| p.rotation).collect();
+        let steps = &self.steps;
+        let statics = &self.statics;
+
+        let cell = |ix: usize, iy: usize| -> Option<PolarizedS> {
+            let mut acc: Option<WaveTransfer> = None;
+            for step in steps {
+                let t = match step {
+                    Step::Static(k) => statics[*k],
+                    Step::Tuned(k) => {
+                        tuned_transfer(x_tables[*k][ix], y_tables[*k][iy], rotations[*k])?
+                    }
+                };
+                match acc.as_mut() {
+                    Some(acc) => acc.push(&t),
+                    None => acc = Some(t),
+                }
+            }
+            acc?.to_s()
+        };
+
+        let threads = if biases.len() < 256 {
+            1
+        } else {
+            rfmath::par::available_threads()
+        };
+        rfmath::par::par_fill(&mut out, threads, |i| {
+            let (ix, iy) = cells[i];
+            cell(ix, iy)
+        });
+        out
+    }
+
     /// Evaluates the response over a bias grid, row-major with rows
     /// indexed by `vys` (cell `[iy·len(vxs) + ix]` holds the response at
     /// `(vxs[ix], vys[iy])`) — the layout of the Figure 15/21 heatmaps
@@ -359,26 +443,11 @@ impl StackEvaluator {
             acc?.to_s()
         };
 
-        let threads = threads.min(ny);
-        if threads <= 1 || nx * ny < 256 {
-            for (i, slot) in out.iter_mut().enumerate() {
-                *slot = cell(i % nx, i / nx);
-            }
-        } else {
-            let rows_per = ny.div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (chunk_idx, chunk) in out.chunks_mut(rows_per * nx).enumerate() {
-                    let cell = &cell;
-                    scope.spawn(move || {
-                        let base = chunk_idx * rows_per * nx;
-                        for (j, slot) in chunk.iter_mut().enumerate() {
-                            let i = base + j;
-                            *slot = cell(i % nx, i / nx);
-                        }
-                    });
-                }
-            });
-        }
+        // Worker count tracks rows (the original row-fan-out
+        // granularity); the shared helper chunks by cell, which is
+        // equivalent for a pure kernel.
+        let threads = if nx * ny < 256 { 1 } else { threads.min(ny) };
+        rfmath::par::par_fill(&mut out, threads, |i| cell(i % nx, i / nx));
         out
     }
 }
@@ -496,6 +565,63 @@ mod tests {
             let grid = ev.eval_grid(&[3.0], &[21.0]);
             assert_eq!(max_diff(naive, grid[0].unwrap()), 0.0);
         }
+    }
+
+    #[test]
+    fn batch_matches_single_point_responses() {
+        for design in [fr4_optimized(), rogers_reference(), fr4_naive()] {
+            let ev = StackEvaluator::new(&design.stack, F);
+            let biases: Vec<BiasState> = [(0.0, 0.0), (7.0, 13.0), (7.0, 13.0), (30.0, 2.5)]
+                .iter()
+                .map(|&(x, y)| BiasState::new(x, y))
+                .collect();
+            let batch = ev.eval_batch(&biases);
+            assert_eq!(batch.len(), biases.len());
+            for (b, fast) in biases.iter().zip(&batch) {
+                let single = ev.response(*b).unwrap();
+                assert!(
+                    max_diff(single, fast.unwrap()) < 1e-12,
+                    "{} at {:?}",
+                    design.name,
+                    b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_batch_takes_threaded_path_and_matches() {
+        let design = fr4_optimized();
+        let ev = StackEvaluator::new(&design.stack, F);
+        let biases: Vec<BiasState> = (0..300)
+            .map(|i| BiasState::new((i % 17) as f64 * 1.7, (i % 23) as f64 * 1.3))
+            .collect();
+        let batch = ev.eval_batch(&biases);
+        for (b, fast) in biases.iter().zip(&batch) {
+            let naive = design.stack.response(F, *b).unwrap();
+            assert!(max_diff(naive, fast.unwrap()) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_panel_batch_is_bit_identical_to_naive() {
+        let bias = BiasState::new(3.0, 21.0);
+        for panel in fr4_optimized().stack.panels {
+            let stack = SurfaceStack::new(vec![panel], vec![]);
+            let ev = StackEvaluator::new(&stack, F);
+            let naive = stack.response(F, bias).unwrap();
+            let batch = ev.eval_batch(&[bias, bias]);
+            assert_eq!(max_diff(naive, batch[0].unwrap()), 0.0);
+            assert_eq!(max_diff(naive, batch[1].unwrap()), 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_stack_yield_nothing() {
+        let ev = StackEvaluator::new(&fr4_optimized().stack, F);
+        assert!(ev.eval_batch(&[]).is_empty());
+        let opaque = StackEvaluator::new(&SurfaceStack::new(vec![], vec![]), F);
+        assert!(opaque.eval_batch(&[BiasState::new(1.0, 1.0)])[0].is_none());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use rfmath::units::{Db, Degrees, Hertz, Volts};
 
 use crate::designs::Design;
 use crate::evaluator::StackEvaluator;
-use crate::stack::BiasState;
+use crate::stack::{BiasState, SUPPLY_CEILING};
 
 /// One full surface evaluation at a `(frequency, bias)` point: the
 /// transmissive and reflective Jones matrices and both transmission
@@ -115,7 +115,7 @@ impl Metasurface {
         Self {
             design,
             bias: BiasState::new(6.0, 6.0),
-            v_max: Volts(30.0),
+            v_max: SUPPLY_CEILING,
             evaluator: RefCell::new(None),
         }
     }

@@ -32,6 +32,30 @@ pub fn capacity_gain(rx_with: Dbm, rx_without: Dbm, noise: &NoiseModel) -> f64 {
     capacity_bits(rx_with, noise) - capacity_bits(rx_without, noise)
 }
 
+/// Duty-cycled throughput of a time-shared link, bit/s/Hz: the Shannon
+/// efficiency at the device's received power scaled by the fraction of
+/// airtime the scheduler grants it. This is the per-device metric of the
+/// fleet engine's `TimeDivision` policy: each device enjoys its own
+/// optimal bias, but only for `duty` of every frame.
+pub fn duty_cycled_throughput(rx: Dbm, noise: &NoiseModel, duty: f64) -> f64 {
+    duty.clamp(0.0, 1.0) * capacity_bits(rx, noise)
+}
+
+/// Batched capacity over per-receiver powers (one noise model per
+/// receiver, paired positionally).
+pub fn capacity_bits_many(rx_dbm: &[Dbm], noise: &[NoiseModel]) -> Vec<f64> {
+    assert_eq!(
+        rx_dbm.len(),
+        noise.len(),
+        "one noise model per receiver power"
+    );
+    rx_dbm
+        .iter()
+        .zip(noise)
+        .map(|(&p, n)| capacity_bits(p, n))
+        .collect()
+}
+
 /// SNR (dB) required to reach a given spectral efficiency.
 pub fn required_snr_db(bits_per_hz: f64) -> Db {
     Db(10.0 * (2f64.powf(bits_per_hz) - 1.0).log10())
@@ -73,6 +97,26 @@ mod tests {
             let snr = required_snr_db(b).to_linear();
             assert!((spectral_efficiency(snr) - b).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn duty_cycle_scales_capacity_linearly() {
+        let n = NoiseModel::usrp_1mhz();
+        let full = capacity_bits(Dbm(-60.0), &n);
+        assert!((duty_cycled_throughput(Dbm(-60.0), &n, 0.25) - full / 4.0).abs() < 1e-12);
+        assert_eq!(duty_cycled_throughput(Dbm(-60.0), &n, 0.0), 0.0);
+        // Duty is clamped to physical airtime fractions.
+        assert!((duty_cycled_throughput(Dbm(-60.0), &n, 7.0) - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_capacity_pairs_positionally() {
+        let noises = [NoiseModel::wifi_20mhz(), NoiseModel::ble_2mhz()];
+        let powers = [Dbm(-55.0), Dbm(-80.0)];
+        let got = capacity_bits_many(&powers, &noises);
+        assert_eq!(got.len(), 2);
+        assert!((got[0] - capacity_bits(powers[0], &noises[0])).abs() < 1e-12);
+        assert!((got[1] - capacity_bits(powers[1], &noises[1])).abs() < 1e-12);
     }
 
     #[test]

@@ -52,6 +52,15 @@ impl Environment {
     /// Scatter paths for a link of endpoint separation `tx_rx` at
     /// frequency `f`. Deterministic in the seed.
     pub fn scatter_paths(&self, tx_rx: Meters, f: Hertz) -> Vec<Path> {
+        self.scatter_paths_with(tx_rx, f, None)
+    }
+
+    /// [`Environment::scatter_paths`] with an optional override of the
+    /// scatterers' cross-polar discrimination. `Some(xpd_db)` draws each
+    /// path's depolarizing mix so the mean cross-to-co amplitude ratio is
+    /// `10^(-xpd/20)`; `None` keeps the built-in statistics (and the
+    /// exact historical draw sequence) — the Figure 20 calibration knob.
+    pub fn scatter_paths_with(&self, tx_rx: Meters, f: Hertz, xpd_db: Option<f64>) -> Vec<Path> {
         match self {
             Environment::Anechoic => Vec::new(),
             Environment::Laboratory {
@@ -75,7 +84,17 @@ impl Environment {
                         // orientation (channel XPD of 6-12 dB): a modest
                         // random rotation plus weak depolarizing mixing.
                         let rot: f64 = rng.gen_range(-0.45..0.45);
-                        let mix: f64 = rng.gen_range(0.0..0.3);
+                        let mix: f64 = match xpd_db {
+                            // Mean cross/co amplitude ratio 10^(-xpd/20)
+                            // under a uniform draw (mean = half the max),
+                            // capped at full mixing so a very low XPD
+                            // request cannot synthesize an amplifying
+                            // (non-passive) scatterer.
+                            Some(xpd) => {
+                                (rng.gen_range(0.0..1.0) * 2.0 * 10f64.powf(-xpd / 20.0)).min(1.0)
+                            }
+                            None => rng.gen_range(0.0..0.3),
+                        };
                         let jones = JonesMatrix(
                             Mat2::rotation(rot)
                                 * Mat2::new(
@@ -162,6 +181,59 @@ mod tests {
             (ratio - 0.3).abs() < 0.08,
             "scatter/direct power ratio = {ratio:.3}"
         );
+    }
+
+    #[test]
+    fn xpd_override_none_reproduces_default_sequence() {
+        let env = Environment::laboratory(11);
+        let a = env.scatter_paths(Meters(0.5), F);
+        let b = env.scatter_paths_with(Meters(0.5), F, None);
+        for (pa, pb) in a.iter().zip(&b) {
+            assert!((pa.transfer - pb.transfer).abs() < 1e-15);
+            assert!(pa.jones.0.max_abs_diff(pb.jones.0) < 1e-15);
+        }
+    }
+
+    #[test]
+    fn higher_xpd_means_purer_scatter_polarization() {
+        // Average cross-polar leakage of the scatter Jones matrices must
+        // shrink as the override XPD rises.
+        let cross = |xpd: f64| {
+            let mut total = 0.0;
+            let mut n = 0usize;
+            for seed in 0..40 {
+                for p in Environment::laboratory(seed).scatter_paths_with(Meters(0.5), F, Some(xpd))
+                {
+                    let out = p.jones.apply(rfmath::jones::JonesVector::horizontal());
+                    total += out.0.y.norm_sqr() / out.0.x.norm_sqr().max(1e-30);
+                    n += 1;
+                }
+            }
+            total / n as f64
+        };
+        // The random scatter rotation (±0.45 rad) leaks regardless of
+        // the depolarizing mix, so the XPD knob separates the means by
+        // a finite factor rather than the full 18 dB.
+        let leaky = cross(6.0);
+        let pure = cross(24.0);
+        assert!(
+            pure < leaky / 3.0,
+            "24 dB XPD leakage {pure:.4} should be well below 6 dB XPD {leaky:.4}"
+        );
+    }
+
+    #[test]
+    fn extreme_xpd_override_stays_passive() {
+        // xpd = 0 dB requests full depolarization; the drawn mix must
+        // clamp at 1 so no scatterer amplifies.
+        for seed in 0..10 {
+            for p in Environment::laboratory(seed).scatter_paths_with(Meters(0.5), F, Some(0.0)) {
+                let g = p
+                    .jones
+                    .transmittance(rfmath::jones::JonesVector::linear_deg(30.0));
+                assert!(g <= 1.6, "xpd-0 scatter path gain {g}");
+            }
+        }
     }
 
     #[test]

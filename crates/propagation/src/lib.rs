@@ -28,6 +28,7 @@
 //!     deployment: Deployment::transmissive_cm(36.0),
 //!     environment: Environment::anechoic(),
 //!     extra_paths: Vec::new(),
+//!     tuning: Default::default(),
 //! };
 //! let mut matched = mismatched.clone();
 //! matched.rx = OrientedAntenna::new(Antenna::directional_panel(), Degrees(90.0));
@@ -51,7 +52,7 @@ pub mod signal;
 
 pub use antenna::{Antenna, OrientedAntenna, Pattern};
 pub use environment::Environment;
-pub use link::Link;
+pub use link::{Link, LinkTuning, PreparedLink};
 pub use noise::NoiseModel;
 pub use rays::{Deployment, Path};
 pub use signal::{rssi_reading, Capture};

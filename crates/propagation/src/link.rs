@@ -19,6 +19,52 @@ use crate::antenna::OrientedAntenna;
 use crate::environment::Environment;
 use crate::rays::{engineered_paths, Deployment, Path};
 
+/// Calibration knobs of the link model — the parameters the Figure 20
+/// fidelity sweep (`expts --calibrate-fig20`) explores. Defaults
+/// reproduce the uncalibrated model bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkTuning {
+    /// Extra surface insertion loss per surface interaction, dB (applied
+    /// to engineered paths on top of the circuit model's own loss;
+    /// negative values model a *less* lossy physical prototype).
+    pub surface_excess_loss_db: f64,
+    /// Override for the environment scatterers' cross-polar
+    /// discrimination, dB (`None` keeps the environment's built-in
+    /// depolarization statistics). Higher XPD = purer scatter
+    /// polarization = deeper mismatch fades.
+    pub scatter_xpd_db: Option<f64>,
+    /// Extra attenuation of near-axis scatter shadowed by a deployed
+    /// transmissive panel, dB (on top of the panel's mean through-loss).
+    pub shadow_extra_db: f64,
+}
+
+impl Default for LinkTuning {
+    fn default() -> Self {
+        Self {
+            surface_excess_loss_db: 0.0,
+            scatter_xpd_db: None,
+            shadow_extra_db: 0.0,
+        }
+    }
+}
+
+impl LinkTuning {
+    /// Amplitude factor the excess insertion loss applies to an
+    /// engineered path, by how many times that path interacts with the
+    /// surface (the bounce path crosses it twice).
+    fn surface_loss_amp(&self, label: &str) -> f64 {
+        if self.surface_excess_loss_db == 0.0 {
+            return 1.0;
+        }
+        let interactions = match label {
+            "through-surface" | "surface-reflection" => 1.0,
+            "antenna-surface bounce" => 2.0,
+            _ => 0.0,
+        };
+        10f64.powf(-self.surface_excess_loss_db * interactions / 20.0)
+    }
+}
+
 /// A fully specified point-to-point link.
 #[derive(Clone, Debug)]
 pub struct Link {
@@ -37,6 +83,8 @@ pub struct Link {
     /// Additional scene paths beyond the engineered and environment ones
     /// (e.g. a breathing human target injected by the sensing layer).
     pub extra_paths: Vec<Path>,
+    /// Calibration knobs (defaults = uncalibrated paper model).
+    pub tuning: LinkTuning,
 }
 
 impl Link {
@@ -52,9 +100,18 @@ impl Link {
     /// cascade evaluation shared by every consumer of this probe).
     pub fn paths_with(&self, surface: Option<&SurfaceResponse>) -> Vec<Path> {
         let mut paths = engineered_paths(self.deployment, surface, self.frequency);
-        paths.extend(
-            self.environment
-                .scatter_paths(self.deployment.tx_rx_distance(), self.frequency),
+        paths.extend(self.static_paths());
+        paths
+    }
+
+    /// The bias-independent paths of this link: environment scatter plus
+    /// caller-injected extras. These never change across a bias sweep,
+    /// which is what [`PreparedLink`] exploits.
+    fn static_paths(&self) -> Vec<Path> {
+        let mut paths = self.environment.scatter_paths_with(
+            self.deployment.tx_rx_distance(),
+            self.frequency,
+            self.tuning.scatter_xpd_db,
         );
         paths.extend(self.extra_paths.iter().cloned());
         paths
@@ -79,6 +136,55 @@ impl Link {
         surface: Option<&SurfaceResponse>,
         t: Seconds,
     ) -> Complex {
+        let paths = self.paths_with(surface);
+        self.project_onto(&paths, surface, &self.rx, t)
+    }
+
+    /// Per-receiver amplitudes for several receive mounts sharing this
+    /// link's transmitter, geometry and environment — the multi-device
+    /// inner loop: the path set (engineered + scatter + extras) is built
+    /// once per probe and only the polarization projection runs per
+    /// receiver, instead of a full link rebuild per device.
+    ///
+    /// Element `i` equals `{rx = receivers[i], ..self}.
+    /// received_amplitude_with(surface, t)` to within floating-point
+    /// reassociation (≪ 1e-12 relative).
+    pub fn received_amplitudes_for(
+        &self,
+        surface: Option<&SurfaceResponse>,
+        receivers: &[OrientedAntenna],
+        t: Seconds,
+    ) -> Vec<Complex> {
+        let paths = self.paths_with(surface);
+        receivers
+            .iter()
+            .map(|rx| self.project_onto(&paths, surface, rx, t))
+            .collect()
+    }
+
+    /// [`Link::received_amplitudes_for`] reduced to received powers in
+    /// dBm at `t = 0`.
+    pub fn received_dbm_for(
+        &self,
+        surface: Option<&SurfaceResponse>,
+        receivers: &[OrientedAntenna],
+    ) -> Vec<Dbm> {
+        self.received_amplitudes_for(surface, receivers, Seconds(0.0))
+            .into_iter()
+            .map(|a| Watts(a.norm_sqr()).to_dbm())
+            .collect()
+    }
+
+    /// The shared projection core: sums `paths` onto one receive mount.
+    /// Every public power/amplitude accessor funnels through here, so
+    /// single-receiver and batched evaluation stay in lockstep.
+    fn project_onto(
+        &self,
+        paths: &[Path],
+        surface: Option<&SurfaceResponse>,
+        rx: &OrientedAntenna,
+        t: Seconds,
+    ) -> Complex {
         if let Some(surface) = surface {
             debug_assert!(
                 surface.frequency().0.to_bits() == self.frequency.0.to_bits(),
@@ -88,12 +194,11 @@ impl Link {
             );
         }
         let tx_state = self.tx.polarization();
-        let rx_state = self.rx.polarization();
+        let rx_state = rx.polarization();
         // Boresight illumination for the engineered geometry; directional
         // antennas apply their pattern to off-axis scatter.
         let amp_scale =
-            (self.tx_power.0 * self.tx.antenna.gain_linear() * self.rx.antenna.gain_linear())
-                .sqrt();
+            (self.tx_power.0 * self.tx.antenna.gain_linear() * rx.antenna.gain_linear()).sqrt();
         // A deployed transmissive panel shadows near-axis scatter: rays
         // that would graze the link axis must now cross the panel and
         // take its through-loss. This is the energy the surface *costs*
@@ -101,14 +206,15 @@ impl Link {
         // discussion).
         let shadow = match (surface, self.deployment) {
             (Some(surface), Deployment::Transmissive { .. }) => {
-                let eff_db = 0.5 * (surface.efficiency_x_db().0 + surface.efficiency_y_db().0);
-                10f64.powf(eff_db.max(-30.0) / 20.0)
+                let eff_db = 0.5 * (surface.efficiency_x_db().0 + surface.efficiency_y_db().0)
+                    - self.tuning.shadow_extra_db;
+                10f64.powf(eff_db.max(-30.0 - self.tuning.shadow_extra_db) / 20.0)
             }
             _ => 1.0,
         };
         let tx_rx = self.deployment.tx_rx_distance().0;
         let mut total = Complex::ZERO;
-        for path in self.paths_with(surface) {
+        for path in paths {
             let pattern_penalty = if path.label == "scatter" {
                 // Scatter arrives off-axis: a directional antenna picks
                 // it up through its average side response (−10 dB per
@@ -118,7 +224,7 @@ impl Link {
                     crate::antenna::Pattern::Directional { .. } => 0.316,
                     crate::antenna::Pattern::Omni => 1.0,
                 };
-                let rx_pen = match self.rx.antenna.pattern {
+                let rx_pen = match rx.antenna.pattern {
                     crate::antenna::Pattern::Directional { .. } => 0.316,
                     crate::antenna::Pattern::Omni => 1.0,
                 };
@@ -127,7 +233,7 @@ impl Link {
                 let near_axis = path.length.0 - tx_rx < 1.5;
                 tx_pen * rx_pen * if near_axis { shadow } else { 1.0 }
             } else {
-                1.0
+                self.tuning.surface_loss_amp(path.label)
             };
             let out = path.jones.apply(tx_state);
             let coupled = rx_state.0.dot(out.0);
@@ -191,6 +297,84 @@ impl Link {
     }
 }
 
+/// A link with its bias-independent paths precomputed: the fleet
+/// engine's per-device probe handle.
+///
+/// Environment scatter and caller-injected extras never change across a
+/// bias sweep, so a fleet scheduler probing hundreds of bias states pays
+/// the scatter realization (RNG draws + allocation) once per device
+/// instead of once per `(device, bias)` probe. Only the one or two
+/// engineered paths are rebuilt per probe, against the surface response
+/// the shared evaluation plan already produced.
+#[derive(Clone, Debug)]
+pub struct PreparedLink {
+    link: Link,
+    static_paths: Vec<Path>,
+}
+
+impl PreparedLink {
+    /// Precomputes the bias-independent paths of `link`.
+    pub fn new(link: Link) -> Self {
+        let static_paths = link.static_paths();
+        Self { link, static_paths }
+    }
+
+    /// The underlying link.
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// Full path set against a precomputed surface response (engineered
+    /// paths rebuilt, static paths reused). Same order as
+    /// [`Link::paths_with`].
+    fn paths_with(&self, surface: Option<&SurfaceResponse>) -> Vec<Path> {
+        let mut paths = engineered_paths(self.link.deployment, surface, self.link.frequency);
+        paths.extend_from_slice(&self.static_paths);
+        paths
+    }
+
+    /// Receive-port amplitude at time `t`; equals
+    /// [`Link::received_amplitude_with`] on the wrapped link.
+    pub fn received_amplitude_with(
+        &self,
+        surface: Option<&SurfaceResponse>,
+        t: Seconds,
+    ) -> Complex {
+        let paths = self.paths_with(surface);
+        self.link.project_onto(&paths, surface, &self.link.rx, t)
+    }
+
+    /// Received power in dBm at `t = 0`.
+    pub fn received_dbm_with(&self, surface: Option<&SurfaceResponse>) -> Dbm {
+        Watts(
+            self.received_amplitude_with(surface, Seconds(0.0))
+                .norm_sqr(),
+        )
+        .to_dbm()
+    }
+
+    /// Per-receiver powers for several mounts sharing this link's
+    /// geometry — one path build, N polarization projections.
+    pub fn received_dbm_for(
+        &self,
+        surface: Option<&SurfaceResponse>,
+        receivers: &[OrientedAntenna],
+    ) -> Vec<Dbm> {
+        let paths = self.paths_with(surface);
+        receivers
+            .iter()
+            .map(|rx| {
+                Watts(
+                    self.link
+                        .project_onto(&paths, surface, rx, Seconds(0.0))
+                        .norm_sqr(),
+                )
+                .to_dbm()
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +391,7 @@ mod tests {
             deployment: Deployment::transmissive_cm(36.0),
             environment: Environment::anechoic(),
             extra_paths: Vec::new(),
+            tuning: LinkTuning::default(),
         }
     }
 
@@ -294,6 +479,108 @@ mod tests {
         assert_eq!(series.len(), 10);
         let first = series[0].1 .0;
         assert!(series.iter().all(|(_, p)| (p.0 - first).abs() < 1e-9));
+    }
+
+    #[test]
+    fn batched_receivers_match_per_receiver_links() {
+        // Mixed omni/directional mounts in a multipath room: the batched
+        // projection must agree with N independent link evaluations.
+        let mut link = base_link(90.0);
+        link.environment = Environment::laboratory(5);
+        let surface = Metasurface::llama();
+        let response = surface.response(link.frequency);
+        let receivers = vec![
+            OrientedAntenna::new(Antenna::directional_panel(), Degrees(0.0)),
+            OrientedAntenna::new(Antenna::directional_panel(), Degrees(55.0)),
+            OrientedAntenna::new(Antenna::omni_6dbi(), Degrees(120.0)),
+        ];
+        let batched = link.received_dbm_for(Some(&response), &receivers);
+        for (rx, got) in receivers.iter().zip(&batched) {
+            let mut solo = link.clone();
+            solo.rx = rx.clone();
+            let want = solo.received_dbm_with(Some(&response)).0;
+            assert!(
+                (got.0 - want).abs() < 1e-12,
+                "{}: batched {} vs solo {}",
+                rx.orientation.0,
+                got.0,
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_link_matches_fresh_link() {
+        let mut link = base_link(35.0);
+        link.environment = Environment::laboratory(9);
+        let surface = Metasurface::llama();
+        let response = surface.response(link.frequency);
+        let prepared = PreparedLink::new(link.clone());
+        assert!(
+            (prepared.received_dbm_with(Some(&response)).0
+                - link.received_dbm_with(Some(&response)).0)
+                .abs()
+                < 1e-12
+        );
+        assert!(
+            (prepared.received_dbm_with(None).0 - link.received_dbm_with(None).0).abs() < 1e-12
+        );
+        let rxs = vec![link.rx.clone(), link.tx.clone()];
+        let a = prepared.received_dbm_for(Some(&response), &rxs);
+        let b = link.received_dbm_for(Some(&response), &rxs);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.0 - y.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn default_tuning_is_identity() {
+        let link = base_link(90.0);
+        let mut tuned = link.clone();
+        tuned.tuning = LinkTuning::default();
+        let surface = Metasurface::llama();
+        let response = surface.response(link.frequency);
+        assert_eq!(
+            link.received_dbm_with(Some(&response)).0,
+            tuned.received_dbm_with(Some(&response)).0
+        );
+    }
+
+    #[test]
+    fn excess_loss_attenuates_surface_paths_only() {
+        let mut link = base_link(90.0);
+        let surface = Metasurface::llama();
+        let response = surface.response(link.frequency);
+        let base = link.received_dbm_with(Some(&response)).0;
+        let free = link.received_dbm_with(None).0;
+        link.tuning.surface_excess_loss_db = 3.0;
+        let lossy = link.received_dbm_with(Some(&response)).0;
+        // The dominant path crosses once: ≈3 dB down (bounce crosses
+        // twice, nudging the exact figure).
+        assert!(
+            (base - lossy - 3.0).abs() < 1.0,
+            "excess loss moved power by {:.2} dB",
+            base - lossy
+        );
+        // No surface, no effect.
+        assert_eq!(free, link.received_dbm_with(None).0);
+    }
+
+    #[test]
+    fn extra_shadow_darkens_near_axis_scatter() {
+        let mut link = base_link(90.0);
+        link.tx = OrientedAntenna::new(Antenna::omni_6dbi(), Degrees(90.0));
+        link.rx = OrientedAntenna::new(Antenna::omni_6dbi(), Degrees(0.0));
+        link.environment = Environment::laboratory(3);
+        let surface = Metasurface::llama();
+        let response = surface.response(link.frequency);
+        let base = link.received_dbm_with(Some(&response)).0;
+        link.tuning.shadow_extra_db = 20.0;
+        let shadowed = link.received_dbm_with(Some(&response)).0;
+        assert!(
+            (shadowed - base).abs() > 0.05,
+            "shadow knob must move an omni multipath link: {base:.2} vs {shadowed:.2}"
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod complex;
 pub mod interp;
 pub mod jones;
 pub mod matrix;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod stokes;

@@ -1,0 +1,77 @@
+//! Minimal scoped-thread fan-out shared by the batched engines.
+//!
+//! The surface-response grid, the bias-batch evaluator and the fleet
+//! probe matrix all need the same shape of parallelism: fill a slice by
+//! index with a pure function, chunked across a handful of scoped
+//! threads, no external dependencies. One helper keeps the chunk
+//! arithmetic (and its edge cases) in a single place.
+
+/// Fills `out[i] = f(i)` for every index, fanning contiguous chunks out
+/// across up to `threads` scoped workers. `threads <= 1` (or a slice
+/// shorter than the worker count) runs serially on the calling thread —
+/// callers decide their own "worth spawning for" threshold by passing
+/// `1`. `f` must be pure: the call order across chunks is unspecified.
+pub fn par_fill<T, F>(out: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n = out.len();
+    let threads = threads.min(n);
+    if threads <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    let per = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_idx, chunk) in out.chunks_mut(per).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    *slot = f(chunk_idx * per + j);
+                }
+            });
+        }
+    });
+}
+
+/// The machine's available parallelism (1 when undetectable) — the
+/// conventional `threads` argument for [`par_fill`].
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial_for_uneven_chunks() {
+        // 3 workers over 20 items: chunks of 7, 7, 6 — exercises the
+        // remainder chunk.
+        let mut serial = vec![0usize; 20];
+        let mut parallel = vec![0usize; 20];
+        par_fill(&mut serial, 1, |i| i * i + 1);
+        par_fill(&mut parallel, 3, |i| i * i + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn worker_count_clamps_to_len() {
+        let mut out = vec![0u8; 2];
+        par_fill(&mut out, 64, |i| i as u8);
+        assert_eq!(out, vec![0, 1]);
+        let mut empty: Vec<u8> = Vec::new();
+        par_fill(&mut empty, 8, |_| unreachable!("no items"));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

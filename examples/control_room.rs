@@ -97,5 +97,11 @@ fn describe(event: &Event) -> String {
                 p.vx.0, p.vy.0
             )
         }
+        Event::ReportRejected(p) => {
+            format!(
+                "corrupt report rejected at Vx={:.1} Vy={:.1}; will retry",
+                p.vx.0, p.vy.0
+            )
+        }
     }
 }
