@@ -1,0 +1,87 @@
+//! Panel-array benches: the 4-panel, 32-device probe grids (shared plan
+//! caches vs the naive per-panel loops), the end-to-end panel scheduler
+//! against single-panel `MaxMin`, and the many-fleet server against
+//! serial execution (the PR-4 acceptance numbers).
+
+use control::server::FleetServer;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use llama_core::fleet::{Fleet, Scheduler};
+use llama_core::panels::{serve_fleets, Assignment, PanelArray, PanelScheduler};
+use metasurface::stack::BiasState;
+use std::time::Duration;
+
+fn probe_grid() -> Vec<BiasState> {
+    let mut biases = Vec::new();
+    for ix in 0..7 {
+        for iy in 0..7 {
+            biases.push(BiasState::new(
+                30.0 * ix as f64 / 6.0,
+                30.0 * iy as f64 / 6.0,
+            ));
+        }
+    }
+    biases
+}
+
+fn panel_4x32_probe_grid(c: &mut Criterion) {
+    let fleet = Fleet::mixed_wifi_ble(32, 2021);
+    let array = PanelArray::uniform(fleet.design.clone(), 4);
+    let assignment = array.assign(&fleet, &Assignment::ByOrientation);
+    let biases = probe_grid();
+    let mut g = c.benchmark_group("panel_4x32_probe_grid");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(10));
+    g.sample_size(10);
+    g.bench_function("naive_per_panel", |b| {
+        b.iter(|| array.naive_panel_matrices(&fleet, &assignment, black_box(&biases)))
+    });
+    g.bench_function("shared_plan_cache", |b| {
+        // Cold cost included: the panel scheduler compiles the shared
+        // caches once per run, so the timed region does too.
+        b.iter(|| array.batched_panel_matrices(&fleet, &assignment, black_box(&biases)))
+    });
+    g.finish();
+}
+
+fn panel_4x32_scheduler(c: &mut Criterion) {
+    let fleet = Fleet::mixed_wifi_ble(32, 2021);
+    let array = PanelArray::uniform(fleet.design.clone(), 4);
+    let mut g = c.benchmark_group("panel_4x32_scheduler");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(8));
+    g.sample_size(10);
+    g.bench_function("panel_max_min", |b| {
+        b.iter(|| PanelScheduler::max_min().run(&fleet, &array))
+    });
+    g.bench_function("single_panel_max_min", |b| {
+        b.iter(|| Scheduler::max_min().run(&fleet))
+    });
+    g.finish();
+}
+
+fn server_8_fleets(c: &mut Criterion) {
+    let fleets: Vec<Fleet> = (0..8u64)
+        .map(|s| Fleet::mixed_wifi_ble(8, 3000 + s))
+        .collect();
+    let scheduler = Scheduler::max_min();
+    let server = FleetServer::new(rfmath::par::available_threads().min(8));
+    let mut g = c.benchmark_group("server_8_fleets");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(8));
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        b.iter(|| fleets.iter().map(|f| scheduler.run(f)).collect::<Vec<_>>())
+    });
+    g.bench_function("concurrent", |b| {
+        b.iter(|| serve_fleets(&server, &scheduler, black_box(&fleets)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    panel_4x32_probe_grid,
+    panel_4x32_scheduler,
+    server_8_fleets
+);
+criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! expts fig16 alg1                    # run a selection
 //! expts --bench-json [path] [--quick] # time the engine, write a JSON summary
 //! expts --fleet [path] [--quick]      # time the fleet engine, write BENCH_PR3-style JSON
+//! expts --panels [path] [--quick]     # time the panel array + many-fleet server (BENCH_PR4)
 //! expts --calibrate-fig20 [samples]   # sweep link calibration knobs vs the paper's 10 dB gap
 //! ```
 //!
@@ -27,7 +28,8 @@ fn main() -> ExitCode {
     if args.is_empty() {
         eprintln!(
             "usage: expts <id>... | all | --bench-json [path] [--quick] \
-             | --fleet [path] [--quick] | --calibrate-fig20 [samples]"
+             | --fleet [path] [--quick] | --panels [path] [--quick] \
+             | --calibrate-fig20 [samples]"
         );
         eprintln!("experiments: {}", llama_bench::ALL_IDS.join(", "));
         return ExitCode::SUCCESS;
@@ -54,6 +56,44 @@ fn main() -> ExitCode {
             llama_bench::calibrate::report(llama_bench::SEED, samples)
         );
         return ExitCode::SUCCESS;
+    }
+
+    if args.iter().any(|a| a == "--panels") {
+        let quick = args.iter().any(|a| a == "--quick");
+        let extras: Vec<&String> = args
+            .iter()
+            .filter(|a| *a != "--panels" && *a != "--quick")
+            .collect();
+        if extras.len() > 1 || extras.iter().any(|a| a.starts_with("--")) {
+            eprintln!(
+                "error: --panels takes at most one output path; got: {}",
+                extras
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            return ExitCode::FAILURE;
+        }
+        let path = extras
+            .first()
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "target/panel-report.json".to_string());
+        let report = llama_bench::perf::run_panels(quick);
+        print!("{}", report.summary());
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+        return if report.passes() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "error: panel engine below the speedup floor or no min-power gain — regression"
+            );
+            ExitCode::FAILURE
+        };
     }
 
     if args.iter().any(|a| a == "--fleet") {

@@ -39,9 +39,12 @@ impl CalibrationPoint {
 }
 
 /// Runs the grid sweep with `samples` RSSI draws per distribution and
-/// returns every point, best fit first.
+/// returns every point, best fit first. The loss axis extends below
+/// −2 dB (the PR 3 sweep hit its best fits at the old −2 dB edge, so
+/// the boundary itself was suspect — the optimum could have been
+/// outside the grid).
 pub fn sweep(seed: u64, samples: usize) -> Vec<CalibrationPoint> {
-    let losses = [-2.0, -1.0, 0.0, 1.0];
+    let losses = [-4.0, -3.0, -2.0, -1.0, 0.0, 1.0];
     let xpds = [None, Some(8.0), Some(14.0), Some(20.0)];
     let shadows = [0.0, 6.0, 12.0];
     let mut points = Vec::new();
@@ -141,6 +144,7 @@ mod tests {
         for w in p.windows(2) {
             assert!(w[0].error_db() <= w[1].error_db() + 1e-12);
         }
-        assert_eq!(p.len(), 4 * 4 * 3);
+        // 6 losses (extended below −2 dB) × 4 XPDs × 3 shadows.
+        assert_eq!(p.len(), 6 * 4 * 3);
     }
 }

@@ -10,7 +10,9 @@
 
 use std::time::Instant;
 
+use control::server::FleetServer;
 use llama_core::fleet::{Fleet, FleetEvaluator, Scheduler};
+use llama_core::panels::{serve_fleets, PanelArray, PanelScheduler};
 use llama_core::scenario::Scenario;
 use llama_core::system::LlamaSystem;
 use metasurface::designs::fr4_optimized;
@@ -333,9 +335,234 @@ pub fn run_fleet(quick: bool) -> FleetPerfReport {
     }
 }
 
+/// Minimum batched-vs-naive speedup on the 4-panel probe grids before
+/// [`PanelPerfReport::passes`] fails (the PR-4 CI bar).
+const PANEL_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Panels in the reference array.
+const PANEL_COUNT: usize = 4;
+
+/// Concurrent fleets the server workload multiplexes.
+const SERVER_FLEETS: usize = 8;
+
+/// Timing summary of the panel-array engine and the many-fleet server
+/// (`BENCH_PR4.json`).
+#[derive(Clone, Debug)]
+pub struct PanelPerfReport {
+    /// Whether the run used the reduced quick-mode sample budget.
+    pub quick: bool,
+    /// Individual workload timings.
+    pub samples: Vec<BenchSample>,
+    /// Naive / batched best-of-N time ratio on the 4-panel probe grids
+    /// (shared plan caches + per-panel batch path vs per-device loops).
+    pub panel_grid_speedup: f64,
+    /// Min-device power gain of the 4-panel scheduler over single-panel
+    /// `MaxMin` on the 32-device mixed fleet, dB (the acceptance gate:
+    /// must be strictly positive).
+    pub panel_min_power_gain_db: f64,
+    /// Serial / concurrent wall-clock ratio serving [`SERVER_FLEETS`]
+    /// fleets through the [`FleetServer`] worker pool (informational —
+    /// single-core CI runners cannot beat 1×).
+    pub server_concurrency_speedup: f64,
+}
+
+impl PanelPerfReport {
+    /// True when the panel engine clears the regression floor *and* the
+    /// panel array still strictly lifts the shared-bias min power.
+    pub fn passes(&self) -> bool {
+        self.panel_grid_speedup >= PANEL_SPEEDUP_FLOOR && self.panel_min_power_gain_db > 0.0
+    }
+
+    /// Renders the report as a JSON document (hand-assembled; no
+    /// external dependencies).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"pr\": 4,\n");
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str(&format!("  \"panels\": {PANEL_COUNT},\n"));
+        out.push_str(&format!("  \"fleet_devices\": {FLEET_SIZE},\n"));
+        out.push_str(&format!("  \"server_fleets\": {SERVER_FLEETS},\n"));
+        out.push_str("  \"benches\": [\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            let comma = if i + 1 < self.samples.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"mean_ms\": {:.6}, \"iters\": {}}}{comma}\n",
+                s.name, s.mean_ms, s.iters
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"panel_grid_speedup\": {:.2},\n",
+            self.panel_grid_speedup
+        ));
+        out.push_str(&format!(
+            "  \"panel_min_power_gain_db\": {:.3},\n",
+            self.panel_min_power_gain_db
+        ));
+        out.push_str(&format!(
+            "  \"server_concurrency_speedup\": {:.2},\n",
+            self.server_concurrency_speedup
+        ));
+        out.push_str(&format!(
+            "  \"speedup_floor\": {PANEL_SPEEDUP_FLOOR:.1},\n  \"pass\": {}\n}}\n",
+            self.passes()
+        ));
+        out
+    }
+
+    /// One-line console summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::from("== Panel-array / many-fleet server perf summary\n");
+        for s in &self.samples {
+            out.push_str(&format!("{:>38}: {:>10.3} ms/iter\n", s.name, s.mean_ms));
+        }
+        out.push_str(&format!(
+            "{:>38}: {:>10.1} x (floor {PANEL_SPEEDUP_FLOOR:.1})\n",
+            "4-panel grid speedup", self.panel_grid_speedup
+        ));
+        out.push_str(&format!(
+            "{:>38}: {:>10.2} dB (must be > 0)\n",
+            "panel min-power gain vs shared", self.panel_min_power_gain_db
+        ));
+        out.push_str(&format!(
+            "{:>38}: {:>10.1} x (pass: {})\n",
+            "8-fleet server concurrency",
+            self.server_concurrency_speedup,
+            self.passes()
+        ));
+        out
+    }
+}
+
+/// Times the 4-panel, 32-device workloads: per-panel probe grids on the
+/// shared-plan batch path (one [`metasurface::PlanCache`] across the
+/// array) against the naive per-device loops, the end-to-end panel
+/// scheduler against single-panel `MaxMin` (recording the min-power
+/// gain the panels buy), and the [`FleetServer`] multiplexing
+/// [`SERVER_FLEETS`] fleets against serial execution.
+pub fn run_panels(quick: bool) -> PanelPerfReport {
+    let fleet = Fleet::mixed_wifi_ble(FLEET_SIZE, 2021);
+    let array = PanelArray::uniform(fleet.design.clone(), PANEL_COUNT);
+    let assignment = array.assign(&fleet, &llama_core::panels::Assignment::ByOrientation);
+    // The probe load of one Algorithm-1 scheduler run: 2 × 5×5 grids.
+    let biases: Vec<BiasState> = {
+        let mut b = Vec::new();
+        for round in 0..2 {
+            for ix in 0..5 {
+                for iy in 0..5 {
+                    let span = if round == 0 { 30.0 } else { 12.0 };
+                    let base = if round == 0 { 0.0 } else { 9.0 };
+                    b.push(BiasState::new(
+                        base + span * ix as f64 / 4.0,
+                        base + span * iy as f64 / 4.0,
+                    ));
+                }
+            }
+        }
+        b
+    };
+    let (grid_iters, sched_iters, serve_iters) = if quick { (4, 2, 2) } else { (10, 4, 4) };
+    let mut samples = Vec::new();
+
+    let (naive_mean, naive_min) = time_ms(grid_iters, || {
+        array.naive_panel_matrices(&fleet, &assignment, &biases)
+    });
+    samples.push(BenchSample {
+        name: "panel_4x32_probe_grid_naive",
+        mean_ms: naive_mean,
+        iters: grid_iters,
+    });
+    let (batched_mean, batched_min) = time_ms(grid_iters, || {
+        // Cold cost included: plan caches compile inside the timed
+        // region, exactly as the scheduler pays them.
+        array.batched_panel_matrices(&fleet, &assignment, &biases)
+    });
+    samples.push(BenchSample {
+        name: "panel_4x32_probe_grid_shared_plan",
+        mean_ms: batched_mean,
+        iters: grid_iters,
+    });
+
+    let (panel_sched_ms, _) = time_ms(sched_iters, || {
+        PanelScheduler::max_min().run(&fleet, &array)
+    });
+    samples.push(BenchSample {
+        name: "panel_4x32_scheduler_max_min",
+        mean_ms: panel_sched_ms,
+        iters: sched_iters,
+    });
+    let panel_outcome = PanelScheduler::max_min().run(&fleet, &array);
+    let shared_outcome = Scheduler::max_min().run(&fleet);
+    let panel_min_power_gain_db = panel_outcome.min_power_dbm() - shared_outcome.min_power_dbm();
+
+    // Many-fleet serving: SERVER_FLEETS independent fleets through the
+    // bounded-queue worker pool vs a serial loop.
+    let fleets: Vec<Fleet> = (0..SERVER_FLEETS as u64)
+        .map(|s| Fleet::mixed_wifi_ble(8, 3000 + s))
+        .collect();
+    let scheduler = Scheduler::max_min();
+    let (serial_mean, serial_min) = time_ms(serve_iters, || {
+        fleets.iter().map(|f| scheduler.run(f)).collect::<Vec<_>>()
+    });
+    samples.push(BenchSample {
+        name: "server_8_fleets_serial",
+        mean_ms: serial_mean,
+        iters: serve_iters,
+    });
+    let server = FleetServer::new(rfmath::par::available_threads().min(SERVER_FLEETS));
+    let (served_mean, served_min) =
+        time_ms(serve_iters, || serve_fleets(&server, &scheduler, &fleets));
+    samples.push(BenchSample {
+        name: "server_8_fleets_concurrent",
+        mean_ms: served_mean,
+        iters: serve_iters,
+    });
+
+    PanelPerfReport {
+        quick,
+        samples,
+        panel_grid_speedup: naive_min / batched_min.max(1e-12),
+        panel_min_power_gain_db,
+        server_concurrency_speedup: serial_min / served_min.max(1e-12),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn panel_report_serializes_and_gates_on_both_axes() {
+        let report = PanelPerfReport {
+            quick: true,
+            samples: vec![BenchSample {
+                name: "z",
+                mean_ms: 1.0,
+                iters: 2,
+            }],
+            panel_grid_speedup: 3.0,
+            panel_min_power_gain_db: 2.5,
+            server_concurrency_speedup: 1.8,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"pr\": 4"));
+        assert!(json.contains("\"panel_grid_speedup\": 3.00"));
+        assert!(json.contains("\"panel_min_power_gain_db\": 2.500"));
+        assert!(json.contains("\"pass\": true"));
+        assert!(report.passes());
+        // Either axis failing fails the smoke: a fast-but-worse panel
+        // path is as much a regression as a slow one.
+        let slow = PanelPerfReport {
+            panel_grid_speedup: 1.5,
+            ..report.clone()
+        };
+        assert!(!slow.passes());
+        let worse = PanelPerfReport {
+            panel_min_power_gain_db: -0.3,
+            ..report
+        };
+        assert!(!worse.passes());
+    }
 
     #[test]
     fn fleet_report_serializes_and_summarizes() {

@@ -102,6 +102,28 @@ impl Objective {
             }
         }
     }
+
+    /// Scores a whole [`FleetReport`] under this objective, applying the
+    /// full admission rule the controller enforces: the vector must be
+    /// non-empty and finite, scoreable by the objective, *and* match the
+    /// expected arity when one is given. `None` means the report must be
+    /// rejected (treated like a lost packet and retried) — the exact
+    /// corrupt-report rule [`Controller::step_fleet`] applies, exposed so
+    /// other report consumers ([`crate::server::FleetServer`] ingest
+    /// paths) inherit it instead of re-deriving it.
+    pub fn score_report(
+        &self,
+        expected_devices: Option<usize>,
+        report: &FleetReport,
+    ) -> Option<f64> {
+        let arity_ok = expected_devices
+            .map(|n| report.powers_dbm.len() == n)
+            .unwrap_or(true);
+        if !arity_ok {
+            return None;
+        }
+        self.score(&report.powers_dbm)
+    }
 }
 
 /// Events the controller emits for logging/diagnosis.
@@ -251,15 +273,7 @@ impl Controller {
             if rep.at.0 >= applied_at.0 + psu.settling.0 && next > 0 {
                 let probe_idx = next - 1;
                 if self.scores[probe_idx].is_none() {
-                    let arity_ok = self
-                        .expected_devices
-                        .map(|n| rep.powers_dbm.len() == n)
-                        .unwrap_or(true);
-                    let score = if arity_ok {
-                        self.objective.score(&rep.powers_dbm)
-                    } else {
-                        None
-                    };
+                    let score = self.objective.score_report(self.expected_devices, &rep);
                     match score {
                         Some(score) => {
                             self.scores[probe_idx] = Some(score);

@@ -13,7 +13,11 @@
 //! * [`estimator`] — the §3.4 turntable procedure measuring how many
 //!   degrees the surface actually rotated the wave;
 //! * [`controller`] — the centralized state machine that ties it all
-//!   together, with report-loss recovery and an audit log.
+//!   together, with report-loss recovery and an audit log;
+//! * [`server`] — the async many-fleet front: a bounded task queue and
+//!   scoped worker pool multiplexing many per-fleet optimizations under
+//!   one controller process, with the controller's corrupt-report
+//!   admission rule.
 //!
 //! ```
 //! use control::sweep::{coarse_to_fine, SweepConfig};
@@ -34,11 +38,13 @@ pub mod controller;
 pub mod estimator;
 pub mod psu;
 pub mod scpi;
+pub mod server;
 pub mod sweep;
 pub mod sync;
 
 pub use controller::{Controller, Event, Phase, PowerReport};
 pub use estimator::{estimate_rotation, RotationEstimate, RotationRig};
 pub use psu::{PowerSupply, Reply};
+pub use server::{FleetServer, ServeStats};
 pub use sweep::{coarse_to_fine, Probe, SweepConfig, SweepOutcome};
 pub use sync::{estimate_offset, label_samples, BiasSchedule};

@@ -1,0 +1,412 @@
+//! Async many-fleet serving: one controller process, many fleets.
+//!
+//! The paper's controller drives *one* optimization at a time; ROADMAP's
+//! fleet-serving item asks for the next scaling lever — a controller that
+//! multiplexes many fleets (each its own device population behind its
+//! own panel array) concurrently. [`FleetServer`] is that event loop,
+//! built from the same primitives as the rest of the workspace:
+//!
+//! * a **bounded task queue** (mutex + condvars, no external channel or
+//!   async runtime) that applies backpressure to the submitting side
+//!   when every worker is busy and the queue is full;
+//! * **`std::thread::scope` workers** (like `rfmath::par`) that pull
+//!   jobs and run a caller-supplied handler — the handler is where a
+//!   typed front (e.g. `llama_core`'s scheduler) plugs in a per-fleet
+//!   optimization;
+//! * **corrupt-report rejection inherited from [`Controller`]**: report
+//!   ingest funnels through [`Objective::score_report`], the exact
+//!   admission rule [`Controller::step_fleet`] applies, so a server-side
+//!   consumer can never score a report the event-stepped controller
+//!   would have rejected.
+//!
+//! Results come back in submission order and are bit-identical to
+//! running the handler serially — workers share nothing but the queue,
+//! so concurrency is purely an elapsed-time optimization.
+//!
+//! ```
+//! use control::server::FleetServer;
+//!
+//! let server = FleetServer::new(4);
+//! let squares = server.serve((0..16u64).collect(), |_, n| n * n);
+//! assert_eq!(squares[5], 25);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::controller::{FleetReport, Objective};
+
+#[allow(unused_imports)] // rustdoc link target
+use crate::controller::Controller;
+
+/// A bounded multi-producer/multi-consumer job queue: `push` blocks when
+/// `capacity` jobs are waiting, `pop` blocks until a job arrives or the
+/// queue is closed and drained.
+struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+struct QueueState<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+    peak_depth: usize,
+    /// Workers still able to drain the queue. A panicking handler
+    /// unwinds its worker, which decrements this on the way out; `push`
+    /// stops blocking once it hits zero so a full queue with no
+    /// consumers left cannot deadlock the submitting thread (the panic
+    /// then propagates normally through `std::thread::scope`).
+    workers_alive: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(workers: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+                peak_depth: 0,
+                workers_alive: workers,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one job, blocking while the queue holds `capacity` jobs.
+    /// Returns `false` — without enqueueing — once every worker has
+    /// exited (a panicked handler): nothing can drain the queue, so the
+    /// submitter must stop feeding and let the scope join propagate the
+    /// panic.
+    fn push(&self, capacity: usize, job: T) -> bool {
+        let mut state = self.state.lock().expect("queue poisoned");
+        while state.jobs.len() >= capacity && state.workers_alive > 0 {
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+        if state.workers_alive == 0 {
+            return false;
+        }
+        state.jobs.push_back(job);
+        state.peak_depth = state.peak_depth.max(state.jobs.len());
+        drop(state);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Records one worker's exit (normal or unwinding) and wakes a
+    /// possibly-blocked submitter. Tolerates a poisoned mutex — this
+    /// runs during panic unwinding.
+    fn worker_exited(&self) {
+        let mut state = match self.state.lock() {
+            Ok(state) => state,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.workers_alive -= 1;
+        drop(state);
+        self.not_full.notify_all();
+    }
+
+    /// Dequeues one job; `None` once the queue is closed and drained.
+    fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Marks the queue closed and wakes every waiting worker.
+    fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    fn peak_depth(&self) -> usize {
+        self.state.lock().expect("queue poisoned").peak_depth
+    }
+}
+
+/// Telemetry of one [`FleetServer::serve`] run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeStats {
+    /// Jobs completed (always the submission count — the server never
+    /// drops work).
+    pub completed: usize,
+    /// Deepest the bounded queue got; never exceeds the configured
+    /// capacity (the backpressure contract).
+    pub peak_queue_depth: usize,
+    /// Workers that ran at least one job.
+    pub workers_used: usize,
+}
+
+/// The async many-fleet controller front: a fixed worker pool pulling
+/// per-fleet jobs off a bounded queue.
+///
+/// `FleetServer` is deliberately generic over the job type — the control
+/// crate sits *below* the fleet model, so the typed integration
+/// (`Fleet` in, `FleetOutcome` out) lives with the fleet types and plugs
+/// in through the handler closure. What the server owns is the
+/// scheduling contract: bounded admission, deterministic submission-order
+/// results, and the shared report-admission rule.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetServer {
+    /// Worker threads pulling from the queue (≥ 1).
+    pub workers: usize,
+    /// Bounded queue capacity; submission blocks beyond this depth.
+    pub queue_capacity: usize,
+}
+
+impl FleetServer {
+    /// A server with `workers` threads and a queue twice as deep (a
+    /// worker finishing always finds the next job staged).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        Self {
+            workers,
+            queue_capacity: 2 * workers,
+        }
+    }
+
+    /// Runs every job through `handler` on the worker pool and returns
+    /// the results in submission order, plus run telemetry. The handler
+    /// receives `(submission index, job)` and must be pure per job —
+    /// jobs run concurrently in unspecified order.
+    pub fn serve_with_stats<J, R>(
+        &self,
+        jobs: Vec<J>,
+        handler: impl Fn(usize, J) -> R + Sync,
+    ) -> (Vec<R>, ServeStats)
+    where
+        J: Send,
+        R: Send,
+    {
+        let n = jobs.len();
+        let capacity = self.queue_capacity.max(1);
+        let workers = self.workers.max(1).min(n.max(1));
+        let queue: BoundedQueue<(usize, J)> = BoundedQueue::new(workers);
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let used = Mutex::new(0usize);
+
+        /// Decrements the live-worker count when its worker exits —
+        /// including by unwinding out of a panicked handler, so a
+        /// blocked submitter always wakes up instead of deadlocking.
+        struct WorkerExitGuard<'q, T>(&'q BoundedQueue<T>);
+        impl<T> Drop for WorkerExitGuard<'_, T> {
+            fn drop(&mut self) {
+                self.0.worker_exited();
+            }
+        }
+
+        std::thread::scope(|scope| {
+            let queue = &queue;
+            let results = &results;
+            let handler = &handler;
+            let used = &used;
+            for _ in 0..workers {
+                scope.spawn(move || {
+                    let _guard = WorkerExitGuard(queue);
+                    let mut ran_any = false;
+                    while let Some((idx, job)) = queue.pop() {
+                        ran_any = true;
+                        let out = handler(idx, job);
+                        *results[idx].lock().expect("result poisoned") = Some(out);
+                    }
+                    if ran_any {
+                        *used.lock().expect("counter poisoned") += 1;
+                    }
+                });
+            }
+            // The submitting side is this thread: feed jobs through the
+            // bounded queue (blocking when it is full — backpressure),
+            // then close it so idle workers drain out. A `false` push
+            // means every worker died (panicked handler): stop feeding
+            // and let the scope join re-raise the panic.
+            for (idx, job) in jobs.into_iter().enumerate() {
+                if !queue.push(capacity, (idx, job)) {
+                    break;
+                }
+            }
+            queue.close();
+        });
+
+        let stats = ServeStats {
+            completed: n,
+            peak_queue_depth: queue.peak_depth(),
+            workers_used: *used.lock().expect("counter poisoned"),
+        };
+        let out = results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result poisoned")
+                    .expect("every job completes")
+            })
+            .collect();
+        (out, stats)
+    }
+
+    /// [`FleetServer::serve_with_stats`] without the telemetry.
+    pub fn serve<J, R>(&self, jobs: Vec<J>, handler: impl Fn(usize, J) -> R + Sync) -> Vec<R>
+    where
+        J: Send,
+        R: Send,
+    {
+        self.serve_with_stats(jobs, handler).0
+    }
+
+    /// Splits a batch of incoming per-fleet reports into scored
+    /// admissions and rejections, applying [`Controller`]'s exact
+    /// corrupt-report rule ([`Objective::score_report`]): empty or
+    /// non-finite readings and wrong-arity vectors are rejected, never
+    /// scored. Returns `(scored, rejected)` with submission indices
+    /// preserved, so a server-side consumer can retry rejects the same
+    /// way the event-stepped controller retries a lost probe.
+    pub fn admit_reports(
+        objective: &Objective,
+        expected_devices: Option<usize>,
+        reports: &[FleetReport],
+    ) -> (Vec<(usize, f64)>, Vec<usize>) {
+        let mut scored = Vec::new();
+        let mut rejected = Vec::new();
+        for (i, report) in reports.iter().enumerate() {
+            match objective.score_report(expected_devices, report) {
+                Some(score) => scored.push((i, score)),
+                None => rejected.push(i),
+            }
+        }
+        (scored, rejected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfmath::units::Seconds;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let server = FleetServer::new(3);
+        let jobs: Vec<u64> = (0..40).collect();
+        let (out, stats) = server.serve_with_stats(jobs, |idx, n| {
+            // Stagger completion so out-of-order finishes are likely.
+            std::thread::sleep(std::time::Duration::from_micros(((n * 7) % 11) * 50));
+            (idx, n * n)
+        });
+        assert_eq!(out.len(), 40);
+        for (i, (idx, sq)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*sq, (i as u64) * (i as u64));
+        }
+        assert_eq!(stats.completed, 40);
+    }
+
+    #[test]
+    fn concurrent_results_match_serial_execution() {
+        let work = |_: usize, seed: u64| {
+            // A deterministic "optimization": xorshift walk.
+            let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            for _ in 0..1000 {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+            }
+            s
+        };
+        let jobs: Vec<u64> = (0..16).collect();
+        let serial: Vec<u64> = jobs.iter().map(|&j| work(0, j)).collect();
+        let parallel = FleetServer::new(4).serve(jobs, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn queue_depth_respects_the_bound() {
+        let mut server = FleetServer::new(2);
+        server.queue_capacity = 3;
+        let (_, stats) = server.serve_with_stats((0..50u64).collect(), |_, n| {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            n
+        });
+        assert!(
+            stats.peak_queue_depth <= 3,
+            "bounded queue overflowed: depth {}",
+            stats.peak_queue_depth
+        );
+        assert_eq!(stats.completed, 50);
+    }
+
+    #[test]
+    fn more_jobs_than_workers_all_complete() {
+        let server = FleetServer::new(2);
+        let (out, stats) = server.serve_with_stats((0..100u64).collect(), |_, n| n + 1);
+        assert_eq!(out, (1..=100).collect::<Vec<u64>>());
+        assert!(stats.workers_used >= 1 && stats.workers_used <= 2);
+    }
+
+    #[test]
+    fn panicking_handler_propagates_instead_of_hanging() {
+        // One worker, tiny queue, many jobs: the handler panic kills the
+        // only consumer while the submitter is still feeding. The exit
+        // guard must wake the submitter so the scope join re-raises the
+        // panic — before the fix this deadlocked in `push`.
+        let mut server = FleetServer::new(1);
+        server.queue_capacity = 2;
+        let result = std::panic::catch_unwind(|| {
+            server.serve((0..10u64).collect(), |_, n| {
+                if n == 1 {
+                    panic!("handler died");
+                }
+                n
+            })
+        });
+        assert!(result.is_err(), "the worker panic must propagate");
+    }
+
+    #[test]
+    fn empty_job_list_is_a_clean_no_op() {
+        let server = FleetServer::new(4);
+        let (out, stats) = server.serve_with_stats(Vec::<u64>::new(), |_, n| n);
+        assert!(out.is_empty());
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.peak_queue_depth, 0);
+    }
+
+    #[test]
+    fn report_admission_matches_the_controller_rule() {
+        let reports = vec![
+            FleetReport {
+                at: Seconds(0.0),
+                powers_dbm: vec![-40.0, -52.0],
+            },
+            FleetReport {
+                at: Seconds(0.1),
+                powers_dbm: vec![f64::NAN, -50.0],
+            },
+            FleetReport {
+                at: Seconds(0.2),
+                powers_dbm: vec![-45.0],
+            },
+            FleetReport {
+                at: Seconds(0.3),
+                powers_dbm: vec![],
+            },
+        ];
+        let (scored, rejected) =
+            FleetServer::admit_reports(&Objective::WorstLink, Some(2), &reports);
+        // Only the first report is finite *and* full-arity.
+        assert_eq!(scored, vec![(0, -52.0)]);
+        assert_eq!(rejected, vec![1, 2, 3]);
+        // Without an expected arity, the truncated report is scoreable —
+        // same as the controller with `expected_devices: None`.
+        let (scored, rejected) = FleetServer::admit_reports(&Objective::WorstLink, None, &reports);
+        assert_eq!(scored, vec![(0, -52.0), (2, -45.0)]);
+        assert_eq!(rejected, vec![1, 3]);
+    }
+}

@@ -50,6 +50,28 @@ pub struct DistributionPair {
 /// multipath re-randomizes many times within one distribution.
 const DISTRIBUTION_REALIZATIONS: usize = 16;
 
+/// Default histogram bin width of the Figure 2 distributions, dB —
+/// matches the 1 dB RSSI reporting quantum of the emulated radios.
+pub const FIG2_BIN_DB: f64 = 1.0;
+
+/// Default histogram bin width of the Figure 20 distribution, dB. Finer
+/// than the Figure 2 default so the reported with/without-surface mode
+/// gap is resolved below whole-dB steps wherever the readings allow
+/// (the ROADMAP Figure 20 open item; note the ESP8266 reader itself
+/// quantizes to integer dBm, which bounds what finer bins can recover —
+/// see the calibration findings in ROADMAP.md).
+pub const FIG20_BIN_DB: f64 = 0.5;
+
+/// An RSSI histogram over `[lo, hi)` with `bin_db`-wide bins.
+fn rssi_histogram(lo: f64, hi: f64, bin_db: f64) -> Histogram {
+    assert!(
+        bin_db > 0.0 && bin_db.is_finite(),
+        "bin width must be a positive number of dB"
+    );
+    let bins = (((hi - lo) / bin_db).round() as usize).max(1);
+    Histogram::new(lo, hi, bins)
+}
+
 /// Shared sampling loop of the distribution figures (2a, 2b, 20).
 ///
 /// Both conditions see the *same* room at each instant (the paper swaps
@@ -80,10 +102,15 @@ fn paired_distribution(
 
 /// Figure 2(a): Wi-Fi RSSI distributions, matched vs mismatched mounts.
 pub fn fig2a(seed: u64, samples: usize) -> DistributionPair {
+    fig2a_binned(seed, samples, FIG2_BIN_DB)
+}
+
+/// [`fig2a`] with an explicit histogram bin width (dB).
+pub fn fig2a_binned(seed: u64, samples: usize, bin_db: f64) -> DistributionPair {
     let split = SeedSplitter::new(seed);
     let mut station = WifiStation::esp8266(&split);
-    let mut hist_a = Histogram::new(-80.0, -20.0, 60);
-    let mut hist_b = Histogram::new(-80.0, -20.0, 60);
+    let mut hist_a = rssi_histogram(-80.0, -20.0, bin_db);
+    let mut hist_b = rssi_histogram(-80.0, -20.0, bin_db);
     paired_distribution(
         &split,
         "fig2a-room",
@@ -115,10 +142,15 @@ pub fn fig2a(seed: u64, samples: usize) -> DistributionPair {
 
 /// Figure 2(b): BLE RSSI distributions, matched vs mismatched mounts.
 pub fn fig2b(seed: u64, samples: usize) -> DistributionPair {
+    fig2b_binned(seed, samples, FIG2_BIN_DB)
+}
+
+/// [`fig2b`] with an explicit histogram bin width (dB).
+pub fn fig2b_binned(seed: u64, samples: usize, bin_db: f64) -> DistributionPair {
     let split = SeedSplitter::new(seed);
     let mut central = BleCentral::raspberry_pi3(&split);
-    let mut hist_a = Histogram::new(-100.0, -40.0, 60);
-    let mut hist_b = Histogram::new(-100.0, -40.0, 60);
+    let mut hist_a = rssi_histogram(-100.0, -40.0, bin_db);
+    let mut hist_b = rssi_histogram(-100.0, -40.0, bin_db);
     paired_distribution(
         &split,
         "fig2b-room",
@@ -561,16 +593,27 @@ pub fn fig20(seed: u64, samples: usize) -> DistributionPair {
 /// [`fig20`] under explicit link-model calibration knobs — the sweep
 /// surface behind `expts --calibrate-fig20`, which searches the
 /// (insertion-loss, scatter-XPD, shadow) space for the paper's ~10 dB
-/// with/without-surface mode gap.
+/// with/without-surface mode gap. Histograms use the Figure 20 default
+/// bin width ([`FIG20_BIN_DB`], 0.5 dB).
 pub fn fig20_calibrated(
     seed: u64,
     samples: usize,
     tuning: propagation::link::LinkTuning,
 ) -> DistributionPair {
+    fig20_binned(seed, samples, tuning, FIG20_BIN_DB)
+}
+
+/// [`fig20_calibrated`] with an explicit histogram bin width (dB).
+pub fn fig20_binned(
+    seed: u64,
+    samples: usize,
+    tuning: propagation::link::LinkTuning,
+    bin_db: f64,
+) -> DistributionPair {
     let split = SeedSplitter::new(seed);
     let mut station = WifiStation::esp8266(&split);
-    let mut hist_a = Histogram::new(-80.0, -20.0, 60);
-    let mut hist_b = Histogram::new(-80.0, -20.0, 60);
+    let mut hist_a = rssi_histogram(-80.0, -20.0, bin_db);
+    let mut hist_b = rssi_histogram(-80.0, -20.0, bin_db);
     // The controller re-optimizes the bias for each channel realization
     // (Algorithm 1 reconverges in ~1 s, well within the channel's
     // coherence time).
@@ -749,6 +792,20 @@ mod tests {
             assert_eq!(d.hist_a.total(), samples as u64, "hist_a for n = {samples}");
             assert_eq!(d.hist_b.total(), samples as u64, "hist_b for n = {samples}");
         }
+    }
+
+    #[test]
+    fn distribution_bin_width_is_configurable() {
+        // Fig 2 keeps the 1 dB RSSI-quantum bins; Fig 20 defaults to
+        // 0.5 dB so the mode gap resolves below whole-dB steps.
+        let coarse = fig2a(5, 64);
+        assert_eq!(coarse.hist_a.bins(), 60);
+        let fine = fig2a_binned(5, 64, 0.5);
+        assert_eq!(fine.hist_a.bins(), 120);
+        assert_eq!(fine.hist_a.total(), 64);
+        let d = fig20(5, 8);
+        assert_eq!(d.hist_a.bins(), 120);
+        assert_eq!(d.hist_b.bins(), 120);
     }
 
     #[test]

@@ -39,11 +39,13 @@
 //! assert!(outcome.per_device.iter().all(|d| d.power_dbm.is_finite()));
 //! ```
 
+use std::rc::Rc;
+
 use control::controller::Objective;
 use control::sweep::{coarse_to_fine_multi, SweepConfig};
 use devices::profile::DeviceProfile;
 use metasurface::designs::Design;
-use metasurface::evaluator::StackEvaluator;
+use metasurface::evaluator::{PlanCache, StackEvaluator};
 use metasurface::response::{Metasurface, SurfaceResponse};
 use metasurface::stack::{BiasState, SUPPLY_CEILING};
 use propagation::capacity::{capacity_bits, duty_cycled_throughput};
@@ -233,7 +235,7 @@ impl Fleet {
 /// probed once per bias for all devices.
 pub struct FleetEvaluator {
     links: Vec<PreparedLink>,
-    plans: Vec<StackEvaluator>,
+    plans: Vec<Rc<StackEvaluator>>,
     /// Device index → index into `plans` (devices sharing a carrier
     /// share a compiled plan).
     plan_of: Vec<usize>,
@@ -244,8 +246,18 @@ impl FleetEvaluator {
     /// Compiles the fleet: one evaluation plan per distinct carrier, one
     /// prepared link (scatter paths precomputed) per device.
     pub fn new(fleet: &Fleet) -> Self {
+        Self::with_plan_cache(fleet, &PlanCache::new(&fleet.design.stack))
+    }
+
+    /// [`FleetEvaluator::new`] drawing compiled plans from a shared
+    /// [`PlanCache`] — the panel-array path: K panels cut from one
+    /// design can share one cache, so a carrier served on every panel
+    /// compiles once instead of K times. The cache **must** be built
+    /// from the same stack as `fleet.design` (the panel scheduler keys
+    /// caches by design name).
+    pub fn with_plan_cache(fleet: &Fleet, cache: &PlanCache) -> Self {
         assert!(!fleet.is_empty(), "cannot evaluate an empty fleet");
-        let mut plans: Vec<StackEvaluator> = Vec::new();
+        let mut plans: Vec<Rc<StackEvaluator>> = Vec::new();
         let mut plan_of = Vec::with_capacity(fleet.len());
         let mut links = Vec::with_capacity(fleet.len());
         for device in fleet.devices() {
@@ -254,7 +266,7 @@ impl FleetEvaluator {
                 .iter()
                 .position(|p| p.frequency().0.to_bits() == f.0.to_bits())
                 .unwrap_or_else(|| {
-                    plans.push(StackEvaluator::new(&fleet.design.stack, f));
+                    plans.push(cache.plan(f));
                     plans.len() - 1
                 });
             plan_of.push(idx);
@@ -406,8 +418,31 @@ pub struct FleetOutcome {
 }
 
 impl FleetOutcome {
-    /// The worst served power across the fleet, dBm.
+    /// The well-formed outcome of scheduling nothing: no services, no
+    /// probes, a `-∞` score. Both [`Scheduler::run`] and the panel
+    /// scheduler return this for an empty fleet instead of panicking
+    /// inside the evaluator (or reporting a `+∞` "worst power" from an
+    /// unguarded empty reduction).
+    pub fn empty(policy: Policy) -> Self {
+        Self {
+            policy,
+            per_device: Vec::new(),
+            shared_bias: None,
+            score: f64::NEG_INFINITY,
+            probes: 0,
+            elapsed: Seconds(0.0),
+            history: Vec::new(),
+        }
+    }
+
+    /// The worst served power across the fleet, dBm. An empty outcome
+    /// reports `-∞` (nothing is served), not the `+∞` identity of the
+    /// min-fold — a `+∞` "worst power" would sail through every
+    /// threshold check.
     pub fn min_power_dbm(&self) -> f64 {
+        if self.per_device.is_empty() {
+            return f64::NEG_INFINITY;
+        }
         self.per_device
             .iter()
             .map(|d| d.power_dbm)
@@ -461,8 +496,30 @@ impl Scheduler {
     }
 
     /// Runs the policy against the fleet and reports the allocation.
+    /// An empty fleet yields [`FleetOutcome::empty`] — there is nothing
+    /// to optimize, and the evaluator (rightly) refuses to compile
+    /// nothing. The panel scheduler shares this guard for panels with no
+    /// assigned devices.
     pub fn run(&self, fleet: &Fleet) -> FleetOutcome {
-        let evaluator = FleetEvaluator::new(fleet);
+        if fleet.is_empty() {
+            return FleetOutcome::empty(self.policy);
+        }
+        self.run_with_evaluator(fleet, &FleetEvaluator::new(fleet))
+    }
+
+    /// [`Scheduler::run`] against an externally compiled evaluator — the
+    /// panel-array path, where K panel schedules draw their plans from a
+    /// shared [`PlanCache`] instead of compiling per panel. The
+    /// evaluator must have been compiled from this exact fleet.
+    pub fn run_with_evaluator(&self, fleet: &Fleet, evaluator: &FleetEvaluator) -> FleetOutcome {
+        if fleet.is_empty() {
+            return FleetOutcome::empty(self.policy);
+        }
+        assert_eq!(
+            evaluator.device_count(),
+            fleet.len(),
+            "evaluator compiled for a different fleet"
+        );
         if let Policy::Favor { favored } = self.policy {
             assert!(favored < fleet.len(), "favored index out of range");
             // Isolation is a margin over the *other* devices; with no
@@ -474,11 +531,11 @@ impl Scheduler {
             );
         }
         match self.policy {
-            Policy::MaxMin => self.run_shared(fleet, &evaluator, Objective::WorstLink),
+            Policy::MaxMin => self.run_shared(fleet, evaluator, Objective::WorstLink),
             Policy::Favor { favored } => {
-                self.run_shared(fleet, &evaluator, Objective::Isolation { favored })
+                self.run_shared(fleet, evaluator, Objective::Isolation { favored })
             }
-            Policy::TimeDivision => self.run_time_division(fleet, &evaluator),
+            Policy::TimeDivision => self.run_time_division(fleet, evaluator),
         }
     }
 
@@ -818,6 +875,46 @@ mod tests {
         let clamped = evaluator.powers_dbm(BiasState::new(30.0, 0.0));
         for (a, b) in hot.iter().zip(&clamped) {
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn empty_fleet_yields_an_explicit_empty_outcome() {
+        // Regression: this used to panic in `FleetEvaluator::new` (and
+        // an unguarded min-fold would have reported a +∞ worst power).
+        let empty = Fleet::new(metasurface::designs::fr4_optimized());
+        for scheduler in [
+            Scheduler::max_min(),
+            Scheduler::favor(0),
+            Scheduler::time_division(),
+        ] {
+            let outcome = scheduler.run(&empty);
+            assert!(outcome.per_device.is_empty());
+            assert_eq!(outcome.probes, 0);
+            assert!(outcome.shared_bias.is_none());
+            assert_eq!(outcome.min_power_dbm(), f64::NEG_INFINITY);
+            assert_eq!(outcome.total_throughput_bits_hz(), 0.0);
+            assert!(outcome.history.is_empty());
+        }
+    }
+
+    #[test]
+    fn shared_plan_cache_reuses_compilations_across_evaluators() {
+        // Two sub-fleets on the same design and carriers: a shared cache
+        // must compile each carrier once, and the cached evaluators must
+        // answer exactly like independently compiled ones.
+        let fleet_a = Fleet::mixed_wifi_ble(4, 3);
+        let fleet_b = Fleet::mixed_wifi_ble(4, 4);
+        let cache = PlanCache::new(&fleet_a.design.stack);
+        let a = FleetEvaluator::with_plan_cache(&fleet_a, &cache);
+        assert_eq!(cache.plan_count(), 2, "Wi-Fi + BLE carriers");
+        let b = FleetEvaluator::with_plan_cache(&fleet_b, &cache);
+        assert_eq!(cache.plan_count(), 2, "second fleet reuses both plans");
+        let bias = BiasState::new(9.0, 17.0);
+        for (evaluator, fleet) in [(&a, &fleet_a), (&b, &fleet_b)] {
+            let cached = evaluator.powers_dbm(bias);
+            let fresh = FleetEvaluator::new(fleet).powers_dbm(bias);
+            assert_eq!(cached, fresh);
         }
     }
 

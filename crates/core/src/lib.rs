@@ -18,6 +18,11 @@
 //!   populations behind one surface, scheduled under max-min, favor
 //!   (access control) and time-division policies on the shared-plan
 //!   batch evaluation path;
+//! * [`panels`] — multi-panel serving: K independently-biased surfaces
+//!   ([`panels::PanelArray`]) under one controller, per-device panel
+//!   assignment by geometry/polarization, a per-panel Algorithm 1
+//!   scheduler ([`panels::PanelScheduler`]), and the typed front of the
+//!   async many-fleet [`control::server::FleetServer`];
 //! * [`multilink`] — the §7 outlook: several receivers sharing one
 //!   surface, with max-min fairness and favor/suppress (polarization
 //!   access control) policies (now thin wrappers over [`fleet`]);
@@ -41,12 +46,16 @@
 pub mod experiments;
 pub mod fleet;
 pub mod multilink;
+pub mod panels;
 pub mod render;
 pub mod scenario;
 pub mod sensing;
 pub mod system;
 
 pub use fleet::{Fleet, FleetDevice, FleetEvaluator, FleetOutcome, Policy, Scheduler};
+pub use panels::{
+    serve_fleets, serve_panel_fleets, Assignment, Panel, PanelArray, PanelOutcome, PanelScheduler,
+};
 pub use scenario::{EndpointKind, Scenario};
 pub use sensing::{run_sensing, SensingConfig, SensingResult};
 pub use system::{LlamaSystem, OptimizeOutcome};

@@ -21,6 +21,12 @@
 //! ([`Link::received_dbm_for`]), instead of re-evaluating the full stack
 //! per receiver per bias. `batched == naive` is pinned to 1e-12 by the
 //! regression tests below and `tests/proptest_fleet.rs`.
+//!
+//! When one shared bias cannot serve the population at all — mutually
+//! orthogonal sectors, large fleets — the next lever is *spatial*
+//! multiplexing across several independently biased surfaces:
+//! [`crate::panels`] generalizes these policies to a per-panel bias
+//! vector.
 
 use metasurface::evaluator::StackEvaluator;
 use metasurface::response::{Metasurface, SurfaceResponse};

@@ -1,0 +1,117 @@
+//! Panel-engine contracts:
+//!
+//! * a K = 1 panel array is the degenerate case: the panel scheduler
+//!   must reproduce the shared-bias `Scheduler` outcome *exactly* (same
+//!   bias, same per-device powers, same probe count) across random
+//!   fleets — the panel layer adds capability, never drift;
+//! * the per-panel shared-plan batch path equals the naive per-device
+//!   loop to 1e-12 across random fleets, panel counts and assignments
+//!   (the PR-4 equivalence acceptance bar).
+
+use llama_core::fleet::{Fleet, FleetDevice, Scheduler};
+use llama_core::panels::{Assignment, PanelArray, PanelScheduler};
+use metasurface::stack::BiasState;
+use proptest::prelude::*;
+use rfmath::units::Degrees;
+
+/// A random heterogeneous fleet: 1..max devices of mixed radio classes,
+/// orientations, distances and channel seeds (derived from a xorshift
+/// stream so each drawn class vector yields a full device population).
+fn fleet(max_devices: usize) -> BoxedStrategy<Fleet> {
+    prop::collection::vec(0usize..3, 1..max_devices)
+        .prop_map(|kinds| {
+            let mut rng_state = 0x13A5_62E1_9C4F_07B5u64 ^ (kinds.len() as u64);
+            let mut next = move || {
+                rng_state ^= rng_state << 13;
+                rng_state ^= rng_state >> 7;
+                rng_state ^= rng_state << 17;
+                rng_state
+            };
+            let mut f = Fleet::new(metasurface::designs::fr4_optimized());
+            for (i, kind) in kinds.iter().enumerate() {
+                let deg = Degrees((next() % 180) as f64 - 90.0);
+                let seed = next() % 1_000;
+                f.push(match kind {
+                    0 => {
+                        FleetDevice::wifi(format!("w{i}"), deg, 150.0 + (next() % 300) as f64, seed)
+                    }
+                    1 => {
+                        FleetDevice::ble(format!("b{i}"), deg, 150.0 + (next() % 300) as f64, seed)
+                    }
+                    _ => FleetDevice::usrp(format!("u{i}"), deg, 30.0 + (next() % 80) as f64, seed),
+                });
+            }
+            f
+        })
+        .boxed()
+}
+
+fn biases() -> BoxedStrategy<Vec<BiasState>> {
+    prop::collection::vec((0.0f64..30.0, 0.0f64..30.0), 1..6)
+        .prop_map(|v| v.into_iter().map(|(x, y)| BiasState::new(x, y)).collect())
+        .boxed()
+}
+
+fn assignment() -> BoxedStrategy<Assignment> {
+    prop_oneof![
+        Just(Assignment::ByOrientation),
+        Just(Assignment::RoundRobin),
+        Just(Assignment::BestReference),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// K = 1 reproduces PR 3's shared-bias scheduler outcome exactly —
+    /// not "to within tolerance": the degenerate array runs the very
+    /// same search over the very same sub-fleet.
+    #[test]
+    fn single_panel_array_is_the_shared_bias_scheduler(f in fleet(5)) {
+        let array = PanelArray::uniform(f.design.clone(), 1);
+        let panel = PanelScheduler::max_min().run(&f, &array);
+        let shared = Scheduler::max_min().run(&f);
+        prop_assert_eq!(panel.assignment, vec![0; f.len()]);
+        prop_assert_eq!(panel.probes, shared.probes);
+        prop_assert_eq!(
+            panel.per_panel[0].outcome.shared_bias,
+            shared.shared_bias
+        );
+        prop_assert_eq!(panel.per_panel[0].outcome.score, shared.score);
+        for (a, b) in panel.per_device.iter().zip(&shared.per_device) {
+            prop_assert_eq!(a.power_dbm, b.power_dbm);
+            prop_assert_eq!(a.bias, b.bias);
+            prop_assert_eq!(a.throughput_bits_hz, b.throughput_bits_hz);
+        }
+        prop_assert_eq!(panel.min_power_dbm(), shared.min_power_dbm());
+    }
+
+    /// Per-panel batched probe matrices equal the naive per-device loop
+    /// to 1e-12 across random fleets, panel counts and assignment
+    /// policies.
+    #[test]
+    fn batched_panel_matrices_match_naive_loop(
+        f in fleet(6),
+        probes in biases(),
+        k in 1usize..4,
+        asg in assignment(),
+    ) {
+        let array = PanelArray::uniform(f.design.clone(), k);
+        let map = array.assign(&f, &asg);
+        let fast = array.batched_panel_matrices(&f, &map, &probes);
+        let naive = array.naive_panel_matrices(&f, &map, &probes);
+        prop_assert_eq!(fast.len(), k);
+        for (p, (rows_fast, rows_naive)) in fast.iter().zip(&naive).enumerate() {
+            prop_assert_eq!(rows_fast.len(), probes.len());
+            for (b, (row_fast, row_naive)) in rows_fast.iter().zip(rows_naive).enumerate() {
+                for (d, (a, n)) in row_fast.iter().zip(row_naive).enumerate() {
+                    prop_assert!(
+                        (a - n).abs() < 1e-12,
+                        "panel {p} bias {b} member {d}: batched {a} vs naive {n}"
+                    );
+                }
+            }
+        }
+    }
+}

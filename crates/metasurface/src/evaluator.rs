@@ -25,6 +25,7 @@
 //! (`tests/proptest_evaluator.rs` is the contract).
 
 use std::cell::RefCell;
+use std::rc::Rc;
 
 use microwave::polarized::{PolarizedS, WaveTransfer};
 use microwave::substrate::ETA0;
@@ -452,6 +453,55 @@ impl StackEvaluator {
     }
 }
 
+/// A compile-once plan cache over the `(stack, frequency)` plane — the
+/// panel-array amortization layer.
+///
+/// A multi-panel deployment serves several surfaces cut from the *same*
+/// design: every panel sweeping the same carrier would otherwise compile
+/// its own identical [`StackEvaluator`]. `PlanCache` keys compiled plans
+/// by frequency bit pattern and hands out shared [`Rc`] handles, so K
+/// panels × F carriers cost `F` compilations instead of `K·F`. Like the
+/// evaluator's voltage memos, the cache is single-threaded interior
+/// state (`RefCell` + `Rc`): build responses on the coordinating thread,
+/// fan the per-link projections out.
+#[derive(Clone, Debug)]
+pub struct PlanCache {
+    stack: SurfaceStack,
+    plans: RefCell<Vec<Rc<StackEvaluator>>>,
+}
+
+impl PlanCache {
+    /// An empty cache for one surface stack.
+    pub fn new(stack: &SurfaceStack) -> Self {
+        Self {
+            stack: stack.clone(),
+            plans: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The compiled plan at `f`, compiling on first request. Frequencies
+    /// are keyed by bit pattern, matching the fleet engine's carrier
+    /// deduplication.
+    pub fn plan(&self, f: Hertz) -> Rc<StackEvaluator> {
+        if let Some(plan) = self
+            .plans
+            .borrow()
+            .iter()
+            .find(|p| p.frequency().0.to_bits() == f.0.to_bits())
+        {
+            return Rc::clone(plan);
+        }
+        let plan = Rc::new(StackEvaluator::new(&self.stack, f));
+        self.plans.borrow_mut().push(Rc::clone(&plan));
+        plan
+    }
+
+    /// Number of distinct frequencies compiled so far.
+    pub fn plan_count(&self) -> usize {
+        self.plans.borrow().len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -622,6 +672,28 @@ mod tests {
         assert!(ev.eval_batch(&[]).is_empty());
         let opaque = StackEvaluator::new(&SurfaceStack::new(vec![], vec![]), F);
         assert!(opaque.eval_batch(&[BiasState::new(1.0, 1.0)])[0].is_none());
+    }
+
+    #[test]
+    fn plan_cache_compiles_once_per_frequency() {
+        let design = fr4_optimized();
+        let cache = PlanCache::new(&design.stack);
+        let f2 = Hertz(2.48e9);
+        let a = cache.plan(F);
+        let b = cache.plan(F);
+        // Same frequency → the same shared plan, not a recompilation.
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(cache.plan_count(), 1);
+        let c = cache.plan(f2);
+        assert!(!Rc::ptr_eq(&a, &c));
+        assert_eq!(cache.plan_count(), 2);
+        // Cached plans answer exactly like a fresh compilation.
+        let fresh = StackEvaluator::new(&design.stack, F);
+        let bias = BiasState::new(7.0, 13.0);
+        assert_eq!(
+            max_diff(a.response(bias).unwrap(), fresh.response(bias).unwrap()),
+            0.0
+        );
     }
 
     #[test]

@@ -37,7 +37,15 @@ pub fn capacity_gain(rx_with: Dbm, rx_without: Dbm, noise: &NoiseModel) -> f64 {
 /// airtime the scheduler grants it. This is the per-device metric of the
 /// fleet engine's `TimeDivision` policy: each device enjoys its own
 /// optimal bias, but only for `duty` of every frame.
+///
+/// A non-finite duty fraction (NaN from a degenerate frame model, ±∞
+/// from a zero-length slot) is treated as 0.0 — `clamp` propagates NaN,
+/// and one poisoned device would otherwise turn every fleet throughput
+/// total into NaN.
 pub fn duty_cycled_throughput(rx: Dbm, noise: &NoiseModel, duty: f64) -> f64 {
+    if !duty.is_finite() {
+        return 0.0;
+    }
     duty.clamp(0.0, 1.0) * capacity_bits(rx, noise)
 }
 
@@ -107,6 +115,25 @@ mod tests {
         assert_eq!(duty_cycled_throughput(Dbm(-60.0), &n, 0.0), 0.0);
         // Duty is clamped to physical airtime fractions.
         assert!((duty_cycled_throughput(Dbm(-60.0), &n, 7.0) - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_duty_is_zero_airtime() {
+        // NaN must not leak through the clamp and poison fleet totals;
+        // infinities are equally unphysical.
+        let n = NoiseModel::usrp_1mhz();
+        assert_eq!(duty_cycled_throughput(Dbm(-60.0), &n, f64::NAN), 0.0);
+        assert_eq!(duty_cycled_throughput(Dbm(-60.0), &n, f64::INFINITY), 0.0);
+        assert_eq!(
+            duty_cycled_throughput(Dbm(-60.0), &n, f64::NEG_INFINITY),
+            0.0
+        );
+        // A fleet total including the poisoned device stays finite.
+        let total: f64 = [0.5, f64::NAN]
+            .iter()
+            .map(|&d| duty_cycled_throughput(Dbm(-60.0), &n, d))
+            .sum();
+        assert!(total.is_finite());
     }
 
     #[test]

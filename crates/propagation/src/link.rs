@@ -324,6 +324,33 @@ impl PreparedLink {
         &self.link
     }
 
+    /// Re-targets the engineered geometry at a panel's mounting position
+    /// while *reusing* the precomputed bias-independent paths — the
+    /// per-panel probe handle of a panel array. Valid because the static
+    /// paths (environment scatter + extras) depend only on the endpoint
+    /// separation, which panel re-mounting never changes; only the one
+    /// or two engineered surface paths move, and those are rebuilt per
+    /// probe anyway.
+    ///
+    /// # Panics
+    /// Panics if `deployment` changes the endpoint separation — that
+    /// would invalidate the cached scatter realization.
+    pub fn with_surface_placement(&self, deployment: Deployment) -> Self {
+        assert!(
+            deployment.tx_rx_distance().0.to_bits()
+                == self.link.deployment.tx_rx_distance().0.to_bits(),
+            "panel re-mounting must keep the endpoints fixed: {:?} vs {:?}",
+            deployment.tx_rx_distance(),
+            self.link.deployment.tx_rx_distance(),
+        );
+        let mut link = self.link.clone();
+        link.deployment = deployment;
+        Self {
+            link,
+            static_paths: self.static_paths.clone(),
+        }
+    }
+
     /// Full path set against a precomputed surface response (engineered
     /// paths rebuilt, static paths reused). Same order as
     /// [`Link::paths_with`].
@@ -531,6 +558,44 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert!((x.0 - y.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn panel_placement_reuses_scatter_and_matches_fresh_prep() {
+        // Re-mounting the surface for a panel must (a) keep the cached
+        // scatter bit-identical (same room, same endpoints) and (b)
+        // agree exactly with preparing the moved link from scratch.
+        let mut link = base_link(60.0);
+        link.deployment = Deployment::transmissive_cm(100.0);
+        link.environment = Environment::laboratory(11);
+        let surface = Metasurface::llama();
+        let response = surface.response(link.frequency);
+        let prepared = PreparedLink::new(link.clone());
+        let moved = prepared.with_surface_placement(link.deployment.with_surface_fraction(0.2));
+        let mut fresh_link = link.clone();
+        fresh_link.deployment = link.deployment.with_surface_fraction(0.2);
+        let fresh = PreparedLink::new(fresh_link);
+        assert!(
+            (moved.received_dbm_with(Some(&response)).0
+                - fresh.received_dbm_with(Some(&response)).0)
+                .abs()
+                < 1e-12
+        );
+        // Moving the panel genuinely changes the physics (the bounce
+        // path length tracks the mount point).
+        assert!(
+            (moved.received_dbm_with(Some(&response)).0
+                - prepared.received_dbm_with(Some(&response)).0)
+                .abs()
+                > 1e-9
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints fixed")]
+    fn panel_placement_rejects_moved_endpoints() {
+        let prepared = PreparedLink::new(base_link(0.0));
+        let _ = prepared.with_surface_placement(Deployment::transmissive_cm(99.0));
     }
 
     #[test]

@@ -76,6 +76,26 @@ impl Deployment {
         }
     }
 
+    /// Re-mounts the surface at a different position while keeping the
+    /// endpoints fixed — the per-panel geometry adjustment of a panel
+    /// array (each panel hangs at its own spot along the link).
+    /// Transmissive deployments move the surface to `fraction` of the
+    /// link line; reflective ones scale the standoff by `fraction` of
+    /// the endpoint separation; `Free` (no surface) is unchanged.
+    pub fn with_surface_fraction(self, fraction: f64) -> Self {
+        match self {
+            Deployment::Transmissive { tx_rx, .. } => Deployment::Transmissive {
+                tx_rx,
+                surface_fraction: fraction.clamp(0.05, 0.95),
+            },
+            Deployment::Reflective { tx_rx, .. } => Deployment::Reflective {
+                tx_rx,
+                surface_distance: Meters(tx_rx.0 * fraction.clamp(0.05, 0.95)),
+            },
+            free => free,
+        }
+    }
+
     /// Endpoint separation along the direct line.
     pub fn tx_rx_distance(&self) -> Meters {
         match *self {
@@ -300,6 +320,29 @@ mod tests {
         );
         let expected = 2.0 * (0.30f64 * 0.30 + 0.35 * 0.35).sqrt();
         assert!((paths[1].length.0 - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surface_fraction_moves_the_panel_not_the_endpoints() {
+        let d = Deployment::transmissive_cm(60.0).with_surface_fraction(0.25);
+        assert_eq!(d.tx_rx_distance(), Meters(0.60));
+        match d {
+            Deployment::Transmissive {
+                surface_fraction, ..
+            } => assert_eq!(surface_fraction, 0.25),
+            other => panic!("unexpected deployment {other:?}"),
+        }
+        // Fractions are clamped into the physical mount range.
+        let clamped = Deployment::transmissive_cm(60.0).with_surface_fraction(2.0);
+        match clamped {
+            Deployment::Transmissive {
+                surface_fraction, ..
+            } => assert_eq!(surface_fraction, 0.95),
+            other => panic!("unexpected deployment {other:?}"),
+        }
+        // Free deployments have no surface to move.
+        let free = Deployment::Free { tx_rx: Meters(1.0) }.with_surface_fraction(0.3);
+        assert_eq!(free, Deployment::Free { tx_rx: Meters(1.0) });
     }
 
     #[test]

@@ -153,16 +153,19 @@ impl Histogram {
             .collect()
     }
 
-    /// The bin center with the highest count (mode of the PDF).
+    /// The bin center with the highest count (mode of the PDF). Count
+    /// ties break toward the *lower-center* bin, so the reported mode is
+    /// deterministic in the distribution rather than in bin order
+    /// (`max_by_key` would keep the last tied bin, silently shifting the
+    /// mode up by a bin width per tie).
     pub fn mode(&self) -> f64 {
-        let centers = self.centers();
-        let (idx, _) = self
-            .counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .expect("bins is non-zero");
-        centers[idx]
+        let mut idx = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > self.counts[idx] {
+                idx = i;
+            }
+        }
+        self.centers()[idx]
     }
 }
 
@@ -313,6 +316,19 @@ mod tests {
         let mut h = Histogram::new(0.0, 10.0, 10);
         h.add_all(&[1.1, 5.5, 5.6, 5.4, 9.0]);
         assert!((h.mode() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_mode_ties_break_toward_lower_bin() {
+        // Two bins with equal counts: the mode must be the lower center,
+        // independent of bin order (regression for the max_by_key
+        // last-wins tie-break, which reported 8.5 here).
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add_all(&[2.2, 2.4, 8.5, 8.6]);
+        assert!((h.mode() - 2.5).abs() < 1e-9, "mode = {}", h.mode());
+        // A strict winner later in the range still wins.
+        h.add(8.7);
+        assert!((h.mode() - 8.5).abs() < 1e-9);
     }
 
     #[test]
