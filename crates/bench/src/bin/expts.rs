@@ -8,6 +8,8 @@
 //! expts --bench-json [path] [--quick] # time the engine, write a JSON summary
 //! expts --fleet [path] [--quick]      # time the fleet engine, write BENCH_PR3-style JSON
 //! expts --panels [path] [--quick]     # time the panel array + many-fleet server (BENCH_PR4)
+//! expts --mobility [path] [--quick]   # time the mobility simulator, warm vs cold (BENCH_PR5)
+//! expts --bench-all [dir] [--quick]   # regenerate every BENCH_PR*.json in one run
 //! expts --calibrate-fig20 [samples]   # sweep link calibration knobs vs the paper's 10 dB gap
 //! ```
 //!
@@ -29,10 +31,100 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: expts <id>... | all | --bench-json [path] [--quick] \
              | --fleet [path] [--quick] | --panels [path] [--quick] \
+             | --mobility [path] [--quick] | --bench-all [dir] [--quick] \
              | --calibrate-fig20 [samples]"
         );
         eprintln!("experiments: {}", llama_bench::ALL_IDS.join(", "));
         return ExitCode::SUCCESS;
+    }
+
+    if args.iter().any(|a| a == "--bench-all") {
+        let quick = args.iter().any(|a| a == "--quick");
+        let extras: Vec<&String> = args
+            .iter()
+            .filter(|a| *a != "--bench-all" && *a != "--quick")
+            .collect();
+        if extras.len() > 1 || extras.iter().any(|a| a.starts_with("--")) {
+            eprintln!("error: --bench-all takes at most one output directory");
+            return ExitCode::FAILURE;
+        }
+        let dir = extras.first().map(|s| s.as_str()).unwrap_or(".");
+        let mut all_pass = true;
+        let mut write = |name: &str, body: String, pass: bool| -> bool {
+            let path = format!("{dir}/{name}");
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("error: cannot write {path}: {e}");
+                return false;
+            }
+            println!("wrote {path}");
+            all_pass &= pass;
+            true
+        };
+        let engine = llama_bench::perf::run(quick);
+        print!("{}", engine.summary());
+        if !write("BENCH_PR2.json", engine.to_json(), engine.passes()) {
+            return ExitCode::FAILURE;
+        }
+        let fleet = llama_bench::perf::run_fleet(quick);
+        print!("{}", fleet.summary());
+        if !write("BENCH_PR3.json", fleet.to_json(), fleet.passes()) {
+            return ExitCode::FAILURE;
+        }
+        let panels = llama_bench::perf::run_panels(quick);
+        print!("{}", panels.summary());
+        if !write("BENCH_PR4.json", panels.to_json(), panels.passes()) {
+            return ExitCode::FAILURE;
+        }
+        let mobility = llama_bench::perf::run_mobility(quick);
+        print!("{}", mobility.summary());
+        if !write("BENCH_PR5.json", mobility.to_json(), mobility.passes()) {
+            return ExitCode::FAILURE;
+        }
+        return if all_pass {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("error: at least one bench fell below its regression floor");
+            ExitCode::FAILURE
+        };
+    }
+
+    if args.iter().any(|a| a == "--mobility") {
+        let quick = args.iter().any(|a| a == "--quick");
+        let extras: Vec<&String> = args
+            .iter()
+            .filter(|a| *a != "--mobility" && *a != "--quick")
+            .collect();
+        if extras.len() > 1 || extras.iter().any(|a| a.starts_with("--")) {
+            eprintln!(
+                "error: --mobility takes at most one output path; got: {}",
+                extras
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            return ExitCode::FAILURE;
+        }
+        let path = extras
+            .first()
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "target/mobility-report.json".to_string());
+        let report = llama_bench::perf::run_mobility(quick);
+        print!("{}", report.summary());
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+        return if report.passes() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "error: warm-start below the speedup floor or zero-motion \
+                 equivalence broken — regression"
+            );
+            ExitCode::FAILURE
+        };
     }
 
     if args.iter().any(|a| a == "--calibrate-fig20") {

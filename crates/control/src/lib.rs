@@ -46,5 +46,5 @@ pub use controller::{Controller, Event, Phase, PowerReport};
 pub use estimator::{estimate_rotation, RotationEstimate, RotationRig};
 pub use psu::{PowerSupply, Reply};
 pub use server::{FleetServer, ServeStats};
-pub use sweep::{coarse_to_fine, Probe, SweepConfig, SweepOutcome};
+pub use sweep::{coarse_to_fine, warm_refine_multi, Probe, SweepConfig, SweepOutcome, WarmConfig};
 pub use sync::{estimate_offset, label_samples, BiasSchedule};

@@ -241,6 +241,86 @@ mod tests {
     }
 
     #[test]
+    fn malformed_scpi_lines_reply_errors_without_state_changes() {
+        // Every malformed line must come back as Reply::Error and leave
+        // the instrument untouched — no setpoint change, no switch
+        // consumed, no output toggle.
+        let mut psu = PowerSupply::tektronix_2230g();
+        psu.execute("OUTP ON", Seconds(0.0));
+        psu.execute("APPL CH1,5", Seconds(0.1));
+        for (i, line) in [
+            "",
+            "   ",
+            "VOLT 5",
+            "APPL",
+            "APPL CH1",
+            "APPL CH1,abc",
+            "APPL CH1,NaN",
+            "APPL CH1,inf",
+            "APPL X2,5",
+            "OUTP MAYBE",
+            "MEAS:CURR? 1",
+            "*IDN",
+        ]
+        .iter()
+        .enumerate()
+        {
+            match psu.execute(line, Seconds(1.0 + i as f64)) {
+                Reply::Error(e) => assert!(!e.is_empty(), "{line:?} error must explain itself"),
+                other => panic!("{line:?} must be rejected, got {other:?}"),
+            }
+        }
+        assert_eq!(psu.setpoint(1), Volts(5.0), "setpoint survived the garbage");
+        assert!(psu.output_enabled());
+        assert_eq!(psu.switch_count, 1, "no malformed line consumed a switch");
+    }
+
+    #[test]
+    fn out_of_range_channels_are_rejected() {
+        let mut psu = PowerSupply::tektronix_2230g();
+        psu.execute("OUTP ON", Seconds(0.0));
+        for line in ["APPL CH0,5", "APPL CH4,5", "APPL? CH9", "MEAS:CURR? CH0"] {
+            match psu.execute(line, Seconds(0.5)) {
+                Reply::Error(e) => {
+                    assert!(
+                        e.contains("out of range") || e.contains("channel"),
+                        "{line:?}: {e}"
+                    );
+                }
+                other => panic!("{line:?} must be rejected, got {other:?}"),
+            }
+        }
+        // Channel 3 exists on the instrument (unused by the surface).
+        assert_eq!(psu.execute("APPL CH3,7", Seconds(1.0)), Reply::Ack);
+        assert_eq!(psu.setpoint(3), Volts(7.0));
+    }
+
+    #[test]
+    fn bias_set_while_output_disabled_stores_but_does_not_drive() {
+        // The real instrument accepts setpoints with outputs off; the
+        // rails stay dark until OUTP ON, then drive the stored value.
+        // The control plane depends on this ordering (program first,
+        // enable second), so pin it.
+        let mut psu = PowerSupply::tektronix_2230g();
+        assert!(!psu.output_enabled());
+        assert_eq!(psu.execute("APPL CH1,12.5", Seconds(0.0)), Reply::Ack);
+        assert!(psu.set_bias(Volts(9.0), Volts(4.0), Seconds(0.1)).is_ok());
+        assert_eq!(psu.setpoint(1), Volts(9.0), "setpoint stored while off");
+        assert_eq!(psu.setpoint(2), Volts(4.0));
+        assert_eq!(psu.rail_voltage(1, Seconds(1.0)), Volts(0.0));
+        assert_eq!(psu.rail_voltage(2, Seconds(1.0)), Volts(0.0));
+        // Disabled outputs also meter no current.
+        assert_eq!(
+            psu.execute("MEAS:CURR? CH1", Seconds(0.2)),
+            Reply::Number(0.0)
+        );
+        // Enable: the stored setpoints drive the rails.
+        assert_eq!(psu.execute("OUTP ON", Seconds(0.3)), Reply::Ack);
+        assert_eq!(psu.rail_voltage(1, Seconds(1.0)), Volts(9.0));
+        assert_eq!(psu.rail_voltage(2, Seconds(1.0)), Volts(4.0));
+    }
+
+    #[test]
     fn full_scan_takes_about_thirty_seconds() {
         // The paper's motivating number: a 1 V-step full 2-D sweep at
         // 50 Hz takes ~30 s. 31 × 31 = 961 combinations × 20 ms ≈ 19 s of

@@ -187,6 +187,131 @@ pub fn coarse_to_fine_multi(
     }
 }
 
+/// Parameters of a warm-start re-optimization: a refinement sweep seeded
+/// from a known-good probe (the previous tick of a mobility simulation)
+/// instead of the full supply range.
+///
+/// The warm path exists because re-running the full Algorithm 1 search
+/// every tick burns `N·T²` probes of airtime when the environment moved
+/// only slightly; a warm refinement re-checks the carried-over bias (one
+/// probe) and sweeps a small window around it, falling back to the cold
+/// search only when the local optimum has genuinely walked away
+/// (detected by the caller through [`WarmConfig::regression_db`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WarmConfig {
+    /// Half-width of the refinement window per axis, centered on the
+    /// warm-start probe (clamped to the sweep's supply range).
+    pub radius: Volts,
+    /// Voltage points per axis per warm iteration.
+    pub steps_per_axis: usize,
+    /// Warm refinement iterations.
+    pub iterations: usize,
+    /// Score drop relative to the previous outcome that the caller
+    /// should treat as a failed warm start and widen to the cold search
+    /// (dB for the power objectives this workspace optimizes).
+    pub regression_db: f64,
+}
+
+impl WarmConfig {
+    /// The default warm budget: one 3×3 refinement over ±one coarse
+    /// step of the paper grid (30 V / (5 − 1) = 7.5 V) — 10 probes per
+    /// tick instead of the cold 50. The regression guard is one
+    /// distance-doubling (6 dB): a mobile device walking away loses
+    /// 2–3 dB per tick that no amount of re-searching recovers, so
+    /// smaller drops track warm, while a genuine upheaval (a blocker
+    /// stepping in, a handoff) justifies the cold widening.
+    pub fn paper_default() -> Self {
+        Self {
+            radius: Volts(7.5),
+            steps_per_axis: 3,
+            iterations: 1,
+            regression_db: 6.0,
+        }
+    }
+
+    /// Probes one warm re-optimization spends: the center re-check plus
+    /// the refinement grids.
+    pub fn probe_budget(&self) -> usize {
+        1 + self.iterations * self.steps_per_axis * self.steps_per_axis
+    }
+}
+
+/// Runs a warm-start refinement against a vector metric: re-measures
+/// `center` first (so the outcome can never score below simply holding
+/// the carried-over bias), then runs `warm.iterations` of a
+/// `steps_per_axis`² grid inside ±`warm.radius` around it, narrowing
+/// window-over-window exactly like [`coarse_to_fine_multi`]. All probes
+/// are clamped to `config`'s supply range, and airtime is billed at
+/// `config.switch_period` per probe.
+pub fn warm_refine_multi(
+    config: &SweepConfig,
+    warm: &WarmConfig,
+    center: Probe,
+    mut measure: impl FnMut(Probe) -> Vec<f64>,
+    score: impl Fn(&[f64]) -> f64,
+) -> MultiSweepOutcome {
+    assert!(warm.iterations >= 1, "need at least one warm iteration");
+    assert!(warm.steps_per_axis >= 2, "need at least two steps per axis");
+    assert!(warm.radius.0 > 0.0, "warm radius must be positive");
+    let clamp = |v: f64| v.clamp(config.v_min.0, config.v_max.0);
+    let center = Probe {
+        vx: Volts(clamp(center.vx.0)),
+        vy: Volts(clamp(center.vy.0)),
+    };
+    let t = warm.steps_per_axis;
+    let mut history = Vec::with_capacity(1 + warm.iterations * t * t);
+
+    // Probe 1: the carried-over bias itself.
+    let m0 = measure(center);
+    let mut best_score = score(&m0);
+    let mut best = center;
+    let mut best_metrics = m0.clone();
+    let mut probes = 1usize;
+    history.push((center, m0));
+
+    let mut lo_x = clamp(center.vx.0 - warm.radius.0);
+    let mut hi_x = clamp(center.vx.0 + warm.radius.0);
+    let mut lo_y = clamp(center.vy.0 - warm.radius.0);
+    let mut hi_y = clamp(center.vy.0 + warm.radius.0);
+    for _iter in 0..warm.iterations {
+        let grid = |lo: f64, hi: f64, i: usize| Volts(lo + (hi - lo) * i as f64 / (t - 1) as f64);
+        for ix in 0..t {
+            for iy in 0..t {
+                let probe = Probe {
+                    vx: grid(lo_x, hi_x, ix),
+                    vy: grid(lo_y, hi_y, iy),
+                };
+                let m = measure(probe);
+                let s = score(&m);
+                probes += 1;
+                if s > best_score {
+                    best_score = s;
+                    best = probe;
+                    best_metrics = m.clone();
+                }
+                history.push((probe, m));
+            }
+        }
+        // Narrow one grid step around the running winner, like the cold
+        // sweep's refinement rounds.
+        let step_x = (hi_x - lo_x) / (t - 1) as f64;
+        let step_y = (hi_y - lo_y) / (t - 1) as f64;
+        lo_x = clamp(best.vx.0 - step_x);
+        hi_x = clamp(best.vx.0 + step_x);
+        lo_y = clamp(best.vy.0 - step_y);
+        hi_y = clamp(best.vy.0 + step_y);
+    }
+
+    MultiSweepOutcome {
+        best,
+        best_score,
+        best_metrics,
+        probes,
+        duration: Seconds(config.switch_period.0 * probes as f64),
+        history,
+    }
+}
+
 /// Runs Algorithm 1 against a scalar metric callback (higher is better).
 ///
 /// The callback receives each probe and returns the measured metric —
@@ -347,6 +472,104 @@ mod tests {
             .map(|(_, m)| m.iter().copied().fold(f64::INFINITY, f64::min))
             .fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(hist_best, outcome.best_score);
+    }
+
+    #[test]
+    fn warm_refine_spends_its_probe_budget() {
+        let warm = WarmConfig::paper_default();
+        assert_eq!(warm.probe_budget(), 10);
+        let outcome = warm_refine_multi(
+            &SweepConfig::paper_default(),
+            &warm,
+            Probe {
+                vx: Volts(15.0),
+                vy: Volts(15.0),
+            },
+            |p| {
+                let mut b = bump(17.3, 8.2);
+                vec![b(p)]
+            },
+            |m| m[0],
+        );
+        assert_eq!(outcome.probes, warm.probe_budget());
+        assert_eq!(outcome.history.len(), outcome.probes);
+        assert!((outcome.duration.0 - 0.02 * outcome.probes as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_refine_never_scores_below_the_center() {
+        // The carried-over bias is probed first, so even a hostile
+        // surface cannot make the warm outcome worse than holding it.
+        let center = Probe {
+            vx: Volts(17.0),
+            vy: Volts(8.0),
+        };
+        let mut b = bump(17.3, 8.2);
+        let center_score = b(center);
+        let outcome = warm_refine_multi(
+            &SweepConfig::paper_default(),
+            &WarmConfig::paper_default(),
+            center,
+            |p| {
+                let mut b = bump(17.3, 8.2);
+                vec![b(p)]
+            },
+            |m| m[0],
+        );
+        assert!(outcome.best_score >= center_score);
+        assert_eq!(outcome.history[0].0, center);
+    }
+
+    #[test]
+    fn warm_refine_tracks_a_drifted_peak() {
+        // The peak moved a few volts since the previous tick: the warm
+        // window must catch up without a full-range rescan.
+        let outcome = warm_refine_multi(
+            &SweepConfig::paper_default(),
+            &WarmConfig {
+                steps_per_axis: 5,
+                iterations: 2,
+                ..WarmConfig::paper_default()
+            },
+            Probe {
+                vx: Volts(14.0),
+                vy: Volts(10.0),
+            },
+            |p| {
+                let mut b = bump(18.0, 7.0);
+                vec![b(p)]
+            },
+            |m| m[0],
+        );
+        assert!(
+            (outcome.best.vx.0 - 18.0).abs() < 2.0,
+            "vx = {:?}",
+            outcome.best.vx
+        );
+        assert!(
+            (outcome.best.vy.0 - 7.0).abs() < 2.0,
+            "vy = {:?}",
+            outcome.best.vy
+        );
+    }
+
+    #[test]
+    fn warm_refine_clamps_to_the_supply_range() {
+        // A center on the rail edge must keep every probe inside range.
+        let outcome = warm_refine_multi(
+            &SweepConfig::paper_default(),
+            &WarmConfig::paper_default(),
+            Probe {
+                vx: Volts(30.0),
+                vy: Volts(0.0),
+            },
+            |p| vec![-(p.vx.0 - 29.0).abs() - p.vy.0],
+            |m| m[0],
+        );
+        for (p, _) in &outcome.history {
+            assert!((0.0..=30.0).contains(&p.vx.0), "vx = {:?}", p.vx);
+            assert!((0.0..=30.0).contains(&p.vy.0), "vy = {:?}", p.vy);
+        }
     }
 
     #[test]

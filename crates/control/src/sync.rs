@@ -229,6 +229,76 @@ mod tests {
     }
 
     #[test]
+    fn guard_as_long_as_the_dwell_drops_everything() {
+        // A guard that consumes the whole switching period leaves no
+        // attributable samples — the degenerate configuration must come
+        // back empty, not mislabeled.
+        let s = schedule();
+        let samples = synth_samples(0.0, 1000.0);
+        let buckets = label_samples(&s, &samples, Seconds(0.0), Seconds(0.02));
+        assert!(buckets.iter().all(|b| b.is_empty()));
+        assert_eq!(buckets.len(), s.states.len());
+    }
+
+    #[test]
+    fn samples_outside_the_schedule_are_unattributed() {
+        let s = schedule();
+        let samples = vec![
+            (Seconds(-0.5), 10.0),
+            (Seconds(0.01), 20.0),
+            (Seconds(5.0), 30.0),
+        ];
+        let buckets = label_samples(&s, &samples, Seconds(0.0), Seconds(0.0));
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        assert_eq!(total, 1, "only the in-schedule sample is attributed");
+        assert_eq!(buckets[0], vec![20.0]);
+    }
+
+    #[test]
+    fn empty_schedule_attributes_nothing() {
+        let s = BiasSchedule {
+            start: Seconds(0.0),
+            period: Seconds(0.02),
+            states: Vec::new(),
+        };
+        assert_eq!(s.duration().0, 0.0);
+        assert!(s.state_at(Seconds(0.01), Seconds(0.0)).is_none());
+        assert!(s.index_at(Seconds(0.01), Seconds(0.0)).is_none());
+        let buckets = label_samples(&s, &[(Seconds(0.01), 5.0)], Seconds(0.0), Seconds(0.0));
+        assert!(buckets.is_empty());
+    }
+
+    #[test]
+    fn featureless_power_stream_estimates_a_safe_zero_offset() {
+        // Constant power carries no step edges to align on: every
+        // candidate scores identically (one bucket per state, zero
+        // variance) and the estimator must fall back to offset 0 rather
+        // than picking noise.
+        let s = schedule();
+        let samples: Vec<(Seconds, f64)> = (0..400)
+            .map(|i| (Seconds(i as f64 / 2000.0), -40.0))
+            .collect();
+        let est = estimate_offset(&s, &samples, 20);
+        assert_eq!(est.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate resolution")]
+    fn estimator_requires_candidate_resolution() {
+        let s = schedule();
+        let _ = estimate_offset(&s, &synth_samples(0.0, 1000.0), 1);
+    }
+
+    #[test]
+    fn negative_clock_offset_maps_forward() {
+        // A receiver that started *earlier* than the supply (td < 0)
+        // maps a sample to a later state index.
+        let s = schedule();
+        let (vx, _) = s.state_at(Seconds(0.07), Seconds(-0.02)).unwrap();
+        assert_eq!(vx, Volts(4.0));
+    }
+
+    #[test]
     fn guard_interval_drops_edge_samples() {
         let s = schedule();
         let samples = synth_samples(0.0, 1000.0);

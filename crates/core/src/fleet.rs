@@ -42,7 +42,7 @@
 use std::rc::Rc;
 
 use control::controller::Objective;
-use control::sweep::{coarse_to_fine_multi, SweepConfig};
+use control::sweep::{coarse_to_fine_multi, warm_refine_multi, Probe, SweepConfig, WarmConfig};
 use devices::profile::DeviceProfile;
 use metasurface::designs::Design;
 use metasurface::evaluator::{PlanCache, StackEvaluator};
@@ -181,6 +181,14 @@ impl Fleet {
         &self.devices
     }
 
+    /// Mutable access to one device — the mobility simulator's in-place
+    /// update path (kept crate-private so external callers go through
+    /// the [`crate::sim::DynamicFleet`] API, which also tracks which
+    /// links the change dirtied).
+    pub(crate) fn device_mut(&mut self, idx: usize) -> &mut FleetDevice {
+        &mut self.devices[idx]
+    }
+
     /// Number of devices.
     pub fn len(&self) -> usize {
         self.devices.len()
@@ -283,6 +291,33 @@ impl FleetEvaluator {
     /// Number of devices.
     pub fn device_count(&self) -> usize {
         self.links.len()
+    }
+
+    /// Re-prepares a single device's probe handle after a mobility step,
+    /// leaving every other device's cached scatter and every compiled
+    /// plan untouched — the incremental path that lets a tick that moved
+    /// 2 of 32 devices re-prepare only those 2 links. Returns `true`
+    /// when the update was a cheap rebind (rotation or power change —
+    /// the cached bias-independent paths were reused) and `false` when
+    /// the device genuinely moved and its link needed a full
+    /// re-preparation ([`PreparedLink::rebind`]).
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of range or when the update changes the
+    /// device's carrier — plans are compiled per carrier at
+    /// construction, and no mobility model retunes a radio.
+    pub fn update_device(&mut self, idx: usize, device: &FleetDevice) -> bool {
+        assert!(idx < self.links.len(), "device index out of range");
+        let f = device.scenario.frequency;
+        assert!(
+            self.plans[self.plan_of[idx]].frequency().0.to_bits() == f.0.to_bits(),
+            "mobility must not change a device's carrier \
+             (plans are compiled per carrier at construction)"
+        );
+        let link = device.scenario.link();
+        let cheap = self.links[idx].static_paths_reusable(&link);
+        self.links[idx] = self.links[idx].rebind(link);
+        cheap
     }
 
     /// Number of compiled per-frequency plans (≤ device count; the
@@ -539,6 +574,80 @@ impl Scheduler {
         }
     }
 
+    /// Warm-start re-optimization for the shared-bias policies: re-checks
+    /// `prev`'s shared bias against the fleet's *current* state, refines
+    /// inside a `warm`-sized window around it, and widens to the full
+    /// cold search only when the warm winner scores more than
+    /// `warm.regression_db` below the previous outcome — the sign that
+    /// the optimum genuinely walked out of the window rather than
+    /// drifted within it. All probes spent (warm, plus cold when
+    /// widened) stay on the airtime bill, which is what makes the
+    /// simulator's per-tick throughput honest about reconfiguration.
+    ///
+    /// `TimeDivision` schedules (and previous outcomes without a shared
+    /// bias, e.g. [`FleetOutcome::empty`]) have nothing to warm from and
+    /// fall back to [`Scheduler::run_with_evaluator`].
+    pub fn run_warm(
+        &self,
+        fleet: &Fleet,
+        evaluator: &FleetEvaluator,
+        prev: &FleetOutcome,
+        warm: &WarmConfig,
+    ) -> FleetOutcome {
+        if fleet.is_empty() {
+            return FleetOutcome::empty(self.policy);
+        }
+        let objective = match self.policy {
+            Policy::MaxMin => Objective::WorstLink,
+            Policy::Favor { favored } => {
+                assert!(favored < fleet.len(), "favored index out of range");
+                assert!(
+                    fleet.len() >= 2,
+                    "Favor needs at least two devices to isolate between"
+                );
+                Objective::Isolation { favored }
+            }
+            Policy::TimeDivision => return self.run_with_evaluator(fleet, evaluator),
+        };
+        assert_eq!(
+            evaluator.device_count(),
+            fleet.len(),
+            "evaluator compiled for a different fleet"
+        );
+        let Some(prev_bias) = prev.shared_bias else {
+            return self.run_with_evaluator(fleet, evaluator);
+        };
+        let mut outcome = warm_refine_multi(
+            &self.sweep,
+            warm,
+            Probe {
+                vx: prev_bias.vx,
+                vy: prev_bias.vy,
+            },
+            |p| evaluator.powers_dbm(BiasState { vx: p.vx, vy: p.vy }),
+            |powers| objective.score(powers).unwrap_or(f64::NEG_INFINITY),
+        );
+        if outcome.best_score < prev.score - warm.regression_db {
+            // Widen: full cold search, merged with the warm probes (they
+            // were spent on the air) and keeping the better winner — the
+            // cold grid need not revisit the warm window.
+            let cold = coarse_to_fine_multi(
+                &self.sweep,
+                |p| evaluator.powers_dbm(BiasState { vx: p.vx, vy: p.vy }),
+                |powers| objective.score(powers).unwrap_or(f64::NEG_INFINITY),
+            );
+            if cold.best_score >= outcome.best_score {
+                outcome.best = cold.best;
+                outcome.best_score = cold.best_score;
+                outcome.best_metrics = cold.best_metrics;
+            }
+            outcome.probes += cold.probes;
+            outcome.duration = Seconds(outcome.duration.0 + cold.duration.0);
+            outcome.history.extend(cold.history);
+        }
+        self.shared_outcome(fleet, evaluator, outcome)
+    }
+
     /// Shared-bias policies: one vector-objective Algorithm 1 run, every
     /// probe evaluated for the whole fleet through the shared plans.
     fn run_shared(
@@ -552,6 +661,18 @@ impl Scheduler {
             |p| evaluator.powers_dbm(BiasState { vx: p.vx, vy: p.vy }),
             |powers| objective.score(powers).unwrap_or(f64::NEG_INFINITY),
         );
+        self.shared_outcome(fleet, evaluator, outcome)
+    }
+
+    /// Assembles a [`FleetOutcome`] from a completed shared-bias sweep —
+    /// the common tail of the cold ([`Scheduler::run_shared`]) and warm
+    /// ([`Scheduler::run_warm`]) paths.
+    fn shared_outcome(
+        &self,
+        fleet: &Fleet,
+        evaluator: &FleetEvaluator,
+        outcome: control::sweep::MultiSweepOutcome,
+    ) -> FleetOutcome {
         let bias = BiasState {
             vx: outcome.best.vx,
             vy: outcome.best.vy,
@@ -850,6 +971,101 @@ mod tests {
         for (a, b) in deep.per_device.iter().zip(&shallow.per_device) {
             assert!(a.power_dbm >= b.power_dbm - 1e-12, "{} regressed", a.label);
         }
+    }
+
+    #[test]
+    fn warm_start_from_the_cold_optimum_never_regresses() {
+        // Warm-starting from the cold outcome on an unchanged fleet
+        // re-checks that bias first, so the warm score can only match or
+        // beat it — at a fifth of the probe bill.
+        let fleet = small_fleet();
+        let evaluator = FleetEvaluator::new(&fleet);
+        let scheduler = Scheduler::max_min();
+        let cold = scheduler.run_with_evaluator(&fleet, &evaluator);
+        let warm_cfg = WarmConfig::paper_default();
+        let warm = scheduler.run_warm(&fleet, &evaluator, &cold, &warm_cfg);
+        assert!(
+            warm.score >= cold.score,
+            "warm {:.2} vs cold {:.2}",
+            warm.score,
+            cold.score
+        );
+        assert_eq!(warm.probes, warm_cfg.probe_budget());
+        assert!(warm.probes < cold.probes, "warm must be cheaper");
+        assert!(warm.shared_bias.is_some());
+        // The history starts at the carried-over bias.
+        assert_eq!(warm.history[0].0, cold.shared_bias.unwrap());
+    }
+
+    #[test]
+    fn warm_start_widens_to_cold_on_regression() {
+        // A previous outcome claiming a score no warm window can reach
+        // forces the widening path: the full cold grid runs on top of
+        // the warm probes, and the result matches the cold winner.
+        let fleet = small_fleet();
+        let evaluator = FleetEvaluator::new(&fleet);
+        let scheduler = Scheduler::max_min();
+        let cold = scheduler.run_with_evaluator(&fleet, &evaluator);
+        let warm_cfg = WarmConfig::paper_default();
+        let mut stale = cold.clone();
+        stale.shared_bias = Some(BiasState::new(0.0, 0.0));
+        stale.score = 1e3; // unreachable: every warm probe "regresses"
+        let widened = scheduler.run_warm(&fleet, &evaluator, &stale, &warm_cfg);
+        assert_eq!(widened.probes, warm_cfg.probe_budget() + cold.probes);
+        assert!(
+            widened.score >= cold.score,
+            "widened {:.2} vs cold {:.2}",
+            widened.score,
+            cold.score
+        );
+    }
+
+    #[test]
+    fn warm_start_without_a_shared_bias_falls_back_to_cold() {
+        let fleet = small_fleet();
+        let evaluator = FleetEvaluator::new(&fleet);
+        let scheduler = Scheduler::max_min();
+        let empty_prev = FleetOutcome::empty(Policy::MaxMin);
+        let out = scheduler.run_warm(
+            &fleet,
+            &evaluator,
+            &empty_prev,
+            &WarmConfig::paper_default(),
+        );
+        let cold = scheduler.run_with_evaluator(&fleet, &evaluator);
+        assert_eq!(out.shared_bias, cold.shared_bias);
+        assert_eq!(out.probes, cold.probes);
+        assert_eq!(out.score, cold.score);
+    }
+
+    #[test]
+    fn update_device_repreps_one_link_incrementally() {
+        let mut fleet = small_fleet();
+        let mut evaluator = FleetEvaluator::new(&fleet);
+        // Rotation: a cheap rebind (cached scatter reused).
+        fleet.device_mut(0).scenario.rx = propagation::antenna::OrientedAntenna::new(
+            fleet.devices()[0].scenario.rx.antenna.clone(),
+            Degrees(33.0),
+        );
+        assert!(evaluator.update_device(0, &fleet.devices()[0]));
+        // Walk: a full re-preparation (scatter depends on the distance).
+        fleet.device_mut(1).scenario = fleet.devices()[1].scenario.clone().with_distance_cm(410.0);
+        assert!(!evaluator.update_device(1, &fleet.devices()[1]));
+        // The incrementally updated evaluator answers exactly like one
+        // compiled from scratch against the moved fleet.
+        let fresh = FleetEvaluator::new(&fleet);
+        let bias = BiasState::new(11.0, 4.0);
+        assert_eq!(evaluator.powers_dbm(bias), fresh.powers_dbm(bias));
+    }
+
+    #[test]
+    #[should_panic(expected = "carrier")]
+    fn update_device_rejects_a_retuned_radio() {
+        let fleet = small_fleet();
+        let mut evaluator = FleetEvaluator::new(&fleet);
+        let mut retuned = fleet.devices()[0].clone();
+        retuned.scenario.frequency = rfmath::units::Hertz::from_ghz(5.8);
+        let _ = evaluator.update_device(0, &retuned);
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //!   assignment by geometry/polarization, a per-panel Algorithm 1
 //!   scheduler ([`panels::PanelScheduler`]), and the typed front of the
 //!   async many-fleet [`control::server::FleetServer`];
+//! * [`sim`] — the event-stepped mobility simulator: moving fleets
+//!   ([`sim::DynamicFleet`] with waypoint walks, turntable rotation and
+//!   transient human blockage), panel handoff with dwell + dB
+//!   hysteresis ([`sim::HandoffPolicy`]), warm-start re-optimization
+//!   seeded from the previous tick, and PSU-aware tick budgets that
+//!   bill probing airtime and rail settling against serving duty;
 //! * [`multilink`] — the §7 outlook: several receivers sharing one
 //!   surface, with max-min fairness and favor/suppress (polarization
 //!   access control) policies (now thin wrappers over [`fleet`]);
@@ -50,6 +56,7 @@ pub mod panels;
 pub mod render;
 pub mod scenario;
 pub mod sensing;
+pub mod sim;
 pub mod system;
 
 pub use fleet::{Fleet, FleetDevice, FleetEvaluator, FleetOutcome, Policy, Scheduler};
@@ -58,4 +65,8 @@ pub use panels::{
 };
 pub use scenario::{EndpointKind, Scenario};
 pub use sensing::{run_sensing, SensingConfig, SensingResult};
+pub use sim::{
+    Blockage, DynamicFleet, HandoffPolicy, MobilityModel, MobilitySim, SimConfig, SimReport,
+    TickOutcome,
+};
 pub use system::{LlamaSystem, OptimizeOutcome};

@@ -52,6 +52,7 @@
 //! ```
 
 use control::server::FleetServer;
+use control::sweep::WarmConfig;
 use metasurface::designs::Design;
 use metasurface::evaluator::PlanCache;
 use metasurface::response::SurfaceResponse;
@@ -65,7 +66,10 @@ use crate::scenario::Scenario;
 
 /// The reference bias the measurement-driven assignment probes each
 /// panel at (the workhorse mid-range state used across the experiments).
-const REFERENCE_BIAS: BiasState = BiasState {
+/// The mobility simulator's handoff margins are measured at the same
+/// state, so an assignment and the hysteresis layered on it agree about
+/// what "better panel" means.
+pub(crate) const REFERENCE_BIAS: BiasState = BiasState {
     vx: rfmath::units::Volts(6.0),
     vy: rfmath::units::Volts(6.0),
 };
@@ -107,7 +111,7 @@ impl Panel {
 
     /// The scenario a device sees when served by this panel: its own
     /// geometry and radio, this panel's design and mounting position.
-    fn scenario_for(&self, base: &Scenario) -> Scenario {
+    pub(crate) fn scenario_for(&self, base: &Scenario) -> Scenario {
         let mut scenario = base.clone().with_design(self.design.clone());
         if let Some(fraction) = self.surface_fraction {
             scenario.deployment = scenario.deployment.with_surface_fraction(fraction);
@@ -116,7 +120,7 @@ impl Panel {
     }
 
     /// The deployment a device's link takes under this panel.
-    fn deployment_for(&self, base: Deployment) -> Deployment {
+    pub(crate) fn deployment_for(&self, base: Deployment) -> Deployment {
         match self.surface_fraction {
             Some(fraction) => base.with_surface_fraction(fraction),
             None => base,
@@ -155,6 +159,27 @@ impl PanelArray {
         Self { panels }
     }
 
+    /// [`PanelArray::uniform`] with the panels additionally *distributed
+    /// along the served links*: panel `i` hangs at surface fraction
+    /// `(i + 1) / (k + 1)`, so each panel sees genuinely different
+    /// bounce-path physics. On a plain uniform array every panel
+    /// measures bit-identically (same design, same mount point) and
+    /// measured-margin policies — [`Assignment::BestReference`], the
+    /// mobility simulator's handoff hysteresis — degenerate to sector
+    /// ties; a distributed array is what makes movement change the
+    /// per-panel margins, and with them the handoff story.
+    pub fn distributed(design: Design, k: usize) -> Self {
+        assert!(k >= 1, "a panel array needs at least one panel");
+        let panels = (0..k)
+            .map(|i| {
+                let center = -90.0 + 180.0 * (i as f64 + 0.5) / k as f64;
+                Panel::new(format!("panel {i}"), design.clone(), Degrees(center))
+                    .at_surface_fraction((i as f64 + 1.0) / (k as f64 + 1.0))
+            })
+            .collect();
+        Self { panels }
+    }
+
     /// The panels, in array order.
     pub fn panels(&self) -> &[Panel] {
         &self.panels
@@ -173,7 +198,7 @@ impl PanelArray {
     /// One shared [`PlanCache`] per *distinct design* across the array
     /// (keyed by design name, the catalog identity): panels cut from the
     /// same design share every compiled cascade plan.
-    fn plan_caches(&self) -> Vec<(&'static str, PlanCache)> {
+    pub(crate) fn plan_caches(&self) -> Vec<(&'static str, PlanCache)> {
         let mut caches: Vec<(&'static str, PlanCache)> = Vec::new();
         for panel in &self.panels {
             if !caches.iter().any(|(name, _)| *name == panel.design.name) {
@@ -183,7 +208,10 @@ impl PanelArray {
         caches
     }
 
-    fn cache_for<'c>(caches: &'c [(&'static str, PlanCache)], design: &Design) -> &'c PlanCache {
+    pub(crate) fn cache_for<'c>(
+        caches: &'c [(&'static str, PlanCache)],
+        design: &Design,
+    ) -> &'c PlanCache {
         &caches
             .iter()
             .find(|(name, _)| *name == design.name)
@@ -201,7 +229,7 @@ impl PanelArray {
     /// caller-owned caches, so the panel scheduler compiles each
     /// design × carrier plan once per run instead of once for assignment
     /// and again for evaluation.
-    fn assign_with_caches(
+    pub(crate) fn assign_with_caches(
         &self,
         fleet: &Fleet,
         assignment: &Assignment,
@@ -451,6 +479,25 @@ impl PanelOutcome {
         self.per_device.iter().map(|d| d.throughput_bits_hz).sum()
     }
 
+    /// True when `other` is the *same allocation*: identical device →
+    /// panel assignment, per-panel biases, per-device served powers and
+    /// fleet score, compared exactly (bit-for-bit on the floats). Probe
+    /// counts and histories are deliberately excluded — a warm-started
+    /// or reused re-optimization that lands on the same allocation at a
+    /// fraction of the probe bill *is* equivalent, and that distinction
+    /// is the mobility simulator's whole point.
+    pub fn same_allocation(&self, other: &PanelOutcome) -> bool {
+        self.assignment == other.assignment
+            && self.score.to_bits() == other.score.to_bits()
+            && self.panel_biases() == other.panel_biases()
+            && self.per_device.len() == other.per_device.len()
+            && self
+                .per_device
+                .iter()
+                .zip(&other.per_device)
+                .all(|(a, b)| a.power_dbm.to_bits() == b.power_dbm.to_bits() && a.bias == b.bias)
+    }
+
     /// The bias each panel converged on (`None` for idle panels or
     /// per-device time division).
     pub fn panel_biases(&self) -> Vec<Option<BiasState>> {
@@ -510,8 +557,66 @@ impl PanelScheduler {
         // run.
         let caches = array.plan_caches();
         let assignment = array.assign_with_caches(fleet, &self.assignment, &caches);
-        let subfleets = array.subfleets(fleet, &assignment);
+        self.run_assigned(
+            fleet,
+            array,
+            assignment,
+            &caches,
+            |_, scheduler, sub, eval| scheduler.run_with_evaluator(sub, eval),
+        )
+    }
 
+    /// Warm-start re-optimization against a previous outcome: every
+    /// panel keeps `prev`'s device assignment and refines from its own
+    /// previous bias through [`Scheduler::run_warm`] (per-panel cold
+    /// widening included). Re-assignment under mobility is deliberately
+    /// *not* this method's job — the simulator's hysteresis policy
+    /// ([`crate::sim::HandoffPolicy`]) owns that decision, because a
+    /// bare re-assignment per tick would flap devices between panels on
+    /// every fade. This is the stateless warm front; the event-stepped
+    /// simulator ([`crate::sim::MobilitySim`]) adds persistent
+    /// evaluators on top so unchanged links are not even re-prepared.
+    pub fn run_warm(
+        &self,
+        fleet: &Fleet,
+        array: &PanelArray,
+        prev: &PanelOutcome,
+        warm: &WarmConfig,
+    ) -> PanelOutcome {
+        assert_eq!(
+            prev.assignment.len(),
+            fleet.len(),
+            "previous outcome covers a different fleet"
+        );
+        assert_eq!(
+            prev.per_panel.len(),
+            array.len(),
+            "previous outcome ran on a different array"
+        );
+        let caches = array.plan_caches();
+        self.run_assigned(
+            fleet,
+            array,
+            prev.assignment.clone(),
+            &caches,
+            |k, scheduler, sub, eval| {
+                scheduler.run_warm(sub, eval, &prev.per_panel[k].outcome, warm)
+            },
+        )
+    }
+
+    /// The shared per-panel scheduling loop: split `fleet` under a fixed
+    /// `assignment`, run `schedule` per populated panel (empty panels
+    /// take the empty-fleet guard), and assemble the array outcome.
+    fn run_assigned(
+        &self,
+        fleet: &Fleet,
+        array: &PanelArray,
+        assignment: Vec<usize>,
+        caches: &[(&'static str, PlanCache)],
+        schedule: impl Fn(usize, &Scheduler, &Fleet, &FleetEvaluator) -> FleetOutcome,
+    ) -> PanelOutcome {
+        let subfleets = array.subfleets(fleet, &assignment);
         let mut per_panel = Vec::with_capacity(array.len());
         let mut services: Vec<Option<DeviceService>> = vec![None; fleet.len()];
         let mut probes = 0usize;
@@ -523,9 +628,9 @@ impl PanelScheduler {
             let outcome = if subfleet.is_empty() {
                 scheduler.run(&subfleet)
             } else {
-                let cache = PanelArray::cache_for(&caches, &array.panels()[k].design);
+                let cache = PanelArray::cache_for(caches, &array.panels()[k].design);
                 let evaluator = FleetEvaluator::with_plan_cache(&subfleet, cache);
-                scheduler.run_with_evaluator(&subfleet, &evaluator)
+                schedule(k, &scheduler, &subfleet, &evaluator)
             };
             probes += outcome.probes;
             elapsed = elapsed.max(outcome.elapsed.0);
@@ -558,7 +663,7 @@ impl PanelScheduler {
     /// The scheduler one panel runs, translating a fleet-order
     /// [`Policy::Favor`] index into the panel's sub-fleet (max-min
     /// everywhere the favored device is absent or alone).
-    fn panel_scheduler(&self, members: &[usize]) -> Scheduler {
+    pub(crate) fn panel_scheduler(&self, members: &[usize]) -> Scheduler {
         let mut scheduler = self.base.clone();
         if let Policy::Favor { favored } = self.base.policy {
             scheduler.policy = match members.iter().position(|&d| d == favored) {
@@ -731,6 +836,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn distributed_array_panels_measure_differently() {
+        // Distributed panels hang at different points along the link, so
+        // the same device sees genuinely different physics per panel —
+        // the property the handoff margins live on (a uniform array ties
+        // bit-for-bit instead).
+        let fleet = quad_fleet();
+        let array = PanelArray::distributed(fleet.design.clone(), 3);
+        assert_eq!(array.len(), 3);
+        let bias = [BiasState::new(6.0, 6.0)];
+        let all_on_one = |k: usize| {
+            let assignment = vec![k; fleet.len()];
+            array.batched_panel_matrices(&fleet, &assignment, &bias)[k][0].clone()
+        };
+        let p0 = all_on_one(0);
+        let p2 = all_on_one(2);
+        assert!(p0.iter().zip(&p2).any(|(a, b)| (a - b).abs() > 1e-9));
+    }
+
+    #[test]
+    fn warm_panel_run_keeps_assignment_and_never_regresses() {
+        let fleet = Fleet::mixed_wifi_ble(8, 77);
+        let array = PanelArray::uniform(fleet.design.clone(), 2);
+        let scheduler = PanelScheduler::max_min();
+        let cold = scheduler.run(&fleet, &array);
+        let warm = scheduler.run_warm(&fleet, &array, &cold, &WarmConfig::paper_default());
+        assert_eq!(warm.assignment, cold.assignment);
+        assert!(
+            warm.min_power_dbm() >= cold.min_power_dbm(),
+            "warm {:.2} vs cold {:.2} dBm",
+            warm.min_power_dbm(),
+            cold.min_power_dbm()
+        );
+        assert!(warm.probes < cold.probes, "warm must spend fewer probes");
     }
 
     #[test]

@@ -1,0 +1,845 @@
+//! The event-stepped mobility simulation engine.
+//!
+//! [`MobilitySim::run`] advances a [`DynamicFleet`] tick by tick and
+//! drives the panel scheduler as the *inner loop* of each tick, in one
+//! of two modes:
+//!
+//! * **cold** ([`SimConfig::cold`]) — the memoryless baseline: every
+//!   tick re-runs the full [`PanelScheduler::run`] (fresh plan caches,
+//!   fresh link preparations, the full Algorithm 1 probe bill). This is
+//!   what PR 4's API offers a dynamic world, and what the warm path is
+//!   measured against.
+//! * **warm** (default) — the incremental controller: plan caches,
+//!   per-panel evaluators and per-device reference links persist across
+//!   ticks; only the dirty set's links are re-prepared
+//!   ([`crate::fleet::FleetEvaluator::update_device`]); panels whose
+//!   devices did not move *reuse* the previous allocation outright (zero
+//!   probes), and panels that did move re-optimize through
+//!   [`crate::fleet::Scheduler::run_warm`] — a handful of probes seeded
+//!   from the previous bias, widening to the cold search only on a
+//!   genuine score regression.
+//!
+//! On top of scheduling, each tick settles two pieces of physical
+//! accounting the static schedulers never had to face:
+//!
+//! * **panel handoff with hysteresis** ([`HandoffPolicy`]) — a device
+//!   migrates to a better panel only after its measured reference-power
+//!   margin exceeds `hysteresis_db` for `dwell_ticks` consecutive
+//!   ticks, and every migration costs the affected panels a cold
+//!   re-search (their sub-fleets changed);
+//! * **PSU-aware tick budgets** — a bias change is an atomic
+//!   switch-plus-settle interval gated by
+//!   [`control::psu::PowerSupply::next_switch_time`]; probing airtime
+//!   and settling are billed against the tick, changes that cannot
+//!   complete are deferred into the next tick, and the per-tick duty
+//!   cycle (and with it the reported throughput) is reduced
+//!   accordingly. Re-optimizing faster than the probe budget allows
+//!   starves the link — the reconfiguration-workload effect the
+//!   programmable-environment literature centers on.
+
+use std::time::Instant;
+
+use control::psu::PowerSupply;
+use control::sweep::WarmConfig;
+use metasurface::evaluator::PlanCache;
+use metasurface::response::SurfaceResponse;
+use metasurface::stack::BiasState;
+use propagation::capacity::duty_cycled_throughput;
+use propagation::link::PreparedLink;
+use rfmath::units::{Dbm, Seconds};
+
+use crate::fleet::{Fleet, FleetEvaluator, FleetOutcome, Policy};
+use crate::panels::{PanelAllocation, PanelArray, PanelOutcome, PanelScheduler, REFERENCE_BIAS};
+use crate::sim::mobility::DynamicFleet;
+
+/// Device→panel handoff policy: hysteresis in measured margin plus a
+/// dwell requirement, so a device on a sector boundary does not flap
+/// between panels on every fade.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HandoffPolicy {
+    /// Reference-power margin (dB) a candidate panel must hold over the
+    /// device's current panel before a migration is even considered.
+    /// The comparison is strict, so identical panels (a uniform array)
+    /// never trigger handoffs regardless of this setting.
+    pub hysteresis_db: f64,
+    /// Consecutive *moving* ticks the margin must persist before the
+    /// device actually migrates (values below 1 behave as 1). Only
+    /// devices in a tick's dirty set are considered at all — a parked
+    /// device keeps its panel regardless of margin (re-homing static
+    /// devices is the assignment policy's job, and the zero-motion
+    /// equivalence contract depends on it), and parking resets the
+    /// streak.
+    pub dwell_ticks: usize,
+}
+
+impl Default for HandoffPolicy {
+    fn default() -> Self {
+        Self {
+            hysteresis_db: 2.0,
+            dwell_ticks: 2,
+        }
+    }
+}
+
+/// Simulation-engine configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Tick length — how often the controller re-examines the world.
+    pub tick: Seconds,
+    /// Warm-start configuration; `None` selects the cold (memoryless)
+    /// baseline that re-runs the full scheduler every tick.
+    pub warm: Option<WarmConfig>,
+    /// Handoff hysteresis (warm mode only; the cold baseline re-assigns
+    /// from scratch every tick, which is exactly the flapping behavior
+    /// hysteresis exists to prevent).
+    pub handoff: HandoffPolicy,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            tick: Seconds(1.0),
+            warm: Some(WarmConfig::paper_default()),
+            handoff: HandoffPolicy::default(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// The cold (memoryless, full re-search) baseline configuration.
+    pub fn cold() -> Self {
+        Self {
+            warm: None,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the tick length.
+    pub fn with_tick(mut self, tick: Seconds) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Sets the handoff policy.
+    pub fn with_handoff(mut self, handoff: HandoffPolicy) -> Self {
+        self.handoff = handoff;
+        self
+    }
+}
+
+/// Everything one simulation tick produced.
+#[derive(Clone, Debug)]
+pub struct TickOutcome {
+    /// Simulation time at the tick's start.
+    pub t: Seconds,
+    /// Devices whose link changed at this clock edge (the dirty set).
+    pub moved: Vec<usize>,
+    /// Devices migrated to another panel this tick.
+    pub handoffs: usize,
+    /// The tick's scheduling decision: assignment, proposed per-panel
+    /// biases, per-device service at those biases. Its `probes` field
+    /// counts what was spent *this* tick — panels that reused their
+    /// previous allocation contribute nothing, which is the point of
+    /// the warm engine.
+    pub outcome: PanelOutcome,
+    /// The bias actually on each panel's rails at the tick's end (a
+    /// deferred change leaves the previous bias in force).
+    pub applied: Vec<BiasState>,
+    /// Serving duty per panel: the fraction of the tick left after
+    /// probing airtime, rail settling and deferred-switch spillover.
+    pub panel_duty: Vec<f64>,
+    /// Bias changes still pending on the rails at the tick's end.
+    pub deferred_switches: usize,
+    /// Links fully re-prepared this tick (walked devices, membership
+    /// rebuilds).
+    pub links_reprepared: usize,
+    /// Links cheaply rebound this tick (rotations, blockage edges —
+    /// cached scatter reused).
+    pub links_rebound: usize,
+    /// Panels that ran the full cold search this tick.
+    pub cold_panels: usize,
+    /// Panels that ran a warm refinement this tick.
+    pub warm_panels: usize,
+    /// Populated panels that reused their previous allocation outright.
+    pub reused_panels: usize,
+    /// Worst served power across the fleet at the *applied* biases, dBm
+    /// (`-∞` for an empty fleet).
+    pub served_min_power_dbm: f64,
+    /// Aggregate duty-cycled throughput at the applied biases, bit/s/Hz
+    /// — the honest number: reconfiguration airtime is paid for here.
+    pub served_throughput_bits_hz: f64,
+    /// Wall-clock the controller spent computing this tick, ms (the
+    /// quantity the warm-vs-cold bench compares).
+    pub wall_ms: f64,
+}
+
+/// A completed simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Per-tick outcomes, in time order.
+    pub ticks: Vec<TickOutcome>,
+    /// Total handoffs across the run.
+    pub handoffs: usize,
+    /// Total controller wall-clock, ms.
+    pub wall_ms: f64,
+}
+
+impl SimReport {
+    /// Mean worst-device served power across ticks, dBm.
+    pub fn mean_served_min_power_dbm(&self) -> f64 {
+        if self.ticks.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        self.ticks
+            .iter()
+            .map(|t| t.served_min_power_dbm)
+            .sum::<f64>()
+            / self.ticks.len() as f64
+    }
+
+    /// Mean serving duty, device-weighted (each device contributes its
+    /// own panel's duty, each tick).
+    pub fn mean_duty(&self) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for tick in &self.ticks {
+            for &panel in &tick.outcome.assignment {
+                total += tick.panel_duty[panel];
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return 0.0;
+        }
+        total / n as f64
+    }
+
+    /// Total bias states probed across the run.
+    pub fn total_probes(&self) -> usize {
+        self.ticks.iter().map(|t| t.outcome.probes).sum()
+    }
+
+    /// Total full link re-preparations across the run.
+    pub fn total_links_reprepared(&self) -> usize {
+        self.ticks.iter().map(|t| t.links_reprepared).sum()
+    }
+
+    /// Total cheap link rebinds across the run.
+    pub fn total_links_rebound(&self) -> usize {
+        self.ticks.iter().map(|t| t.links_rebound).sum()
+    }
+}
+
+/// How one panel's allocation was produced this tick.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum SearchKind {
+    Reused,
+    Warm,
+    Cold,
+}
+
+/// Persistent per-panel state of the engine (the PSU half is live in
+/// both modes; the evaluator half only in warm mode).
+struct PanelState {
+    members: Vec<usize>,
+    subfleet: Fleet,
+    evaluator: Option<FleetEvaluator>,
+    psu: PowerSupply,
+    applied: BiasState,
+    /// An in-flight bias change: target plus remaining switch+settle
+    /// seconds that spilled past the previous tick.
+    pending: Option<(BiasState, f64)>,
+    prev: Option<FleetOutcome>,
+    moved: bool,
+    membership_changed: bool,
+}
+
+impl PanelState {
+    fn new(placeholder: &Fleet) -> Self {
+        let mut psu = PowerSupply::tektronix_2230g();
+        psu.execute("OUTP ON", Seconds(0.0));
+        Self {
+            members: Vec::new(),
+            subfleet: Fleet::new(placeholder.design.clone()),
+            evaluator: None,
+            psu,
+            applied: BiasState::new(0.0, 0.0),
+            pending: None,
+            prev: None,
+            moved: false,
+            membership_changed: false,
+        }
+    }
+}
+
+/// PSU bookkeeping for one panel over one tick: complete any pending
+/// reconfiguration first, bill the tick's probing airtime, then attempt
+/// the freshly proposed change. A change is an atomic switch+settle
+/// interval: the switch instant is gated by the supply's
+/// `next_switch_time` rate limit, and if the settle cannot complete
+/// within the tick the whole change is deferred (the old bias keeps
+/// serving). Returns `(seconds of the tick consumed, changes deferred)`.
+fn settle_psu(
+    state: &mut PanelState,
+    tick_start: f64,
+    tick_len: f64,
+    search_airtime: f64,
+    proposed: Option<BiasState>,
+) -> (f64, usize) {
+    let settling = state.psu.settling.0;
+    let mut used = 0.0f64;
+
+    // 1. An in-flight change from a previous tick completes first.
+    if let Some((target, rem)) = state.pending.take() {
+        let switch_at =
+            (tick_start + (rem - settling).max(0.0)).max(state.psu.next_switch_time().0);
+        let completed = switch_at + settling - tick_start;
+        if completed <= tick_len {
+            state
+                .psu
+                .set_bias(target.vx, target.vy, Seconds(switch_at))
+                .expect("pending switch lands at a legal time");
+            state.applied = target;
+            used = completed;
+        } else {
+            state.pending = Some((target, completed - tick_len));
+            return (tick_len, 1);
+        }
+    }
+
+    // 2. Probing airtime of this tick's search (zero on a reused tick).
+    used = (used + search_airtime).min(tick_len);
+
+    // 3. The freshly proposed change, if it differs from the rails.
+    if let Some(target) = proposed {
+        if target != state.applied {
+            let switch_at = (tick_start + used).max(state.psu.next_switch_time().0);
+            let completed = switch_at + settling - tick_start;
+            if completed <= tick_len {
+                state
+                    .psu
+                    .set_bias(target.vx, target.vy, Seconds(switch_at))
+                    .expect("proposed switch lands at a legal time");
+                state.applied = target;
+                return (completed.clamp(0.0, tick_len), 0);
+            }
+            state.pending = Some((target, completed - tick_len));
+            return (tick_len, 1);
+        }
+    }
+    (used.clamp(0.0, tick_len), 0)
+}
+
+/// The event-stepped mobility simulator: a [`PanelScheduler`] driven
+/// tick by tick over a [`DynamicFleet`] and a [`PanelArray`], with
+/// warm-start re-optimization, handoff hysteresis and PSU-honest duty
+/// accounting.
+#[derive(Clone, Debug)]
+pub struct MobilitySim {
+    /// The per-tick scheduling core (policy, sweep, and the assignment
+    /// policy used on the first tick). Must be a shared-bias policy —
+    /// time division has no single rail state to hold between ticks.
+    pub scheduler: PanelScheduler,
+    /// Engine configuration.
+    pub config: SimConfig,
+}
+
+impl MobilitySim {
+    /// A simulator around a scheduler and a configuration.
+    pub fn new(scheduler: PanelScheduler, config: SimConfig) -> Self {
+        Self { scheduler, config }
+    }
+
+    /// Runs `ticks` clock edges, advancing `fleet` and re-optimizing the
+    /// array each tick. The fleet is mutated in place (it *is* the world
+    /// state); construct a fresh fleet to run a second scenario.
+    ///
+    /// # Panics
+    /// Panics on zero ticks, a non-positive tick length, or a
+    /// `TimeDivision` base policy.
+    pub fn run(&self, fleet: &mut DynamicFleet, array: &PanelArray, ticks: usize) -> SimReport {
+        assert!(ticks >= 1, "need at least one tick");
+        assert!(self.config.tick.0 > 0.0, "tick length must be positive");
+        assert!(
+            !matches!(self.scheduler.base.policy, Policy::TimeDivision),
+            "the mobility simulator serves shared-bias policies: time division \
+             has no single rail state to hold between ticks"
+        );
+        match self.config.warm {
+            Some(warm) => self.run_warm_mode(fleet, array, ticks, &warm),
+            None => self.run_cold_mode(fleet, array, ticks),
+        }
+    }
+
+    /// The memoryless baseline: every tick pays the full PR-4 bill —
+    /// fresh plan caches, fresh link preparations, full Algorithm 1.
+    fn run_cold_mode(
+        &self,
+        fleet: &mut DynamicFleet,
+        array: &PanelArray,
+        ticks: usize,
+    ) -> SimReport {
+        let mut states: Vec<PanelState> = (0..array.len())
+            .map(|_| PanelState::new(fleet.fleet()))
+            .collect();
+        let mut out = Vec::with_capacity(ticks);
+        let mut wall_total = 0.0f64;
+        for i in 0..ticks {
+            let started = Instant::now();
+            let t = Seconds(i as f64 * self.config.tick.0);
+            let moved = fleet.advance_to(t);
+            let outcome = self.scheduler.run(fleet.fleet(), array);
+            let cold_panels = outcome
+                .per_panel
+                .iter()
+                .filter(|p| !p.devices.is_empty())
+                .count();
+            let kinds = vec![SearchKind::Cold; array.len()];
+            let mut tick_out = self.settle_tick(
+                fleet.fleet(),
+                array,
+                &mut states,
+                t,
+                moved,
+                0,
+                outcome,
+                &kinds,
+                started,
+            );
+            tick_out.links_reprepared = fleet.len();
+            tick_out.cold_panels = cold_panels;
+            wall_total += tick_out.wall_ms;
+            out.push(tick_out);
+        }
+        SimReport {
+            ticks: out,
+            handoffs: 0,
+            wall_ms: wall_total,
+        }
+    }
+
+    /// The incremental engine: persistent caches, evaluators and
+    /// reference links; dirty-set link updates; hysteresis handoff;
+    /// reuse/warm/cold scheduling per panel.
+    fn run_warm_mode(
+        &self,
+        fleet: &mut DynamicFleet,
+        array: &PanelArray,
+        ticks: usize,
+        warm: &WarmConfig,
+    ) -> SimReport {
+        let caches = array.plan_caches();
+        let mut states: Vec<PanelState> = (0..array.len())
+            .map(|_| PanelState::new(fleet.fleet()))
+            .collect();
+        let mut assignment: Vec<usize> = Vec::new();
+        let mut streaks: Vec<(usize, usize)> = vec![(0, 0); fleet.len()];
+        let mut ref_links: Vec<Vec<PreparedLink>> = Vec::new();
+        // Reference responses per panel × carrier (bias-independent:
+        // computed once for the whole run).
+        let mut ref_responses: Vec<Vec<(u64, SurfaceResponse)>> = vec![Vec::new(); array.len()];
+
+        let mut out = Vec::with_capacity(ticks);
+        let mut handoffs_total = 0usize;
+        let mut wall_total = 0.0f64;
+        for i in 0..ticks {
+            let started = Instant::now();
+            let t = Seconds(i as f64 * self.config.tick.0);
+            let moved = fleet.advance_to(t);
+            let mut reprepared = 0usize;
+            let mut rebound = 0usize;
+
+            if i == 0 {
+                // First tick: run the assignment policy and build every
+                // persistent structure. All panels search cold, exactly
+                // like the static PanelScheduler would.
+                assignment =
+                    array.assign_with_caches(fleet.fleet(), &self.scheduler.assignment, &caches);
+                for (k, responses) in ref_responses.iter_mut().enumerate() {
+                    for device in fleet.fleet().devices() {
+                        let bits = device.scenario.frequency.0.to_bits();
+                        if !responses.iter().any(|(b, _)| *b == bits) {
+                            let plan = PanelArray::cache_for(&caches, &array.panels()[k].design)
+                                .plan(device.scenario.frequency);
+                            let response = SurfaceResponse::new(
+                                plan.frequency(),
+                                plan.response(REFERENCE_BIAS),
+                            );
+                            responses.push((bits, response));
+                        }
+                    }
+                }
+                ref_links = fleet
+                    .fleet()
+                    .devices()
+                    .iter()
+                    .map(|device| {
+                        let base = PreparedLink::new(device.scenario.link());
+                        array
+                            .panels()
+                            .iter()
+                            .map(|p| {
+                                base.with_surface_placement(
+                                    p.deployment_for(device.scenario.deployment),
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect();
+                reprepared += fleet.len();
+                Self::rebuild_panels(
+                    fleet.fleet(),
+                    array,
+                    &caches,
+                    &assignment,
+                    &mut states,
+                    &(0..array.len()).collect::<Vec<_>>(),
+                );
+            } else {
+                // Refresh the per-device reference links for the dirty
+                // set (the handoff margins live on them); rebinds reuse
+                // cached scatter whenever the move allows.
+                for &d in &moved {
+                    let device = &fleet.fleet().devices()[d];
+                    for (k, panel) in array.panels().iter().enumerate() {
+                        let mut link = device.scenario.link();
+                        link.deployment = panel.deployment_for(device.scenario.deployment);
+                        ref_links[d][k] = ref_links[d][k].rebind(link);
+                    }
+                }
+            }
+
+            // Handoff decisions: after the first tick, with somewhere to
+            // go, and only for devices that actually moved this tick —
+            // a parked device keeps its panel no matter how its initial
+            // assignment measures up (re-homing static devices is the
+            // assignment policy's job at tick 0, and touching them here
+            // would break the zero-motion warm==cold contract on
+            // distributed arrays). Parked devices also reset their
+            // dwell streaks: "dwell" counts consecutive *moving* ticks.
+            let mut handoffs = 0usize;
+            if i > 0 && array.len() >= 2 && !fleet.is_empty() {
+                let mut is_dirty = vec![false; fleet.len()];
+                for &d in &moved {
+                    is_dirty[d] = true;
+                }
+                let mut changed_panels: Vec<usize> = Vec::new();
+                for d in 0..fleet.len() {
+                    if !is_dirty[d] {
+                        streaks[d] = (assignment[d], 0);
+                        continue;
+                    }
+                    let bits = fleet.fleet().devices()[d].scenario.frequency.0.to_bits();
+                    let power_on = |k: usize| {
+                        let response = ref_responses[k]
+                            .iter()
+                            .find(|(b, _)| *b == bits)
+                            .map(|(_, r)| r)
+                            .expect("reference responses prebuilt for every carrier");
+                        ref_links[d][k].received_dbm_with(Some(response)).0
+                    };
+                    let cur = assignment[d];
+                    let cur_power = power_on(cur);
+                    let mut preferred = cur;
+                    let mut best = f64::NEG_INFINITY;
+                    for k in 0..array.len() {
+                        if k == cur {
+                            continue;
+                        }
+                        let p = power_on(k);
+                        if p > best {
+                            best = p;
+                            preferred = k;
+                        }
+                    }
+                    if preferred != cur && best - cur_power > self.config.handoff.hysteresis_db {
+                        streaks[d] = if streaks[d].0 == preferred {
+                            (preferred, streaks[d].1 + 1)
+                        } else {
+                            (preferred, 1)
+                        };
+                        if streaks[d].1 >= self.config.handoff.dwell_ticks.max(1) {
+                            changed_panels.push(cur);
+                            changed_panels.push(preferred);
+                            assignment[d] = preferred;
+                            streaks[d] = (preferred, 0);
+                            handoffs += 1;
+                        }
+                    } else {
+                        streaks[d] = (cur, 0);
+                    }
+                }
+                handoffs_total += handoffs;
+                if !changed_panels.is_empty() {
+                    changed_panels.sort_unstable();
+                    changed_panels.dedup();
+                    reprepared += Self::rebuild_panels(
+                        fleet.fleet(),
+                        array,
+                        &caches,
+                        &assignment,
+                        &mut states,
+                        &changed_panels,
+                    );
+                }
+            }
+
+            // Incremental link updates for moved devices whose panel
+            // membership did not change.
+            if i > 0 {
+                for &d in &moved {
+                    let k = assignment[d];
+                    let state = &mut states[k];
+                    if state.membership_changed {
+                        continue; // just rebuilt from scratch
+                    }
+                    let sub = state
+                        .members
+                        .iter()
+                        .position(|&m| m == d)
+                        .expect("assignment and membership agree");
+                    state.subfleet.device_mut(sub).scenario =
+                        array.panels()[k].scenario_for(&fleet.fleet().devices()[d].scenario);
+                    let member = state.subfleet.devices()[sub].clone();
+                    let cheap = state
+                        .evaluator
+                        .as_mut()
+                        .expect("populated panel has an evaluator")
+                        .update_device(sub, &member);
+                    if cheap {
+                        rebound += 1;
+                    } else {
+                        reprepared += 1;
+                    }
+                    state.moved = true;
+                }
+            }
+
+            // Per-panel scheduling: reuse, warm-refine, or cold.
+            let mut kinds = Vec::with_capacity(array.len());
+            let mut panel_outcomes: Vec<FleetOutcome> = Vec::with_capacity(array.len());
+            let mut probes = 0usize;
+            for state in states.iter_mut() {
+                let scheduler = self.scheduler.panel_scheduler(&state.members);
+                let (outcome, kind) = match (&state.evaluator, &state.prev) {
+                    (None, _) => (FleetOutcome::empty(scheduler.policy), SearchKind::Reused),
+                    (Some(_), Some(prev)) if !state.moved => (prev.clone(), SearchKind::Reused),
+                    (Some(evaluator), Some(prev)) => (
+                        scheduler.run_warm(&state.subfleet, evaluator, prev, warm),
+                        SearchKind::Warm,
+                    ),
+                    (Some(evaluator), None) => (
+                        scheduler.run_with_evaluator(&state.subfleet, evaluator),
+                        SearchKind::Cold,
+                    ),
+                };
+                if kind != SearchKind::Reused {
+                    probes += outcome.probes;
+                    state.prev = Some(outcome.clone());
+                }
+                state.moved = false;
+                state.membership_changed = false;
+                kinds.push(kind);
+                panel_outcomes.push(outcome);
+            }
+
+            // Assemble the tick's scheduling decision exactly like the
+            // static scheduler does.
+            let mut services = vec![None; fleet.len()];
+            let mut per_panel = Vec::with_capacity(array.len());
+            let mut elapsed = 0.0f64;
+            for (k, outcome) in panel_outcomes.into_iter().enumerate() {
+                if kinds[k] != SearchKind::Reused {
+                    elapsed = elapsed.max(outcome.elapsed.0);
+                }
+                for (service, &d) in outcome.per_device.iter().zip(&states[k].members) {
+                    services[d] = Some(service.clone());
+                }
+                per_panel.push(PanelAllocation {
+                    panel: array.panels()[k].label.clone(),
+                    devices: states[k].members.clone(),
+                    outcome,
+                });
+            }
+            let per_device: Vec<_> = services
+                .into_iter()
+                .map(|s| s.expect("every device is assigned to exactly one panel"))
+                .collect();
+            let mut outcome = PanelOutcome {
+                assignment: assignment.clone(),
+                per_panel,
+                per_device,
+                probes,
+                elapsed: Seconds(elapsed),
+                score: f64::NEG_INFINITY,
+            };
+            outcome.score = outcome.min_power_dbm();
+
+            let cold_panels = kinds.iter().filter(|k| **k == SearchKind::Cold).count();
+            let warm_panels = kinds.iter().filter(|k| **k == SearchKind::Warm).count();
+            let reused_panels = kinds
+                .iter()
+                .zip(&states)
+                .filter(|(k, s)| **k == SearchKind::Reused && s.evaluator.is_some())
+                .count();
+            let mut tick_out = self.settle_tick(
+                fleet.fleet(),
+                array,
+                &mut states,
+                t,
+                moved,
+                handoffs,
+                outcome,
+                &kinds,
+                started,
+            );
+            tick_out.links_reprepared = reprepared;
+            tick_out.links_rebound = rebound;
+            tick_out.cold_panels = cold_panels;
+            tick_out.warm_panels = warm_panels;
+            tick_out.reused_panels = reused_panels;
+            wall_total += tick_out.wall_ms;
+            out.push(tick_out);
+        }
+        SimReport {
+            ticks: out,
+            handoffs: handoffs_total,
+            wall_ms: wall_total,
+        }
+    }
+
+    /// Rebuilds the listed panels' sub-fleets and evaluators from the
+    /// current assignment (membership changed: handoff or first tick).
+    /// Returns how many links were re-prepared.
+    fn rebuild_panels(
+        fleet: &Fleet,
+        array: &PanelArray,
+        caches: &[(&'static str, PlanCache)],
+        assignment: &[usize],
+        states: &mut [PanelState],
+        panels: &[usize],
+    ) -> usize {
+        let subfleets = array.subfleets(fleet, assignment);
+        let mut reprepared = 0usize;
+        for &k in panels {
+            let (subfleet, members) = subfleets[k].clone();
+            reprepared += subfleet.len();
+            states[k].evaluator = if subfleet.is_empty() {
+                None
+            } else {
+                let cache = PanelArray::cache_for(caches, &array.panels()[k].design);
+                Some(FleetEvaluator::with_plan_cache(&subfleet, cache))
+            };
+            states[k].subfleet = subfleet;
+            states[k].members = members;
+            states[k].prev = None;
+            states[k].moved = false;
+            states[k].membership_changed = true;
+        }
+        reprepared
+    }
+
+    /// PSU billing, served-power evaluation and tick assembly — shared
+    /// by both modes. The tick's wall-clock (`started`) is captured
+    /// right after the PSU billing: everything up to there is genuine
+    /// controller work (advance, handoff, link prep, searching,
+    /// switching), while the served-power evaluation below is simulator
+    /// *observation* — in a real deployment those powers are measured
+    /// over the air, not computed — so billing it would contaminate the
+    /// warm-vs-cold comparison (the modes do very different amounts of
+    /// bookkeeping to observe the same world).
+    #[allow(clippy::too_many_arguments)]
+    fn settle_tick(
+        &self,
+        fleet: &Fleet,
+        array: &PanelArray,
+        states: &mut [PanelState],
+        t: Seconds,
+        moved: Vec<usize>,
+        handoffs: usize,
+        outcome: PanelOutcome,
+        kinds: &[SearchKind],
+        started: Instant,
+    ) -> TickOutcome {
+        let tick_len = self.config.tick.0;
+        let mut applied = Vec::with_capacity(array.len());
+        let mut panel_duty = Vec::with_capacity(array.len());
+        let mut deferred = 0usize;
+        for (k, state) in states.iter_mut().enumerate() {
+            let proposed = outcome.per_panel[k].outcome.shared_bias;
+            let airtime = if kinds[k] == SearchKind::Reused {
+                0.0
+            } else {
+                outcome.per_panel[k].outcome.elapsed.0
+            };
+            let (used, d) = settle_psu(state, t.0, tick_len, airtime, proposed);
+            deferred += d;
+            applied.push(state.applied);
+            panel_duty.push((1.0 - used / tick_len).clamp(0.0, 1.0));
+        }
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        // Served powers at the *applied* biases. When a panel's rails
+        // already hold the proposed bias, the scheduling outcome's
+        // powers ARE the served powers; a deferred change needs a fresh
+        // evaluation at the bias still in force.
+        let mut served_min = f64::INFINITY;
+        let mut throughput = 0.0f64;
+        let mut any = false;
+        // Cold mode keeps no evaluators; rebuild the sub-fleets at most
+        // once per tick for its divergent panels.
+        let mut cold_subfleets: Option<Vec<(Fleet, Vec<usize>)>> = None;
+        for (k, allocation) in outcome.per_panel.iter().enumerate() {
+            if allocation.devices.is_empty() {
+                continue;
+            }
+            let powers: Vec<f64> = if allocation.outcome.shared_bias == Some(applied[k]) {
+                allocation
+                    .outcome
+                    .per_device
+                    .iter()
+                    .map(|s| s.power_dbm)
+                    .collect()
+            } else {
+                match &states[k].evaluator {
+                    Some(e) => e.powers_dbm(applied[k]),
+                    None => {
+                        let subfleets = cold_subfleets
+                            .get_or_insert_with(|| array.subfleets(fleet, &outcome.assignment));
+                        FleetEvaluator::new(&subfleets[k].0).powers_dbm(applied[k])
+                    }
+                }
+            };
+            for (&d, &power) in allocation.devices.iter().zip(powers.iter()) {
+                any = true;
+                served_min = served_min.min(power);
+                throughput += duty_cycled_throughput(
+                    Dbm(power),
+                    &fleet.devices()[d].profile.noise,
+                    panel_duty[k],
+                );
+            }
+        }
+        if !any {
+            served_min = f64::NEG_INFINITY;
+        }
+
+        TickOutcome {
+            t,
+            moved,
+            handoffs,
+            outcome,
+            applied,
+            panel_duty,
+            deferred_switches: deferred,
+            links_reprepared: 0,
+            links_rebound: 0,
+            cold_panels: 0,
+            warm_panels: 0,
+            reused_panels: 0,
+            served_min_power_dbm: served_min,
+            served_throughput_bits_hz: throughput,
+            wall_ms,
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Mobility models and the dynamic fleet they drive.
+//!
+//! A [`DynamicFleet`] is a [`Fleet`] whose devices carry
+//! [`MobilityModel`]s — waypoint walks through the room, continuous
+//! mount rotation on a [`devices::turntable::Turntable`] — plus
+//! transient [`Blockage`] windows (a person stepping into a link, §5.2.2)
+//! that attenuate one device for a while. [`DynamicFleet::advance_to`]
+//! is the event-stepped clock edge: it moves every model to the new
+//! simulation time, mutates the fleet snapshot in place, and returns the
+//! indices of the devices whose link actually changed — the *dirty set*
+//! the simulation engine uses to re-prepare only the links that moved.
+
+use devices::human::HumanTarget;
+use devices::turntable::Turntable;
+use propagation::antenna::OrientedAntenna;
+use rfmath::units::{Degrees, Meters, Seconds, Watts};
+
+use crate::fleet::Fleet;
+
+/// How one device moves through the room over simulation time.
+#[derive(Clone, Debug)]
+pub enum MobilityModel {
+    /// Parked: the device never dirties its link.
+    Static,
+    /// A piecewise-linear walk through `(time, AP-distance in cm)`
+    /// waypoints, clamped at both ends (the device stands still before
+    /// the first waypoint and after the last). Walking changes the
+    /// endpoint separation, so each step costs a full link
+    /// re-preparation (the scatter realization tracks the geometry).
+    Waypoints(Vec<(Seconds, f64)>),
+    /// Continuous mount rotation: the turntable is re-commanded to
+    /// `start + rate·t` at every clock edge and slews at its own
+    /// mechanical limit (with its step quantization). Rotation leaves
+    /// the endpoint separation alone, so each step is a cheap link
+    /// rebind — the cached scatter is reused.
+    Rotating {
+        /// The fixture carrying the device's antenna.
+        turntable: Turntable,
+        /// Mount orientation at `t = 0`.
+        start: Degrees,
+        /// Commanded rotation rate, degrees per second.
+        rate_deg_per_s: f64,
+    },
+}
+
+impl MobilityModel {
+    /// A walk from `from_cm` to `to_cm` between `depart` and `arrive`,
+    /// standing still outside that window.
+    pub fn walk(from_cm: f64, to_cm: f64, depart: Seconds, arrive: Seconds) -> Self {
+        Self::Waypoints(vec![(depart, from_cm), (arrive, to_cm)])
+    }
+
+    /// A rotation trace starting from the device's current mount.
+    pub fn rotate(start: Degrees, rate_deg_per_s: f64) -> Self {
+        Self::Rotating {
+            turntable: Turntable::at(start),
+            start,
+            rate_deg_per_s,
+        }
+    }
+
+    /// Validates the model's invariants (waypoints sorted, distances
+    /// physical) — called when the model is attached to a device.
+    fn validate(&self) {
+        if let Self::Waypoints(points) = self {
+            assert!(!points.is_empty(), "a waypoint walk needs waypoints");
+            assert!(
+                points.windows(2).all(|w| w[1].0 .0 > w[0].0 .0),
+                "waypoint times must be strictly increasing"
+            );
+            assert!(
+                points.iter().all(|&(_, cm)| cm > 0.0),
+                "waypoint distances must be positive"
+            );
+        }
+    }
+}
+
+/// Clamped piecewise-linear interpolation over sorted waypoints.
+fn interpolate(points: &[(Seconds, f64)], t: Seconds) -> f64 {
+    let first = points.first().expect("waypoints validated non-empty");
+    if t.0 <= first.0 .0 {
+        return first.1;
+    }
+    for pair in points.windows(2) {
+        let (t0, d0) = pair[0];
+        let (t1, d1) = pair[1];
+        if t.0 <= t1.0 {
+            let frac = ((t.0 - t0.0) / (t1.0 - t0.0)).clamp(0.0, 1.0);
+            return d0 + (d1 - d0) * frac;
+        }
+    }
+    points.last().expect("non-empty").1
+}
+
+/// A transient blocker on one device's link: for the duration of the
+/// window the link is attenuated by `loss_db` (a person standing in the
+/// line of sight — the §5.2.2 "someone walks between AP and surface"
+/// event). Blockage scales the whole link uniformly, so it is a cheap
+/// rebind for the evaluation engine and — because it shifts every
+/// panel's reference power equally — never triggers a panel handoff by
+/// itself.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Blockage {
+    /// Fleet-order index of the blocked device.
+    pub device: usize,
+    /// When the blocker enters the link.
+    pub start: Seconds,
+    /// How long they stay.
+    pub duration: Seconds,
+    /// Obstruction loss while blocked, dB.
+    pub loss_db: f64,
+}
+
+impl Blockage {
+    /// A blockage event by a human body, with the obstruction loss
+    /// derived from the subject model
+    /// ([`HumanTarget::blockage_loss_db`]).
+    pub fn from_human(
+        device: usize,
+        start: Seconds,
+        duration: Seconds,
+        human: &HumanTarget,
+    ) -> Self {
+        Self {
+            device,
+            start,
+            duration,
+            loss_db: human.blockage_loss_db().0,
+        }
+    }
+
+    /// True while the blocker is inside the link at time `t`.
+    pub fn active_at(&self, t: Seconds) -> bool {
+        t.0 >= self.start.0 && t.0 < self.start.0 + self.duration.0
+    }
+}
+
+/// A fleet whose devices move: the event-stepped simulation's world
+/// state. The snapshot is always the fleet *as of the last clock edge*;
+/// [`DynamicFleet::advance_to`] mutates it in place and reports which
+/// links changed.
+#[derive(Clone, Debug)]
+pub struct DynamicFleet {
+    snapshot: Fleet,
+    mobility: Vec<MobilityModel>,
+    blockages: Vec<Blockage>,
+    base_tx_power: Vec<Watts>,
+    now: Seconds,
+}
+
+impl DynamicFleet {
+    /// Wraps a static fleet: every device parked, no blockage events.
+    /// Until mobility is attached, every tick's dirty set is empty —
+    /// which is exactly the zero-velocity equivalence contract (the
+    /// simulator then reproduces the static scheduler tick for tick).
+    pub fn new(fleet: Fleet) -> Self {
+        let base_tx_power = fleet
+            .devices()
+            .iter()
+            .map(|d| d.scenario.tx_power)
+            .collect();
+        let mobility = vec![MobilityModel::Static; fleet.len()];
+        Self {
+            snapshot: fleet,
+            mobility,
+            blockages: Vec::new(),
+            base_tx_power,
+            now: Seconds(0.0),
+        }
+    }
+
+    /// Attaches a mobility model to device `idx`.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of range or the model's waypoints are
+    /// malformed (unsorted times, non-positive distances).
+    pub fn set_mobility(&mut self, idx: usize, model: MobilityModel) {
+        assert!(idx < self.snapshot.len(), "device index out of range");
+        model.validate();
+        self.mobility[idx] = model;
+    }
+
+    /// Schedules a blockage window.
+    ///
+    /// # Panics
+    /// Panics when the event references a device outside the fleet.
+    pub fn add_blockage(&mut self, blockage: Blockage) {
+        assert!(
+            blockage.device < self.snapshot.len(),
+            "blockage references a device outside the fleet"
+        );
+        self.blockages.push(blockage);
+    }
+
+    /// The current fleet snapshot (as of the last clock edge).
+    pub fn fleet(&self) -> &Fleet {
+        &self.snapshot
+    }
+
+    /// The last clock edge the fleet was advanced to.
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.snapshot.len()
+    }
+
+    /// True when the fleet has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot.is_empty()
+    }
+
+    /// Advances every mobility model and blockage window to simulation
+    /// time `t`, mutating the snapshot in place. Returns the indices of
+    /// the devices whose link actually changed — the dirty set that
+    /// bounds how much re-preparation the engine pays this tick. A
+    /// zero-velocity fleet returns an empty set at every edge.
+    pub fn advance_to(&mut self, t: Seconds) -> Vec<usize> {
+        self.now = t;
+        let mut dirty = Vec::new();
+        for d in 0..self.snapshot.len() {
+            let mut changed = false;
+            match &mut self.mobility[d] {
+                MobilityModel::Static => {}
+                MobilityModel::Waypoints(points) => {
+                    let cm = interpolate(points, t);
+                    let dev = self.snapshot.device_mut(d);
+                    let old = dev.scenario.deployment.tx_rx_distance();
+                    if Meters::from_cm(cm).0.to_bits() != old.0.to_bits() {
+                        dev.scenario = dev.scenario.clone().with_distance_cm(cm);
+                        changed = true;
+                    }
+                }
+                MobilityModel::Rotating {
+                    turntable,
+                    start,
+                    rate_deg_per_s,
+                } => {
+                    turntable.command(Degrees(start.0 + *rate_deg_per_s * t.0));
+                    turntable.update(t);
+                    let pos = turntable.position();
+                    let dev = self.snapshot.device_mut(d);
+                    if dev.scenario.rx.orientation.0.to_bits() != pos.0.to_bits() {
+                        dev.scenario.rx =
+                            OrientedAntenna::new(dev.scenario.rx.antenna.clone(), pos);
+                        changed = true;
+                    }
+                }
+            }
+            // Blockage windows attenuate the link end to end; model it
+            // as a transmit-power scale (a blocker near an endpoint
+            // shades every path the same way).
+            let loss_db: f64 = self
+                .blockages
+                .iter()
+                .filter(|b| b.device == d && b.active_at(t))
+                .map(|b| b.loss_db)
+                .sum();
+            let power = Watts(self.base_tx_power[d].0 * 10f64.powf(-loss_db / 10.0));
+            let dev = self.snapshot.device_mut(d);
+            if dev.scenario.tx_power.0.to_bits() != power.0.to_bits() {
+                dev.scenario.tx_power = power;
+                changed = true;
+            }
+            if changed {
+                dirty.push(d);
+            }
+        }
+        dirty
+    }
+
+    /// The reference mobility workload of the PR-5 bench and CI smoke:
+    /// the [`Fleet::mixed_wifi_ble`] population of `n` devices in which
+    /// every 8th device (offset 0) walks 1.5 m away from its AP and
+    /// back over `duration`, every 8th (offset 4) rotates continuously
+    /// at 6°/s on a turntable, and two transient human blockage events
+    /// cross links mid-run. At `n = 32` that is 8 moving devices per
+    /// tick — 4 full link re-preparations (walkers) and 4 cheap rebinds
+    /// (rotators) against 24 untouched links.
+    pub fn roaming_mixed(n: usize, seed: u64, duration: Seconds) -> Self {
+        let mut dynamic = Self::new(Fleet::mixed_wifi_ble(n, seed));
+        for d in 0..n {
+            match d % 8 {
+                0 => {
+                    let from = dynamic.snapshot.devices()[d]
+                        .scenario
+                        .deployment
+                        .tx_rx_distance()
+                        .cm();
+                    dynamic.set_mobility(
+                        d,
+                        MobilityModel::Waypoints(vec![
+                            (Seconds(0.0), from),
+                            (Seconds(duration.0 * 0.5), from + 150.0),
+                            (duration, from),
+                        ]),
+                    );
+                }
+                4 => {
+                    let start = dynamic.snapshot.devices()[d].scenario.rx.orientation;
+                    dynamic.set_mobility(d, MobilityModel::rotate(start, 6.0));
+                }
+                _ => {}
+            }
+        }
+        if n >= 2 {
+            let human = HumanTarget::resting_adult(Meters(2.0));
+            dynamic.add_blockage(Blockage::from_human(
+                1,
+                Seconds(duration.0 * 0.25),
+                Seconds(duration.0 * 0.20),
+                &human,
+            ));
+            dynamic.add_blockage(Blockage::from_human(
+                n - 1,
+                Seconds(duration.0 * 0.60),
+                Seconds(duration.0 * 0.15),
+                &human,
+            ));
+        }
+        dynamic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfmath::units::Degrees;
+
+    fn small() -> DynamicFleet {
+        DynamicFleet::new(Fleet::mixed_wifi_ble(4, 9))
+    }
+
+    #[test]
+    fn static_fleet_is_never_dirty() {
+        let mut fleet = small();
+        for i in 0..10 {
+            let dirty = fleet.advance_to(Seconds(i as f64));
+            assert!(dirty.is_empty(), "tick {i} dirtied {dirty:?}");
+        }
+        assert_eq!(fleet.now(), Seconds(9.0));
+    }
+
+    #[test]
+    fn waypoint_walk_moves_and_parks() {
+        let mut fleet = small();
+        let from = fleet.fleet().devices()[0]
+            .scenario
+            .deployment
+            .tx_rx_distance()
+            .cm();
+        fleet.set_mobility(
+            0,
+            MobilityModel::walk(from, from + 100.0, Seconds(2.0), Seconds(4.0)),
+        );
+        // Before departure: parked.
+        assert!(fleet.advance_to(Seconds(1.0)).is_empty());
+        // Mid-walk: dirty, halfway there.
+        assert_eq!(fleet.advance_to(Seconds(3.0)), vec![0]);
+        let mid = fleet.fleet().devices()[0]
+            .scenario
+            .deployment
+            .tx_rx_distance()
+            .cm();
+        assert!((mid - (from + 50.0)).abs() < 1e-9);
+        // Arrived: one last dirty step, then parked again.
+        assert_eq!(fleet.advance_to(Seconds(4.0)), vec![0]);
+        assert!(fleet.advance_to(Seconds(5.0)).is_empty());
+    }
+
+    #[test]
+    fn rotation_steps_the_mount_through_the_turntable() {
+        let mut fleet = small();
+        let start = fleet.fleet().devices()[1].scenario.rx.orientation;
+        fleet.set_mobility(1, MobilityModel::rotate(start, 6.0));
+        assert!(
+            fleet.advance_to(Seconds(0.0)).is_empty(),
+            "t = 0 must not move the mount"
+        );
+        assert_eq!(fleet.advance_to(Seconds(1.0)), vec![1]);
+        let turned = fleet.fleet().devices()[1].scenario.rx.orientation;
+        assert!((turned.0 - (start.0 + 6.0)).abs() < 0.51, "quantized slew");
+    }
+
+    #[test]
+    fn blockage_window_dims_and_restores_the_link() {
+        let mut fleet = small();
+        let base = fleet.fleet().devices()[2].scenario.tx_power;
+        fleet.add_blockage(Blockage {
+            device: 2,
+            start: Seconds(2.0),
+            duration: Seconds(2.0),
+            loss_db: 12.0,
+        });
+        assert!(fleet.advance_to(Seconds(1.0)).is_empty());
+        // Blocker enters: dirty once, power down 12 dB.
+        assert_eq!(fleet.advance_to(Seconds(2.0)), vec![2]);
+        let blocked = fleet.fleet().devices()[2].scenario.tx_power;
+        assert!((10.0 * (base.0 / blocked.0).log10() - 12.0).abs() < 1e-9);
+        // Still inside the window: nothing new changed.
+        assert!(fleet.advance_to(Seconds(3.0)).is_empty());
+        // Blocker leaves: dirty once, power restored exactly.
+        assert_eq!(fleet.advance_to(Seconds(4.0)), vec![2]);
+        assert_eq!(fleet.fleet().devices()[2].scenario.tx_power, base);
+    }
+
+    #[test]
+    fn roaming_mixed_dirties_a_bounded_subset() {
+        let mut fleet = DynamicFleet::roaming_mixed(16, 2021, Seconds(16.0));
+        let dirty = fleet.advance_to(Seconds(1.0));
+        assert!(!dirty.is_empty(), "the roaming workload must move devices");
+        assert!(
+            dirty.len() <= 6,
+            "only walkers, rotators and blockage edges move: {dirty:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_waypoints_are_rejected() {
+        let mut fleet = small();
+        fleet.set_mobility(
+            0,
+            MobilityModel::Waypoints(vec![(Seconds(3.0), 100.0), (Seconds(1.0), 200.0)]),
+        );
+    }
+
+    #[test]
+    fn turntable_mobility_starts_settled() {
+        let model = MobilityModel::rotate(Degrees(-53.0), 4.0);
+        match model {
+            MobilityModel::Rotating { turntable, .. } => {
+                assert!(turntable.settled());
+                assert_eq!(turntable.position().0, -53.0);
+            }
+            other => panic!("unexpected model {other:?}"),
+        }
+    }
+}

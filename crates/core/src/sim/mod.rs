@@ -1,0 +1,260 @@
+//! Event-stepped mobility simulation: moving fleets, panel handoff with
+//! hysteresis, and warm-start re-optimization.
+//!
+//! Everything the workspace served before this module was a frozen
+//! snapshot: PR 3/4 pick one bias (or K panel biases) for a fleet that
+//! never moves. The paper's own deployments are dynamic — devices roam
+//! the room, people walk between AP and surface (§5.2.2) — and the
+//! related programmable-environment literature frames the workload that
+//! actually matters as the *reconfiguration* workload under mobility.
+//! This module is that workload, end to end:
+//!
+//! * [`mobility`] — [`MobilityModel`]s (waypoint walks, turntable
+//!   rotation, transient human [`Blockage`] windows) carried by a
+//!   [`DynamicFleet`], whose event-stepped clock edge
+//!   ([`DynamicFleet::advance_to`]) reports exactly which links
+//!   changed;
+//! * [`engine`] — [`MobilitySim`]: per tick, advance the world, decide
+//!   panel handoffs under a dwell + dB [`HandoffPolicy`], re-prepare
+//!   only the dirty links, re-optimize each panel (reuse / warm refine /
+//!   cold search), and bill probing airtime, PSU switch gating and rail
+//!   settling against the tick's serving duty.
+//!
+//! The contracts that keep it honest:
+//!
+//! * **zero-velocity equivalence** — a fleet that never moves
+//!   reproduces the static [`crate::panels::PanelScheduler`] allocation
+//!   tick for tick, exactly (`proptest_sim`);
+//! * **warm == cold when it matters** — a warm tick that lands on a
+//!   different allocation only does so because the world changed; on an
+//!   unchanged world the warm engine *reuses* the previous allocation
+//!   outright (zero probes);
+//! * **honest throughput** — served rates are duty-cycled by the
+//!   reconfiguration overhead actually incurred, so a controller that
+//!   re-searches every tick visibly starves its links next to one that
+//!   warm-starts.
+//!
+//! ```
+//! use llama_core::fleet::Fleet;
+//! use llama_core::panels::{PanelArray, PanelScheduler};
+//! use llama_core::sim::{DynamicFleet, MobilitySim, SimConfig};
+//! use rfmath::units::Seconds;
+//!
+//! let mut fleet = DynamicFleet::roaming_mixed(8, 7, Seconds(8.0));
+//! let array = PanelArray::distributed(fleet.fleet().design.clone(), 2);
+//! let sim = MobilitySim::new(PanelScheduler::max_min(), SimConfig::default());
+//! let report = sim.run(&mut fleet, &array, 8);
+//! assert_eq!(report.ticks.len(), 8);
+//! // Most ticks warm-start or reuse: far fewer probes than 8 cold runs.
+//! assert!(report.total_probes() < 8 * 100);
+//! ```
+
+pub mod engine;
+pub mod mobility;
+
+pub use engine::{HandoffPolicy, MobilitySim, SimConfig, SimReport, TickOutcome};
+pub use mobility::{Blockage, DynamicFleet, MobilityModel};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::Fleet;
+    use crate::panels::{Assignment, PanelArray, PanelScheduler};
+    use rfmath::units::Seconds;
+
+    fn sim(config: SimConfig) -> MobilitySim {
+        MobilitySim::new(PanelScheduler::max_min(), config)
+    }
+
+    #[test]
+    fn zero_motion_reproduces_the_static_scheduler_every_tick() {
+        // The satellite contract: a parked fleet's every tick carries
+        // the exact allocation the static PanelScheduler computes —
+        // tick 0 because the sim runs the same cold search, later ticks
+        // because nothing moved and the allocation is reused outright.
+        let base = Fleet::mixed_wifi_ble(6, 41);
+        let array = PanelArray::uniform(base.design.clone(), 2);
+        let static_outcome = PanelScheduler::max_min().run(&base, &array);
+        let mut fleet = DynamicFleet::new(base);
+        let report = sim(SimConfig::default()).run(&mut fleet, &array, 5);
+        for (i, tick) in report.ticks.iter().enumerate() {
+            assert!(
+                tick.outcome.same_allocation(&static_outcome),
+                "tick {i} diverged from the static allocation"
+            );
+            assert!(tick.moved.is_empty());
+        }
+        // Tick 0 pays the cold search; every later tick reuses.
+        assert_eq!(report.ticks[0].outcome.probes, static_outcome.probes);
+        for tick in &report.ticks[1..] {
+            assert_eq!(tick.outcome.probes, 0, "reuse must cost zero probes");
+            assert_eq!(tick.reused_panels, 2);
+        }
+        assert_eq!(report.handoffs, 0);
+    }
+
+    #[test]
+    fn zero_motion_warm_equals_cold_mode() {
+        let base = Fleet::mixed_wifi_ble(5, 13);
+        let array = PanelArray::uniform(base.design.clone(), 2);
+        let warm = sim(SimConfig::default()).run(&mut DynamicFleet::new(base.clone()), &array, 4);
+        let cold = sim(SimConfig::cold()).run(&mut DynamicFleet::new(base), &array, 4);
+        for (w, c) in warm.ticks.iter().zip(&cold.ticks) {
+            assert!(
+                w.outcome.same_allocation(&c.outcome),
+                "warm and cold modes disagreed on a motionless world"
+            );
+        }
+    }
+
+    #[test]
+    fn motionless_devices_never_hand_off_on_distributed_arrays() {
+        // Regression: on a distributed array the panels measure
+        // differently, so a parked device whose tick-0 assignment is
+        // more than hysteresis_db worse than another panel used to
+        // accrue dwell and migrate — diverging warm from cold on a
+        // world where nothing moved. Handoffs must only consider the
+        // dirty set.
+        for seed in [5, 10, 21, 34] {
+            let base = Fleet::mixed_wifi_ble(3, seed);
+            let array = PanelArray::distributed(base.design.clone(), 2);
+            let scheduler = PanelScheduler::max_min();
+            let warm = MobilitySim::new(scheduler.clone(), SimConfig::default()).run(
+                &mut DynamicFleet::new(base.clone()),
+                &array,
+                4,
+            );
+            assert_eq!(warm.handoffs, 0, "seed {seed}: static fleet handed off");
+            let cold = MobilitySim::new(scheduler, SimConfig::cold()).run(
+                &mut DynamicFleet::new(base),
+                &array,
+                4,
+            );
+            for (w, c) in warm.ticks.iter().zip(&cold.ticks) {
+                assert!(
+                    w.outcome.same_allocation(&c.outcome),
+                    "seed {seed}: warm diverged from cold on a motionless world"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_mode_spends_far_fewer_probes_under_mobility() {
+        let array = PanelArray::distributed(Fleet::mixed_wifi_ble(8, 2021).design.clone(), 2);
+        let ticks = 6;
+        let mut roaming = DynamicFleet::roaming_mixed(8, 2021, Seconds(ticks as f64));
+        let warm = sim(SimConfig::default()).run(&mut roaming, &array, ticks);
+        let mut roaming = DynamicFleet::roaming_mixed(8, 2021, Seconds(ticks as f64));
+        let cold = sim(SimConfig::cold()).run(&mut roaming, &array, ticks);
+        assert!(
+            warm.total_probes() * 2 < cold.total_probes(),
+            "warm {} probes vs cold {}",
+            warm.total_probes(),
+            cold.total_probes()
+        );
+        // Fewer probes = less reconfiguration airtime = better duty.
+        assert!(
+            warm.mean_duty() > cold.mean_duty(),
+            "warm duty {:.3} vs cold {:.3}",
+            warm.mean_duty(),
+            cold.mean_duty()
+        );
+        // And only the dirty subset of links was ever re-prepared.
+        assert!(
+            warm.total_links_reprepared() < cold.total_links_reprepared(),
+            "warm re-prepared {} links vs cold {}",
+            warm.total_links_reprepared(),
+            cold.total_links_reprepared()
+        );
+        assert!(warm.total_links_rebound() > 0, "rotators rebind cheaply");
+    }
+
+    #[test]
+    fn handoffs_fire_under_low_hysteresis_and_calm_under_high() {
+        // A device walking across a distributed array genuinely changes
+        // its per-panel margins; an eager policy migrates it, a
+        // conservative one holds.
+        let ticks = 10usize;
+        let build = || {
+            let base = Fleet::mixed_wifi_ble(6, 5);
+            let mut fleet = DynamicFleet::new(base);
+            let from = fleet.fleet().devices()[0]
+                .scenario
+                .deployment
+                .tx_rx_distance()
+                .cm();
+            fleet.set_mobility(
+                0,
+                MobilityModel::walk(from, from + 260.0, Seconds(1.0), Seconds(6.0)),
+            );
+            fleet
+        };
+        let array = PanelArray::distributed(build().fleet().design.clone(), 3);
+        let scheduler = PanelScheduler::max_min().with_assignment(Assignment::BestReference);
+        let eager = MobilitySim::new(
+            scheduler.clone(),
+            SimConfig::default().with_handoff(HandoffPolicy {
+                hysteresis_db: 0.0,
+                dwell_ticks: 1,
+            }),
+        )
+        .run(&mut build(), &array, ticks);
+        let calm = MobilitySim::new(
+            scheduler,
+            SimConfig::default().with_handoff(HandoffPolicy {
+                hysteresis_db: 60.0,
+                dwell_ticks: 4,
+            }),
+        )
+        .run(&mut build(), &array, ticks);
+        assert!(
+            eager.handoffs >= 1,
+            "an eager policy must migrate the walker"
+        );
+        assert_eq!(calm.handoffs, 0, "a 60 dB margin never materializes");
+        assert!(eager.handoffs > calm.handoffs);
+    }
+
+    #[test]
+    fn sub_settling_ticks_defer_bias_changes() {
+        // A tick shorter than one probe sweep + settle can never finish
+        // a reconfiguration in-tick: the change must defer, the old bias
+        // keeps serving, and duty collapses — the honest accounting.
+        let base = Fleet::mixed_wifi_ble(3, 3);
+        let array = PanelArray::uniform(base.design.clone(), 1);
+        let mut fleet = DynamicFleet::new(base);
+        let report = sim(SimConfig::default().with_tick(Seconds(0.05))).run(&mut fleet, &array, 3);
+        assert!(
+            report.ticks[0].deferred_switches >= 1,
+            "the first optimization cannot settle inside 50 ms"
+        );
+        assert!(report.ticks[0].panel_duty[0] < 0.5);
+    }
+
+    #[test]
+    fn empty_fleet_simulates_cleanly() {
+        let base = Fleet::new(metasurface::designs::fr4_optimized());
+        let array = PanelArray::uniform(base.design.clone(), 2);
+        let mut fleet = DynamicFleet::new(base);
+        let report = sim(SimConfig::default()).run(&mut fleet, &array, 3);
+        assert_eq!(report.ticks.len(), 3);
+        for tick in &report.ticks {
+            assert!(tick.outcome.per_device.is_empty());
+            assert_eq!(tick.served_min_power_dbm, f64::NEG_INFINITY);
+            assert_eq!(tick.served_throughput_bits_hz, 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shared-bias")]
+    fn time_division_is_rejected() {
+        let base = Fleet::mixed_wifi_ble(3, 3);
+        let array = PanelArray::uniform(base.design.clone(), 1);
+        let _ = MobilitySim::new(PanelScheduler::time_division(), SimConfig::default()).run(
+            &mut DynamicFleet::new(base),
+            &array,
+            1,
+        );
+    }
+}

@@ -35,6 +35,18 @@ impl Turntable {
         }
     }
 
+    /// A fixture already parked at `position` — mounting a device
+    /// mid-scene (the mobility simulator starts each rotating device's
+    /// turntable at its existing antenna mount instead of slewing in
+    /// from zero).
+    pub fn at(position: Degrees) -> Self {
+        Self {
+            position,
+            target: position,
+            ..Self::new()
+        }
+    }
+
     /// Commands a new absolute position (quantized to the resolution).
     pub fn command(&mut self, target: Degrees) {
         let steps = (target.0 / self.step_resolution.0).round();
@@ -114,6 +126,17 @@ mod tests {
         t.command(Degrees(-20.0));
         t.update(Seconds(20.0));
         assert_eq!(t.position().0, -20.0);
+    }
+
+    #[test]
+    fn parked_fixture_starts_settled_at_its_mount() {
+        let mut t = Turntable::at(Degrees(-53.0));
+        assert_eq!(t.position().0, -53.0);
+        assert!(t.settled());
+        // And slews away from the mount like any other fixture.
+        t.command(Degrees(-47.0));
+        t.update(Seconds(1.0));
+        assert_eq!(t.position().0, -47.0);
     }
 
     #[test]

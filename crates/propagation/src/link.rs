@@ -351,6 +351,43 @@ impl PreparedLink {
         }
     }
 
+    /// True when `link`'s bias-independent paths are bit-identical to
+    /// this prepared link's cached ones, so a rebind can skip the
+    /// scatter re-realization. The cached paths depend only on the
+    /// environment (its seed, scatterer count and power), the endpoint
+    /// separation, the carrier, the scatter-XPD tuning knob, and any
+    /// caller-injected extras — receive-mount rotation, transmit-power
+    /// scaling and surface re-mounting all leave them untouched, which
+    /// is what makes those the *cheap* mobility moves.
+    pub fn static_paths_reusable(&self, link: &Link) -> bool {
+        let old = &self.link;
+        old.environment == link.environment
+            && old.deployment.tx_rx_distance().0.to_bits()
+                == link.deployment.tx_rx_distance().0.to_bits()
+            && old.frequency.0.to_bits() == link.frequency.0.to_bits()
+            && old.tuning.scatter_xpd_db == link.tuning.scatter_xpd_db
+            && old.extra_paths.is_empty()
+            && link.extra_paths.is_empty()
+    }
+
+    /// Re-prepares this handle for an updated link, reusing the cached
+    /// bias-independent paths whenever [`PreparedLink::static_paths_reusable`]
+    /// holds (a rotated mount, a power/blockage change, a re-mounted
+    /// panel) and falling back to a full [`PreparedLink::new`] — fresh
+    /// scatter realization included — when the device genuinely moved
+    /// (endpoint separation, environment or carrier changed). The
+    /// mobility simulator's per-device update path.
+    pub fn rebind(&self, link: Link) -> Self {
+        if self.static_paths_reusable(&link) {
+            Self {
+                link,
+                static_paths: self.static_paths.clone(),
+            }
+        } else {
+            Self::new(link)
+        }
+    }
+
     /// Full path set against a precomputed surface response (engineered
     /// paths rebuilt, static paths reused). Same order as
     /// [`Link::paths_with`].
@@ -588,6 +625,42 @@ mod tests {
                 - prepared.received_dbm_with(Some(&response)).0)
                 .abs()
                 > 1e-9
+        );
+    }
+
+    #[test]
+    fn rebind_reuses_scatter_for_rotation_and_power_only_changes() {
+        let mut link = base_link(20.0);
+        link.environment = Environment::laboratory(17);
+        let prepared = PreparedLink::new(link.clone());
+        let surface = Metasurface::llama();
+        let response = surface.response(link.frequency);
+
+        // Rotation + power scaling: static paths reusable, and the
+        // rebound handle answers exactly like a fresh preparation (the
+        // cached scatter IS the fresh scatter — same seed, same room).
+        let mut turned = link.clone();
+        turned.rx = OrientedAntenna::new(turned.rx.antenna.clone(), Degrees(47.0));
+        turned.tx_power = Watts::from_mw(10.0);
+        assert!(prepared.static_paths_reusable(&turned));
+        let rebound = prepared.rebind(turned.clone());
+        let fresh = PreparedLink::new(turned);
+        assert_eq!(
+            rebound.received_dbm_with(Some(&response)).0,
+            fresh.received_dbm_with(Some(&response)).0
+        );
+
+        // Moving an endpoint invalidates the cached scatter: the rebind
+        // must fall back to a full re-preparation (and still agree with
+        // a fresh one).
+        let mut walked = link.clone();
+        walked.deployment = Deployment::transmissive_cm(50.0);
+        assert!(!prepared.static_paths_reusable(&walked));
+        let rebound = prepared.rebind(walked.clone());
+        let fresh = PreparedLink::new(walked);
+        assert_eq!(
+            rebound.received_dbm_with(Some(&response)).0,
+            fresh.received_dbm_with(Some(&response)).0
         );
     }
 
