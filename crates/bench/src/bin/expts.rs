@@ -11,6 +11,7 @@
 //! expts --mobility [path] [--quick]   # time the mobility simulator, warm vs cold (BENCH_PR5)
 //! expts --bench-all [dir] [--quick]   # regenerate every BENCH_PR*.json in one run
 //! expts --calibrate-fig20 [samples]   # sweep link calibration knobs vs the paper's 10 dB gap
+//! expts --scenario <name> [path]      # simulate a room from the scenario zoo, write JSON
 //! ```
 //!
 //! `--bench-json` writes a timing summary (default
@@ -32,10 +33,47 @@ fn main() -> ExitCode {
             "usage: expts <id>... | all | --bench-json [path] [--quick] \
              | --fleet [path] [--quick] | --panels [path] [--quick] \
              | --mobility [path] [--quick] | --bench-all [dir] [--quick] \
-             | --calibrate-fig20 [samples]"
+             | --calibrate-fig20 [samples] | --scenario <name> [path]"
         );
         eprintln!("experiments: {}", llama_bench::ALL_IDS.join(", "));
+        eprintln!("scenarios: {}", llama_core::rooms::SCENARIOS.join(", "));
         return ExitCode::SUCCESS;
+    }
+
+    if args.iter().any(|a| a == "--scenario") {
+        let extras: Vec<&String> = args.iter().filter(|a| *a != "--scenario").collect();
+        if extras.is_empty() || extras.len() > 2 || extras.iter().any(|a| a.starts_with("--")) {
+            eprintln!(
+                "error: --scenario takes a scenario name and at most one output path; \
+                 known scenarios: {}",
+                llama_core::rooms::SCENARIOS.join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+        let name = extras[0].as_str();
+        let path = extras
+            .get(1)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("target/scenario-{name}.json"));
+        let report = match llama_bench::scenario::ScenarioReport::run(name, llama_bench::SEED) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", report.summary());
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+        return if report.passes() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("error: the room never served (zero duty or non-finite power)");
+            ExitCode::FAILURE
+        };
     }
 
     if args.iter().any(|a| a == "--bench-all") {

@@ -12,6 +12,7 @@
 
 pub mod calibrate;
 pub mod perf;
+pub mod scenario;
 
 use llama_core::experiments as ex;
 use llama_core::render;

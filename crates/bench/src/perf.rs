@@ -30,6 +30,21 @@ const F: Hertz = Hertz(2.44e9);
 /// for noisy shared CI machines).
 const SPEEDUP_FLOOR: f64 = 3.0;
 
+/// Machine topology stamped into every bench artifact: how many
+/// logical cores the host exposes and how many worker threads the
+/// parallel runtime actually uses. Single-core artifacts (like a 0.99×
+/// parallel "speedup" measured on a one-core runner) are then visible
+/// in the JSON instead of being silently committed.
+pub fn machine_json() -> String {
+    format!(
+        "  \"machine\": {{\"logical_cores\": {}, \"threads_used\": {}}},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        rfmath::par::available_threads()
+    )
+}
+
 /// One timed workload.
 #[derive(Clone, Debug)]
 pub struct BenchSample {
@@ -67,6 +82,7 @@ impl PerfReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 2,\n");
+        out.push_str(&machine_json());
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str("  \"benches\": [\n");
         for (i, s) in self.samples.iter().enumerate() {
@@ -229,6 +245,7 @@ impl FleetPerfReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 3,\n");
+        out.push_str(&machine_json());
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str(&format!("  \"fleet_devices\": {FLEET_SIZE},\n"));
         out.push_str("  \"benches\": [\n");
@@ -380,6 +397,7 @@ impl PanelPerfReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 4,\n");
+        out.push_str(&machine_json());
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str(&format!("  \"panels\": {PANEL_COUNT},\n"));
         out.push_str(&format!("  \"fleet_devices\": {FLEET_SIZE},\n"));
@@ -620,6 +638,7 @@ impl MobilityPerfReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 5,\n");
+        out.push_str(&machine_json());
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str(&format!("  \"fleet_devices\": {},\n", self.devices));
         out.push_str(&format!("  \"ticks\": {},\n", self.ticks));
@@ -835,6 +854,10 @@ mod tests {
         };
         let json = report.to_json();
         assert!(json.contains("\"pr\": 4"));
+        // Every artifact records the machine it was measured on.
+        assert!(json.contains("\"machine\""));
+        assert!(json.contains("\"logical_cores\""));
+        assert!(json.contains("\"threads_used\""));
         assert!(json.contains("\"panel_grid_speedup\": 3.00"));
         assert!(json.contains("\"panel_min_power_gain_db\": 2.500"));
         assert!(json.contains("\"pass\": true"));

@@ -146,10 +146,15 @@ impl FleetDevice {
     /// the previous endpoint separation away.
     pub fn reflective(mut self) -> Self {
         let tx_rx = self.scenario.deployment.tx_rx_distance();
-        self.scenario.deployment = Deployment::Reflective {
-            tx_rx,
-            surface_distance: Meters(tx_rx.0 / 2.0),
-        };
+        self.scenario.deployment = Deployment::reflective(tx_rx, Meters(tx_rx.0 / 2.0));
+        self
+    }
+
+    /// Places the device at an explicit room deployment (position of
+    /// AP, device and surface mount), overriding the preset's collinear
+    /// layout. The scenario zoo builds rooms with this.
+    pub fn placed(mut self, deployment: Deployment) -> Self {
+        self.scenario.deployment = deployment;
         self
     }
 }

@@ -54,6 +54,7 @@ pub mod fleet;
 pub mod multilink;
 pub mod panels;
 pub mod render;
+pub mod rooms;
 pub mod scenario;
 pub mod sensing;
 pub mod sim;
@@ -63,6 +64,7 @@ pub use fleet::{Fleet, FleetDevice, FleetEvaluator, FleetOutcome, Policy, Schedu
 pub use panels::{
     serve_fleets, serve_panel_fleets, Assignment, Panel, PanelArray, PanelOutcome, PanelScheduler,
 };
+pub use rooms::RoomScenario;
 pub use scenario::{EndpointKind, Scenario};
 pub use sensing::{run_sensing, SensingConfig, SensingResult};
 pub use sim::{

@@ -60,6 +60,7 @@ use metasurface::stack::BiasState;
 use propagation::link::PreparedLink;
 use propagation::rays::Deployment;
 use rfmath::units::{Degrees, Seconds};
+use rfmath::vec2::Point2;
 
 use crate::fleet::{DeviceService, Fleet, FleetEvaluator, FleetOutcome, Policy, Scheduler};
 use crate::scenario::Scenario;
@@ -74,6 +75,18 @@ pub(crate) const REFERENCE_BIAS: BiasState = BiasState {
     vy: rfmath::units::Volts(6.0),
 };
 
+/// Where a panel hangs relative to the links it serves.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PanelMount {
+    /// At a fraction of each served link's line (the legacy scalar
+    /// mounting; clamped to the physical range by the deployment).
+    Fraction(f64),
+    /// At a fixed room position, meters — every served link keeps its
+    /// own endpoints but re-mounts its surface here, so each panel sees
+    /// a genuinely different illumination angle per device.
+    Position(Point2),
+}
+
 /// One surface of a panel array: an independently biased aperture
 /// covering an orientation sector.
 #[derive(Clone, Debug)]
@@ -86,9 +99,9 @@ pub struct Panel {
     /// Center of the receive-orientation sector this panel faces,
     /// degrees (polarization axes have period 180°).
     pub sector_center: Degrees,
-    /// Panel mounting position as a fraction of each served link
-    /// (`None` keeps every device's own deployment untouched).
-    pub surface_fraction: Option<f64>,
+    /// Panel mounting (`None` keeps every device's own deployment
+    /// untouched).
+    pub mount: Option<PanelMount>,
 }
 
 impl Panel {
@@ -98,31 +111,42 @@ impl Panel {
             label: label.into(),
             design,
             sector_center,
-            surface_fraction: None,
+            mount: None,
         }
     }
 
     /// Mounts the panel at `fraction` of every served link's line
     /// (clamped to the physical range by the deployment).
     pub fn at_surface_fraction(mut self, fraction: f64) -> Self {
-        self.surface_fraction = Some(fraction);
+        self.mount = Some(PanelMount::Fraction(fraction));
         self
+    }
+
+    /// Mounts the panel at a fixed room position (meters).
+    pub fn mounted_at(mut self, position: Point2) -> Self {
+        self.mount = Some(PanelMount::Position(position));
+        self
+    }
+
+    /// The illumination angle this panel presents to a device's link,
+    /// if the panel carries a mount and the deployment a surface.
+    pub fn incidence_for(&self, base: Deployment) -> Option<Degrees> {
+        self.deployment_for(base).incidence_deg()
     }
 
     /// The scenario a device sees when served by this panel: its own
     /// geometry and radio, this panel's design and mounting position.
     pub(crate) fn scenario_for(&self, base: &Scenario) -> Scenario {
         let mut scenario = base.clone().with_design(self.design.clone());
-        if let Some(fraction) = self.surface_fraction {
-            scenario.deployment = scenario.deployment.with_surface_fraction(fraction);
-        }
+        scenario.deployment = self.deployment_for(scenario.deployment);
         scenario
     }
 
     /// The deployment a device's link takes under this panel.
     pub(crate) fn deployment_for(&self, base: Deployment) -> Deployment {
-        match self.surface_fraction {
-            Some(fraction) => base.with_surface_fraction(fraction),
+        match self.mount {
+            Some(PanelMount::Fraction(fraction)) => base.with_surface_fraction(fraction),
+            Some(PanelMount::Position(position)) => base.with_surface_at(position),
             None => base,
         }
     }
@@ -175,6 +199,31 @@ impl PanelArray {
                 let center = -90.0 + 180.0 * (i as f64 + 0.5) / k as f64;
                 Panel::new(format!("panel {i}"), design.clone(), Degrees(center))
                     .at_surface_fraction((i as f64 + 1.0) / (k as f64 + 1.0))
+            })
+            .collect();
+        Self { panels }
+    }
+
+    /// Panels of one design hung at explicit room positions (meters):
+    /// the 2-D analogue of [`PanelArray::distributed`]. Each panel's
+    /// sector center is its bearing from the room origin folded into the
+    /// polarization half-circle `[-90°, 90°)`, so wall panels on
+    /// opposite sides of a room naturally cover different orientation
+    /// sectors; every served link re-mounts its surface at the panel's
+    /// position, giving genuinely per-panel incidence angles.
+    pub fn mounted(design: Design, positions: &[Point2]) -> Self {
+        assert!(
+            !positions.is_empty(),
+            "a panel array needs at least one panel"
+        );
+        let panels = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let bearing = p.y.atan2(p.x).to_degrees();
+                // Fold into the polarization half-circle [-90, 90).
+                let center = (bearing + 90.0).rem_euclid(180.0) - 90.0;
+                Panel::new(format!("panel {i}"), design.clone(), Degrees(center)).mounted_at(p)
             })
             .collect();
         Self { panels }

@@ -86,10 +86,7 @@ impl Scenario {
             rx: OrientedAntenna::new(Antenna::esp8266_pcb(), Degrees(0.0)),
             frequency: Hertz::from_ghz(2.442),
             tx_power: Watts::from_mw(100.0),
-            deployment: Deployment::Transmissive {
-                tx_rx: rfmath::units::Meters(3.0),
-                surface_fraction: 0.5,
-            },
+            deployment: Deployment::transmissive(rfmath::units::Meters(3.0), 0.5),
             // A lived-in room, but at IoT ranges most clutter sits
             // outside the first Fresnel zone: light multipath.
             environment: Environment::Laboratory {
@@ -111,10 +108,7 @@ impl Scenario {
             rx: OrientedAntenna::new(Antenna::rpi_onboard(), Degrees(0.0)),
             frequency: Hertz(2.426e9),
             tx_power: Watts::from_mw(1.0),
-            deployment: Deployment::Transmissive {
-                tx_rx: rfmath::units::Meters(4.0),
-                surface_fraction: 0.5,
-            },
+            deployment: Deployment::transmissive(rfmath::units::Meters(4.0), 0.5),
             environment: Environment::Laboratory {
                 seed: 2,
                 scatterers: 6,
@@ -126,23 +120,16 @@ impl Scenario {
         }
     }
 
-    /// Sets the Tx–Rx distance in centimetres (transmissive) or the
-    /// Tx–surface distance (reflective).
+    /// Sets the swept distance in centimetres: the Tx–Rx separation for
+    /// transmissive/free deployments, or the surface standoff for
+    /// reflective ones (matching the paper's figure axes).
     pub fn with_distance_cm(mut self, cm: f64) -> Self {
-        self.deployment = match self.deployment {
-            Deployment::Transmissive {
-                surface_fraction, ..
-            } => Deployment::Transmissive {
-                tx_rx: rfmath::units::Meters::from_cm(cm),
-                surface_fraction,
-            },
-            Deployment::Reflective { tx_rx, .. } => Deployment::Reflective {
-                tx_rx,
-                surface_distance: rfmath::units::Meters::from_cm(cm),
-            },
-            Deployment::Free { .. } => Deployment::Free {
-                tx_rx: rfmath::units::Meters::from_cm(cm),
-            },
+        let d = rfmath::units::Meters::from_cm(cm);
+        self.deployment = match self.deployment.surface {
+            propagation::rays::SurfaceMount::Reflective { .. } => {
+                self.deployment.with_surface_standoff(d)
+            }
+            _ => self.deployment.with_endpoint_separation(d),
         };
         self
     }
@@ -256,12 +243,13 @@ mod tests {
         let s = Scenario::transmissive_default().with_distance_cm(60.0);
         assert!((s.deployment.tx_rx_distance().cm() - 60.0).abs() < 1e-9);
         let r = Scenario::reflective_default().with_distance_cm(48.0);
-        match r.deployment {
-            Deployment::Reflective {
-                surface_distance, ..
-            } => assert!((surface_distance.cm() - 48.0).abs() < 1e-9),
-            other => panic!("unexpected deployment {other:?}"),
-        }
+        let standoff = r
+            .deployment
+            .surface_standoff()
+            .expect("reflective keeps its surface");
+        assert!((standoff.cm() - 48.0).abs() < 1e-9);
+        // The endpoint separation is untouched by a reflective sweep.
+        assert!((r.deployment.tx_rx_distance().cm() - 70.0).abs() < 1e-9);
     }
 
     #[test]

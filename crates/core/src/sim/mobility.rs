@@ -13,7 +13,9 @@
 use devices::human::HumanTarget;
 use devices::turntable::Turntable;
 use propagation::antenna::OrientedAntenna;
+use propagation::rays::Deployment;
 use rfmath::units::{Degrees, Meters, Seconds, Watts};
+use rfmath::vec2::Point2;
 
 use crate::fleet::Fleet;
 
@@ -22,12 +24,15 @@ use crate::fleet::Fleet;
 pub enum MobilityModel {
     /// Parked: the device never dirties its link.
     Static,
-    /// A piecewise-linear walk through `(time, AP-distance in cm)`
+    /// A piecewise-linear walk through `(time, room position)`
     /// waypoints, clamped at both ends (the device stands still before
-    /// the first waypoint and after the last). Walking changes the
-    /// endpoint separation, so each step costs a full link
-    /// re-preparation (the scatter realization tracks the geometry).
-    Waypoints(Vec<(Seconds, f64)>),
+    /// the first waypoint and after the last). Walking moves the
+    /// device's receiver through the room, so each step costs a full
+    /// link re-preparation (the scatter realization tracks the
+    /// geometry). Attach via [`MobilityModel::waypoints`] or
+    /// [`DynamicFleet::set_mobility`], which sort the waypoints by time
+    /// and reject duplicates.
+    Waypoints(Vec<(Seconds, Point2)>),
     /// Continuous mount rotation: the turntable is re-commanded to
     /// `start + rate·t` at every clock edge and slews at its own
     /// mechanical limit (with its step quantization). Rotation leaves
@@ -44,10 +49,27 @@ pub enum MobilityModel {
 }
 
 impl MobilityModel {
-    /// A walk from `from_cm` to `to_cm` between `depart` and `arrive`,
-    /// standing still outside that window.
+    /// A planar waypoint walk, normalized: waypoints are stably sorted
+    /// by time so callers may list them in any order.
+    ///
+    /// # Panics
+    /// Panics on an empty list, duplicate timestamps (two positions at
+    /// one instant is not a trajectory), or non-finite coordinates.
+    pub fn waypoints(points: Vec<(Seconds, Point2)>) -> Self {
+        let mut model = Self::Waypoints(points);
+        model.normalize();
+        model
+    }
+
+    /// A walk along the x-axis from `from_cm` to `to_cm` (AP-distance
+    /// in centimeters) between `depart` and `arrive`, standing still
+    /// outside that window — the legacy 1-D convenience, now a thin
+    /// wrapper over planar waypoints.
     pub fn walk(from_cm: f64, to_cm: f64, depart: Seconds, arrive: Seconds) -> Self {
-        Self::Waypoints(vec![(depart, from_cm), (arrive, to_cm)])
+        Self::waypoints(vec![
+            (depart, Point2::new(Meters::from_cm(from_cm).0, 0.0)),
+            (arrive, Point2::new(Meters::from_cm(to_cm).0, 0.0)),
+        ])
     }
 
     /// A rotation trace starting from the device's current mount.
@@ -59,62 +81,91 @@ impl MobilityModel {
         }
     }
 
-    /// Validates the model's invariants (waypoints sorted, distances
-    /// physical) — called when the model is attached to a device.
-    fn validate(&self) {
+    /// Sorts waypoints by time and validates the model's invariants —
+    /// applied when the model is attached to a device, so directly
+    /// constructed `Waypoints` variants get the same guarantees.
+    ///
+    /// # Panics
+    /// Panics on an empty waypoint list, duplicate timestamps, or
+    /// non-finite times/coordinates.
+    fn normalize(&mut self) {
         if let Self::Waypoints(points) = self {
             assert!(!points.is_empty(), "a waypoint walk needs waypoints");
             assert!(
-                points.windows(2).all(|w| w[1].0 .0 > w[0].0 .0),
-                "waypoint times must be strictly increasing"
+                points
+                    .iter()
+                    .all(|(t, p)| t.0.is_finite() && p.x.is_finite() && p.y.is_finite()),
+                "waypoint times and coordinates must be finite"
             );
+            points.sort_by(|a, b| a.0 .0.total_cmp(&b.0 .0));
             assert!(
-                points.iter().all(|&(_, cm)| cm > 0.0),
-                "waypoint distances must be positive"
+                points.windows(2).all(|w| w[1].0 .0 > w[0].0 .0),
+                "duplicate waypoint timestamps"
             );
         }
     }
 }
 
-/// Clamped piecewise-linear interpolation over sorted waypoints.
-fn interpolate(points: &[(Seconds, f64)], t: Seconds) -> f64 {
+/// Clamped piecewise-linear interpolation over time-sorted planar
+/// waypoints.
+fn interpolate(points: &[(Seconds, Point2)], t: Seconds) -> Point2 {
     let first = points.first().expect("waypoints validated non-empty");
     if t.0 <= first.0 .0 {
         return first.1;
     }
     for pair in points.windows(2) {
-        let (t0, d0) = pair[0];
-        let (t1, d1) = pair[1];
+        let (t0, p0) = pair[0];
+        let (t1, p1) = pair[1];
         if t.0 <= t1.0 {
             let frac = ((t.0 - t0.0) / (t1.0 - t0.0)).clamp(0.0, 1.0);
-            return d0 + (d1 - d0) * frac;
+            return p0.lerp(p1, frac);
         }
     }
     points.last().expect("non-empty").1
 }
 
-/// A transient blocker on one device's link: for the duration of the
-/// window the link is attenuated by `loss_db` (a person standing in the
-/// line of sight — the §5.2.2 "someone walks between AP and surface"
-/// event). Blockage scales the whole link uniformly, so it is a cheap
-/// rebind for the evaluation engine and — because it shifts every
-/// panel's reference power equally — never triggers a panel handoff by
-/// itself.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct Blockage {
-    /// Fleet-order index of the blocked device.
-    pub device: usize,
-    /// When the blocker enters the link.
-    pub start: Seconds,
-    /// How long they stay.
-    pub duration: Seconds,
-    /// Obstruction loss while blocked, dB.
-    pub loss_db: f64,
+/// A transient blocker in the room (a person stepping into a link — the
+/// §5.2.2 "someone walks between AP and surface" event). Blockage
+/// scales the whole affected link uniformly, so it is a cheap rebind
+/// for the evaluation engine and — because it shifts every panel's
+/// reference power equally — never triggers a panel handoff by itself.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Blockage {
+    /// The legacy scripted form: one device's link is attenuated for a
+    /// fixed time window.
+    Window {
+        /// Fleet-order index of the blocked device.
+        device: usize,
+        /// When the blocker enters the link.
+        start: Seconds,
+        /// How long they stay.
+        duration: Seconds,
+        /// Obstruction loss while blocked, dB.
+        loss_db: f64,
+    },
+    /// A body moving through the room: it occludes *whichever* links
+    /// its line of sight actually crosses, whenever its center passes
+    /// within `radius` of a link's Tx–Rx segment. The walk is clamped
+    /// like device waypoints (the body stands at its first position
+    /// before departing and parks at its last), so place the endpoints
+    /// clear of the links.
+    Crossing {
+        /// The body's walk through the room, `(time, position)`.
+        path: Vec<(Seconds, Point2)>,
+        /// Effective body radius for the line-of-sight test, meters.
+        radius: Meters,
+        /// Obstruction loss while occluding, dB.
+        loss_db: f64,
+    },
 }
 
+/// Effective radius of a standing human body for line-of-sight
+/// occlusion, meters (roughly a shoulder half-span).
+pub const HUMAN_BODY_RADIUS: Meters = Meters(0.35);
+
 impl Blockage {
-    /// A blockage event by a human body, with the obstruction loss
-    /// derived from the subject model
+    /// A scripted window blockage by a human body, with the obstruction
+    /// loss derived from the subject model
     /// ([`HumanTarget::blockage_loss_db`]).
     pub fn from_human(
         device: usize,
@@ -122,7 +173,7 @@ impl Blockage {
         duration: Seconds,
         human: &HumanTarget,
     ) -> Self {
-        Self {
+        Self::Window {
             device,
             start,
             duration,
@@ -130,9 +181,54 @@ impl Blockage {
         }
     }
 
-    /// True while the blocker is inside the link at time `t`.
-    pub fn active_at(&self, t: Seconds) -> bool {
-        t.0 >= self.start.0 && t.0 < self.start.0 + self.duration.0
+    /// A human walking through the room along `path`, occluding
+    /// whatever links they cross ([`HUMAN_BODY_RADIUS`] body).
+    ///
+    /// # Panics
+    /// Panics on an empty path, duplicate timestamps, or non-finite
+    /// coordinates (same contract as device waypoints).
+    pub fn human_crossing(path: Vec<(Seconds, Point2)>, human: &HumanTarget) -> Self {
+        let mut model = MobilityModel::Waypoints(path);
+        model.normalize();
+        let MobilityModel::Waypoints(path) = model else {
+            unreachable!("normalize preserves the variant")
+        };
+        Self::Crossing {
+            path,
+            radius: HUMAN_BODY_RADIUS,
+            loss_db: human.blockage_loss_db().0,
+        }
+    }
+
+    /// The loss this blocker imposes on the link of a device deployed
+    /// at `deployment`, at time `t` (zero when clear).
+    pub fn loss_at(&self, device: usize, deployment: &Deployment, t: Seconds) -> f64 {
+        match self {
+            Self::Window {
+                device: blocked,
+                start,
+                duration,
+                loss_db,
+            } => {
+                if device == *blocked && t.0 >= start.0 && t.0 < start.0 + duration.0 {
+                    *loss_db
+                } else {
+                    0.0
+                }
+            }
+            Self::Crossing {
+                path,
+                radius,
+                loss_db,
+            } => {
+                let body = interpolate(path, t);
+                if body.segment_distance(deployment.tx, deployment.rx) < radius.0 {
+                    *loss_db
+                } else {
+                    0.0
+                }
+            }
+        }
     }
 }
 
@@ -175,21 +271,24 @@ impl DynamicFleet {
     /// # Panics
     /// Panics when `idx` is out of range or the model's waypoints are
     /// malformed (unsorted times, non-positive distances).
-    pub fn set_mobility(&mut self, idx: usize, model: MobilityModel) {
+    pub fn set_mobility(&mut self, idx: usize, mut model: MobilityModel) {
         assert!(idx < self.snapshot.len(), "device index out of range");
-        model.validate();
+        model.normalize();
         self.mobility[idx] = model;
     }
 
-    /// Schedules a blockage window.
+    /// Schedules a blockage event (a scripted window or a body crossing
+    /// the room).
     ///
     /// # Panics
-    /// Panics when the event references a device outside the fleet.
+    /// Panics when a window event references a device outside the fleet.
     pub fn add_blockage(&mut self, blockage: Blockage) {
-        assert!(
-            blockage.device < self.snapshot.len(),
-            "blockage references a device outside the fleet"
-        );
+        if let Blockage::Window { device, .. } = blockage {
+            assert!(
+                device < self.snapshot.len(),
+                "blockage references a device outside the fleet"
+            );
+        }
         self.blockages.push(blockage);
     }
 
@@ -226,11 +325,11 @@ impl DynamicFleet {
             match &mut self.mobility[d] {
                 MobilityModel::Static => {}
                 MobilityModel::Waypoints(points) => {
-                    let cm = interpolate(points, t);
+                    let p = interpolate(points, t);
                     let dev = self.snapshot.device_mut(d);
-                    let old = dev.scenario.deployment.tx_rx_distance();
-                    if Meters::from_cm(cm).0.to_bits() != old.0.to_bits() {
-                        dev.scenario = dev.scenario.clone().with_distance_cm(cm);
+                    let old = dev.scenario.deployment.rx;
+                    if p.x.to_bits() != old.x.to_bits() || p.y.to_bits() != old.y.to_bits() {
+                        dev.scenario.deployment = dev.scenario.deployment.with_rx_at(p);
                         changed = true;
                     }
                 }
@@ -250,14 +349,16 @@ impl DynamicFleet {
                     }
                 }
             }
-            // Blockage windows attenuate the link end to end; model it
-            // as a transmit-power scale (a blocker near an endpoint
-            // shades every path the same way).
+            // Blockages attenuate the link end to end; model it as a
+            // transmit-power scale (a blocker near an endpoint shades
+            // every path the same way). Crossing bodies occlude by
+            // line-of-sight: whichever links their center passes within
+            // a body radius of, at this instant.
+            let deployment = self.snapshot.devices()[d].scenario.deployment;
             let loss_db: f64 = self
                 .blockages
                 .iter()
-                .filter(|b| b.device == d && b.active_at(t))
-                .map(|b| b.loss_db)
+                .map(|b| b.loss_at(d, &deployment, t))
                 .sum();
             let power = Watts(self.base_tx_power[d].0 * 10f64.powf(-loss_db / 10.0));
             let dev = self.snapshot.device_mut(d);
@@ -285,16 +386,13 @@ impl DynamicFleet {
         for d in 0..n {
             match d % 8 {
                 0 => {
-                    let from = dynamic.snapshot.devices()[d]
-                        .scenario
-                        .deployment
-                        .tx_rx_distance()
-                        .cm();
+                    let from = dynamic.snapshot.devices()[d].scenario.deployment.rx;
+                    let out = from + Point2::new(1.5, 0.0);
                     dynamic.set_mobility(
                         d,
                         MobilityModel::Waypoints(vec![
                             (Seconds(0.0), from),
-                            (Seconds(duration.0 * 0.5), from + 150.0),
+                            (Seconds(duration.0 * 0.5), out),
                             (duration, from),
                         ]),
                     );
@@ -389,7 +487,7 @@ mod tests {
     fn blockage_window_dims_and_restores_the_link() {
         let mut fleet = small();
         let base = fleet.fleet().devices()[2].scenario.tx_power;
-        fleet.add_blockage(Blockage {
+        fleet.add_blockage(Blockage::Window {
             device: 2,
             start: Seconds(2.0),
             duration: Seconds(2.0),
@@ -419,13 +517,88 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "strictly increasing")]
-    fn unsorted_waypoints_are_rejected() {
+    fn unsorted_waypoints_are_sorted_on_attach() {
+        // Sort-or-reject: out-of-order times are sorted (stable by
+        // time), so the trajectory matches the sorted-input one.
+        let mut shuffled = small();
+        shuffled.set_mobility(
+            0,
+            MobilityModel::Waypoints(vec![
+                (Seconds(3.0), Point2::new(2.0, 0.0)),
+                (Seconds(1.0), Point2::new(1.0, 0.0)),
+                (Seconds(5.0), Point2::new(1.0, 1.0)),
+            ]),
+        );
+        let mut sorted = small();
+        sorted.set_mobility(
+            0,
+            MobilityModel::waypoints(vec![
+                (Seconds(1.0), Point2::new(1.0, 0.0)),
+                (Seconds(3.0), Point2::new(2.0, 0.0)),
+                (Seconds(5.0), Point2::new(1.0, 1.0)),
+            ]),
+        );
+        for tick in 0..=6 {
+            let t = Seconds(tick as f64);
+            shuffled.advance_to(t);
+            sorted.advance_to(t);
+            assert_eq!(
+                shuffled.fleet().devices()[0].scenario.deployment.rx,
+                sorted.fleet().devices()[0].scenario.deployment.rx,
+                "trajectories must agree at t = {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate waypoint timestamps")]
+    fn duplicate_waypoint_times_are_rejected() {
         let mut fleet = small();
         fleet.set_mobility(
             0,
-            MobilityModel::Waypoints(vec![(Seconds(3.0), 100.0), (Seconds(1.0), 200.0)]),
+            MobilityModel::Waypoints(vec![
+                (Seconds(1.0), Point2::new(1.0, 0.0)),
+                (Seconds(1.0), Point2::new(2.0, 0.0)),
+            ]),
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_waypoints_are_rejected() {
+        MobilityModel::waypoints(vec![(Seconds(0.0), Point2::new(f64::NAN, 0.0))]);
+    }
+
+    #[test]
+    fn crossing_blocker_occludes_by_line_of_sight() {
+        // A body walking perpendicularly across device 0's link (tx at
+        // the origin, rx on the x-axis) dims it only while the walk
+        // actually crosses the segment, and never touches a link it
+        // doesn't cross.
+        let mut fleet = small();
+        let rx = fleet.fleet().devices()[0].scenario.deployment.rx;
+        let mid = Point2::new(rx.x / 2.0, 0.0);
+        let human = devices::human::HumanTarget::resting_adult(Meters(2.0));
+        fleet.add_blockage(Blockage::human_crossing(
+            vec![
+                (Seconds(0.0), mid + Point2::new(0.0, -3.0)),
+                (Seconds(6.0), mid + Point2::new(0.0, 3.0)),
+            ],
+            &human,
+        ));
+        let base = fleet.fleet().devices()[0].scenario.tx_power;
+        // Far from the link: clear.
+        fleet.advance_to(Seconds(0.0));
+        assert_eq!(fleet.fleet().devices()[0].scenario.tx_power, base);
+        // Mid-walk the body stands on the segment: occluded by the
+        // human blockage loss.
+        fleet.advance_to(Seconds(3.0));
+        let blocked = fleet.fleet().devices()[0].scenario.tx_power;
+        let loss_db = 10.0 * (base.0 / blocked.0).log10();
+        assert!((loss_db - human.blockage_loss_db().0).abs() < 1e-9);
+        // Walked past: restored exactly.
+        fleet.advance_to(Seconds(6.0));
+        assert_eq!(fleet.fleet().devices()[0].scenario.tx_power, base);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Geometry-promotion contracts: the 2-D room coordinates must not
+//! change any answer the scalar geometry used to give.
+//!
+//! * **Collinear bit-compatibility** — a 2-D `Deployment` with all
+//!   endpoints on a line reproduces the pre-refactor scalar geometry
+//!   *bit for bit*: engineered path lengths equal the legacy closed
+//!   forms (`d`, `d + 2·f·d` transmissive; `sep`,
+//!   `2·√(standoff² + (sep/2)²)` reflective), and the full link
+//!   (engineered + environment scatter) yields bitwise-identical
+//!   received power however the collinear deployment was spelled —
+//!   far inside the 1e-12 acceptance bar.
+//! * **Rigid-motion invariance** — rotating + translating a whole room
+//!   changes nothing physical, so received power and the max-min fleet
+//!   allocation agree with the collinear original to a phase-safe
+//!   1e-9 (coordinate rounding enters through propagation phase, which
+//!   deep scatter fades amplify; the collinear case stays exact).
+
+use llama_core::fleet::{Fleet, FleetDevice, Scheduler};
+use llama_core::scenario::Scenario;
+use metasurface::response::Metasurface;
+use metasurface::stack::BiasState;
+use propagation::rays::{engineered_paths, Deployment, SurfaceMount};
+use proptest::prelude::*;
+use rfmath::units::{Hertz, Meters};
+use rfmath::vec2::Point2;
+
+/// Rigid motion: rotate by `theta` about the origin, then translate.
+fn rigid(p: Point2, theta: f64, shift: Point2) -> Point2 {
+    let (s, c) = theta.sin_cos();
+    Point2::new(c * p.x - s * p.y + shift.x, s * p.x + c * p.y + shift.y)
+}
+
+fn rigid_deployment(d: Deployment, theta: f64, shift: Point2) -> Deployment {
+    let surface = match d.surface {
+        SurfaceMount::None => SurfaceMount::None,
+        SurfaceMount::Transmissive { position } => SurfaceMount::Transmissive {
+            position: rigid(position, theta, shift),
+        },
+        SurfaceMount::Reflective { position } => SurfaceMount::Reflective {
+            position: rigid(position, theta, shift),
+        },
+    };
+    Deployment::room(
+        rigid(d.tx, theta, shift),
+        rigid(d.rx, theta, shift),
+        surface,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Coordinate-derived path lengths equal the legacy scalar closed
+    /// forms bit for bit, for any collinear layout.
+    #[test]
+    fn collinear_path_lengths_match_scalar_formulas_bitwise(
+        d in 0.2f64..6.0,
+        frac in 0.0f64..1.0,
+        standoff in 0.1f64..1.5,
+    ) {
+        let f = Hertz(2.44e9);
+        let surface = Metasurface::llama();
+        let response = surface.response(f);
+
+        let trans = engineered_paths(Deployment::transmissive(Meters(d), frac), Some(&response), f);
+        let d1 = d * frac.clamp(0.05, 0.95);
+        prop_assert_eq!(trans[0].length.0.to_bits(), d.to_bits());
+        prop_assert_eq!(trans[1].length.0.to_bits(), (d + 2.0 * d1).to_bits());
+        prop_assert_eq!(
+            Deployment::transmissive(Meters(d), frac).aperture_obliquity().to_bits(),
+            1.0f64.to_bits()
+        );
+
+        let refl = engineered_paths(
+            Deployment::reflective(Meters(d), Meters(standoff)),
+            Some(&response),
+            f,
+        );
+        let half = d / 2.0;
+        let fold = 2.0 * (standoff * standoff + half * half).sqrt();
+        prop_assert_eq!(refl[0].length.0.to_bits(), d.to_bits());
+        prop_assert_eq!(refl[1].length.0.to_bits(), fold.to_bits());
+    }
+
+    /// The full link — legacy constructors, scatter environment and all
+    /// — produces bitwise-identical received power whether the collinear
+    /// deployment came from the 1-D convenience constructors or from
+    /// explicitly spelled room coordinates on the x-axis.
+    #[test]
+    fn collinear_room_reproduces_legacy_received_power_bitwise(
+        cm in 60.0f64..400.0,
+        frac in 0.1f64..0.9,
+        seed in 0u64..1_000,
+        vx in 0.0f64..30.0,
+        vy in 0.0f64..30.0,
+    ) {
+        let mut legacy = Scenario::wifi_iot_default()
+            .with_distance_cm(cm)
+            .with_seed(seed);
+        let mut via_room = legacy.clone();
+        let d = Meters::from_cm(cm).0;
+        via_room.deployment = Deployment::room(
+            Point2::ORIGIN,
+            Point2::new(d, 0.0),
+            SurfaceMount::Transmissive {
+                position: Point2::new(d * 0.5, 0.0),
+            },
+        ).with_surface_fraction(frac);
+        legacy.deployment = legacy.deployment.with_surface_fraction(frac);
+
+        let mut surface = Metasurface::new(legacy.design.clone());
+        surface.set_bias(BiasState::new(vx, vy));
+        let a = legacy.link().received_power(Some(&surface)).0;
+        let b = via_room.link().received_power(Some(&surface)).0;
+        prop_assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    /// Rotating + translating the room is physically inert: received
+    /// power tracks the collinear original to 1e-9 relative (phase
+    /// sensitivity amplifies the coordinate rounding; the collinear
+    /// case is covered bitwise above).
+    #[test]
+    fn rigid_motion_leaves_received_power_unchanged(
+        cm in 60.0f64..400.0,
+        theta in 0.0f64..std::f64::consts::TAU,
+        sx in -5.0f64..5.0,
+        sy in -5.0f64..5.0,
+        seed in 0u64..1_000,
+    ) {
+        let base = Scenario::wifi_iot_default()
+            .with_distance_cm(cm)
+            .with_seed(seed);
+        let mut moved = base.clone();
+        moved.deployment = rigid_deployment(base.deployment, theta, Point2::new(sx, sy));
+
+        let mut surface = Metasurface::new(base.design.clone());
+        surface.set_bias(BiasState::new(9.0, 4.0));
+        let a = base.link().received_power(Some(&surface)).0;
+        let b = moved.link().received_power(Some(&surface)).0;
+        let rel = (a - b).abs() / a.abs().max(b.abs());
+        prop_assert!(rel < 1e-9, "relative power drift {rel:e} under rigid motion");
+    }
+
+    /// The max-min fleet allocation agrees between a collinear fleet
+    /// and the same fleet spelled in room coordinates: identical shared
+    /// bias, per-device powers bitwise for the axis-aligned rewrite and
+    /// within 1e-9 dB under rigid motion.
+    #[test]
+    fn fleet_allocation_is_geometry_invariant(
+        n in 2usize..5,
+        theta in 0.0f64..std::f64::consts::TAU,
+        seed in 0u64..500,
+    ) {
+        let shift = Point2::new(2.0, -1.0);
+        let collinear = Fleet::mixed_wifi_ble(n, seed);
+        let mut moved = Fleet::new(collinear.design.clone());
+        for dev in collinear.devices() {
+            let dep = rigid_deployment(dev.scenario.deployment, theta, shift);
+            moved.push(FleetDevice::clone(dev).placed(dep));
+        }
+
+        let a = Scheduler::max_min().run(&collinear);
+        let b = Scheduler::max_min().run(&moved);
+        prop_assert_eq!(a.shared_bias, b.shared_bias);
+        for (da, db) in a.per_device.iter().zip(&b.per_device) {
+            prop_assert!(
+                (da.power_dbm - db.power_dbm).abs() < 1e-9,
+                "{}: {} vs {} dBm",
+                da.label,
+                da.power_dbm,
+                db.power_dbm
+            );
+        }
+    }
+}
+
+/// Non-proptest spot check: the walking convenience stays a thin
+/// wrapper — `MobilityModel::walk` waypoints land on the x-axis at the
+/// exact centimeter-converted positions.
+#[test]
+fn walk_wrapper_is_axis_aligned() {
+    use llama_core::sim::MobilityModel;
+    use rfmath::units::Seconds;
+    let MobilityModel::Waypoints(points) =
+        MobilityModel::walk(150.0, 300.0, Seconds(1.0), Seconds(4.0))
+    else {
+        panic!("walk must build a waypoint model");
+    };
+    assert_eq!(points[0].1, Point2::new(1.5, 0.0));
+    assert_eq!(points[1].1, Point2::new(3.0, 0.0));
+    assert_eq!(points[0].0, Seconds(1.0));
+    assert_eq!(points[1].0, Seconds(4.0));
+}

@@ -17,7 +17,7 @@ use rfmath::units::{Dbm, Hertz, Seconds, Watts};
 
 use crate::antenna::OrientedAntenna;
 use crate::environment::Environment;
-use crate::rays::{engineered_paths, Deployment, Path};
+use crate::rays::{engineered_paths, Deployment, Path, SurfaceMount};
 
 /// Calibration knobs of the link model — the parameters the Figure 20
 /// fidelity sweep (`expts --calibrate-fig20`) explores. Defaults
@@ -204,8 +204,8 @@ impl Link {
         // take its through-loss. This is the energy the surface *costs*
         // an omni link in a rich environment (§5.1.2's low-power omni
         // discussion).
-        let shadow = match (surface, self.deployment) {
-            (Some(surface), Deployment::Transmissive { .. }) => {
+        let shadow = match (surface, self.deployment.surface) {
+            (Some(surface), SurfaceMount::Transmissive { .. }) => {
                 let eff_db = 0.5 * (surface.efficiency_x_db().0 + surface.efficiency_y_db().0)
                     - self.tuning.shadow_extra_db;
                 10f64.powf(eff_db.max(-30.0 - self.tuning.shadow_extra_db) / 20.0)

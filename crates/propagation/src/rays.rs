@@ -1,109 +1,333 @@
 //! Deployment geometry and propagation paths.
 //!
-//! Mirrors the paper's two experimental setups (Figure 14):
+//! Mirrors the paper's two experimental setups (Figure 14), promoted
+//! from scalar line distances to planar **room coordinates**: the
+//! transmitter, receiver and surface mount are [`Point2`] positions, and
+//! every path length and illumination angle is *derived* from them.
 //!
 //! * **Transmissive** — the surface sits between the endpoints; the
 //!   dominant path crosses it and picks up the surface's transmission
 //!   Jones matrix. A weak antenna↔surface multi-bounce term makes the
 //!   optimal bias *distance-dependent*, which is why the paper steps
-//!   Tx–Rx spacing in half-wavelength increments (Figure 15).
+//!   Tx–Rx spacing in half-wavelength increments (Figure 15). Mounting
+//!   the panel off the link axis foreshortens its aperture by the
+//!   cosine of the illumination angle.
 //! * **Reflective** — both endpoints face the surface from the same
 //!   side; the dominant engineered path reflects specularly off the
-//!   surface front (image theory over the full fold length), while a
-//!   weak direct endpoint-to-endpoint path persists.
+//!   surface front (image theory over the full Tx→surface→Rx fold),
+//!   while a weak direct endpoint-to-endpoint path persists.
 //!
 //! Each path carries a complex scalar transfer (Friis amplitude + phase)
 //! and a Jones matrix describing what it does to polarization. The link
 //! layer sums path field contributions coherently.
+//!
+//! ## Collinear compatibility
+//!
+//! The legacy scalar constructors ([`Deployment::transmissive_cm`],
+//! [`Deployment::reflective_cm`], [`Deployment::with_surface_fraction`])
+//! survive as thin wrappers that lay the room out on the x-axis. Their
+//! derived path lengths reproduce the pre-coordinate scalar formulas
+//! **bit for bit**: axis-aligned distances evaluate as `sqrt(x²) == x`
+//! exactly, the reflective fold `|tx−s| + |s−rx|` equals
+//! `2·√(d² + (sep/2)²)` exactly (both halves are the same rounded
+//! square root, and `x + x` is exact), and the aperture obliquity is
+//! exactly `1.0` whenever the mount lies on the link line. This is what
+//! keeps [`crate::link::PreparedLink`]'s scatter cache — keyed on the
+//! endpoint separation — and every equivalence proptest meaningful
+//! across the refactor.
 
 use metasurface::response::SurfaceResponse;
 use rfmath::complex::Complex;
 use rfmath::jones::JonesMatrix;
-use rfmath::units::{Hertz, Meters};
+use rfmath::units::{Degrees, Hertz, Meters};
+use rfmath::vec2::Point2;
 
 use crate::friis::field_transfer;
 
-/// Physical placement of endpoints and surface.
+/// Where (and how) the surface hangs in the room.
 #[derive(Clone, Copy, Debug, PartialEq)]
-pub enum Deployment {
-    /// Endpoints facing each other with the surface between them
-    /// (Figure 14, left). `surface_fraction` places the surface along
-    /// the line (0 = at the transmitter, 1 = at the receiver).
-    Transmissive {
-        /// Total Tx–Rx separation.
-        tx_rx: Meters,
-        /// Fractional surface position along the link line.
-        surface_fraction: f64,
-    },
-    /// Endpoints side by side facing the surface (Figure 14, right).
-    Reflective {
-        /// Lateral Tx–Rx separation (the paper uses 70 cm).
-        tx_rx: Meters,
-        /// Perpendicular distance from the endpoints' line to the
-        /// surface.
-        surface_distance: Meters,
-    },
+pub enum SurfaceMount {
     /// No surface deployed (baseline measurements).
-    Free {
-        /// Tx–Rx separation.
-        tx_rx: Meters,
+    None,
+    /// The surface intercepts the link between the endpoints (Figure 14,
+    /// left); the dominant path crosses it.
+    Transmissive {
+        /// Mount position in room coordinates, meters.
+        position: Point2,
+    },
+    /// The surface faces both endpoints from one side (Figure 14,
+    /// right); the engineered path folds off it specularly.
+    Reflective {
+        /// Mount position in room coordinates, meters.
+        position: Point2,
     },
 }
 
+/// Physical placement of endpoints and surface in room coordinates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Deployment {
+    /// Transmitter position, meters.
+    pub tx: Point2,
+    /// Receiver position, meters.
+    pub rx: Point2,
+    /// Surface mount (kind + position).
+    pub surface: SurfaceMount,
+}
+
 impl Deployment {
+    /// A general room placement from explicit coordinates.
+    pub fn room(tx: Point2, rx: Point2, surface: SurfaceMount) -> Self {
+        Self { tx, rx, surface }
+    }
+
+    /// A transmissive deployment laid out on the x-axis: Tx at the
+    /// origin, Rx at `tx_rx`, surface on the line at `surface_fraction`
+    /// of the way (clamped to the physical mount range `0.05..0.95`).
+    pub fn transmissive(tx_rx: Meters, surface_fraction: f64) -> Self {
+        let fraction = surface_fraction.clamp(0.05, 0.95);
+        Self {
+            tx: Point2::ORIGIN,
+            rx: Point2::new(tx_rx.0, 0.0),
+            surface: SurfaceMount::Transmissive {
+                position: Point2::new(tx_rx.0 * fraction, 0.0),
+            },
+        }
+    }
+
     /// The paper's default transmissive setup with the surface midway.
     pub fn transmissive_cm(tx_rx_cm: f64) -> Self {
-        Deployment::Transmissive {
-            tx_rx: Meters::from_cm(tx_rx_cm),
-            surface_fraction: 0.5,
+        Self::transmissive(Meters::from_cm(tx_rx_cm), 0.5)
+    }
+
+    /// A reflective deployment laid out symmetrically: endpoints at
+    /// `(±tx_rx/2, 0)`, surface at `(0, surface_distance)` facing them.
+    pub fn reflective(tx_rx: Meters, surface_distance: Meters) -> Self {
+        let half = tx_rx.0 / 2.0;
+        Self {
+            tx: Point2::new(-half, 0.0),
+            rx: Point2::new(half, 0.0),
+            surface: SurfaceMount::Reflective {
+                position: Point2::new(0.0, surface_distance.0),
+            },
         }
     }
 
     /// The paper's reflective setup: 70 cm endpoint separation.
     pub fn reflective_cm(surface_distance_cm: f64) -> Self {
-        Deployment::Reflective {
-            tx_rx: Meters::from_cm(70.0),
-            surface_distance: Meters::from_cm(surface_distance_cm),
+        Self::reflective(Meters::from_cm(70.0), Meters::from_cm(surface_distance_cm))
+    }
+
+    /// A baseline (no surface) link on the x-axis.
+    pub fn free(tx_rx: Meters) -> Self {
+        Self {
+            tx: Point2::ORIGIN,
+            rx: Point2::new(tx_rx.0, 0.0),
+            surface: SurfaceMount::None,
         }
     }
 
-    /// Baseline (no surface) at the same endpoint spacing.
+    /// Strips the surface while keeping the endpoints where they are
+    /// (baseline measurements at the same spacing).
     pub fn without_surface(self) -> Self {
-        match self {
-            Deployment::Transmissive { tx_rx, .. } => Deployment::Free { tx_rx },
-            Deployment::Reflective { tx_rx, .. } => Deployment::Free { tx_rx },
-            free => free,
-        }
-    }
-
-    /// Re-mounts the surface at a different position while keeping the
-    /// endpoints fixed — the per-panel geometry adjustment of a panel
-    /// array (each panel hangs at its own spot along the link).
-    /// Transmissive deployments move the surface to `fraction` of the
-    /// link line; reflective ones scale the standoff by `fraction` of
-    /// the endpoint separation; `Free` (no surface) is unchanged.
-    pub fn with_surface_fraction(self, fraction: f64) -> Self {
-        match self {
-            Deployment::Transmissive { tx_rx, .. } => Deployment::Transmissive {
-                tx_rx,
-                surface_fraction: fraction.clamp(0.05, 0.95),
-            },
-            Deployment::Reflective { tx_rx, .. } => Deployment::Reflective {
-                tx_rx,
-                surface_distance: Meters(tx_rx.0 * fraction.clamp(0.05, 0.95)),
-            },
-            free => free,
+        Self {
+            surface: SurfaceMount::None,
+            ..self
         }
     }
 
     /// Endpoint separation along the direct line.
     pub fn tx_rx_distance(&self) -> Meters {
-        match *self {
-            Deployment::Transmissive { tx_rx, .. } => tx_rx,
-            Deployment::Reflective { tx_rx, .. } => tx_rx,
-            Deployment::Free { tx_rx } => tx_rx,
+        Meters(self.tx.distance(self.rx))
+    }
+
+    /// Unit direction from Tx toward Rx (`(1, 0)` when the endpoints
+    /// coincide).
+    pub fn axis(&self) -> Point2 {
+        (self.rx - self.tx).unit()
+    }
+
+    /// The surface's mount position, if one is deployed.
+    pub fn surface_position(&self) -> Option<Point2> {
+        match self.surface {
+            SurfaceMount::None => None,
+            SurfaceMount::Transmissive { position } | SurfaceMount::Reflective { position } => {
+                Some(position)
+            }
         }
     }
+
+    /// Perpendicular distance from the surface mount to the endpoint
+    /// line (the reflective "standoff"; zero for a mount on the link
+    /// axis).
+    pub fn surface_standoff(&self) -> Option<Meters> {
+        let s = self.surface_position()?;
+        let sep = self.tx_rx_distance().0;
+        if sep == 0.0 {
+            return Some(Meters(self.tx.distance(s)));
+        }
+        Some(Meters(((self.rx - self.tx).cross(s - self.tx) / sep).abs()))
+    }
+
+    /// Re-mounts the surface at a different position while keeping the
+    /// endpoints fixed — the per-panel geometry adjustment of a panel
+    /// array (each panel hangs at its own spot). Transmissive
+    /// deployments move the surface to `fraction` of the link line;
+    /// reflective ones re-standoff the surface to `fraction` of the
+    /// endpoint separation, perpendicular to the link on the side it
+    /// already occupies; `None` (no surface) is unchanged. Fractions are
+    /// clamped to the physical range `0.05..0.95`.
+    pub fn with_surface_fraction(self, fraction: f64) -> Self {
+        let fraction = fraction.clamp(0.05, 0.95);
+        match self.surface {
+            SurfaceMount::None => self,
+            SurfaceMount::Transmissive { .. } => Self {
+                surface: SurfaceMount::Transmissive {
+                    position: self.tx + (self.rx - self.tx) * fraction,
+                },
+                ..self
+            },
+            SurfaceMount::Reflective { position } => {
+                let foot = (self.tx + self.rx) * 0.5;
+                let sep = self.tx_rx_distance().0;
+                let side = (self.rx - self.tx).cross(position - foot);
+                let n = if side < 0.0 {
+                    -self.axis().perp()
+                } else {
+                    self.axis().perp()
+                };
+                Self {
+                    surface: SurfaceMount::Reflective {
+                        position: foot + n * (sep * fraction),
+                    },
+                    ..self
+                }
+            }
+        }
+    }
+
+    /// Moves the surface mount to an absolute room position, keeping its
+    /// kind and the endpoints (the 2-D panel re-mounting primitive; a
+    /// surface-less deployment is unchanged).
+    pub fn with_surface_at(self, position: Point2) -> Self {
+        let surface = match self.surface {
+            SurfaceMount::None => SurfaceMount::None,
+            SurfaceMount::Transmissive { .. } => SurfaceMount::Transmissive { position },
+            SurfaceMount::Reflective { .. } => SurfaceMount::Reflective { position },
+        };
+        Self { surface, ..self }
+    }
+
+    /// Moves the receiver to an absolute room position (a device walking
+    /// through the room; the transmitter and surface stay put).
+    pub fn with_rx_at(self, rx: Point2) -> Self {
+        Self { rx, ..self }
+    }
+
+    /// Moves the transmitter to an absolute room position.
+    pub fn with_tx_at(self, tx: Point2) -> Self {
+        Self { tx, ..self }
+    }
+
+    /// Re-scales the endpoint separation to `d` along the current link
+    /// axis, keeping Tx fixed. A transmissive surface keeps its
+    /// *fractional* station along the link (and any perpendicular
+    /// offset); other mounts stay at their absolute position. This is
+    /// the legacy `with_distance_cm` semantics for line deployments.
+    pub fn with_endpoint_separation(self, d: Meters) -> Self {
+        let u = self.axis();
+        let old = self.tx_rx_distance().0;
+        let rx = self.tx + u * d.0;
+        let surface = match self.surface {
+            SurfaceMount::Transmissive { position } if old > 0.0 => {
+                let rel = position - self.tx;
+                let along = rel.dot(u);
+                let perp = rel - u * along;
+                SurfaceMount::Transmissive {
+                    position: self.tx + u * ((along / old) * d.0) + perp,
+                }
+            }
+            other => other,
+        };
+        Self {
+            tx: self.tx,
+            rx,
+            surface,
+        }
+    }
+
+    /// Re-standoffs a reflective surface to perpendicular distance `d`
+    /// from the endpoint line (keeping its station along the link);
+    /// other deployments are unchanged. This is the legacy
+    /// `with_distance_cm` semantics for reflective setups, where the
+    /// Figure 21/22 x-axis is the surface distance.
+    pub fn with_surface_standoff(self, d: Meters) -> Self {
+        match self.surface {
+            SurfaceMount::Reflective { position } => {
+                let u = self.axis();
+                let rel = position - self.tx;
+                let along = rel.dot(u);
+                let side = (self.rx - self.tx).cross(position - self.tx);
+                let n = if side < 0.0 { -u.perp() } else { u.perp() };
+                Self {
+                    surface: SurfaceMount::Reflective {
+                        position: self.tx + u * along + n * d.0,
+                    },
+                    ..self
+                }
+            }
+            _ => self,
+        }
+    }
+
+    /// Illumination angle at the surface, degrees from boresight
+    /// (`None` without a surface).
+    ///
+    /// * Transmissive: the panel hangs facing the link, so the angle is
+    ///   between the Tx→surface ray and the Tx→Rx axis — `0°` for a
+    ///   mount on the line.
+    /// * Reflective: the panel faces the endpoints' midpoint, so the
+    ///   angle is between the surface→Tx ray and that facing normal —
+    ///   the half-fold angle `atan(sep / (2·standoff))` for the legacy
+    ///   symmetric layout.
+    pub fn incidence_deg(&self) -> Option<Degrees> {
+        let s = self.surface_position()?;
+        let cos = match self.surface {
+            SurfaceMount::None => return None,
+            SurfaceMount::Transmissive { .. } => cos_between(self.rx - self.tx, s - self.tx),
+            SurfaceMount::Reflective { .. } => {
+                let foot = (self.tx + self.rx) * 0.5;
+                cos_between(foot - s, self.tx - s)
+            }
+        };
+        Some(Degrees(cos.acos().to_degrees()))
+    }
+
+    /// Aperture-projection factor a transmissive panel applies to the
+    /// wave crossing it: `cos` of the illumination angle, and **exactly
+    /// `1.0`** whenever the mount lies on the link line (the collinear
+    /// compatibility guarantee). Reflective and surface-less
+    /// deployments return `1.0` — the legacy reflective model carries
+    /// its obliquity in the fold length itself.
+    pub fn aperture_obliquity(&self) -> f64 {
+        match self.surface {
+            SurfaceMount::Transmissive { position } => {
+                cos_between(self.rx - self.tx, position - self.tx)
+            }
+            _ => 1.0,
+        }
+    }
+}
+
+/// Cosine of the angle between two displacements, clamped to `[−1, 1]`,
+/// returning **exactly** `1.0` for same-direction parallel vectors (and
+/// for degenerate zero vectors) so collinear layouts stay bit-compatible
+/// with the scalar geometry.
+fn cos_between(u: Point2, v: Point2) -> f64 {
+    if u.cross(v) == 0.0 {
+        let d = u.dot(v);
+        return if d >= 0.0 { 1.0 } else { -1.0 };
+    }
+    (u.dot(v) / (u.norm() * v.norm())).clamp(-1.0, 1.0)
 }
 
 /// One propagation path: a complex scalar transfer and a polarization
@@ -145,7 +369,8 @@ impl Path {
 /// surface↔antenna standing-wave term). Empirically small.
 pub const ANTENNA_RESCATTER: f64 = 0.35;
 
-/// Enumerates the engineered (deterministic) paths for a deployment.
+/// Enumerates the engineered (deterministic) paths for a deployment,
+/// with every length and angle derived from the room coordinates.
 ///
 /// Takes the surface's precomputed [`SurfaceResponse`] at the carrier
 /// (one cascade evaluation serves both the transmissive and reflective
@@ -164,8 +389,11 @@ pub fn engineered_paths(
             surface.frequency()
         );
     }
-    match (deployment, surface) {
-        (Deployment::Free { tx_rx }, _) | (Deployment::Transmissive { tx_rx, .. }, None) => {
+    let tx_rx = deployment.tx_rx_distance();
+    match (deployment.surface, surface) {
+        (SurfaceMount::None, _)
+        | (SurfaceMount::Transmissive { .. }, None)
+        | (SurfaceMount::Reflective { .. }, None) => {
             vec![Path {
                 transfer: field_transfer(f, tx_rx),
                 jones: JonesMatrix::identity(),
@@ -174,19 +402,17 @@ pub fn engineered_paths(
                 label: "direct",
             }]
         }
-        (
-            Deployment::Transmissive {
-                tx_rx,
-                surface_fraction,
-            },
-            Some(surface),
-        ) => {
-            let d1 = Meters(tx_rx.0 * surface_fraction.clamp(0.05, 0.95));
+        (SurfaceMount::Transmissive { position }, Some(surface)) => {
+            // Tx→surface leg: sets the standing-wave round trip. For an
+            // off-axis mount the panel aperture is foreshortened by the
+            // illumination cosine (exactly 1 on the link line).
+            let d1 = Meters(deployment.tx.distance(position));
+            let obliquity = deployment.aperture_obliquity();
             let trans = surface.transmission();
             let refl = surface.reflection();
             // Main through-surface path.
             let main = Path {
-                transfer: field_transfer(f, tx_rx),
+                transfer: field_transfer(f, tx_rx) * obliquity,
                 jones: trans,
                 length: tx_rx,
                 modulation: None,
@@ -196,7 +422,8 @@ pub fn engineered_paths(
             // the surface front travels back 2·d1 (picking up the
             // antenna's re-scatter) and crosses again. This is the term
             // that drags the optimum bias with distance.
-            let bounce_scalar = field_transfer(f, Meters(tx_rx.0 + 2.0 * d1.0)) * ANTENNA_RESCATTER;
+            let bounce_scalar =
+                field_transfer(f, Meters(tx_rx.0 + 2.0 * d1.0)) * ANTENNA_RESCATTER * obliquity;
             let bounce = Path {
                 transfer: bounce_scalar,
                 jones: trans * refl,
@@ -206,22 +433,7 @@ pub fn engineered_paths(
             };
             vec![main, bounce]
         }
-        (Deployment::Reflective { tx_rx, .. }, None) => {
-            vec![Path {
-                transfer: field_transfer(f, tx_rx),
-                jones: JonesMatrix::identity(),
-                length: tx_rx,
-                modulation: None,
-                label: "direct",
-            }]
-        }
-        (
-            Deployment::Reflective {
-                tx_rx,
-                surface_distance,
-            },
-            Some(surface),
-        ) => {
+        (SurfaceMount::Reflective { position }, Some(surface)) => {
             // Direct endpoint-to-endpoint path (no surface interaction).
             let direct = Path {
                 transfer: field_transfer(f, tx_rx),
@@ -230,14 +442,14 @@ pub fn engineered_paths(
                 modulation: None,
                 label: "direct",
             };
-            // Specular fold: Tx → surface → Rx. Image theory: total fold
-            // length 2·√(d² + (sep/2)²); the reflection applies the
-            // surface's S11 Jones block expressed in the incident frame
-            // (mirror conjugation: the reflected wave's frame flips
-            // handedness, which is the §5.2 rotation-cancellation
-            // mechanism as seen by the receiver).
-            let half = tx_rx.0 / 2.0;
-            let fold = 2.0 * (surface_distance.0 * surface_distance.0 + half * half).sqrt();
+            // Specular fold: Tx → surface → Rx, image theory over the
+            // coordinate-derived legs (for the legacy symmetric layout
+            // this is exactly 2·√(d² + (sep/2)²)); the reflection
+            // applies the surface's S11 Jones block expressed in the
+            // incident frame (mirror conjugation: the reflected wave's
+            // frame flips handedness, which is the §5.2
+            // rotation-cancellation mechanism as seen by the receiver).
+            let fold = deployment.tx.distance(position) + position.distance(deployment.rx);
             let mirror = JonesMatrix::mirror_x();
             let refl_in_rx_frame = mirror * surface.reflection();
             let reflected = Path {
@@ -262,13 +474,7 @@ mod tests {
 
     #[test]
     fn free_deployment_has_single_identity_path() {
-        let paths = engineered_paths(
-            Deployment::Free {
-                tx_rx: Meters(0.36),
-            },
-            None,
-            F,
-        );
+        let paths = engineered_paths(Deployment::free(Meters(0.36)), None, F);
         assert_eq!(paths.len(), 1);
         assert_eq!(paths[0].label, "direct");
         assert!((paths[0].jones.0.max_abs_diff(rfmath::Mat2::IDENTITY)) < 1e-12);
@@ -292,22 +498,50 @@ mod tests {
         let surface = Metasurface::llama();
         let response = surface.response(F);
         let near = engineered_paths(
-            Deployment::Transmissive {
-                tx_rx: Meters(0.6),
-                surface_fraction: 0.2,
-            },
+            Deployment::transmissive(Meters(0.6), 0.2),
             Some(&response),
             F,
         );
         let far = engineered_paths(
-            Deployment::Transmissive {
-                tx_rx: Meters(0.6),
-                surface_fraction: 0.8,
-            },
+            Deployment::transmissive(Meters(0.6), 0.8),
             Some(&response),
             F,
         );
         assert!(near[1].length.0 < far[1].length.0);
+    }
+
+    #[test]
+    fn collinear_lengths_reproduce_the_scalar_formulas_exactly() {
+        // The bit-compatibility contract: legacy constructors must
+        // derive the pre-coordinate scalar path lengths exactly.
+        let surface = Metasurface::llama();
+        let response = surface.response(F);
+        for (d, frac) in [(0.36, 0.5), (0.6, 0.2), (1.07, 0.83), (3.0, 0.5)] {
+            let paths = engineered_paths(
+                Deployment::transmissive(Meters(d), frac),
+                Some(&response),
+                F,
+            );
+            let d1 = d * frac.clamp(0.05, 0.95);
+            assert_eq!(paths[0].length.0.to_bits(), d.to_bits());
+            assert_eq!(paths[1].length.0.to_bits(), (d + 2.0 * d1).to_bits());
+            // The obliquity of an on-axis mount is exactly 1.
+            assert_eq!(
+                Deployment::transmissive(Meters(d), frac).aperture_obliquity(),
+                1.0
+            );
+        }
+        for (sep, sd) in [(0.70, 0.30), (0.70, 0.36), (1.4, 0.9)] {
+            let paths = engineered_paths(
+                Deployment::reflective(Meters(sep), Meters(sd)),
+                Some(&response),
+                F,
+            );
+            let half = sep / 2.0;
+            let fold = 2.0 * (sd * sd + half * half).sqrt();
+            assert_eq!(paths[1].length.0.to_bits(), fold.to_bits());
+            assert_eq!(paths[0].length.0.to_bits(), sep.to_bits());
+        }
     }
 
     #[test]
@@ -326,34 +560,67 @@ mod tests {
     fn surface_fraction_moves_the_panel_not_the_endpoints() {
         let d = Deployment::transmissive_cm(60.0).with_surface_fraction(0.25);
         assert_eq!(d.tx_rx_distance(), Meters(0.60));
-        match d {
-            Deployment::Transmissive {
-                surface_fraction, ..
-            } => assert_eq!(surface_fraction, 0.25),
-            other => panic!("unexpected deployment {other:?}"),
-        }
+        let s = d.surface_position().expect("transmissive keeps its mount");
+        assert!((s.x - 0.15).abs() < 1e-12 && s.y == 0.0);
         // Fractions are clamped into the physical mount range.
         let clamped = Deployment::transmissive_cm(60.0).with_surface_fraction(2.0);
-        match clamped {
-            Deployment::Transmissive {
-                surface_fraction, ..
-            } => assert_eq!(surface_fraction, 0.95),
-            other => panic!("unexpected deployment {other:?}"),
-        }
+        let s = clamped.surface_position().unwrap();
+        assert!((s.x - 0.57).abs() < 1e-12, "clamped to 0.95 of the line");
         // Free deployments have no surface to move.
-        let free = Deployment::Free { tx_rx: Meters(1.0) }.with_surface_fraction(0.3);
-        assert_eq!(free, Deployment::Free { tx_rx: Meters(1.0) });
+        let free = Deployment::free(Meters(1.0)).with_surface_fraction(0.3);
+        assert_eq!(free, Deployment::free(Meters(1.0)));
     }
 
     #[test]
     fn without_surface_strips_surface() {
         let d = Deployment::reflective_cm(30.0).without_surface();
-        assert_eq!(
-            d,
-            Deployment::Free {
-                tx_rx: Meters(0.70)
-            }
-        );
+        assert_eq!(d.surface, SurfaceMount::None);
+        assert_eq!(d.tx_rx_distance(), Meters(0.70));
+    }
+
+    #[test]
+    fn off_axis_mount_foreshortens_the_aperture() {
+        // Hang the panel 30° off the link line: the obliquity drops to
+        // cos(30°) and the through path weakens accordingly.
+        let on_axis = Deployment::transmissive_cm(100.0);
+        let off_axis = on_axis.with_surface_at(Point2::new(0.5, 0.5 / 3f64.sqrt()));
+        let angle = off_axis.incidence_deg().unwrap().0;
+        assert!((angle - 30.0).abs() < 1e-6, "angle = {angle}");
+        assert!((off_axis.aperture_obliquity() - (30f64.to_radians()).cos()).abs() < 1e-9);
+        let surface = Metasurface::llama();
+        let response = surface.response(F);
+        let p_on = engineered_paths(on_axis, Some(&response), F);
+        let p_off = engineered_paths(off_axis, Some(&response), F);
+        assert!(p_off[0].transfer.abs() < p_on[0].transfer.abs());
+        // And the bounce leg is longer (the mount is farther from Tx).
+        assert!(p_off[1].length.0 > p_on[1].length.0);
+    }
+
+    #[test]
+    fn incidence_is_boresight_on_the_line_and_half_fold_reflectively() {
+        let t = Deployment::transmissive_cm(36.0);
+        assert_eq!(t.incidence_deg().unwrap().0, 0.0);
+        let r = Deployment::reflective(Meters(0.70), Meters(0.35));
+        // Half-fold angle: atan(sep / (2·standoff)) = atan(1) = 45°.
+        assert!((r.incidence_deg().unwrap().0 - 45.0).abs() < 1e-9);
+        assert_eq!(Deployment::free(Meters(1.0)).incidence_deg(), None);
+    }
+
+    #[test]
+    fn endpoint_separation_rescale_keeps_the_surface_fraction() {
+        let d = Deployment::transmissive(Meters(0.6), 0.25).with_endpoint_separation(Meters(1.2));
+        assert_eq!(d.tx_rx_distance().0.to_bits(), 1.2f64.to_bits());
+        let s = d.surface_position().unwrap();
+        assert!((s.x - 0.3).abs() < 1e-12, "fraction preserved: {}", s.x);
+    }
+
+    #[test]
+    fn surface_standoff_roundtrips() {
+        let d = Deployment::reflective_cm(30.0).with_surface_standoff(Meters(0.48));
+        assert!((d.surface_standoff().unwrap().0 - 0.48).abs() < 1e-12);
+        assert_eq!(d.tx_rx_distance(), Meters(0.70));
+        // The mount stays on its original side of the link line.
+        assert!(d.surface_position().unwrap().y > 0.0);
     }
 
     #[test]
@@ -387,7 +654,7 @@ mod tests {
 
     #[test]
     fn modulated_path_phase_oscillates() {
-        let mut p = engineered_paths(Deployment::Free { tx_rx: Meters(2.0) }, None, F)
+        let mut p = engineered_paths(Deployment::free(Meters(2.0)), None, F)
             .pop()
             .unwrap();
         p.modulation = Some((0.005, 0.25, 0.0));

@@ -41,6 +41,7 @@ pub mod rng;
 pub mod stats;
 pub mod stokes;
 pub mod units;
+pub mod vec2;
 
 pub use complex::{c64, Complex};
 pub use jones::{JonesMatrix, JonesVector};
@@ -49,3 +50,4 @@ pub use stokes::Stokes;
 pub use units::{
     Db, Dbm, Degrees, Farads, Henries, Hertz, Meters, Ohms, Radians, Seconds, Volts, Watts,
 };
+pub use vec2::Point2;

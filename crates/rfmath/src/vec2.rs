@@ -1,0 +1,201 @@
+//! Planar points and vectors — the room-coordinate substrate.
+//!
+//! Every deployment in the paper is a *room*: AP, surface and devices at
+//! planar positions. [`Point2`] is the small value type the geometry
+//! layers build on — used both as a position (a point in the room, in
+//! meters) and as a displacement (the difference of two points). It is
+//! deliberately minimal: `f64` components, value semantics, and the
+//! handful of operations ray geometry needs (norms, dots, crosses,
+//! interpolation, point-to-segment distance for line-of-sight tests).
+//!
+//! Not to be confused with [`crate::matrix::Vec2`], the *complex*
+//! two-vector of the Jones/polarization algebra.
+//!
+//! ## Numerical contract
+//!
+//! [`Point2::distance`] is `sqrt(dx² + dy²)`. For axis-aligned
+//! displacements (`dy == 0`) this is `sqrt(dx²)`, which IEEE-754
+//! round-to-nearest evaluates to exactly `|dx|` — the identity the
+//! collinear compatibility layer of `propagation::rays` relies on to
+//! reproduce the legacy scalar-distance geometry bit for bit.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A point (or displacement) in the room plane, meters.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Point2 {
+    /// X coordinate (meters).
+    pub x: f64,
+    /// Y coordinate (meters).
+    pub y: f64,
+}
+
+impl Point2 {
+    /// The origin.
+    pub const ORIGIN: Point2 = Point2 { x: 0.0, y: 0.0 };
+
+    /// A point from coordinates in meters.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// A point from coordinates in centimeters.
+    pub fn from_cm(x_cm: f64, y_cm: f64) -> Self {
+        Self {
+            x: x_cm / 100.0,
+            y: y_cm / 100.0,
+        }
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Point2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (the z component of the 3-D cross): zero iff
+    /// the two displacements are parallel.
+    pub fn cross(self, other: Point2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Distance to another point.
+    pub fn distance(self, other: Point2) -> f64 {
+        (other - self).norm()
+    }
+
+    /// Unit vector in this displacement's direction; `(1, 0)` for the
+    /// zero vector (a stable convention for degenerate geometry).
+    pub fn unit(self) -> Point2 {
+        let n = self.norm();
+        if n == 0.0 {
+            Point2::new(1.0, 0.0)
+        } else {
+            Point2::new(self.x / n, self.y / n)
+        }
+    }
+
+    /// This displacement rotated +90° (counter-clockwise): `(-y, x)`.
+    pub fn perp(self) -> Point2 {
+        Point2::new(-self.y, self.x)
+    }
+
+    /// Linear interpolation toward `other`: `self + (other − self)·t`,
+    /// evaluated per axis with the same arithmetic the legacy 1-D
+    /// waypoint interpolator used (`a + (b − a)·t`).
+    pub fn lerp(self, other: Point2, t: f64) -> Point2 {
+        Point2::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Distance from this point to the closed segment `a`→`b` (the
+    /// line-of-sight occlusion test: a body whose center passes within
+    /// its radius of the segment blocks the link).
+    pub fn segment_distance(self, a: Point2, b: Point2) -> f64 {
+        let ab = b - a;
+        let len_sq = ab.dot(ab);
+        if len_sq == 0.0 {
+            return self.distance(a);
+        }
+        let t = ((self - a).dot(ab) / len_sq).clamp(0.0, 1.0);
+        self.distance(a + ab * t)
+    }
+}
+
+impl Add for Point2 {
+    type Output = Point2;
+    fn add(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Point2;
+    fn sub(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point2 {
+    type Output = Point2;
+    fn mul(self, rhs: f64) -> Point2 {
+        Point2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Neg for Point2 {
+    type Output = Point2;
+    fn neg(self) -> Point2 {
+        Point2::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_aligned_distance_is_exact() {
+        // The collinear-compatibility identity: sqrt(x²) == |x| under
+        // IEEE round-to-nearest, for values across many binades.
+        for x in [0.36, 0.108, 1e-3, 2.5, 3.3333333333333335, 123.456] {
+            let d = Point2::ORIGIN.distance(Point2::new(x, 0.0));
+            assert_eq!(d.to_bits(), x.to_bits(), "sqrt({x}²) must round to {x}");
+            let d = Point2::new(0.7, x).distance(Point2::new(0.7, 0.0));
+            assert_eq!(d.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn unit_handles_degenerate_vectors() {
+        assert_eq!(Point2::ORIGIN.unit(), Point2::new(1.0, 0.0));
+        let u = Point2::new(0.0, -2.0).unit();
+        assert_eq!(u, Point2::new(0.0, -1.0));
+    }
+
+    #[test]
+    fn cross_detects_collinearity() {
+        let u = Point2::new(0.6, 0.0);
+        let v = Point2::new(0.18, 0.0);
+        assert_eq!(u.cross(v), 0.0);
+        assert!(u.cross(Point2::new(0.18, 0.01)) != 0.0);
+    }
+
+    #[test]
+    fn lerp_matches_scalar_interpolation() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(3.0, -2.0);
+        let mid = a.lerp(b, 0.5);
+        assert!((mid.x - 2.0).abs() < 1e-15);
+        assert!((mid.y - 0.0).abs() < 1e-15);
+        // Endpoints reproduce exactly.
+        assert_eq!(a.lerp(b, 0.0), a);
+        let end = a.lerp(b, 1.0);
+        assert!((end.x - b.x).abs() < 1e-15 && (end.y - b.y).abs() < 1e-15);
+    }
+
+    #[test]
+    fn segment_distance_covers_interior_and_endpoints() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(4.0, 0.0);
+        // Perpendicular foot inside the segment.
+        assert!((Point2::new(2.0, 1.5).segment_distance(a, b) - 1.5).abs() < 1e-12);
+        // Beyond an endpoint: distance to the endpoint.
+        assert!((Point2::new(-3.0, 4.0).segment_distance(a, b) - 5.0).abs() < 1e-12);
+        // Degenerate segment.
+        assert!((Point2::new(3.0, 4.0).segment_distance(a, a) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perp_rotates_ccw() {
+        let u = Point2::new(1.0, 0.0);
+        assert_eq!(u.perp(), Point2::new(0.0, 1.0));
+        assert_eq!(u.perp().perp(), -u);
+    }
+}

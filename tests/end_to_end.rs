@@ -4,7 +4,6 @@
 use llama::core::scenario::Scenario;
 use llama::core::system::LlamaSystem;
 use llama::metasurface::stack::BiasState;
-use llama::propagation::rays::Deployment;
 use llama::rfmath::units::{Hertz, Watts};
 
 #[test]
@@ -109,10 +108,11 @@ fn low_power_links_still_converge() {
 fn deployment_helpers_strip_the_surface() {
     let s = Scenario::reflective_default();
     let stripped = s.deployment.without_surface();
-    match stripped {
-        Deployment::Free { tx_rx } => assert!((tx_rx.cm() - 70.0).abs() < 1e-9),
-        other => panic!("unexpected {other:?}"),
-    }
+    assert_eq!(
+        stripped.surface,
+        llama::propagation::rays::SurfaceMount::None
+    );
+    assert!((stripped.tx_rx_distance().cm() - 70.0).abs() < 1e-9);
 }
 
 #[test]
