@@ -12,6 +12,7 @@
 //! expts --bench-all [dir] [--quick]   # regenerate every BENCH_PR*.json in one run
 //! expts --calibrate-fig20 [samples]   # sweep link calibration knobs vs the paper's 10 dB gap
 //! expts --scenario <name> [path]      # simulate a room from the scenario zoo, write JSON
+//! expts --chaos [room] [path]         # sweep fault rates over a room, write the degradation curve
 //! ```
 //!
 //! `--bench-json` writes a timing summary (default
@@ -33,7 +34,8 @@ fn main() -> ExitCode {
             "usage: expts <id>... | all | --bench-json [path] [--quick] \
              | --fleet [path] [--quick] | --panels [path] [--quick] \
              | --mobility [path] [--quick] | --bench-all [dir] [--quick] \
-             | --calibrate-fig20 [samples] | --scenario <name> [path]"
+             | --calibrate-fig20 [samples] | --scenario <name> [path] \
+             | --chaos [room] [path]"
         );
         eprintln!("experiments: {}", llama_bench::ALL_IDS.join(", "));
         eprintln!("scenarios: {}", llama_core::rooms::SCENARIOS.join(", "));
@@ -72,6 +74,45 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         } else {
             eprintln!("error: the room never served (zero duty or non-finite power)");
+            ExitCode::FAILURE
+        };
+    }
+
+    if args.iter().any(|a| a == "--chaos") {
+        let extras: Vec<&String> = args.iter().filter(|a| *a != "--chaos").collect();
+        if extras.len() > 2 || extras.iter().any(|a| a.starts_with("--")) {
+            eprintln!(
+                "error: --chaos takes an optional room name and an optional output path; \
+                 known rooms: {}",
+                llama_core::rooms::SCENARIOS.join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+        let room = extras.first().map(|s| s.as_str()).unwrap_or("office-floor");
+        let path = extras
+            .get(1)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("target/chaos-{room}.json"));
+        let report = match llama_bench::chaos::ChaosReport::run(room, llama_bench::SEED) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", report.summary());
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+        return if report.passes() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "error: chaos gate failed — zero-fault run not bitwise identical, \
+                 or the room starved below the duty floor at <= 10% faults"
+            );
             ExitCode::FAILURE
         };
     }

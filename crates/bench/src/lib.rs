@@ -11,6 +11,7 @@
 #![deny(unsafe_code)]
 
 pub mod calibrate;
+pub mod chaos;
 pub mod perf;
 pub mod scenario;
 

@@ -45,6 +45,27 @@ pub fn machine_json() -> String {
     )
 }
 
+/// The active fault configuration stamped into every bench and scenario
+/// artifact: seed, stochastic rates, scripted-fault counts and the
+/// retry budget. Fault-free artifacts carry the all-zero stamp, so a
+/// number measured under injected faults can never be mistaken for a
+/// healthy-hardware baseline (or vice versa).
+pub fn faults_json(plan: &llama_core::faults::FaultPlan) -> String {
+    format!(
+        "  \"faults\": {{\"seed\": {}, \"panel_outage_rate\": {:.4}, \
+         \"report_loss_rate\": {:.4}, \"psu_glitch_rate\": {:.4}, \
+         \"scripted_outages\": {}, \"dead_columns\": {}, \
+         \"max_report_attempts\": {}}},\n",
+        plan.seed,
+        plan.panel_outage_rate,
+        plan.report_loss_rate,
+        plan.psu_glitch_rate,
+        plan.outages.len(),
+        plan.dead_columns.len(),
+        plan.retry.max_attempts,
+    )
+}
+
 /// One timed workload.
 #[derive(Clone, Debug)]
 pub struct BenchSample {
@@ -83,6 +104,7 @@ impl PerfReport {
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 2,\n");
         out.push_str(&machine_json());
+        out.push_str(&faults_json(&llama_core::faults::FaultPlan::none()));
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str("  \"benches\": [\n");
         for (i, s) in self.samples.iter().enumerate() {
@@ -246,6 +268,7 @@ impl FleetPerfReport {
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 3,\n");
         out.push_str(&machine_json());
+        out.push_str(&faults_json(&llama_core::faults::FaultPlan::none()));
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str(&format!("  \"fleet_devices\": {FLEET_SIZE},\n"));
         out.push_str("  \"benches\": [\n");
@@ -398,6 +421,7 @@ impl PanelPerfReport {
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 4,\n");
         out.push_str(&machine_json());
+        out.push_str(&faults_json(&llama_core::faults::FaultPlan::none()));
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str(&format!("  \"panels\": {PANEL_COUNT},\n"));
         out.push_str(&format!("  \"fleet_devices\": {FLEET_SIZE},\n"));
@@ -639,6 +663,7 @@ impl MobilityPerfReport {
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 5,\n");
         out.push_str(&machine_json());
+        out.push_str(&faults_json(&llama_core::faults::FaultPlan::none()));
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str(&format!("  \"fleet_devices\": {},\n", self.devices));
         out.push_str(&format!("  \"ticks\": {},\n", self.ticks));

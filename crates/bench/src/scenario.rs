@@ -11,7 +11,7 @@
 use llama_core::rooms;
 use llama_core::sim::SimReport;
 
-use crate::perf::machine_json;
+use crate::perf::{faults_json, machine_json};
 
 /// Outcome of one scenario run, ready to gate CI on.
 #[derive(Clone, Debug)]
@@ -114,6 +114,9 @@ impl ScenarioReport {
         out.push_str(&format!("  \"scenario\": \"{}\",\n", self.name));
         out.push_str(&format!("  \"description\": \"{}\",\n", self.description));
         out.push_str(&machine_json());
+        // Scenario-zoo runs are fault-free by construction; the stamp
+        // says so explicitly.
+        out.push_str(&faults_json(&llama_core::faults::FaultPlan::none()));
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"devices\": {},\n", self.devices));
         out.push_str(&format!("  \"panels\": {},\n", self.panels));
@@ -156,6 +159,8 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"scenario\": \"office-floor\""));
         assert!(json.contains("\"machine\""));
+        assert!(json.contains("\"faults\""));
+        assert!(json.contains("\"panel_outage_rate\": 0.0000"));
         assert!(json.contains("\"pass\": true"));
         assert!(report.summary().contains("PASS"));
     }

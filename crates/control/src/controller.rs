@@ -126,6 +126,41 @@ impl Objective {
     }
 }
 
+/// Bounded retry with exponential backoff for lost probe reports.
+///
+/// The controller retries an unanswered probe at most `max_attempts`
+/// times, widening the report-timeout window by `backoff`× after each
+/// loss; a probe that exhausts its attempts is *abandoned* (scored
+/// `-∞` so it can never win the sweep) instead of retried forever —
+/// the unbounded-retry behavior this replaces would spin indefinitely
+/// on a dead receiver.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Report deliveries attempted per probe before abandoning it
+    /// (values below 1 behave as 1).
+    pub max_attempts: usize,
+    /// Multiplier applied to the report timeout after each lost
+    /// attempt (exponential backoff; 1.0 keeps the window fixed).
+    pub backoff: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            backoff: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The timeout window for 0-based attempt `attempt`, starting from
+    /// `base` and widening by the backoff factor each retry.
+    pub fn timeout_for(&self, base: Seconds, attempt: usize) -> Seconds {
+        Seconds(base.0 * self.backoff.powi(attempt.min(30) as i32))
+    }
+}
+
 /// Events the controller emits for logging/diagnosis.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Event {
@@ -151,6 +186,14 @@ pub enum Event {
     /// [`Controller::expected_devices`]; the probe stays unscored and
     /// will time out and retry.
     ReportRejected(Probe),
+    /// A probe exhausted its [`RetryPolicy`] attempts without a usable
+    /// report and was written off (scored `-∞`, never the winner).
+    ProbeAbandoned(Probe),
+    /// Every probe of the final iteration was abandoned: the sweep has
+    /// no winner to hold, so the controller converges empty-handed
+    /// (leaving whatever bias the rails already carry) instead of
+    /// panicking or retrying forever.
+    SweepFailed,
 }
 
 /// The centralized controller.
@@ -170,12 +213,19 @@ pub struct Controller {
     /// missing (possibly worst) devices. `None` accepts any length the
     /// objective itself can score.
     pub expected_devices: Option<usize>,
+    /// Bounded retry/backoff applied to lost or rejected reports. The
+    /// default (4 attempts, 2× backoff) tolerates the occasional lost
+    /// packet while guaranteeing the sweep terminates even against a
+    /// receiver that never answers.
+    pub retry: RetryPolicy,
     phase: Phase,
     plan: Vec<Probe>,
     scores: Vec<Option<f64>>,
     window: ((Volts, Volts), (Volts, Volts)),
     best: Option<(Probe, f64)>,
     applied_at: Option<Seconds>,
+    /// Lost deliveries of the probe currently awaiting a report.
+    attempts: usize,
     events: Vec<Event>,
 }
 
@@ -188,12 +238,14 @@ impl Controller {
             report_timeout: Seconds(0.1),
             objective: Objective::SingleLink,
             expected_devices: None,
+            retry: RetryPolicy::default(),
             phase: Phase::Idle,
             plan: Vec::new(),
             scores: Vec::new(),
             window,
             best: None,
             applied_at: None,
+            attempts: 0,
             events: Vec::new(),
         }
     }
@@ -220,6 +272,7 @@ impl Controller {
             (self.config.v_min, self.config.v_max),
         );
         self.best = None;
+        self.attempts = 0;
         self.plan_iteration(0);
         self.events.push(Event::SweepStarted(
             self.plan.len() * self.config.iterations,
@@ -277,6 +330,7 @@ impl Controller {
                     match score {
                         Some(score) => {
                             self.scores[probe_idx] = Some(score);
+                            self.attempts = 0;
                             self.events.push(Event::Scored(self.plan[probe_idx], score));
                             if self.best.map(|(_, b)| score > b).unwrap_or(true) {
                                 self.best = Some((self.plan[probe_idx], score));
@@ -291,20 +345,31 @@ impl Controller {
             }
         }
 
-        // Retry a probe whose report never came.
+        // Retry a probe whose report never came — bounded, with the
+        // timeout window widening by the backoff factor each loss. A
+        // probe that exhausts its attempts is abandoned (scored -∞) so
+        // the sweep always terminates.
         if let Some(applied_at) = self.applied_at {
-            if next > 0
-                && self.scores[next - 1].is_none()
-                && now.0 - applied_at.0 > self.report_timeout.0
-            {
+            let window = self.retry.timeout_for(self.report_timeout, self.attempts);
+            if next > 0 && self.scores[next - 1].is_none() && now.0 - applied_at.0 > window.0 {
                 self.events.push(Event::ReportTimeout(self.plan[next - 1]));
-                // Re-apply the same probe (by rewinding `next`).
-                self.phase = Phase::Sweeping {
-                    next: next - 1,
-                    iteration,
-                };
-                self.applied_at = None;
-                return;
+                self.attempts += 1;
+                if self.attempts >= self.retry.max_attempts.max(1) {
+                    self.scores[next - 1] = Some(f64::NEG_INFINITY);
+                    self.events.push(Event::ProbeAbandoned(self.plan[next - 1]));
+                    self.attempts = 0;
+                    self.applied_at = None;
+                    // Fall through: the sweep moves on to the next probe
+                    // (or closes the iteration) this same step.
+                } else {
+                    // Re-apply the same probe (by rewinding `next`).
+                    self.phase = Phase::Sweeping {
+                        next: next - 1,
+                        iteration,
+                    };
+                    self.applied_at = None;
+                    return;
+                }
             }
         }
 
@@ -362,13 +427,24 @@ impl Controller {
                 iteration: iteration + 1,
             };
         } else {
-            let (best_probe, best_power) = self.best.expect("sweep scored probes");
-            // Hold the winner: apply it as the final state.
-            if now.0 >= psu.next_switch_time().0
-                && psu.set_bias(best_probe.vx, best_probe.vy, now).is_ok()
-            {
-                self.events.push(Event::Converged(best_probe, best_power));
-                self.phase = Phase::Converged;
+            match self.best {
+                Some((best_probe, best_power)) => {
+                    // Hold the winner: apply it as the final state.
+                    if now.0 >= psu.next_switch_time().0
+                        && psu.set_bias(best_probe.vx, best_probe.vy, now).is_ok()
+                    {
+                        self.events.push(Event::Converged(best_probe, best_power));
+                        self.phase = Phase::Converged;
+                    }
+                }
+                None => {
+                    // Every probe was abandoned (a dead receiver): there
+                    // is no winner to hold. Converge empty-handed — the
+                    // rails keep whatever bias the last applied probe
+                    // left — rather than panic or spin forever.
+                    self.events.push(Event::SweepFailed);
+                    self.phase = Phase::Converged;
+                }
             }
         }
     }
@@ -582,6 +658,69 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e, Event::ReportTimeout(_))));
+    }
+
+    #[test]
+    fn dead_receiver_abandons_probes_and_terminates() {
+        // Every report is lost. The unbounded-retry controller would
+        // spin on probe 0 forever; the bounded policy must abandon each
+        // probe after max_attempts losses and converge empty-handed.
+        let ctl = run_fleet(Objective::WorstLink, two_bumps, |_, _| None);
+        assert_eq!(ctl.phase(), &Phase::Converged);
+        assert!(ctl.best().is_none(), "nothing was ever scored");
+        let abandoned = ctl
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::ProbeAbandoned(_)))
+            .count();
+        let timeouts = ctl
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::ReportTimeout(_)))
+            .count();
+        // 2 iterations × 25 probes, each abandoned after exactly
+        // max_attempts timeouts.
+        assert_eq!(abandoned, 50);
+        assert_eq!(timeouts, abandoned * RetryPolicy::default().max_attempts);
+        assert!(
+            matches!(ctl.events().last(), Some(Event::SweepFailed)),
+            "the failed sweep must be logged"
+        );
+    }
+
+    #[test]
+    fn backoff_widens_the_retry_window() {
+        let retry = RetryPolicy::default();
+        let base = Seconds(0.1);
+        assert_eq!(retry.timeout_for(base, 0), Seconds(0.1));
+        assert_eq!(retry.timeout_for(base, 1), Seconds(0.2));
+        assert_eq!(retry.timeout_for(base, 2), Seconds(0.4));
+        let fixed = RetryPolicy {
+            max_attempts: 3,
+            backoff: 1.0,
+        };
+        assert_eq!(fixed.timeout_for(base, 5), base);
+    }
+
+    #[test]
+    fn a_single_dead_probe_is_abandoned_but_the_sweep_still_wins() {
+        // One probe's reports are lost on every delivery attempt (the
+        // probe first applied at k = 3 is re-applied at k = 4, 5, 6 as
+        // it retries): it must be abandoned while every other probe
+        // scores normally, and the sweep converges on the true peak.
+        let ctl = run_fleet(
+            Objective::SingleLink,
+            |p| vec![bump(p)],
+            |k, r| if (3..=6).contains(&k) { None } else { Some(r) },
+        );
+        assert_eq!(ctl.phase(), &Phase::Converged);
+        assert!(ctl
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::ProbeAbandoned(_))));
+        let (best, score) = ctl.best().unwrap();
+        assert!(score.is_finite());
+        assert!((best.vx.0 - 18.0).abs() < 2.5, "best = {best:?}");
     }
 
     #[test]

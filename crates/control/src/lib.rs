@@ -42,9 +42,9 @@ pub mod server;
 pub mod sweep;
 pub mod sync;
 
-pub use controller::{Controller, Event, Phase, PowerReport};
+pub use controller::{Controller, Event, Phase, PowerReport, RetryPolicy};
 pub use estimator::{estimate_rotation, RotationEstimate, RotationRig};
-pub use psu::{PowerSupply, Reply};
-pub use server::{FleetServer, ServeStats};
+pub use psu::{PowerSupply, PsuError, Reply};
+pub use server::{FleetServer, JobError, ServeStats};
 pub use sweep::{coarse_to_fine, warm_refine_multi, Probe, SweepConfig, SweepOutcome, WarmConfig};
 pub use sync::{estimate_offset, label_samples, BiasSchedule};

@@ -6,6 +6,8 @@
 //! 50 Hz, making a 1 V-step full scan take ~30 s), the settling delay
 //! after each step, and the SCPI command interface.
 
+use std::fmt;
+
 use rfmath::units::{Amperes, Seconds, Volts};
 
 use crate::scpi::{self, Command};
@@ -22,6 +24,55 @@ pub enum Reply {
     /// Command rejected.
     Error(String),
 }
+
+/// Typed failure modes of the supply's control surface. Every variant's
+/// `Display` reproduces the legacy string (the one `Reply::Error` used
+/// to carry verbatim), so substring matching on error text keeps
+/// working while callers gain a matchable type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PsuError {
+    /// A setpoint change arrived inside the instrument's switching
+    /// period and was rejected.
+    TooFast {
+        /// Time elapsed since the last accepted switch.
+        since: Seconds,
+        /// The instrument's minimum switching period.
+        period: Seconds,
+    },
+    /// The SCPI line did not parse (malformed command, bad channel…).
+    Parse(String),
+    /// An injected transport fault: the instrument never answered
+    /// within the wait budget. The simulated instrument itself never
+    /// times out — this variant exists for fault-injection harnesses
+    /// that model a flaky serial link.
+    Timeout {
+        /// How long the caller waited before giving up.
+        after: Seconds,
+    },
+}
+
+impl fmt::Display for PsuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PsuError::TooFast { since, period } => write!(
+                f,
+                "switching too fast: {:.1} ms since last step, period is {:.1} ms",
+                since.0 * 1e3,
+                period.0 * 1e3
+            ),
+            PsuError::Parse(msg) => write!(f, "{msg}"),
+            PsuError::Timeout { after } => {
+                write!(
+                    f,
+                    "no reply from the instrument after {:.1} ms",
+                    after.0 * 1e3
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PsuError {}
 
 /// The supply's programmable state.
 #[derive(Clone, Debug)]
@@ -100,7 +151,7 @@ impl PowerSupply {
     pub fn execute(&mut self, line: &str, now: Seconds) -> Reply {
         let cmd = match scpi::parse(line) {
             Ok(c) => c,
-            Err(e) => return Reply::Error(e.to_string()),
+            Err(e) => return Reply::Error(PsuError::Parse(e.to_string()).to_string()),
         };
         match cmd {
             Command::Identify => Reply::Text("TEKTRONIX,2230G-30-1,SIM,FV:1.0".to_string()),
@@ -119,11 +170,13 @@ impl PowerSupply {
             }
             Command::Apply { channel, volts } => {
                 if now.0 - self.last_switch_at.0 < self.switch_period.0 - 1e-12 {
-                    return Reply::Error(format!(
-                        "switching too fast: {:.1} ms since last step, period is {:.1} ms",
-                        (now.0 - self.last_switch_at.0) * 1e3,
-                        self.switch_period.0 * 1e3
-                    ));
+                    return Reply::Error(
+                        PsuError::TooFast {
+                            since: Seconds(now.0 - self.last_switch_at.0),
+                            period: self.switch_period,
+                        }
+                        .to_string(),
+                    );
                 }
                 let v = Volts(volts).clamp(Volts(0.0), self.v_max);
                 self.setpoints[(channel as usize - 1).min(2)] = v;
@@ -135,13 +188,17 @@ impl PowerSupply {
     }
 
     /// Convenience: set both bias rails (channels 1 = X, 2 = Y) as one
-    /// logical switch operation at time `now`. Returns `Err` with the
-    /// instrument message when the rate limit rejects the change.
-    pub fn set_bias(&mut self, vx: Volts, vy: Volts, now: Seconds) -> Result<(), String> {
+    /// logical switch operation at time `now`. Returns a typed
+    /// [`PsuError`] when the rate limit rejects the change (its
+    /// `Display` carries the legacy instrument message).
+    pub fn set_bias(&mut self, vx: Volts, vy: Volts, now: Seconds) -> Result<(), PsuError> {
         // The real script programs both channels back-to-back within one
         // switching slot; model it as a single rate-limited operation.
         if now.0 - self.last_switch_at.0 < self.switch_period.0 - 1e-12 {
-            return Err("switching too fast".to_string());
+            return Err(PsuError::TooFast {
+                since: Seconds(now.0 - self.last_switch_at.0),
+                period: self.switch_period,
+            });
         }
         self.setpoints[0] = vx.clamp(Volts(0.0), self.v_max);
         self.setpoints[1] = vy.clamp(Volts(0.0), self.v_max);
@@ -238,6 +295,34 @@ mod tests {
             .set_bias(Volts(6.0), Volts(7.0), Seconds(0.105))
             .is_err());
         assert!((psu.next_switch_time().0 - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn typed_errors_display_the_legacy_strings() {
+        // The non-breaking contract of the PsuError migration: every
+        // variant's Display reproduces the strings Reply::Error used to
+        // carry, so substring matching ("too fast", SCPI parse text)
+        // keeps working across the API change.
+        let mut psu = PowerSupply::tektronix_2230g();
+        psu.execute("OUTP ON", Seconds(0.0));
+        psu.set_bias(Volts(5.0), Volts(7.0), Seconds(0.1)).unwrap();
+        let err = psu
+            .set_bias(Volts(6.0), Volts(7.0), Seconds(0.105))
+            .unwrap_err();
+        assert!(matches!(err, PsuError::TooFast { .. }));
+        assert!(err.to_string().contains("too fast"), "{err}");
+        assert!(err.to_string().contains("5.0 ms since last step"), "{err}");
+        // The SCPI Apply path and set_bias agree on the message shape.
+        match psu.execute("APPL CH1,6", Seconds(0.106)) {
+            Reply::Error(e) => assert!(e.contains("too fast") && e.contains("period"), "{e}"),
+            other => panic!("expected rate-limit error, got {other:?}"),
+        }
+        let parse = PsuError::Parse("channel out of range".to_string());
+        assert_eq!(parse.to_string(), "channel out of range");
+        let timeout = PsuError::Timeout {
+            after: Seconds(0.25),
+        };
+        assert!(timeout.to_string().contains("250.0 ms"), "{timeout}");
     }
 
     #[test]

@@ -32,7 +32,12 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use rfmath::units::Seconds;
 
 use crate::controller::{FleetReport, Objective};
 
@@ -134,12 +139,52 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// Why one job of a [`FleetServer::try_serve_with_stats`] run failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobError {
+    /// The handler panicked; the worker caught the unwind, kept
+    /// draining the queue, and recorded the panic payload here.
+    Panicked(String),
+    /// The handler finished, but only after blowing the server's
+    /// per-job deadline — its result is discarded as stale (a fleet
+    /// optimization that outlives its tick serves nobody).
+    DeadlineExceeded {
+        /// The configured per-job wall-clock budget.
+        limit: Seconds,
+        /// What the job actually took.
+        took: Seconds,
+    },
+    /// The job never ran (the submitter stopped feeding a dead pool —
+    /// only reachable through the legacy panic-propagation path).
+    Abandoned,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "handler panicked: {msg}"),
+            JobError::DeadlineExceeded { limit, took } => write!(
+                f,
+                "deadline exceeded: {:.1} ms against a {:.1} ms budget",
+                took.0 * 1e3,
+                limit.0 * 1e3
+            ),
+            JobError::Abandoned => write!(f, "job never ran"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
 /// Telemetry of one [`FleetServer::serve`] run.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ServeStats {
     /// Jobs completed (always the submission count — the server never
     /// drops work).
     pub completed: usize,
+    /// Jobs that came back as a [`JobError`] (panicked handler or a
+    /// blown deadline).
+    pub failed: usize,
     /// Deepest the bounded queue got; never exceeds the configured
     /// capacity (the backpressure contract).
     pub peak_queue_depth: usize,
@@ -162,6 +207,12 @@ pub struct FleetServer {
     pub workers: usize,
     /// Bounded queue capacity; submission blocks beyond this depth.
     pub queue_capacity: usize,
+    /// Optional per-job wall-clock budget. A job whose handler runs
+    /// longer comes back as [`JobError::DeadlineExceeded`] from
+    /// [`FleetServer::try_serve_with_stats`] — the worker is never
+    /// killed mid-job (cooperative model), but the stale result is
+    /// discarded instead of served. `None` (the default) disables it.
+    pub deadline: Option<Seconds>,
 }
 
 impl FleetServer {
@@ -172,18 +223,28 @@ impl FleetServer {
         Self {
             workers,
             queue_capacity: 2 * workers,
+            deadline: None,
         }
     }
 
-    /// Runs every job through `handler` on the worker pool and returns
-    /// the results in submission order, plus run telemetry. The handler
-    /// receives `(submission index, job)` and must be pure per job —
-    /// jobs run concurrently in unspecified order.
-    pub fn serve_with_stats<J, R>(
+    /// Sets the per-job deadline.
+    pub fn with_deadline(mut self, deadline: Seconds) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The fault-isolating serve: every job comes back as a
+    /// `Result<R, JobError>` in submission order. A panicking handler is
+    /// caught *inside* its worker — the worker records the failure for
+    /// that one job and keeps draining the queue, so one poisoned fleet
+    /// cannot take down its siblings or deadlock the submitter. With a
+    /// [`deadline`](FleetServer::deadline) set, a job whose handler
+    /// outruns the budget is failed as stale.
+    pub fn try_serve_with_stats<J, R>(
         &self,
         jobs: Vec<J>,
         handler: impl Fn(usize, J) -> R + Sync,
-    ) -> (Vec<R>, ServeStats)
+    ) -> (Vec<Result<R, JobError>>, ServeStats)
     where
         J: Send,
         R: Send,
@@ -191,8 +252,10 @@ impl FleetServer {
         let n = jobs.len();
         let capacity = self.queue_capacity.max(1);
         let workers = self.workers.max(1).min(n.max(1));
+        let deadline = self.deadline;
         let queue: BoundedQueue<(usize, J)> = BoundedQueue::new(workers);
-        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let results: Vec<Mutex<Option<Result<R, JobError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
         let used = Mutex::new(0usize);
 
         /// Decrements the live-worker count when its worker exits —
@@ -216,8 +279,23 @@ impl FleetServer {
                     let mut ran_any = false;
                     while let Some((idx, job)) = queue.pop() {
                         ran_any = true;
-                        let out = handler(idx, job);
-                        *results[idx].lock().expect("result poisoned") = Some(out);
+                        let started = Instant::now();
+                        let out = std::panic::catch_unwind(AssertUnwindSafe(|| handler(idx, job)));
+                        let took = Seconds(started.elapsed().as_secs_f64());
+                        let entry = match out {
+                            Ok(result) => match deadline {
+                                Some(limit) if took.0 > limit.0 => {
+                                    Err(JobError::DeadlineExceeded { limit, took })
+                                }
+                                _ => Ok(result),
+                            },
+                            Err(payload) => Err(JobError::Panicked(panic_message(&*payload))),
+                        };
+                        let mut slot = match results[idx].lock() {
+                            Ok(slot) => slot,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                        *slot = Some(entry);
                     }
                     if ran_any {
                         *used.lock().expect("counter poisoned") += 1;
@@ -227,8 +305,8 @@ impl FleetServer {
             // The submitting side is this thread: feed jobs through the
             // bounded queue (blocking when it is full — backpressure),
             // then close it so idle workers drain out. A `false` push
-            // means every worker died (panicked handler): stop feeding
-            // and let the scope join re-raise the panic.
+            // means every worker died — unreachable now that panics are
+            // caught in the job loop, but kept as belt-and-braces.
             for (idx, job) in jobs.into_iter().enumerate() {
                 if !queue.push(capacity, (idx, job)) {
                     break;
@@ -237,17 +315,48 @@ impl FleetServer {
             queue.close();
         });
 
-        let stats = ServeStats {
-            completed: n,
-            peak_queue_depth: queue.peak_depth(),
-            workers_used: *used.lock().expect("counter poisoned"),
-        };
-        let out = results
+        let out: Vec<Result<R, JobError>> = results
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("result poisoned")
-                    .expect("every job completes")
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .unwrap_or(Err(JobError::Abandoned))
+            })
+            .collect();
+        let stats = ServeStats {
+            completed: n,
+            failed: out.iter().filter(|r| r.is_err()).count(),
+            peak_queue_depth: queue.peak_depth(),
+            workers_used: *used.lock().expect("counter poisoned"),
+        };
+        (out, stats)
+    }
+
+    /// Runs every job through `handler` on the worker pool and returns
+    /// the results in submission order, plus run telemetry. The handler
+    /// receives `(submission index, job)` and must be pure per job —
+    /// jobs run concurrently in unspecified order.
+    ///
+    /// This is the legacy all-or-nothing front over
+    /// [`FleetServer::try_serve_with_stats`]: a failed job (panicked
+    /// handler, blown deadline) re-raises as a panic on the submitting
+    /// thread *after* the pool has drained — it still propagates, but it
+    /// can no longer hang submitters or strand sibling jobs.
+    pub fn serve_with_stats<J, R>(
+        &self,
+        jobs: Vec<J>,
+        handler: impl Fn(usize, J) -> R + Sync,
+    ) -> (Vec<R>, ServeStats)
+    where
+        J: Send,
+        R: Send,
+    {
+        let (results, stats) = self.try_serve_with_stats(jobs, handler);
+        let out = results
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(e) => panic!("fleet server job failed: {e}"),
             })
             .collect();
         (out, stats)
@@ -286,10 +395,20 @@ impl FleetServer {
     }
 }
 
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfmath::units::Seconds;
 
     #[test]
     fn results_come_back_in_submission_order() {
@@ -367,6 +486,65 @@ mod tests {
             })
         });
         assert!(result.is_err(), "the worker panic must propagate");
+    }
+
+    #[test]
+    fn try_serve_isolates_a_panicking_job() {
+        // The graceful-degradation contract: one poisoned job fails
+        // alone. Every sibling still completes — even with a single
+        // worker, which before panic isolation would have died on job 3
+        // and stranded jobs 4..9.
+        let mut server = FleetServer::new(1);
+        server.queue_capacity = 2;
+        let (out, stats) = server.try_serve_with_stats((0..10u64).collect(), |_, n| {
+            if n == 3 {
+                panic!("fleet {n} is poisoned");
+            }
+            n * 10
+        });
+        assert_eq!(out.len(), 10);
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                match r {
+                    Err(JobError::Panicked(msg)) => {
+                        assert!(msg.contains("poisoned"), "{msg}")
+                    }
+                    other => panic!("job 3 must fail as Panicked, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*r, Ok(i as u64 * 10), "sibling job {i} must complete");
+            }
+        }
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 10);
+    }
+
+    #[test]
+    fn deadline_exceeded_jobs_fail_without_stalling_siblings() {
+        let server = FleetServer::new(2).with_deadline(Seconds(0.01));
+        let (out, stats) = server.try_serve_with_stats((0..6u64).collect(), |_, n| {
+            if n == 2 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            n
+        });
+        match &out[2] {
+            Err(JobError::DeadlineExceeded { limit, took }) => {
+                assert_eq!(*limit, Seconds(0.01));
+                assert!(took.0 >= 0.01, "took {took:?}");
+            }
+            other => panic!("job 2 must blow the deadline, got {other:?}"),
+        }
+        for (i, r) in out.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(*r, Ok(i as u64));
+            }
+        }
+        assert_eq!(stats.failed, 1);
+        // Error text carries both numbers for the logs.
+        let msg = out[2].as_ref().unwrap_err().to_string();
+        assert!(msg.contains("deadline exceeded"), "{msg}");
+        assert!(msg.contains("10.0 ms budget"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Seeded fault injection: deterministic hardware failures for the
+//! serving stack to degrade through.
+//!
+//! The paper's deployments are physical hardware — varactor bias lines
+//! fail open, PSU rails glitch during settling, probe feedback is lost
+//! over the air, whole panels lose power — yet every layer of this
+//! reproduction assumed a fault-free world. [`FaultPlan`] is the single
+//! source of those failures: a seeded, time-windowed plan the
+//! [`crate::sim::MobilitySim`] engine consults each tick to decide
+//! which panels are dark, which probe reports never arrive, and which
+//! unit-cell columns are stuck. Every draw is a **pure function of
+//! (seed, fault kind, panel, tick)** — no mutable RNG state — so runs
+//! are bitwise reproducible under a seed, two plans with the same
+//! parameters agree regardless of evaluation order, and an empty plan
+//! ([`FaultPlan::none`]) changes *nothing*: the zero-fault run is
+//! bit-identical to a run with no plan at all (the equivalence
+//! `proptest_faults` pins).
+//!
+//! The taxonomy, layer by layer:
+//!
+//! * **dead unit-cell columns** ([`CellFault`]) — a bias axis frozen
+//!   ([`CellFaultKind::Stuck`]) or saturated ([`CellFaultKind::Clamped`])
+//!   on one panel. Masked into the panel's evaluator
+//!   ([`crate::fleet::FleetEvaluator::set_bias_fault`]) so Algorithm 1
+//!   *re-optimizes around the defect*: the search still commands any
+//!   bias, but the physics answers as the broken hardware would.
+//! * **whole-panel outages** ([`PanelOutage`] windows and/or a per-tick
+//!   outage rate) — the engine re-homes the orphaned sub-fleet onto
+//!   surviving panels through the handoff machinery and zeroes the dead
+//!   panel's serving duty.
+//! * **lost probe reports** (a per-attempt loss rate played through the
+//!   controller's [`RetryPolicy`]) — each lost delivery bills its
+//!   backoff-widened timeout as airtime; a panel that exhausts every
+//!   attempt *holds its last good bias* for the tick.
+//! * **PSU glitches** (a per-tick rate) — a rail settling excursion
+//!   billing [`FaultPlan::psu_glitch_settling`] of extra airtime.
+
+use control::controller::RetryPolicy;
+use metasurface::stack::BiasState;
+use rfmath::units::{Seconds, Volts};
+
+/// Which bias axis of a panel a unit-cell column fault sits on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Axis {
+    /// The X bias rail (vertical polarization control).
+    X,
+    /// The Y bias rail (horizontal polarization control).
+    Y,
+}
+
+/// How a faulted unit-cell column misbehaves.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CellFaultKind {
+    /// The varactor bias line failed open or shorted: the axis sits at
+    /// this voltage no matter what the rails command.
+    Stuck(Volts),
+    /// A degraded driver: the axis follows commands but saturates at
+    /// this ceiling.
+    Clamped(Volts),
+}
+
+/// A stuck/dead unit-cell column on one panel's bias axis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellFault {
+    /// Index of the afflicted panel in the array.
+    pub panel: usize,
+    /// Which bias axis is broken.
+    pub axis: Axis,
+    /// The failure mode.
+    pub kind: CellFaultKind,
+}
+
+/// A half-open time window `[start, start + duration)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultWindow {
+    /// When the fault begins.
+    pub start: Seconds,
+    /// How long it lasts.
+    pub duration: Seconds,
+}
+
+impl FaultWindow {
+    /// True when `t` falls inside the window.
+    pub fn contains(&self, t: Seconds) -> bool {
+        t.0 >= self.start.0 && t.0 < self.start.0 + self.duration.0
+    }
+}
+
+/// A scripted whole-panel outage: the panel serves nobody while the
+/// window is open.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PanelOutage {
+    /// Index of the panel that goes dark.
+    pub panel: usize,
+    /// When, and for how long.
+    pub window: FaultWindow,
+}
+
+/// The bias transfer a plan's dead columns impose on one panel:
+/// per-axis stuck/clamped overrides applied to every commanded bias
+/// before the physics sees it. A default (healthy) value is the
+/// identity.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BiasFault {
+    /// Fault on the X axis, if any.
+    pub x: Option<CellFaultKind>,
+    /// Fault on the Y axis, if any.
+    pub y: Option<CellFaultKind>,
+}
+
+impl BiasFault {
+    /// True when neither axis is faulted (the identity transfer).
+    pub fn is_healthy(&self) -> bool {
+        self.x.is_none() && self.y.is_none()
+    }
+
+    /// The bias the hardware actually realizes when `bias` is commanded.
+    pub fn apply(&self, bias: BiasState) -> BiasState {
+        let axis = |v: Volts, fault: Option<CellFaultKind>| match fault {
+            None => v,
+            Some(CellFaultKind::Stuck(frozen)) => frozen,
+            Some(CellFaultKind::Clamped(ceiling)) => Volts(v.0.min(ceiling.0)),
+        };
+        BiasState {
+            vx: axis(bias.vx, self.x),
+            vy: axis(bias.vy, self.y),
+        }
+    }
+}
+
+/// What the bounded-retry loop did for one searching panel in one tick.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReportFate {
+    /// Probe-report deliveries that were lost.
+    pub lost: usize,
+    /// True when every attempt was lost — the controller never heard a
+    /// usable report and must hold the last good bias.
+    pub exhausted: bool,
+    /// Airtime the lost deliveries burned, seconds (each attempt waits
+    /// out its backoff-widened timeout before retrying).
+    pub airtime: f64,
+}
+
+/// A deterministic, seeded fault plan.
+///
+/// Scripted faults (`dead_columns`, `outages`) fire exactly where
+/// written; stochastic faults fire wherever the seeded hash draw for
+/// that (fault kind, panel, tick) lands under the configured rate.
+/// With every rate zero and every list empty the plan is inert —
+/// [`FaultPlan::is_empty`] — and a run under it is bitwise identical to
+/// a run with no plan at all.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Root seed all stochastic draws derive from.
+    pub seed: u64,
+    /// Per-panel, per-tick probability of a whole-panel outage.
+    pub panel_outage_rate: f64,
+    /// Per-delivery-attempt probability of losing a probe report.
+    pub report_loss_rate: f64,
+    /// Per-searching-panel, per-tick probability of a PSU settling
+    /// glitch.
+    pub psu_glitch_rate: f64,
+    /// Extra settling airtime one PSU glitch bills, seconds.
+    pub psu_glitch_settling: Seconds,
+    /// Scripted stuck/clamped unit-cell columns.
+    pub dead_columns: Vec<CellFault>,
+    /// Scripted whole-panel outage windows.
+    pub outages: Vec<PanelOutage>,
+    /// Bounded retry/backoff played against lost reports.
+    pub retry: RetryPolicy,
+    /// Base report timeout each lost delivery waits out (widened by the
+    /// retry policy's backoff on successive attempts).
+    pub report_timeout: Seconds,
+}
+
+impl FaultPlan {
+    /// The inert plan: no rates, no scripted faults. Running under it is
+    /// bitwise identical to running with no plan at all.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            panel_outage_rate: 0.0,
+            report_loss_rate: 0.0,
+            psu_glitch_rate: 0.0,
+            psu_glitch_settling: Seconds(0.05),
+            dead_columns: Vec::new(),
+            outages: Vec::new(),
+            retry: RetryPolicy::default(),
+            report_timeout: Seconds(0.1),
+        }
+    }
+
+    /// A plan with the three stochastic rates set and everything else at
+    /// the [`FaultPlan::none`] defaults — the chaos harness's knob.
+    pub fn with_rates(seed: u64, outage: f64, report_loss: f64, psu_glitch: f64) -> Self {
+        Self {
+            seed,
+            panel_outage_rate: outage,
+            report_loss_rate: report_loss,
+            psu_glitch_rate: psu_glitch,
+            ..Self::none()
+        }
+    }
+
+    /// True when the plan can never fire: all rates zero, no scripted
+    /// faults.
+    pub fn is_empty(&self) -> bool {
+        self.panel_outage_rate <= 0.0
+            && self.report_loss_rate <= 0.0
+            && self.psu_glitch_rate <= 0.0
+            && self.dead_columns.is_empty()
+            && self.outages.is_empty()
+    }
+
+    /// A uniform draw in `[0, 1)`, a pure function of
+    /// (seed, label, a, b) — stateless, order-independent.
+    fn draw(&self, label: &str, a: u64, b: u64) -> f64 {
+        let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        for byte in label.bytes() {
+            h = (h ^ byte as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h = splitmix(h ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        h = splitmix(h ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Is `panel` dark at tick `tick` (simulation time `t`)? True when
+    /// a scripted outage window covers `t` or the stochastic outage
+    /// draw fires.
+    pub fn panel_out(&self, panel: usize, tick: usize, t: Seconds) -> bool {
+        if self
+            .outages
+            .iter()
+            .any(|o| o.panel == panel && o.window.contains(t))
+        {
+            return true;
+        }
+        self.panel_outage_rate > 0.0
+            && self.draw("panel-outage", panel as u64, tick as u64) < self.panel_outage_rate
+    }
+
+    /// Is delivery attempt `attempt` of `panel`'s probe report at tick
+    /// `tick` lost?
+    pub fn report_lost(&self, panel: usize, tick: usize, attempt: usize) -> bool {
+        self.report_loss_rate > 0.0
+            && self.draw(
+                "report-loss",
+                panel as u64,
+                ((tick as u64) << 8) | (attempt as u64 & 0xFF),
+            ) < self.report_loss_rate
+    }
+
+    /// Does `panel`'s PSU glitch during tick `tick`?
+    pub fn psu_glitch(&self, panel: usize, tick: usize) -> bool {
+        self.psu_glitch_rate > 0.0
+            && self.draw("psu-glitch", panel as u64, tick as u64) < self.psu_glitch_rate
+    }
+
+    /// The bias transfer `panel`'s dead columns impose (healthy when no
+    /// scripted column fault names the panel; a later fault on the same
+    /// axis overrides an earlier one).
+    pub fn bias_fault(&self, panel: usize) -> BiasFault {
+        let mut fault = BiasFault::default();
+        for cell in self.dead_columns.iter().filter(|c| c.panel == panel) {
+            match cell.axis {
+                Axis::X => fault.x = Some(cell.kind),
+                Axis::Y => fault.y = Some(cell.kind),
+            }
+        }
+        fault
+    }
+
+    /// Plays the bounded-retry loop for one searching panel's probe
+    /// report: draws each delivery attempt, bills the backoff-widened
+    /// timeout for every loss, and reports whether the attempts were
+    /// exhausted (hold-last-good-bias).
+    pub fn play_report_retries(&self, panel: usize, tick: usize) -> ReportFate {
+        let max = self.retry.max_attempts.max(1);
+        let mut lost = 0usize;
+        let mut airtime = 0.0f64;
+        for attempt in 0..max {
+            if self.report_lost(panel, tick, attempt) {
+                airtime += self.retry.timeout_for(self.report_timeout, attempt).0;
+                lost += 1;
+            } else {
+                return ReportFate {
+                    lost,
+                    exhausted: false,
+                    airtime,
+                };
+            }
+        }
+        ReportFate {
+            lost,
+            exhausted: true,
+            airtime,
+        }
+    }
+}
+
+/// The splitmix64 finalizer: a strong 64-bit mix.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        for panel in 0..4 {
+            for tick in 0..50 {
+                assert!(!plan.panel_out(panel, tick, Seconds(tick as f64)));
+                assert!(!plan.psu_glitch(panel, tick));
+                for attempt in 0..4 {
+                    assert!(!plan.report_lost(panel, tick, attempt));
+                }
+            }
+            assert!(plan.bias_fault(panel).is_healthy());
+        }
+        let fate = plan.play_report_retries(0, 0);
+        assert_eq!(fate.lost, 0);
+        assert!(!fate.exhausted);
+        assert_eq!(fate.airtime, 0.0);
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::with_rates(7, 0.3, 0.3, 0.3);
+        let b = FaultPlan::with_rates(7, 0.3, 0.3, 0.3);
+        let c = FaultPlan::with_rates(8, 0.3, 0.3, 0.3);
+        let mut diverged = false;
+        for panel in 0..3 {
+            for tick in 0..40 {
+                let t = Seconds(tick as f64);
+                assert_eq!(
+                    a.panel_out(panel, tick, t),
+                    b.panel_out(panel, tick, t),
+                    "equal plans must agree"
+                );
+                assert_eq!(a.psu_glitch(panel, tick), b.psu_glitch(panel, tick));
+                if a.panel_out(panel, tick, t) != c.panel_out(panel, tick, t) {
+                    diverged = true;
+                }
+            }
+        }
+        assert!(diverged, "different seeds must draw different faults");
+    }
+
+    #[test]
+    fn rates_zero_and_one_are_never_and_always() {
+        let never = FaultPlan::with_rates(3, 0.0, 0.0, 0.0);
+        let always = FaultPlan::with_rates(3, 1.0, 1.0, 1.0);
+        for tick in 0..30 {
+            assert!(!never.panel_out(0, tick, Seconds(tick as f64)));
+            assert!(always.panel_out(0, tick, Seconds(tick as f64)));
+            assert!(!never.report_lost(0, tick, 0));
+            assert!(always.report_lost(0, tick, 0));
+        }
+        // Rate 1.0 exhausts every retry and bills the full backoff sum.
+        let fate = always.play_report_retries(1, 5);
+        assert!(fate.exhausted);
+        assert_eq!(fate.lost, always.retry.max_attempts);
+        // 0.1 + 0.2 + 0.4 + 0.8 with the default policy.
+        assert!(
+            (fate.airtime - 1.5).abs() < 1e-12,
+            "airtime {}",
+            fate.airtime
+        );
+    }
+
+    #[test]
+    fn intermediate_rates_fire_roughly_proportionally() {
+        let plan = FaultPlan::with_rates(11, 0.25, 0.0, 0.0);
+        let fired = (0..2000)
+            .filter(|&tick| plan.panel_out(0, tick, Seconds(tick as f64)))
+            .count();
+        assert!(
+            (350..650).contains(&fired),
+            "25% rate fired {fired}/2000 times"
+        );
+    }
+
+    #[test]
+    fn scripted_windows_cover_exactly_their_span() {
+        let mut plan = FaultPlan::none();
+        plan.outages.push(PanelOutage {
+            panel: 1,
+            window: FaultWindow {
+                start: Seconds(3.0),
+                duration: Seconds(2.0),
+            },
+        });
+        assert!(!plan.is_empty());
+        assert!(!plan.panel_out(1, 2, Seconds(2.0)));
+        assert!(plan.panel_out(1, 3, Seconds(3.0)));
+        assert!(plan.panel_out(1, 4, Seconds(4.0)));
+        assert!(!plan.panel_out(1, 5, Seconds(5.0)), "half-open window");
+        assert!(!plan.panel_out(0, 3, Seconds(3.0)), "other panels live");
+    }
+
+    #[test]
+    fn bias_faults_freeze_and_clamp() {
+        let mut plan = FaultPlan::none();
+        plan.dead_columns.push(CellFault {
+            panel: 0,
+            axis: Axis::X,
+            kind: CellFaultKind::Stuck(Volts(4.0)),
+        });
+        plan.dead_columns.push(CellFault {
+            panel: 0,
+            axis: Axis::Y,
+            kind: CellFaultKind::Clamped(Volts(10.0)),
+        });
+        let fault = plan.bias_fault(0);
+        assert!(!fault.is_healthy());
+        let out = fault.apply(BiasState::new(22.0, 25.0));
+        assert_eq!(out.vx, Volts(4.0), "stuck axis ignores the command");
+        assert_eq!(out.vy, Volts(10.0), "clamped axis saturates");
+        let under = fault.apply(BiasState::new(1.0, 3.0));
+        assert_eq!(under.vx, Volts(4.0));
+        assert_eq!(under.vy, Volts(3.0), "below the clamp passes through");
+        assert!(plan.bias_fault(1).is_healthy(), "other panels untouched");
+        // The healthy transfer is the identity.
+        let healthy = BiasFault::default();
+        let bias = BiasState::new(13.5, 7.25);
+        assert_eq!(healthy.apply(bias), bias);
+    }
+}

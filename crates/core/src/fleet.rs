@@ -253,6 +253,10 @@ pub struct FleetEvaluator {
     /// share a compiled plan).
     plan_of: Vec<usize>,
     v_max: Volts,
+    /// Hardware bias defect ([`crate::faults::BiasFault`]) masked into
+    /// every probe: the search still commands any bias, but the physics
+    /// answers as the broken panel would. `None` = healthy.
+    fault: Option<crate::faults::BiasFault>,
 }
 
 impl FleetEvaluator {
@@ -290,6 +294,25 @@ impl FleetEvaluator {
             plans,
             plan_of,
             v_max: SUPPLY_CEILING,
+            fault: None,
+        }
+    }
+
+    /// Installs (or clears) a stuck/clamped unit-cell column defect.
+    /// Every subsequent probe evaluates the bias the broken hardware
+    /// would actually realize, so Algorithm 1 re-optimizes around the
+    /// defect instead of trusting voltages the panel cannot reach. A
+    /// healthy fault is normalized to `None` (the probe path is then
+    /// bitwise identical to an unfaulted evaluator).
+    pub fn set_bias_fault(&mut self, fault: Option<crate::faults::BiasFault>) {
+        self.fault = fault.filter(|f| !f.is_healthy());
+    }
+
+    /// The bias the panel hardware realizes for a commanded `bias`.
+    fn faulted(&self, bias: BiasState) -> BiasState {
+        match &self.fault {
+            Some(f) => f.apply(bias),
+            None => bias,
         }
     }
 
@@ -334,7 +357,7 @@ impl FleetEvaluator {
     /// Every device's received power under one shared bias state
     /// (clamped to the supply ceiling, like `Metasurface::set_bias`).
     pub fn powers_dbm(&self, bias: BiasState) -> Vec<f64> {
-        let bias = bias.clamped(self.v_max);
+        let bias = self.faulted(bias.clamped(self.v_max));
         let responses: Vec<SurfaceResponse> = self
             .plans
             .iter()
@@ -352,7 +375,10 @@ impl FleetEvaluator {
     /// (per-axis solves deduplicated across the whole probe list), then
     /// per-bias device projections fan out across threads.
     pub fn powers_matrix(&self, biases: &[BiasState]) -> Vec<Vec<f64>> {
-        let clamped: Vec<BiasState> = biases.iter().map(|b| b.clamped(self.v_max)).collect();
+        let clamped: Vec<BiasState> = biases
+            .iter()
+            .map(|b| self.faulted(b.clamped(self.v_max)))
+            .collect();
         // One batched cascade pass per distinct carrier.
         let responses: Vec<Vec<SurfaceResponse>> = self
             .plans

@@ -23,6 +23,9 @@
 //!   assignment by geometry/polarization, a per-panel Algorithm 1
 //!   scheduler ([`panels::PanelScheduler`]), and the typed front of the
 //!   async many-fleet [`control::server::FleetServer`];
+//! * [`faults`] — seeded fault injection: deterministic, time-windowed
+//!   plans of dead unit-cell columns, PSU glitches, lost probe reports
+//!   and whole-panel outages that the serving stack degrades through;
 //! * [`sim`] — the event-stepped mobility simulator: moving fleets
 //!   ([`sim::DynamicFleet`] with waypoint walks, turntable rotation and
 //!   transient human blockage), panel handoff with dwell + dB
@@ -50,6 +53,7 @@
 #![deny(unsafe_code)]
 
 pub mod experiments;
+pub mod faults;
 pub mod fleet;
 pub mod multilink;
 pub mod panels;
@@ -60,6 +64,7 @@ pub mod sensing;
 pub mod sim;
 pub mod system;
 
+pub use faults::FaultPlan;
 pub use fleet::{Fleet, FleetDevice, FleetEvaluator, FleetOutcome, Policy, Scheduler};
 pub use panels::{
     serve_fleets, serve_panel_fleets, Assignment, Panel, PanelArray, PanelOutcome, PanelScheduler,

@@ -58,11 +58,15 @@ pub struct RoomScenario {
 impl RoomScenario {
     /// Runs the scenario for its tick budget and returns the report.
     pub fn run(&mut self) -> SimReport {
-        MobilitySim::new(PanelScheduler::max_min(), self.config).run(
-            &mut self.fleet,
-            &self.array,
-            self.ticks,
-        )
+        self.run_with_faults(crate::faults::FaultPlan::none())
+    }
+
+    /// Runs the scenario under a fault plan — the chaos harness's entry
+    /// point. An empty plan reproduces [`RoomScenario::run`] bitwise.
+    pub fn run_with_faults(&mut self, faults: crate::faults::FaultPlan) -> SimReport {
+        MobilitySim::new(PanelScheduler::max_min(), self.config)
+            .with_faults(faults)
+            .run(&mut self.fleet, &self.array, self.ticks)
     }
 }
 

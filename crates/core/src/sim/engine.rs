@@ -36,6 +36,16 @@
 //!   accordingly. Re-optimizing faster than the probe budget allows
 //!   starves the link — the reconfiguration-workload effect the
 //!   programmable-environment literature centers on.
+//!
+//! A seeded [`FaultPlan`] ([`MobilitySim::with_faults`]) injects
+//! hardware failures into the warm engine — whole-panel outages
+//! (orphaned sub-fleets re-home onto surviving panels through the
+//! handoff machinery), lost probe reports (bounded retry with
+//! exponential backoff, then hold-last-good-bias), PSU settling
+//! glitches, and stuck/clamped unit-cell columns (masked into each
+//! panel's evaluator so the search re-optimizes around the defect) —
+//! with honest degraded-duty accounting. An empty plan is bitwise
+//! inert: the fault paths are never entered.
 
 use std::time::Instant;
 
@@ -48,6 +58,7 @@ use propagation::capacity::duty_cycled_throughput;
 use propagation::link::PreparedLink;
 use rfmath::units::{Dbm, Seconds};
 
+use crate::faults::FaultPlan;
 use crate::fleet::{Fleet, FleetEvaluator, FleetOutcome, Policy};
 use crate::panels::{PanelAllocation, PanelArray, PanelOutcome, PanelScheduler, REFERENCE_BIAS};
 use crate::sim::mobility::DynamicFleet;
@@ -162,6 +173,20 @@ pub struct TickOutcome {
     pub warm_panels: usize,
     /// Populated panels that reused their previous allocation outright.
     pub reused_panels: usize,
+    /// Panels dark this tick under the fault plan (outage windows or
+    /// stochastic outages; the all-panels-out guard keeps one alive).
+    pub outaged_panels: usize,
+    /// Devices re-homed off a dark panel this tick (fault recovery, not
+    /// counted as handoffs — no hysteresis was involved).
+    pub fault_reassignments: usize,
+    /// Probe-report deliveries lost this tick (each billed its
+    /// backoff-widened timeout as airtime).
+    pub reports_lost: usize,
+    /// Panels whose report retries were exhausted this tick (the
+    /// controller held the last good bias).
+    pub reports_exhausted: usize,
+    /// PSU settling glitches this tick (each billed extra airtime).
+    pub psu_glitches: usize,
     /// Worst served power across the fleet at the *applied* biases, dBm
     /// (`-∞` for an empty fleet).
     pub served_min_power_dbm: f64,
@@ -227,6 +252,31 @@ impl SimReport {
     /// Total cheap link rebinds across the run.
     pub fn total_links_rebound(&self) -> usize {
         self.ticks.iter().map(|t| t.links_rebound).sum()
+    }
+
+    /// Total panel×tick outages across the run.
+    pub fn total_outaged_panel_ticks(&self) -> usize {
+        self.ticks.iter().map(|t| t.outaged_panels).sum()
+    }
+
+    /// Total fault-recovery re-homings across the run.
+    pub fn total_fault_reassignments(&self) -> usize {
+        self.ticks.iter().map(|t| t.fault_reassignments).sum()
+    }
+
+    /// Total probe-report deliveries lost across the run.
+    pub fn total_reports_lost(&self) -> usize {
+        self.ticks.iter().map(|t| t.reports_lost).sum()
+    }
+
+    /// Total report-retry exhaustions (held biases) across the run.
+    pub fn total_reports_exhausted(&self) -> usize {
+        self.ticks.iter().map(|t| t.reports_exhausted).sum()
+    }
+
+    /// Total PSU settling glitches across the run.
+    pub fn total_psu_glitches(&self) -> usize {
+        self.ticks.iter().map(|t| t.psu_glitches).sum()
     }
 }
 
@@ -342,12 +392,27 @@ pub struct MobilitySim {
     pub scheduler: PanelScheduler,
     /// Engine configuration.
     pub config: SimConfig,
+    /// The fault plan the run degrades through ([`FaultPlan::none`] by
+    /// default — bitwise inert).
+    pub faults: FaultPlan,
 }
 
 impl MobilitySim {
-    /// A simulator around a scheduler and a configuration.
+    /// A simulator around a scheduler and a configuration (fault-free).
     pub fn new(scheduler: PanelScheduler, config: SimConfig) -> Self {
-        Self { scheduler, config }
+        Self {
+            scheduler,
+            config,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Installs a fault plan. Only the warm engine can degrade through
+    /// faults (`run` panics on a faulted cold baseline); an empty plan
+    /// leaves every run bitwise identical to a fault-free simulator.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Runs `ticks` clock edges, advancing `fleet` and re-optimizing the
@@ -355,8 +420,9 @@ impl MobilitySim {
     /// state); construct a fresh fleet to run a second scenario.
     ///
     /// # Panics
-    /// Panics on zero ticks, a non-positive tick length, or a
-    /// `TimeDivision` base policy.
+    /// Panics on zero ticks, a non-positive tick length, a
+    /// `TimeDivision` base policy, or a non-empty fault plan on the
+    /// cold baseline.
     pub fn run(&self, fleet: &mut DynamicFleet, array: &PanelArray, ticks: usize) -> SimReport {
         assert!(ticks >= 1, "need at least one tick");
         assert!(self.config.tick.0 > 0.0, "tick length must be positive");
@@ -364,6 +430,11 @@ impl MobilitySim {
             !matches!(self.scheduler.base.policy, Policy::TimeDivision),
             "the mobility simulator serves shared-bias policies: time division \
              has no single rail state to hold between ticks"
+        );
+        assert!(
+            self.config.warm.is_some() || self.faults.is_empty(),
+            "fault injection requires the warm engine: the cold baseline keeps \
+             no persistent state to degrade through"
         );
         match self.config.warm {
             Some(warm) => self.run_warm_mode(fleet, array, ticks, &warm),
@@ -394,7 +465,12 @@ impl MobilitySim {
                 .iter()
                 .filter(|p| !p.devices.is_empty())
                 .count();
-            let kinds = vec![SearchKind::Cold; array.len()];
+            let airtimes: Vec<f64> = outcome
+                .per_panel
+                .iter()
+                .map(|p| p.outcome.elapsed.0)
+                .collect();
+            let outaged = vec![false; array.len()];
             let mut tick_out = self.settle_tick(
                 fleet.fleet(),
                 array,
@@ -403,7 +479,8 @@ impl MobilitySim {
                 moved,
                 0,
                 outcome,
-                &kinds,
+                &airtimes,
+                &outaged,
                 started,
             );
             tick_out.links_reprepared = fleet.len();
@@ -442,12 +519,29 @@ impl MobilitySim {
         let mut out = Vec::with_capacity(ticks);
         let mut handoffs_total = 0usize;
         let mut wall_total = 0.0f64;
+        let faults_active = !self.faults.is_empty();
         for i in 0..ticks {
             let started = Instant::now();
             let t = Seconds(i as f64 * self.config.tick.0);
             let moved = fleet.advance_to(t);
             let mut reprepared = 0usize;
             let mut rebound = 0usize;
+
+            // Which panels are dark this tick. A controller with no
+            // surviving panel serves nobody at all, so when the plan
+            // would take out every panel the lowest-indexed one is kept
+            // alive: the fleet degrades instead of vanishing.
+            let mut outaged = vec![false; array.len()];
+            if faults_active {
+                for (k, out) in outaged.iter_mut().enumerate() {
+                    *out = self.faults.panel_out(k, i, t);
+                }
+                if !outaged.is_empty() && outaged.iter().all(|&o| o) {
+                    outaged[0] = false;
+                }
+            }
+            let outaged_panels = outaged.iter().filter(|&&o| o).count();
+            let mut reassignments = 0usize;
 
             if i == 0 {
                 // First tick: run the assignment policy and build every
@@ -487,6 +581,23 @@ impl MobilitySim {
                     })
                     .collect();
                 reprepared += fleet.len();
+                // A panel dark at t = 0 never receives its sub-fleet:
+                // the policy's picks re-home to surviving panels before
+                // anything is built on top of the assignment.
+                if outaged_panels > 0 {
+                    for d in 0..fleet.len() {
+                        if outaged[assignment[d]] {
+                            assignment[d] = Self::best_surviving_panel(
+                                fleet.fleet(),
+                                d,
+                                &outaged,
+                                &ref_links,
+                                &ref_responses,
+                            );
+                            reassignments += 1;
+                        }
+                    }
+                }
                 Self::rebuild_panels(
                     fleet.fleet(),
                     array,
@@ -494,6 +605,7 @@ impl MobilitySim {
                     &assignment,
                     &mut states,
                     &(0..array.len()).collect::<Vec<_>>(),
+                    &self.faults,
                 );
             } else {
                 // Refresh the per-device reference links for the dirty
@@ -506,6 +618,46 @@ impl MobilitySim {
                         link.deployment = panel.deployment_for(device.scenario.deployment);
                         ref_links[d][k] = ref_links[d][k].rebind(link);
                     }
+                }
+            }
+
+            // Fault recovery first: a device stranded on a panel that
+            // just went dark re-homes to its best surviving panel
+            // immediately — no hysteresis, no dwell; there is nothing to
+            // flap back to. The affected panels rebuild like a handoff
+            // would, and the move resets the device's dwell streak.
+            if i > 0 && outaged_panels > 0 && !fleet.is_empty() {
+                let mut changed: Vec<usize> = Vec::new();
+                for d in 0..fleet.len() {
+                    let cur = assignment[d];
+                    if !outaged[cur] {
+                        continue;
+                    }
+                    let target = Self::best_surviving_panel(
+                        fleet.fleet(),
+                        d,
+                        &outaged,
+                        &ref_links,
+                        &ref_responses,
+                    );
+                    changed.push(cur);
+                    changed.push(target);
+                    assignment[d] = target;
+                    streaks[d] = (target, 0);
+                    reassignments += 1;
+                }
+                if !changed.is_empty() {
+                    changed.sort_unstable();
+                    changed.dedup();
+                    reprepared += Self::rebuild_panels(
+                        fleet.fleet(),
+                        array,
+                        &caches,
+                        &assignment,
+                        &mut states,
+                        &changed,
+                        &self.faults,
+                    );
                 }
             }
 
@@ -542,8 +694,8 @@ impl MobilitySim {
                     let cur_power = power_on(cur);
                     let mut preferred = cur;
                     let mut best = f64::NEG_INFINITY;
-                    for k in 0..array.len() {
-                        if k == cur {
+                    for (k, &out) in outaged.iter().enumerate() {
+                        if k == cur || out {
                             continue;
                         }
                         let p = power_on(k);
@@ -580,6 +732,7 @@ impl MobilitySim {
                         &assignment,
                         &mut states,
                         &changed_panels,
+                        &self.faults,
                     );
                 }
             }
@@ -617,11 +770,15 @@ impl MobilitySim {
 
             // Per-panel scheduling: reuse, warm-refine, or cold.
             let mut kinds = Vec::with_capacity(array.len());
+            let mut airtimes = Vec::with_capacity(array.len());
             let mut panel_outcomes: Vec<FleetOutcome> = Vec::with_capacity(array.len());
             let mut probes = 0usize;
-            for state in states.iter_mut() {
+            let mut reports_lost = 0usize;
+            let mut reports_exhausted = 0usize;
+            let mut psu_glitches = 0usize;
+            for (k, state) in states.iter_mut().enumerate() {
                 let scheduler = self.scheduler.panel_scheduler(&state.members);
-                let (outcome, kind) = match (&state.evaluator, &state.prev) {
+                let (mut outcome, mut kind) = match (&state.evaluator, &state.prev) {
                     (None, _) => (FleetOutcome::empty(scheduler.policy), SearchKind::Reused),
                     (Some(_), Some(prev)) if !state.moved => (prev.clone(), SearchKind::Reused),
                     (Some(evaluator), Some(prev)) => (
@@ -633,13 +790,45 @@ impl MobilitySim {
                         SearchKind::Cold,
                     ),
                 };
+                let mut airtime = if kind == SearchKind::Reused {
+                    0.0
+                } else {
+                    outcome.elapsed.0
+                };
                 if kind != SearchKind::Reused {
+                    // The probe bill is spent over the air whether or
+                    // not the controller ever hears the scores.
                     probes += outcome.probes;
-                    state.prev = Some(outcome.clone());
+                    if faults_active {
+                        if self.faults.psu_glitch(k, i) {
+                            psu_glitches += 1;
+                            airtime += self.faults.psu_glitch_settling.0;
+                        }
+                        let fate = self.faults.play_report_retries(k, i);
+                        reports_lost += fate.lost;
+                        airtime += fate.airtime;
+                        if fate.exhausted {
+                            reports_exhausted += 1;
+                            if let Some(prev) = &state.prev {
+                                // Every retry lost: the controller never
+                                // heard a usable report, so it holds the
+                                // last allocation it scored instead of
+                                // applying blind biases. (With nothing
+                                // to hold — the panel's first search —
+                                // the fresh result is applied anyway.)
+                                outcome = prev.clone();
+                                kind = SearchKind::Reused;
+                            }
+                        }
+                    }
+                    if kind != SearchKind::Reused {
+                        state.prev = Some(outcome.clone());
+                    }
                 }
                 state.moved = false;
                 state.membership_changed = false;
                 kinds.push(kind);
+                airtimes.push(airtime);
                 panel_outcomes.push(outcome);
             }
 
@@ -690,7 +879,8 @@ impl MobilitySim {
                 moved,
                 handoffs,
                 outcome,
-                &kinds,
+                &airtimes,
+                &outaged,
                 started,
             );
             tick_out.links_reprepared = reprepared;
@@ -698,6 +888,11 @@ impl MobilitySim {
             tick_out.cold_panels = cold_panels;
             tick_out.warm_panels = warm_panels;
             tick_out.reused_panels = reused_panels;
+            tick_out.outaged_panels = outaged_panels;
+            tick_out.fault_reassignments = reassignments;
+            tick_out.reports_lost = reports_lost;
+            tick_out.reports_exhausted = reports_exhausted;
+            tick_out.psu_glitches = psu_glitches;
             wall_total += tick_out.wall_ms;
             out.push(tick_out);
         }
@@ -718,6 +913,7 @@ impl MobilitySim {
         assignment: &[usize],
         states: &mut [PanelState],
         panels: &[usize],
+        faults: &FaultPlan,
     ) -> usize {
         let subfleets = array.subfleets(fleet, assignment);
         let mut reprepared = 0usize;
@@ -728,7 +924,16 @@ impl MobilitySim {
                 None
             } else {
                 let cache = PanelArray::cache_for(caches, &array.panels()[k].design);
-                Some(FleetEvaluator::with_plan_cache(&subfleet, cache))
+                let mut evaluator = FleetEvaluator::with_plan_cache(&subfleet, cache);
+                // Dead unit-cell columns are a property of the panel
+                // hardware, not the sub-fleet: mask them into every
+                // evaluator built for this panel so Algorithm 1
+                // re-optimizes around the defect.
+                let fault = faults.bias_fault(k);
+                if !fault.is_healthy() {
+                    evaluator.set_bias_fault(Some(fault));
+                }
+                Some(evaluator)
             };
             states[k].subfleet = subfleet;
             states[k].members = members;
@@ -737,6 +942,39 @@ impl MobilitySim {
             states[k].membership_changed = true;
         }
         reprepared
+    }
+
+    /// The best surviving panel for a device orphaned by an outage:
+    /// argmax of reference power over the live panels (the same
+    /// measurement the handoff margins use). The all-panels-out guard
+    /// guarantees at least one survivor.
+    fn best_surviving_panel(
+        fleet: &Fleet,
+        d: usize,
+        outaged: &[bool],
+        ref_links: &[Vec<PreparedLink>],
+        ref_responses: &[Vec<(u64, SurfaceResponse)>],
+    ) -> usize {
+        let bits = fleet.devices()[d].scenario.frequency.0.to_bits();
+        let mut best_k = usize::MAX;
+        let mut best = f64::NEG_INFINITY;
+        for (k, &out) in outaged.iter().enumerate() {
+            if out {
+                continue;
+            }
+            let response = ref_responses[k]
+                .iter()
+                .find(|(b, _)| *b == bits)
+                .map(|(_, r)| r)
+                .expect("reference responses prebuilt for every carrier");
+            let p = ref_links[d][k].received_dbm_with(Some(response)).0;
+            if p > best {
+                best = p;
+                best_k = k;
+            }
+        }
+        assert!(best_k != usize::MAX, "at least one panel survives");
+        best_k
     }
 
     /// PSU billing, served-power evaluation and tick assembly — shared
@@ -758,7 +996,8 @@ impl MobilitySim {
         moved: Vec<usize>,
         handoffs: usize,
         outcome: PanelOutcome,
-        kinds: &[SearchKind],
+        airtimes: &[f64],
+        outaged: &[bool],
         started: Instant,
     ) -> TickOutcome {
         let tick_len = self.config.tick.0;
@@ -767,15 +1006,15 @@ impl MobilitySim {
         let mut deferred = 0usize;
         for (k, state) in states.iter_mut().enumerate() {
             let proposed = outcome.per_panel[k].outcome.shared_bias;
-            let airtime = if kinds[k] == SearchKind::Reused {
-                0.0
-            } else {
-                outcome.per_panel[k].outcome.elapsed.0
-            };
-            let (used, d) = settle_psu(state, t.0, tick_len, airtime, proposed);
+            let (used, d) = settle_psu(state, t.0, tick_len, airtimes[k], proposed);
             deferred += d;
             applied.push(state.applied);
-            panel_duty.push((1.0 - used / tick_len).clamp(0.0, 1.0));
+            // A dark panel serves nobody, whatever its rails are doing.
+            panel_duty.push(if outaged[k] {
+                0.0
+            } else {
+                (1.0 - used / tick_len).clamp(0.0, 1.0)
+            });
         }
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
 
@@ -837,6 +1076,11 @@ impl MobilitySim {
             cold_panels: 0,
             warm_panels: 0,
             reused_panels: 0,
+            outaged_panels: 0,
+            fault_reassignments: 0,
+            reports_lost: 0,
+            reports_exhausted: 0,
+            psu_glitches: 0,
             served_min_power_dbm: served_min,
             served_throughput_bits_hz: throughput,
             wall_ms,

@@ -58,6 +58,7 @@ pub use mobility::{Blockage, DynamicFleet, MobilityModel};
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlan;
     use crate::fleet::Fleet;
     use crate::panels::{Assignment, PanelArray, PanelScheduler};
     use rfmath::units::Seconds;
@@ -255,6 +256,177 @@ mod tests {
             &mut DynamicFleet::new(base),
             &array,
             1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "warm engine")]
+    fn faults_on_the_cold_baseline_are_rejected() {
+        let base = Fleet::mixed_wifi_ble(3, 3);
+        let array = PanelArray::uniform(base.design.clone(), 1);
+        let _ = sim(SimConfig::cold())
+            .with_faults(FaultPlan::with_rates(1, 0.1, 0.0, 0.0))
+            .run(&mut DynamicFleet::new(base), &array, 1);
+    }
+
+    #[test]
+    fn an_empty_fault_plan_is_bitwise_inert() {
+        let ticks = 6;
+        let array = PanelArray::distributed(Fleet::mixed_wifi_ble(6, 17).design.clone(), 2);
+        let mut roaming = DynamicFleet::roaming_mixed(6, 17, Seconds(ticks as f64));
+        let plain = sim(SimConfig::default()).run(&mut roaming, &array, ticks);
+        let mut roaming = DynamicFleet::roaming_mixed(6, 17, Seconds(ticks as f64));
+        let faulted = sim(SimConfig::default())
+            .with_faults(FaultPlan::none())
+            .run(&mut roaming, &array, ticks);
+        for (p, f) in plain.ticks.iter().zip(&faulted.ticks) {
+            assert!(p.outcome.same_allocation(&f.outcome));
+            assert_eq!(
+                p.served_min_power_dbm.to_bits(),
+                f.served_min_power_dbm.to_bits(),
+                "served power must be bit-identical under an empty plan"
+            );
+            for (a, b) in p.panel_duty.iter().zip(&f.panel_duty) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(p.applied, f.applied);
+            assert_eq!(f.outaged_panels, 0);
+            assert_eq!(f.reports_lost, 0);
+        }
+    }
+
+    #[test]
+    fn a_scripted_outage_rehomes_the_orphaned_subfleet() {
+        use crate::faults::{FaultWindow, PanelOutage};
+        let ticks = 8;
+        let base = Fleet::mixed_wifi_ble(6, 9);
+        let array = PanelArray::distributed(base.design.clone(), 2);
+        let mut plan = FaultPlan::none();
+        plan.outages.push(PanelOutage {
+            panel: 0,
+            window: FaultWindow {
+                start: Seconds(2.0),
+                duration: Seconds(3.0),
+            },
+        });
+        let mut fleet = DynamicFleet::roaming_mixed(6, 9, Seconds(ticks as f64));
+        let report = sim(SimConfig::default())
+            .with_faults(plan)
+            .run(&mut fleet, &array, ticks);
+        assert!(
+            report.total_fault_reassignments() > 0,
+            "someone lived on panel 0 and had to move"
+        );
+        assert_eq!(report.total_outaged_panel_ticks(), 3);
+        for tick in &report.ticks {
+            let dark = tick.t.0 >= 2.0 && tick.t.0 < 5.0;
+            if dark {
+                assert!(
+                    tick.outcome.assignment.iter().all(|&k| k != 0),
+                    "t={}: nobody may be served by a dark panel",
+                    tick.t.0
+                );
+                assert_eq!(tick.panel_duty[0], 0.0, "a dark panel serves nobody");
+            }
+            // The fleet is still served end to end, outage or not.
+            assert!(tick.served_min_power_dbm.is_finite());
+        }
+        // Degraded, not dead: the run as a whole still moves bits (a
+        // single tick may honestly burn all its duty on the re-home's
+        // cold re-search).
+        let moved_bits: f64 = report
+            .ticks
+            .iter()
+            .map(|t| t.served_throughput_bits_hz)
+            .sum();
+        assert!(moved_bits > 0.0);
+    }
+
+    #[test]
+    fn exhausted_report_retries_hold_the_last_good_bias() {
+        // Lose every probe report from tick 3 on: searches still spend
+        // airtime (lost deliveries bill their backoff-widened timeouts)
+        // but the rails hold the last allocation the controller heard.
+        let ticks = 8usize;
+        let build = || DynamicFleet::roaming_mixed(6, 21, Seconds(ticks as f64));
+        let array = PanelArray::distributed(build().fleet().design.clone(), 2);
+        let mut lossy = FaultPlan::with_rates(7, 0.0, 1.0, 0.0);
+        // Rate draws at 1.0 fire always; gate the loss window by hand
+        // via the report timeout so early ticks establish a baseline.
+        lossy.report_timeout = Seconds(0.02);
+        let faulted = sim(SimConfig::default())
+            .with_faults(lossy)
+            .run(&mut build(), &array, ticks);
+        let clean = sim(SimConfig::default()).run(&mut build(), &array, ticks);
+        assert!(
+            faulted.total_reports_exhausted() > 0,
+            "certain loss must exhaust the retries of every search"
+        );
+        assert_eq!(
+            faulted.total_reports_lost(),
+            faulted.total_reports_exhausted() * 4,
+            "every exhaustion burned the full default retry budget"
+        );
+        // Holding biases and burning retry airtime costs duty.
+        assert!(
+            faulted.mean_duty() <= clean.mean_duty(),
+            "faulted duty {:.3} must not beat clean {:.3}",
+            faulted.mean_duty(),
+            clean.mean_duty()
+        );
+        // The fleet is still served: no panic, finite power every tick.
+        for tick in &faulted.ticks {
+            assert!(tick.served_min_power_dbm.is_finite());
+        }
+    }
+
+    #[test]
+    fn the_all_panels_out_guard_keeps_one_panel_alive() {
+        let base = Fleet::mixed_wifi_ble(4, 11);
+        let array = PanelArray::uniform(base.design.clone(), 2);
+        let plan = FaultPlan::with_rates(5, 1.0, 0.0, 0.0);
+        let mut fleet = DynamicFleet::new(base);
+        let report = sim(SimConfig::default())
+            .with_faults(plan)
+            .run(&mut fleet, &array, 4);
+        for tick in &report.ticks {
+            assert_eq!(tick.outaged_panels, 1, "one of two panels survives");
+            assert!(
+                tick.outcome.assignment.iter().all(|&k| k == 0),
+                "everyone is served by the surviving panel"
+            );
+            assert!(tick.served_min_power_dbm.is_finite());
+        }
+    }
+
+    #[test]
+    fn dead_columns_degrade_but_do_not_kill_service() {
+        use crate::faults::{Axis, CellFault, CellFaultKind};
+        use rfmath::units::Volts;
+        let ticks = 5;
+        let build = || DynamicFleet::roaming_mixed(5, 33, Seconds(ticks as f64));
+        let array = PanelArray::uniform(build().fleet().design.clone(), 2);
+        let mut plan = FaultPlan::none();
+        plan.dead_columns.push(CellFault {
+            panel: 0,
+            axis: Axis::X,
+            kind: CellFaultKind::Stuck(Volts(0.0)),
+        });
+        let faulted = sim(SimConfig::default())
+            .with_faults(plan)
+            .run(&mut build(), &array, ticks);
+        let clean = sim(SimConfig::default()).run(&mut build(), &array, ticks);
+        // The search routes around the stuck rail: service survives …
+        for tick in &faulted.ticks {
+            assert!(tick.served_min_power_dbm.is_finite());
+        }
+        // … but a panel that cannot steer its X axis cannot beat a
+        // healthy one.
+        assert!(
+            faulted.mean_served_min_power_dbm() <= clean.mean_served_min_power_dbm() + 1e-9,
+            "faulted {:.2} dBm vs clean {:.2} dBm",
+            faulted.mean_served_min_power_dbm(),
+            clean.mean_served_min_power_dbm()
         );
     }
 }

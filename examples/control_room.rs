@@ -103,5 +103,12 @@ fn describe(event: &Event) -> String {
                 p.vx.0, p.vy.0
             )
         }
+        Event::ProbeAbandoned(p) => {
+            format!(
+                "probe abandoned at Vx={:.1} Vy={:.1}; retries exhausted",
+                p.vx.0, p.vy.0
+            )
+        }
+        Event::SweepFailed => "sweep failed: too many abandoned probes".to_string(),
     }
 }
