@@ -64,7 +64,8 @@ fn server_8_fleets(c: &mut Criterion) {
         .map(|s| Fleet::mixed_wifi_ble(8, 3000 + s))
         .collect();
     let scheduler = Scheduler::max_min();
-    let server = FleetServer::new(rfmath::par::available_threads().min(8));
+    let workers = rfmath::par::available_threads().min(8);
+    let server = FleetServer::new(workers);
     let mut g = c.benchmark_group("server_8_fleets");
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(8));
@@ -76,6 +77,38 @@ fn server_8_fleets(c: &mut Criterion) {
         b.iter(|| serve_fleets(&server, &scheduler, black_box(&fleets)))
     });
     g.finish();
+
+    // Per-thread scaling report: efficiency is wall-clock speedup over
+    // the serial loop divided by the worker count; queue wait and steal
+    // counts come from the sharded queue's instrumented pass.
+    let time_min = |iters: u32, routine: &mut dyn FnMut()| {
+        let mut best = f64::INFINITY;
+        routine();
+        for _ in 0..iters {
+            let t = std::time::Instant::now();
+            routine();
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+    let serial_ms = time_min(5, &mut || {
+        black_box(fleets.iter().map(|f| scheduler.run(f)).collect::<Vec<_>>());
+    });
+    let concurrent_ms = time_min(5, &mut || {
+        black_box(serve_fleets(&server, &scheduler, &fleets));
+    });
+    let (_, stats) = server.try_serve_with_stats(fleets.iter().collect(), |_, fleet: &Fleet| {
+        scheduler.run(fleet)
+    });
+    let speedup = serial_ms / concurrent_ms.max(1e-12);
+    eprintln!(
+        "server_8_fleets/concurrent: {workers} workers x {} shards, speedup {speedup:.2}x, \
+         efficiency {:.2}, {} steals, mean queue wait {:.4} ms",
+        stats.shards,
+        speedup / workers.max(1) as f64,
+        stats.steals,
+        stats.mean_queue_wait.0 * 1e3,
+    );
 }
 
 criterion_group!(

@@ -1,0 +1,84 @@
+//! PR-8 hot-loop benches under the Criterion harness: the SoA batch
+//! kernel vs the per-cell reference fold on a 24×24 probe grid, and the
+//! warm mobility tick vs its allocation-churn baseline. These are the
+//! two numbers `scripts/bench-criterion` tracks across branches
+//! (save a baseline on `main`, compare on the branch, fail on a >10%
+//! regression) — keep the group/function IDs stable.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use llama_core::fleet::Fleet;
+use llama_core::panels::{PanelArray, PanelScheduler};
+use llama_core::sim::{DynamicFleet, MobilitySim, SimConfig};
+use metasurface::designs::fr4_optimized;
+use metasurface::evaluator::StackEvaluator;
+use metasurface::stack::BiasState;
+use rfmath::units::{Hertz, Seconds};
+use std::time::Duration;
+
+const F: Hertz = Hertz(2.44e9);
+
+/// The 24×24 distinct-bias grid from `perf::run_sharded`, mirroring the
+/// dedup shape of a real probe sweep.
+fn probe_biases() -> Vec<BiasState> {
+    let grid = 24usize;
+    (0..grid * grid)
+        .map(|i| {
+            BiasState::new(
+                30.0 * (i % grid) as f64 / (grid - 1) as f64,
+                30.0 * (i / grid) as f64 / (grid - 1) as f64,
+            )
+        })
+        .collect()
+}
+
+fn probe_grid(c: &mut Criterion) {
+    let design = fr4_optimized();
+    let plan = StackEvaluator::new(&design.stack, F);
+    let biases = probe_biases();
+    let mut g = c.benchmark_group("probe_grid");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(6));
+    g.sample_size(30);
+    g.bench_function("reference", |b| {
+        b.iter(|| plan.eval_batch_reference(black_box(&biases)))
+    });
+    g.bench_function("soa", |b| b.iter(|| plan.eval_batch(black_box(&biases))));
+    g.finish();
+}
+
+fn mobility_tick(c: &mut Criterion) {
+    let (devices, ticks, panels) = (8usize, 10usize, 2usize);
+    let seed = 2021u64;
+    let duration = Seconds(ticks as f64);
+    let sim_design = Fleet::mixed_wifi_ble(1, seed).design.clone();
+    let array = PanelArray::distributed(sim_design, panels);
+    let scheduler = PanelScheduler::max_min();
+    let mut g = c.benchmark_group("mobility_tick");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(8));
+    g.sample_size(10);
+    g.bench_function("churn_baseline", |b| {
+        b.iter(|| {
+            let mut roaming = DynamicFleet::roaming_mixed(devices, seed, duration);
+            MobilitySim::new(
+                scheduler.clone(),
+                SimConfig::default().with_churn_baseline(true),
+            )
+            .run(black_box(&mut roaming), &array, ticks)
+        })
+    });
+    g.bench_function("warm", |b| {
+        b.iter(|| {
+            let mut roaming = DynamicFleet::roaming_mixed(devices, seed, duration);
+            MobilitySim::new(scheduler.clone(), SimConfig::default()).run(
+                black_box(&mut roaming),
+                &array,
+                ticks,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, probe_grid, mobility_tick);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! A counting global allocator for debug-assert builds.
+//!
+//! The PR-8 hot-loop work (arena-rebound [`propagation::link::PreparedLink`]s,
+//! scratch-buffer probes, the SoA batch kernel) is only verifiable if the
+//! repository can *count* allocations: "allocation-free" claimed in a doc
+//! comment regresses silently, a counter asserted in CI does not.
+//!
+//! In builds with `debug_assertions` the [`CountingAllocator`] is installed
+//! as the global allocator: every `alloc`/`alloc_zeroed`/`realloc` bumps a
+//! relaxed atomic before deferring to the system allocator. Release builds
+//! compile the hook out entirely — the system allocator is used directly
+//! and [`enabled`] reports `false`, so perf artifacts stamp
+//! `"allocs_per_tick": null` instead of a number measured with counting
+//! overhead.
+//!
+//! The counter is process-global: a measurement is only meaningful when no
+//! other thread allocates concurrently (run measuring tests with a filter,
+//! as CI does).
+
+// The one crate-sanctioned use of `unsafe`: `GlobalAlloc` is an unsafe
+// trait by definition. Everything else in the workspace stays under
+// `deny(unsafe_code)`.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Heap allocations observed since process start (debug-assert builds
+/// only; stays zero in release).
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// System-allocator wrapper that counts allocation calls.
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(debug_assertions)]
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Whether allocation counting is compiled in (true in debug-assert
+/// builds, false in release).
+pub fn enabled() -> bool {
+    cfg!(debug_assertions)
+}
+
+/// Total allocation calls observed so far (0 when counting is compiled
+/// out).
+pub fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Runs `f` and returns its result plus the number of allocation calls
+/// it made. Only meaningful when [`enabled`] and no other thread
+/// allocates concurrently.
+pub fn allocs_during<O>(f: impl FnOnce() -> O) -> (O, u64) {
+    let before = alloc_count();
+    let out = f();
+    (out, alloc_count() - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_observes_a_heap_allocation() {
+        let (_, n) = allocs_during(|| std::hint::black_box(Vec::<u64>::with_capacity(32)));
+        if enabled() {
+            assert!(n >= 1, "a fresh Vec allocation must be counted");
+        } else {
+            assert_eq!(n, 0);
+        }
+    }
+
+    #[test]
+    fn pure_arithmetic_is_allocation_free() {
+        let (sum, n) = allocs_during(|| (0..1000u64).sum::<u64>());
+        assert_eq!(sum, 499_500);
+        if enabled() {
+            assert_eq!(n, 0);
+        }
+    }
+}

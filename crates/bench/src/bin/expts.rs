@@ -13,6 +13,9 @@
 //! expts --calibrate-fig20 [samples]   # sweep link calibration knobs vs the paper's 10 dB gap
 //! expts --scenario <name> [path]      # simulate a room from the scenario zoo, write JSON
 //! expts --chaos [room] [path]         # sweep fault rates over a room, write the degradation curve
+//! expts --sharded [path] [--quick]    # time the sharded hot loops: SoA grid, arena ticks, scaling (BENCH_PR8)
+//! expts --matrix [base] [--quick] [--fleets a,b] [--devices a,b] [--threads a,b] [--shards a,b]
+//!                                     # run the serving cross product, write <base>.{md,csv,json}
 //! ```
 //!
 //! `--bench-json` writes a timing summary (default
@@ -35,7 +38,9 @@ fn main() -> ExitCode {
              | --fleet [path] [--quick] | --panels [path] [--quick] \
              | --mobility [path] [--quick] | --bench-all [dir] [--quick] \
              | --calibrate-fig20 [samples] | --scenario <name> [path] \
-             | --chaos [room] [path]"
+             | --chaos [room] [path] | --sharded [path] [--quick] \
+             | --matrix [base] [--quick] [--fleets a,b] [--devices a,b] \
+             [--threads a,b] [--shards a,b]"
         );
         eprintln!("experiments: {}", llama_bench::ALL_IDS.join(", "));
         eprintln!("scenarios: {}", llama_core::rooms::SCENARIOS.join(", "));
@@ -117,6 +122,118 @@ fn main() -> ExitCode {
         };
     }
 
+    if args.iter().any(|a| a == "--matrix") {
+        let quick = args.iter().any(|a| a == "--quick");
+        let mut axes = llama_bench::matrix::MatrixAxes::default_axes();
+        let mut base: Option<String> = None;
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].as_str();
+            match arg {
+                "--matrix" | "--quick" => {}
+                "--fleets" | "--devices" | "--threads" | "--shards" => {
+                    i += 1;
+                    let Some(raw) = args.get(i) else {
+                        eprintln!("error: {arg} needs a comma-separated list");
+                        return ExitCode::FAILURE;
+                    };
+                    let list = match llama_bench::matrix::MatrixAxes::parse_list(arg, raw) {
+                        Ok(list) => list,
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    match arg {
+                        "--fleets" => axes.fleets = list,
+                        "--devices" => axes.devices = list,
+                        "--threads" => axes.threads = list,
+                        _ => axes.shards = list,
+                    }
+                }
+                _ if arg.starts_with("--") => {
+                    eprintln!("error: unknown flag {arg} in --matrix mode");
+                    return ExitCode::FAILURE;
+                }
+                _ => {
+                    if base.replace(arg.to_string()).is_some() {
+                        eprintln!("error: --matrix takes at most one output base path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            i += 1;
+        }
+        let base = base.unwrap_or_else(|| "target/matrix".to_string());
+        println!(
+            "serving matrix: {} cells ({} fleets x {} devices x {} threads x {} shards)",
+            axes.cells(),
+            axes.fleets.len(),
+            axes.devices.len(),
+            axes.threads.len(),
+            axes.shards.len()
+        );
+        let report = llama_bench::matrix::MatrixReport::run(axes, quick);
+        print!("{}", report.to_markdown());
+        for (ext, body) in [
+            ("md", report.to_markdown()),
+            ("csv", report.to_csv()),
+            ("json", report.to_json()),
+        ] {
+            let path = format!("{base}.{ext}");
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
+        }
+        return if report.passes() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("error: a matrix cell produced a non-finite wall-clock");
+            ExitCode::FAILURE
+        };
+    }
+
+    if args.iter().any(|a| a == "--sharded") {
+        let quick = args.iter().any(|a| a == "--quick");
+        let extras: Vec<&String> = args
+            .iter()
+            .filter(|a| *a != "--sharded" && *a != "--quick")
+            .collect();
+        if extras.len() > 1 || extras.iter().any(|a| a.starts_with("--")) {
+            eprintln!(
+                "error: --sharded takes at most one output path; got: {}",
+                extras
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            return ExitCode::FAILURE;
+        }
+        let path = extras
+            .first()
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "target/sharded-report.json".to_string());
+        let report = llama_bench::perf::run_sharded(quick);
+        print!("{}", report.summary());
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+        return if report.passes() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "error: SoA grid or arena tick below its speedup floor, churn \
+                 equivalence broken, or thread scaling under the efficiency floor"
+            );
+            ExitCode::FAILURE
+        };
+    }
+
     if args.iter().any(|a| a == "--bench-all") {
         let quick = args.iter().any(|a| a == "--quick");
         let extras: Vec<&String> = args
@@ -157,6 +274,11 @@ fn main() -> ExitCode {
         let mobility = llama_bench::perf::run_mobility(quick);
         print!("{}", mobility.summary());
         if !write("BENCH_PR5.json", mobility.to_json(), mobility.passes()) {
+            return ExitCode::FAILURE;
+        }
+        let sharded = llama_bench::perf::run_sharded(quick);
+        print!("{}", sharded.summary());
+        if !write("BENCH_PR8.json", sharded.to_json(), sharded.passes()) {
             return ExitCode::FAILURE;
         }
         return if all_pass {

@@ -10,8 +10,10 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod alloc_counter;
 pub mod calibrate;
 pub mod chaos;
+pub mod matrix;
 pub mod perf;
 pub mod scenario;
 

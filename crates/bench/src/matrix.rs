@@ -1,0 +1,327 @@
+//! `expts --matrix` — the many-fleet serving matrix.
+//!
+//! Runs the cross product of `--fleets × --devices × --threads ×
+//! --shards` (each a comma-separated list) through the sharded
+//! work-stealing [`FleetServer`], recording wall-clock, throughput,
+//! speedup over a serial baseline, steals and queue wait for every
+//! cell, and renders the same table as markdown, CSV and JSON — one
+//! run, three artifacts, so sweep results can be pasted into a PR
+//! description, loaded into a spreadsheet, or diffed in CI without
+//! re-measuring.
+
+use std::collections::HashMap;
+
+use control::server::FleetServer;
+use llama_core::fleet::{Fleet, Scheduler};
+use llama_core::panels::serve_fleets;
+
+use crate::perf::{allocs_json, machine_json};
+
+/// Base seed for the matrix fleets (offset per fleet index so the jobs
+/// are distinct but reproducible).
+const MATRIX_SEED: u64 = 7000;
+
+/// The four swept axes. Empty lists are rejected at parse time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatrixAxes {
+    /// Concurrent fleets per serve call.
+    pub fleets: Vec<usize>,
+    /// Devices per fleet.
+    pub devices: Vec<usize>,
+    /// Worker threads in the pool.
+    pub threads: Vec<usize>,
+    /// Shard deques jobs are hashed across.
+    pub shards: Vec<usize>,
+}
+
+impl MatrixAxes {
+    /// The default sweep: one fleet-size point, one device point, a
+    /// 1-vs-all-cores thread axis and a 1-vs-4 shard axis — small
+    /// enough to run as a smoke, wide enough to show the scaling shape.
+    pub fn default_axes() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut threads = vec![1, cores];
+        threads.dedup();
+        Self {
+            fleets: vec![8],
+            devices: vec![8],
+            threads,
+            shards: vec![1, 4],
+        }
+    }
+
+    /// Parses one comma-separated axis list (`"1,2,8"`); rejects empty
+    /// lists, zeros and malformed entries.
+    pub fn parse_list(flag: &str, raw: &str) -> Result<Vec<usize>, String> {
+        let mut out = Vec::new();
+        for part in raw.split(',') {
+            match part.trim().parse::<usize>() {
+                Ok(n) if n > 0 => out.push(n),
+                _ => {
+                    return Err(format!(
+                        "{flag} takes a comma-separated list of positive integers; \
+                         got {raw:?}"
+                    ))
+                }
+            }
+        }
+        if out.is_empty() {
+            return Err(format!("{flag} list is empty"));
+        }
+        Ok(out)
+    }
+
+    /// Total cells in the cross product.
+    pub fn cells(&self) -> usize {
+        self.fleets.len() * self.devices.len() * self.threads.len() * self.shards.len()
+    }
+}
+
+/// One measured cell of the cross product.
+#[derive(Clone, Copy, Debug)]
+pub struct MatrixCell {
+    /// Concurrent fleets served.
+    pub fleets: usize,
+    /// Devices per fleet.
+    pub devices: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Shard deques.
+    pub shards: usize,
+    /// Mean wall-clock per serve, ms.
+    pub mean_ms: f64,
+    /// Best-of-N wall-clock per serve, ms.
+    pub min_ms: f64,
+    /// Fleets served per second at the best-of-N time.
+    pub fleets_per_sec: f64,
+    /// Serial / concurrent best-of-N ratio for this (fleets, devices)
+    /// workload.
+    pub speedup_vs_serial: f64,
+    /// Cross-shard steals during the instrumented pass.
+    pub steals: usize,
+    /// Mean stage-to-pop queue wait per job, ms.
+    pub mean_queue_wait_ms: f64,
+}
+
+/// The assembled sweep.
+#[derive(Clone, Debug)]
+pub struct MatrixReport {
+    /// Whether the reduced quick-mode iteration budget was used.
+    pub quick: bool,
+    /// The swept axes.
+    pub axes: MatrixAxes,
+    /// One row per cross-product cell, in axis order.
+    pub cells: Vec<MatrixCell>,
+}
+
+impl MatrixReport {
+    /// Measures every cell of `axes`. Serial baselines are measured
+    /// once per distinct `(fleets, devices)` workload and shared across
+    /// the thread/shard cells.
+    pub fn run(axes: MatrixAxes, quick: bool) -> Self {
+        let iters = if quick { 2 } else { 4 };
+        let scheduler = Scheduler::max_min();
+        let mut serial_mins: HashMap<(usize, usize), f64> = HashMap::new();
+        let mut cells = Vec::with_capacity(axes.cells());
+        for &fleets_n in &axes.fleets {
+            for &devices_n in &axes.devices {
+                let fleets: Vec<Fleet> = (0..fleets_n as u64)
+                    .map(|s| Fleet::mixed_wifi_ble(devices_n, MATRIX_SEED + s))
+                    .collect();
+                let serial_min = *serial_mins.entry((fleets_n, devices_n)).or_insert_with(|| {
+                    time_min_ms(iters, || {
+                        fleets.iter().map(|f| scheduler.run(f)).collect::<Vec<_>>()
+                    })
+                    .1
+                });
+                for &threads in &axes.threads {
+                    for &shards in &axes.shards {
+                        let server = FleetServer::new(threads).with_shards(shards);
+                        let (mean_ms, min_ms) =
+                            time_min_ms(iters, || serve_fleets(&server, &scheduler, &fleets));
+                        let (_, stats) = server
+                            .try_serve_with_stats(fleets.iter().collect(), |_, f: &Fleet| {
+                                scheduler.run(f)
+                            });
+                        cells.push(MatrixCell {
+                            fleets: fleets_n,
+                            devices: devices_n,
+                            threads,
+                            shards,
+                            mean_ms,
+                            min_ms,
+                            fleets_per_sec: fleets_n as f64 / (min_ms / 1e3).max(1e-12),
+                            speedup_vs_serial: serial_min / min_ms.max(1e-12),
+                            steals: stats.steals,
+                            mean_queue_wait_ms: stats.mean_queue_wait.0 * 1e3,
+                        });
+                    }
+                }
+            }
+        }
+        Self { quick, axes, cells }
+    }
+
+    /// True when every cell measured a finite, positive wall-clock.
+    pub fn passes(&self) -> bool {
+        !self.cells.is_empty()
+            && self
+                .cells
+                .iter()
+                .all(|c| c.min_ms.is_finite() && c.min_ms > 0.0)
+    }
+
+    /// The markdown table (also the console summary).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from(
+            "| fleets | devices | threads | shards | mean ms | min ms | fleets/s \
+             | speedup | steals | queue wait ms |\n\
+             |---|---|---|---|---|---|---|---|---|---|\n",
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {:.3} | {:.3} | {:.1} | {:.2} | {} | {:.4} |\n",
+                c.fleets,
+                c.devices,
+                c.threads,
+                c.shards,
+                c.mean_ms,
+                c.min_ms,
+                c.fleets_per_sec,
+                c.speedup_vs_serial,
+                c.steals,
+                c.mean_queue_wait_ms
+            ));
+        }
+        out
+    }
+
+    /// The CSV table (same columns as the markdown).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "fleets,devices,threads,shards,mean_ms,min_ms,fleets_per_sec,\
+             speedup_vs_serial,steals,mean_queue_wait_ms\n",
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{},{},{},{},{:.6},{:.6},{:.3},{:.4},{},{:.6}\n",
+                c.fleets,
+                c.devices,
+                c.threads,
+                c.shards,
+                c.mean_ms,
+                c.min_ms,
+                c.fleets_per_sec,
+                c.speedup_vs_serial,
+                c.steals,
+                c.mean_queue_wait_ms
+            ));
+        }
+        out
+    }
+
+    /// The JSON document (hand-assembled, machine/alloc stamped like
+    /// every bench artifact).
+    pub fn to_json(&self) -> String {
+        let list = |v: &[usize]| {
+            v.iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut out = String::from("{\n");
+        out.push_str("  \"pr\": 8,\n");
+        out.push_str(&machine_json());
+        out.push_str(&allocs_json());
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str(&format!(
+            "  \"axes\": {{\"fleets\": [{}], \"devices\": [{}], \"threads\": [{}], \
+             \"shards\": [{}]}},\n",
+            list(&self.axes.fleets),
+            list(&self.axes.devices),
+            list(&self.axes.threads),
+            list(&self.axes.shards)
+        ));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let comma = if i + 1 < self.cells.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"fleets\": {}, \"devices\": {}, \"threads\": {}, \"shards\": {}, \
+                 \"mean_ms\": {:.6}, \"min_ms\": {:.6}, \"fleets_per_sec\": {:.3}, \
+                 \"speedup_vs_serial\": {:.4}, \"steals\": {}, \
+                 \"mean_queue_wait_ms\": {:.6}}}{comma}\n",
+                c.fleets,
+                c.devices,
+                c.threads,
+                c.shards,
+                c.mean_ms,
+                c.min_ms,
+                c.fleets_per_sec,
+                c.speedup_vs_serial,
+                c.steals,
+                c.mean_queue_wait_ms
+            ));
+        }
+        out.push_str(&format!("  ],\n  \"pass\": {}\n}}\n", self.passes()));
+        out
+    }
+}
+
+/// Local mean/min timer (mirrors the perf harness: one untimed warm-up,
+/// then `iters` timed runs).
+fn time_min_ms<O>(iters: u64, mut routine: impl FnMut() -> O) -> (f64, f64) {
+    std::hint::black_box(routine());
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let started = std::time::Instant::now();
+        std::hint::black_box(routine());
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        total += ms;
+        min = min.min(ms);
+    }
+    (total / iters as f64, min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_list_accepts_commas_and_rejects_junk() {
+        assert_eq!(
+            MatrixAxes::parse_list("--threads", "1,2,8").unwrap(),
+            vec![1, 2, 8]
+        );
+        assert_eq!(MatrixAxes::parse_list("--shards", " 4 ").unwrap(), vec![4]);
+        assert!(MatrixAxes::parse_list("--fleets", "").is_err());
+        assert!(MatrixAxes::parse_list("--fleets", "2,0").is_err());
+        assert!(MatrixAxes::parse_list("--devices", "two").is_err());
+    }
+
+    #[test]
+    fn tiny_matrix_measures_every_cell_in_all_three_formats() {
+        let axes = MatrixAxes {
+            fleets: vec![2],
+            devices: vec![2],
+            threads: vec![1, 2],
+            shards: vec![1, 2],
+        };
+        assert_eq!(axes.cells(), 4);
+        let report = MatrixReport::run(axes, true);
+        assert_eq!(report.cells.len(), 4);
+        assert!(report.passes());
+        let md = report.to_markdown();
+        assert_eq!(md.lines().count(), 2 + 4);
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 4);
+        assert!(csv.starts_with("fleets,devices,threads,shards"));
+        let json = report.to_json();
+        assert!(json.contains("\"axes\""));
+        assert!(json.contains("\"threads\": [1, 2]"));
+        assert!(json.contains("\"allocs_per_tick\""));
+        assert!(json.contains("\"pass\": true"));
+    }
+}

@@ -8,6 +8,7 @@
 //! as a CI smoke: [`PerfReport::passes`] fails loudly when the batched
 //! engine stops beating the naive path by a healthy margin.
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use control::server::FleetServer;
@@ -18,9 +19,13 @@ use llama_core::sim::{DynamicFleet, HandoffPolicy, MobilitySim, SimConfig};
 use llama_core::system::LlamaSystem;
 use metasurface::designs::fr4_optimized;
 use metasurface::evaluator::StackEvaluator;
+use metasurface::response::SurfaceResponse;
 use metasurface::stack::BiasState;
+use propagation::link::PreparedLink;
 use rfmath::units::Hertz;
 use rfmath::units::Seconds;
+
+use crate::alloc_counter;
 
 /// Band-center frequency every workload runs at.
 const F: Hertz = Hertz(2.44e9);
@@ -66,6 +71,70 @@ pub fn faults_json(plan: &llama_core::faults::FaultPlan) -> String {
     )
 }
 
+/// Warm-up ticks before the steady-state allocation count starts, and
+/// measured ticks it averages over.
+const ALLOC_WARMUP_TICKS: usize = 2;
+const ALLOC_MEASURED_TICKS: usize = 8;
+/// Devices the allocation kernel probes per simulated tick.
+const ALLOC_KERNEL_DEVICES: usize = 8;
+
+/// Steady-state heap allocations per simulated tick of the per-device
+/// mobility hot kernel: one scratch-buffer power probe plus a memoized
+/// bias sweep through the compiled plan for each of
+/// [`ALLOC_KERNEL_DEVICES`] devices — the per-tick work PR 8 moved onto
+/// arena rebinds, scratch probes and plan memos. Measured after
+/// [`ALLOC_WARMUP_TICKS`] warm-up ticks (buffers grown, memos
+/// populated), averaged over [`ALLOC_MEASURED_TICKS`] ticks, and cached
+/// for the process. `None` when the counting allocator is compiled out
+/// (release builds — artifacts then stamp `null` instead of a number
+/// measured without counting).
+pub fn allocs_per_tick() -> Option<f64> {
+    static CACHE: OnceLock<Option<f64>> = OnceLock::new();
+    *CACHE.get_or_init(measure_allocs_per_tick)
+}
+
+fn measure_allocs_per_tick() -> Option<f64> {
+    if !alloc_counter::enabled() {
+        return None;
+    }
+    let design = fr4_optimized();
+    let plan = StackEvaluator::new(&design.stack, F);
+    let response = SurfaceResponse::new(F, plan.response(BiasState::new(6.0, 6.0)));
+    let link = PreparedLink::new(Scenario::transmissive_default().link());
+    let mut scratch = Vec::new();
+    let biases: Vec<BiasState> = (0..9)
+        .map(|i| BiasState::new(3.0 * (i % 3) as f64, 3.0 * (i / 3) as f64))
+        .collect();
+    let mut tick = || {
+        for _ in 0..ALLOC_KERNEL_DEVICES {
+            std::hint::black_box(link.received_dbm_scratch(Some(&response), &mut scratch));
+            for &bias in &biases {
+                std::hint::black_box(plan.response(bias));
+            }
+        }
+    };
+    for _ in 0..ALLOC_WARMUP_TICKS {
+        tick();
+    }
+    let (_, allocs) = alloc_counter::allocs_during(|| {
+        for _ in 0..ALLOC_MEASURED_TICKS {
+            tick();
+        }
+    });
+    Some(allocs as f64 / ALLOC_MEASURED_TICKS as f64)
+}
+
+/// The `allocs_per_tick` stamp every bench/scenario artifact carries
+/// next to the machine stamp: the steady-state hot-kernel allocation
+/// count in debug-assert builds, `null` in release builds (where the
+/// counting hook is compiled out).
+pub fn allocs_json() -> String {
+    match allocs_per_tick() {
+        Some(v) => format!("  \"allocs_per_tick\": {v:.2},\n"),
+        None => String::from("  \"allocs_per_tick\": null,\n"),
+    }
+}
+
 /// One timed workload.
 #[derive(Clone, Debug)]
 pub struct BenchSample {
@@ -104,6 +173,7 @@ impl PerfReport {
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 2,\n");
         out.push_str(&machine_json());
+        out.push_str(&allocs_json());
         out.push_str(&faults_json(&llama_core::faults::FaultPlan::none()));
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str("  \"benches\": [\n");
@@ -268,6 +338,7 @@ impl FleetPerfReport {
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 3,\n");
         out.push_str(&machine_json());
+        out.push_str(&allocs_json());
         out.push_str(&faults_json(&llama_core::faults::FaultPlan::none()));
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str(&format!("  \"fleet_devices\": {FLEET_SIZE},\n"));
@@ -406,6 +477,16 @@ pub struct PanelPerfReport {
     /// fleets through the [`FleetServer`] worker pool (informational —
     /// single-core CI runners cannot beat 1×).
     pub server_concurrency_speedup: f64,
+    /// Worker threads the server bench ran with.
+    pub server_workers: usize,
+    /// Per-thread scaling efficiency: concurrency speedup divided by
+    /// the effective parallelism (`min(workers, logical_cores)`), so a
+    /// 2-worker run on a 1-core host reports ~1.0, not ~0.5.
+    pub server_scaling_efficiency: f64,
+    /// Mean stage-to-pop latency per job on the sharded queue, ms.
+    pub server_mean_queue_wait_ms: f64,
+    /// Cross-shard steals during the stats run (load-imbalance signal).
+    pub server_steals: usize,
 }
 
 impl PanelPerfReport {
@@ -421,6 +502,7 @@ impl PanelPerfReport {
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 4,\n");
         out.push_str(&machine_json());
+        out.push_str(&allocs_json());
         out.push_str(&faults_json(&llama_core::faults::FaultPlan::none()));
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str(&format!("  \"panels\": {PANEL_COUNT},\n"));
@@ -447,6 +529,16 @@ impl PanelPerfReport {
             "  \"server_concurrency_speedup\": {:.2},\n",
             self.server_concurrency_speedup
         ));
+        out.push_str(&format!("  \"server_workers\": {},\n", self.server_workers));
+        out.push_str(&format!(
+            "  \"server_scaling_efficiency\": {:.2},\n",
+            self.server_scaling_efficiency
+        ));
+        out.push_str(&format!(
+            "  \"server_mean_queue_wait_ms\": {:.4},\n",
+            self.server_mean_queue_wait_ms
+        ));
+        out.push_str(&format!("  \"server_steals\": {},\n", self.server_steals));
         out.push_str(&format!(
             "  \"speedup_floor\": {PANEL_SPEEDUP_FLOOR:.1},\n  \"pass\": {}\n}}\n",
             self.passes()
@@ -469,9 +561,17 @@ impl PanelPerfReport {
             "panel min-power gain vs shared", self.panel_min_power_gain_db
         ));
         out.push_str(&format!(
-            "{:>38}: {:>10.1} x (pass: {})\n",
+            "{:>38}: {:>10.1} x over {} workers (efficiency {:.2})\n",
             "8-fleet server concurrency",
             self.server_concurrency_speedup,
+            self.server_workers,
+            self.server_scaling_efficiency
+        ));
+        out.push_str(&format!(
+            "{:>38}: {:>10.4} ms ({} steals, pass: {})\n",
+            "mean queue wait",
+            self.server_mean_queue_wait_ms,
+            self.server_steals,
             self.passes()
         ));
         out
@@ -553,7 +653,8 @@ pub fn run_panels(quick: bool) -> PanelPerfReport {
         mean_ms: serial_mean,
         iters: serve_iters,
     });
-    let server = FleetServer::new(rfmath::par::available_threads().min(SERVER_FLEETS));
+    let workers = rfmath::par::available_threads().min(SERVER_FLEETS);
+    let server = FleetServer::new(workers);
     let (served_mean, served_min) =
         time_ms(serve_iters, || serve_fleets(&server, &scheduler, &fleets));
     samples.push(BenchSample {
@@ -561,13 +662,26 @@ pub fn run_panels(quick: bool) -> PanelPerfReport {
         mean_ms: served_mean,
         iters: serve_iters,
     });
+    // One instrumented pass for the queue telemetry (wait time, steals):
+    // the timed loops above stay stats-free so the measurement is pure.
+    let (_, stats) = server.try_serve_with_stats(fleets.iter().collect(), |_, fleet: &Fleet| {
+        scheduler.run(fleet)
+    });
+    let logical_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let speedup = serial_min / served_min.max(1e-12);
 
     PanelPerfReport {
         quick,
         samples,
         panel_grid_speedup: naive_min / batched_min.max(1e-12),
         panel_min_power_gain_db,
-        server_concurrency_speedup: serial_min / served_min.max(1e-12),
+        server_concurrency_speedup: speedup,
+        server_workers: workers,
+        server_scaling_efficiency: speedup / workers.min(logical_cores).max(1) as f64,
+        server_mean_queue_wait_ms: stats.mean_queue_wait.0 * 1e3,
+        server_steals: stats.steals,
     }
 }
 
@@ -663,6 +777,7 @@ impl MobilityPerfReport {
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 5,\n");
         out.push_str(&machine_json());
+        out.push_str(&allocs_json());
         out.push_str(&faults_json(&llama_core::faults::FaultPlan::none()));
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str(&format!("  \"fleet_devices\": {},\n", self.devices));
@@ -860,6 +975,338 @@ pub fn run_mobility(quick: bool) -> MobilityPerfReport {
     }
 }
 
+/// Minimum SoA-vs-reference speedup on the single-thread probe-grid
+/// batch before [`ShardedPerfReport::passes`] fails (the PR-8 bar).
+const SOA_PROBE_GRID_FLOOR: f64 = 1.5;
+
+/// Minimum optimized-vs-churn-baseline speedup on the single-thread
+/// warm mobility tick (arena rebinds + SoA batch vs allocating rebinds
+/// + reference AoS batch).
+const MOBILITY_TICK_FLOOR: f64 = 1.3;
+
+/// Minimum per-thread scaling efficiency at the largest measured worker
+/// count on multi-core hosts (near-linear: ≥ 60% of ideal). Single-core
+/// hosts skip the scaling smoke but stamp the skip into the artifact.
+const SCALING_EFFICIENCY_FLOOR: f64 = 0.6;
+
+/// One point of the fleet-throughput thread-scaling sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadScalingPoint {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Shard deques jobs were hashed across.
+    pub shards: usize,
+    /// Best-of-N wall-clock for the serve, ms.
+    pub min_ms: f64,
+    /// Serial / concurrent best-of-N ratio at this worker count.
+    pub speedup: f64,
+    /// Speedup divided by the effective parallelism
+    /// (`min(workers, logical_cores)`).
+    pub efficiency: f64,
+    /// Cross-shard steals during the instrumented pass.
+    pub steals: usize,
+    /// Mean stage-to-pop queue wait per job, ms.
+    pub mean_queue_wait_ms: f64,
+}
+
+/// Timing summary of the PR-8 sharded serving stack
+/// (`BENCH_PR8.json`): SoA batch kernel vs the reference AoS path,
+/// allocation-free warm ticks vs the churn baseline, and fleet
+/// throughput across worker/shard counts.
+#[derive(Clone, Debug)]
+pub struct ShardedPerfReport {
+    /// Whether the run used the reduced quick-mode sample budget.
+    pub quick: bool,
+    /// Logical cores the host exposed (scaling context).
+    pub logical_cores: usize,
+    /// Individual workload timings.
+    pub samples: Vec<BenchSample>,
+    /// Reference / SoA best-of-N time ratio on the probe-grid batch
+    /// (identical inputs, bit-identical outputs).
+    pub probe_grid_speedup: f64,
+    /// Churn-baseline / optimized best-of-N wall-clock ratio on the
+    /// warm mobility run (per-tick controller cost).
+    pub mobility_tick_speedup: f64,
+    /// Whether the optimized and churn-baseline runs produced
+    /// bit-identical allocations on every tick (they must: the fast
+    /// paths are value-preserving).
+    pub churn_bit_identical: bool,
+    /// Whether the thread-scaling smoke was skipped (single-core host:
+    /// a worker pool cannot beat serial with one core).
+    pub thread_scaling_skipped: bool,
+    /// Fleet-throughput scaling across worker counts (empty when
+    /// skipped).
+    pub thread_scaling: Vec<ThreadScalingPoint>,
+    /// Steady-state hot-kernel allocations per tick (debug-assert
+    /// builds; `None` in release).
+    pub allocs_per_tick: Option<f64>,
+}
+
+impl ShardedPerfReport {
+    /// True when the SoA kernel and the de-churned tick clear their
+    /// floors, the A/B runs stayed bit-identical, and (on multi-core
+    /// hosts) fleet throughput scaled near-linearly.
+    pub fn passes(&self) -> bool {
+        let scaling_ok = self.thread_scaling_skipped
+            || self
+                .thread_scaling
+                .last()
+                .is_some_and(|p| p.efficiency >= SCALING_EFFICIENCY_FLOOR);
+        self.probe_grid_speedup >= SOA_PROBE_GRID_FLOOR
+            && self.mobility_tick_speedup >= MOBILITY_TICK_FLOOR
+            && self.churn_bit_identical
+            && scaling_ok
+    }
+
+    /// Renders the report as a JSON document (hand-assembled; no
+    /// external dependencies).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"pr\": 8,\n");
+        out.push_str(&machine_json());
+        out.push_str(&allocs_json());
+        out.push_str(&faults_json(&llama_core::faults::FaultPlan::none()));
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str("  \"benches\": [\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            let comma = if i + 1 < self.samples.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"mean_ms\": {:.6}, \"iters\": {}}}{comma}\n",
+                s.name, s.mean_ms, s.iters
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"probe_grid_speedup\": {:.2},\n",
+            self.probe_grid_speedup
+        ));
+        out.push_str(&format!(
+            "  \"mobility_tick_speedup\": {:.2},\n",
+            self.mobility_tick_speedup
+        ));
+        out.push_str(&format!(
+            "  \"churn_bit_identical\": {},\n",
+            self.churn_bit_identical
+        ));
+        out.push_str(&format!(
+            "  \"thread_scaling_skipped\": {},\n",
+            self.thread_scaling_skipped
+        ));
+        out.push_str("  \"thread_scaling\": [\n");
+        for (i, p) in self.thread_scaling.iter().enumerate() {
+            let comma = if i + 1 < self.thread_scaling.len() {
+                ","
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "    {{\"workers\": {}, \"shards\": {}, \"min_ms\": {:.4}, \
+                 \"speedup\": {:.2}, \"efficiency\": {:.2}, \"steals\": {}, \
+                 \"mean_queue_wait_ms\": {:.4}}}{comma}\n",
+                p.workers,
+                p.shards,
+                p.min_ms,
+                p.speedup,
+                p.efficiency,
+                p.steals,
+                p.mean_queue_wait_ms
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"probe_grid_floor\": {SOA_PROBE_GRID_FLOOR:.1},\n\
+             \x20 \"mobility_tick_floor\": {MOBILITY_TICK_FLOOR:.1},\n\
+             \x20 \"scaling_efficiency_floor\": {SCALING_EFFICIENCY_FLOOR:.1},\n\
+             \x20 \"pass\": {}\n}}\n",
+            self.passes()
+        ));
+        out
+    }
+
+    /// Console summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::from("== Sharded serving / hot-loop perf summary\n");
+        for s in &self.samples {
+            out.push_str(&format!("{:>38}: {:>10.3} ms/iter\n", s.name, s.mean_ms));
+        }
+        out.push_str(&format!(
+            "{:>38}: {:>10.1} x (floor {SOA_PROBE_GRID_FLOOR:.1})\n",
+            "SoA probe-grid speedup", self.probe_grid_speedup
+        ));
+        out.push_str(&format!(
+            "{:>38}: {:>10.1} x (floor {MOBILITY_TICK_FLOOR:.1}, bit-identical: {})\n",
+            "mobility-tick de-churn speedup", self.mobility_tick_speedup, self.churn_bit_identical
+        ));
+        if self.thread_scaling_skipped {
+            out.push_str(&format!(
+                "{:>38}: skipped ({} logical core)\n",
+                "thread scaling", self.logical_cores
+            ));
+        } else {
+            for p in &self.thread_scaling {
+                out.push_str(&format!(
+                    "{:>38}: {:>10.1} x (efficiency {:.2}, {} steals, wait {:.4} ms)\n",
+                    format!("{} workers / {} shards", p.workers, p.shards),
+                    p.speedup,
+                    p.efficiency,
+                    p.steals,
+                    p.mean_queue_wait_ms
+                ));
+            }
+        }
+        match self.allocs_per_tick {
+            Some(v) => out.push_str(&format!("{:>38}: {:>10.2}\n", "allocs per tick", v)),
+            None => out.push_str(&format!(
+                "{:>38}: {:>10}\n",
+                "allocs per tick", "n/a (release)"
+            )),
+        }
+        out.push_str(&format!("{:>38}: {}\n", "pass", self.passes()));
+        out
+    }
+}
+
+/// Times the PR-8 fast paths against their honest baselines, all on
+/// identical inputs:
+///
+/// * **probe grid** — [`StackEvaluator::eval_batch`] (the SoA slab
+///   kernel) vs [`StackEvaluator::eval_batch_reference`] (the per-cell
+///   AoS fold) on one compiled plan and a large distinct-bias batch;
+/// * **mobility tick** — the warm engine with arena rebinds + SoA
+///   batches vs the same engine under
+///   [`SimConfig::with_churn_baseline`] (allocating rebinds, reference
+///   batch kernel), same seed, bit-identical outcomes;
+/// * **thread scaling** — [`serve_fleets`] throughput across worker
+///   counts on the sharded work-stealing queue, with an instrumented
+///   pass recording steals and queue wait (skipped-but-stamped on
+///   single-core hosts).
+pub fn run_sharded(quick: bool) -> ShardedPerfReport {
+    let mut samples = Vec::new();
+    let logical_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // SoA vs reference batch on one compiled plan. The 24×24 distinct
+    // grid mirrors the dedup shape of a real probe sweep; both paths
+    // share the per-axis memos, so the comparison isolates the kernel.
+    let design = fr4_optimized();
+    let plan = StackEvaluator::new(&design.stack, F);
+    let grid = 24usize;
+    let biases: Vec<BiasState> = (0..grid * grid)
+        .map(|i| {
+            BiasState::new(
+                30.0 * (i % grid) as f64 / (grid - 1) as f64,
+                30.0 * (i / grid) as f64 / (grid - 1) as f64,
+            )
+        })
+        .collect();
+    let batch_iters = if quick { 20 } else { 60 };
+    let (ref_mean, ref_min) = time_ms(batch_iters, || plan.eval_batch_reference(&biases));
+    samples.push(BenchSample {
+        name: "probe_grid_576_batch_reference",
+        mean_ms: ref_mean,
+        iters: batch_iters,
+    });
+    let (soa_mean, soa_min) = time_ms(batch_iters, || plan.eval_batch(&biases));
+    samples.push(BenchSample {
+        name: "probe_grid_576_batch_soa",
+        mean_ms: soa_mean,
+        iters: batch_iters,
+    });
+
+    // Warm mobility: optimized hot loops vs the churn baseline, same
+    // seeded trajectory, outcomes compared bit for bit.
+    let (devices, ticks, panels) = if quick { (12, 16, 3) } else { (24, 32, 3) };
+    let seed = 2021u64;
+    let duration = Seconds(ticks as f64);
+    let sim_design = Fleet::mixed_wifi_ble(1, seed).design.clone();
+    let array = PanelArray::distributed(sim_design, panels);
+    let scheduler = PanelScheduler::max_min();
+    // Best-of-N wall clock per arm (the runs are deterministic apart
+    // from timing, so the min is the honest noise-free comparison —
+    // a single quick run is only ~2 ms and flakes on loaded hosts).
+    let sim_reps = if quick { 5 } else { 3 };
+    let run_arm = |churn_baseline: bool| {
+        let mut best: Option<llama_core::sim::SimReport> = None;
+        for _ in 0..sim_reps {
+            let mut roaming = DynamicFleet::roaming_mixed(devices, seed, duration);
+            let report = MobilitySim::new(
+                scheduler.clone(),
+                SimConfig::default().with_churn_baseline(churn_baseline),
+            )
+            .run(&mut roaming, &array, ticks);
+            best = Some(match best {
+                Some(prev) if prev.wall_ms <= report.wall_ms => prev,
+                _ => report,
+            });
+        }
+        best.expect("at least one rep")
+    };
+    let churn = run_arm(true);
+    let optimized = run_arm(false);
+    let churn_bit_identical = churn
+        .ticks
+        .iter()
+        .zip(&optimized.ticks)
+        .all(|(a, b)| a.outcome.same_allocation(&b.outcome));
+    samples.push(BenchSample {
+        name: "mobility_tick_churn_baseline",
+        mean_ms: churn.wall_ms / ticks as f64,
+        iters: ticks as u64,
+    });
+    samples.push(BenchSample {
+        name: "mobility_tick_optimized",
+        mean_ms: optimized.wall_ms / ticks as f64,
+        iters: ticks as u64,
+    });
+
+    // Fleet-throughput thread scaling over the sharded queue.
+    let thread_scaling_skipped = logical_cores <= 1;
+    let mut thread_scaling = Vec::new();
+    if !thread_scaling_skipped {
+        let fleets: Vec<Fleet> = (0..SERVER_FLEETS as u64)
+            .map(|s| Fleet::mixed_wifi_ble(8, 3000 + s))
+            .collect();
+        let sched = Scheduler::max_min();
+        let serve_iters = if quick { 3 } else { 6 };
+        let (_, serial_min) = time_ms(serve_iters, || {
+            fleets.iter().map(|f| sched.run(f)).collect::<Vec<_>>()
+        });
+        let mut worker_counts = vec![1usize, 2];
+        worker_counts.push(logical_cores.min(SERVER_FLEETS));
+        worker_counts.sort_unstable();
+        worker_counts.dedup();
+        for &workers in &worker_counts {
+            let server = FleetServer::new(workers);
+            let (_, min_ms) = time_ms(serve_iters, || serve_fleets(&server, &sched, &fleets));
+            let (_, stats) = server
+                .try_serve_with_stats(fleets.iter().collect(), |_, fleet: &Fleet| sched.run(fleet));
+            let speedup = serial_min / min_ms.max(1e-12);
+            thread_scaling.push(ThreadScalingPoint {
+                workers,
+                shards: server.shards,
+                min_ms,
+                speedup,
+                efficiency: speedup / workers.min(logical_cores).max(1) as f64,
+                steals: stats.steals,
+                mean_queue_wait_ms: stats.mean_queue_wait.0 * 1e3,
+            });
+        }
+    }
+
+    ShardedPerfReport {
+        quick,
+        logical_cores,
+        samples,
+        probe_grid_speedup: ref_min / soa_min.max(1e-12),
+        mobility_tick_speedup: churn.wall_ms / optimized.wall_ms.max(1e-9),
+        churn_bit_identical,
+        thread_scaling_skipped,
+        thread_scaling,
+        allocs_per_tick: allocs_per_tick(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -876,13 +1323,22 @@ mod tests {
             panel_grid_speedup: 3.0,
             panel_min_power_gain_db: 2.5,
             server_concurrency_speedup: 1.8,
+            server_workers: 2,
+            server_scaling_efficiency: 0.9,
+            server_mean_queue_wait_ms: 0.05,
+            server_steals: 1,
         };
         let json = report.to_json();
         assert!(json.contains("\"pr\": 4"));
-        // Every artifact records the machine it was measured on.
+        // Every artifact records the machine it was measured on, and
+        // the steady-state allocation stamp sits right next to it.
         assert!(json.contains("\"machine\""));
         assert!(json.contains("\"logical_cores\""));
         assert!(json.contains("\"threads_used\""));
+        assert!(json.contains("\"allocs_per_tick\""));
+        assert!(json.contains("\"server_scaling_efficiency\": 0.90"));
+        assert!(json.contains("\"server_mean_queue_wait_ms\": 0.0500"));
+        assert!(json.contains("\"server_steals\": 1"));
         assert!(json.contains("\"panel_grid_speedup\": 3.00"));
         assert!(json.contains("\"panel_min_power_gain_db\": 2.500"));
         assert!(json.contains("\"pass\": true"));
@@ -989,6 +1445,91 @@ mod tests {
             ..report
         };
         assert!(!failing.passes());
+    }
+
+    #[test]
+    fn sharded_report_serializes_and_gates_on_every_axis() {
+        let report = ShardedPerfReport {
+            quick: true,
+            logical_cores: 4,
+            samples: vec![BenchSample {
+                name: "s",
+                mean_ms: 1.0,
+                iters: 2,
+            }],
+            probe_grid_speedup: 2.1,
+            mobility_tick_speedup: 1.6,
+            churn_bit_identical: true,
+            thread_scaling_skipped: false,
+            thread_scaling: vec![ThreadScalingPoint {
+                workers: 4,
+                shards: 4,
+                min_ms: 2.0,
+                speedup: 3.2,
+                efficiency: 0.8,
+                steals: 2,
+                mean_queue_wait_ms: 0.01,
+            }],
+            allocs_per_tick: Some(0.0),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"pr\": 8"));
+        assert!(json.contains("\"probe_grid_speedup\": 2.10"));
+        assert!(json.contains("\"mobility_tick_speedup\": 1.60"));
+        assert!(json.contains("\"thread_scaling_skipped\": false"));
+        assert!(json.contains("\"workers\": 4"));
+        assert!(json.contains("\"pass\": true"));
+        assert!(report.passes());
+        // Each gate fails the smoke on its own.
+        let slow_soa = ShardedPerfReport {
+            probe_grid_speedup: 1.2,
+            ..report.clone()
+        };
+        assert!(!slow_soa.passes());
+        let slow_tick = ShardedPerfReport {
+            mobility_tick_speedup: 1.1,
+            ..report.clone()
+        };
+        assert!(!slow_tick.passes());
+        let drifted = ShardedPerfReport {
+            churn_bit_identical: false,
+            ..report.clone()
+        };
+        assert!(!drifted.passes());
+        let sublinear = ShardedPerfReport {
+            thread_scaling: vec![ThreadScalingPoint {
+                efficiency: 0.3,
+                ..report.thread_scaling[0]
+            }],
+            ..report.clone()
+        };
+        assert!(!sublinear.passes());
+        // A single-core host skips the scaling gate but stamps the skip.
+        let single_core = ShardedPerfReport {
+            thread_scaling_skipped: true,
+            thread_scaling: Vec::new(),
+            ..report
+        };
+        assert!(single_core.passes());
+        assert!(single_core
+            .to_json()
+            .contains("\"thread_scaling_skipped\": true"));
+    }
+
+    /// The CI zero-alloc assertion: after warm-up, the per-tick hot
+    /// kernel (scratch probes + memoized plan sweeps) must not touch
+    /// the heap at all in debug-assert builds. Run filtered
+    /// (`cargo test -p llama-bench steady_state`) so no sibling test
+    /// allocates concurrently against the process-global counter.
+    #[test]
+    fn steady_state_tick_is_allocation_free() {
+        match allocs_per_tick() {
+            Some(allocs) => assert_eq!(
+                allocs, 0.0,
+                "steady-state mobility tick kernel allocated {allocs} times per tick"
+            ),
+            None => assert!(!alloc_counter::enabled()),
+        }
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Property tests for the sharded work-stealing [`FleetServer`]: for
+//! any job list, worker count and shard count, the results must be
+//! *bit-identical* to a serial in-order run of the same handler — the
+//! sharded queue and steal traffic may reorder execution, but never the
+//! output — and the run telemetry must stay self-consistent.
+
+use control::server::{FleetServer, JobError};
+use proptest::prelude::*;
+
+/// A float-heavy pure handler: transcendental enough that any change in
+/// evaluation order or double rounding shows up in the result bits.
+fn churn(idx: usize, x: f64) -> f64 {
+    let mut acc = x;
+    for k in 0..8 {
+        acc = (acc + idx as f64 * 0.37).sin() * 1.618 + (acc * 0.25 + k as f64).cos();
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sharded execution is bit-identical to the serial loop for shard
+    /// counts {1, 2, 7, N} at every worker count.
+    #[test]
+    fn sharded_matches_serial_bitwise(
+        jobs in prop::collection::vec(-100.0f64..100.0, 0..48),
+        workers in 1usize..5,
+    ) {
+        let serial: Vec<u64> = jobs
+            .iter()
+            .enumerate()
+            .map(|(idx, &x)| churn(idx, x).to_bits())
+            .collect();
+        let n = jobs.len();
+        for shards in [1usize, 2, 7, n.max(1)] {
+            let server = FleetServer::new(workers).with_shards(shards);
+            let (results, stats) =
+                server.try_serve_with_stats(jobs.clone(), churn);
+            prop_assert_eq!(results.len(), n);
+            for (idx, result) in results.iter().enumerate() {
+                match result {
+                    Ok(value) => prop_assert!(
+                        value.to_bits() == serial[idx],
+                        "job {} diverged under {} shards / {} workers",
+                        idx,
+                        shards,
+                        workers
+                    ),
+                    Err(err) => prop_assert!(false, "job {} failed: {}", idx, err),
+                }
+            }
+            prop_assert_eq!(stats.completed, n);
+            prop_assert_eq!(stats.failed, 0);
+            prop_assert_eq!(stats.shards, shards);
+            prop_assert!(stats.mean_queue_wait.0 >= 0.0);
+            prop_assert!(stats.workers_used <= workers);
+            if n > 0 {
+                prop_assert!(stats.workers_used >= 1);
+            }
+        }
+    }
+
+    /// A panicking job fails alone: every sibling still returns its
+    /// serial-identical result, in submission order.
+    #[test]
+    fn poisoned_job_cannot_strand_siblings(
+        jobs in prop::collection::vec(-50.0f64..50.0, 1..24),
+        poison in 0usize..24,
+        workers in 1usize..4,
+        shards in 1usize..8,
+    ) {
+        let poison = poison % jobs.len();
+        let server = FleetServer::new(workers).with_shards(shards);
+        let (results, stats) = server.try_serve_with_stats(jobs.clone(), |idx, x| {
+            assert!(idx != poison, "poisoned fleet");
+            churn(idx, x)
+        });
+        for (idx, result) in results.iter().enumerate() {
+            if idx == poison {
+                prop_assert!(matches!(result, Err(JobError::Panicked(_))));
+            } else {
+                let expect = churn(idx, jobs[idx]).to_bits();
+                match result {
+                    Ok(value) => prop_assert_eq!(value.to_bits(), expect),
+                    Err(err) => prop_assert!(false, "job {} failed: {}", idx, err),
+                }
+            }
+        }
+        prop_assert_eq!(stats.failed, 1);
+        prop_assert_eq!(stats.completed, jobs.len());
+    }
+}

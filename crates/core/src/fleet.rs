@@ -257,6 +257,10 @@ pub struct FleetEvaluator {
     /// every probe: the search still commands any bias, but the physics
     /// answers as the broken panel would. `None` = healthy.
     fault: Option<crate::faults::BiasFault>,
+    /// Bench-only A/B switch: force the per-cell reference batch path
+    /// ([`StackEvaluator::eval_batch_reference`]) instead of the
+    /// structure-of-arrays fast path. Never set in production.
+    reference_batch: bool,
 }
 
 impl FleetEvaluator {
@@ -295,7 +299,17 @@ impl FleetEvaluator {
             plan_of,
             v_max: SUPPLY_CEILING,
             fault: None,
+            reference_batch: false,
         }
+    }
+
+    /// Bench-only A/B switch: `true` forces every probe batch through
+    /// the per-cell reference path
+    /// ([`StackEvaluator::eval_batch_reference`]) so perf gates can
+    /// measure the structure-of-arrays win in-repo. Results agree to
+    /// well below `1e-12` either way.
+    pub fn set_reference_batch(&mut self, on: bool) {
+        self.reference_batch = on;
     }
 
     /// Installs (or clears) a stuck/clamped unit-cell column defect.
@@ -344,7 +358,7 @@ impl FleetEvaluator {
         );
         let link = device.scenario.link();
         let cheap = self.links[idx].static_paths_reusable(&link);
-        self.links[idx] = self.links[idx].rebind(link);
+        self.links[idx].rebind_in_place(link);
         cheap
     }
 
@@ -363,10 +377,23 @@ impl FleetEvaluator {
             .iter()
             .map(|p| SurfaceResponse::new(p.frequency(), p.response(bias)))
             .collect();
+        if self.reference_batch {
+            // Baseline arm: the pre-optimization allocating probe.
+            return self
+                .links
+                .iter()
+                .zip(&self.plan_of)
+                .map(|(link, &k)| link.received_dbm_with(Some(&responses[k])).0)
+                .collect();
+        }
+        let mut scratch = Vec::new();
         self.links
             .iter()
             .zip(&self.plan_of)
-            .map(|(link, &k)| link.received_dbm_with(Some(&responses[k])).0)
+            .map(|(link, &k)| {
+                link.received_dbm_scratch(Some(&responses[k]), &mut scratch)
+                    .0
+            })
             .collect()
     }
 
@@ -384,7 +411,12 @@ impl FleetEvaluator {
             .plans
             .iter()
             .map(|p| {
-                p.eval_batch(&clamped)
+                let batch = if self.reference_batch {
+                    p.eval_batch_reference(&clamped)
+                } else {
+                    p.eval_batch(&clamped)
+                };
+                batch
                     .into_iter()
                     .map(|r| SurfaceResponse::new(p.frequency(), r))
                     .collect()
@@ -396,13 +428,6 @@ impl FleetEvaluator {
         let links = &self.links;
         let plan_of = &self.plan_of;
         let responses = &responses;
-        let row = move |b: usize| -> Vec<f64> {
-            links
-                .iter()
-                .zip(plan_of)
-                .map(|(link, &k)| link.received_dbm_with(Some(&responses[k][b])).0)
-                .collect()
-        };
 
         let n = clamped.len();
         let threads = if n * self.links.len() < 64 {
@@ -411,7 +436,35 @@ impl FleetEvaluator {
             rfmath::par::available_threads()
         };
         let mut out: Vec<Vec<f64>> = vec![Vec::new(); n];
-        rfmath::par::par_fill(&mut out, threads, row);
+        if self.reference_batch {
+            // Baseline arm: per-bias closure with the allocating probe,
+            // exactly the pre-optimization fan-out.
+            let row = move |b: usize| -> Vec<f64> {
+                links
+                    .iter()
+                    .zip(plan_of)
+                    .map(|(link, &k)| link.received_dbm_with(Some(&responses[k][b])).0)
+                    .collect()
+            };
+            rfmath::par::par_fill(&mut out, threads, row);
+            return out;
+        }
+        // Chunked fan-out so each worker keeps one path scratch buffer
+        // across its whole range of biases: zero per-probe allocation.
+        rfmath::par::par_fill_chunked(&mut out, threads, |offset, chunk| {
+            let mut scratch = Vec::new();
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                let b = offset + j;
+                let mut row = Vec::with_capacity(links.len());
+                for (link, &k) in links.iter().zip(plan_of) {
+                    row.push(
+                        link.received_dbm_scratch(Some(&responses[k][b]), &mut scratch)
+                            .0,
+                    );
+                }
+                *slot = row;
+            }
+        });
         out
     }
 

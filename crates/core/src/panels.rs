@@ -26,8 +26,8 @@
 //!   panel compiles once, not K times;
 //! * [`serve_fleets`] / [`serve_panel_fleets`] — the typed front of
 //!   [`control::server::FleetServer`]: many fleets multiplexed over the
-//!   bounded queue and scoped worker pool, each outcome bit-identical to
-//!   serial execution.
+//!   sharded work-stealing queue and scoped worker pool, each outcome
+//!   bit-identical to serial execution.
 //!
 //! With K = 1 the panel scheduler *is* the shared-bias scheduler (the
 //! proptests pin exact equality); with K panels each compromise spans
@@ -604,13 +604,28 @@ impl PanelScheduler {
         // One cache set serves both assignment (reference responses) and
         // per-panel evaluation — each design × carrier compiles once per
         // run.
-        let caches = array.plan_caches();
-        let assignment = array.assign_with_caches(fleet, &self.assignment, &caches);
+        self.run_with_caches(fleet, array, &array.plan_caches())
+    }
+
+    /// [`PanelScheduler::run`] drawing compiled plans from caller-owned
+    /// caches — the sharded serving path: a worker thread serving many
+    /// `(fleet, array)` jobs passes shard-local [`PlanCache`] handles
+    /// (see [`SharedPlanCache::handle`](metasurface::SharedPlanCache))
+    /// so every job reuses process-wide compilations instead of
+    /// recompiling per job. The caches **must** cover every design in
+    /// `array` (keyed by design name).
+    pub fn run_with_caches(
+        &self,
+        fleet: &Fleet,
+        array: &PanelArray,
+        caches: &[(&'static str, PlanCache)],
+    ) -> PanelOutcome {
+        let assignment = array.assign_with_caches(fleet, &self.assignment, caches);
         self.run_assigned(
             fleet,
             array,
             assignment,
-            &caches,
+            caches,
             |_, scheduler, sub, eval| scheduler.run_with_evaluator(sub, eval),
         )
     }
@@ -725,9 +740,9 @@ impl PanelScheduler {
 }
 
 /// Serves many independent fleets concurrently through a
-/// [`FleetServer`]: each fleet is one job on the bounded queue, each
-/// worker runs the full shared-bias scheduler, and the results come
-/// back in submission order — bit-identical to calling
+/// [`FleetServer`]: each fleet is one job on the sharded work-stealing
+/// queue, each worker runs the full shared-bias scheduler, and the
+/// results come back in submission order — bit-identical to calling
 /// [`Scheduler::run`] serially (workers share nothing).
 pub fn serve_fleets(
     server: &FleetServer,
@@ -741,14 +756,45 @@ pub fn serve_fleets(
 
 /// [`serve_fleets`] for panel deployments: every job is a fleet with its
 /// own panel array, scheduled by one shared [`PanelScheduler`].
+///
+/// Compiled cascade plans are shared across jobs through one
+/// [`SharedPlanCache`](metasurface::SharedPlanCache) per distinct design:
+/// each worker wraps the shared store in its own shard-local
+/// [`PlanCache`] handles, so K panels × N fleets compile each
+/// `(design, carrier)` plan once process-wide and never contend on a
+/// cache lock during probing.
 pub fn serve_panel_fleets(
     server: &FleetServer,
     scheduler: &PanelScheduler,
     jobs: &[(Fleet, PanelArray)],
 ) -> Vec<PanelOutcome> {
+    // One shared store per distinct design across every job's array.
+    let mut shared: Vec<(&'static str, std::sync::Arc<metasurface::SharedPlanCache>)> = Vec::new();
+    for (_, array) in jobs {
+        for panel in array.panels() {
+            if !shared.iter().any(|(name, _)| *name == panel.design.name) {
+                shared.push((
+                    panel.design.name,
+                    std::sync::Arc::new(metasurface::SharedPlanCache::new(&panel.design.stack)),
+                ));
+            }
+        }
+    }
     server.serve(
         jobs.iter().collect(),
-        |_, (fleet, array): &(Fleet, PanelArray)| scheduler.run(fleet, array),
+        move |_, (fleet, array): &(Fleet, PanelArray)| {
+            let mut caches: Vec<(&'static str, PlanCache)> = Vec::new();
+            for panel in array.panels() {
+                if !caches.iter().any(|(name, _)| *name == panel.design.name) {
+                    let (name, store) = shared
+                        .iter()
+                        .find(|(name, _)| *name == panel.design.name)
+                        .expect("every job design has a shared store");
+                    caches.push((name, store.handle()));
+                }
+            }
+            scheduler.run_with_caches(fleet, array, &caches)
+        },
     )
 }
 

@@ -104,6 +104,14 @@ pub struct SimConfig {
     /// from scratch every tick, which is exactly the flapping behavior
     /// hysteresis exists to prevent).
     pub handoff: HandoffPolicy,
+    /// Allocation-churn baseline for A/B benchmarking: when set, the
+    /// warm engine rebinds reference links through the allocating
+    /// [`PreparedLink::rebind`] path and forces every panel evaluator
+    /// onto the reference (AoS) batch kernel instead of the SoA fast
+    /// path. Results are bit-identical either way — only the
+    /// steady-state allocation and vectorization behavior differs —
+    /// which is exactly what makes it an honest baseline.
+    pub churn_baseline: bool,
 }
 
 impl Default for SimConfig {
@@ -112,6 +120,7 @@ impl Default for SimConfig {
             tick: Seconds(1.0),
             warm: Some(WarmConfig::paper_default()),
             handoff: HandoffPolicy::default(),
+            churn_baseline: false,
         }
     }
 }
@@ -134,6 +143,14 @@ impl SimConfig {
     /// Sets the handoff policy.
     pub fn with_handoff(mut self, handoff: HandoffPolicy) -> Self {
         self.handoff = handoff;
+        self
+    }
+
+    /// Selects the allocation-churn baseline (see
+    /// [`SimConfig::churn_baseline`]). Benchmarks use this to measure
+    /// what the arena rebinds and the SoA batch kernel actually buy.
+    pub fn with_churn_baseline(mut self, on: bool) -> Self {
+        self.churn_baseline = on;
         self
     }
 }
@@ -520,6 +537,13 @@ impl MobilitySim {
         let mut handoffs_total = 0usize;
         let mut wall_total = 0.0f64;
         let faults_active = !self.faults.is_empty();
+        // Steady-state scratch reused across ticks — the tick loop
+        // allocates only for the outcome it returns.
+        let mut outaged = vec![false; array.len()];
+        let mut is_dirty = vec![false; fleet.len()];
+        let mut kinds: Vec<SearchKind> = Vec::with_capacity(array.len());
+        let mut airtimes: Vec<f64> = Vec::with_capacity(array.len());
+        let mut probe_scratch: Vec<propagation::rays::Path> = Vec::new();
         for i in 0..ticks {
             let started = Instant::now();
             let t = Seconds(i as f64 * self.config.tick.0);
@@ -531,7 +555,7 @@ impl MobilitySim {
             // surviving panel serves nobody at all, so when the plan
             // would take out every panel the lowest-indexed one is kept
             // alive: the fleet degrades instead of vanishing.
-            let mut outaged = vec![false; array.len()];
+            outaged.fill(false);
             if faults_active {
                 for (k, out) in outaged.iter_mut().enumerate() {
                     *out = self.faults.panel_out(k, i, t);
@@ -606,6 +630,7 @@ impl MobilitySim {
                     &mut states,
                     &(0..array.len()).collect::<Vec<_>>(),
                     &self.faults,
+                    self.config.churn_baseline,
                 );
             } else {
                 // Refresh the per-device reference links for the dirty
@@ -616,7 +641,13 @@ impl MobilitySim {
                     for (k, panel) in array.panels().iter().enumerate() {
                         let mut link = device.scenario.link();
                         link.deployment = panel.deployment_for(device.scenario.deployment);
-                        ref_links[d][k] = ref_links[d][k].rebind(link);
+                        if self.config.churn_baseline {
+                            ref_links[d][k] = ref_links[d][k].rebind(link);
+                        } else {
+                            // Arena path: the prepared slot is reused in
+                            // place — a reusable move touches zero heap.
+                            ref_links[d][k].rebind_in_place(link);
+                        }
                     }
                 }
             }
@@ -657,6 +688,7 @@ impl MobilitySim {
                         &mut states,
                         &changed,
                         &self.faults,
+                        self.config.churn_baseline,
                     );
                 }
             }
@@ -671,7 +703,7 @@ impl MobilitySim {
             // dwell streaks: "dwell" counts consecutive *moving* ticks.
             let mut handoffs = 0usize;
             if i > 0 && array.len() >= 2 && !fleet.is_empty() {
-                let mut is_dirty = vec![false; fleet.len()];
+                is_dirty.fill(false);
                 for &d in &moved {
                     is_dirty[d] = true;
                 }
@@ -682,13 +714,23 @@ impl MobilitySim {
                         continue;
                     }
                     let bits = fleet.fleet().devices()[d].scenario.frequency.0.to_bits();
-                    let power_on = |k: usize| {
+                    let churn_baseline = self.config.churn_baseline;
+                    let probe_scratch = &mut probe_scratch;
+                    let mut power_on = |k: usize| {
                         let response = ref_responses[k]
                             .iter()
                             .find(|(b, _)| *b == bits)
                             .map(|(_, r)| r)
                             .expect("reference responses prebuilt for every carrier");
-                        ref_links[d][k].received_dbm_with(Some(response)).0
+                        if churn_baseline {
+                            // Baseline arm: the allocating probe the
+                            // engine used before the scratch fast path.
+                            ref_links[d][k].received_dbm_with(Some(response)).0
+                        } else {
+                            ref_links[d][k]
+                                .received_dbm_scratch(Some(response), probe_scratch)
+                                .0
+                        }
                     };
                     let cur = assignment[d];
                     let cur_power = power_on(cur);
@@ -733,6 +775,7 @@ impl MobilitySim {
                         &mut states,
                         &changed_panels,
                         &self.faults,
+                        self.config.churn_baseline,
                     );
                 }
             }
@@ -769,8 +812,8 @@ impl MobilitySim {
             }
 
             // Per-panel scheduling: reuse, warm-refine, or cold.
-            let mut kinds = Vec::with_capacity(array.len());
-            let mut airtimes = Vec::with_capacity(array.len());
+            kinds.clear();
+            airtimes.clear();
             let mut panel_outcomes: Vec<FleetOutcome> = Vec::with_capacity(array.len());
             let mut probes = 0usize;
             let mut reports_lost = 0usize;
@@ -914,6 +957,7 @@ impl MobilitySim {
         states: &mut [PanelState],
         panels: &[usize],
         faults: &FaultPlan,
+        churn_baseline: bool,
     ) -> usize {
         let subfleets = array.subfleets(fleet, assignment);
         let mut reprepared = 0usize;
@@ -925,6 +969,7 @@ impl MobilitySim {
             } else {
                 let cache = PanelArray::cache_for(caches, &array.panels()[k].design);
                 let mut evaluator = FleetEvaluator::with_plan_cache(&subfleet, cache);
+                evaluator.set_reference_batch(churn_baseline);
                 // Dead unit-cell columns are a property of the panel
                 // hardware, not the sub-fleet: mask them into every
                 // evaluator built for this panel so Algorithm 1

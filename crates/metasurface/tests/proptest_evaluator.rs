@@ -191,3 +191,43 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The structure-of-arrays batch kernel agrees with the per-cell
+    /// reference fold to 1e-12 on random stacks and bias batches —
+    /// including batches with repeated biases (the memo-hit path) and
+    /// batches large enough to cross the SoA dispatch threshold.
+    #[test]
+    fn soa_batch_matches_reference(
+        stack in stack(),
+        f_ghz in 1.8f64..3.0,
+        biases in prop::collection::vec((0.0f64..30.0, 0.0f64..30.0), 0..24),
+        repeat in 0usize..8,
+    ) {
+        let f = Hertz::from_ghz(f_ghz);
+        let evaluator = StackEvaluator::new(&stack, f);
+        let mut batch: Vec<BiasState> = biases
+            .iter()
+            .map(|&(vx, vy)| BiasState::new(vx, vy))
+            .collect();
+        // Duplicate a prefix so the batch exercises repeated biases.
+        let dupes: Vec<BiasState> = batch.iter().take(repeat).copied().collect();
+        batch.extend(dupes);
+        let fast = evaluator.eval_batch(&batch);
+        let reference = evaluator.eval_batch_reference(&batch);
+        prop_assert_eq!(fast.len(), reference.len());
+        for (i, (a, b)) in fast.iter().zip(&reference).enumerate() {
+            match (a, b) {
+                (Some(a), Some(b)) => prop_assert!(
+                    max_diff(*a, *b) < 1e-12,
+                    "batch cell {i} diff {}",
+                    max_diff(*a, *b)
+                ),
+                (None, None) => {}
+                _ => prop_assert!(false, "Some/None mismatch at batch cell {i}"),
+            }
+        }
+    }
+}

@@ -273,6 +273,34 @@ impl WaveTransfer {
     pub fn z0(&self) -> f64 {
         self.z0
     }
+
+    /// The transfer as a row-major 4×4 complex matrix
+    /// (`[[T11, T12], [T21, T22]]` flattened): block composition is
+    /// plain 4×4 matrix multiplication in this view, which is what lets
+    /// batched evaluators keep the cascade in structure-of-arrays form.
+    pub fn components(&self) -> [Complex; 16] {
+        let t = &self.t;
+        [
+            t.t11.a, t.t11.b, t.t12.a, t.t12.b, //
+            t.t11.c, t.t11.d, t.t12.c, t.t12.d, //
+            t.t21.a, t.t21.b, t.t22.a, t.t22.b, //
+            t.t21.c, t.t21.d, t.t22.c, t.t22.d, //
+        ]
+    }
+
+    /// Rebuilds a transfer from the row-major 4×4 component view
+    /// (inverse of [`WaveTransfer::components`]).
+    pub fn from_components(m: [Complex; 16], z0: f64) -> Self {
+        Self {
+            t: BlockT {
+                t11: Mat2::new(m[0], m[1], m[4], m[5]),
+                t12: Mat2::new(m[2], m[3], m[6], m[7]),
+                t21: Mat2::new(m[8], m[9], m[12], m[13]),
+                t22: Mat2::new(m[10], m[11], m[14], m[15]),
+            },
+            z0,
+        }
+    }
 }
 
 /// Block wave-transfer matrix: `[a1; b1] = T·[b2; a2]` with 2×2 blocks.

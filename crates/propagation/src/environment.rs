@@ -34,6 +34,17 @@ pub enum Environment {
     },
 }
 
+/// One scatterer's random realization, decoupled from endpoint
+/// geometry: the raw Gaussian tap normals, the excess wander length,
+/// and the polarization mix. See [`Environment::scatter_draws`].
+#[derive(Clone, Copy, Debug)]
+pub struct ScatterDraw {
+    n1: f64,
+    n2: f64,
+    excess: f64,
+    jones: JonesMatrix,
+}
+
 impl Environment {
     /// The paper's absorber-covered test area.
     pub fn anechoic() -> Self {
@@ -61,61 +72,98 @@ impl Environment {
     /// `10^(-xpd/20)`; `None` keeps the built-in statistics (and the
     /// exact historical draw sequence) — the Figure 20 calibration knob.
     pub fn scatter_paths_with(&self, tx_rx: Meters, f: Hertz, xpd_db: Option<f64>) -> Vec<Path> {
-        match self {
-            Environment::Anechoic => Vec::new(),
-            Environment::Laboratory {
-                seed,
-                scatterers,
-                relative_power,
-            } => {
-                let splitter = SeedSplitter::new(*seed);
-                let mut rng = splitter.stream("scatterers");
-                let direct_amp = crate::friis::field_transfer(f, tx_rx).abs();
-                let per_path_power =
-                    relative_power * direct_amp * direct_amp / (*scatterers as f64).max(1.0);
-                (0..*scatterers)
-                    .map(|_| {
-                        // Rayleigh amplitude: complex Gaussian tap.
-                        let tap = rfmath::rng::complex_gaussian(&mut rng, per_path_power);
-                        // Excess path length: 0.5–4 m of wander.
-                        let excess: f64 = rng.gen_range(0.5..4.0);
-                        let length = Meters(tx_rx.0 + excess);
-                        // Indoor bounces mostly preserve polarization
-                        // orientation (channel XPD of 6-12 dB): a modest
-                        // random rotation plus weak depolarizing mixing.
-                        let rot: f64 = rng.gen_range(-0.45..0.45);
-                        let mix: f64 = match xpd_db {
-                            // Mean cross/co amplitude ratio 10^(-xpd/20)
-                            // under a uniform draw (mean = half the max),
-                            // capped at full mixing so a very low XPD
-                            // request cannot synthesize an amplifying
-                            // (non-passive) scatterer.
-                            Some(xpd) => {
-                                (rng.gen_range(0.0..1.0) * 2.0 * 10f64.powf(-xpd / 20.0)).min(1.0)
-                            }
-                            None => rng.gen_range(0.0..0.3),
-                        };
-                        let jones = JonesMatrix(
-                            Mat2::rotation(rot)
-                                * Mat2::new(
-                                    Complex::ONE,
-                                    Complex::imag(mix),
-                                    Complex::imag(mix),
-                                    Complex::ONE,
-                                )
-                                .scale(Complex::real(1.0 / (1.0 + mix * mix).sqrt())),
-                        );
-                        Path {
-                            transfer: tap * Complex::cis(-f.wavenumber() * excess),
-                            jones,
-                            length,
-                            modulation: None,
-                            label: "scatter",
-                        }
-                    })
-                    .collect()
+        let draws = self.scatter_draws(xpd_db);
+        let mut out = Vec::with_capacity(draws.len());
+        self.scatter_paths_from(&draws, tx_rx, f, &mut out);
+        out
+    }
+
+    /// The random part of a scatter realization, independent of the
+    /// endpoint geometry. Drawing once and replaying via
+    /// [`Environment::scatter_paths_from`] reproduces
+    /// [`Environment::scatter_paths_with`] bit-for-bit at any endpoint
+    /// separation — only the per-path power scale and total length
+    /// depend on `tx_rx`, and both are applied at replay time in the
+    /// original operation order.
+    pub fn scatter_draws(&self, xpd_db: Option<f64>) -> Vec<ScatterDraw> {
+        let Environment::Laboratory {
+            seed, scatterers, ..
+        } = self
+        else {
+            return Vec::new();
+        };
+        let splitter = SeedSplitter::new(*seed);
+        let mut rng = splitter.stream("scatterers");
+        (0..*scatterers)
+            .map(|_| {
+                // Rayleigh amplitude: complex Gaussian tap, drawn as raw
+                // standard normals (the power scale is applied at replay
+                // time, in the same operation order as `complex_gaussian`).
+                let n1 = rfmath::rng::standard_normal(&mut rng);
+                let n2 = rfmath::rng::standard_normal(&mut rng);
+                // Excess path length: 0.5–4 m of wander.
+                let excess: f64 = rng.gen_range(0.5..4.0);
+                // Indoor bounces mostly preserve polarization
+                // orientation (channel XPD of 6-12 dB): a modest
+                // random rotation plus weak depolarizing mixing.
+                let rot: f64 = rng.gen_range(-0.45..0.45);
+                let mix: f64 = match xpd_db {
+                    // Mean cross/co amplitude ratio 10^(-xpd/20)
+                    // under a uniform draw (mean = half the max),
+                    // capped at full mixing so a very low XPD
+                    // request cannot synthesize an amplifying
+                    // (non-passive) scatterer.
+                    Some(xpd) => (rng.gen_range(0.0..1.0) * 2.0 * 10f64.powf(-xpd / 20.0)).min(1.0),
+                    None => rng.gen_range(0.0..0.3),
+                };
+                let jones = JonesMatrix(
+                    Mat2::rotation(rot)
+                        * Mat2::new(
+                            Complex::ONE,
+                            Complex::imag(mix),
+                            Complex::imag(mix),
+                            Complex::ONE,
+                        )
+                        .scale(Complex::real(1.0 / (1.0 + mix * mix).sqrt())),
+                );
+                ScatterDraw {
+                    n1,
+                    n2,
+                    excess,
+                    jones,
+                }
+            })
+            .collect()
+    }
+
+    /// Replay cached [`ScatterDraw`]s into `out` for a link of endpoint
+    /// separation `tx_rx` at frequency `f`, appending one path per draw.
+    /// No RNG is consulted: a mobility engine can move a device every
+    /// tick while paying the stream setup and random draws exactly once.
+    pub fn scatter_paths_from(
+        &self,
+        draws: &[ScatterDraw],
+        tx_rx: Meters,
+        f: Hertz,
+        out: &mut Vec<Path>,
+    ) {
+        let Environment::Laboratory { relative_power, .. } = self else {
+            return;
+        };
+        let direct_amp = crate::friis::field_transfer(f, tx_rx).abs();
+        let per_path_power =
+            relative_power * direct_amp * direct_amp / (draws.len() as f64).max(1.0);
+        let s = (per_path_power / 2.0).sqrt();
+        out.extend(draws.iter().map(|draw| {
+            let tap = rfmath::complex::c64(draw.n1 * s, draw.n2 * s);
+            Path {
+                transfer: tap * Complex::cis(-f.wavenumber() * draw.excess),
+                jones: draw.jones,
+                length: Meters(tx_rx.0 + draw.excess),
+                modulation: None,
+                label: "scatter",
             }
-        }
+        }));
     }
 
     /// True when this environment contributes multipath.

@@ -16,8 +16,8 @@ use rfmath::complex::Complex;
 use rfmath::units::{Dbm, Hertz, Seconds, Watts};
 
 use crate::antenna::OrientedAntenna;
-use crate::environment::Environment;
-use crate::rays::{engineered_paths, Deployment, Path, SurfaceMount};
+use crate::environment::{Environment, ScatterDraw};
+use crate::rays::{engineered_paths, engineered_paths_into, Deployment, Path, SurfaceMount};
 
 /// Calibration knobs of the link model — the parameters the Figure 20
 /// fidelity sweep (`expts --calibrate-fig20`) explores. Defaults
@@ -193,53 +193,86 @@ impl Link {
                 self.frequency
             );
         }
+        let shadow = self.shadow_factor(surface);
         let tx_state = self.tx.polarization();
         let rx_state = rx.polarization();
-        // Boresight illumination for the engineered geometry; directional
-        // antennas apply their pattern to off-axis scatter.
-        let amp_scale =
-            (self.tx_power.0 * self.tx.antenna.gain_linear() * rx.antenna.gain_linear()).sqrt();
-        // A deployed transmissive panel shadows near-axis scatter: rays
-        // that would graze the link axis must now cross the panel and
-        // take its through-loss. This is the energy the surface *costs*
-        // an omni link in a rich environment (§5.1.2's low-power omni
-        // discussion).
-        let shadow = match (surface, self.deployment.surface) {
+        let tx_rx = self.deployment.tx_rx_distance().0;
+        let mut total = Complex::ZERO;
+        for path in paths {
+            total += self
+                .path_term(path, rx, &tx_state, &rx_state, tx_rx, t.0)
+                .contribution(shadow);
+        }
+        total * self.amp_scale(rx)
+    }
+
+    /// Boresight illumination scale: directional antennas apply their
+    /// pattern to off-axis scatter per path, but the on-axis gain is a
+    /// single factor on the summed amplitude.
+    fn amp_scale(&self, rx: &OrientedAntenna) -> f64 {
+        (self.tx_power.0 * self.tx.antenna.gain_linear() * rx.antenna.gain_linear()).sqrt()
+    }
+
+    /// A deployed transmissive panel shadows near-axis scatter: rays
+    /// that would graze the link axis must now cross the panel and
+    /// take its through-loss. This is the energy the surface *costs*
+    /// an omni link in a rich environment (§5.1.2's low-power omni
+    /// discussion). `1.0` when nothing shadows.
+    fn shadow_factor(&self, surface: Option<&SurfaceResponse>) -> f64 {
+        match (surface, self.deployment.surface) {
             (Some(surface), SurfaceMount::Transmissive { .. }) => {
                 let eff_db = 0.5 * (surface.efficiency_x_db().0 + surface.efficiency_y_db().0)
                     - self.tuning.shadow_extra_db;
                 10f64.powf(eff_db.max(-30.0 - self.tuning.shadow_extra_db) / 20.0)
             }
             _ => 1.0,
-        };
-        let tx_rx = self.deployment.tx_rx_distance().0;
-        let mut total = Complex::ZERO;
-        for path in paths {
-            let pattern_penalty = if path.label == "scatter" {
-                // Scatter arrives off-axis: a directional antenna picks
-                // it up through its average side response (−10 dB per
-                // directional end), an omni at full gain. This is the
-                // mechanism behind the Figure 18-vs-19 contrast.
-                let tx_pen = match self.tx.antenna.pattern {
-                    crate::antenna::Pattern::Directional { .. } => 0.316,
-                    crate::antenna::Pattern::Omni => 1.0,
-                };
-                let rx_pen = match rx.antenna.pattern {
-                    crate::antenna::Pattern::Directional { .. } => 0.316,
-                    crate::antenna::Pattern::Omni => 1.0,
-                };
-                // Near-axis bounces (small excess length) pass through
-                // the panel's aperture and take its loss.
-                let near_axis = path.length.0 - tx_rx < 1.5;
-                tx_pen * rx_pen * if near_axis { shadow } else { 1.0 }
-            } else {
-                self.tuning.surface_loss_amp(path.label)
-            };
-            let out = path.jones.apply(tx_state);
-            let coupled = rx_state.0.dot(out.0);
-            total += path.transfer_at(self.frequency, t.0) * coupled * pattern_penalty;
         }
-        total * amp_scale
+    }
+
+    /// One path's projection term onto `rx` at time `t`: the complex
+    /// transfer × polarization coupling, the pattern/loss penalty, and
+    /// whether the bias-dependent shadow applies. The polarization
+    /// states are passed in precomputed (they are per-probe, not
+    /// per-path, trigonometry). For bias-independent (static) paths at
+    /// `t = 0` the term itself is bias-independent, which is what
+    /// [`PreparedLink`] caches; summing [`ProjTerm::contribution`]s in
+    /// path order reproduces the direct projection bit for bit.
+    fn path_term(
+        &self,
+        path: &Path,
+        rx: &OrientedAntenna,
+        tx_state: &rfmath::jones::JonesVector,
+        rx_state: &rfmath::jones::JonesVector,
+        tx_rx: f64,
+        t: f64,
+    ) -> ProjTerm {
+        let (pen, shadowed) = if path.label == "scatter" {
+            // Scatter arrives off-axis: a directional antenna picks
+            // it up through its average side response (−10 dB per
+            // directional end), an omni at full gain. This is the
+            // mechanism behind the Figure 18-vs-19 contrast.
+            let tx_pen = match self.tx.antenna.pattern {
+                crate::antenna::Pattern::Directional { .. } => 0.316,
+                crate::antenna::Pattern::Omni => 1.0,
+            };
+            let rx_pen = match rx.antenna.pattern {
+                crate::antenna::Pattern::Directional { .. } => 0.316,
+                crate::antenna::Pattern::Omni => 1.0,
+            };
+            // Near-axis bounces (small excess length) pass through
+            // the panel's aperture and take its loss.
+            let near_axis = path.length.0 - tx_rx < 1.5;
+            (tx_pen * rx_pen, near_axis)
+        } else {
+            (self.tuning.surface_loss_amp(path.label), false)
+        };
+        let out = path.jones.apply(*tx_state);
+        let coupled = rx_state.0.dot(out.0);
+        ProjTerm {
+            k: path.transfer_at(self.frequency, t) * coupled,
+            pen,
+            shadowed,
+        }
     }
 
     /// Received power in watts at `t = 0`.
@@ -297,6 +330,32 @@ impl Link {
     }
 }
 
+/// One path's precomputed projection onto a fixed receive mount: the
+/// complex transfer × polarization coupling (`k`), the scalar
+/// pattern/loss penalty (`pen`), and whether the bias-dependent
+/// transmissive shadow multiplies in. Summing contributions in path
+/// order is bit-identical to projecting the paths directly.
+#[derive(Clone, Copy, Debug)]
+struct ProjTerm {
+    k: Complex,
+    pen: f64,
+    shadowed: bool,
+}
+
+impl ProjTerm {
+    /// The term's amplitude contribution under the probe's shadow
+    /// factor. Replicates the direct projection's operation order
+    /// exactly: `(transfer × coupled) × ((tx_pen × rx_pen) × shadow)`.
+    fn contribution(&self, shadow: f64) -> Complex {
+        let factor = if self.shadowed {
+            self.pen * shadow
+        } else {
+            self.pen
+        };
+        self.k * factor
+    }
+}
+
 /// A link with its bias-independent paths precomputed: the fleet
 /// engine's per-device probe handle.
 ///
@@ -305,18 +364,60 @@ impl Link {
 /// the scatter realization (RNG draws + allocation) once per device
 /// instead of once per `(device, bias)` probe. Only the one or two
 /// engineered paths are rebuilt per probe, against the surface response
-/// the shared evaluation plan already produced.
+/// the shared evaluation plan already produced. On top of the cached
+/// paths, the `t = 0` projection *terms* of the static set are
+/// precomputed too — only the bias-dependent shadow factor and the
+/// engineered paths are evaluated per probe in the scratch fast path.
 #[derive(Clone, Debug)]
 pub struct PreparedLink {
     link: Link,
     static_paths: Vec<Path>,
+    static_terms: Vec<ProjTerm>,
+    scatter_draws: Vec<ScatterDraw>,
 }
 
 impl PreparedLink {
     /// Precomputes the bias-independent paths of `link`.
     pub fn new(link: Link) -> Self {
-        let static_paths = link.static_paths();
-        Self { link, static_paths }
+        let scatter_draws = link.environment.scatter_draws(link.tuning.scatter_xpd_db);
+        let mut static_paths = Vec::with_capacity(scatter_draws.len() + link.extra_paths.len());
+        link.environment.scatter_paths_from(
+            &scatter_draws,
+            link.deployment.tx_rx_distance(),
+            link.frequency,
+            &mut static_paths,
+        );
+        static_paths.extend(link.extra_paths.iter().cloned());
+        let mut prepared = Self {
+            link,
+            static_paths,
+            static_terms: Vec::new(),
+            scatter_draws,
+        };
+        prepared.rebuild_static_terms();
+        prepared
+    }
+
+    /// Re-derives the cached `t = 0` projection terms from the current
+    /// link and static paths. Reuses the term vector's storage, so the
+    /// steady-state rebind path stays allocation-free once the capacity
+    /// has grown to the path-set size.
+    fn rebuild_static_terms(&mut self) {
+        let Self {
+            link,
+            static_paths,
+            static_terms,
+            ..
+        } = self;
+        let tx_state = link.tx.polarization();
+        let rx_state = link.rx.polarization();
+        let tx_rx = link.deployment.tx_rx_distance().0;
+        static_terms.clear();
+        static_terms.extend(
+            static_paths
+                .iter()
+                .map(|path| link.path_term(path, &link.rx, &tx_state, &rx_state, tx_rx, 0.0)),
+        );
     }
 
     /// The underlying link.
@@ -345,10 +446,14 @@ impl PreparedLink {
         );
         let mut link = self.link.clone();
         link.deployment = deployment;
-        Self {
+        let mut prepared = Self {
             link,
             static_paths: self.static_paths.clone(),
-        }
+            static_terms: Vec::new(),
+            scatter_draws: self.scatter_draws.clone(),
+        };
+        prepared.rebuild_static_terms();
+        prepared
     }
 
     /// True when `link`'s bias-independent paths are bit-identical to
@@ -379,22 +484,83 @@ impl PreparedLink {
     /// mobility simulator's per-device update path.
     pub fn rebind(&self, link: Link) -> Self {
         if self.static_paths_reusable(&link) {
-            Self {
+            let mut prepared = Self {
                 link,
                 static_paths: self.static_paths.clone(),
-            }
+                static_terms: Vec::new(),
+                scatter_draws: self.scatter_draws.clone(),
+            };
+            prepared.rebuild_static_terms();
+            prepared
         } else {
             Self::new(link)
         }
+    }
+
+    /// True when the cached scatter *draws* — the geometry-independent
+    /// random realization — still describe `link`'s environment, so a
+    /// genuine move (changed endpoint separation) can replay them at the
+    /// new distance instead of re-running the RNG stream. Strictly
+    /// weaker than [`PreparedLink::static_paths_reusable`]: the draws
+    /// depend only on the environment (seed, scatterer count) and the
+    /// scatter-XPD knob, not on the separation or the carrier.
+    fn scatter_draws_reusable(&self, link: &Link) -> bool {
+        let old = &self.link;
+        old.environment == link.environment
+            && old.tuning.scatter_xpd_db == link.tuning.scatter_xpd_db
+            && old.extra_paths.is_empty()
+            && link.extra_paths.is_empty()
+    }
+
+    /// [`PreparedLink::rebind`] without constructing a new handle: the
+    /// mobility engine's pooled update path. When the cached scatter is
+    /// reusable (rotation, power, blockage — the common dirty moves)
+    /// this swaps the link in place and touches no heap at all, instead
+    /// of cloning the static path vector per rebind; a genuine move
+    /// re-realizes the scatter into this handle's storage.
+    /// Result is bitwise equal to `*self = self.rebind(link)`.
+    pub fn rebind_in_place(&mut self, link: Link) {
+        if !self.static_paths_reusable(&link) {
+            if self.scatter_draws_reusable(&link) {
+                // Genuine move with an unchanged environment: replay the
+                // cached draws at the new separation. No RNG, and the
+                // path vector's storage is reused — the steady-state
+                // mobility tick touches no heap even when devices roam.
+                self.static_paths.clear();
+                link.environment.scatter_paths_from(
+                    &self.scatter_draws,
+                    link.deployment.tx_rx_distance(),
+                    link.frequency,
+                    &mut self.static_paths,
+                );
+            } else {
+                self.static_paths = link.static_paths();
+                self.scatter_draws = link.environment.scatter_draws(link.tuning.scatter_xpd_db);
+            }
+        }
+        self.link = link;
+        // Rotation, power and re-mounting all perturb the projection
+        // geometry even when the ray set survives, so the term table is
+        // always re-derived (in place — its storage is reused).
+        self.rebuild_static_terms();
     }
 
     /// Full path set against a precomputed surface response (engineered
     /// paths rebuilt, static paths reused). Same order as
     /// [`Link::paths_with`].
     fn paths_with(&self, surface: Option<&SurfaceResponse>) -> Vec<Path> {
-        let mut paths = engineered_paths(self.link.deployment, surface, self.link.frequency);
-        paths.extend_from_slice(&self.static_paths);
+        let mut paths = Vec::with_capacity(2 + self.static_paths.len());
+        self.paths_into(surface, &mut paths);
         paths
+    }
+
+    /// [`PreparedLink::paths_with`] into a caller-owned scratch buffer
+    /// (cleared first) — no allocation once the buffer has grown to the
+    /// path-set size.
+    fn paths_into(&self, surface: Option<&SurfaceResponse>, out: &mut Vec<Path>) {
+        out.clear();
+        engineered_paths_into(self.link.deployment, surface, self.link.frequency, out);
+        out.extend_from_slice(&self.static_paths);
     }
 
     /// Receive-port amplitude at time `t`; equals
@@ -406,6 +572,62 @@ impl PreparedLink {
     ) -> Complex {
         let paths = self.paths_with(surface);
         self.link.project_onto(&paths, surface, &self.link.rx, t)
+    }
+
+    /// [`PreparedLink::received_amplitude_with`] against a reusable
+    /// scratch buffer — the allocation-free probe loop: a caller
+    /// evaluating N devices × B biases keeps one `Vec<Path>` per worker
+    /// and pays zero heap traffic per probe. Bitwise equal to the
+    /// allocating variant.
+    ///
+    /// At `t = 0` (every power probe) only the engineered paths are
+    /// projected in full; the static tail is summed from the cached
+    /// [`ProjTerm`]s — same contributions in the same order, so the
+    /// result is still bit-identical, at a fraction of the per-probe
+    /// trigonometry.
+    pub fn received_amplitude_scratch(
+        &self,
+        surface: Option<&SurfaceResponse>,
+        t: Seconds,
+        scratch: &mut Vec<Path>,
+    ) -> Complex {
+        if t.0 != 0.0 {
+            // The term cache is a t = 0 snapshot; time-series callers
+            // take the direct projection.
+            self.paths_into(surface, scratch);
+            return self.link.project_onto(scratch, surface, &self.link.rx, t);
+        }
+        scratch.clear();
+        engineered_paths_into(self.link.deployment, surface, self.link.frequency, scratch);
+        let shadow = self.link.shadow_factor(surface);
+        let tx_state = self.link.tx.polarization();
+        let rx_state = self.link.rx.polarization();
+        let tx_rx = self.link.deployment.tx_rx_distance().0;
+        let mut total = Complex::ZERO;
+        for path in scratch.iter() {
+            total += self
+                .link
+                .path_term(path, &self.link.rx, &tx_state, &rx_state, tx_rx, 0.0)
+                .contribution(shadow);
+        }
+        for term in &self.static_terms {
+            total += term.contribution(shadow);
+        }
+        total * self.link.amp_scale(&self.link.rx)
+    }
+
+    /// Received power in dBm at `t = 0` against a reusable scratch
+    /// buffer; bitwise equal to [`PreparedLink::received_dbm_with`].
+    pub fn received_dbm_scratch(
+        &self,
+        surface: Option<&SurfaceResponse>,
+        scratch: &mut Vec<Path>,
+    ) -> Dbm {
+        Watts(
+            self.received_amplitude_scratch(surface, Seconds(0.0), scratch)
+                .norm_sqr(),
+        )
+        .to_dbm()
     }
 
     /// Received power in dBm at `t = 0`.
@@ -662,6 +884,62 @@ mod tests {
             rebound.received_dbm_with(Some(&response)).0,
             fresh.received_dbm_with(Some(&response)).0
         );
+    }
+
+    #[test]
+    fn rebind_in_place_is_bitwise_equal_to_rebind() {
+        let mut link = base_link(20.0);
+        link.environment = Environment::laboratory(23);
+        let prepared = PreparedLink::new(link.clone());
+        let surface = Metasurface::llama();
+        let response = surface.response(link.frequency);
+
+        // Reusable move (rotation) and a genuine move (endpoint walk):
+        // the pooled path must match the allocating one bit for bit.
+        let mut turned = link.clone();
+        turned.rx = OrientedAntenna::new(turned.rx.antenna.clone(), Degrees(31.0));
+        let mut walked = link.clone();
+        walked.deployment = Deployment::transmissive_cm(44.0);
+        for updated in [turned, walked] {
+            let rebound = prepared.rebind(updated.clone());
+            let mut pooled = prepared.clone();
+            pooled.rebind_in_place(updated);
+            assert_eq!(
+                pooled.received_dbm_with(Some(&response)).0,
+                rebound.received_dbm_with(Some(&response)).0
+            );
+            assert_eq!(
+                pooled.received_dbm_with(None).0,
+                rebound.received_dbm_with(None).0
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_probe_is_bitwise_equal_to_allocating_probe() {
+        let mut link = base_link(25.0);
+        link.environment = Environment::laboratory(29);
+        let prepared = PreparedLink::new(link.clone());
+        let surface = Metasurface::llama();
+        let response = surface.response(link.frequency);
+
+        // One scratch buffer across mixed probes (with and without a
+        // surface) — reuse must not leak paths between probes.
+        let mut scratch = Vec::new();
+        for surface in [Some(&response), None] {
+            assert_eq!(
+                prepared.received_dbm_scratch(surface, &mut scratch).0,
+                prepared.received_dbm_with(surface).0
+            );
+            assert_eq!(
+                prepared
+                    .received_amplitude_scratch(surface, Seconds(0.0), &mut scratch)
+                    .norm_sqr(),
+                prepared
+                    .received_amplitude_with(surface, Seconds(0.0))
+                    .norm_sqr()
+            );
+        }
     }
 
     #[test]

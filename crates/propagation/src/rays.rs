@@ -382,6 +382,22 @@ pub fn engineered_paths(
     surface: Option<&SurfaceResponse>,
     f: Hertz,
 ) -> Vec<Path> {
+    let mut paths = Vec::with_capacity(2);
+    engineered_paths_into(deployment, surface, f, &mut paths);
+    paths
+}
+
+/// [`engineered_paths`] appending into a caller-owned buffer — the
+/// allocation-free variant for probe loops that reuse one scratch `Vec`
+/// across thousands of `(device, bias)` evaluations. Does not clear
+/// `out`; pushes the same paths in the same order as
+/// [`engineered_paths`].
+pub fn engineered_paths_into(
+    deployment: Deployment,
+    surface: Option<&SurfaceResponse>,
+    f: Hertz,
+    out: &mut Vec<Path>,
+) {
     if let Some(surface) = surface {
         debug_assert!(
             surface.frequency().0.to_bits() == f.0.to_bits(),
@@ -394,13 +410,13 @@ pub fn engineered_paths(
         (SurfaceMount::None, _)
         | (SurfaceMount::Transmissive { .. }, None)
         | (SurfaceMount::Reflective { .. }, None) => {
-            vec![Path {
+            out.push(Path {
                 transfer: field_transfer(f, tx_rx),
                 jones: JonesMatrix::identity(),
                 length: tx_rx,
                 modulation: None,
                 label: "direct",
-            }]
+            });
         }
         (SurfaceMount::Transmissive { position }, Some(surface)) => {
             // Tx→surface leg: sets the standing-wave round trip. For an
@@ -431,7 +447,8 @@ pub fn engineered_paths(
                 modulation: None,
                 label: "antenna-surface bounce",
             };
-            vec![main, bounce]
+            out.push(main);
+            out.push(bounce);
         }
         (SurfaceMount::Reflective { position }, Some(surface)) => {
             // Direct endpoint-to-endpoint path (no surface interaction).
@@ -459,7 +476,8 @@ pub fn engineered_paths(
                 modulation: None,
                 label: "surface-reflection",
             };
-            vec![direct, reflected]
+            out.push(direct);
+            out.push(reflected);
         }
     }
 }

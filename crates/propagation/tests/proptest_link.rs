@@ -1,0 +1,107 @@
+//! The arena-rebind contract: a [`PreparedLink`] driven through any
+//! sequence of in-place rebinds — cheap moves (rotation, transmit
+//! power), genuine moves (endpoint separation), and environment swaps
+//! (new scatter seed) — must be *bitwise* indistinguishable from a
+//! fresh [`PreparedLink::new`] of the final link. The mobility engine
+//! leans on this to reuse one pooled handle per device across every
+//! tick instead of reallocating paths, draws and projection terms.
+
+use metasurface::stack::BiasState;
+use propagation::antenna::{Antenna, OrientedAntenna};
+use propagation::environment::Environment;
+use propagation::link::{Link, LinkTuning, PreparedLink};
+use propagation::rays::Deployment;
+use proptest::prelude::*;
+use rfmath::units::{Degrees, Hertz, Meters, Watts};
+
+fn link(mismatch_deg: f64, tx_rx_cm: f64, env: Environment, power_mw: f64) -> Link {
+    Link {
+        tx: OrientedAntenna::new(Antenna::directional_panel(), Degrees(90.0)),
+        rx: OrientedAntenna::new(Antenna::directional_panel(), Degrees(90.0 - mismatch_deg)),
+        frequency: Hertz::from_ghz(2.44),
+        tx_power: Watts::from_mw(power_mw),
+        deployment: Deployment::transmissive_cm(tx_rx_cm),
+        environment: env,
+        extra_paths: Vec::new(),
+        tuning: LinkTuning::default(),
+    }
+}
+
+/// One step of a device trajectory, as the mobility engine sees it.
+#[derive(Clone, Debug)]
+enum Move {
+    /// Receive-mount rotation: the cached paths survive untouched.
+    Rotate(f64),
+    /// Transmit-power change: cached paths survive untouched.
+    Power(f64),
+    /// Genuine move: new separation, same environment — the cached
+    /// scatter draws replay at the new distance.
+    Walk(f64),
+    /// Environment swap: a new scatter seed forces a full redraw.
+    Reseed(u64),
+}
+
+fn moves() -> BoxedStrategy<Vec<Move>> {
+    prop::collection::vec(
+        prop_oneof![
+            (-60.0f64..60.0).prop_map(Move::Rotate),
+            (1.0f64..200.0).prop_map(Move::Power),
+            (20.0f64..120.0).prop_map(Move::Walk),
+            (0u64..32).prop_map(Move::Reseed),
+        ],
+        1..8,
+    )
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After every in-place rebind along a random trajectory, the
+    /// pooled handle's surface-off and surface-on probes are bitwise
+    /// equal to a freshly constructed handle of the same link.
+    #[test]
+    fn arena_rebind_is_bitwise_fresh_construction(
+        mismatch in -45.0f64..45.0,
+        tx_rx_cm in 20.0f64..120.0,
+        seed in 0u64..32,
+        steps in moves(),
+    ) {
+        let design = metasurface::designs::fr4_optimized();
+        let f = Hertz::from_ghz(2.44);
+        let surface = metasurface::response::SurfaceResponse::new(
+            f,
+            design.stack.response(f, BiasState::new(6.0, 6.0)),
+        );
+        let start = link(mismatch, tx_rx_cm, Environment::laboratory(seed), 50.0);
+        let mut pooled = PreparedLink::new(start.clone());
+        let mut current = start;
+        let mut scratch = Vec::new();
+        for step in steps {
+            match step {
+                Move::Rotate(deg) => {
+                    current.rx =
+                        OrientedAntenna::new(Antenna::directional_panel(), Degrees(90.0 - deg));
+                }
+                Move::Power(mw) => current.tx_power = Watts::from_mw(mw),
+                Move::Walk(cm) => {
+                    current.deployment = current
+                        .deployment
+                        .with_endpoint_separation(Meters(cm / 100.0));
+                }
+                Move::Reseed(s) => current.environment = Environment::laboratory(s),
+            }
+            pooled.rebind_in_place(current.clone());
+            let fresh = PreparedLink::new(current.clone());
+            for response in [None, Some(&surface)] {
+                let a = pooled.received_dbm_scratch(response, &mut scratch).0;
+                let b = fresh.received_dbm_with(response).0;
+                prop_assert!(
+                    a.to_bits() == b.to_bits(),
+                    "pooled {a} vs fresh {b} after {:?}",
+                    response.map(|_| "surface")
+                );
+            }
+        }
+    }
+}

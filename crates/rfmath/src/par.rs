@@ -37,6 +37,36 @@ where
     });
 }
 
+/// Fills `out` by handing each of up to `threads` scoped workers one
+/// contiguous chunk: `f(offset, chunk)` must fill `chunk`, whose first
+/// element is `out[offset]`. Unlike [`par_fill`] the kernel sees whole
+/// ranges, so it can keep per-worker scratch (structure-of-arrays slabs,
+/// reusable buffers) alive across every element it owns instead of
+/// paying per-index call overhead. `threads <= 1` runs serially as
+/// `f(0, out)`. `f` must be pure per chunk: chunk order is unspecified.
+pub fn par_fill_chunked<T, F>(out: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = out.len();
+    if n == 0 {
+        return;
+    }
+    let threads = threads.min(n);
+    if threads <= 1 {
+        f(0, out);
+        return;
+    }
+    let per = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_idx, chunk) in out.chunks_mut(per).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(chunk_idx * per, chunk));
+        }
+    });
+}
+
 /// The machine's available parallelism (1 when undetectable) — the
 /// conventional `threads` argument for [`par_fill`].
 pub fn available_threads() -> usize {
@@ -67,6 +97,34 @@ mod tests {
         assert_eq!(out, vec![0, 1]);
         let mut empty: Vec<u8> = Vec::new();
         par_fill(&mut empty, 8, |_| unreachable!("no items"));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn chunked_matches_serial_for_uneven_chunks() {
+        let mut serial = vec![0usize; 20];
+        let mut parallel = vec![0usize; 20];
+        let fill = |offset: usize, chunk: &mut [usize]| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = (offset + j) * 3 + 1;
+            }
+        };
+        par_fill_chunked(&mut serial, 1, fill);
+        par_fill_chunked(&mut parallel, 3, fill);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn chunked_handles_empty_and_oversubscribed() {
+        let mut out = vec![0u8; 2];
+        par_fill_chunked(&mut out, 64, |offset, chunk| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = (offset + j) as u8;
+            }
+        });
+        assert_eq!(out, vec![0, 1]);
+        let mut empty: Vec<u8> = Vec::new();
+        par_fill_chunked(&mut empty, 8, |_, _| unreachable!("no items"));
         assert!(empty.is_empty());
     }
 
