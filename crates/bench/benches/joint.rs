@@ -1,0 +1,86 @@
+//! Joint multi-surface benches: the coupled-evaluation hot path
+//! (superposed K-panel field vs the zero-coupling short circuit) and
+//! the end-to-end joint scheduler against the independent per-panel
+//! search on the office-floor zoo room (the PR-9 acceptance numbers).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use llama_core::fleet::Fleet;
+use llama_core::panels::{Assignment, CoupledEvaluator, JointConfig, PanelArray, PanelScheduler};
+use llama_core::rooms;
+use metasurface::stack::BiasState;
+use propagation::coupling::CouplingConfig;
+use std::time::Duration;
+
+fn coupled_eval_16x3(c: &mut Criterion) {
+    let fleet = Fleet::mixed_wifi_ble(16, 2021);
+    let array = PanelArray::distributed(fleet.design.clone(), 3);
+    let assignment = array.assign(&fleet, &Assignment::BestReference);
+    // A batch of bias vectors per iteration keeps each timed region in
+    // the hundreds of microseconds, well clear of timer noise for the
+    // 10% baseline gate.
+    let probe_set: Vec<Vec<BiasState>> = (0..32)
+        .map(|p| {
+            (0..3)
+                .map(|k| {
+                    BiasState::new(
+                        (4.0 + 7.0 * k as f64 + 0.9 * p as f64) % 30.0,
+                        (25.0 - 6.0 * k as f64 + 1.7 * p as f64) % 30.0,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let mut g = c.benchmark_group("coupled_eval_16x3");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(8));
+    g.sample_size(10);
+    let mut coupled = CoupledEvaluator::new(
+        &fleet,
+        &array,
+        &assignment,
+        CouplingConfig::indoor_default(),
+    );
+    g.bench_function("superposed", |b| {
+        b.iter(|| {
+            probe_set
+                .iter()
+                .map(|biases| coupled.powers_dbm(black_box(biases)).len())
+                .sum::<usize>()
+        })
+    });
+    let mut home_only =
+        CoupledEvaluator::new(&fleet, &array, &assignment, CouplingConfig::disabled());
+    g.bench_function("zero_coupling", |b| {
+        b.iter(|| {
+            probe_set
+                .iter()
+                .map(|biases| home_only.powers_dbm(black_box(biases)).len())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+fn joint_office_floor(c: &mut Criterion) {
+    let scenario = rooms::build("office-floor", 2021).expect("zoo room exists");
+    let fleet = scenario.fleet.fleet().clone();
+    let array = scenario.array.clone();
+    let mut g = c.benchmark_group("joint_office_floor");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(8));
+    g.sample_size(10);
+    g.bench_function("independent", |b| {
+        b.iter(|| PanelScheduler::max_min().run(&fleet, &array))
+    });
+    g.bench_function("joint_refined", |b| {
+        b.iter(|| {
+            PanelScheduler::max_min()
+                .with_joint(JointConfig::default())
+                .run(&fleet, &array)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, coupled_eval_16x3, joint_office_floor);
+criterion_main!(benches);

@@ -14,7 +14,9 @@
 //! expts --scenario <name> [path]      # simulate a room from the scenario zoo, write JSON
 //! expts --chaos [room] [path]         # sweep fault rates over a room, write the degradation curve
 //! expts --sharded [path] [--quick]    # time the sharded hot loops: SoA grid, arena ticks, scaling (BENCH_PR8)
-//! expts --matrix [base] [--quick] [--fleets a,b] [--devices a,b] [--threads a,b] [--shards a,b]
+//! expts --joint [path] [--quick]      # joint vs independent multi-surface serving on the zoo (BENCH_PR9)
+//! expts --matrix [base] [--quick] [--rooms a,b] [--policy a,b] [--fleets a,b]
+//!                [--devices a,b] [--threads a,b] [--shards a,b]
 //!                                     # run the serving cross product, write <base>.{md,csv,json}
 //! ```
 //!
@@ -38,9 +40,10 @@ fn main() -> ExitCode {
              | --fleet [path] [--quick] | --panels [path] [--quick] \
              | --mobility [path] [--quick] | --bench-all [dir] [--quick] \
              | --calibrate-fig20 [samples] | --scenario <name> [path] \
-             | --chaos [room] [path] | --sharded [path] [--quick] \
-             | --matrix [base] [--quick] [--fleets a,b] [--devices a,b] \
-             [--threads a,b] [--shards a,b]"
+             | --chaos [room] [path] [--joint] | --sharded [path] [--quick] \
+             | --joint [path] [--quick] \
+             | --matrix [base] [--quick] [--rooms a,b] [--policy a,b] \
+             [--fleets a,b] [--devices a,b] [--threads a,b] [--shards a,b]"
         );
         eprintln!("experiments: {}", llama_bench::ALL_IDS.join(", "));
         eprintln!("scenarios: {}", llama_core::rooms::SCENARIOS.join(", "));
@@ -84,11 +87,15 @@ fn main() -> ExitCode {
     }
 
     if args.iter().any(|a| a == "--chaos") {
-        let extras: Vec<&String> = args.iter().filter(|a| *a != "--chaos").collect();
+        let joint = args.iter().any(|a| a == "--joint");
+        let extras: Vec<&String> = args
+            .iter()
+            .filter(|a| *a != "--chaos" && *a != "--joint")
+            .collect();
         if extras.len() > 2 || extras.iter().any(|a| a.starts_with("--")) {
             eprintln!(
-                "error: --chaos takes an optional room name and an optional output path; \
-                 known rooms: {}",
+                "error: --chaos takes an optional room name, an optional output path \
+                 and the --joint smoke flag; known rooms: {}",
                 llama_core::rooms::SCENARIOS.join(", ")
             );
             return ExitCode::FAILURE;
@@ -98,6 +105,15 @@ fn main() -> ExitCode {
             .get(1)
             .map(|s| s.to_string())
             .unwrap_or_else(|| format!("target/chaos-{room}.json"));
+        if joint {
+            match llama_bench::chaos::joint_smoke(room, llama_bench::SEED) {
+                Ok(line) => println!("{line}"),
+                Err(e) => {
+                    eprintln!("error: joint smoke failed — {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         let report = match llama_bench::chaos::ChaosReport::run(room, llama_bench::SEED) {
             Ok(report) => report,
             Err(e) => {
@@ -151,6 +167,32 @@ fn main() -> ExitCode {
                         _ => axes.shards = list,
                     }
                 }
+                "--rooms" | "--policy" => {
+                    i += 1;
+                    let Some(raw) = args.get(i) else {
+                        eprintln!("error: {arg} needs a comma-separated name list");
+                        return ExitCode::FAILURE;
+                    };
+                    let known = llama_bench::matrix::MatrixAxes::known_rooms();
+                    let allowed: &[&str] = if arg == "--rooms" {
+                        &known
+                    } else {
+                        &llama_bench::matrix::POLICIES
+                    };
+                    let list = match llama_bench::matrix::MatrixAxes::parse_names(arg, raw, allowed)
+                    {
+                        Ok(list) => list,
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    if arg == "--rooms" {
+                        axes.rooms = list;
+                    } else {
+                        axes.policies = list;
+                    }
+                }
                 _ if arg.starts_with("--") => {
                     eprintln!("error: unknown flag {arg} in --matrix mode");
                     return ExitCode::FAILURE;
@@ -166,8 +208,11 @@ fn main() -> ExitCode {
         }
         let base = base.unwrap_or_else(|| "target/matrix".to_string());
         println!(
-            "serving matrix: {} cells ({} fleets x {} devices x {} threads x {} shards)",
+            "serving matrix: {} cells ({} rooms x {} policies x {} fleets x {} devices \
+             x {} threads x {} shards)",
             axes.cells(),
+            axes.rooms.len(),
+            axes.policies.len(),
             axes.fleets.len(),
             axes.devices.len(),
             axes.threads.len(),
@@ -234,6 +279,45 @@ fn main() -> ExitCode {
         };
     }
 
+    if args.iter().any(|a| a == "--joint") {
+        let quick = args.iter().any(|a| a == "--quick");
+        let extras: Vec<&String> = args
+            .iter()
+            .filter(|a| *a != "--joint" && *a != "--quick")
+            .collect();
+        if extras.len() > 1 || extras.iter().any(|a| a.starts_with("--")) {
+            eprintln!(
+                "error: --joint takes at most one output path; got: {}",
+                extras
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            return ExitCode::FAILURE;
+        }
+        let path = extras
+            .first()
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "target/joint-report.json".to_string());
+        let report = llama_bench::joint::run_joint(quick);
+        print!("{}", report.summary());
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+        return if report.passes() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "error: joint search regressed below its independent start, lifted no \
+                 zoo room, or the coupled evaluation exceeded its slowdown ceiling"
+            );
+            ExitCode::FAILURE
+        };
+    }
+
     if args.iter().any(|a| a == "--bench-all") {
         let quick = args.iter().any(|a| a == "--quick");
         let extras: Vec<&String> = args
@@ -279,6 +363,11 @@ fn main() -> ExitCode {
         let sharded = llama_bench::perf::run_sharded(quick);
         print!("{}", sharded.summary());
         if !write("BENCH_PR8.json", sharded.to_json(), sharded.passes()) {
+            return ExitCode::FAILURE;
+        }
+        let joint = llama_bench::joint::run_joint(quick);
+        print!("{}", joint.summary());
+        if !write("BENCH_PR9.json", joint.to_json(), joint.passes()) {
             return ExitCode::FAILURE;
         }
         return if all_pass {

@@ -252,6 +252,54 @@ impl ChaosReport {
     }
 }
 
+/// One-shot joint-mode smoke for the chaos lane: runs the room's
+/// joint-vs-independent comparison twice under the same seed and
+/// demands (a) bitwise determinism across the two runs and (b) the
+/// descent's monotonicity contract (the joint score never ends below
+/// the independent starting point). Returns a one-line summary on
+/// success, a diagnosis on violation or an unknown room.
+pub fn joint_smoke(name: &str, seed: u64) -> Result<String, String> {
+    use llama_core::panels::JointConfig;
+    let build = || {
+        rooms::build(name, seed).ok_or_else(|| {
+            format!(
+                "unknown scenario {name:?}; known scenarios: {}",
+                rooms::SCENARIOS.join(", ")
+            )
+        })
+    };
+    let (ind_a, joint_a) = build()?.joint_comparison(JointConfig::default());
+    let (_, joint_b) = build()?.joint_comparison(JointConfig::default());
+    if !joint_a.same_allocation(&joint_b)
+        || joint_a.score.to_bits() != joint_b.score.to_bits()
+        || joint_a.probes != joint_b.probes
+    {
+        return Err(format!(
+            "joint search is not deterministic on {name:?}: scores {} vs {}",
+            joint_a.score, joint_b.score
+        ));
+    }
+    let stats = joint_a
+        .joint
+        .ok_or_else(|| "joint run reported no descent stats".to_string())?;
+    if stats.lift_db < -1e-9 {
+        return Err(format!(
+            "joint search regressed below its independent start on {name:?}: {} dB",
+            stats.lift_db
+        ));
+    }
+    Ok(format!(
+        "joint smoke: {name}, seed {seed} — deterministic; independent {:.1} dBm, \
+         joint {:.1} dBm ({:+.3} dB, {} rounds{}, cross energy {:.1}%)",
+        ind_a.min_power_dbm(),
+        joint_a.min_power_dbm(),
+        stats.lift_db,
+        stats.rounds,
+        if stats.converged { ", converged" } else { "" },
+        stats.cross_energy_fraction * 100.0,
+    ))
+}
+
 /// Bit-for-bit tick comparison of two runs: allocation, served power,
 /// throughput, duty and applied biases all compared on raw bits.
 fn bitwise_identical(a: &SimReport, b: &SimReport) -> bool {
@@ -279,6 +327,16 @@ mod tests {
         let err = ChaosReport::run("no-such-room", 1).unwrap_err();
         assert!(err.contains("office-floor"));
         assert!(err.contains("conference-room"));
+        assert!(joint_smoke("no-such-room", 1)
+            .unwrap_err()
+            .contains("office-floor"));
+    }
+
+    #[test]
+    fn joint_smoke_is_deterministic_and_monotone() {
+        let line = joint_smoke("office-floor", crate::SEED).unwrap();
+        assert!(line.contains("deterministic"));
+        assert!(line.contains("rounds"));
     }
 
     #[test]

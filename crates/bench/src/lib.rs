@@ -13,6 +13,7 @@
 pub mod alloc_counter;
 pub mod calibrate;
 pub mod chaos;
+pub mod joint;
 pub mod matrix;
 pub mod perf;
 pub mod scenario;

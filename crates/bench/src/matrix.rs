@@ -1,19 +1,28 @@
 //! `expts --matrix` — the many-fleet serving matrix.
 //!
-//! Runs the cross product of `--fleets × --devices × --threads ×
-//! --shards` (each a comma-separated list) through the sharded
-//! work-stealing [`FleetServer`], recording wall-clock, throughput,
-//! speedup over a serial baseline, steals and queue wait for every
-//! cell, and renders the same table as markdown, CSV and JSON — one
-//! run, three artifacts, so sweep results can be pasted into a PR
-//! description, loaded into a spreadsheet, or diffed in CI without
-//! re-measuring.
-
-use std::collections::HashMap;
+//! Runs the cross product of `--rooms × --policy × --fleets × --devices
+//! × --threads × --shards` (each a comma-separated list) through the
+//! sharded work-stealing [`FleetServer`], recording wall-clock,
+//! throughput, speedup over a serial baseline, steals, queue wait *and*
+//! the served MaxMin headline (worst device power across the cell's
+//! jobs — the figure the legacy `--panels` report carried as its
+//! single-shape summary) for every cell, and renders the same table as
+//! markdown, CSV and JSON — one run, three artifacts, so sweep results
+//! can be pasted into a PR description, loaded into a spreadsheet, or
+//! diffed in CI without re-measuring.
+//!
+//! The `--rooms` axis accepts scenario-zoo names (the cell serves
+//! copies of the room's t = 0 fleet over the room's mounted panel
+//! array; the `--devices` axis is reported as the room's own device
+//! count) plus the `synthetic` pseudo-room (the historical
+//! `mixed_wifi_ble` line fleet on a distributed two-panel array). The
+//! `--policy` axis selects the per-panel scheduling objective:
+//! `maxmin`, `favor` (device 0 favored) or `timedivision`.
 
 use control::server::FleetServer;
 use llama_core::fleet::{Fleet, Scheduler};
-use llama_core::panels::serve_fleets;
+use llama_core::panels::{serve_panel_fleets, PanelArray, PanelScheduler};
+use llama_core::rooms;
 
 use crate::perf::{allocs_json, machine_json};
 
@@ -21,12 +30,23 @@ use crate::perf::{allocs_json, machine_json};
 /// are distinct but reproducible).
 const MATRIX_SEED: u64 = 7000;
 
-/// The four swept axes. Empty lists are rejected at parse time.
+/// The `--rooms` pseudo-entry selecting the synthetic line fleet.
+pub const SYNTHETIC_ROOM: &str = "synthetic";
+
+/// The names the `--policy` axis accepts.
+pub const POLICIES: [&str; 3] = ["maxmin", "favor", "timedivision"];
+
+/// The six swept axes. Empty lists are rejected at parse time.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MatrixAxes {
+    /// Workload rooms: zoo names plus [`SYNTHETIC_ROOM`].
+    pub rooms: Vec<String>,
+    /// Scheduling policies (see [`POLICIES`]).
+    pub policies: Vec<String>,
     /// Concurrent fleets per serve call.
     pub fleets: Vec<usize>,
-    /// Devices per fleet.
+    /// Devices per fleet (synthetic room only; zoo rooms bring their
+    /// own populations).
     pub devices: Vec<usize>,
     /// Worker threads in the pool.
     pub threads: Vec<usize>,
@@ -35,9 +55,10 @@ pub struct MatrixAxes {
 }
 
 impl MatrixAxes {
-    /// The default sweep: one fleet-size point, one device point, a
-    /// 1-vs-all-cores thread axis and a 1-vs-4 shard axis — small
-    /// enough to run as a smoke, wide enough to show the scaling shape.
+    /// The default sweep: the synthetic workload under max-min, one
+    /// fleet-size point, one device point, a 1-vs-all-cores thread axis
+    /// and a 1-vs-4 shard axis — small enough to run as a smoke, wide
+    /// enough to show the scaling shape.
     pub fn default_axes() -> Self {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -45,6 +66,8 @@ impl MatrixAxes {
         let mut threads = vec![1, cores];
         threads.dedup();
         Self {
+            rooms: vec![SYNTHETIC_ROOM.to_string()],
+            policies: vec!["maxmin".to_string()],
             fleets: vec![8],
             devices: vec![8],
             threads,
@@ -73,18 +96,53 @@ impl MatrixAxes {
         Ok(out)
     }
 
+    /// Parses a comma-separated name list validated against `allowed`.
+    pub fn parse_names(flag: &str, raw: &str, allowed: &[&str]) -> Result<Vec<String>, String> {
+        let mut out = Vec::new();
+        for part in raw.split(',') {
+            let name = part.trim();
+            if !allowed.contains(&name) {
+                return Err(format!(
+                    "{flag} got unknown name {name:?}; known: {}",
+                    allowed.join(", ")
+                ));
+            }
+            out.push(name.to_string());
+        }
+        if out.is_empty() {
+            return Err(format!("{flag} list is empty"));
+        }
+        Ok(out)
+    }
+
+    /// The names the `--rooms` axis accepts.
+    pub fn known_rooms() -> Vec<&'static str> {
+        let mut rooms: Vec<&'static str> = vec![SYNTHETIC_ROOM];
+        rooms.extend(rooms::SCENARIOS);
+        rooms
+    }
+
     /// Total cells in the cross product.
     pub fn cells(&self) -> usize {
-        self.fleets.len() * self.devices.len() * self.threads.len() * self.shards.len()
+        self.rooms.len()
+            * self.policies.len()
+            * self.fleets.len()
+            * self.devices.len()
+            * self.threads.len()
+            * self.shards.len()
     }
 }
 
 /// One measured cell of the cross product.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct MatrixCell {
+    /// Workload room (`synthetic` or a zoo name).
+    pub room: String,
+    /// Scheduling policy.
+    pub policy: String,
     /// Concurrent fleets served.
     pub fleets: usize,
-    /// Devices per fleet.
+    /// Devices per fleet (a zoo room reports its own population).
     pub devices: usize,
     /// Worker threads.
     pub threads: usize,
@@ -96,9 +154,11 @@ pub struct MatrixCell {
     pub min_ms: f64,
     /// Fleets served per second at the best-of-N time.
     pub fleets_per_sec: f64,
-    /// Serial / concurrent best-of-N ratio for this (fleets, devices)
-    /// workload.
+    /// Serial / concurrent best-of-N ratio for this workload.
     pub speedup_vs_serial: f64,
+    /// Worst served device power across the cell's jobs, dBm — the
+    /// legacy `--panels` single-shape headline, folded per cell.
+    pub min_power_dbm: f64,
     /// Cross-shard steals during the instrumented pass.
     pub steals: usize,
     /// Mean stage-to-pop queue wait per job, ms.
@@ -116,47 +176,94 @@ pub struct MatrixReport {
     pub cells: Vec<MatrixCell>,
 }
 
+/// Builds the scheduler for one `--policy` name.
+fn scheduler_for(policy: &str) -> PanelScheduler {
+    match policy {
+        "favor" => PanelScheduler {
+            base: Scheduler::favor(0),
+            ..PanelScheduler::max_min()
+        },
+        "timedivision" => PanelScheduler::time_division(),
+        _ => PanelScheduler::max_min(),
+    }
+}
+
+/// Builds one cell workload: `fleets_n` jobs of `(fleet, array)`.
+fn jobs_for(room: &str, fleets_n: usize, devices_n: usize) -> Vec<(Fleet, PanelArray)> {
+    if room == SYNTHETIC_ROOM {
+        (0..fleets_n as u64)
+            .map(|s| {
+                let fleet = Fleet::mixed_wifi_ble(devices_n, MATRIX_SEED + s);
+                let array = PanelArray::distributed(fleet.design.clone(), 2);
+                (fleet, array)
+            })
+            .collect()
+    } else {
+        let scenario = rooms::build(room, MATRIX_SEED).expect("axis names validated at parse time");
+        let fleet = scenario.fleet.fleet().clone();
+        let array = scenario.array;
+        (0..fleets_n)
+            .map(|_| (fleet.clone(), array.clone()))
+            .collect()
+    }
+}
+
 impl MatrixReport {
-    /// Measures every cell of `axes`. Serial baselines are measured
-    /// once per distinct `(fleets, devices)` workload and shared across
-    /// the thread/shard cells.
+    /// Measures every cell of `axes`. Serial baselines (and the served
+    /// min-power headline) are measured once per distinct workload and
+    /// shared across that workload's thread/shard cells.
     pub fn run(axes: MatrixAxes, quick: bool) -> Self {
         let iters = if quick { 2 } else { 4 };
-        let scheduler = Scheduler::max_min();
-        let mut serial_mins: HashMap<(usize, usize), f64> = HashMap::new();
         let mut cells = Vec::with_capacity(axes.cells());
-        for &fleets_n in &axes.fleets {
-            for &devices_n in &axes.devices {
-                let fleets: Vec<Fleet> = (0..fleets_n as u64)
-                    .map(|s| Fleet::mixed_wifi_ble(devices_n, MATRIX_SEED + s))
-                    .collect();
-                let serial_min = *serial_mins.entry((fleets_n, devices_n)).or_insert_with(|| {
-                    time_min_ms(iters, || {
-                        fleets.iter().map(|f| scheduler.run(f)).collect::<Vec<_>>()
-                    })
-                    .1
-                });
-                for &threads in &axes.threads {
-                    for &shards in &axes.shards {
-                        let server = FleetServer::new(threads).with_shards(shards);
-                        let (mean_ms, min_ms) =
-                            time_min_ms(iters, || serve_fleets(&server, &scheduler, &fleets));
-                        let (_, stats) = server
-                            .try_serve_with_stats(fleets.iter().collect(), |_, f: &Fleet| {
-                                scheduler.run(f)
-                            });
-                        cells.push(MatrixCell {
-                            fleets: fleets_n,
-                            devices: devices_n,
-                            threads,
-                            shards,
-                            mean_ms,
-                            min_ms,
-                            fleets_per_sec: fleets_n as f64 / (min_ms / 1e3).max(1e-12),
-                            speedup_vs_serial: serial_min / min_ms.max(1e-12),
-                            steals: stats.steals,
-                            mean_queue_wait_ms: stats.mean_queue_wait.0 * 1e3,
+        for room in &axes.rooms {
+            for policy in &axes.policies {
+                let scheduler = scheduler_for(policy);
+                for &fleets_n in &axes.fleets {
+                    for &devices_n in &axes.devices {
+                        let jobs = jobs_for(room, fleets_n, devices_n);
+                        let reported_devices = jobs
+                            .first()
+                            .map(|(fleet, _)| fleet.len())
+                            .unwrap_or(devices_n);
+                        let (_, serial_min) = time_min_ms(iters, || {
+                            jobs.iter()
+                                .map(|(f, a)| scheduler.run(f, a))
+                                .collect::<Vec<_>>()
                         });
+                        // The folded --panels headline: worst served
+                        // device power across the cell's jobs (server
+                        // results are bit-identical to serial runs).
+                        let min_power_dbm = jobs
+                            .iter()
+                            .map(|(f, a)| scheduler.run(f, a).min_power_dbm())
+                            .fold(f64::INFINITY, f64::min);
+                        for &threads in &axes.threads {
+                            for &shards in &axes.shards {
+                                let server = FleetServer::new(threads).with_shards(shards);
+                                let (mean_ms, min_ms) = time_min_ms(iters, || {
+                                    serve_panel_fleets(&server, &scheduler, &jobs)
+                                });
+                                let (_, stats) = server.try_serve_with_stats(
+                                    jobs.iter().collect(),
+                                    |_, (f, a): &(Fleet, PanelArray)| scheduler.run(f, a),
+                                );
+                                cells.push(MatrixCell {
+                                    room: room.clone(),
+                                    policy: policy.clone(),
+                                    fleets: fleets_n,
+                                    devices: reported_devices,
+                                    threads,
+                                    shards,
+                                    mean_ms,
+                                    min_ms,
+                                    fleets_per_sec: fleets_n as f64 / (min_ms / 1e3).max(1e-12),
+                                    speedup_vs_serial: serial_min / min_ms.max(1e-12),
+                                    min_power_dbm,
+                                    steals: stats.steals,
+                                    mean_queue_wait_ms: stats.mean_queue_wait.0 * 1e3,
+                                });
+                            }
+                        }
                     }
                 }
             }
@@ -164,25 +271,29 @@ impl MatrixReport {
         Self { quick, axes, cells }
     }
 
-    /// True when every cell measured a finite, positive wall-clock.
+    /// True when every cell measured a finite, positive wall-clock and
+    /// a finite served min power.
     pub fn passes(&self) -> bool {
         !self.cells.is_empty()
             && self
                 .cells
                 .iter()
-                .all(|c| c.min_ms.is_finite() && c.min_ms > 0.0)
+                .all(|c| c.min_ms.is_finite() && c.min_ms > 0.0 && c.min_power_dbm.is_finite())
     }
 
     /// The markdown table (also the console summary).
     pub fn to_markdown(&self) -> String {
         let mut out = String::from(
-            "| fleets | devices | threads | shards | mean ms | min ms | fleets/s \
-             | speedup | steals | queue wait ms |\n\
-             |---|---|---|---|---|---|---|---|---|---|\n",
+            "| room | policy | fleets | devices | threads | shards | mean ms | min ms \
+             | fleets/s | speedup | min dBm | steals | queue wait ms |\n\
+             |---|---|---|---|---|---|---|---|---|---|---|---|---|\n",
         );
         for c in &self.cells {
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {:.3} | {:.3} | {:.1} | {:.2} | {} | {:.4} |\n",
+                "| {} | {} | {} | {} | {} | {} | {:.3} | {:.3} | {:.1} | {:.2} | {:.2} | {} \
+                 | {:.4} |\n",
+                c.room,
+                c.policy,
                 c.fleets,
                 c.devices,
                 c.threads,
@@ -191,6 +302,7 @@ impl MatrixReport {
                 c.min_ms,
                 c.fleets_per_sec,
                 c.speedup_vs_serial,
+                c.min_power_dbm,
                 c.steals,
                 c.mean_queue_wait_ms
             ));
@@ -201,12 +313,14 @@ impl MatrixReport {
     /// The CSV table (same columns as the markdown).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "fleets,devices,threads,shards,mean_ms,min_ms,fleets_per_sec,\
-             speedup_vs_serial,steals,mean_queue_wait_ms\n",
+            "room,policy,fleets,devices,threads,shards,mean_ms,min_ms,fleets_per_sec,\
+             speedup_vs_serial,min_power_dbm,steals,mean_queue_wait_ms\n",
         );
         for c in &self.cells {
             out.push_str(&format!(
-                "{},{},{},{},{:.6},{:.6},{:.3},{:.4},{},{:.6}\n",
+                "{},{},{},{},{},{},{:.6},{:.6},{:.3},{:.4},{:.4},{},{:.6}\n",
+                c.room,
+                c.policy,
                 c.fleets,
                 c.devices,
                 c.threads,
@@ -215,6 +329,7 @@ impl MatrixReport {
                 c.min_ms,
                 c.fleets_per_sec,
                 c.speedup_vs_serial,
+                c.min_power_dbm,
                 c.steals,
                 c.mean_queue_wait_ms
             ));
@@ -231,14 +346,22 @@ impl MatrixReport {
                 .collect::<Vec<_>>()
                 .join(", ")
         };
+        let names = |v: &[String]| {
+            v.iter()
+                .map(|n| format!("{n:?}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
         let mut out = String::from("{\n");
-        out.push_str("  \"pr\": 8,\n");
+        out.push_str("  \"pr\": 9,\n");
         out.push_str(&machine_json());
         out.push_str(&allocs_json());
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str(&format!(
-            "  \"axes\": {{\"fleets\": [{}], \"devices\": [{}], \"threads\": [{}], \
-             \"shards\": [{}]}},\n",
+            "  \"axes\": {{\"rooms\": [{}], \"policies\": [{}], \"fleets\": [{}], \
+             \"devices\": [{}], \"threads\": [{}], \"shards\": [{}]}},\n",
+            names(&self.axes.rooms),
+            names(&self.axes.policies),
             list(&self.axes.fleets),
             list(&self.axes.devices),
             list(&self.axes.threads),
@@ -248,10 +371,13 @@ impl MatrixReport {
         for (i, c) in self.cells.iter().enumerate() {
             let comma = if i + 1 < self.cells.len() { "," } else { "" };
             out.push_str(&format!(
-                "    {{\"fleets\": {}, \"devices\": {}, \"threads\": {}, \"shards\": {}, \
-                 \"mean_ms\": {:.6}, \"min_ms\": {:.6}, \"fleets_per_sec\": {:.3}, \
-                 \"speedup_vs_serial\": {:.4}, \"steals\": {}, \
+                "    {{\"room\": {:?}, \"policy\": {:?}, \"fleets\": {}, \"devices\": {}, \
+                 \"threads\": {}, \"shards\": {}, \"mean_ms\": {:.6}, \"min_ms\": {:.6}, \
+                 \"fleets_per_sec\": {:.3}, \"speedup_vs_serial\": {:.4}, \
+                 \"min_power_dbm\": {:.4}, \"steals\": {}, \
                  \"mean_queue_wait_ms\": {:.6}}}{comma}\n",
+                c.room,
+                c.policy,
                 c.fleets,
                 c.devices,
                 c.threads,
@@ -260,6 +386,7 @@ impl MatrixReport {
                 c.min_ms,
                 c.fleets_per_sec,
                 c.speedup_vs_serial,
+                c.min_power_dbm,
                 c.steals,
                 c.mean_queue_wait_ms
             ));
@@ -302,12 +429,28 @@ mod tests {
     }
 
     #[test]
+    fn parse_names_validates_against_the_catalog() {
+        let rooms = MatrixAxes::known_rooms();
+        assert_eq!(
+            MatrixAxes::parse_names("--rooms", "synthetic, office-floor", &rooms).unwrap(),
+            vec!["synthetic".to_string(), "office-floor".to_string()]
+        );
+        assert!(MatrixAxes::parse_names("--rooms", "atrium", &rooms).is_err());
+        assert_eq!(
+            MatrixAxes::parse_names("--policy", "maxmin,favor", &POLICIES).unwrap(),
+            vec!["maxmin".to_string(), "favor".to_string()]
+        );
+        assert!(MatrixAxes::parse_names("--policy", "fairness", &POLICIES).is_err());
+    }
+
+    #[test]
     fn tiny_matrix_measures_every_cell_in_all_three_formats() {
         let axes = MatrixAxes {
             fleets: vec![2],
             devices: vec![2],
             threads: vec![1, 2],
             shards: vec![1, 2],
+            ..MatrixAxes::default_axes()
         };
         assert_eq!(axes.cells(), 4);
         let report = MatrixReport::run(axes, true);
@@ -317,11 +460,45 @@ mod tests {
         assert_eq!(md.lines().count(), 2 + 4);
         let csv = report.to_csv();
         assert_eq!(csv.lines().count(), 1 + 4);
-        assert!(csv.starts_with("fleets,devices,threads,shards"));
+        assert!(csv.starts_with("room,policy,fleets,devices,threads,shards"));
         let json = report.to_json();
         assert!(json.contains("\"axes\""));
         assert!(json.contains("\"threads\": [1, 2]"));
         assert!(json.contains("\"allocs_per_tick\""));
         assert!(json.contains("\"pass\": true"));
+    }
+
+    #[test]
+    fn policy_and_room_axes_multiply_the_cross_product() {
+        // One zoo room under two policies: 2 rooms-cells × 2 policies,
+        // single-point remaining axes. Zoo cells report the room's own
+        // device count and a finite served min power (the folded
+        // --panels headline).
+        let axes = MatrixAxes {
+            rooms: vec![SYNTHETIC_ROOM.to_string(), "conference-room".to_string()],
+            policies: vec!["maxmin".to_string(), "favor".to_string()],
+            fleets: vec![2],
+            devices: vec![2],
+            threads: vec![1],
+            shards: vec![1],
+        };
+        assert_eq!(axes.cells(), 4);
+        let report = MatrixReport::run(axes, true);
+        assert_eq!(report.cells.len(), 4);
+        assert!(report.passes());
+        let zoo: Vec<&MatrixCell> = report
+            .cells
+            .iter()
+            .filter(|c| c.room == "conference-room")
+            .collect();
+        assert_eq!(zoo.len(), 2);
+        for cell in zoo {
+            assert_eq!(cell.devices, 8, "the room brings its own population");
+            assert!(cell.min_power_dbm.is_finite());
+        }
+        assert!(report.to_csv().contains("conference-room,favor"));
+        assert!(report
+            .to_json()
+            .contains("\"policies\": [\"maxmin\", \"favor\"]"));
     }
 }

@@ -222,7 +222,7 @@ impl PerfReport {
 /// returns `(mean_ms, min_ms)`. The minimum is what the regression gate
 /// compares: on shared CI runners a single scheduler preemption can
 /// inflate one sample several-fold, and the min is immune to that.
-fn time_ms<O>(iters: u64, mut routine: impl FnMut() -> O) -> (f64, f64) {
+pub(crate) fn time_ms<O>(iters: u64, mut routine: impl FnMut() -> O) -> (f64, f64) {
     std::hint::black_box(routine());
     let mut total = 0.0f64;
     let mut min = f64::INFINITY;
@@ -936,6 +936,7 @@ pub fn run_mobility(quick: bool) -> MobilityPerfReport {
             let handoff = HandoffPolicy {
                 hysteresis_db,
                 dwell_ticks,
+                ..HandoffPolicy::default()
             };
             let report = if handoff == default_handoff {
                 warm.clone()

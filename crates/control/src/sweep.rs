@@ -312,6 +312,32 @@ pub fn warm_refine_multi(
     }
 }
 
+/// Drives a block-coordinate-descent loop to a fixed point: calls
+/// `round` (one full pass over all coordinate blocks, returning the
+/// pass's absolute score improvement) until the improvement drops to
+/// `tolerance` or `max_rounds` passes have run. Returns the number of
+/// rounds executed and whether the loop converged (hit the tolerance)
+/// rather than the round cap.
+///
+/// The joint multi-surface optimizer uses this with one `round` =
+/// one [`warm_refine_multi`] sweep per panel against the superposed
+/// field; it is generic so any alternating-minimization caller can
+/// reuse the cap/convergence bookkeeping.
+pub fn descend_rounds(
+    max_rounds: usize,
+    tolerance: f64,
+    mut round: impl FnMut() -> f64,
+) -> (usize, bool) {
+    assert!(max_rounds >= 1, "need at least one descent round");
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    for r in 1..=max_rounds {
+        if round() <= tolerance {
+            return (r, true);
+        }
+    }
+    (max_rounds, false)
+}
+
 /// Runs Algorithm 1 against a scalar metric callback (higher is better).
 ///
 /// The callback receives each probe and returns the measured metric —
@@ -588,5 +614,32 @@ mod tests {
         });
         assert!((outcome.best.vx.0 - 20.0).abs() < 5.0);
         assert!((outcome.best.vy.0 - 12.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn descend_rounds_stops_at_the_tolerance() {
+        // Geometric improvement 8, 4, 2, 1, ... with tolerance 3: rounds
+        // 1 and 2 improve above tolerance, round 3 lands at 2 ≤ 3.
+        let mut gain = 16.0;
+        let (rounds, converged) = descend_rounds(10, 3.0, || {
+            gain /= 2.0;
+            gain
+        });
+        assert_eq!(rounds, 3);
+        assert!(converged);
+    }
+
+    #[test]
+    fn descend_rounds_hits_the_cap_without_convergence() {
+        let (rounds, converged) = descend_rounds(4, 0.0, || 1.0);
+        assert_eq!(rounds, 4);
+        assert!(!converged);
+    }
+
+    #[test]
+    fn descend_rounds_converges_immediately_on_a_flat_round() {
+        let (rounds, converged) = descend_rounds(5, 0.05, || 0.0);
+        assert_eq!(rounds, 1);
+        assert!(converged);
     }
 }

@@ -239,6 +239,18 @@ impl FaultPlan {
             && self.draw("panel-outage", panel as u64, tick as u64) < self.panel_outage_rate
     }
 
+    /// Did `panel` just come back from an outage at tick `tick` (time
+    /// `t`)? True when the panel is up this tick but was dark on the
+    /// previous one (`tick_len` earlier). Stateless like
+    /// [`FaultPlan::panel_out`] — the revival policy
+    /// ([`crate::panels::RevivalPolicy`]) re-draws both ticks instead
+    /// of tracking outage history.
+    pub fn panel_revived(&self, panel: usize, tick: usize, t: Seconds, tick_len: Seconds) -> bool {
+        tick > 0
+            && !self.panel_out(panel, tick, t)
+            && self.panel_out(panel, tick - 1, Seconds(t.0 - tick_len.0))
+    }
+
     /// Is delivery attempt `attempt` of `panel`'s probe report at tick
     /// `tick` lost?
     pub fn report_lost(&self, panel: usize, tick: usize, attempt: usize) -> bool {
@@ -403,6 +415,32 @@ mod tests {
         assert!(plan.panel_out(1, 4, Seconds(4.0)));
         assert!(!plan.panel_out(1, 5, Seconds(5.0)), "half-open window");
         assert!(!plan.panel_out(0, 3, Seconds(3.0)), "other panels live");
+    }
+
+    #[test]
+    fn panel_revival_fires_exactly_once_after_the_window() {
+        let mut plan = FaultPlan::none();
+        plan.outages.push(PanelOutage {
+            panel: 1,
+            window: FaultWindow {
+                start: Seconds(3.0),
+                duration: Seconds(2.0),
+            },
+        });
+        let dt = Seconds(1.0);
+        // Up before the window, dark during, revived on the first tick
+        // after — and only that tick.
+        assert!(
+            !plan.panel_revived(1, 3, Seconds(3.0), dt),
+            "just went dark"
+        );
+        assert!(!plan.panel_revived(1, 4, Seconds(4.0), dt), "still dark");
+        assert!(plan.panel_revived(1, 5, Seconds(5.0), dt), "heal tick");
+        assert!(!plan.panel_revived(1, 6, Seconds(6.0), dt), "already back");
+        // A never-faulted panel never revives, and tick 0 has no
+        // previous tick to have healed from.
+        assert!(!plan.panel_revived(0, 5, Seconds(5.0), dt));
+        assert!(!plan.panel_revived(1, 0, Seconds(0.0), dt));
     }
 
     #[test]

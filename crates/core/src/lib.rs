@@ -67,7 +67,8 @@ pub mod system;
 pub use faults::FaultPlan;
 pub use fleet::{Fleet, FleetDevice, FleetEvaluator, FleetOutcome, Policy, Scheduler};
 pub use panels::{
-    serve_fleets, serve_panel_fleets, Assignment, Panel, PanelArray, PanelOutcome, PanelScheduler,
+    serve_fleets, serve_panel_fleets, Assignment, CoupledEvaluator, JointConfig, JointStats, Panel,
+    PanelArray, PanelOutcome, PanelScheduler, RevivalPolicy,
 };
 pub use rooms::RoomScenario;
 pub use scenario::{EndpointKind, Scenario};

@@ -27,7 +27,16 @@
 //! * [`serve_fleets`] / [`serve_panel_fleets`] — the typed front of
 //!   [`control::server::FleetServer`]: many fleets multiplexed over the
 //!   sharded work-stealing queue and scoped worker pool, each outcome
-//!   bit-identical to serial execution.
+//!   bit-identical to serial execution;
+//! * **joint multi-surface search** ([`PanelScheduler::with_joint`]) —
+//!   block coordinate descent over the per-panel bias vector against the
+//!   *superposed* field ([`propagation::coupling::MultiSurfaceField`]):
+//!   each round re-sweeps every panel with the other panels' leakage
+//!   held fixed ([`CoupledEvaluator`]), iterating to a fixed point under
+//!   a convergence tolerance and round cap. The independent per-panel
+//!   path stays the fast approximation, and a disabled coupling
+//!   ([`CouplingConfig::is_disabled`]) short-circuits to it *bitwise*
+//!   (property-tested).
 //!
 //! With K = 1 the panel scheduler *is* the shared-bias scheduler (the
 //! proptests pin exact equality); with K panels each compromise spans
@@ -51,15 +60,20 @@
 //! assert!(outcome.per_device.iter().all(|d| d.duty == 1.0));
 //! ```
 
+use std::rc::Rc;
+
 use control::server::FleetServer;
-use control::sweep::WarmConfig;
+use control::sweep::{descend_rounds, warm_refine_multi, Probe, WarmConfig};
 use metasurface::designs::Design;
-use metasurface::evaluator::PlanCache;
+use metasurface::evaluator::{PlanCache, StackEvaluator};
 use metasurface::response::SurfaceResponse;
-use metasurface::stack::BiasState;
+use metasurface::stack::{BiasState, SUPPLY_CEILING};
+use propagation::capacity::capacity_bits;
+use propagation::coupling::{CouplingConfig, MultiSurfaceField};
 use propagation::link::PreparedLink;
-use propagation::rays::Deployment;
-use rfmath::units::{Degrees, Seconds};
+use propagation::rays::{Deployment, Path};
+use rfmath::complex::Complex;
+use rfmath::units::{Dbm, Degrees, Hertz, Seconds, Watts};
 use rfmath::vec2::Point2;
 
 use crate::fleet::{DeviceService, Fleet, FleetEvaluator, FleetOutcome, Policy, Scheduler};
@@ -322,14 +336,18 @@ impl PanelArray {
     /// prepared once ([`PreparedLink`], scatter cached), re-targeted at
     /// every panel's mounting position
     /// ([`PreparedLink::with_surface_placement`]), and scored by
-    /// received power under the panel's reference-bias response; devices
-    /// then greedily take their best-scoring panel with capacity left
-    /// (⌈n/K⌉ per panel), in fleet order. Reference-power ties —
-    /// identical panels of a uniform array measure bit-identically —
-    /// break toward the panel whose sector is nearest the device's
-    /// mount, then the lower index, so the policy degrades to a
-    /// load-balanced [`Assignment::ByOrientation`] rather than to
-    /// fleet-order blocking.
+    /// received power under the panel's reference-bias response.
+    /// Devices then greedily take their best-scoring panel with
+    /// capacity left (⌈n/K⌉ per panel), processed in a *canonical*
+    /// order — strongest best-panel power first, label ascending on
+    /// ties — rather than fleet order, so the assignment is invariant
+    /// under device permutation (property-tested). Reference-power ties
+    /// within a device's preference list — identical panels of a
+    /// uniform array measure bit-identically — break toward the panel
+    /// whose sector is nearest the device's mount, then the lower
+    /// index, so the policy degrades to a load-balanced
+    /// [`Assignment::ByOrientation`] rather than to arrival-order
+    /// blocking.
     fn assign_best_reference(
         &self,
         fleet: &Fleet,
@@ -338,22 +356,21 @@ impl PanelArray {
         let n = fleet.len();
         let k = self.panels.len();
         let capacity = n.div_ceil(k);
-        let mut load = vec![0usize; k];
-        let mut out = Vec::with_capacity(n);
         // The reference response depends only on (design, carrier) —
         // memoize it across devices instead of re-running the cascade
         // per device × panel.
         let mut responses: Vec<(usize, u64, SurfaceResponse)> = Vec::new();
+        // Score every device against every panel up front (no capacity
+        // pruning here — pruning while scanning would make the scores
+        // depend on processing order).
+        let mut prefs: Vec<Vec<(usize, f64, f64)>> = Vec::with_capacity(n);
         for device in fleet.devices() {
             let f = device.scenario.frequency;
             let prepared = PreparedLink::new(device.scenario.link());
             let mount = device.scenario.rx.orientation;
             // (panel index, reference power, mount-to-sector distance).
-            let mut best: Option<(usize, f64, f64)> = None;
+            let mut scored: Vec<(usize, f64, f64)> = Vec::with_capacity(k);
             for (idx, panel) in self.panels.iter().enumerate() {
-                if load[idx] >= capacity {
-                    continue;
-                }
                 let response = match responses
                     .iter()
                     .find(|(p, bits, _)| *p == idx && *bits == f.0.to_bits())
@@ -371,19 +388,33 @@ impl PanelArray {
                     .with_surface_placement(panel.deployment_for(device.scenario.deployment));
                 let power = moved.received_dbm_with(Some(&response)).0;
                 let sector = axis_distance_deg(mount, panel.sector_center);
-                let better = match best {
-                    None => true,
-                    Some((_, best_power, best_sector)) => {
-                        power > best_power || (power == best_power && sector < best_sector)
-                    }
-                };
-                if better {
-                    best = Some((idx, power, sector));
-                }
+                scored.push((idx, power, sector));
             }
-            let (idx, _, _) = best.expect("capacity ⌈n/K⌉·K ≥ n leaves a panel open");
+            // Preference order: power descending, then nearest sector,
+            // then lower panel index (already the scan order).
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.2.total_cmp(&b.2)));
+            prefs.push(scored);
+        }
+        // Canonical processing order: devices with the strongest best
+        // panel claim capacity first; labels break exact-power ties.
+        // Both keys travel with the device under permutation, so the
+        // resulting assignment does too.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            prefs[b][0]
+                .1
+                .total_cmp(&prefs[a][0].1)
+                .then_with(|| fleet.devices()[a].label.cmp(&fleet.devices()[b].label))
+        });
+        let mut load = vec![0usize; k];
+        let mut out = vec![0usize; n];
+        for &d in &order {
+            let &(idx, _, _) = prefs[d]
+                .iter()
+                .find(|&&(idx, _, _)| load[idx] < capacity)
+                .expect("capacity ⌈n/K⌉·K ≥ n leaves a panel open");
             load[idx] += 1;
-            out.push(idx);
+            out[d] = idx;
         }
         out
     }
@@ -480,6 +511,76 @@ pub enum Assignment {
     BestReference,
 }
 
+/// Configuration of the joint multi-surface search
+/// ([`PanelScheduler::with_joint`]): coupling physics plus the block
+/// coordinate descent schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JointConfig {
+    /// Inter-panel coupling strength. A disabled coupling makes the
+    /// joint run return the independent outcome bit-for-bit.
+    pub coupling: CouplingConfig,
+    /// Per-panel refinement sweep run each descent round (warm-start
+    /// grid around the panel's current bias).
+    pub warm: WarmConfig,
+    /// Cap on full descent rounds (one round = one sweep per panel).
+    pub max_rounds: usize,
+    /// Convergence tolerance, dB: a round improving the fleet min by
+    /// no more than this ends the descent.
+    pub tolerance_db: f64,
+    /// Sweep panels in reverse array order within each round — the
+    /// order-independence proptest's lever; results at convergence
+    /// agree within `tolerance_db` either way.
+    pub reverse_order: bool,
+}
+
+impl Default for JointConfig {
+    fn default() -> Self {
+        Self {
+            coupling: CouplingConfig::indoor_default(),
+            warm: WarmConfig::paper_default(),
+            max_rounds: 4,
+            tolerance_db: 0.05,
+            reverse_order: false,
+        }
+    }
+}
+
+/// What the joint search did, reported on [`PanelOutcome::joint`] and
+/// surfaced through the serving stats.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JointStats {
+    /// Descent rounds executed (0 when the joint run short-circuited:
+    /// empty fleet, single panel, or disabled coupling).
+    pub rounds: usize,
+    /// Whether the descent hit the tolerance rather than the round cap.
+    pub converged: bool,
+    /// Bias states probed against the superposed field (on top of the
+    /// independent warm-up's probes).
+    pub coupled_probes: usize,
+    /// Fraction of total received field energy carried by cross terms
+    /// at the final bias vector — how much the panels actually talk.
+    pub cross_energy_fraction: f64,
+    /// Fleet min-power gain of the joint biases over the independent
+    /// biases, dB, both measured under the coupled physics.
+    pub lift_db: f64,
+}
+
+/// How quickly devices return to a panel healed from a whole-panel
+/// outage ([`crate::faults::FaultPlan::panel_revived`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RevivalPolicy {
+    /// Re-admit on the heal tick: every device whose reference-best
+    /// panel is the healed one migrates back immediately. Outages
+    /// orphan devices with no hysteresis; this is the symmetric
+    /// treatment on the way back.
+    #[default]
+    Immediate,
+    /// Healed panels reacquire devices only through ordinary handoff
+    /// hysteresis — which never fires for devices that stopped moving,
+    /// so a revived panel can sit idle indefinitely.
+    Hysteresis,
+}
+
 /// What one panel contributed to a panel-scheduling run.
 #[derive(Clone, Debug)]
 pub struct PanelAllocation {
@@ -509,6 +610,9 @@ pub struct PanelOutcome {
     pub elapsed: Seconds,
     /// The fleet-wide min served power, dBm (`-∞` for an empty fleet).
     pub score: f64,
+    /// Joint-search bookkeeping when the run used
+    /// [`PanelScheduler::with_joint`]; `None` on the independent path.
+    pub joint: Option<JointStats>,
 }
 
 impl PanelOutcome {
@@ -571,6 +675,10 @@ pub struct PanelScheduler {
     pub base: Scheduler,
     /// Device → panel mapping policy.
     pub assignment: Assignment,
+    /// Joint multi-surface refinement run after the independent
+    /// per-panel search (`None` = independent only). See
+    /// [`PanelScheduler::with_joint`].
+    pub joint: Option<JointConfig>,
 }
 
 impl PanelScheduler {
@@ -580,6 +688,7 @@ impl PanelScheduler {
         Self {
             base: Scheduler::max_min(),
             assignment: Assignment::ByOrientation,
+            joint: None,
         }
     }
 
@@ -594,6 +703,18 @@ impl PanelScheduler {
     /// Sets the assignment policy.
     pub fn with_assignment(mut self, assignment: Assignment) -> Self {
         self.assignment = assignment;
+        self
+    }
+
+    /// Enables the joint multi-surface search: after the independent
+    /// per-panel warm-up, block coordinate descent re-sweeps each
+    /// panel's bias against the superposed field (other panels held
+    /// fixed) until the fleet min stops improving by more than
+    /// `joint.tolerance_db` or `joint.max_rounds` rounds have run.
+    /// Supported for [`Policy::MaxMin`]; a disabled coupling returns
+    /// the independent outcome bit-for-bit (property-tested).
+    pub fn with_joint(mut self, joint: JointConfig) -> Self {
+        self.joint = Some(joint);
         self
     }
 
@@ -621,13 +742,17 @@ impl PanelScheduler {
         caches: &[(&'static str, PlanCache)],
     ) -> PanelOutcome {
         let assignment = array.assign_with_caches(fleet, &self.assignment, caches);
-        self.run_assigned(
+        let independent = self.run_assigned(
             fleet,
             array,
             assignment,
             caches,
             |_, scheduler, sub, eval| scheduler.run_with_evaluator(sub, eval),
-        )
+        );
+        match &self.joint {
+            Some(cfg) => self.joint_refine(fleet, array, caches, independent, cfg),
+            None => independent,
+        }
     }
 
     /// Warm-start re-optimization against a previous outcome: every
@@ -640,6 +765,10 @@ impl PanelScheduler {
     /// every fade. This is the stateless warm front; the event-stepped
     /// simulator ([`crate::sim::MobilitySim`]) adds persistent
     /// evaluators on top so unchanged links are not even re-prepared.
+    ///
+    /// Joint refinement is deliberately *not* applied here: the warm
+    /// path is the per-tick mobility fast path, and the simulator
+    /// rejects joint-mode schedulers up front.
     pub fn run_warm(
         &self,
         fleet: &Fleet,
@@ -719,8 +848,180 @@ impl PanelScheduler {
             probes,
             elapsed: Seconds(elapsed),
             score: f64::NEG_INFINITY,
+            joint: None,
         };
         outcome.score = outcome.min_power_dbm();
+        outcome
+    }
+
+    /// The joint refinement stage: block coordinate descent from the
+    /// independent per-panel optimum against the superposed field.
+    ///
+    /// Each round sweeps every panel once ([`warm_refine_multi`]
+    /// centered on the panel's current bias) with the other panels'
+    /// contributions held fixed; the round's canonical fleet-min
+    /// improvement feeds [`descend_rounds`]'s convergence check. The
+    /// final score is re-measured through the canonical superposition
+    /// ([`CoupledEvaluator::powers_dbm`]) because the sweep's
+    /// cached-fixed-part sum associates float additions differently.
+    fn joint_refine(
+        &self,
+        fleet: &Fleet,
+        array: &PanelArray,
+        caches: &[(&'static str, PlanCache)],
+        independent: PanelOutcome,
+        cfg: &JointConfig,
+    ) -> PanelOutcome {
+        let kp = array.len();
+        if fleet.is_empty() || kp < 2 || cfg.coupling.is_disabled() {
+            // Nothing to couple: the independent outcome *is* the joint
+            // outcome (bitwise — the zero-coupling guarantee).
+            let mut outcome = independent;
+            outcome.joint = Some(JointStats {
+                rounds: 0,
+                converged: true,
+                coupled_probes: 0,
+                cross_energy_fraction: 0.0,
+                lift_db: 0.0,
+            });
+            return outcome;
+        }
+        assert!(
+            matches!(self.base.policy, Policy::MaxMin),
+            "the joint search optimizes the fleet min (Policy::MaxMin); got {:?}",
+            self.base.policy
+        );
+        let mut coupled = CoupledEvaluator::with_caches(
+            fleet,
+            array,
+            &independent.assignment,
+            caches,
+            cfg.coupling,
+        );
+        let mut biases: Vec<BiasState> = independent
+            .panel_biases()
+            .into_iter()
+            .map(|b| b.unwrap_or(REFERENCE_BIAS))
+            .collect();
+        let min_of = |powers: &[f64]| powers.iter().copied().fold(f64::INFINITY, f64::min);
+        let baseline = min_of(&coupled.powers_dbm(&biases));
+        let mut score = baseline;
+        let mut coupled_probes = 0usize;
+        let mut panel_probes = vec![0usize; kp];
+        let mut panel_elapsed = vec![0.0f64; kp];
+        let order: Vec<usize> = if cfg.reverse_order {
+            (0..kp).rev().collect()
+        } else {
+            (0..kp).collect()
+        };
+        let (rounds, converged) = descend_rounds(cfg.max_rounds, cfg.tolerance_db, || {
+            let before = score;
+            for &p in &order {
+                let fixed = coupled.fixed_amplitudes(p, &biases);
+                let center = Probe {
+                    vx: biases[p].vx,
+                    vy: biases[p].vy,
+                };
+                let sweep = warm_refine_multi(
+                    &self.base.sweep,
+                    &cfg.warm,
+                    center,
+                    |probe| {
+                        coupled.sweep_powers(
+                            p,
+                            BiasState {
+                                vx: probe.vx,
+                                vy: probe.vy,
+                            },
+                            &fixed,
+                        )
+                    },
+                    |m| m.iter().copied().fold(f64::INFINITY, f64::min),
+                );
+                coupled_probes += sweep.probes;
+                panel_probes[p] += sweep.probes;
+                panel_elapsed[p] += sweep.duration.0;
+                biases[p] = BiasState {
+                    vx: sweep.best.vx,
+                    vy: sweep.best.vy,
+                };
+            }
+            // Canonical re-measure: the sweep's fixed-part association
+            // can drift from the full superposition by float dust, so
+            // convergence is judged on the canonical score only.
+            let after = min_of(&coupled.powers_dbm(&biases));
+            let improvement = after - before;
+            score = after;
+            improvement
+        });
+
+        let powers = coupled.powers_dbm(&biases);
+        let cross_energy = coupled.cross_energy_fraction(&biases);
+        let subfleets = array.subfleets(fleet, &independent.assignment);
+        let mut services: Vec<Option<DeviceService>> = vec![None; fleet.len()];
+        let mut per_panel = Vec::with_capacity(kp);
+        for (k, (subfleet, members)) in subfleets.into_iter().enumerate() {
+            let bias = biases[k].clamped(SUPPLY_CEILING);
+            let mut panel_services = Vec::with_capacity(members.len());
+            for (device, &d) in subfleet.devices().iter().zip(&members) {
+                let power = powers[d];
+                let service = DeviceService {
+                    label: device.label.clone(),
+                    bias,
+                    power_dbm: power,
+                    duty: 1.0,
+                    throughput_bits_hz: capacity_bits(Dbm(power), &device.profile.noise),
+                    decodable: device.profile.is_decodable(power),
+                };
+                services[d] = Some(service.clone());
+                panel_services.push(service);
+            }
+            let panel_score = members
+                .iter()
+                .map(|&d| powers[d])
+                .fold(f64::INFINITY, f64::min);
+            per_panel.push(PanelAllocation {
+                panel: array.panels()[k].label.clone(),
+                devices: members,
+                outcome: FleetOutcome {
+                    policy: Policy::MaxMin,
+                    per_device: panel_services,
+                    shared_bias: Some(bias),
+                    score: if panel_score == f64::INFINITY {
+                        f64::NEG_INFINITY
+                    } else {
+                        panel_score
+                    },
+                    probes: panel_probes[k],
+                    elapsed: Seconds(panel_elapsed[k]),
+                    history: Vec::new(),
+                },
+            });
+        }
+        let per_device: Vec<DeviceService> = services
+            .into_iter()
+            .map(|s| s.expect("every device is assigned to exactly one panel"))
+            .collect();
+        // Descent rounds are sequential (panel k's sweep needs the
+        // others' latest biases), so the coupled refinement bills its
+        // total probe airtime on top of the independent warm-up.
+        let mut outcome = PanelOutcome {
+            assignment: independent.assignment.clone(),
+            per_panel,
+            per_device,
+            probes: independent.probes + coupled_probes,
+            elapsed: Seconds(independent.elapsed.0 + panel_elapsed.iter().sum::<f64>()),
+            score: f64::NEG_INFINITY,
+            joint: None,
+        };
+        outcome.score = outcome.min_power_dbm();
+        outcome.joint = Some(JointStats {
+            rounds,
+            converged,
+            coupled_probes,
+            cross_energy_fraction: cross_energy,
+            lift_db: score - baseline,
+        });
         outcome
     }
 
@@ -736,6 +1037,284 @@ impl PanelScheduler {
             };
         }
         scheduler
+    }
+}
+
+/// The superposed-field probe engine behind the joint search: one
+/// [`MultiSurfaceField`] per device (its home panel's full link plus
+/// every foreign panel's re-mounted leakage link) and one compiled plan
+/// handle per panel × distinct carrier, batch-reused across probes.
+///
+/// The home link of each field is constructed exactly like
+/// [`FleetEvaluator::with_plan_cache`] constructs its links, so at zero
+/// coupling the superposed powers are *bit-identical* to the
+/// independent evaluator's (property-tested) — the joint path degrades
+/// to the fast approximation with no physics drift.
+pub struct CoupledEvaluator {
+    fields: Vec<MultiSurfaceField>,
+    home_of: Vec<usize>,
+    carrier_of: Vec<usize>,
+    /// `plans[k][c]`: panel `k`'s compiled plan at distinct carrier `c`.
+    plans: Vec<Vec<Rc<StackEvaluator>>>,
+    coupling: CouplingConfig,
+    /// `responses[k][c]`, refilled per bias vector.
+    responses: Vec<Vec<SurfaceResponse>>,
+    scratch: Vec<Path>,
+}
+
+impl CoupledEvaluator {
+    /// Builds the coupled engine for `fleet` served by `array` under a
+    /// fixed device → panel `assignment`, compiling its own plan caches.
+    pub fn new(
+        fleet: &Fleet,
+        array: &PanelArray,
+        assignment: &[usize],
+        coupling: CouplingConfig,
+    ) -> Self {
+        Self::with_caches(fleet, array, assignment, &array.plan_caches(), coupling)
+    }
+
+    /// [`CoupledEvaluator::new`] drawing plans from caller-owned caches
+    /// (the scheduler's per-run cache set).
+    pub(crate) fn with_caches(
+        fleet: &Fleet,
+        array: &PanelArray,
+        assignment: &[usize],
+        caches: &[(&'static str, PlanCache)],
+        coupling: CouplingConfig,
+    ) -> Self {
+        assert_eq!(assignment.len(), fleet.len(), "one panel per device");
+        let panels = array.panels();
+        // Distinct carriers across the fleet, first-appearance order.
+        let mut carriers: Vec<u64> = Vec::new();
+        let carrier_of: Vec<usize> = fleet
+            .devices()
+            .iter()
+            .map(|device| {
+                let bits = device.scenario.frequency.0.to_bits();
+                match carriers.iter().position(|&b| b == bits) {
+                    Some(i) => i,
+                    None => {
+                        carriers.push(bits);
+                        carriers.len() - 1
+                    }
+                }
+            })
+            .collect();
+        let plans: Vec<Vec<Rc<StackEvaluator>>> = panels
+            .iter()
+            .map(|panel| {
+                let cache = PanelArray::cache_for(caches, &panel.design);
+                carriers
+                    .iter()
+                    .map(|&bits| cache.plan(Hertz(f64::from_bits(bits))))
+                    .collect()
+            })
+            .collect();
+        let fields: Vec<MultiSurfaceField> = fleet
+            .devices()
+            .iter()
+            .zip(assignment)
+            .map(|(device, &home)| {
+                // The home link matches the independent evaluator's
+                // construction bit-for-bit; foreign panels re-mount the
+                // same prepared link at their own positions, reusing
+                // the cached static paths.
+                let home_link =
+                    PreparedLink::new(panels[home].scenario_for(&device.scenario).link());
+                let links: Vec<PreparedLink> = panels
+                    .iter()
+                    .enumerate()
+                    .map(|(k, panel)| {
+                        if k == home {
+                            home_link.clone()
+                        } else {
+                            home_link.with_surface_placement(
+                                panel.deployment_for(device.scenario.deployment),
+                            )
+                        }
+                    })
+                    .collect();
+                MultiSurfaceField::new(home, links)
+            })
+            .collect();
+        let responses = plans
+            .iter()
+            .map(|row| Vec::with_capacity(row.len()))
+            .collect();
+        Self {
+            fields,
+            home_of: assignment.to_vec(),
+            carrier_of,
+            plans,
+            coupling,
+            responses,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of devices under evaluation.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True for an empty fleet.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Evaluates every panel's response at its bias, per carrier.
+    fn fill_responses(&mut self, biases: &[BiasState]) {
+        assert_eq!(biases.len(), self.plans.len(), "one bias per panel");
+        let Self {
+            plans, responses, ..
+        } = self;
+        for (k, row) in plans.iter().enumerate() {
+            responses[k].clear();
+            let bias = biases[k].clamped(SUPPLY_CEILING);
+            for plan in row {
+                responses[k].push(plan.surface_response(bias));
+            }
+        }
+    }
+
+    /// Device `d`'s superposed amplitude from the filled responses —
+    /// the canonical association: home first, cross terms in panel
+    /// order.
+    fn amplitude_of(&mut self, d: usize) -> Complex {
+        let field = &self.fields[d];
+        let c = self.carrier_of[d];
+        let home = self.home_of[d];
+        let mut amp = field.home_amplitude(Some(&self.responses[home][c]), &mut self.scratch);
+        if !self.coupling.is_disabled() {
+            for k in 0..field.panel_count() {
+                if k == home {
+                    continue;
+                }
+                amp += field.cross_amplitude(
+                    k,
+                    Some(&self.responses[k][c]),
+                    &self.coupling,
+                    &mut self.scratch,
+                );
+            }
+        }
+        amp
+    }
+
+    /// Per-device superposed received powers, dBm, at a per-panel bias
+    /// vector. At zero coupling this equals the independent
+    /// [`FleetEvaluator::powers_dbm`] bit-for-bit.
+    pub fn powers_dbm(&mut self, biases: &[BiasState]) -> Vec<f64> {
+        self.fill_responses(biases);
+        (0..self.fields.len())
+            .map(|d| Watts(self.amplitude_of(d).norm_sqr()).to_dbm().0)
+            .collect()
+    }
+
+    /// The fleet-wide min superposed power (`-∞` when empty).
+    pub fn min_power_dbm(&mut self, biases: &[BiasState]) -> f64 {
+        if self.fields.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        self.powers_dbm(biases)
+            .into_iter()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Fraction of total received field energy carried by cross terms
+    /// at this bias vector — 0 when panels don't talk, approaching 1 if
+    /// leakage dominated (it never should).
+    pub fn cross_energy_fraction(&mut self, biases: &[BiasState]) -> f64 {
+        self.fill_responses(biases);
+        let mut cross = 0.0f64;
+        let mut total = 0.0f64;
+        for d in 0..self.fields.len() {
+            let amp = self.amplitude_of(d);
+            let c = self.carrier_of[d];
+            let home_idx = self.home_of[d];
+            let home = self.fields[d]
+                .home_amplitude(Some(&self.responses[home_idx][c]), &mut self.scratch);
+            cross += (amp - home).norm_sqr();
+            total += amp.norm_sqr();
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            cross / total
+        }
+    }
+
+    /// Per-device contribution of every panel *except* `swept` at the
+    /// bias vector `biases`: the constant part of one coordinate sweep,
+    /// computed once per panel-sweep so each probe costs one panel
+    /// evaluation plus one complex add per device. Re-fills all stored
+    /// responses from `biases` first — a preceding sweep leaves the
+    /// swept panel's stored response at its *last probe*, not its
+    /// accepted best.
+    fn fixed_amplitudes(&mut self, swept: usize, biases: &[BiasState]) -> Vec<Complex> {
+        self.fill_responses(biases);
+        (0..self.fields.len())
+            .map(|d| {
+                let field = &self.fields[d];
+                let c = self.carrier_of[d];
+                let home = self.home_of[d];
+                let mut amp = if home == swept {
+                    Complex::ZERO
+                } else {
+                    field.home_amplitude(Some(&self.responses[home][c]), &mut self.scratch)
+                };
+                for k in 0..field.panel_count() {
+                    if k == home || k == swept {
+                        continue;
+                    }
+                    amp += field.cross_amplitude(
+                        k,
+                        Some(&self.responses[k][c]),
+                        &self.coupling,
+                        &mut self.scratch,
+                    );
+                }
+                amp
+            })
+            .collect()
+    }
+
+    /// Per-device powers when panel `swept` probes `bias` and every
+    /// other panel holds its `fixed` contribution — the measure
+    /// callback of one coordinate sweep. Leaves the swept panel's
+    /// stored response at the probed bias;
+    /// [`CoupledEvaluator::fixed_amplitudes`] and the canonical
+    /// [`CoupledEvaluator::powers_dbm`] both re-fill before reading.
+    fn sweep_powers(&mut self, swept: usize, bias: BiasState, fixed: &[Complex]) -> Vec<f64> {
+        let bias = bias.clamped(SUPPLY_CEILING);
+        let Self {
+            plans, responses, ..
+        } = self;
+        responses[swept].clear();
+        for plan in &plans[swept] {
+            responses[swept].push(plan.surface_response(bias));
+        }
+        (0..self.fields.len())
+            .map(|d| {
+                let field = &self.fields[d];
+                let c = self.carrier_of[d];
+                let home = self.home_of[d];
+                let amp = if home == swept {
+                    field.home_amplitude(Some(&self.responses[swept][c]), &mut self.scratch)
+                        + fixed[d]
+                } else {
+                    fixed[d]
+                        + field.cross_amplitude(
+                            swept,
+                            Some(&self.responses[swept][c]),
+                            &self.coupling,
+                            &mut self.scratch,
+                        )
+                };
+                Watts(amp.norm_sqr()).to_dbm().0
+            })
+            .collect()
     }
 }
 
@@ -1025,6 +1604,115 @@ mod tests {
     }
 
     #[test]
+    fn zero_coupling_joint_is_bitwise_the_independent_run() {
+        let fleet = Fleet::mixed_wifi_ble(8, 41);
+        let array = PanelArray::distributed(fleet.design.clone(), 3);
+        let independent = PanelScheduler::max_min().run(&fleet, &array);
+        let joint = PanelScheduler::max_min()
+            .with_joint(JointConfig {
+                coupling: CouplingConfig::disabled(),
+                ..JointConfig::default()
+            })
+            .run(&fleet, &array);
+        assert!(joint.same_allocation(&independent));
+        assert_eq!(joint.probes, independent.probes);
+        let stats = joint.joint.expect("joint run reports stats");
+        assert_eq!(stats.rounds, 0);
+        assert!(stats.converged);
+        assert_eq!(stats.coupled_probes, 0);
+        assert_eq!(stats.cross_energy_fraction, 0.0);
+        assert_eq!(stats.lift_db, 0.0);
+    }
+
+    #[test]
+    fn coupled_evaluator_at_zero_coupling_matches_the_independent_physics() {
+        // The physics-level guarantee behind the delegation: the
+        // superposed powers with coupling off are bit-identical to the
+        // independent per-panel evaluator's, for every panel's
+        // sub-fleet at an arbitrary bias vector.
+        let fleet = Fleet::mixed_wifi_ble(6, 2021);
+        let array = PanelArray::distributed(fleet.design.clone(), 2);
+        let assignment = array.assign(&fleet, &Assignment::ByOrientation);
+        let biases = [BiasState::new(7.0, 22.0), BiasState::new(18.0, 3.0)];
+        let mut coupled =
+            CoupledEvaluator::new(&fleet, &array, &assignment, CouplingConfig::disabled());
+        let coupled_powers = coupled.powers_dbm(&biases);
+        let caches = array.plan_caches();
+        for (k, (subfleet, members)) in array.subfleets(&fleet, &assignment).into_iter().enumerate()
+        {
+            if subfleet.is_empty() {
+                continue;
+            }
+            let cache = PanelArray::cache_for(&caches, &array.panels()[k].design);
+            let evaluator = FleetEvaluator::with_plan_cache(&subfleet, cache);
+            let independent = evaluator.powers_dbm(biases[k]);
+            for (i, &d) in members.iter().enumerate() {
+                assert_eq!(
+                    coupled_powers[d].to_bits(),
+                    independent[i].to_bits(),
+                    "device {d} on panel {k}: coupled {} vs independent {}",
+                    coupled_powers[d],
+                    independent[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn joint_search_never_loses_to_independent_biases_under_coupling() {
+        // The honest comparison: both bias vectors measured under the
+        // same coupled physics. The descent starts at the independent
+        // optimum and the warm sweep keeps its center on ties, so the
+        // joint biases can only gain (up to canonical-reassociation
+        // float dust).
+        let fleet = Fleet::mixed_wifi_ble(8, 2021);
+        let array = PanelArray::distributed(fleet.design.clone(), 4);
+        let joint = PanelScheduler::max_min()
+            .with_joint(JointConfig::default())
+            .run(&fleet, &array);
+        let stats = joint.joint.expect("joint run reports stats");
+        assert!(
+            stats.lift_db >= -1e-9,
+            "joint must not lose to the independent biases: lift = {} dB",
+            stats.lift_db
+        );
+        assert!(stats.rounds >= 1);
+        assert!(stats.coupled_probes > 0);
+        assert!(
+            stats.cross_energy_fraction > 0.0,
+            "distributed panels must actually couple"
+        );
+        assert!(stats.cross_energy_fraction < 0.5);
+        // The outcome's bookkeeping reflects the extra coupled work.
+        let independent = PanelScheduler::max_min().run(&fleet, &array);
+        assert!(joint.probes > independent.probes);
+        assert!(joint.elapsed.0 > independent.elapsed.0);
+        assert_eq!(joint.assignment, independent.assignment);
+    }
+
+    #[test]
+    fn single_panel_joint_short_circuits() {
+        let fleet = quad_fleet();
+        let array = PanelArray::uniform(fleet.design.clone(), 1);
+        let independent = PanelScheduler::max_min().run(&fleet, &array);
+        let joint = PanelScheduler::max_min()
+            .with_joint(JointConfig::default())
+            .run(&fleet, &array);
+        assert!(joint.same_allocation(&independent));
+        assert_eq!(joint.joint.expect("stats").rounds, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Policy::MaxMin")]
+    fn joint_mode_rejects_non_maxmin_policies() {
+        let fleet = quad_fleet();
+        let array = PanelArray::distributed(fleet.design.clone(), 2);
+        let mut scheduler = PanelScheduler::max_min().with_joint(JointConfig::default());
+        scheduler.base = Scheduler::favor(1);
+        let _ = scheduler.run(&fleet, &array);
+    }
+
+    #[test]
     fn server_outcomes_match_serial_execution() {
         // The ≥8-concurrent-fleets acceptance gate: outcomes through the
         // bounded-queue worker pool must be identical to serial runs.
@@ -1042,6 +1730,37 @@ mod tests {
                 assert_eq!(x.power_dbm, y.power_dbm);
                 assert_eq!(x.throughput_bits_hz, y.throughput_bits_hz);
             }
+        }
+    }
+
+    #[test]
+    fn served_panel_fleets_surface_joint_stats() {
+        // Coupling telemetry must survive the server path: every job
+        // served under a joint scheduler reports its descent rounds and
+        // cross-term energy, bit-identical to the direct run.
+        let jobs: Vec<(Fleet, PanelArray)> = (0..3)
+            .map(|s| {
+                let fleet = Fleet::mixed_wifi_ble(4, 300 + s);
+                let array = PanelArray::distributed(fleet.design.clone(), 2);
+                (fleet, array)
+            })
+            .collect();
+        let scheduler = PanelScheduler::max_min().with_joint(JointConfig::default());
+        let direct: Vec<PanelOutcome> = jobs.iter().map(|(f, a)| scheduler.run(f, a)).collect();
+        let served = serve_panel_fleets(&FleetServer::new(2), &scheduler, &jobs);
+        for (a, b) in served.iter().zip(&direct) {
+            let (sa, sb) = (a.joint.expect("joint stats"), b.joint.expect("joint stats"));
+            assert!(sa.rounds >= 1);
+            assert!(sa.coupled_probes > 0);
+            assert!(sa.cross_energy_fraction > 0.0 && sa.cross_energy_fraction < 1.0);
+            assert_eq!(sa.rounds, sb.rounds);
+            assert_eq!(sa.coupled_probes, sb.coupled_probes);
+            assert_eq!(
+                sa.cross_energy_fraction.to_bits(),
+                sb.cross_energy_fraction.to_bits()
+            );
+            assert_eq!(sa.lift_db.to_bits(), sb.lift_db.to_bits());
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
         }
     }
 

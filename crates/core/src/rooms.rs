@@ -30,7 +30,7 @@ use rfmath::units::{Degrees, Meters, Seconds};
 use rfmath::vec2::Point2;
 
 use crate::fleet::{Fleet, FleetDevice};
-use crate::panels::{PanelArray, PanelScheduler};
+use crate::panels::{JointConfig, PanelArray, PanelOutcome, PanelScheduler};
 use crate::sim::{Blockage, DynamicFleet, MobilityModel, MobilitySim, SimConfig, SimReport};
 
 /// The names `build` accepts, in catalog order.
@@ -67,6 +67,20 @@ impl RoomScenario {
         MobilitySim::new(PanelScheduler::max_min(), self.config)
             .with_faults(faults)
             .run(&mut self.fleet, &self.array, self.ticks)
+    }
+
+    /// A static joint-vs-independent comparison on the room's t = 0
+    /// fleet snapshot: `(independent, joint)` MaxMin outcomes over the
+    /// room's panel array, where the joint run refines the independent
+    /// biases against the superposed multi-surface field under `cfg`.
+    /// The benchmark harness reports the min-power delta between them.
+    pub fn joint_comparison(&self, cfg: JointConfig) -> (PanelOutcome, PanelOutcome) {
+        let fleet = self.fleet.fleet();
+        let independent = PanelScheduler::max_min().run(fleet, &self.array);
+        let joint = PanelScheduler::max_min()
+            .with_joint(cfg)
+            .run(fleet, &self.array);
+        (independent, joint)
     }
 }
 

@@ -60,7 +60,9 @@ use rfmath::units::{Dbm, Seconds};
 
 use crate::faults::FaultPlan;
 use crate::fleet::{Fleet, FleetEvaluator, FleetOutcome, Policy};
-use crate::panels::{PanelAllocation, PanelArray, PanelOutcome, PanelScheduler, REFERENCE_BIAS};
+use crate::panels::{
+    PanelAllocation, PanelArray, PanelOutcome, PanelScheduler, RevivalPolicy, REFERENCE_BIAS,
+};
 use crate::sim::mobility::DynamicFleet;
 
 /// Device→panel handoff policy: hysteresis in measured margin plus a
@@ -81,6 +83,14 @@ pub struct HandoffPolicy {
     /// equivalence contract depends on it), and parking resets the
     /// streak.
     pub dwell_ticks: usize,
+    /// Re-admission policy when a faulted panel heals.
+    /// [`RevivalPolicy::Immediate`] re-homes every device whose best
+    /// live panel came back *this tick* without waiting out hysteresis
+    /// — the outage is over, there is nothing to flap back to.
+    /// [`RevivalPolicy::Hysteresis`] leaves re-admission to the
+    /// ordinary handoff loop, which never touches parked devices: a
+    /// stationary fleet stays stranded on its fallback panels forever.
+    pub revival: RevivalPolicy,
 }
 
 impl Default for HandoffPolicy {
@@ -88,6 +98,7 @@ impl Default for HandoffPolicy {
         Self {
             hysteresis_db: 2.0,
             dwell_ticks: 2,
+            revival: RevivalPolicy::Immediate,
         }
     }
 }
@@ -196,6 +207,10 @@ pub struct TickOutcome {
     /// Devices re-homed off a dark panel this tick (fault recovery, not
     /// counted as handoffs — no hysteresis was involved).
     pub fault_reassignments: usize,
+    /// Devices re-admitted onto a panel that healed this tick
+    /// ([`RevivalPolicy::Immediate`]; like fault recovery, not counted
+    /// as handoffs — no hysteresis was involved).
+    pub revival_readmissions: usize,
     /// Probe-report deliveries lost this tick (each billed its
     /// backoff-widened timeout as airtime).
     pub reports_lost: usize,
@@ -279,6 +294,11 @@ impl SimReport {
     /// Total fault-recovery re-homings across the run.
     pub fn total_fault_reassignments(&self) -> usize {
         self.ticks.iter().map(|t| t.fault_reassignments).sum()
+    }
+
+    /// Total healed-panel re-admissions across the run.
+    pub fn total_revival_readmissions(&self) -> usize {
+        self.ticks.iter().map(|t| t.revival_readmissions).sum()
     }
 
     /// Total probe-report deliveries lost across the run.
@@ -453,6 +473,11 @@ impl MobilitySim {
             "fault injection requires the warm engine: the cold baseline keeps \
              no persistent state to degrade through"
         );
+        assert!(
+            self.scheduler.joint.is_none(),
+            "the mobility simulator drives the independent per-panel search: \
+             joint multi-surface refinement is a static-scheduler mode"
+        );
         match self.config.warm {
             Some(warm) => self.run_warm_mode(fleet, array, ticks, &warm),
             None => self.run_cold_mode(fleet, array, ticks),
@@ -566,6 +591,7 @@ impl MobilitySim {
             }
             let outaged_panels = outaged.iter().filter(|&&o| o).count();
             let mut reassignments = 0usize;
+            let mut revivals = 0usize;
 
             if i == 0 {
                 // First tick: run the assignment policy and build every
@@ -690,6 +716,65 @@ impl MobilitySim {
                         &self.faults,
                         self.config.churn_baseline,
                     );
+                }
+            }
+
+            // Panel revival: the inverse of fault recovery. A parked
+            // device never re-enters the handoff loop (its streak is
+            // reset every tick it does not move), so once an outage
+            // strands a stationary sub-fleet on fallback panels, the
+            // healed panel would stay empty forever. Under
+            // `RevivalPolicy::Immediate`, any device whose best live
+            // panel healed *this tick* re-homes at once — no
+            // hysteresis, no dwell; the outage it was dodging is over.
+            if i > 0
+                && faults_active
+                && self.config.handoff.revival == RevivalPolicy::Immediate
+                && !fleet.is_empty()
+            {
+                let healed: Vec<usize> = (0..array.len())
+                    .filter(|&k| {
+                        !outaged[k] && self.faults.panel_revived(k, i, t, self.config.tick)
+                    })
+                    .collect();
+                if !healed.is_empty() {
+                    let mut changed: Vec<usize> = Vec::new();
+                    for d in 0..fleet.len() {
+                        let cur = assignment[d];
+                        if outaged[cur] {
+                            // Fault recovery above already re-homed it.
+                            continue;
+                        }
+                        let target = Self::best_surviving_panel(
+                            fleet.fleet(),
+                            d,
+                            &outaged,
+                            &ref_links,
+                            &ref_responses,
+                        );
+                        if target == cur || !healed.contains(&target) {
+                            continue;
+                        }
+                        changed.push(cur);
+                        changed.push(target);
+                        assignment[d] = target;
+                        streaks[d] = (target, 0);
+                        revivals += 1;
+                    }
+                    if !changed.is_empty() {
+                        changed.sort_unstable();
+                        changed.dedup();
+                        reprepared += Self::rebuild_panels(
+                            fleet.fleet(),
+                            array,
+                            &caches,
+                            &assignment,
+                            &mut states,
+                            &changed,
+                            &self.faults,
+                            self.config.churn_baseline,
+                        );
+                    }
                 }
             }
 
@@ -904,6 +989,7 @@ impl MobilitySim {
                 probes,
                 elapsed: Seconds(elapsed),
                 score: f64::NEG_INFINITY,
+                joint: None,
             };
             outcome.score = outcome.min_power_dbm();
 
@@ -933,6 +1019,7 @@ impl MobilitySim {
             tick_out.reused_panels = reused_panels;
             tick_out.outaged_panels = outaged_panels;
             tick_out.fault_reassignments = reassignments;
+            tick_out.revival_readmissions = revivals;
             tick_out.reports_lost = reports_lost;
             tick_out.reports_exhausted = reports_exhausted;
             tick_out.psu_glitches = psu_glitches;
@@ -1123,6 +1210,7 @@ impl MobilitySim {
             reused_panels: 0,
             outaged_panels: 0,
             fault_reassignments: 0,
+            revival_readmissions: 0,
             reports_lost: 0,
             reports_exhausted: 0,
             psu_glitches: 0,

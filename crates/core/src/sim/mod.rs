@@ -198,6 +198,7 @@ mod tests {
             SimConfig::default().with_handoff(HandoffPolicy {
                 hysteresis_db: 0.0,
                 dwell_ticks: 1,
+                ..HandoffPolicy::default()
             }),
         )
         .run(&mut build(), &array, ticks);
@@ -206,6 +207,7 @@ mod tests {
             SimConfig::default().with_handoff(HandoffPolicy {
                 hysteresis_db: 60.0,
                 dwell_ticks: 4,
+                ..HandoffPolicy::default()
             }),
         )
         .run(&mut build(), &array, ticks);
@@ -340,6 +342,76 @@ mod tests {
             .map(|t| t.served_throughput_bits_hz)
             .sum();
         assert!(moved_bits > 0.0);
+    }
+
+    #[test]
+    fn a_healed_panel_readmits_its_stranded_subfleet_immediately() {
+        use crate::faults::{FaultWindow, PanelOutage};
+        use crate::panels::RevivalPolicy;
+        use engine::HandoffPolicy;
+        // A *stationary* fleet is the case the revival hook exists for:
+        // parked devices never enter the handoff loop, so without the
+        // hook an outage permanently strands them on fallback panels.
+        let ticks = 8;
+        let base = Fleet::mixed_wifi_ble(6, 9);
+        let array = PanelArray::distributed(base.design.clone(), 2);
+        let plan = || {
+            let mut plan = FaultPlan::none();
+            plan.outages.push(PanelOutage {
+                panel: 0,
+                window: FaultWindow {
+                    start: Seconds(2.0),
+                    duration: Seconds(2.0),
+                },
+            });
+            plan
+        };
+        let run = |revival: RevivalPolicy| {
+            let config = SimConfig::default().with_handoff(HandoffPolicy {
+                revival,
+                ..HandoffPolicy::default()
+            });
+            sim(config)
+                .with_faults(plan())
+                .run(&mut DynamicFleet::new(base.clone()), &array, ticks)
+        };
+
+        let eager = run(RevivalPolicy::Immediate);
+        assert!(
+            eager.ticks[0].outcome.assignment.contains(&0),
+            "the scenario needs devices living on panel 0 before the outage"
+        );
+        assert!(
+            eager.total_fault_reassignments() > 0,
+            "the outage must strand someone on the fallback panel"
+        );
+        assert!(
+            eager.total_revival_readmissions() >= 1,
+            "Immediate revival must re-home devices the tick the panel heals"
+        );
+        let healed = eager.ticks.last().unwrap();
+        assert!(
+            healed.outcome.assignment.contains(&0),
+            "the healed panel serves again"
+        );
+
+        let parked = run(RevivalPolicy::Hysteresis);
+        assert_eq!(
+            parked.total_revival_readmissions(),
+            0,
+            "Hysteresis leaves re-admission to the handoff loop"
+        );
+        assert!(
+            parked
+                .ticks
+                .last()
+                .unwrap()
+                .outcome
+                .assignment
+                .iter()
+                .all(|&k| k != 0),
+            "parked devices stay stranded: the handoff loop never touches them"
+        );
     }
 
     #[test]

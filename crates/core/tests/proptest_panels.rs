@@ -6,11 +6,17 @@
 //!   fleets — the panel layer adds capability, never drift;
 //! * the per-panel shared-plan batch path equals the naive per-device
 //!   loop to 1e-12 across random fleets, panel counts and assignments
-//!   (the PR-4 equivalence acceptance bar).
+//!   (the PR-4 equivalence acceptance bar);
+//! * assignment policies are deterministic under device permutation
+//!   (stable tie-breaks — a fleet is a *set* of devices);
+//! * the joint multi-surface search degenerates to the independent
+//!   scheduler bit-for-bit at zero coupling, and its converged score is
+//!   iteration-order independent at the convergence tolerance.
 
 use llama_core::fleet::{Fleet, FleetDevice, Scheduler};
-use llama_core::panels::{Assignment, PanelArray, PanelScheduler};
+use llama_core::panels::{Assignment, JointConfig, PanelArray, PanelScheduler};
 use metasurface::stack::BiasState;
+use propagation::coupling::CouplingConfig;
 use proptest::prelude::*;
 use rfmath::units::Degrees;
 
@@ -112,6 +118,113 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+}
+
+/// Rebuilds `f` with its devices pushed in `perm` order; position `j`
+/// of the result holds original device `perm[j]`.
+fn permute_fleet(f: &Fleet, perm: &[usize]) -> Fleet {
+    let mut g = Fleet::new(f.design.clone());
+    for &j in perm {
+        g.push(f.devices()[j].clone());
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// A fleet is a *set* of devices: shuffling their push order must
+    /// not change which panel any individual device is served by, for
+    /// both the geometric policy and the measured-power greedy (whose
+    /// tie-breaks are required to be fleet-order free).
+    #[test]
+    fn assignment_policies_are_permutation_stable(
+        f in fleet(6),
+        seed in any::<u64>(),
+        k in 1usize..4,
+        distributed in any::<bool>(),
+    ) {
+        // Fisher–Yates from the drawn seed: an arbitrary reordering of
+        // the fleet's push order.
+        let mut perm: Vec<usize> = (0..f.len()).collect();
+        let mut s = seed | 1;
+        for i in (1..perm.len()).rev() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            perm.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let array = if distributed {
+            PanelArray::distributed(f.design.clone(), k)
+        } else {
+            PanelArray::uniform(f.design.clone(), k)
+        };
+        let shuffled = permute_fleet(&f, &perm);
+        for asg in [Assignment::ByOrientation, Assignment::BestReference] {
+            let base = array.assign(&f, &asg);
+            let permuted = array.assign(&shuffled, &asg);
+            for (j, &orig) in perm.iter().enumerate() {
+                prop_assert!(
+                    base[orig] == permuted[j],
+                    "{:?}: device {} served by panel {} in fleet order but {} when pushed {}th",
+                    asg, orig, base[orig], permuted[j], j
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole equivalence gate: with coupling disabled the joint
+    /// mode IS the independent scheduler — same assignment, same panel
+    /// biases, same per-device powers, bit-for-bit, at the same probe
+    /// bill, across random fleets and panel counts.
+    #[test]
+    fn zero_coupling_joint_is_independent_bitwise(f in fleet(5), k in 2usize..4) {
+        let array = PanelArray::distributed(f.design.clone(), k);
+        let independent = PanelScheduler::max_min().run(&f, &array);
+        let joint = PanelScheduler::max_min()
+            .with_joint(JointConfig {
+                coupling: CouplingConfig::disabled(),
+                ..JointConfig::default()
+            })
+            .run(&f, &array);
+        prop_assert!(joint.same_allocation(&independent));
+        prop_assert_eq!(joint.probes, independent.probes);
+        let stats = joint.joint.expect("joint mode reports its stats");
+        prop_assert_eq!(stats.rounds, 0);
+        prop_assert_eq!(stats.coupled_probes, 0);
+        prop_assert_eq!(stats.cross_energy_fraction, 0.0);
+        prop_assert_eq!(stats.lift_db, 0.0);
+    }
+
+    /// At the convergence tolerance the block-coordinate descent's
+    /// fixed point does not depend on which end of the panel vector the
+    /// sweep starts from, and neither direction ever loses to the
+    /// independent biases it started at.
+    #[test]
+    fn joint_search_is_iteration_order_independent(f in fleet(5), k in 2usize..4) {
+        let array = PanelArray::distributed(f.design.clone(), k);
+        let cfg = JointConfig::default();
+        let forward = PanelScheduler::max_min().with_joint(cfg).run(&f, &array);
+        let reversed = PanelScheduler::max_min()
+            .with_joint(JointConfig { reverse_order: true, ..cfg })
+            .run(&f, &array);
+        let fs = forward.joint.expect("joint stats");
+        let rs = reversed.joint.expect("joint stats");
+        prop_assert!(fs.lift_db >= -1e-9);
+        prop_assert!(rs.lift_db >= -1e-9);
+        if fs.converged && rs.converged {
+            prop_assert!(
+                (forward.score - reversed.score).abs() <= 2.0 * cfg.tolerance_db,
+                "converged scores diverge across iteration order: forward {} vs reversed {}",
+                forward.score,
+                reversed.score
+            );
         }
     }
 }

@@ -51,6 +51,7 @@ use microwave::twoport::{Abcd, SParams};
 use rfmath::complex::Complex;
 use rfmath::units::{Hertz, Radians, Volts};
 
+use crate::response::SurfaceResponse;
 use crate::sheet::AnisotropicSheet;
 use crate::stack::{BiasState, SurfaceStack};
 
@@ -333,6 +334,13 @@ impl StackEvaluator {
             }
         }
         acc?.to_s()
+    }
+
+    /// [`StackEvaluator::response`] wrapped into the [`SurfaceResponse`]
+    /// observable bundle the propagation layer consumes — the one-call
+    /// bias→response step of every serving probe loop.
+    pub fn surface_response(&self, bias: BiasState) -> SurfaceResponse {
+        SurfaceResponse::new(self.frequency(), self.response(bias))
     }
 
     /// True when the plan can take the structure-of-arrays batch path:

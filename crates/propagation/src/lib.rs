@@ -43,6 +43,7 @@
 
 pub mod antenna;
 pub mod capacity;
+pub mod coupling;
 pub mod environment;
 pub mod friis;
 pub mod link;
@@ -51,6 +52,7 @@ pub mod rays;
 pub mod signal;
 
 pub use antenna::{Antenna, OrientedAntenna, Pattern};
+pub use coupling::{CouplingConfig, MultiSurfaceField};
 pub use environment::Environment;
 pub use link::{Link, LinkTuning, PreparedLink};
 pub use noise::NoiseModel;

@@ -616,6 +616,54 @@ impl PreparedLink {
         total * self.link.amp_scale(&self.link.rx)
     }
 
+    /// The *surface-scattered* part of the receive-port amplitude at
+    /// `t = 0`: only the engineered paths that interact with the
+    /// deployed surface are projected. The bias-independent static tail
+    /// (environment scatter, caller extras) and a reflective
+    /// deployment's direct free-space ray are excluded, and no
+    /// transmissive shadow applies — the shadow models what the *home*
+    /// panel costs the static field, which a multi-surface superposition
+    /// counts exactly once.
+    ///
+    /// This is the field a *foreign* panel of a panel array leaks toward
+    /// this receiver: a coupled sum
+    /// ([`crate::coupling::MultiSurfaceField`]) superposes the home
+    /// link's full amplitude with each extra panel's scattered term, so
+    /// direct and environment energy are never double-counted. `None`
+    /// (panel dark / no response) yields exactly `Complex::ZERO`.
+    pub fn scattered_amplitude_scratch(
+        &self,
+        surface: Option<&SurfaceResponse>,
+        scratch: &mut Vec<Path>,
+    ) -> Complex {
+        let Some(surface) = surface else {
+            return Complex::ZERO;
+        };
+        scratch.clear();
+        engineered_paths_into(
+            self.link.deployment,
+            Some(surface),
+            self.link.frequency,
+            scratch,
+        );
+        let tx_state = self.link.tx.polarization();
+        let rx_state = self.link.rx.polarization();
+        let tx_rx = self.link.deployment.tx_rx_distance().0;
+        let mut total = Complex::ZERO;
+        for path in scratch.iter() {
+            if path.label == "direct" {
+                // A reflective deployment's direct ray never touches the
+                // surface; the home link already carries it.
+                continue;
+            }
+            total += self
+                .link
+                .path_term(path, &self.link.rx, &tx_state, &rx_state, tx_rx, 0.0)
+                .contribution(1.0);
+        }
+        total * self.link.amp_scale(&self.link.rx)
+    }
+
     /// Received power in dBm at `t = 0` against a reusable scratch
     /// buffer; bitwise equal to [`PreparedLink::received_dbm_with`].
     pub fn received_dbm_scratch(
@@ -940,6 +988,56 @@ mod tests {
                     .norm_sqr()
             );
         }
+    }
+
+    #[test]
+    fn scattered_amplitude_is_zero_without_a_surface() {
+        let mut link = base_link(40.0);
+        link.environment = Environment::laboratory(31);
+        let prepared = PreparedLink::new(link);
+        let mut scratch = Vec::new();
+        let amp = prepared.scattered_amplitude_scratch(None, &mut scratch);
+        assert_eq!(amp.re.to_bits(), 0.0f64.to_bits());
+        assert_eq!(amp.im.to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn scattered_amplitude_ignores_the_static_tail() {
+        // The scattered term projects only the engineered paths, so two
+        // links differing only in environment scatter answer bit for
+        // bit the same.
+        let clean = base_link(40.0);
+        let mut busy = clean.clone();
+        busy.environment = Environment::laboratory(13);
+        let surface = Metasurface::llama();
+        let response = surface.response(clean.frequency);
+        let mut scratch = Vec::new();
+        let a = PreparedLink::new(clean).scattered_amplitude_scratch(Some(&response), &mut scratch);
+        let b = PreparedLink::new(busy).scattered_amplitude_scratch(Some(&response), &mut scratch);
+        assert_eq!(a.re.to_bits(), b.re.to_bits());
+        assert_eq!(a.im.to_bits(), b.im.to_bits());
+    }
+
+    #[test]
+    fn reflective_scattered_term_is_the_full_field_minus_the_direct_ray() {
+        // In absorber, a reflective link's field is direct + specular
+        // reflection; the scattered term must recover exactly the
+        // reflection's share (to reassociation).
+        let mut link = base_link(30.0);
+        link.deployment = Deployment::reflective_cm(36.0);
+        let surface = Metasurface::llama();
+        let response = surface.response(link.frequency);
+        let prepared = PreparedLink::new(link.clone());
+        let mut scratch = Vec::new();
+        let full = prepared.received_amplitude_with(Some(&response), Seconds(0.0));
+        let direct = prepared.received_amplitude_with(None, Seconds(0.0));
+        let scattered = prepared.scattered_amplitude_scratch(Some(&response), &mut scratch);
+        let resid = full - (direct + scattered);
+        assert!(
+            resid.abs() < 1e-15,
+            "direct + scattered must reassemble the field: residual {resid:?}"
+        );
+        assert!(scattered.abs() > 0.0, "the surface contributes energy");
     }
 
     #[test]
