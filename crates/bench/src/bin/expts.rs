@@ -18,6 +18,8 @@
 //! expts --matrix [base] [--quick] [--rooms a,b] [--policy a,b] [--fleets a,b]
 //!                [--devices a,b] [--threads a,b] [--shards a,b]
 //!                                     # run the serving cross product, write <base>.{md,csv,json}
+//! expts --trace <room> [path]         # capture a deterministic JSONL event log of a room
+//! expts --trace-overhead [room] [path] # gate ring-recorder overhead vs the null recorder
 //! ```
 //!
 //! `--bench-json` writes a timing summary (default
@@ -41,13 +43,98 @@ fn main() -> ExitCode {
              | --mobility [path] [--quick] | --bench-all [dir] [--quick] \
              | --calibrate-fig20 [samples] | --scenario <name> [path] \
              | --chaos [room] [path] [--joint] | --sharded [path] [--quick] \
-             | --joint [path] [--quick] \
+             | --joint [path] [--quick] | --trace <room> [path] \
+             | --trace-overhead [room] [path] \
              | --matrix [base] [--quick] [--rooms a,b] [--policy a,b] \
              [--fleets a,b] [--devices a,b] [--threads a,b] [--shards a,b]"
         );
         eprintln!("experiments: {}", llama_bench::ALL_IDS.join(", "));
         eprintln!("scenarios: {}", llama_core::rooms::SCENARIOS.join(", "));
         return ExitCode::SUCCESS;
+    }
+
+    if args.iter().any(|a| a == "--trace-overhead") {
+        let extras: Vec<&String> = args.iter().filter(|a| *a != "--trace-overhead").collect();
+        if extras.len() > 2 || extras.iter().any(|a| a.starts_with("--")) {
+            eprintln!(
+                "error: --trace-overhead takes an optional room name and an optional \
+                 output path; known rooms: {}",
+                llama_core::rooms::SCENARIOS.join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+        let room = extras.first().map(|s| s.as_str()).unwrap_or("office-floor");
+        let path = extras
+            .get(1)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("target/trace-overhead-{room}.json"));
+        let report = match llama_bench::trace::OverheadReport::run(room, llama_bench::SEED, 3) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", report.summary());
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+        return if report.passes() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "error: ring recorder overhead exceeded {:.0}% over the null recorder",
+                (llama_bench::trace::OVERHEAD_CEILING - 1.0) * 100.0
+            );
+            ExitCode::FAILURE
+        };
+    }
+
+    if args.iter().any(|a| a == "--trace") {
+        let extras: Vec<&String> = args.iter().filter(|a| *a != "--trace").collect();
+        if extras.is_empty() || extras.len() > 2 || extras.iter().any(|a| a.starts_with("--")) {
+            eprintln!(
+                "error: --trace takes a room name and at most one output path; \
+                 known rooms: {}",
+                llama_core::rooms::SCENARIOS.join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+        let room = extras[0].as_str();
+        let path = extras
+            .get(1)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("target/trace-{room}.jsonl"));
+        let report = match llama_bench::trace::TraceReport::run(room, llama_bench::SEED) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", report.summary());
+        if let Err(e) = std::fs::write(&path, &report.jsonl) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+        let header = format!("{}.json", path.trim_end_matches(".jsonl"));
+        if let Err(e) = std::fs::write(&header, report.to_json()) {
+            eprintln!("error: cannot write {header}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {header}");
+        return if report.passes() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "error: trace gate failed — the two same-seed captures diverged or an \
+                 event family is missing from the log"
+            );
+            ExitCode::FAILURE
+        };
     }
 
     if args.iter().any(|a| a == "--scenario") {

@@ -20,12 +20,15 @@
 //! not gated — a room three panels dark most ticks is allowed to
 //! starve, it just has to do so without crashing.
 
+use std::sync::Arc;
+
 use llama_core::faults::{FaultPlan, FaultWindow, PanelOutage};
 use llama_core::rooms;
 use llama_core::sim::SimReport;
+use llama_core::telemetry::{RecorderHandle, RingRecorder};
 use rfmath::units::Seconds;
 
-use crate::perf::{faults_json, machine_json};
+use crate::perf::stamp_report;
 
 /// Fault rates swept for the degradation curve.
 pub const RATES: [f64; 4] = [0.05, 0.10, 0.20, 0.30];
@@ -107,6 +110,11 @@ pub struct ChaosReport {
     pub baseline: ChaosPoint,
     /// One point per swept rate, ascending.
     pub points: Vec<ChaosPoint>,
+    /// Aggregated telemetry block from the ring recorder that rode
+    /// along with every rate-point run (single-line JSON object). The
+    /// baseline and zero-fault identity runs stay untraced so the
+    /// bitwise gate compares exactly what it always compared.
+    pub telemetry: String,
 }
 
 impl ChaosReport {
@@ -134,6 +142,7 @@ impl ChaosReport {
         // exercised at every rate (stochastic outages alone might miss
         // a short room at the low rates).
         let mut points = Vec::with_capacity(RATES.len());
+        let recorder = RecorderHandle::new(Arc::new(RingRecorder::default()));
         for &rate in RATES.iter() {
             let mut plan = FaultPlan::with_rates(seed, rate, rate, rate);
             plan.outages.push(PanelOutage {
@@ -143,7 +152,7 @@ impl ChaosReport {
                     duration: Seconds(3.0),
                 },
             });
-            let report = build(seed)?.run_with_faults(plan);
+            let report = build(seed)?.run_traced(plan, recorder.clone());
             points.push(ChaosPoint::from_sim(rate, &report));
         }
 
@@ -154,6 +163,7 @@ impl ChaosReport {
             zero_fault_identical,
             baseline,
             points,
+            telemetry: recorder.aggregate_json(),
         })
     }
 
@@ -231,8 +241,7 @@ impl ChaosReport {
         });
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"chaos_room\": \"{}\",\n", self.room));
-        out.push_str(&machine_json());
-        out.push_str(&faults_json(&stamp_plan));
+        stamp_report(&mut out, &stamp_plan, &self.telemetry);
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"duty_floor\": {:.2},\n", self.duty_floor));
         out.push_str(&format!(
@@ -354,6 +363,11 @@ mod tests {
         assert!(json.contains("\"chaos_room\": \"office-floor\""));
         assert!(json.contains("\"machine\""));
         assert!(json.contains("\"faults\""));
+        assert!(json.contains("\"telemetry\""));
+        assert!(json.contains("\"mode\": \"ring\""));
+        // The scripted outage means the ring saw real fault traffic:
+        // the per-phase tick spans must be populated.
+        assert!(json.contains("sim.phase.reopt_ns"));
         assert!(json.contains("\"zero_fault_identical\": true"));
         assert!(json.contains("\"pass\": true"));
         assert!(report.summary().contains("PASS"));

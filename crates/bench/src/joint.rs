@@ -25,7 +25,8 @@ use llama_core::rooms;
 use metasurface::stack::BiasState;
 use propagation::coupling::CouplingConfig;
 
-use crate::perf::{allocs_json, machine_json, time_ms, BenchSample};
+use crate::perf::{stamp_report, time_ms, BenchSample};
+use rfmath::telemetry::null_block_json;
 
 /// Zoo rooms the quality comparison runs on.
 pub const JOINT_ROOMS: [&str; 2] = ["office-floor", "warehouse-aisle"];
@@ -91,6 +92,10 @@ pub struct JointPerfReport {
     pub coupled_slowdown: f64,
     /// Coupled device-evaluations per second at the best-of-N time.
     pub coupled_evals_per_sec: f64,
+    /// Aggregated telemetry block (single-line JSON object). The joint
+    /// bench times its passes directly, so this stays the null stamp;
+    /// `expts --trace` is the instrumented face of the joint path.
+    pub telemetry: String,
 }
 
 impl JointPerfReport {
@@ -114,8 +119,11 @@ impl JointPerfReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 9,\n");
-        out.push_str(&machine_json());
-        out.push_str(&allocs_json());
+        stamp_report(
+            &mut out,
+            &llama_core::faults::FaultPlan::none(),
+            &self.telemetry,
+        );
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str(&format!("  \"eval_devices\": {EVAL_DEVICES},\n"));
         out.push_str(&format!("  \"eval_panels\": {EVAL_PANELS},\n"));
@@ -260,6 +268,7 @@ pub fn run_joint(quick: bool) -> JointPerfReport {
         rooms: room_results,
         coupled_slowdown: coupled_min / home_min.max(1e-12),
         coupled_evals_per_sec: EVAL_DEVICES as f64 / (coupled_min / 1e3).max(1e-12),
+        telemetry: null_block_json(),
     }
 }
 

@@ -17,6 +17,7 @@ pub mod joint;
 pub mod matrix;
 pub mod perf;
 pub mod scenario;
+pub mod trace;
 
 use llama_core::experiments as ex;
 use llama_core::render;

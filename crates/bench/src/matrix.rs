@@ -24,7 +24,7 @@ use llama_core::fleet::{Fleet, Scheduler};
 use llama_core::panels::{serve_panel_fleets, PanelArray, PanelScheduler};
 use llama_core::rooms;
 
-use crate::perf::{allocs_json, machine_json};
+use crate::perf::stamp_report;
 
 /// Base seed for the matrix fleets (offset per fleet index so the jobs
 /// are distinct but reproducible).
@@ -174,6 +174,10 @@ pub struct MatrixReport {
     pub axes: MatrixAxes,
     /// One row per cross-product cell, in axis order.
     pub cells: Vec<MatrixCell>,
+    /// Aggregated telemetry block from the ring recorder attached to
+    /// every cell's stats pass (single-line JSON object). Timed passes
+    /// stay recorder-free so the speedup columns are unperturbed.
+    pub telemetry: String,
 }
 
 /// Builds the scheduler for one `--policy` name.
@@ -215,6 +219,9 @@ impl MatrixReport {
     pub fn run(axes: MatrixAxes, quick: bool) -> Self {
         let iters = if quick { 2 } else { 4 };
         let mut cells = Vec::with_capacity(axes.cells());
+        let recorder = llama_core::telemetry::RecorderHandle::new(std::sync::Arc::new(
+            llama_core::telemetry::RingRecorder::default(),
+        ));
         for room in &axes.rooms {
             for policy in &axes.policies {
                 let scheduler = scheduler_for(policy);
@@ -243,6 +250,7 @@ impl MatrixReport {
                                 let (mean_ms, min_ms) = time_min_ms(iters, || {
                                     serve_panel_fleets(&server, &scheduler, &jobs)
                                 });
+                                let server = server.with_recorder(recorder.clone());
                                 let (_, stats) = server.try_serve_with_stats(
                                     jobs.iter().collect(),
                                     |_, (f, a): &(Fleet, PanelArray)| scheduler.run(f, a),
@@ -268,7 +276,12 @@ impl MatrixReport {
                 }
             }
         }
-        Self { quick, axes, cells }
+        Self {
+            quick,
+            axes,
+            cells,
+            telemetry: recorder.aggregate_json(),
+        }
     }
 
     /// True when every cell measured a finite, positive wall-clock and
@@ -354,8 +367,11 @@ impl MatrixReport {
         };
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 9,\n");
-        out.push_str(&machine_json());
-        out.push_str(&allocs_json());
+        stamp_report(
+            &mut out,
+            &llama_core::faults::FaultPlan::none(),
+            &self.telemetry,
+        );
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str(&format!(
             "  \"axes\": {{\"rooms\": [{}], \"policies\": [{}], \"fleets\": [{}], \

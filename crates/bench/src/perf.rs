@@ -8,7 +8,7 @@
 //! as a CI smoke: [`PerfReport::passes`] fails loudly when the batched
 //! engine stops beating the naive path by a healthy margin.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use control::server::FleetServer;
@@ -22,6 +22,7 @@ use metasurface::evaluator::StackEvaluator;
 use metasurface::response::SurfaceResponse;
 use metasurface::stack::BiasState;
 use propagation::link::PreparedLink;
+use rfmath::telemetry::{null_block_json, RecorderHandle, RingRecorder};
 use rfmath::units::Hertz;
 use rfmath::units::Seconds;
 
@@ -135,6 +136,21 @@ pub fn allocs_json() -> String {
     }
 }
 
+/// The shared stamp block every committed BENCH/scenario/chaos/matrix
+/// artifact carries right after its identity line: machine topology,
+/// steady-state allocation count, the active fault configuration, and
+/// the aggregated telemetry block (`{"mode": "null"}` for an
+/// uninstrumented run, the full counter/histogram summary when a
+/// recorder was attached). One helper, one format — a writer cannot
+/// drift from the others. `telemetry` must be a single-line JSON object
+/// (see [`rfmath::telemetry::Recorder::aggregate_json`]).
+pub fn stamp_report(out: &mut String, plan: &llama_core::faults::FaultPlan, telemetry: &str) {
+    out.push_str(&machine_json());
+    out.push_str(&allocs_json());
+    out.push_str(&faults_json(plan));
+    out.push_str(&format!("  \"telemetry\": {telemetry},\n"));
+}
+
 /// One timed workload.
 #[derive(Clone, Debug)]
 pub struct BenchSample {
@@ -159,6 +175,9 @@ pub struct PerfReport {
     pub heatmap_31x31_speedup: f64,
     /// Naive / batched best-of-N time ratio on single-point evaluation.
     pub single_point_speedup: f64,
+    /// Aggregated telemetry block (single-line JSON object; the null
+    /// block when no recorder was attached to the workloads).
+    pub telemetry: String,
 }
 
 impl PerfReport {
@@ -172,9 +191,11 @@ impl PerfReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 2,\n");
-        out.push_str(&machine_json());
-        out.push_str(&allocs_json());
-        out.push_str(&faults_json(&llama_core::faults::FaultPlan::none()));
+        stamp_report(
+            &mut out,
+            &llama_core::faults::FaultPlan::none(),
+            &self.telemetry,
+        );
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str("  \"benches\": [\n");
         for (i, s) in self.samples.iter().enumerate() {
@@ -303,6 +324,7 @@ pub fn run(quick: bool) -> PerfReport {
         samples,
         heatmap_31x31_speedup: naive_grid_min / batched_grid_min.max(1e-12),
         single_point_speedup: naive_single_min / batched_single_min.max(1e-12),
+        telemetry: null_block_json(),
     }
 }
 
@@ -324,6 +346,9 @@ pub struct FleetPerfReport {
     /// Naive / shared-plan best-of-N time ratio on the 32-device fleet
     /// probe grid.
     pub fleet_32_speedup: f64,
+    /// Aggregated telemetry block (single-line JSON object; the null
+    /// block when no recorder was attached to the workloads).
+    pub telemetry: String,
 }
 
 impl FleetPerfReport {
@@ -337,9 +362,11 @@ impl FleetPerfReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 3,\n");
-        out.push_str(&machine_json());
-        out.push_str(&allocs_json());
-        out.push_str(&faults_json(&llama_core::faults::FaultPlan::none()));
+        stamp_report(
+            &mut out,
+            &llama_core::faults::FaultPlan::none(),
+            &self.telemetry,
+        );
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str(&format!("  \"fleet_devices\": {FLEET_SIZE},\n"));
         out.push_str("  \"benches\": [\n");
@@ -445,6 +472,7 @@ pub fn run_fleet(quick: bool) -> FleetPerfReport {
         quick,
         samples,
         fleet_32_speedup: naive_min / batched_min.max(1e-12),
+        telemetry: null_block_json(),
     }
 }
 
@@ -485,8 +513,16 @@ pub struct PanelPerfReport {
     pub server_scaling_efficiency: f64,
     /// Mean stage-to-pop latency per job on the sharded queue, ms.
     pub server_mean_queue_wait_ms: f64,
+    /// Median stage-to-pop latency, ms (the mean alone hides a starved
+    /// tail; p50/p95 together expose it).
+    pub server_queue_wait_p50_ms: f64,
+    /// 95th-percentile stage-to-pop latency, ms.
+    pub server_queue_wait_p95_ms: f64,
     /// Cross-shard steals during the stats run (load-imbalance signal).
     pub server_steals: usize,
+    /// Aggregated telemetry block captured from the instrumented server
+    /// stats pass (single-line JSON object).
+    pub telemetry: String,
 }
 
 impl PanelPerfReport {
@@ -501,9 +537,11 @@ impl PanelPerfReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 4,\n");
-        out.push_str(&machine_json());
-        out.push_str(&allocs_json());
-        out.push_str(&faults_json(&llama_core::faults::FaultPlan::none()));
+        stamp_report(
+            &mut out,
+            &llama_core::faults::FaultPlan::none(),
+            &self.telemetry,
+        );
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str(&format!("  \"panels\": {PANEL_COUNT},\n"));
         out.push_str(&format!("  \"fleet_devices\": {FLEET_SIZE},\n"));
@@ -538,6 +576,14 @@ impl PanelPerfReport {
             "  \"server_mean_queue_wait_ms\": {:.4},\n",
             self.server_mean_queue_wait_ms
         ));
+        out.push_str(&format!(
+            "  \"server_queue_wait_p50_ms\": {:.4},\n",
+            self.server_queue_wait_p50_ms
+        ));
+        out.push_str(&format!(
+            "  \"server_queue_wait_p95_ms\": {:.4},\n",
+            self.server_queue_wait_p95_ms
+        ));
         out.push_str(&format!("  \"server_steals\": {},\n", self.server_steals));
         out.push_str(&format!(
             "  \"speedup_floor\": {PANEL_SPEEDUP_FLOOR:.1},\n  \"pass\": {}\n}}\n",
@@ -568,9 +614,11 @@ impl PanelPerfReport {
             self.server_scaling_efficiency
         ));
         out.push_str(&format!(
-            "{:>38}: {:>10.4} ms ({} steals, pass: {})\n",
+            "{:>38}: {:>10.4} ms (p50 {:.4}, p95 {:.4}, {} steals, pass: {})\n",
             "mean queue wait",
             self.server_mean_queue_wait_ms,
+            self.server_queue_wait_p50_ms,
+            self.server_queue_wait_p95_ms,
             self.server_steals,
             self.passes()
         ));
@@ -664,6 +712,11 @@ pub fn run_panels(quick: bool) -> PanelPerfReport {
     });
     // One instrumented pass for the queue telemetry (wait time, steals):
     // the timed loops above stay stats-free so the measurement is pure.
+    // The ring recorder rides along here — same pass, zero cost to the
+    // timed regions — and its aggregate is stamped into the artifact.
+    let ring = Arc::new(RingRecorder::default());
+    let recorder = RecorderHandle::new(ring);
+    let server = server.with_recorder(recorder.clone());
     let (_, stats) = server.try_serve_with_stats(fleets.iter().collect(), |_, fleet: &Fleet| {
         scheduler.run(fleet)
     });
@@ -681,7 +734,10 @@ pub fn run_panels(quick: bool) -> PanelPerfReport {
         server_workers: workers,
         server_scaling_efficiency: speedup / workers.min(logical_cores).max(1) as f64,
         server_mean_queue_wait_ms: stats.mean_queue_wait.0 * 1e3,
+        server_queue_wait_p50_ms: stats.queue_wait_p50.0 * 1e3,
+        server_queue_wait_p95_ms: stats.queue_wait_p95.0 * 1e3,
         server_steals: stats.steals,
+        telemetry: recorder.aggregate_json(),
     }
 }
 
@@ -749,6 +805,11 @@ pub struct MobilityPerfReport {
     pub zero_motion_equivalent: bool,
     /// The min-power-vs-handoff-rate sweep across hysteresis settings.
     pub hysteresis_curve: Vec<HysteresisPoint>,
+    /// Aggregated telemetry block captured from the instrumented
+    /// zero-motion run (single-line JSON object). The timed headline
+    /// runs stay recorder-free so the speedup gate measures the engine,
+    /// not the ring.
+    pub telemetry: String,
 }
 
 impl MobilityPerfReport {
@@ -776,9 +837,11 @@ impl MobilityPerfReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 5,\n");
-        out.push_str(&machine_json());
-        out.push_str(&allocs_json());
-        out.push_str(&faults_json(&llama_core::faults::FaultPlan::none()));
+        stamp_report(
+            &mut out,
+            &llama_core::faults::FaultPlan::none(),
+            &self.telemetry,
+        );
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str(&format!("  \"fleet_devices\": {},\n", self.devices));
         out.push_str(&format!("  \"ticks\": {},\n", self.ticks));
@@ -904,11 +967,18 @@ pub fn run_mobility(quick: bool) -> MobilityPerfReport {
     let still = Fleet::mixed_wifi_ble(devices.min(8), seed);
     let still_array = PanelArray::uniform(still.design.clone(), panels.min(2));
     let still_ticks = ticks.min(8);
-    let warm_still = MobilitySim::new(scheduler.clone(), SimConfig::default()).run(
-        &mut DynamicFleet::new(still.clone()),
-        &still_array,
-        still_ticks,
-    );
+    // The zero-motion arm doubles as the telemetry capture: a ring
+    // recorder rides the warm engine here (events never change the
+    // computation, so the bitwise gate below still holds) while the
+    // timed headline runs above stay recorder-free.
+    let ring_recorder = RecorderHandle::new(Arc::new(RingRecorder::default()));
+    let warm_still = MobilitySim::new(scheduler.clone(), SimConfig::default())
+        .with_recorder(ring_recorder.clone())
+        .run(
+            &mut DynamicFleet::new(still.clone()),
+            &still_array,
+            still_ticks,
+        );
     let cold_still = MobilitySim::new(scheduler, SimConfig::cold()).run(
         &mut DynamicFleet::new(still),
         &still_array,
@@ -973,6 +1043,7 @@ pub fn run_mobility(quick: bool) -> MobilityPerfReport {
         warm_handoffs: warm.handoffs,
         zero_motion_equivalent,
         hysteresis_curve,
+        telemetry: ring_recorder.aggregate_json(),
     }
 }
 
@@ -1041,6 +1112,10 @@ pub struct ShardedPerfReport {
     /// Steady-state hot-kernel allocations per tick (debug-assert
     /// builds; `None` in release).
     pub allocs_per_tick: Option<f64>,
+    /// Aggregated telemetry block captured from the instrumented
+    /// thread-scaling stats passes (single-line JSON object; an empty
+    /// ring on single-core hosts where scaling is skipped).
+    pub telemetry: String,
 }
 
 impl ShardedPerfReport {
@@ -1064,9 +1139,11 @@ impl ShardedPerfReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"pr\": 8,\n");
-        out.push_str(&machine_json());
-        out.push_str(&allocs_json());
-        out.push_str(&faults_json(&llama_core::faults::FaultPlan::none()));
+        stamp_report(
+            &mut out,
+            &llama_core::faults::FaultPlan::none(),
+            &self.telemetry,
+        );
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str("  \"benches\": [\n");
         for (i, s) in self.samples.iter().enumerate() {
@@ -1261,7 +1338,10 @@ pub fn run_sharded(quick: bool) -> ShardedPerfReport {
         iters: ticks as u64,
     });
 
-    // Fleet-throughput thread scaling over the sharded queue.
+    // Fleet-throughput thread scaling over the sharded queue. One ring
+    // recorder rides every instrumented stats pass (never the timed
+    // loops); its aggregate lands in the artifact's telemetry block.
+    let ring_recorder = RecorderHandle::new(Arc::new(RingRecorder::default()));
     let thread_scaling_skipped = logical_cores <= 1;
     let mut thread_scaling = Vec::new();
     if !thread_scaling_skipped {
@@ -1280,6 +1360,7 @@ pub fn run_sharded(quick: bool) -> ShardedPerfReport {
         for &workers in &worker_counts {
             let server = FleetServer::new(workers);
             let (_, min_ms) = time_ms(serve_iters, || serve_fleets(&server, &sched, &fleets));
+            let server = server.with_recorder(ring_recorder.clone());
             let (_, stats) = server
                 .try_serve_with_stats(fleets.iter().collect(), |_, fleet: &Fleet| sched.run(fleet));
             let speedup = serial_min / min_ms.max(1e-12);
@@ -1305,6 +1386,7 @@ pub fn run_sharded(quick: bool) -> ShardedPerfReport {
         thread_scaling_skipped,
         thread_scaling,
         allocs_per_tick: allocs_per_tick(),
+        telemetry: ring_recorder.aggregate_json(),
     }
 }
 
@@ -1327,10 +1409,15 @@ mod tests {
             server_workers: 2,
             server_scaling_efficiency: 0.9,
             server_mean_queue_wait_ms: 0.05,
+            server_queue_wait_p50_ms: 0.04,
+            server_queue_wait_p95_ms: 0.09,
             server_steals: 1,
+            telemetry: null_block_json(),
         };
         let json = report.to_json();
         assert!(json.contains("\"pr\": 4"));
+        assert!(json.contains("\"telemetry\""));
+        assert!(json.contains("\"mode\": \"null\""));
         // Every artifact records the machine it was measured on, and
         // the steady-state allocation stamp sits right next to it.
         assert!(json.contains("\"machine\""));
@@ -1339,6 +1426,8 @@ mod tests {
         assert!(json.contains("\"allocs_per_tick\""));
         assert!(json.contains("\"server_scaling_efficiency\": 0.90"));
         assert!(json.contains("\"server_mean_queue_wait_ms\": 0.0500"));
+        assert!(json.contains("\"server_queue_wait_p50_ms\": 0.0400"));
+        assert!(json.contains("\"server_queue_wait_p95_ms\": 0.0900"));
         assert!(json.contains("\"server_steals\": 1"));
         assert!(json.contains("\"panel_grid_speedup\": 3.00"));
         assert!(json.contains("\"panel_min_power_gain_db\": 2.500"));
@@ -1381,6 +1470,7 @@ mod tests {
                 mean_min_power_dbm: -61.5,
                 mean_duty: 0.8,
             }],
+            telemetry: null_block_json(),
         };
         let json = report.to_json();
         assert!(json.contains("\"pr\": 5"));
@@ -1419,6 +1509,7 @@ mod tests {
             warm_handoffs: 0,
             zero_motion_equivalent: true,
             hysteresis_curve: Vec::new(),
+            telemetry: null_block_json(),
         };
         assert_eq!(report.floor(), 1.5);
         assert!(report.passes());
@@ -1434,6 +1525,7 @@ mod tests {
                 iters: 2,
             }],
             fleet_32_speedup: 4.5,
+            telemetry: null_block_json(),
         };
         let json = report.to_json();
         assert!(json.contains("\"pr\": 3"));
@@ -1472,6 +1564,7 @@ mod tests {
                 mean_queue_wait_ms: 0.01,
             }],
             allocs_per_tick: Some(0.0),
+            telemetry: null_block_json(),
         };
         let json = report.to_json();
         assert!(json.contains("\"pr\": 8"));
@@ -1544,6 +1637,7 @@ mod tests {
             }],
             heatmap_31x31_speedup: 6.0,
             single_point_speedup: 2.0,
+            telemetry: null_block_json(),
         };
         let json = report.to_json();
         assert!(json.contains("\"heatmap_31x31_speedup\": 6.00"));

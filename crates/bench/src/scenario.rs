@@ -8,10 +8,13 @@
 //! optimization that touches geometry, scheduling or the simulator gets
 //! smoke-checked against rooms, not just the synthetic line fleet.
 
+use std::sync::Arc;
+
 use llama_core::rooms;
 use llama_core::sim::SimReport;
+use llama_core::telemetry::{RecorderHandle, RingRecorder};
 
-use crate::perf::{faults_json, machine_json};
+use crate::perf::stamp_report;
 
 /// Outcome of one scenario run, ready to gate CI on.
 #[derive(Clone, Debug)]
@@ -42,6 +45,9 @@ pub struct ScenarioReport {
     pub handoffs: usize,
     /// Wall-clock of the simulation, milliseconds.
     pub wall_ms: f64,
+    /// Aggregated telemetry block captured by the ring recorder that
+    /// rode along with the run (single-line JSON object).
+    pub telemetry: String,
 }
 
 impl ScenarioReport {
@@ -54,11 +60,18 @@ impl ScenarioReport {
                 rooms::SCENARIOS.join(", ")
             )
         })?;
-        let report = scenario.run();
-        Ok(Self::from_sim(&scenario, &report))
+        // Every zoo run carries a ring recorder so the committed JSON
+        // gets a real aggregated telemetry block, not a null stamp.
+        let recorder = RecorderHandle::new(Arc::new(RingRecorder::default()));
+        let report = scenario.run_traced(llama_core::faults::FaultPlan::none(), recorder.clone());
+        Ok(Self::from_sim(
+            &scenario,
+            &report,
+            recorder.aggregate_json(),
+        ))
     }
 
-    fn from_sim(scenario: &rooms::RoomScenario, report: &SimReport) -> Self {
+    fn from_sim(scenario: &rooms::RoomScenario, report: &SimReport, telemetry: String) -> Self {
         Self {
             name: scenario.name.to_string(),
             description: scenario.description.to_string(),
@@ -73,6 +86,7 @@ impl ScenarioReport {
             links_rebound: report.total_links_rebound(),
             handoffs: report.handoffs,
             wall_ms: report.wall_ms,
+            telemetry,
         }
     }
 
@@ -113,10 +127,13 @@ impl ScenarioReport {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"scenario\": \"{}\",\n", self.name));
         out.push_str(&format!("  \"description\": \"{}\",\n", self.description));
-        out.push_str(&machine_json());
         // Scenario-zoo runs are fault-free by construction; the stamp
         // says so explicitly.
-        out.push_str(&faults_json(&llama_core::faults::FaultPlan::none()));
+        stamp_report(
+            &mut out,
+            &llama_core::faults::FaultPlan::none(),
+            &self.telemetry,
+        );
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"devices\": {},\n", self.devices));
         out.push_str(&format!("  \"panels\": {},\n", self.panels));
@@ -161,6 +178,9 @@ mod tests {
         assert!(json.contains("\"machine\""));
         assert!(json.contains("\"faults\""));
         assert!(json.contains("\"panel_outage_rate\": 0.0000"));
+        assert!(json.contains("\"allocs_per_tick\""));
+        assert!(json.contains("\"telemetry\""));
+        assert!(json.contains("\"mode\": \"ring\""));
         assert!(json.contains("\"pass\": true"));
         assert!(report.summary().contains("PASS"));
     }

@@ -6,6 +6,7 @@
 //! a simulation clock, inject lost reports, and audit its timing against
 //! the supply's 50 Hz switching budget.
 
+use rfmath::telemetry::{RecorderHandle, TelemetryEvent};
 use rfmath::units::{Seconds, Volts};
 
 use crate::psu::PowerSupply;
@@ -218,6 +219,14 @@ pub struct Controller {
     /// packet while guaranteeing the sweep terminates even against a
     /// receiver that never answers.
     pub retry: RetryPolicy,
+    /// Telemetry sink (null by default). Probe applications, scores,
+    /// rejections, timeouts and abandonments tick counters; retries
+    /// additionally emit [`TelemetryEvent::Retry`] tagged with
+    /// [`Controller::telemetry_id`].
+    pub recorder: RecorderHandle,
+    /// Identity stamped into this controller's telemetry events (the
+    /// panel or fleet index it drives); 0 when unset.
+    pub telemetry_id: usize,
     phase: Phase,
     plan: Vec<Probe>,
     scores: Vec<Option<f64>>,
@@ -227,6 +236,8 @@ pub struct Controller {
     /// Lost deliveries of the probe currently awaiting a report.
     attempts: usize,
     events: Vec<Event>,
+    /// Wall-clock anchor of the running sweep, for the convergence span.
+    sweep_started: Option<std::time::Instant>,
 }
 
 impl Controller {
@@ -239,6 +250,8 @@ impl Controller {
             objective: Objective::SingleLink,
             expected_devices: None,
             retry: RetryPolicy::default(),
+            recorder: RecorderHandle::null(),
+            telemetry_id: 0,
             phase: Phase::Idle,
             plan: Vec::new(),
             scores: Vec::new(),
@@ -247,7 +260,16 @@ impl Controller {
             applied_at: None,
             attempts: 0,
             events: Vec::new(),
+            sweep_started: None,
         }
+    }
+
+    /// Attaches a telemetry recorder, tagging this controller's events
+    /// with `id` (the panel or fleet index it drives).
+    pub fn with_recorder(mut self, recorder: RecorderHandle, id: usize) -> Self {
+        self.recorder = recorder;
+        self.telemetry_id = id;
+        self
     }
 
     /// Current lifecycle phase.
@@ -277,6 +299,10 @@ impl Controller {
         self.events.push(Event::SweepStarted(
             self.plan.len() * self.config.iterations,
         ));
+        self.recorder.add("controller.sweeps_started", 1);
+        if self.recorder.enabled() {
+            self.sweep_started = Some(std::time::Instant::now());
+        }
         self.phase = Phase::Sweeping {
             next: 0,
             iteration: 0,
@@ -300,6 +326,15 @@ impl Controller {
             }
         }
         self.scores.resize(self.plan.len(), None);
+    }
+
+    /// Closes the convergence span opened by [`Controller::start`],
+    /// recording the sweep's wall time into the duration histogram.
+    fn close_sweep_span(&mut self) {
+        if let Some(started) = self.sweep_started.take() {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.recorder.duration_ns("controller.sweep_ns", nanos);
+        }
     }
 
     /// Advances the controller at simulation time `now` with an optional
@@ -332,6 +367,7 @@ impl Controller {
                             self.scores[probe_idx] = Some(score);
                             self.attempts = 0;
                             self.events.push(Event::Scored(self.plan[probe_idx], score));
+                            self.recorder.add("controller.probes_scored", 1);
                             if self.best.map(|(_, b)| score > b).unwrap_or(true) {
                                 self.best = Some((self.plan[probe_idx], score));
                             }
@@ -339,6 +375,7 @@ impl Controller {
                         None => {
                             self.events
                                 .push(Event::ReportRejected(self.plan[probe_idx]));
+                            self.recorder.add("controller.reports_rejected", 1);
                         }
                     }
                 }
@@ -354,9 +391,19 @@ impl Controller {
             if next > 0 && self.scores[next - 1].is_none() && now.0 - applied_at.0 > window.0 {
                 self.events.push(Event::ReportTimeout(self.plan[next - 1]));
                 self.attempts += 1;
-                if self.attempts >= self.retry.max_attempts.max(1) {
+                self.recorder.add("controller.report_timeouts", 1);
+                let exhausted = self.attempts >= self.retry.max_attempts.max(1);
+                if self.recorder.enabled() {
+                    self.recorder.emit(TelemetryEvent::Retry {
+                        panel: self.telemetry_id,
+                        attempt: self.attempts,
+                        exhausted,
+                    });
+                }
+                if exhausted {
                     self.scores[next - 1] = Some(f64::NEG_INFINITY);
                     self.events.push(Event::ProbeAbandoned(self.plan[next - 1]));
+                    self.recorder.add("controller.probes_abandoned", 1);
                     self.attempts = 0;
                     self.applied_at = None;
                     // Fall through: the sweep moves on to the next probe
@@ -385,6 +432,7 @@ impl Controller {
                 if psu.set_bias(probe.vx, probe.vy, now).is_ok() {
                     self.applied_at = Some(now);
                     self.events.push(Event::Applied(probe));
+                    self.recorder.add("controller.probes_applied", 1);
                     self.phase = Phase::Sweeping {
                         next: next + 1,
                         iteration,
@@ -434,6 +482,8 @@ impl Controller {
                         && psu.set_bias(best_probe.vx, best_probe.vy, now).is_ok()
                     {
                         self.events.push(Event::Converged(best_probe, best_power));
+                        self.recorder.add("controller.sweeps_converged", 1);
+                        self.close_sweep_span();
                         self.phase = Phase::Converged;
                     }
                 }
@@ -443,6 +493,8 @@ impl Controller {
                     // rails keep whatever bias the last applied probe
                     // left — rather than panic or spin forever.
                     self.events.push(Event::SweepFailed);
+                    self.recorder.add("controller.sweeps_failed", 1);
+                    self.close_sweep_span();
                     self.phase = Phase::Converged;
                 }
             }

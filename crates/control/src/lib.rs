@@ -46,5 +46,8 @@ pub use controller::{Controller, Event, Phase, PowerReport, RetryPolicy};
 pub use estimator::{estimate_rotation, RotationEstimate, RotationRig};
 pub use psu::{PowerSupply, PsuError, Reply};
 pub use server::{FleetServer, JobError, ServeStats};
-pub use sweep::{coarse_to_fine, warm_refine_multi, Probe, SweepConfig, SweepOutcome, WarmConfig};
+pub use sweep::{
+    coarse_to_fine, coarse_to_fine_multi_traced, warm_refine_multi, warm_refine_multi_traced,
+    Probe, SweepConfig, SweepOutcome, WarmConfig,
+};
 pub use sync::{estimate_offset, label_samples, BiasSchedule};

@@ -43,6 +43,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use rfmath::telemetry::{RecorderHandle, TelemetryEvent};
 use rfmath::units::Seconds;
 
 use crate::controller::{FleetReport, Objective};
@@ -85,8 +86,11 @@ impl<T> ShardedQueue<T> {
     /// Takes the next job for a worker homed on `home`: front of the
     /// home shard first, then the tail of each sibling shard in
     /// round-robin order. `None` means every shard is empty — with all
-    /// jobs staged up front, that is the drained state.
-    fn pop(&self, home: usize) -> Option<T> {
+    /// jobs staged up front, that is the drained state. A `Some` carries
+    /// the shard the job actually came from and the stage-to-pop
+    /// latency in nanoseconds, so the caller can attribute steals and
+    /// queue wait per job.
+    fn pop(&self, home: usize) -> Option<(T, usize, u64)> {
         let k = self.shards.len();
         let home = home % k;
         for offset in 0..k {
@@ -108,7 +112,7 @@ impl<T> ShardedQueue<T> {
                 }
                 let waited = staged.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                 self.wait_nanos.fetch_add(waited, Ordering::Relaxed);
-                return Some(job);
+                return Some((job, shard, waited));
             }
         }
         None
@@ -177,9 +181,16 @@ pub struct ServeStats {
     /// Jobs a worker took from a shard other than its home — the
     /// load-imbalance signal (zero when every shard drained locally).
     pub steals: usize,
-    /// Mean stage-to-pop latency per job: how long work sat in a shard
-    /// deque before a worker picked it up.
+    /// Mean stage-to-pop latency per job, in **seconds** (the `Seconds`
+    /// newtype carries the unit): how long work sat in a shard deque
+    /// before a worker picked it up.
     pub mean_queue_wait: Seconds,
+    /// Median stage-to-pop latency, in seconds — exact (computed from
+    /// the per-job waits, not a histogram estimate). The mean alone
+    /// hides a starved tail; p50/p95 together expose it.
+    pub queue_wait_p50: Seconds,
+    /// 95th-percentile stage-to-pop latency, in seconds (exact).
+    pub queue_wait_p95: Seconds,
     /// Workers that ran at least one job.
     pub workers_used: usize,
 }
@@ -193,7 +204,7 @@ pub struct ServeStats {
 /// in through the handler closure. What the server owns is the
 /// scheduling contract: sharded admission with stealing, deterministic
 /// submission-order results, and the shared report-admission rule.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct FleetServer {
     /// Worker threads draining the shards (≥ 1).
     pub workers: usize,
@@ -206,6 +217,13 @@ pub struct FleetServer {
     /// killed mid-job (cooperative model), but the stale result is
     /// discarded instead of served. `None` (the default) disables it.
     pub deadline: Option<Seconds>,
+    /// Telemetry sink. Defaults to the null recorder (zero overhead);
+    /// with a ring attached the server emits `job_enqueued` /
+    /// `job_stolen` / `job_completed` events and queue-wait / job-wall
+    /// duration histograms. Event *order* across workers is only
+    /// deterministic with `workers == 1` (the `--trace` configuration);
+    /// results are deterministic regardless.
+    pub recorder: RecorderHandle,
 }
 
 impl FleetServer {
@@ -218,6 +236,7 @@ impl FleetServer {
             workers,
             shards: workers,
             deadline: None,
+            recorder: RecorderHandle::null(),
         }
     }
 
@@ -230,6 +249,12 @@ impl FleetServer {
     /// Sets the per-job deadline.
     pub fn with_deadline(mut self, deadline: Seconds) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a telemetry recorder.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -253,28 +278,60 @@ impl FleetServer {
         let shards = self.shards.max(1);
         let workers = self.workers.max(1).min(n.max(1));
         let deadline = self.deadline;
+        let recorder = &self.recorder;
+        let traced = recorder.enabled();
         let queue: ShardedQueue<(usize, J)> = ShardedQueue::new(shards);
         // Stage everything before any worker starts: the shard a job
         // hashes to depends only on its submission index, and results
         // land in indexed slots, so execution order (including steals)
-        // cannot perturb the output.
+        // cannot perturb the output. Enqueue events fire here, in
+        // submission order, before any worker thread exists — the
+        // deterministic prefix of the event stream.
+        let mut depths = vec![0u64; shards];
         for (idx, job) in jobs.into_iter().enumerate() {
-            queue.stage(shard_of(idx, shards), (idx, job));
+            let shard = shard_of(idx, shards);
+            queue.stage(shard, (idx, job));
+            if traced {
+                depths[shard] += 1;
+                recorder.emit(TelemetryEvent::JobEnqueued { shard, job: idx });
+            }
+        }
+        if traced {
+            recorder.add("server.jobs", n as u64);
+            for &depth in &depths {
+                recorder.record_value("server.shard_depth", depth);
+            }
         }
         let results: Vec<Mutex<Option<Result<R, JobError>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
+        // Per-job stage-to-pop wait, for exact p50/p95 after the join
+        // (slot 0 is also "never popped", which cannot survive a drain).
+        let waits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
         let used = AtomicUsize::new(0);
 
         std::thread::scope(|scope| {
             let queue = &queue;
             let results = &results;
+            let waits = &waits;
             let handler = &handler;
             let used = &used;
             for worker in 0..workers {
                 scope.spawn(move || {
                     let mut ran_any = false;
-                    while let Some((idx, job)) = queue.pop(worker) {
+                    let home = worker % shards;
+                    while let Some(((idx, job), from, waited_ns)) = queue.pop(worker) {
                         ran_any = true;
+                        waits[idx].store(waited_ns, Ordering::Relaxed);
+                        if traced {
+                            recorder.duration_ns("server.queue_wait_ns", waited_ns);
+                            if from != home {
+                                recorder.emit(TelemetryEvent::JobStolen {
+                                    home,
+                                    from,
+                                    job: idx,
+                                });
+                            }
+                        }
                         let started = Instant::now();
                         let out = std::panic::catch_unwind(AssertUnwindSafe(|| handler(idx, job)));
                         let took = Seconds(started.elapsed().as_secs_f64());
@@ -287,6 +344,15 @@ impl FleetServer {
                             },
                             Err(payload) => Err(JobError::Panicked(panic_message(&*payload))),
                         };
+                        if traced {
+                            recorder
+                                .duration_ns("server.job_wall_ns", (took.0 * 1e9).max(0.0) as u64);
+                            recorder.emit(TelemetryEvent::JobCompleted {
+                                shard: from,
+                                job: idx,
+                                ok: entry.is_ok(),
+                            });
+                        }
                         let mut slot = match results[idx].lock() {
                             Ok(slot) => slot,
                             Err(poisoned) => poisoned.into_inner(),
@@ -308,6 +374,10 @@ impl FleetServer {
                     .unwrap_or(Err(JobError::Abandoned))
             })
             .collect();
+        let wait_secs: Vec<f64> = waits
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed) as f64 * 1e-9)
+            .collect();
         let stats = ServeStats {
             completed: n,
             failed: out.iter().filter(|r| r.is_err()).count(),
@@ -317,6 +387,16 @@ impl FleetServer {
                 0.0
             } else {
                 queue.wait_nanos.load(Ordering::Relaxed) as f64 * 1e-9 / n as f64
+            }),
+            queue_wait_p50: Seconds(if n == 0 {
+                0.0
+            } else {
+                rfmath::stats::percentile(&wait_secs, 50.0)
+            }),
+            queue_wait_p95: Seconds(if n == 0 {
+                0.0
+            } else {
+                rfmath::stats::percentile(&wait_secs, 95.0)
             }),
             workers_used: used.load(Ordering::Relaxed),
         };
@@ -457,11 +537,7 @@ mod tests {
         // 2 workers homed on 2 shards, but every job hashed to a single
         // shard: worker 1 can only make progress by stealing, and the
         // run must still complete with the stats recording the steals.
-        let server = FleetServer {
-            workers: 2,
-            shards: 1,
-            deadline: None,
-        };
+        let server = FleetServer::new(2).with_shards(1);
         let (out, stats) = server.serve_with_stats((0..64u64).collect(), |_, n| {
             std::thread::sleep(std::time::Duration::from_micros(50));
             n + 1
@@ -590,6 +666,58 @@ mod tests {
         assert_eq!(stats.completed, 0);
         assert_eq!(stats.steals, 0);
         assert_eq!(stats.mean_queue_wait, Seconds(0.0));
+    }
+
+    #[test]
+    fn queue_wait_is_in_seconds_with_exact_percentiles() {
+        // The unit contract: `mean_queue_wait` / `queue_wait_p50` /
+        // `queue_wait_p95` are Seconds of stage-to-pop latency. Jobs
+        // that sleep ~1 ms serially behind one worker accumulate waits
+        // well under a second but well over a microsecond, and the
+        // percentiles must be exact order statistics of the per-job
+        // waits: p50 <= p95 <= ~max plausible wall time of the run.
+        let server = FleetServer::new(1);
+        let n = 8u64;
+        let (_, stats) = server.serve_with_stats((0..n).collect(), |_, _| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert!(stats.mean_queue_wait.0 > 0.0);
+        assert!(stats.mean_queue_wait.0 < 10.0, "seconds, not nanoseconds");
+        assert!(stats.queue_wait_p50.0 <= stats.queue_wait_p95.0);
+        // One worker drains serially: the last job waited at least the
+        // summed sleep of its predecessors (n-1 ms), so p95 must exceed
+        // the one-job sleep — a value only consistent with seconds.
+        assert!(stats.queue_wait_p95.0 >= 0.001, "p95 = {stats:?}");
+        assert!(stats.queue_wait_p95.0 < 10.0);
+    }
+
+    #[test]
+    fn ring_recorder_sees_enqueue_and_complete_events() {
+        use rfmath::telemetry::{RecorderHandle, RingRecorder, TelemetryEvent};
+        use std::sync::Arc;
+
+        let ring = Arc::new(RingRecorder::new(1024));
+        let server = FleetServer::new(1)
+            .with_shards(2)
+            .with_recorder(RecorderHandle::new(ring.clone()));
+        let out = server.serve((0..8u64).collect(), |_, n| n * 2);
+        assert_eq!(out, (0..8u64).map(|n| n * 2).collect::<Vec<_>>());
+        assert_eq!(ring.counter("server.jobs"), 8);
+        let events = ring.events();
+        let enqueued = events
+            .iter()
+            .filter(|(_, _, e)| matches!(e, TelemetryEvent::JobEnqueued { .. }))
+            .count();
+        let completed = events
+            .iter()
+            .filter(|(_, _, e)| matches!(e, TelemetryEvent::JobCompleted { ok: true, .. }))
+            .count();
+        assert_eq!(enqueued, 8);
+        assert_eq!(completed, 8);
+        // Single worker homed on shard 0 over 2 shards: every job on
+        // shard 1 arrives via a steal, and the events agree with stats.
+        let (_, stats) = server.serve_with_stats((0..8u64).collect(), |_, n| n);
+        assert!(stats.steals > 0, "shard 1 can only drain by stealing");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! (both axes swept jointly), so the whole search costs `0.02·N·T²` —
 //! with the paper's `N = 2, T = 5` that is one second instead of thirty.
 
+use rfmath::telemetry::{RecorderHandle, TelemetryEvent};
 use rfmath::units::{Seconds, Volts};
 
 /// Parameters of Algorithm 1.
@@ -312,6 +313,61 @@ pub fn warm_refine_multi(
     }
 }
 
+/// [`coarse_to_fine_multi`] with telemetry: the whole sweep is timed as
+/// a `sweep.cold_ns` span, its probes tick the `sweep.probes` counter
+/// and land in the `sweep.probes_per_sweep` value histogram, and a
+/// [`TelemetryEvent::SweepSpan`] tagged with `panel` records the
+/// deterministic cost (probe count, not wall time) in the event log.
+/// With a null recorder this is exactly [`coarse_to_fine_multi`].
+pub fn coarse_to_fine_multi_traced(
+    recorder: &RecorderHandle,
+    panel: usize,
+    config: &SweepConfig,
+    measure: impl FnMut(Probe) -> Vec<f64>,
+    score: impl Fn(&[f64]) -> f64,
+) -> MultiSweepOutcome {
+    let span = recorder.span("sweep.cold_ns");
+    let outcome = coarse_to_fine_multi(config, measure, score);
+    drop(span);
+    if recorder.enabled() {
+        recorder.add("sweep.probes", outcome.probes as u64);
+        recorder.record_value("sweep.probes_per_sweep", outcome.probes as u64);
+        recorder.emit(TelemetryEvent::SweepSpan {
+            panel,
+            kind: "cold",
+            probes: outcome.probes,
+        });
+    }
+    outcome
+}
+
+/// [`warm_refine_multi`] with telemetry — the warm-start counterpart of
+/// [`coarse_to_fine_multi_traced`] (span `sweep.warm_ns`, event kind
+/// `"warm"`).
+pub fn warm_refine_multi_traced(
+    recorder: &RecorderHandle,
+    panel: usize,
+    config: &SweepConfig,
+    warm: &WarmConfig,
+    center: Probe,
+    measure: impl FnMut(Probe) -> Vec<f64>,
+    score: impl Fn(&[f64]) -> f64,
+) -> MultiSweepOutcome {
+    let span = recorder.span("sweep.warm_ns");
+    let outcome = warm_refine_multi(config, warm, center, measure, score);
+    drop(span);
+    if recorder.enabled() {
+        recorder.add("sweep.probes", outcome.probes as u64);
+        recorder.record_value("sweep.probes_per_sweep", outcome.probes as u64);
+        recorder.emit(TelemetryEvent::SweepSpan {
+            panel,
+            kind: "warm",
+            probes: outcome.probes,
+        });
+    }
+    outcome
+}
+
 /// Drives a block-coordinate-descent loop to a fixed point: calls
 /// `round` (one full pass over all coordinate blocks, returning the
 /// pass's absolute score improvement) until the improvement drops to
@@ -614,6 +670,64 @@ mod tests {
         });
         assert!((outcome.best.vx.0 - 20.0).abs() < 5.0);
         assert!((outcome.best.vy.0 - 12.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn traced_sweeps_match_untraced_and_record_the_cost() {
+        use rfmath::telemetry::{RecorderHandle, RingRecorder, TelemetryEvent};
+        use std::sync::Arc;
+
+        let cfg = SweepConfig::paper_default();
+        let plain = coarse_to_fine_multi(
+            &cfg,
+            {
+                let mut b = bump(17.3, 8.2);
+                move |p| vec![b(p)]
+            },
+            |m| m[0],
+        );
+        let ring = Arc::new(RingRecorder::new(64));
+        let h = RecorderHandle::new(ring.clone());
+        let traced = coarse_to_fine_multi_traced(
+            &h,
+            3,
+            &cfg,
+            {
+                let mut b = bump(17.3, 8.2);
+                move |p| vec![b(p)]
+            },
+            |m| m[0],
+        );
+        // The wrapper must be observation-only: identical outcome.
+        assert_eq!(plain.best, traced.best);
+        assert_eq!(plain.best_score, traced.best_score);
+        assert_eq!(plain.probes, traced.probes);
+        assert_eq!(ring.counter("sweep.probes"), plain.probes as u64);
+        let events = ring.events();
+        assert!(matches!(
+            events.last(),
+            Some((
+                _,
+                _,
+                TelemetryEvent::SweepSpan {
+                    panel: 3,
+                    kind: "cold",
+                    ..
+                }
+            ))
+        ));
+        // Null recorder: no panic, no events, same outcome again.
+        let null = coarse_to_fine_multi_traced(
+            &RecorderHandle::null(),
+            0,
+            &cfg,
+            {
+                let mut b = bump(17.3, 8.2);
+                move |p| vec![b(p)]
+            },
+            |m| m[0],
+        );
+        assert_eq!(null.best, plain.best);
     }
 
     #[test]

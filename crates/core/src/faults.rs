@@ -251,6 +251,21 @@ impl FaultPlan {
             && self.panel_out(panel, tick - 1, Seconds(t.0 - tick_len.0))
     }
 
+    /// Did `panel` just go dark at tick `tick` (time `t`)? The mirror of
+    /// [`FaultPlan::panel_revived`]: true when the panel is dark this
+    /// tick but was up on the previous one — or when it is dark on tick
+    /// 0 (a run that starts inside an outage window still has an
+    /// injection edge). Single-fire like revival: a panel dark across
+    /// consecutive ticks reports the edge only once. This is the
+    /// stateless form of the telemetry plane's
+    /// [`crate::telemetry::TelemetryEvent::FaultInjected`] edge.
+    pub fn panel_failed(&self, panel: usize, tick: usize, t: Seconds, tick_len: Seconds) -> bool {
+        if !self.panel_out(panel, tick, t) {
+            return false;
+        }
+        tick == 0 || !self.panel_out(panel, tick - 1, Seconds(t.0 - tick_len.0))
+    }
+
     /// Is delivery attempt `attempt` of `panel`'s probe report at tick
     /// `tick` lost?
     pub fn report_lost(&self, panel: usize, tick: usize, attempt: usize) -> bool {
@@ -441,6 +456,38 @@ mod tests {
         // previous tick to have healed from.
         assert!(!plan.panel_revived(0, 5, Seconds(5.0), dt));
         assert!(!plan.panel_revived(1, 0, Seconds(0.0), dt));
+    }
+
+    #[test]
+    fn panel_failure_edge_fires_exactly_once_at_the_window_start() {
+        let mut plan = FaultPlan::none();
+        plan.outages.push(PanelOutage {
+            panel: 1,
+            window: FaultWindow {
+                start: Seconds(3.0),
+                duration: Seconds(2.0),
+            },
+        });
+        let dt = Seconds(1.0);
+        assert!(!plan.panel_failed(1, 2, Seconds(2.0), dt), "still up");
+        assert!(plan.panel_failed(1, 3, Seconds(3.0), dt), "injection edge");
+        assert!(
+            !plan.panel_failed(1, 4, Seconds(4.0), dt),
+            "dark but no new edge"
+        );
+        assert!(!plan.panel_failed(1, 5, Seconds(5.0), dt), "healed");
+        assert!(!plan.panel_failed(0, 3, Seconds(3.0), dt), "other panels");
+        // A window that covers tick 0 still reports its edge there.
+        let mut from_start = FaultPlan::none();
+        from_start.outages.push(PanelOutage {
+            panel: 0,
+            window: FaultWindow {
+                start: Seconds(0.0),
+                duration: Seconds(2.0),
+            },
+        });
+        assert!(from_start.panel_failed(0, 0, Seconds(0.0), dt));
+        assert!(!from_start.panel_failed(0, 1, Seconds(1.0), dt));
     }
 
     #[test]

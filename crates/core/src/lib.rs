@@ -36,7 +36,11 @@
 //!   surface, with max-min fairness and favor/suppress (polarization
 //!   access control) policies (now thin wrappers over [`fleet`]);
 //! * [`render`] — ASCII tables, histograms, heatmaps and sparklines for
-//!   terminal output.
+//!   terminal output;
+//! * [`telemetry`] — the unified telemetry plane (canonical face of
+//!   [`rfmath::telemetry`]): recorder trait, null/ring recorders,
+//!   log-binned histograms, RAII spans and the deterministic structured
+//!   event log the whole serving stack reports into.
 //!
 //! ```
 //! use llama_core::scenario::Scenario;
@@ -63,6 +67,7 @@ pub mod scenario;
 pub mod sensing;
 pub mod sim;
 pub mod system;
+pub mod telemetry;
 
 pub use faults::FaultPlan;
 pub use fleet::{Fleet, FleetDevice, FleetEvaluator, FleetOutcome, Policy, Scheduler};

@@ -62,6 +62,7 @@
 
 use std::rc::Rc;
 
+use crate::telemetry::{RecorderHandle, TelemetryEvent};
 use control::server::FleetServer;
 use control::sweep::{descend_rounds, warm_refine_multi, Probe, WarmConfig};
 use metasurface::designs::Design;
@@ -679,6 +680,13 @@ pub struct PanelScheduler {
     /// per-panel search (`None` = independent only). See
     /// [`PanelScheduler::with_joint`].
     pub joint: Option<JointConfig>,
+    /// Telemetry sink (null by default — zero overhead). With a ring
+    /// attached, per-panel sweeps emit
+    /// [`TelemetryEvent::SweepSpan`](crate::telemetry::TelemetryEvent)
+    /// and joint descent rounds emit
+    /// [`TelemetryEvent::JointRound`](crate::telemetry::TelemetryEvent)
+    /// carrying the round's canonical lift and coupled-probe cost.
+    pub recorder: RecorderHandle,
 }
 
 impl PanelScheduler {
@@ -689,6 +697,7 @@ impl PanelScheduler {
             base: Scheduler::max_min(),
             assignment: Assignment::ByOrientation,
             joint: None,
+            recorder: RecorderHandle::null(),
         }
     }
 
@@ -715,6 +724,12 @@ impl PanelScheduler {
     /// the independent outcome bit-for-bit (property-tested).
     pub fn with_joint(mut self, joint: JointConfig) -> Self {
         self.joint = Some(joint);
+        self
+    }
+
+    /// Attaches a telemetry recorder.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -747,6 +762,7 @@ impl PanelScheduler {
             array,
             assignment,
             caches,
+            "cold",
             |_, scheduler, sub, eval| scheduler.run_with_evaluator(sub, eval),
         );
         match &self.joint {
@@ -792,6 +808,7 @@ impl PanelScheduler {
             array,
             prev.assignment.clone(),
             &caches,
+            "warm",
             |k, scheduler, sub, eval| {
                 scheduler.run_warm(sub, eval, &prev.per_panel[k].outcome, warm)
             },
@@ -807,8 +824,10 @@ impl PanelScheduler {
         array: &PanelArray,
         assignment: Vec<usize>,
         caches: &[(&'static str, PlanCache)],
+        kind: &'static str,
         schedule: impl Fn(usize, &Scheduler, &Fleet, &FleetEvaluator) -> FleetOutcome,
     ) -> PanelOutcome {
+        let traced = self.recorder.enabled();
         let subfleets = array.subfleets(fleet, &assignment);
         let mut per_panel = Vec::with_capacity(array.len());
         let mut services: Vec<Option<DeviceService>> = vec![None; fleet.len()];
@@ -827,6 +846,15 @@ impl PanelScheduler {
             };
             probes += outcome.probes;
             elapsed = elapsed.max(outcome.elapsed.0);
+            if traced && !outcome.per_device.is_empty() {
+                self.recorder
+                    .record_value("panels.probes_per_panel", outcome.probes as u64);
+                self.recorder.emit(TelemetryEvent::SweepSpan {
+                    panel: k,
+                    kind,
+                    probes: outcome.probes,
+                });
+            }
             for (service, &d) in outcome.per_device.iter().zip(&members) {
                 services[d] = Some(service.clone());
             }
@@ -914,6 +942,8 @@ impl PanelScheduler {
         } else {
             (0..kp).collect()
         };
+        let traced = self.recorder.enabled();
+        let mut round_no = 0usize;
         let (rounds, converged) = descend_rounds(cfg.max_rounds, cfg.tolerance_db, || {
             let before = score;
             for &p in &order {
@@ -952,6 +982,15 @@ impl PanelScheduler {
             let after = min_of(&coupled.powers_dbm(&biases));
             let improvement = after - before;
             score = after;
+            round_no += 1;
+            if traced {
+                self.recorder.add("panels.joint_rounds", 1);
+                self.recorder.emit(TelemetryEvent::JointRound {
+                    round: round_no,
+                    lift_db: improvement,
+                    coupled_probes,
+                });
+            }
             improvement
         });
 

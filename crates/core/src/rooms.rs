@@ -64,8 +64,21 @@ impl RoomScenario {
     /// Runs the scenario under a fault plan — the chaos harness's entry
     /// point. An empty plan reproduces [`RoomScenario::run`] bitwise.
     pub fn run_with_faults(&mut self, faults: crate::faults::FaultPlan) -> SimReport {
+        self.run_traced(faults, crate::telemetry::RecorderHandle::null())
+    }
+
+    /// Runs the scenario under a fault plan with a telemetry recorder
+    /// attached to the engine — the tracing harness's entry point. A
+    /// [`crate::telemetry::RecorderHandle::null`] recorder reproduces
+    /// [`RoomScenario::run_with_faults`] bitwise.
+    pub fn run_traced(
+        &mut self,
+        faults: crate::faults::FaultPlan,
+        recorder: crate::telemetry::RecorderHandle,
+    ) -> SimReport {
         MobilitySim::new(PanelScheduler::max_min(), self.config)
             .with_faults(faults)
+            .with_recorder(recorder)
             .run(&mut self.fleet, &self.array, self.ticks)
     }
 

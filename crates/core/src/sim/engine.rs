@@ -64,6 +64,7 @@ use crate::panels::{
     PanelAllocation, PanelArray, PanelOutcome, PanelScheduler, RevivalPolicy, REFERENCE_BIAS,
 };
 use crate::sim::mobility::DynamicFleet;
+use crate::telemetry::{RecorderHandle, TelemetryEvent};
 
 /// Device→panel handoff policy: hysteresis in measured margin plus a
 /// dwell requirement, so a device on a sector boundary does not flap
@@ -432,6 +433,13 @@ pub struct MobilitySim {
     /// The fault plan the run degrades through ([`FaultPlan::none`] by
     /// default — bitwise inert).
     pub faults: FaultPlan,
+    /// Telemetry sink for per-tick phase spans
+    /// (`sim.phase.advance/reopt/settle/serve`), fault edges, handoffs,
+    /// retries and PSU deferrals (see
+    /// [`crate::telemetry::TelemetryEvent`]). The default
+    /// [`RecorderHandle::null`] keeps every run bitwise identical to an
+    /// uninstrumented simulator.
+    pub recorder: RecorderHandle,
 }
 
 impl MobilitySim {
@@ -441,6 +449,7 @@ impl MobilitySim {
             scheduler,
             config,
             faults: FaultPlan::none(),
+            recorder: RecorderHandle::null(),
         }
     }
 
@@ -449,6 +458,15 @@ impl MobilitySim {
     /// leaves every run bitwise identical to a fault-free simulator.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attaches a telemetry recorder the tick loop reports into. The
+    /// scheduler shares it, so per-panel sweep spans land in the same
+    /// ring as the tick-phase and fault events.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.scheduler.recorder = recorder.clone();
+        self.recorder = recorder;
         self
     }
 
@@ -497,11 +515,25 @@ impl MobilitySim {
             .collect();
         let mut out = Vec::with_capacity(ticks);
         let mut wall_total = 0.0f64;
+        let recorder = &self.recorder;
+        let traced = recorder.enabled();
         for i in 0..ticks {
             let started = Instant::now();
+            recorder.set_tick(i as u64);
             let t = Seconds(i as f64 * self.config.tick.0);
-            let moved = fleet.advance_to(t);
+            let moved = {
+                let _span = recorder.span("sim.phase.advance_ns");
+                fleet.advance_to(t)
+            };
+            if traced {
+                recorder.emit(TelemetryEvent::TickPhase {
+                    phase: "advance",
+                    items: moved.len(),
+                });
+            }
+            let reopt_span = recorder.span("sim.phase.reopt_ns");
             let outcome = self.scheduler.run(fleet.fleet(), array);
+            drop(reopt_span);
             let cold_panels = outcome
                 .per_panel
                 .iter()
@@ -512,6 +544,12 @@ impl MobilitySim {
                 .iter()
                 .map(|p| p.outcome.elapsed.0)
                 .collect();
+            if traced {
+                recorder.emit(TelemetryEvent::TickPhase {
+                    phase: "reopt",
+                    items: cold_panels,
+                });
+            }
             let outaged = vec![false; array.len()];
             let mut tick_out = self.settle_tick(
                 fleet.fleet(),
@@ -569,9 +607,14 @@ impl MobilitySim {
         let mut kinds: Vec<SearchKind> = Vec::with_capacity(array.len());
         let mut airtimes: Vec<f64> = Vec::with_capacity(array.len());
         let mut probe_scratch: Vec<propagation::rays::Path> = Vec::new();
+        let recorder = &self.recorder;
+        let traced = recorder.enabled();
+        let mut prev_outaged = vec![false; array.len()];
         for i in 0..ticks {
             let started = Instant::now();
+            recorder.set_tick(i as u64);
             let t = Seconds(i as f64 * self.config.tick.0);
+            let advance_span = recorder.span("sim.phase.advance_ns");
             let moved = fleet.advance_to(t);
             let mut reprepared = 0usize;
             let mut rebound = 0usize;
@@ -590,6 +633,22 @@ impl MobilitySim {
                 }
             }
             let outaged_panels = outaged.iter().filter(|&&o| o).count();
+            // Outage *edges* (injection and recovery) come from
+            // comparing against the previous tick's dark set — the plan
+            // itself only answers "dark now?".
+            if traced {
+                for (k, (&now, &was)) in outaged.iter().zip(prev_outaged.iter()).enumerate() {
+                    if now && !was {
+                        recorder.emit(TelemetryEvent::FaultInjected {
+                            panel: k,
+                            kind: "outage",
+                        });
+                    } else if was && !now {
+                        recorder.emit(TelemetryEvent::FaultRecovered { panel: k });
+                    }
+                }
+            }
+            prev_outaged.copy_from_slice(&outaged);
             let mut reassignments = 0usize;
             let mut revivals = 0usize;
 
@@ -677,6 +736,14 @@ impl MobilitySim {
                     }
                 }
             }
+            drop(advance_span);
+            if traced {
+                recorder.emit(TelemetryEvent::TickPhase {
+                    phase: "advance",
+                    items: moved.len(),
+                });
+            }
+            let reopt_span = recorder.span("sim.phase.reopt_ns");
 
             // Fault recovery first: a device stranded on a panel that
             // just went dark re-homes to its best surviving panel
@@ -702,6 +769,13 @@ impl MobilitySim {
                     assignment[d] = target;
                     streaks[d] = (target, 0);
                     reassignments += 1;
+                    if traced {
+                        recorder.emit(TelemetryEvent::Handoff {
+                            device: d,
+                            from_panel: cur,
+                            to_panel: target,
+                        });
+                    }
                 }
                 if !changed.is_empty() {
                     changed.sort_unstable();
@@ -737,6 +811,11 @@ impl MobilitySim {
                         !outaged[k] && self.faults.panel_revived(k, i, t, self.config.tick)
                     })
                     .collect();
+                if traced {
+                    for &k in &healed {
+                        recorder.emit(TelemetryEvent::Revival { panel: k });
+                    }
+                }
                 if !healed.is_empty() {
                     let mut changed: Vec<usize> = Vec::new();
                     for d in 0..fleet.len() {
@@ -760,6 +839,13 @@ impl MobilitySim {
                         assignment[d] = target;
                         streaks[d] = (target, 0);
                         revivals += 1;
+                        if traced {
+                            recorder.emit(TelemetryEvent::Handoff {
+                                device: d,
+                                from_panel: cur,
+                                to_panel: target,
+                            });
+                        }
                     }
                     if !changed.is_empty() {
                         changed.sort_unstable();
@@ -843,6 +929,13 @@ impl MobilitySim {
                             assignment[d] = preferred;
                             streaks[d] = (preferred, 0);
                             handoffs += 1;
+                            if traced {
+                                recorder.emit(TelemetryEvent::Handoff {
+                                    device: d,
+                                    from_panel: cur,
+                                    to_panel: preferred,
+                                });
+                            }
                         }
                     } else {
                         streaks[d] = (cur, 0);
@@ -923,6 +1016,17 @@ impl MobilitySim {
                 } else {
                     outcome.elapsed.0
                 };
+                if traced && kind != SearchKind::Reused {
+                    recorder.emit(TelemetryEvent::SweepSpan {
+                        panel: k,
+                        kind: if kind == SearchKind::Warm {
+                            "warm"
+                        } else {
+                            "cold"
+                        },
+                        probes: outcome.probes,
+                    });
+                }
                 if kind != SearchKind::Reused {
                     // The probe bill is spent over the air whether or
                     // not the controller ever hears the scores.
@@ -931,10 +1035,23 @@ impl MobilitySim {
                         if self.faults.psu_glitch(k, i) {
                             psu_glitches += 1;
                             airtime += self.faults.psu_glitch_settling.0;
+                            if traced {
+                                recorder.emit(TelemetryEvent::FaultInjected {
+                                    panel: k,
+                                    kind: "psu_glitch",
+                                });
+                            }
                         }
                         let fate = self.faults.play_report_retries(k, i);
                         reports_lost += fate.lost;
                         airtime += fate.airtime;
+                        if traced && (fate.lost > 0 || fate.exhausted) {
+                            recorder.emit(TelemetryEvent::Retry {
+                                panel: k,
+                                attempt: fate.lost,
+                                exhausted: fate.exhausted,
+                            });
+                        }
                         if fate.exhausted {
                             reports_exhausted += 1;
                             if let Some(prev) = &state.prev {
@@ -958,6 +1075,13 @@ impl MobilitySim {
                 kinds.push(kind);
                 airtimes.push(airtime);
                 panel_outcomes.push(outcome);
+            }
+            drop(reopt_span);
+            if traced {
+                recorder.emit(TelemetryEvent::TickPhase {
+                    phase: "reopt",
+                    items: kinds.iter().filter(|k| **k != SearchKind::Reused).count(),
+                });
             }
 
             // Assemble the tick's scheduling decision exactly like the
@@ -1132,14 +1256,23 @@ impl MobilitySim {
         outaged: &[bool],
         started: Instant,
     ) -> TickOutcome {
+        let recorder = &self.recorder;
+        let traced = recorder.enabled();
         let tick_len = self.config.tick.0;
         let mut applied = Vec::with_capacity(array.len());
         let mut panel_duty = Vec::with_capacity(array.len());
         let mut deferred = 0usize;
+        let settle_span = recorder.span("sim.phase.settle_ns");
         for (k, state) in states.iter_mut().enumerate() {
             let proposed = outcome.per_panel[k].outcome.shared_bias;
             let (used, d) = settle_psu(state, t.0, tick_len, airtimes[k], proposed);
             deferred += d;
+            if traced && d > 0 {
+                recorder.emit(TelemetryEvent::PsuSettle {
+                    panel: k,
+                    deferred: true,
+                });
+            }
             applied.push(state.applied);
             // A dark panel serves nobody, whatever its rails are doing.
             panel_duty.push(if outaged[k] {
@@ -1148,8 +1281,16 @@ impl MobilitySim {
                 (1.0 - used / tick_len).clamp(0.0, 1.0)
             });
         }
+        drop(settle_span);
+        if traced {
+            recorder.emit(TelemetryEvent::TickPhase {
+                phase: "settle",
+                items: deferred,
+            });
+        }
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
 
+        let serve_span = recorder.span("sim.phase.serve_ns");
         // Served powers at the *applied* biases. When a panel's rails
         // already hold the proposed bias, the scheduling outcome's
         // powers ARE the served powers; a deferred change needs a fresh
@@ -1193,6 +1334,13 @@ impl MobilitySim {
         }
         if !any {
             served_min = f64::NEG_INFINITY;
+        }
+        drop(serve_span);
+        if traced {
+            recorder.emit(TelemetryEvent::TickPhase {
+                phase: "serve",
+                items: fleet.len(),
+            });
         }
 
         TickOutcome {

@@ -1,0 +1,25 @@
+//! The unified telemetry plane, re-exported as its canonical face.
+//!
+//! The machinery lives in [`rfmath::telemetry`] because the control
+//! plane (`control::server`, `control::controller`) sits below
+//! `llama-core` in the dependency graph and must report into the same
+//! [`Recorder`]. Downstream code should import from here:
+//!
+//! ```
+//! use llama_core::telemetry::{RecorderHandle, RingRecorder};
+//! use std::sync::Arc;
+//!
+//! let ring = Arc::new(RingRecorder::new(1024));
+//! let handle = RecorderHandle::new(ring.clone());
+//! assert!(handle.enabled());
+//! ```
+//!
+//! See the module docs in `rfmath` for the determinism contract: the
+//! event ring carries only logical `(seq, tick)` stamps and
+//! seed-deterministic payloads, while wall-clock durations flow into
+//! the aggregated histograms only.
+
+pub use rfmath::telemetry::{
+    null_block_json, LogHistogram, NullRecorder, Recorder, RecorderHandle, RingRecorder, Span,
+    TelemetryEvent,
+};

@@ -3,7 +3,9 @@
 //! Self-contained complex arithmetic, 2×2 complex linear algebra, Jones
 //! calculus (the polarization algebra of the paper's §2), Stokes
 //! parameters, strongly-typed RF units, interpolation grids, descriptive
-//! statistics and deterministic RNG streams.
+//! statistics, deterministic RNG streams and the unified telemetry
+//! plane (recorders, histograms, span timing) the serving stack
+//! reports into.
 //!
 //! Everything downstream — the microwave network models, the metasurface,
 //! the propagation environment and the control plane — is expressed in
@@ -40,6 +42,7 @@ pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod stokes;
+pub mod telemetry;
 pub mod units;
 pub mod vec2;
 
